@@ -1,0 +1,321 @@
+//! Privacy-exposure risk scoring — one of the analyses the paper's
+//! Discussion says the structured dataset "unlocks" ("policy quality
+//! evaluations, as well as legal exposure risk analysis").
+//!
+//! The score combines three findings of §5:
+//!
+//! * **breadth and sensitivity of collection** — sensitive categories
+//!   (bio/health, financial/legal, precise location) weigh more;
+//! * **absence of concrete protections** — the paper highlights that only
+//!   39.9% state any specific protection and only 10% a concrete retention
+//!   period;
+//! * **absence of user rights** — no deletion right, no opt-out.
+//!
+//! Scores are in 0–100 (higher = more exposure). The weights are simple and
+//! documented; the point is the *ranking* machinery, not an actuarial model.
+
+use aipan_core::dataset::{AnnotatedPolicy, Dataset};
+use aipan_taxonomy::records::AnnotationPayload;
+use aipan_taxonomy::{
+    AccessLabel, ChoiceLabel, DataTypeCategory, ProtectionLabel, RetentionLabel,
+    Sector,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Risk weight of a data-type category (sensitive classes score higher).
+pub fn category_sensitivity(category: DataTypeCategory) -> f64 {
+    use DataTypeCategory::*;
+    match category {
+        // Highly sensitive.
+        MedicalInfo | BiometricData | FitnessHealth => 3.0,
+        FinancialInfo | FinancialCapability | InsuranceInfo | LegalInfo => 2.5,
+        PreciseLocation => 2.5,
+        PersonalIdentifier => 2.0,
+        // Moderately sensitive.
+        PhysicalCharacteristic | DemographicInfo | ApproximateLocation | TravelData
+        | CommunicationData | ContentGeneration => 1.5,
+        // Baseline.
+        _ => 1.0,
+    }
+}
+
+/// A scored policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RiskScore {
+    /// Domain scored.
+    pub domain: String,
+    /// Sector.
+    pub sector: Sector,
+    /// 0–100 exposure score (higher = more exposure).
+    pub score: f64,
+    /// Collection sub-score (0–50).
+    pub collection: f64,
+    /// Protection-gap sub-score (0–25).
+    pub protection_gap: f64,
+    /// Rights-gap sub-score (0–25).
+    pub rights_gap: f64,
+}
+
+/// Score a single policy.
+pub fn score_policy(policy: &AnnotatedPolicy) -> RiskScore {
+    // Collection: sensitivity-weighted distinct categories, saturating.
+    let categories: HashSet<DataTypeCategory> = policy
+        .annotations
+        .iter()
+        .filter_map(|a| match &a.payload {
+            AnnotationPayload::DataType { category, .. } => Some(*category),
+            _ => None,
+        })
+        .collect();
+    let weighted: f64 = categories.iter().map(|&c| category_sensitivity(c)).sum();
+    // A maximally broad collector (all 34 categories) scores 51.5 weighted;
+    // scale into 0–50 so the scale saturates exactly there.
+    let collection = (weighted / 51.5 * 50.0).min(50.0);
+
+    // Protection gap: start from the full gap, credit concrete practices.
+    let mut protections: HashSet<ProtectionLabel> = HashSet::new();
+    let mut has_stated_retention = false;
+    let mut retains_indefinitely = false;
+    for ann in &policy.annotations {
+        match &ann.payload {
+            AnnotationPayload::Protection { label } => {
+                protections.insert(*label);
+            }
+            AnnotationPayload::Retention { label, .. } => match label {
+                RetentionLabel::Stated => has_stated_retention = true,
+                RetentionLabel::Indefinitely => retains_indefinitely = true,
+                RetentionLabel::Limited => {}
+            },
+            _ => {}
+        }
+    }
+    let specific = protections.iter().filter(|l| **l != ProtectionLabel::Generic).count();
+    let mut protection_gap: f64 = 25.0;
+    protection_gap -= (specific as f64 * 4.0).min(16.0);
+    if protections.contains(&ProtectionLabel::Generic) {
+        protection_gap -= 3.0;
+    }
+    if has_stated_retention {
+        protection_gap -= 6.0;
+    }
+    if retains_indefinitely {
+        protection_gap += 4.0;
+    }
+    let protection_gap = protection_gap.clamp(0.0, 25.0);
+
+    // Rights gap: credit deletion, edit/view, and opt-outs.
+    let mut rights_gap: f64 = 25.0;
+    let has = |f: &dyn Fn(&AnnotationPayload) -> bool| policy.annotations.iter().any(|a| f(&a.payload));
+    if has(&|p| matches!(p, AnnotationPayload::Access { label: AccessLabel::FullDelete })) {
+        rights_gap -= 9.0;
+    } else if has(&|p| matches!(p, AnnotationPayload::Access { label: AccessLabel::PartialDelete })) {
+        rights_gap -= 5.0;
+    }
+    if has(&|p| matches!(p, AnnotationPayload::Access { label: AccessLabel::Edit })) {
+        rights_gap -= 5.0;
+    }
+    if has(&|p| matches!(p, AnnotationPayload::Access { label: AccessLabel::View | AccessLabel::Export })) {
+        rights_gap -= 3.0;
+    }
+    if has(&|p| {
+        matches!(
+            p,
+            AnnotationPayload::Choice {
+                label: ChoiceLabel::OptOutViaContact | ChoiceLabel::OptOutViaLink
+            }
+        )
+    }) {
+        rights_gap -= 5.0;
+    }
+    if has(&|p| matches!(p, AnnotationPayload::Choice { label: ChoiceLabel::OptIn })) {
+        rights_gap -= 3.0;
+    }
+    let rights_gap = rights_gap.clamp(0.0, 25.0);
+
+    RiskScore {
+        domain: policy.domain.clone(),
+        sector: policy.sector,
+        score: collection + protection_gap + rights_gap,
+        collection,
+        protection_gap,
+        rights_gap,
+    }
+}
+
+/// Score a whole dataset, descending by score.
+pub fn rank(dataset: &Dataset) -> Vec<RiskScore> {
+    let mut scores: Vec<RiskScore> = dataset.annotated().map(score_policy).collect();
+    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.domain.cmp(&b.domain)));
+    scores
+}
+
+/// Per-sector average scores, descending.
+pub fn sector_averages(scores: &[RiskScore]) -> Vec<(Sector, f64, usize)> {
+    let mut out = Vec::new();
+    for sector in Sector::ALL {
+        let v: Vec<f64> = scores.iter().filter(|s| s.sector == sector).map(|s| s.score).collect();
+        if !v.is_empty() {
+            out.push((sector, v.iter().sum::<f64>() / v.len() as f64, v.len()));
+        }
+    }
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    out
+}
+
+/// Render a leaderboard (top-`k` riskiest plus sector averages).
+pub fn render(scores: &[RiskScore], k: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Privacy-exposure leaderboard (top {k} of {}):", scores.len());
+    let _ = writeln!(
+        out,
+        "  {:<28} {:<4} {:>6} {:>9} {:>9} {:>8}",
+        "domain", "sec", "score", "collect", "protGap", "rightGap"
+    );
+    for s in scores.iter().take(k) {
+        let _ = writeln!(
+            out,
+            "  {:<28} {:<4} {:>6.1} {:>9.1} {:>9.1} {:>8.1}",
+            s.domain,
+            s.sector.abbrev(),
+            s.score,
+            s.collection,
+            s.protection_gap,
+            s.rights_gap
+        );
+    }
+    let _ = writeln!(out, "sector averages:");
+    for (sector, avg, n) in sector_averages(scores) {
+        let _ = writeln!(out, "  {:<24} {:>6.1}  (n={n})", sector.name(), avg);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aipan_core::dataset::SegmentationMethod;
+    use aipan_taxonomy::records::Annotation;
+
+    fn policy(domain: &str, annotations: Vec<Annotation>) -> AnnotatedPolicy {
+        AnnotatedPolicy {
+            domain: domain.into(),
+            sector: Sector::HealthCare,
+            annotations,
+            fallbacks: vec![],
+            hallucinations_removed: 0,
+            core_word_count: 100,
+            segmentation: SegmentationMethod::Headings,
+            policy_path: "/privacy".into(),
+        }
+    }
+
+    fn dt(category: DataTypeCategory) -> Annotation {
+        Annotation::new(
+            AnnotationPayload::DataType { descriptor: format!("d-{category:?}"), category },
+            "d",
+            1,
+        )
+    }
+
+    #[test]
+    fn sensitive_collection_scores_higher() {
+        let benign = score_policy(&policy("a.com", vec![dt(DataTypeCategory::Preferences)]));
+        let sensitive = score_policy(&policy("b.com", vec![dt(DataTypeCategory::BiometricData)]));
+        assert!(sensitive.collection > benign.collection);
+    }
+
+    #[test]
+    fn protections_and_rights_reduce_score() {
+        let naked = policy("naked.com", vec![dt(DataTypeCategory::MedicalInfo)]);
+        let mut guarded_annotations = vec![
+            dt(DataTypeCategory::MedicalInfo),
+            Annotation::new(
+                AnnotationPayload::Protection { label: ProtectionLabel::SecureStorage },
+                "encrypted",
+                2,
+            ),
+            Annotation::new(
+                AnnotationPayload::Retention {
+                    label: RetentionLabel::Stated,
+                    period_days: Some(365),
+                },
+                "one year",
+                3,
+            ),
+            Annotation::new(
+                AnnotationPayload::Access { label: AccessLabel::FullDelete },
+                "delete",
+                4,
+            ),
+            Annotation::new(
+                AnnotationPayload::Choice { label: ChoiceLabel::OptOutViaLink },
+                "opt out",
+                5,
+            ),
+        ];
+        guarded_annotations.push(Annotation::new(
+            AnnotationPayload::Choice { label: ChoiceLabel::OptIn },
+            "consent",
+            6,
+        ));
+        let guarded = policy("guarded.com", guarded_annotations);
+        let naked_score = score_policy(&naked);
+        let guarded_score = score_policy(&guarded);
+        assert!(naked_score.score > guarded_score.score);
+        assert!(guarded_score.protection_gap < naked_score.protection_gap);
+        assert!(guarded_score.rights_gap < naked_score.rights_gap);
+    }
+
+    #[test]
+    fn indefinite_retention_penalized() {
+        // Both policies earn the same protection credit; the indefinite
+        // retainer must lose part of it back.
+        let credit = Annotation::new(
+            AnnotationPayload::Protection { label: ProtectionLabel::SecureStorage },
+            "encrypted",
+            2,
+        );
+        let base = policy("a.com", vec![dt(DataTypeCategory::ContactInfo), credit.clone()]);
+        let indefinite = policy(
+            "b.com",
+            vec![
+                dt(DataTypeCategory::ContactInfo),
+                credit,
+                Annotation::new(
+                    AnnotationPayload::Retention {
+                        label: RetentionLabel::Indefinitely,
+                        period_days: None,
+                    },
+                    "indefinitely",
+                    3,
+                ),
+            ],
+        );
+        assert!(score_policy(&indefinite).protection_gap > score_policy(&base).protection_gap);
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let everything: Vec<Annotation> = DataTypeCategory::ALL.iter().map(|&c| dt(c)).collect();
+        let s = score_policy(&policy("max.com", everything));
+        assert!(s.score <= 100.0 && s.score >= 0.0);
+        assert!((s.collection - 50.0).abs() < 1e-9, "max collector saturates");
+    }
+
+    #[test]
+    fn rank_descending_and_render() {
+        let ds = Dataset {
+            policies: vec![
+                policy("low.com", vec![dt(DataTypeCategory::Preferences)]),
+                policy("high.com", vec![dt(DataTypeCategory::BiometricData), dt(DataTypeCategory::MedicalInfo)]),
+            ],
+        };
+        let ranked = rank(&ds);
+        assert_eq!(ranked[0].domain, "high.com");
+        let text = render(&ranked, 2);
+        assert!(text.contains("high.com"));
+        assert!(text.contains("sector averages"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Coverage and mention-count statistics over a dataset.
+
+use aipan_core::dataset::{AnnotatedPolicy, Dataset};
+use aipan_taxonomy::records::AnnotationPayload;
+use aipan_taxonomy::{
+    AccessLabel, ChoiceLabel, DataTypeCategory, DataTypeMeta, ProtectionLabel, PurposeCategory,
+    PurposeMeta, RetentionLabel, Sector,
+};
+use serde::{Deserialize, Serialize};
+
+/// Coverage and unique-mention statistics for one grouping (a category,
+/// meta-category, or label) over a population of policies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CategoryStats {
+    /// Number of policies in the population.
+    pub population: usize,
+    /// Policies with ≥1 matching annotation.
+    pub covered: usize,
+    /// Mean unique mentions among covered policies.
+    pub mean: f64,
+    /// Standard deviation of unique mentions among covered policies.
+    pub sd: f64,
+    /// Total unique mentions across the population (the Table 1 counts).
+    pub total_mentions: usize,
+}
+
+impl CategoryStats {
+    /// Coverage: fraction of the population with ≥1 annotation.
+    pub fn coverage(&self) -> f64 {
+        if self.population == 0 {
+            0.0
+        } else {
+            self.covered as f64 / self.population as f64
+        }
+    }
+
+    /// Compute stats from per-policy unique-mention counts (zeros mean
+    /// uncovered).
+    pub fn from_counts(counts: &[usize]) -> CategoryStats {
+        let population = counts.len();
+        let covered_counts: Vec<f64> =
+            counts.iter().filter(|&&c| c > 0).map(|&c| c as f64).collect();
+        let covered = covered_counts.len();
+        let total_mentions = counts.iter().sum();
+        let (mean, sd) = mean_sd(&covered_counts);
+        CategoryStats { population, covered, mean, sd, total_mentions }
+    }
+}
+
+/// Mean and (population) standard deviation.
+pub fn mean_sd(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Median of a list (0 for empty).
+pub fn median(values: &mut [u32]) -> u32 {
+    if values.is_empty() {
+        return 0;
+    }
+    values.sort_unstable();
+    values[values.len() / 2]
+}
+
+/// How many unique mentions a policy has for `matches`.
+fn unique_mentions(policy: &AnnotatedPolicy, matches: impl Fn(&AnnotationPayload) -> bool) -> usize {
+    // Annotations are already deduplicated per policy by dedup key.
+    policy.annotations.iter().filter(|a| matches(&a.payload)).count()
+}
+
+/// Compute stats over all annotated policies for an arbitrary payload
+/// predicate.
+pub fn stats_for(
+    dataset: &Dataset,
+    matches: impl Fn(&AnnotationPayload) -> bool + Copy,
+) -> CategoryStats {
+    let counts: Vec<usize> = dataset
+        .annotated()
+        .map(|p| unique_mentions(p, matches))
+        .collect();
+    CategoryStats::from_counts(&counts)
+}
+
+/// Compute per-sector stats for an arbitrary payload predicate.
+pub fn stats_by_sector(
+    dataset: &Dataset,
+    matches: impl Fn(&AnnotationPayload) -> bool + Copy,
+) -> Vec<(Sector, CategoryStats)> {
+    Sector::ALL
+        .iter()
+        .map(|&sector| {
+            let counts: Vec<usize> = dataset
+                .annotated()
+                .filter(|p| p.sector == sector)
+                .map(|p| unique_mentions(p, matches))
+                .collect();
+            (sector, CategoryStats::from_counts(&counts))
+        })
+        .collect()
+}
+
+/// The sector columns of Tables 2/3/5: top-3 sectors by coverage and the
+/// lowest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SectorBreakdown {
+    /// Sectors with stats, sorted by coverage descending.
+    pub ranked: Vec<(Sector, CategoryStats)>,
+}
+
+impl SectorBreakdown {
+    /// Compute the breakdown for a payload predicate.
+    pub fn compute(
+        dataset: &Dataset,
+        matches: impl Fn(&AnnotationPayload) -> bool + Copy,
+    ) -> SectorBreakdown {
+        let mut ranked = stats_by_sector(dataset, matches);
+        ranked.sort_by(|a, b| {
+            b.1.coverage()
+                .partial_cmp(&a.1.coverage())
+                .unwrap()
+                .then_with(|| a.0.abbrev().cmp(b.0.abbrev()))
+        });
+        SectorBreakdown { ranked }
+    }
+
+    /// The top-`k` sectors by coverage.
+    pub fn top(&self, k: usize) -> &[(Sector, CategoryStats)] {
+        &self.ranked[..k.min(self.ranked.len())]
+    }
+
+    /// The lowest-coverage sector.
+    pub fn lowest(&self) -> Option<&(Sector, CategoryStats)> {
+        self.ranked.last()
+    }
+}
+
+// --- Convenience predicates -------------------------------------------------
+
+/// Predicate: data-type annotation in `category`.
+pub fn is_datatype_category(category: DataTypeCategory) -> impl Fn(&AnnotationPayload) -> bool + Copy {
+    move |p| matches!(p, AnnotationPayload::DataType { category: c, .. } if *c == category)
+}
+
+/// Predicate: data-type annotation in `meta`.
+pub fn is_datatype_meta(meta: DataTypeMeta) -> impl Fn(&AnnotationPayload) -> bool + Copy {
+    move |p| matches!(p, AnnotationPayload::DataType { category, .. } if category.meta() == meta)
+}
+
+/// Predicate: purpose annotation in `category`.
+pub fn is_purpose_category(category: PurposeCategory) -> impl Fn(&AnnotationPayload) -> bool + Copy {
+    move |p| matches!(p, AnnotationPayload::Purpose { category: c, .. } if *c == category)
+}
+
+/// Predicate: purpose annotation in `meta`.
+pub fn is_purpose_meta(meta: PurposeMeta) -> impl Fn(&AnnotationPayload) -> bool + Copy {
+    move |p| matches!(p, AnnotationPayload::Purpose { category, .. } if category.meta() == meta)
+}
+
+/// Predicate: retention annotation with `label`.
+pub fn is_retention(label: RetentionLabel) -> impl Fn(&AnnotationPayload) -> bool + Copy {
+    move |p| matches!(p, AnnotationPayload::Retention { label: l, .. } if *l == label)
+}
+
+/// Predicate: protection annotation with `label`.
+pub fn is_protection(label: ProtectionLabel) -> impl Fn(&AnnotationPayload) -> bool + Copy {
+    move |p| matches!(p, AnnotationPayload::Protection { label: l } if *l == label)
+}
+
+/// Predicate: choice annotation with `label`.
+pub fn is_choice(label: ChoiceLabel) -> impl Fn(&AnnotationPayload) -> bool + Copy {
+    move |p| matches!(p, AnnotationPayload::Choice { label: l } if *l == label)
+}
+
+/// Predicate: access annotation with `label`.
+pub fn is_access(label: AccessLabel) -> impl Fn(&AnnotationPayload) -> bool + Copy {
+    move |p| matches!(p, AnnotationPayload::Access { label: l } if *l == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aipan_core::dataset::SegmentationMethod;
+    use aipan_taxonomy::records::Annotation;
+
+    fn policy(domain: &str, sector: Sector, descriptors: &[&str]) -> AnnotatedPolicy {
+        AnnotatedPolicy {
+            domain: domain.into(),
+            sector,
+            annotations: descriptors
+                .iter()
+                .map(|d| {
+                    Annotation::new(
+                        AnnotationPayload::DataType {
+                            descriptor: d.to_string(),
+                            category: DataTypeCategory::ContactInfo,
+                        },
+                        *d,
+                        1,
+                    )
+                })
+                .collect(),
+            fallbacks: vec![],
+            hallucinations_removed: 0,
+            core_word_count: 100,
+            segmentation: SegmentationMethod::Headings,
+            policy_path: "/privacy".into(),
+        }
+    }
+
+    fn dataset() -> Dataset {
+        Dataset {
+            policies: vec![
+                policy("a.com", Sector::Energy, &["email address", "phone number"]),
+                policy("b.com", Sector::Energy, &[]),
+                policy("c.com", Sector::Financials, &["email address"]),
+            ],
+        }
+    }
+
+    #[test]
+    fn from_counts_basics() {
+        let s = CategoryStats::from_counts(&[0, 2, 4]);
+        assert_eq!(s.population, 3);
+        assert_eq!(s.covered, 2);
+        assert!((s.mean - 3.0).abs() < 1e-9);
+        assert!((s.sd - 1.0).abs() < 1e-9);
+        assert_eq!(s.total_mentions, 6);
+        assert!((s.coverage() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_population() {
+        let s = CategoryStats::from_counts(&[]);
+        assert_eq!(s.coverage(), 0.0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn dataset_stats_and_sector_split() {
+        let ds = dataset();
+        // b.com has zero annotations → not in the annotated population.
+        let s = stats_for(&ds, is_datatype_category(DataTypeCategory::ContactInfo));
+        assert_eq!(s.population, 2);
+        assert_eq!(s.covered, 2);
+        assert!((s.mean - 1.5).abs() < 1e-9);
+
+        let by_sector = stats_by_sector(&ds, is_datatype_category(DataTypeCategory::ContactInfo));
+        let energy = by_sector.iter().find(|(s, _)| *s == Sector::Energy).unwrap();
+        assert_eq!(energy.1.covered, 1);
+        assert_eq!(energy.1.population, 1);
+    }
+
+    #[test]
+    fn breakdown_ranks_by_coverage() {
+        let ds = dataset();
+        let b = SectorBreakdown::compute(&ds, is_datatype_category(DataTypeCategory::ContactInfo));
+        assert_eq!(b.ranked.len(), 11);
+        let coverages: Vec<f64> = b.ranked.iter().map(|(_, s)| s.coverage()).collect();
+        for w in coverages.windows(2) {
+            assert!(w[0] >= w[1], "not sorted: {coverages:?}");
+        }
+        assert!(b.lowest().is_some());
+        assert_eq!(b.top(3).len(), 3);
+    }
+
+    #[test]
+    fn median_and_mean_sd() {
+        let mut v = vec![5, 1, 9];
+        assert_eq!(median(&mut v), 5);
+        let (m, s) = mean_sd(&[2.0, 4.0, 6.0]);
+        assert!((m - 4.0).abs() < 1e-9);
+        assert!((s - (8.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert_eq!(median(&mut []), 0);
+    }
+}

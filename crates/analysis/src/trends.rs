@@ -1,0 +1,288 @@
+//! Longitudinal analysis: diff two dataset snapshots of the same universe.
+//!
+//! The paper's Discussion lists "trends" and "policy peer group comparisons"
+//! among the analyses the structured dataset unlocks (and cites the
+//! million-document longitudinal corpus of Amos et al.). This module
+//! compares two [`Dataset`] snapshots — e.g. two crawls months apart — and
+//! reports, per company and in aggregate, which practices appeared and
+//! disappeared.
+
+use aipan_core::dataset::Dataset;
+use aipan_taxonomy::records::{AnnotationPayload, AspectKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// A practice key used for diffing: category/label plus aspect.
+fn practice_key(payload: &AnnotationPayload) -> String {
+    match payload {
+        AnnotationPayload::DataType { category, .. } => format!("type:{}", category.name()),
+        AnnotationPayload::Purpose { category, .. } => format!("purpose:{}", category.name()),
+        AnnotationPayload::Retention { label, .. } => format!("retention:{label}"),
+        AnnotationPayload::Protection { label } => format!("protection:{label}"),
+        AnnotationPayload::Choice { label } => format!("choice:{label}"),
+        AnnotationPayload::Access { label } => format!("access:{label}"),
+    }
+}
+
+/// One company's change set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompanyDiff {
+    /// The company's domain.
+    pub domain: String,
+    /// Practices present in the new snapshot only.
+    pub added: Vec<String>,
+    /// Practices present in the old snapshot only.
+    pub removed: Vec<String>,
+}
+
+/// The full trend report between two snapshots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrendReport {
+    /// Companies present in both snapshots.
+    pub companies_compared: usize,
+    /// Companies only in the old snapshot (policy disappeared).
+    pub disappeared: usize,
+    /// Companies only in the new snapshot (policy appeared).
+    pub appeared: usize,
+    /// Per-company diffs (only companies with changes), sorted by domain.
+    pub diffs: Vec<CompanyDiff>,
+    /// Aggregate: practice → (companies adding, companies removing).
+    pub practice_flux: BTreeMap<String, (usize, usize)>,
+}
+
+impl TrendReport {
+    /// Diff two snapshots of (roughly) the same universe.
+    pub fn diff(old: &Dataset, new: &Dataset) -> TrendReport {
+        let old_by_domain: BTreeMap<&str, BTreeSet<String>> = old
+            .annotated()
+            .map(|p| {
+                (
+                    p.domain.as_str(),
+                    p.annotations.iter().map(|a| practice_key(&a.payload)).collect(),
+                )
+            })
+            .collect();
+        let new_by_domain: BTreeMap<&str, BTreeSet<String>> = new
+            .annotated()
+            .map(|p| {
+                (
+                    p.domain.as_str(),
+                    p.annotations.iter().map(|a| practice_key(&a.payload)).collect(),
+                )
+            })
+            .collect();
+
+        let mut diffs = Vec::new();
+        let mut practice_flux: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        let mut companies_compared = 0usize;
+        for (domain, old_set) in &old_by_domain {
+            let Some(new_set) = new_by_domain.get(domain) else { continue };
+            companies_compared += 1;
+            let added: Vec<String> = new_set.difference(old_set).cloned().collect();
+            let removed: Vec<String> = old_set.difference(new_set).cloned().collect();
+            for practice in &added {
+                practice_flux.entry(practice.clone()).or_default().0 += 1;
+            }
+            for practice in &removed {
+                practice_flux.entry(practice.clone()).or_default().1 += 1;
+            }
+            if !added.is_empty() || !removed.is_empty() {
+                diffs.push(CompanyDiff { domain: domain.to_string(), added, removed });
+            }
+        }
+        let disappeared = old_by_domain
+            .keys()
+            .filter(|d| !new_by_domain.contains_key(*d))
+            .count();
+        let appeared = new_by_domain
+            .keys()
+            .filter(|d| !old_by_domain.contains_key(*d))
+            .count();
+        TrendReport { companies_compared, disappeared, appeared, diffs, practice_flux }
+    }
+
+    /// Share of compared companies with any change.
+    pub fn churn_rate(&self) -> f64 {
+        if self.companies_compared == 0 {
+            0.0
+        } else {
+            self.diffs.len() as f64 / self.companies_compared as f64
+        }
+    }
+
+    /// Practices ranked by net adoption (adds − removes), descending.
+    pub fn top_trends(&self, k: usize) -> Vec<(&str, i64)> {
+        let mut v: Vec<(&str, i64)> = self
+            .practice_flux
+            .iter()
+            .map(|(p, (a, r))| (p.as_str(), *a as i64 - *r as i64))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Render a summary.
+    pub fn render(&self, k: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Trend report: {} companies compared, {} changed ({:.1}% churn), \
+             {} policies disappeared, {} appeared",
+            self.companies_compared,
+            self.diffs.len(),
+            self.churn_rate() * 100.0,
+            self.disappeared,
+            self.appeared
+        );
+        let _ = writeln!(out, "  top net adoptions (adds − removals):");
+        for (practice, net) in self.top_trends(k) {
+            let (adds, removes) = self.practice_flux[practice];
+            let _ = writeln!(out, "    {practice:<36} {net:+4}  (+{adds} / -{removes})");
+        }
+        out
+    }
+}
+
+/// Peer-group comparison: how a company's practice set compares to its
+/// sector's norm (practices its peers commonly state that it lacks).
+pub fn peer_gaps(dataset: &Dataset, domain: &str, threshold: f64) -> Option<Vec<String>> {
+    let target = dataset.by_domain(domain)?;
+    let peers: Vec<_> = dataset
+        .annotated()
+        .filter(|p| p.sector == target.sector && p.domain != domain)
+        .collect();
+    if peers.is_empty() {
+        return Some(Vec::new());
+    }
+    let mine: BTreeSet<String> =
+        target.annotations.iter().map(|a| practice_key(&a.payload)).collect();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for peer in &peers {
+        let set: BTreeSet<String> =
+            peer.annotations.iter().map(|a| practice_key(&a.payload)).collect();
+        for practice in set {
+            *counts.entry(practice).or_default() += 1;
+        }
+    }
+    let mut gaps: Vec<String> = counts
+        .into_iter()
+        .filter(|(practice, count)| {
+            // Only rights/handling gaps are "missing protections"; data-type
+            // gaps just mean collecting less, which is not a deficiency.
+            (practice.starts_with("choice:")
+                || practice.starts_with("access:")
+                || practice.starts_with("protection:")
+                || practice.starts_with("retention:"))
+                && *count as f64 / peers.len() as f64 >= threshold
+                && !mine.contains(practice)
+        })
+        .map(|(practice, _)| practice)
+        .collect();
+    gaps.sort();
+    Some(gaps)
+}
+
+/// Count annotations per aspect (convenience for snapshot summaries).
+pub fn aspect_counts(dataset: &Dataset) -> BTreeMap<AspectKind, usize> {
+    AspectKind::ALL
+        .iter()
+        .map(|&k| (k, dataset.annotation_count(k)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aipan_core::dataset::{AnnotatedPolicy, SegmentationMethod};
+    use aipan_taxonomy::records::Annotation;
+    use aipan_taxonomy::{ChoiceLabel, DataTypeCategory, Sector};
+
+    fn policy(domain: &str, annotations: Vec<Annotation>) -> AnnotatedPolicy {
+        AnnotatedPolicy {
+            domain: domain.into(),
+            sector: Sector::Financials,
+            annotations,
+            fallbacks: vec![],
+            hallucinations_removed: 0,
+            core_word_count: 100,
+            segmentation: SegmentationMethod::Headings,
+            policy_path: "/privacy".into(),
+        }
+    }
+
+    fn dt() -> Annotation {
+        Annotation::new(
+            AnnotationPayload::DataType {
+                descriptor: "email address".into(),
+                category: DataTypeCategory::ContactInfo,
+            },
+            "email address",
+            1,
+        )
+    }
+
+    fn optin() -> Annotation {
+        Annotation::new(AnnotationPayload::Choice { label: ChoiceLabel::OptIn }, "consent", 2)
+    }
+
+    #[test]
+    fn diff_detects_additions_and_removals() {
+        let old = Dataset { policies: vec![policy("a.com", vec![dt()])] };
+        let new = Dataset { policies: vec![policy("a.com", vec![dt(), optin()])] };
+        let report = TrendReport::diff(&old, &new);
+        assert_eq!(report.companies_compared, 1);
+        assert_eq!(report.diffs.len(), 1);
+        assert_eq!(report.diffs[0].added, vec!["choice:Opt-in".to_string()]);
+        assert!(report.diffs[0].removed.is_empty());
+        assert_eq!(report.practice_flux["choice:Opt-in"], (1, 0));
+        assert!((report.churn_rate() - 1.0).abs() < 1e-9);
+        assert!(report.render(5).contains("choice:Opt-in"));
+    }
+
+    #[test]
+    fn identical_snapshots_have_no_churn() {
+        let ds = Dataset { policies: vec![policy("a.com", vec![dt(), optin()])] };
+        let report = TrendReport::diff(&ds, &ds);
+        assert!(report.diffs.is_empty());
+        assert_eq!(report.churn_rate(), 0.0);
+    }
+
+    #[test]
+    fn appeared_and_disappeared_counted() {
+        let old = Dataset { policies: vec![policy("gone.com", vec![dt()])] };
+        let new = Dataset { policies: vec![policy("new.com", vec![dt()])] };
+        let report = TrendReport::diff(&old, &new);
+        assert_eq!(report.companies_compared, 0);
+        assert_eq!(report.disappeared, 1);
+        assert_eq!(report.appeared, 1);
+    }
+
+    #[test]
+    fn peer_gaps_find_missing_common_practices() {
+        let laggard = policy("laggard.com", vec![dt()]);
+        let peer1 = policy("p1.com", vec![dt(), optin()]);
+        let peer2 = policy("p2.com", vec![dt(), optin()]);
+        let ds = Dataset { policies: vec![laggard, peer1, peer2] };
+        let gaps = peer_gaps(&ds, "laggard.com", 0.8).unwrap();
+        assert_eq!(gaps, vec!["choice:Opt-in".to_string()]);
+        // Peers lack nothing.
+        assert!(peer_gaps(&ds, "p1.com", 0.8).unwrap().is_empty());
+        assert!(peer_gaps(&ds, "absent.com", 0.8).is_none());
+    }
+
+    #[test]
+    fn top_trends_ranked_by_net() {
+        let old = Dataset {
+            policies: vec![policy("a.com", vec![dt()]), policy("b.com", vec![dt(), optin()])],
+        };
+        let new = Dataset {
+            policies: vec![policy("a.com", vec![dt(), optin()]), policy("b.com", vec![dt()])],
+        };
+        let report = TrendReport::diff(&old, &new);
+        // Opt-in added once, removed once → net 0.
+        assert_eq!(report.practice_flux["choice:Opt-in"], (1, 1));
+        assert_eq!(report.top_trends(1)[0].1, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Integration test for Table 6 regeneration: every sampled row's verbatim
+//! text must appear in its reported context, and the contexts must come
+//! from the actual policy pages.
+
+use aipan_analysis::tables;
+use aipan_core::{run_pipeline, PipelineConfig};
+use aipan_taxonomy::normalize::fold;
+use aipan_webgen::{build_world, WorldConfig};
+
+#[test]
+fn table6_rows_have_consistent_context() {
+    let world = build_world(WorldConfig::small(5, 200));
+    let run = run_pipeline(&world, PipelineConfig { seed: 5, ..Default::default() });
+    let rows = tables::table6(&world, &run.dataset, 4, 5);
+    assert!(rows.len() >= 8, "expected rows for several aspects, got {}", rows.len());
+    let mut aspects = std::collections::HashSet::new();
+    for row in &rows {
+        aspects.insert(row.aspect.clone());
+        assert!(
+            fold(&row.context).contains(&fold(&row.text)),
+            "context {:?} does not contain text {:?}",
+            row.context,
+            row.text
+        );
+        assert!(run.dataset.by_domain(&row.domain).is_some());
+        assert!(!row.category.is_empty() && !row.descriptor.is_empty());
+    }
+    assert!(aspects.len() >= 3, "rows should span aspects: {aspects:?}");
+    let rendered = tables::render_table6(&rows);
+    assert!(rendered.contains("Table 6"));
+}

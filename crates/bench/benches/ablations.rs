@@ -1,0 +1,120 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **Segmentation-first vs whole-text annotation** — the paper argues
+//!   sectioning "helps remove unrelated content and minimize token usage";
+//!   this ablation measures both wall time and token usage each way.
+//! * **Full-text fallback on/off** — the §3.2.2 coverage mechanism.
+//! * **Hallucination verification on/off** — the verbatim check's cost.
+//! * **Glossary size** — prompt-token cost of attaching larger glossaries.
+//!
+//! Besides timing, each ablation prints its quality-side effect once
+//! (annotation counts / token totals) so the trade-off is visible in the
+//! bench log.
+
+use aipan_core::annotate::AnnotateOptions;
+use aipan_core::{run_pipeline, PipelineConfig};
+use aipan_taxonomy::glossary;
+use aipan_webgen::{build_world, WorldConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+
+fn world() -> &'static aipan_webgen::World {
+    static W: OnceLock<aipan_webgen::World> = OnceLock::new();
+    W.get_or_init(|| build_world(WorldConfig::small(17, 200)))
+}
+
+fn config(use_segmentation: bool, fallback: bool, verify: bool) -> PipelineConfig {
+    PipelineConfig {
+        seed: 17,
+        use_segmentation,
+        annotate: AnnotateOptions { fallback, verify },
+        ..Default::default()
+    }
+}
+
+fn report_once(name: &str, cfg: &PipelineConfig) {
+    let run = run_pipeline(world(), cfg.clone());
+    let annotations: usize = run.dataset.policies.iter().map(|p| p.annotations.len()).sum();
+    let tokens: u64 = run.usage.iter().map(|(_, u)| u.total()).sum();
+    eprintln!(
+        "[ablation:{name}] policies={} annotations={annotations} tokens={tokens} \
+         hallucinations_removed={}",
+        run.dataset.len(),
+        run.extraction.hallucinations_removed
+    );
+}
+
+fn bench_segmentation_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_segmentation");
+    group.sample_size(10);
+    let with = config(true, true, true);
+    let without = config(false, true, true);
+    report_once("segmentation_on", &with);
+    report_once("segmentation_off_whole_text", &without);
+    group.bench_function("segmentation_on", |b| {
+        b.iter(|| run_pipeline(black_box(world()), with.clone()))
+    });
+    group.bench_function("segmentation_off_whole_text", |b| {
+        b.iter(|| run_pipeline(black_box(world()), without.clone()))
+    });
+    group.finish();
+}
+
+fn bench_fallback_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_fallback");
+    group.sample_size(10);
+    let with = config(true, true, true);
+    let without = config(true, false, true);
+    report_once("fallback_on", &with);
+    report_once("fallback_off", &without);
+    group.bench_function("fallback_on", |b| {
+        b.iter(|| run_pipeline(black_box(world()), with.clone()))
+    });
+    group.bench_function("fallback_off", |b| {
+        b.iter(|| run_pipeline(black_box(world()), without.clone()))
+    });
+    group.finish();
+}
+
+fn bench_verification_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_verification");
+    group.sample_size(10);
+    let with = config(true, true, true);
+    let without = config(true, true, false);
+    report_once("verification_on", &with);
+    report_once("verification_off", &without);
+    group.bench_function("verification_on", |b| {
+        b.iter(|| run_pipeline(black_box(world()), with.clone()))
+    });
+    group.bench_function("verification_off", |b| {
+        b.iter(|| run_pipeline(black_box(world()), without.clone()))
+    });
+    group.finish();
+}
+
+fn bench_glossary_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_glossary");
+    for per_category in [1usize, 4, 8, 100] {
+        group.bench_function(format!("datatype_glossary_{per_category}"), |b| {
+            b.iter(|| glossary::datatype_glossary(black_box(per_category)))
+        });
+    }
+    // Token cost of each size, reported once.
+    for per_category in [1usize, 4, 8, 100] {
+        let g = glossary::datatype_glossary(per_category);
+        eprintln!(
+            "[ablation:glossary_{per_category}] tokens={}",
+            aipan_chatbot::tokens::estimate_tokens(&g)
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_segmentation_ablation,
+    bench_fallback_ablation,
+    bench_verification_ablation,
+    bench_glossary_sizes,
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Benchmarks for the offline student models: featurization, training,
+//! and inference throughput — the numbers that justify replacing chatbot
+//! calls with a local model (the paper's future-work deployment).
+
+use aipan_chatbot::SimulatedChatbot;
+use aipan_ml::{build_aspect_corpus, eval, train::split_by_domain, Featurizer};
+use aipan_webgen::{build_world, WorldConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::OnceLock;
+
+fn corpus() -> &'static Vec<aipan_ml::LabeledLine> {
+    static C: OnceLock<Vec<aipan_ml::LabeledLine>> = OnceLock::new();
+    C.get_or_init(|| {
+        let world = build_world(WorldConfig::small(23, 120));
+        let teacher = SimulatedChatbot::gpt4(23);
+        build_aspect_corpus(&world, &teacher, 60)
+    })
+}
+
+fn bench_featurize(c: &mut Criterion) {
+    let f = Featurizer::default();
+    let line = "We retain your personal information for two (2) years after your last \
+                interaction with our services, after which it is destroyed.";
+    let mut group = c.benchmark_group("ml_featurize");
+    group.throughput(Throughput::Bytes(line.len() as u64));
+    group.bench_function("line", |b| b.iter(|| f.featurize(black_box(line))));
+    group.finish();
+}
+
+fn bench_train(c: &mut Criterion) {
+    let f = Featurizer::default();
+    let corpus = corpus();
+    let (train, _) = split_by_domain(corpus);
+    let mut group = c.benchmark_group("ml_train");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(train.len() as u64));
+    group.bench_function("naive_bayes", |b| {
+        b.iter(|| eval::train_student(black_box(&f), black_box(&train)))
+    });
+    group.finish();
+}
+
+fn bench_inference_vs_chatbot(c: &mut Criterion) {
+    // The trade the paper's future work contemplates: a trained student
+    // labels a line orders of magnitude faster than a chatbot call.
+    let f = Featurizer::default();
+    let corpus = corpus();
+    let (train, test) = split_by_domain(corpus);
+    let model = eval::train_student(&f, &train);
+    let probe = &test.first().expect("test set non-empty").text;
+    let mut group = c.benchmark_group("ml_inference");
+    group.bench_function("student_predict", |b| {
+        let features = f.featurize(probe);
+        b.iter(|| model.predict(black_box(&features)))
+    });
+    group.bench_function("student_featurize_and_predict", |b| {
+        b.iter(|| model.predict(&f.featurize(black_box(probe))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_featurize, bench_train, bench_inference_vs_chatbot);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! # aipan-bench
+//!
+//! Benchmarks and reproduction harness:
+//!
+//! * `src/bin/repro.rs` — regenerates every table and figure of the paper
+//!   (`cargo run --release -p aipan-bench --bin repro -- all`).
+//! * `benches/stages.rs` — criterion throughput benches per pipeline stage.
+//! * `benches/pipeline.rs` — end-to-end pipeline benches.
+//! * `benches/ablations.rs` — design-choice ablations (segmentation,
+//!   fallback, verification, glossary size).
+
+#![warn(missing_docs)]
+
+/// A small shared helper: build a world and pipeline dataset for benches.
+pub mod fixtures {
+    use aipan_core::{run_pipeline, PipelineConfig, PipelineRun};
+    use aipan_webgen::{build_world, World, WorldConfig};
+
+    /// Build a world of `size` constituents with `seed`.
+    pub fn world(seed: u64, size: usize) -> World {
+        build_world(WorldConfig { seed, universe_size: size, ..Default::default() })
+    }
+
+    /// Run the default pipeline over a world.
+    pub fn pipeline_run(world: &World, seed: u64) -> PipelineRun {
+        run_pipeline(world, PipelineConfig { seed, ..Default::default() })
+    }
+}

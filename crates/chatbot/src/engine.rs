@@ -1,0 +1,172 @@
+//! The simulated chatbot: dispatches task prompts to the task
+//! implementations, applies the instruction-following error model, and
+//! accounts tokens.
+
+use crate::profile::{decide, ModelProfile};
+use crate::prompt::{TaskKind, TaskPrompt};
+use crate::tasks;
+use crate::tokens::{TokenUsage, UsageLedger};
+use crate::{protocol, Chatbot};
+
+/// A deterministic simulated chatbot with a given error profile.
+///
+/// Cheap to clone; clones share the usage ledger.
+///
+/// ```
+/// use aipan_chatbot::prompt::{TaskKind, TaskPrompt};
+/// use aipan_chatbot::{protocol, Chatbot, ModelProfile, SimulatedChatbot};
+///
+/// let bot = SimulatedChatbot::new(ModelProfile::oracle(), 7);
+/// let prompt = TaskPrompt::build(TaskKind::ExtractDataTypes);
+/// let input = protocol::number_lines(["We collect your email address."]);
+/// let rows = protocol::parse_extractions(&bot.complete(&prompt, &input));
+/// assert_eq!(rows, vec![(1, "email address".to_string())]);
+/// ```
+#[derive(Clone)]
+pub struct SimulatedChatbot {
+    profile: ModelProfile,
+    seed: u64,
+    ledger: UsageLedger,
+}
+
+impl SimulatedChatbot {
+    /// Create a chatbot with `profile`, seeded by `seed`.
+    pub fn new(profile: ModelProfile, seed: u64) -> SimulatedChatbot {
+        SimulatedChatbot { profile, seed, ledger: UsageLedger::new() }
+    }
+
+    /// GPT-4-Turbo-profile chatbot (the paper's production configuration).
+    pub fn gpt4(seed: u64) -> SimulatedChatbot {
+        SimulatedChatbot::new(ModelProfile::gpt4_turbo(), seed)
+    }
+
+    /// The error profile in effect.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// Per-task usage ledger.
+    pub fn ledger(&self) -> &UsageLedger {
+        &self.ledger
+    }
+}
+
+impl Chatbot for SimulatedChatbot {
+    fn complete(&self, prompt: &TaskPrompt, input: &str) -> String {
+        // Instruction-following failures: malformed output the pipeline
+        // must tolerate (GPT-3.5 exhibits these; GPT-4 effectively never).
+        let doc = tasks::doc_key(input);
+        let output = if !decide(
+            self.seed,
+            &[&self.profile.id, "follow", prompt.kind.name(), &doc],
+            self.profile.instruction_following,
+        ) {
+            "I'm sorry, here are the results you asked for:\n[[1, \"".to_string()
+        } else {
+            match prompt.kind {
+                TaskKind::LabelHeadings => protocol::encode_labels(&tasks::run_label_headings(
+                    &self.profile,
+                    self.seed,
+                    input,
+                )),
+                TaskKind::SegmentText => protocol::encode_labels(&tasks::run_segment_text(
+                    &self.profile,
+                    self.seed,
+                    input,
+                )),
+                TaskKind::ExtractDataTypes => protocol::encode_extractions(
+                    &tasks::run_extract_datatypes(&self.profile, self.seed, input),
+                ),
+                TaskKind::NormalizeDataTypes => protocol::encode_normalizations(
+                    &tasks::run_normalize_datatypes(&self.profile, self.seed, input),
+                ),
+                TaskKind::AnnotatePurposes => protocol::encode_purposes(
+                    &tasks::run_annotate_purposes(&self.profile, self.seed, input),
+                ),
+                TaskKind::AnnotateHandling => protocol::encode_handling(
+                    &tasks::run_annotate_handling(&self.profile, self.seed, input),
+                ),
+                TaskKind::AnnotateRights => protocol::encode_rights(&tasks::run_annotate_rights(
+                    &self.profile,
+                    self.seed,
+                    input,
+                )),
+            }
+        };
+        self.ledger.record(prompt.kind.name(), &prompt.text, input, &output);
+        output
+    }
+
+    fn model_id(&self) -> &str {
+        &self.profile.id
+    }
+
+    fn usage(&self) -> TokenUsage {
+        self.ledger.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{number_lines, parse_extractions};
+
+    #[test]
+    fn completes_extraction_task_via_trait() {
+        let bot = SimulatedChatbot::new(ModelProfile::oracle(), 1);
+        let prompt = TaskPrompt::build(TaskKind::ExtractDataTypes);
+        let input = number_lines(["We collect your email address."]);
+        let output = bot.complete(&prompt, &input);
+        let rows = parse_extractions(&output);
+        assert_eq!(rows, vec![(1, "email address".to_string())]);
+    }
+
+    #[test]
+    fn usage_accounted_per_task() {
+        let bot = SimulatedChatbot::gpt4(2);
+        let input = number_lines(["We collect your name."]);
+        bot.complete(&TaskPrompt::build(TaskKind::ExtractDataTypes), &input);
+        bot.complete(&TaskPrompt::build(TaskKind::AnnotateRights), &input);
+        let usage = bot.usage();
+        assert_eq!(usage.calls, 2);
+        assert!(usage.prompt_tokens > 0);
+        assert!(bot.ledger().task_usage("extract_data_types").calls == 1);
+        assert_eq!(bot.model_id(), "gpt-4-turbo-2024-04-09");
+    }
+
+    #[test]
+    fn gpt35_sometimes_returns_malformed_output() {
+        let bot = SimulatedChatbot::new(ModelProfile::gpt35_turbo(), 3);
+        let prompt = TaskPrompt::build(TaskKind::ExtractDataTypes);
+        let mut malformed = 0;
+        for i in 0..200 {
+            let input = number_lines([format!("We collect your name, case {i}.").as_str()]);
+            let out = bot.complete(&prompt, &input);
+            if serde_json::from_str::<serde_json::Value>(&out).is_err() {
+                malformed += 1;
+            }
+        }
+        let rate = malformed as f64 / 200.0;
+        assert!((rate - 0.15).abs() < 0.08, "malformed rate {rate}");
+    }
+
+    #[test]
+    fn clones_share_ledger() {
+        let bot = SimulatedChatbot::gpt4(4);
+        let clone = bot.clone();
+        clone.complete(
+            &TaskPrompt::build(TaskKind::ExtractDataTypes),
+            &number_lines(["We collect your name."]),
+        );
+        assert_eq!(bot.usage().calls, 1);
+    }
+
+    #[test]
+    fn deterministic_completions() {
+        let a = SimulatedChatbot::gpt4(5);
+        let b = SimulatedChatbot::gpt4(5);
+        let prompt = TaskPrompt::build(TaskKind::AnnotateHandling);
+        let input = number_lines(["We retain your data for two (2) years."]);
+        assert_eq!(a.complete(&prompt, &input), b.complete(&prompt, &input));
+    }
+}

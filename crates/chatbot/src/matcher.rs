@@ -1,0 +1,352 @@
+//! Vocabulary scanning: the simulated model's "reading" of policy text.
+//!
+//! A [`VocabMatcher`] indexes every surface form the model knows — the
+//! glossary vocabulary *plus* the zero-shot terms of
+//! [`aipan_taxonomy::zeroshot`] (an LLM's world knowledge exceeds the
+//! prompt glossary) — and scans lines token-by-token with longest-match
+//! precedence, recording the verbatim matched text (for the pipeline's
+//! hallucination verification) and whether the mention sits in a negated
+//! context ("we do not collect …").
+
+use aipan_taxonomy::datatypes::DATA_TYPE_DESCRIPTORS;
+use aipan_taxonomy::purposes::PURPOSE_DESCRIPTORS;
+use aipan_taxonomy::zeroshot::{ZERO_SHOT_DATA_TYPES, ZERO_SHOT_PURPOSES};
+use aipan_taxonomy::{DataTypeCategory, PurposeCategory};
+use std::collections::HashMap;
+
+/// What a matched surface form refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchTarget {
+    /// A collected data type.
+    DataType {
+        /// Normalized descriptor.
+        descriptor: &'static str,
+        /// Category.
+        category: DataTypeCategory,
+        /// Whether the term is outside the prompt glossary.
+        zero_shot: bool,
+    },
+    /// A data-collection purpose.
+    Purpose {
+        /// Normalized descriptor.
+        descriptor: &'static str,
+        /// Category.
+        category: PurposeCategory,
+        /// Whether the term is outside the prompt glossary.
+        zero_shot: bool,
+    },
+}
+
+/// One vocabulary hit on a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VocabMatch {
+    /// The verbatim matched text, sliced from the original line.
+    pub text: String,
+    /// What it refers to.
+    pub target: MatchTarget,
+    /// Whether the mention is in a negated context on this line.
+    pub negated: bool,
+    /// Byte span of the match within the line.
+    pub span: (usize, usize),
+}
+
+impl VocabMatch {
+    /// Whether this match's span is strictly contained in `other`'s span.
+    pub fn contained_in(&self, other: &(usize, usize)) -> bool {
+        self.span.0 >= other.0
+            && self.span.1 <= other.1
+            && (self.span.1 - self.span.0) < (other.1 - other.0)
+    }
+}
+
+struct Entry {
+    tokens: Vec<String>,
+    target: MatchTarget,
+}
+
+/// Token-indexed longest-match scanner.
+pub struct VocabMatcher {
+    by_first: HashMap<String, Vec<Entry>>,
+}
+
+impl VocabMatcher {
+    /// Matcher over all data-type surface forms (glossary + zero-shot).
+    pub fn for_datatypes() -> VocabMatcher {
+        let mut m = VocabMatcher { by_first: HashMap::new() };
+        for spec in DATA_TYPE_DESCRIPTORS {
+            let target = MatchTarget::DataType {
+                descriptor: spec.name,
+                category: spec.category,
+                zero_shot: false,
+            };
+            m.add(spec.name, target);
+            for s in spec.surfaces {
+                m.add(s, target);
+            }
+        }
+        for z in ZERO_SHOT_DATA_TYPES {
+            m.add(
+                z.term,
+                MatchTarget::DataType { descriptor: z.term, category: z.category, zero_shot: true },
+            );
+        }
+        m.sort_entries();
+        m
+    }
+
+    /// Matcher over all purpose surface forms (glossary + zero-shot).
+    pub fn for_purposes() -> VocabMatcher {
+        let mut m = VocabMatcher { by_first: HashMap::new() };
+        for spec in PURPOSE_DESCRIPTORS {
+            let target = MatchTarget::Purpose {
+                descriptor: spec.name,
+                category: spec.category,
+                zero_shot: false,
+            };
+            m.add(spec.name, target);
+            for s in spec.surfaces {
+                m.add(s, target);
+            }
+        }
+        for z in ZERO_SHOT_PURPOSES {
+            m.add(
+                z.term,
+                MatchTarget::Purpose { descriptor: z.term, category: z.category, zero_shot: true },
+            );
+        }
+        m.sort_entries();
+        m
+    }
+
+    fn add(&mut self, surface: &str, target: MatchTarget) {
+        let tokens = tokenize_words(surface);
+        if tokens.is_empty() {
+            return;
+        }
+        self.by_first
+            .entry(tokens[0].clone())
+            .or_default()
+            .push(Entry { tokens, target });
+    }
+
+    fn sort_entries(&mut self) {
+        for entries in self.by_first.values_mut() {
+            // Longest first for longest-match precedence.
+            entries.sort_by_key(|e| std::cmp::Reverse(e.tokens.len()));
+        }
+    }
+
+    /// Scan one line; matches do not overlap (longest match consumes its
+    /// tokens).
+    ///
+    /// Negation scope is line-granular: once a negation cue appears, the
+    /// remainder of the line is treated as negated context. The synthetic
+    /// corpus renders negated statements as their own paragraphs, so this
+    /// never clips a positive mention there; external HTML that packs a
+    /// negated sentence and a positive one into a single block could lose
+    /// the positive mention to the stricter reading.
+    pub fn scan_line(&self, line: &str) -> Vec<VocabMatch> {
+        let tokens = tokenize_with_spans(line);
+        let mut out: Vec<VocabMatch> = Vec::new();
+        let mut i = 0;
+        let mut negation_seen = false;
+        while i < tokens.len() {
+            let word = &tokens[i].0;
+            if is_negation_token(word) {
+                negation_seen = true;
+            }
+            if let Some(entries) = self.by_first.get(word.as_str()) {
+                let mut matched = false;
+                for entry in entries {
+                    let n = entry.tokens.len();
+                    if i + n <= tokens.len()
+                        && tokens[i..i + n].iter().map(|(w, _, _)| w).eq(entry.tokens.iter())
+                    {
+                        let start = tokens[i].1;
+                        let end = tokens[i + n - 1].2;
+                        out.push(VocabMatch {
+                            text: line[start..end].to_string(),
+                            target: entry.target,
+                            negated: negation_seen,
+                            span: (start, end),
+                        });
+                        i += n;
+                        matched = true;
+                        break;
+                    }
+                }
+                if matched {
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+fn is_negation_token(word: &str) -> bool {
+    matches!(word, "not" | "never" | "don't" | "doesn't" | "won't" | "neither" | "nor")
+}
+
+/// Lower-cased word tokens (same character classes as the taxonomy fold).
+fn tokenize_words(s: &str) -> Vec<String> {
+    tokenize_with_spans(s).into_iter().map(|(w, _, _)| w).collect()
+}
+
+/// Tokens with byte spans `(word, start, end)` into the original string.
+fn tokenize_with_spans(s: &str) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut start = 0usize;
+    for (idx, ch) in s.char_indices() {
+        let keep = ch.is_alphanumeric() || ch == '-' || ch == '/' || ch == '&' || ch == '\'';
+        if keep {
+            if current.is_empty() {
+                start = idx;
+            }
+            for lc in ch.to_lowercase() {
+                current.push(lc);
+            }
+        } else if !current.is_empty() {
+            out.push((std::mem::take(&mut current), start, idx));
+        }
+    }
+    if !current.is_empty() {
+        out.push((current, start, s.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_simple_surface() {
+        let m = VocabMatcher::for_datatypes();
+        let hits = m.scan_line("We may collect your email address and phone number.");
+        let descs: Vec<&str> = hits
+            .iter()
+            .map(|h| match h.target {
+                MatchTarget::DataType { descriptor, .. } => descriptor,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(descs, vec!["email address", "phone number"]);
+        assert!(hits.iter().all(|h| !h.negated));
+    }
+
+    #[test]
+    fn synonym_maps_to_descriptor_with_verbatim_text() {
+        let m = VocabMatcher::for_datatypes();
+        let hits = m.scan_line("Please provide your Mailing Address for delivery.");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].text, "Mailing Address");
+        match hits[0].target {
+            MatchTarget::DataType { descriptor, category, .. } => {
+                assert_eq!(descriptor, "postal address");
+                assert_eq!(category, DataTypeCategory::ContactInfo);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let m = VocabMatcher::for_datatypes();
+        // "health insurance" (InsuranceInfo) must beat any shorter overlap.
+        let hits = m.scan_line("We collect health insurance details.");
+        assert_eq!(hits.len(), 1);
+        match hits[0].target {
+            MatchTarget::DataType { descriptor, .. } => assert_eq!(descriptor, "health insurance"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn negated_context_flagged() {
+        let m = VocabMatcher::for_datatypes();
+        let hits = m.scan_line("We do not collect biometric data from users.");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].negated);
+        let hits2 =
+            m.scan_line("This privacy notice does not apply to medical info we may hold.");
+        assert!(hits2.iter().all(|h| h.negated));
+    }
+
+    #[test]
+    fn negation_only_applies_after_cue() {
+        let m = VocabMatcher::for_datatypes();
+        let hits = m.scan_line("We collect your name. We do not collect fingerprint data.");
+        let by_desc: Vec<(bool, &str)> = hits
+            .iter()
+            .map(|h| match h.target {
+                MatchTarget::DataType { descriptor, .. } => (h.negated, descriptor),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(by_desc.contains(&(false, "name")));
+        assert!(by_desc.contains(&(true, "fingerprint")));
+    }
+
+    #[test]
+    fn zero_shot_terms_matched() {
+        let m = VocabMatcher::for_datatypes();
+        let hits = m.scan_line("We analyze podcast listening habits to improve audio.");
+        assert_eq!(hits.len(), 1);
+        match hits[0].target {
+            MatchTarget::DataType { descriptor, zero_shot, .. } => {
+                assert_eq!(descriptor, "podcast listening habits");
+                assert!(zero_shot);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn purposes_matcher_works() {
+        let m = VocabMatcher::for_purposes();
+        let hits = m.scan_line("We use your information to prevent fraud and for analytics.");
+        let descs: Vec<&str> = hits
+            .iter()
+            .map(|h| match h.target {
+                MatchTarget::Purpose { descriptor, .. } => descriptor,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(descs.contains(&"fraud prevention"));
+        assert!(descs.contains(&"analytics"));
+    }
+
+    #[test]
+    fn no_matches_on_clean_boilerplate() {
+        let m = VocabMatcher::for_datatypes();
+        let hits = m.scan_line(
+            "Please read this policy carefully and reach out with any concerns you have.",
+        );
+        assert!(hits.is_empty(), "unexpected hits: {hits:?}");
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        let m = VocabMatcher::for_datatypes();
+        // "aged" must not match "age"; "names" must not match "name".
+        let hits = m.scan_line("Well-aged processes and filenames are irrelevant here.");
+        assert!(hits.is_empty(), "unexpected: {hits:?}");
+    }
+
+    #[test]
+    fn matches_do_not_overlap() {
+        let m = VocabMatcher::for_datatypes();
+        // "bank account info" contains "account info" — only one hit.
+        let hits = m.scan_line("We store your bank account info securely.");
+        assert_eq!(hits.len(), 1);
+        match hits[0].target {
+            MatchTarget::DataType { descriptor, .. } => {
+                assert_eq!(descriptor, "bank account info");
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The JSON tuple protocol between the pipeline and the chatbot.
+//!
+//! Task inputs are numbered-line documents (`[123] text…`); task outputs are
+//! JSON-formatted strings containing lists of tuples, exactly as the
+//! paper's prompts dictate. This module renders inputs and parses outputs —
+//! tolerantly, since models occasionally emit malformed rows (such rows are
+//! dropped, not fatal).
+
+use aipan_taxonomy::Aspect;
+use serde_json::Value;
+
+/// Render lines as a numbered-line document (1-based).
+pub fn number_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> String {
+    let mut out = String::new();
+    for (i, line) in lines.into_iter().enumerate() {
+        out.push_str(&format!("[{}] {}\n", i + 1, line));
+    }
+    out
+}
+
+/// Render (line-number, text) pairs as a numbered document, preserving the
+/// given numbers (used when feeding a subset of a document, e.g. one
+/// section, so the model reports original line numbers).
+pub fn number_lines_with<'a>(lines: impl IntoIterator<Item = (usize, &'a str)>) -> String {
+    let mut out = String::new();
+    for (n, line) in lines {
+        out.push_str(&format!("[{n}] {line}\n"));
+    }
+    out
+}
+
+/// A heading/segment label row: line number + aspects.
+pub type LabelRow = (usize, Vec<Aspect>);
+/// An extraction row: line number + verbatim text.
+pub type ExtractRow = (usize, String);
+/// A normalization row: line number + descriptor + category name.
+pub type NormalizeRow = (usize, String, String);
+/// A purpose row: line, verbatim text, descriptor, category name.
+pub type PurposeRow = (usize, String, String, String);
+/// A handling row: line, verbatim text, label, optional period text.
+pub type HandlingRow = (usize, String, String, Option<String>);
+/// A rights row: line, verbatim text, label.
+pub type RightsRow = (usize, String, String);
+
+/// Encode label rows (`[[1, ["types"]], …]`).
+pub fn encode_labels(rows: &[LabelRow]) -> String {
+    let v: Vec<Value> = rows
+        .iter()
+        .map(|(n, aspects)| {
+            Value::Array(vec![
+                Value::from(*n),
+                Value::Array(aspects.iter().map(|a| Value::from(a.key())).collect()),
+            ])
+        })
+        .collect();
+    Value::Array(v).to_string()
+}
+
+/// Parse label rows; malformed rows are skipped.
+pub fn parse_labels(output: &str) -> Vec<LabelRow> {
+    parse_rows(output, |row| {
+        let n = row.first()?.as_u64()? as usize;
+        let aspects = row
+            .get(1)?
+            .as_array()?
+            .iter()
+            .filter_map(|v| v.as_str().and_then(Aspect::from_key))
+            .collect::<Vec<_>>();
+        Some((n, aspects))
+    })
+}
+
+/// Encode extraction rows (`[[4, "email address"], …]`).
+pub fn encode_extractions(rows: &[ExtractRow]) -> String {
+    let v: Vec<Value> = rows
+        .iter()
+        .map(|(n, text)| Value::Array(vec![Value::from(*n), Value::from(text.as_str())]))
+        .collect();
+    Value::Array(v).to_string()
+}
+
+/// Parse extraction rows.
+pub fn parse_extractions(output: &str) -> Vec<ExtractRow> {
+    parse_rows(output, |row| {
+        let n = row.first()?.as_u64()? as usize;
+        let text = row.get(1)?.as_str()?.to_string();
+        Some((n, text))
+    })
+}
+
+/// Encode normalization rows (`[[1, "postal address", "Contact info"], …]`).
+pub fn encode_normalizations(rows: &[NormalizeRow]) -> String {
+    let v: Vec<Value> = rows
+        .iter()
+        .map(|(n, d, c)| {
+            Value::Array(vec![Value::from(*n), Value::from(d.as_str()), Value::from(c.as_str())])
+        })
+        .collect();
+    Value::Array(v).to_string()
+}
+
+/// Parse normalization rows.
+pub fn parse_normalizations(output: &str) -> Vec<NormalizeRow> {
+    parse_rows(output, |row| {
+        Some((
+            row.first()?.as_u64()? as usize,
+            row.get(1)?.as_str()?.to_string(),
+            row.get(2)?.as_str()?.to_string(),
+        ))
+    })
+}
+
+/// Encode purpose rows.
+pub fn encode_purposes(rows: &[PurposeRow]) -> String {
+    let v: Vec<Value> = rows
+        .iter()
+        .map(|(n, t, d, c)| {
+            Value::Array(vec![
+                Value::from(*n),
+                Value::from(t.as_str()),
+                Value::from(d.as_str()),
+                Value::from(c.as_str()),
+            ])
+        })
+        .collect();
+    Value::Array(v).to_string()
+}
+
+/// Parse purpose rows.
+pub fn parse_purposes(output: &str) -> Vec<PurposeRow> {
+    parse_rows(output, |row| {
+        Some((
+            row.first()?.as_u64()? as usize,
+            row.get(1)?.as_str()?.to_string(),
+            row.get(2)?.as_str()?.to_string(),
+            row.get(3)?.as_str()?.to_string(),
+        ))
+    })
+}
+
+/// Encode handling rows (period is `null` when absent).
+pub fn encode_handling(rows: &[HandlingRow]) -> String {
+    let v: Vec<Value> = rows
+        .iter()
+        .map(|(n, t, l, p)| {
+            Value::Array(vec![
+                Value::from(*n),
+                Value::from(t.as_str()),
+                Value::from(l.as_str()),
+                p.as_deref().map(Value::from).unwrap_or(Value::Null),
+            ])
+        })
+        .collect();
+    Value::Array(v).to_string()
+}
+
+/// Parse handling rows.
+pub fn parse_handling(output: &str) -> Vec<HandlingRow> {
+    parse_rows(output, |row| {
+        Some((
+            row.first()?.as_u64()? as usize,
+            row.get(1)?.as_str()?.to_string(),
+            row.get(2)?.as_str()?.to_string(),
+            row.get(3).and_then(|v| v.as_str()).map(str::to_string),
+        ))
+    })
+}
+
+/// Encode rights rows.
+pub fn encode_rights(rows: &[RightsRow]) -> String {
+    let v: Vec<Value> = rows
+        .iter()
+        .map(|(n, t, l)| {
+            Value::Array(vec![Value::from(*n), Value::from(t.as_str()), Value::from(l.as_str())])
+        })
+        .collect();
+    Value::Array(v).to_string()
+}
+
+/// Parse rights rows.
+pub fn parse_rights(output: &str) -> Vec<RightsRow> {
+    parse_rows(output, |row| {
+        Some((
+            row.first()?.as_u64()? as usize,
+            row.get(1)?.as_str()?.to_string(),
+            row.get(2)?.as_str()?.to_string(),
+        ))
+    })
+}
+
+/// Shared tolerant parser: top-level array of arrays; rows that fail `f`
+/// are dropped. Non-JSON output yields an empty vec.
+fn parse_rows<T>(output: &str, f: impl Fn(&[Value]) -> Option<T>) -> Vec<T> {
+    let Ok(value) = serde_json::from_str::<Value>(output.trim()) else {
+        return Vec::new();
+    };
+    let Some(rows) = value.as_array() else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter_map(|row| row.as_array().and_then(|r| f(r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_lines_formats() {
+        let doc = number_lines(["alpha", "beta"]);
+        assert_eq!(doc, "[1] alpha\n[2] beta\n");
+        let sub = number_lines_with([(7, "x"), (12, "y")]);
+        assert_eq!(sub, "[7] x\n[12] y\n");
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let rows = vec![(1, vec![Aspect::Types]), (8, vec![Aspect::Purposes, Aspect::Other])];
+        let parsed = parse_labels(&encode_labels(&rows));
+        assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn extractions_roundtrip() {
+        let rows = vec![(4, "email address".to_string()), (9, "ip address".to_string())];
+        assert_eq!(parse_extractions(&encode_extractions(&rows)), rows);
+    }
+
+    #[test]
+    fn normalizations_roundtrip() {
+        let rows = vec![(1, "postal address".to_string(), "Contact info".to_string())];
+        assert_eq!(parse_normalizations(&encode_normalizations(&rows)), rows);
+    }
+
+    #[test]
+    fn purposes_roundtrip() {
+        let rows = vec![(
+            2,
+            "prevent fraud".to_string(),
+            "fraud prevention".to_string(),
+            "Security".to_string(),
+        )];
+        assert_eq!(parse_purposes(&encode_purposes(&rows)), rows);
+    }
+
+    #[test]
+    fn handling_roundtrip_with_and_without_period() {
+        let rows = vec![
+            (3, "retain for two (2) years".to_string(), "Stated".to_string(), Some("2 years".to_string())),
+            (5, "as long as necessary".to_string(), "Limited".to_string(), None),
+        ];
+        assert_eq!(parse_handling(&encode_handling(&rows)), rows);
+    }
+
+    #[test]
+    fn rights_roundtrip() {
+        let rows = vec![(5, "update or correct".to_string(), "Edit".to_string())];
+        assert_eq!(parse_rights(&encode_rights(&rows)), rows);
+    }
+
+    #[test]
+    fn malformed_output_tolerated() {
+        assert!(parse_labels("not json at all").is_empty());
+        assert!(parse_extractions("{\"a\": 1}").is_empty());
+        // Bad rows dropped, good rows kept.
+        let mixed = "[[1, \"ok\"], [\"bad\"], 42, [2, \"also ok\"]]";
+        let parsed = parse_extractions(mixed);
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn unknown_aspect_keys_dropped() {
+        let parsed = parse_labels("[[1, [\"types\", \"bogus\"]]]");
+        assert_eq!(parsed, vec![(1, vec![Aspect::Types])]);
+    }
+}

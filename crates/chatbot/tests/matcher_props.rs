@@ -1,0 +1,56 @@
+//! Property-based tests for the vocabulary matcher and task layer.
+
+use aipan_chatbot::matcher::VocabMatcher;
+use aipan_chatbot::tasks::{classify_heading, classify_line, parse_numbered};
+use aipan_chatbot::{protocol, ModelProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn scan_never_panics_and_spans_valid(line in ".{0,200}") {
+        let m = VocabMatcher::for_datatypes();
+        for hit in m.scan_line(&line) {
+            prop_assert!(hit.span.0 <= hit.span.1);
+            prop_assert!(hit.span.1 <= line.len());
+            // The reported text is exactly the span slice.
+            prop_assert_eq!(hit.text.as_str(), &line[hit.span.0..hit.span.1]);
+        }
+    }
+
+    #[test]
+    fn matches_never_overlap(words in proptest::collection::vec(
+        "(email address|bank account info|account info|ip address|the|we|collect|your)",
+        0..25
+    )) {
+        let line = words.join(" ");
+        let m = VocabMatcher::for_datatypes();
+        let hits = m.scan_line(&line);
+        for pair in hits.windows(2) {
+            prop_assert!(pair[0].span.1 <= pair[1].span.0, "overlap in {:?}", line);
+        }
+    }
+
+    #[test]
+    fn classifiers_never_panic(text in ".{0,200}") {
+        let _ = classify_heading(&text);
+        let aspects = classify_line(&text);
+        prop_assert!(!aspects.is_empty(), "every line gets at least one label");
+    }
+
+    #[test]
+    fn extraction_is_deterministic_under_profile(
+        lines in proptest::collection::vec("[ -~&&[^\\[\\]]]{0,60}", 1..6),
+        seed in 0u64..100,
+    ) {
+        let doc = protocol::number_lines(lines.iter().map(String::as_str));
+        let profile = ModelProfile::gpt4_turbo();
+        let a = aipan_chatbot::tasks::run_extract_datatypes(&profile, seed, &doc);
+        let b = aipan_chatbot::tasks::run_extract_datatypes(&profile, seed, &doc);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_numbered_tolerates_arbitrary_input(input in ".{0,300}") {
+        let _ = parse_numbered(&input);
+    }
+}

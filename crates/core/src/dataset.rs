@@ -1,0 +1,180 @@
+//! The structured dataset produced by the pipeline (the AIPAN-3k-like
+//! artifact).
+
+use aipan_taxonomy::records::{Annotation, AspectKind};
+use aipan_taxonomy::Sector;
+use serde::{Deserialize, Serialize};
+
+/// How the policy was segmented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegmentationMethod {
+    /// Appendix B step 1 (heading-based).
+    Headings,
+    /// Appendix B step 2 (whole-text analysis, possibly merged).
+    TextAnalysis,
+}
+
+/// One company's annotated privacy policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnnotatedPolicy {
+    /// Company domain.
+    pub domain: String,
+    /// S&P sector.
+    pub sector: Sector,
+    /// Unique verified annotations.
+    pub annotations: Vec<Annotation>,
+    /// Aspects for which the full-text fallback fired.
+    pub fallbacks: Vec<AspectKind>,
+    /// Hallucinated annotations removed by verification.
+    pub hallucinations_removed: usize,
+    /// Words in the policy's core aspects (excludes audiences/changes/other).
+    pub core_word_count: usize,
+    /// Segmentation path used.
+    pub segmentation: SegmentationMethod,
+    /// URL path of the annotated policy page.
+    pub policy_path: String,
+}
+
+impl AnnotatedPolicy {
+    /// Annotations in one aspect stream.
+    pub fn for_aspect(&self, kind: AspectKind) -> impl Iterator<Item = &Annotation> {
+        self.annotations.iter().filter(move |a| a.aspect_kind() == kind)
+    }
+
+    /// Whether the policy has any annotation for `kind`.
+    pub fn has_aspect(&self, kind: AspectKind) -> bool {
+        self.for_aspect(kind).next().is_some()
+    }
+
+    /// Aspect kinds with no annotations (the §4 missing-aspect audit).
+    pub fn missing_aspects(&self) -> Vec<AspectKind> {
+        AspectKind::ALL
+            .iter()
+            .copied()
+            .filter(|k| !self.has_aspect(*k))
+            .collect()
+    }
+}
+
+/// The full dataset: one record per successfully annotated domain.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Annotated policies, sorted by domain.
+    pub policies: Vec<AnnotatedPolicy>,
+}
+
+impl Dataset {
+    /// Number of policies.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Policies with at least one annotation (the paper's 2529-company
+    /// analysis population).
+    pub fn annotated(&self) -> impl Iterator<Item = &AnnotatedPolicy> {
+        self.policies.iter().filter(|p| !p.annotations.is_empty())
+    }
+
+    /// Total annotation count for one aspect stream.
+    pub fn annotation_count(&self, kind: AspectKind) -> usize {
+        self.policies.iter().map(|p| p.for_aspect(kind).count()).sum()
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<Dataset> {
+        serde_json::from_str(json)
+    }
+
+    /// Look up a policy by domain.
+    pub fn by_domain(&self, domain: &str) -> Option<&AnnotatedPolicy> {
+        self.policies.iter().find(|p| p.domain == domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aipan_taxonomy::records::AnnotationPayload;
+    use aipan_taxonomy::{DataTypeCategory, RetentionLabel};
+
+    fn policy(domain: &str, annotations: Vec<Annotation>) -> AnnotatedPolicy {
+        AnnotatedPolicy {
+            domain: domain.to_string(),
+            sector: Sector::InformationTechnology,
+            annotations,
+            fallbacks: vec![],
+            hallucinations_removed: 0,
+            core_word_count: 1000,
+            segmentation: SegmentationMethod::Headings,
+            policy_path: "/privacy-policy".to_string(),
+        }
+    }
+
+    fn dt_annotation() -> Annotation {
+        Annotation::new(
+            AnnotationPayload::DataType {
+                descriptor: "email address".into(),
+                category: DataTypeCategory::ContactInfo,
+            },
+            "email address",
+            3,
+        )
+    }
+
+    #[test]
+    fn aspect_queries() {
+        let p = policy(
+            "a.com",
+            vec![
+                dt_annotation(),
+                Annotation::new(
+                    AnnotationPayload::Retention {
+                        label: RetentionLabel::Limited,
+                        period_days: None,
+                    },
+                    "as long as necessary",
+                    9,
+                ),
+            ],
+        );
+        assert!(p.has_aspect(AspectKind::Types));
+        assert!(p.has_aspect(AspectKind::Handling));
+        assert_eq!(
+            p.missing_aspects(),
+            vec![AspectKind::Purposes, AspectKind::Rights]
+        );
+    }
+
+    #[test]
+    fn dataset_counts_and_lookup() {
+        let ds = Dataset {
+            policies: vec![policy("a.com", vec![dt_annotation()]), policy("b.com", vec![])],
+        };
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.annotated().count(), 1);
+        assert_eq!(ds.annotation_count(AspectKind::Types), 1);
+        assert_eq!(ds.annotation_count(AspectKind::Rights), 0);
+        assert!(ds.by_domain("b.com").is_some());
+        assert!(ds.by_domain("c.com").is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ds = Dataset { policies: vec![policy("a.com", vec![dt_annotation()])] };
+        let json = ds.to_json().unwrap();
+        let back = Dataset::from_json(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.policies[0].domain, "a.com");
+        assert_eq!(back.policies[0].annotations.len(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # aipan-core
+//!
+//! The end-to-end AIPAN pipeline (Figure 1 of the paper): acquisition →
+//! crawl → text extraction → segmentation → chatbot annotation →
+//! hallucination verification → structured dataset.
+//!
+//! * [`mod@segment`] — the two-step segmentation of Appendix B: heading-based
+//!   (when a page has more than five detected headings) with labeled
+//!   tables of contents, falling back to whole-text analysis.
+//! * [`annotate`] — per-aspect annotation (§3.2.2): each of the four
+//!   studied aspects is annotated from its own section text, **falling back
+//!   to the entire text** when the section yields nothing; includes the
+//!   programmatic verbatim-presence check that removes hallucinations.
+//! * [`dataset`] — [`dataset::AnnotatedPolicy`] records and the
+//!   serializable [`dataset::Dataset`] (the AIPAN-3k-like artifact).
+//! * [`pipeline`] — whole-universe orchestration over a
+//!   [`aipan_webgen::World`]: crawl funnel, per-domain processing, and the
+//!   §3.1/§3.2 funnel statistics.
+
+#![warn(missing_docs)]
+
+pub mod annotate;
+pub mod dataset;
+pub mod pipeline;
+pub mod segment;
+
+pub use annotate::{annotate_policy, AnnotationOutcome};
+pub use dataset::{AnnotatedPolicy, Dataset, SegmentationMethod};
+pub use pipeline::{run_pipeline, ExtractionFunnel, Pipeline, PipelineConfig, PipelineRun};
+pub use segment::{segment, SegmentedPolicy};

@@ -1,0 +1,484 @@
+//! Whole-universe pipeline orchestration (Figure 1).
+
+use crate::annotate::{annotate_policy_with, AnnotateOptions};
+use crate::dataset::{AnnotatedPolicy, Dataset, SegmentationMethod};
+use crate::segment::{self, Method, SegmentedPolicy};
+use aipan_chatbot::{ModelProfile, SimulatedChatbot, TokenUsage};
+use aipan_crawler::{crawl_all, CrawlFunnel, CrawlReport, DomainCrawl, PoolConfig};
+use aipan_html::{extract, lang, ExtractedDoc};
+use aipan_net::fault::FaultInjector;
+use aipan_net::http::ContentType;
+use aipan_net::Client;
+use aipan_taxonomy::Sector;
+use aipan_webgen::World;
+use serde::{Deserialize, Serialize};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Seed for the chatbot's error models.
+    pub seed: u64,
+    /// Crawler/annotation worker threads.
+    pub workers: usize,
+    /// Chatbot error profile.
+    pub profile: ModelProfile,
+    /// Annotation options (fallback/verification ablations).
+    pub annotate: AnnotateOptions,
+    /// Whether to segment before annotating (ablation: `false` feeds the
+    /// whole text to every aspect's task).
+    pub use_segmentation: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            seed: 42,
+            workers: PoolConfig::default().workers,
+            profile: ModelProfile::gpt4_turbo(),
+            annotate: AnnotateOptions::default(),
+            use_segmentation: true,
+        }
+    }
+}
+
+/// The §3.2 extraction/annotation funnel.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExtractionFunnel {
+    /// Domains attempted.
+    pub domains_total: usize,
+    /// Domains with a successful crawl.
+    pub crawl_success: usize,
+    /// Domains with a successful text extraction (§3.2.1 definition).
+    pub extraction_success: usize,
+    /// Domains receiving at least one annotation (the paper's 2529).
+    pub annotated: usize,
+    /// Domains missing annotations for ≥1 studied aspect (the paper's 375).
+    pub missing_any_aspect: usize,
+    /// Policies where the full-text fallback fired at least once (708).
+    pub policies_with_fallback: usize,
+    /// English, deduplicated potential privacy pages (drives the 1.8/domain
+    /// average).
+    pub english_privacy_pages: usize,
+    /// Median core word count of extracted policies (paper: 2671).
+    pub median_core_words: usize,
+    /// Hallucinated annotations removed by verification.
+    pub hallucinations_removed: usize,
+}
+
+impl ExtractionFunnel {
+    /// Extraction success over all domains (paper: 88%).
+    pub fn extraction_rate(&self) -> f64 {
+        ratio(self.extraction_success, self.domains_total)
+    }
+
+    /// Extraction success over crawled domains (paper: 96.1%).
+    pub fn extraction_rate_of_crawled(&self) -> f64 {
+        ratio(self.extraction_success, self.crawl_success)
+    }
+
+    /// English privacy pages per successful domain (paper: 1.8).
+    pub fn avg_english_privacy_pages(&self) -> f64 {
+        ratio(self.english_privacy_pages, self.crawl_success)
+    }
+}
+
+fn ratio(n: usize, d: usize) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Result of a full pipeline run.
+pub struct PipelineRun {
+    /// Crawl funnel (§3.1).
+    pub crawl_funnel: CrawlFunnel,
+    /// Extraction/annotation funnel (§3.2).
+    pub extraction: ExtractionFunnel,
+    /// The structured dataset.
+    pub dataset: Dataset,
+    /// Per-task token usage.
+    pub usage: Vec<(String, TokenUsage)>,
+}
+
+/// The pipeline: a configured chatbot plus processing logic.
+pub struct Pipeline {
+    config: PipelineConfig,
+    chatbot: SimulatedChatbot,
+}
+
+impl Pipeline {
+    /// Build a pipeline from `config`.
+    pub fn new(config: PipelineConfig) -> Pipeline {
+        let chatbot = SimulatedChatbot::new(config.profile.clone(), config.seed);
+        Pipeline { config, chatbot }
+    }
+
+    /// The chatbot in use.
+    pub fn chatbot(&self) -> &SimulatedChatbot {
+        &self.chatbot
+    }
+
+    /// Process one crawled domain into an annotated policy.
+    ///
+    /// Returns `None` when the crawl failed, when no page survives the
+    /// content/language filters, or when text extraction fails per the
+    /// §3.2.1 success definition.
+    pub fn process_domain(
+        &self,
+        crawl: &DomainCrawl,
+        sector: Sector,
+    ) -> Option<AnnotatedPolicy> {
+        if !crawl.is_success() {
+            return None;
+        }
+        let (doc, path) = self.select_policy_page(crawl)?;
+        let seg = if self.config.use_segmentation {
+            segment::segment(&self.chatbot, &doc)
+        } else {
+            SegmentedPolicy::whole_text(&doc)
+        };
+        if !seg.is_successful_extraction(&doc) {
+            return None;
+        }
+        let outcome = annotate_policy_with(&self.chatbot, &doc, &seg, self.config.annotate);
+        Some(AnnotatedPolicy {
+            domain: crawl.domain.clone(),
+            sector,
+            annotations: outcome.annotations,
+            fallbacks: outcome.fallbacks,
+            hallucinations_removed: outcome.hallucinations_removed,
+            core_word_count: seg.core_word_count(&doc),
+            segmentation: match seg.method {
+                Method::Headings => SegmentationMethod::Headings,
+                Method::TextAnalysis => SegmentationMethod::TextAnalysis,
+            },
+            policy_path: path,
+        })
+    }
+
+    /// English, HTML, deduplicated privacy pages of a crawl.
+    pub fn english_privacy_pages(&self, crawl: &DomainCrawl) -> Vec<(ExtractedDoc, String)> {
+        crawl
+            .privacy_pages()
+            .into_iter()
+            .filter(|p| p.content_type == ContentType::Html)
+            .filter_map(|p| {
+                let doc = extract(&p.body);
+                let text = doc.text();
+                if text.trim().is_empty() || !lang::is_english(&text) {
+                    None
+                } else {
+                    Some((doc, p.final_url.path.clone()))
+                }
+            })
+            .collect()
+    }
+
+    /// Choose the main policy page: the English privacy page with the most
+    /// words (privacy centers and supplemental notices are shorter than the
+    /// policy itself).
+    fn select_policy_page(&self, crawl: &DomainCrawl) -> Option<(ExtractedDoc, String)> {
+        self.english_privacy_pages(crawl)
+            .into_iter()
+            .max_by_key(|(doc, _)| doc.word_count())
+    }
+}
+
+/// Run the full pipeline over a simulated world.
+pub fn run_pipeline(world: &World, config: PipelineConfig) -> PipelineRun {
+    let pipeline = Pipeline::new(config.clone());
+    let client = Client::new(
+        world.internet.clone(),
+        FaultInjector::new(world.config.seed, world.config.faults),
+    );
+    let domains: Vec<String> = world
+        .universe
+        .unique_domains()
+        .iter()
+        .map(|c| c.domain.clone())
+        .collect();
+    let crawls = crawl_all(&client, &domains, PoolConfig { workers: config.workers });
+    let report = CrawlReport::new(crawls);
+
+    // Process domains in parallel (the chatbot is Send + Sync and clones
+    // share the usage ledger).
+    let policies = parallel_process(&pipeline, world, &report.crawls, config.workers);
+
+    let mut extraction = ExtractionFunnel {
+        domains_total: report.funnel.domains_total,
+        crawl_success: report.funnel.crawl_success,
+        ..Default::default()
+    };
+    for crawl in &report.crawls {
+        if crawl.is_success() {
+            extraction.english_privacy_pages +=
+                pipeline.english_privacy_pages(crawl).len();
+        }
+    }
+    let mut words: Vec<usize> = Vec::new();
+    for policy in &policies {
+        extraction.extraction_success += 1;
+        if !policy.annotations.is_empty() {
+            extraction.annotated += 1;
+        }
+        if !policy.missing_aspects().is_empty() {
+            extraction.missing_any_aspect += 1;
+        }
+        if !policy.fallbacks.is_empty() {
+            extraction.policies_with_fallback += 1;
+        }
+        extraction.hallucinations_removed += policy.hallucinations_removed;
+        words.push(policy.core_word_count);
+    }
+    words.sort_unstable();
+    extraction.median_core_words = words.get(words.len() / 2).copied().unwrap_or(0);
+
+    PipelineRun {
+        crawl_funnel: report.funnel,
+        extraction,
+        dataset: Dataset { policies },
+        usage: pipeline.chatbot.ledger().breakdown(),
+    }
+}
+
+fn parallel_process(
+    pipeline: &Pipeline,
+    world: &World,
+    crawls: &[DomainCrawl],
+    workers: usize,
+) -> Vec<AnnotatedPolicy> {
+    use work_queue::run_indexed;
+    let sector_of = |domain: &str| {
+        world
+            .company(domain)
+            .map(|c| c.sector)
+            .unwrap_or(Sector::Industrials)
+    };
+    let mut policies: Vec<AnnotatedPolicy> =
+        run_indexed(crawls, workers.max(1), |crawl| {
+            pipeline.process_domain(crawl, sector_of(&crawl.domain))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    policies.sort_by(|a, b| a.domain.cmp(&b.domain));
+    policies
+}
+
+/// Minimal indexed parallel-map over a slice using scoped threads (avoids
+/// pulling a full thread-pool dependency; work items are chunked by index
+/// stride so output order is reconstructible).
+mod work_queue {
+    pub fn run_indexed<T: Sync, R: Send>(
+        items: &[T],
+        workers: usize,
+        f: impl Fn(&T) -> R + Sync,
+    ) -> Vec<R> {
+        let n = items.len();
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results = std::sync::Mutex::new(Vec::<(usize, R)>::with_capacity(n));
+        crossbeam::scope(|scope| {
+            for _ in 0..workers.min(n.max(1)) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    results.lock().expect("results lock").push((i, r));
+                });
+            }
+        })
+        .expect("process pool");
+        for (i, r) in results.into_inner().expect("results") {
+            out[i] = Some(r);
+        }
+        out.into_iter().map(|o| o.expect("all items processed")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aipan_webgen::{build_world, CompanyFate, WorldConfig};
+
+    fn small_run(seed: u64, n: usize) -> (PipelineRun, aipan_webgen::World) {
+        let world = build_world(WorldConfig::small(seed, n));
+        let run = run_pipeline(&world, PipelineConfig { seed, ..Default::default() });
+        (run, world)
+    }
+
+    #[test]
+    fn small_world_end_to_end() {
+        let (run, world) = small_run(5, 120);
+        assert!(run.crawl_funnel.crawl_success > 0);
+        assert!(run.extraction.extraction_success > 0);
+        assert!(run.extraction.annotated > 0);
+        assert!(!run.dataset.is_empty());
+        assert!(run.usage.iter().any(|(task, u)| task == "extract_data_types" && u.calls > 0));
+        // Every annotated domain must be a real domain of the world.
+        for p in &run.dataset.policies {
+            assert!(world.fates.contains_key(&p.domain));
+        }
+    }
+
+    #[test]
+    fn normal_sites_generally_annotated() {
+        let (run, world) = small_run(7, 150);
+        let normal_domains: Vec<&String> = world
+            .fates
+            .iter()
+            .filter(|(_, f)| **f == CompanyFate::Normal)
+            .map(|(d, _)| d)
+            .collect();
+        let annotated: usize = normal_domains
+            .iter()
+            .filter(|d| run.dataset.by_domain(d).is_some())
+            .count();
+        let rate = annotated as f64 / normal_domains.len() as f64;
+        assert!(rate > 0.9, "only {rate} of normal sites annotated");
+    }
+
+    #[test]
+    fn failure_fates_not_annotated() {
+        let (run, world) = small_run(9, 400);
+        for (domain, fate) in &world.fates {
+            let bad = matches!(
+                fate,
+                CompanyFate::NoPolicy
+                    | CompanyFate::PdfPolicy
+                    | CompanyFate::NonEnglish
+                    | CompanyFate::MixedLanguage
+                    | CompanyFate::JsLoadedPolicy
+                    | CompanyFate::ImagePolicy
+                    | CompanyFate::HiddenLegalLink
+                    | CompanyFate::JsActionLink
+                    | CompanyFate::ConsentBoxLink
+            );
+            if bad {
+                assert!(
+                    run.dataset.by_domain(domain).is_none(),
+                    "{domain} ({fate:?}) should not be annotated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let (a, _) = small_run(11, 80);
+        let (b, _) = small_run(11, 80);
+        assert_eq!(a.dataset.len(), b.dataset.len());
+        for (x, y) in a.dataset.policies.iter().zip(&b.dataset.policies) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.annotations, y.annotations);
+        }
+        assert_eq!(a.extraction, b.extraction);
+    }
+
+    #[test]
+    fn policy_page_selection_prefers_longest_english_page() {
+        use aipan_net::fault::{FaultConfig, FaultInjector};
+        use aipan_net::host::StaticSite;
+        use aipan_net::http::Response;
+        use aipan_net::{Client, Internet};
+
+        let net = Internet::new();
+        net.register(
+            "pick.com",
+            StaticSite::new()
+                .page(
+                    "/",
+                    Response::html(
+                        "<footer><a href=\"/privacy\">Privacy Center</a>\
+                         <a href=\"/privacy-notice-full\">Privacy Policy</a></footer>",
+                    ),
+                )
+                // Short hub page.
+                .page("/privacy", Response::html("<p>Short privacy hub page.</p>"))
+                // Long real policy.
+                .page(
+                    "/privacy-notice-full",
+                    Response::html(
+                        "<h2>Information We Collect</h2>\
+                         <p>We collect your email address and phone number when you register \
+                         for the services and when you communicate with our team.</p>\
+                         <p>We retain records for as long as necessary to provide support.</p>",
+                    ),
+                ),
+        );
+        let client = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
+        let crawl = aipan_crawler::crawl_domain(&client, "pick.com");
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let policy = pipeline
+            .process_domain(&crawl, Sector::InformationTechnology)
+            .expect("policy extracted");
+        assert_eq!(policy.policy_path, "/privacy-notice-full");
+    }
+
+    #[test]
+    fn non_english_pages_filtered_before_selection() {
+        use aipan_net::fault::{FaultConfig, FaultInjector};
+        use aipan_net::host::StaticSite;
+        use aipan_net::http::Response;
+        use aipan_net::{Client, Internet};
+
+        // The only privacy page is German → extraction must fail.
+        let net = Internet::new();
+        net.register(
+            "de.com",
+            StaticSite::new()
+                .page(
+                    "/",
+                    Response::html("<footer><a href=\"/privacy\">Privacy Policy</a></footer>"),
+                )
+                .page(
+                    "/privacy",
+                    Response::html(aipan_webgen::policy::render_policy_german("Müller AG")),
+                ),
+        );
+        let client = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
+        let crawl = aipan_crawler::crawl_domain(&client, "de.com");
+        assert!(crawl.is_success(), "crawl itself succeeds");
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        assert!(pipeline.process_domain(&crawl, Sector::Energy).is_none());
+    }
+
+    #[test]
+    fn pdf_pages_never_selected() {
+        use aipan_net::fault::{FaultConfig, FaultInjector};
+        use aipan_net::host::StaticSite;
+        use aipan_net::http::Response;
+        use aipan_net::{Client, Internet};
+
+        let net = Internet::new();
+        net.register(
+            "pdf.com",
+            StaticSite::new()
+                .page(
+                    "/",
+                    Response::html(
+                        "<footer><a href=\"/privacy-policy.pdf\">Privacy Policy</a></footer>",
+                    ),
+                )
+                .page("/privacy-policy.pdf", Response::pdf("%PDF-1.7 long policy text here")),
+        );
+        let client = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
+        let crawl = aipan_crawler::crawl_domain(&client, "pdf.com");
+        assert!(crawl.is_success(), "PDF still counts as a potential privacy page");
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        assert!(pipeline.process_domain(&crawl, Sector::Materials).is_none());
+    }
+
+    #[test]
+    fn sector_attached_from_universe() {
+        let (run, world) = small_run(13, 100);
+        for p in &run.dataset.policies {
+            let company = world.company(&p.domain).unwrap();
+            assert_eq!(p.sector, company.sector);
+        }
+    }
+}

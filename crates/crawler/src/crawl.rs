@@ -1,0 +1,637 @@
+//! The single-domain crawl procedure (§3.1 navigation policy).
+
+use crate::robots::RobotsPolicy;
+use aipan_html::{extract, PageRegion};
+use aipan_net::http::ContentType;
+use aipan_net::{Client, Status, Url};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Maximum pages fetched per site (1 homepage + 3 footer links + 2 probes +
+/// 5×5 header links = 31, as stated in §3.1).
+pub const MAX_PAGES: usize = 31;
+/// Footer privacy links followed from the homepage.
+pub const MAX_FOOTER_LINKS: usize = 3;
+/// Header privacy links followed from each seed page.
+pub const MAX_HEADER_LINKS: usize = 5;
+
+/// How a page was discovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkSource {
+    /// The homepage itself.
+    Homepage,
+    /// A "privacy" link from the bottom of the homepage.
+    FooterLink,
+    /// The `/privacy-policy` probe.
+    ProbePolicyPath,
+    /// The `/privacy` probe.
+    ProbePrivacyPath,
+    /// A "privacy" link from the top of a seed page.
+    HeaderLink,
+}
+
+/// One fetched page.
+#[derive(Debug, Clone)]
+pub struct CrawledPage {
+    /// The URL requested.
+    pub url: Url,
+    /// The URL that served the response (post-redirects).
+    pub final_url: Url,
+    /// Response status.
+    pub status: Status,
+    /// Response content type.
+    pub content_type: ContentType,
+    /// Response body (HTML text or raw bytes as lossy UTF-8).
+    pub body: String,
+    /// How the page was discovered.
+    pub via: LinkSource,
+}
+
+impl CrawledPage {
+    /// Whether this is a *potential privacy page*: a successfully fetched
+    /// non-homepage page.
+    pub fn is_potential_privacy_page(&self) -> bool {
+        self.via != LinkSource::Homepage && self.status.is_success()
+    }
+}
+
+/// Outcome classification for a domain crawl.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrawlOutcome {
+    /// At least one potential privacy page was fetched with status < 400.
+    Success,
+    /// The homepage was reachable but no privacy page was found.
+    NoPrivacyPage,
+    /// The homepage fetch failed at the transport level.
+    TransportFailure(String),
+}
+
+/// The result of crawling one domain.
+#[derive(Debug, Clone)]
+pub struct DomainCrawl {
+    /// The crawled domain.
+    pub domain: String,
+    /// Outcome classification.
+    pub outcome: CrawlOutcome,
+    /// All fetched pages (including the homepage), in fetch order.
+    pub pages: Vec<CrawledPage>,
+    /// Number of fetch attempts (successful or not).
+    pub fetch_attempts: usize,
+    /// Fetches skipped because robots.txt disallowed the path.
+    pub robots_skipped: usize,
+    /// Whether robots.txt disallowed the entire site.
+    pub robots_blocked: bool,
+    /// Simulated politeness delay honored across the crawl (ms), from
+    /// robots `Crawl-delay` (default 500 ms between fetches).
+    pub politeness_delay_ms: u64,
+}
+
+impl DomainCrawl {
+    /// Whether the crawl succeeded (paper definition).
+    pub fn is_success(&self) -> bool {
+        self.outcome == CrawlOutcome::Success
+    }
+
+    /// Potential privacy pages, deduplicated by final URL and body content.
+    pub fn privacy_pages(&self) -> Vec<&CrawledPage> {
+        let mut seen_urls = HashSet::new();
+        let mut seen_bodies = HashSet::new();
+        let mut out = Vec::new();
+        for page in &self.pages {
+            if !page.is_potential_privacy_page() {
+                continue;
+            }
+            if !seen_urls.insert(page.final_url.clone()) {
+                continue;
+            }
+            let body_key = hash_body(&page.body);
+            if !seen_bodies.insert(body_key) {
+                continue;
+            }
+            out.push(page);
+        }
+        out
+    }
+
+    /// Whether the `/privacy-policy` probe hit an existing page.
+    pub fn policy_path_exists(&self) -> bool {
+        self.probe_hit(LinkSource::ProbePolicyPath)
+    }
+
+    /// Whether the `/privacy` probe hit an existing page.
+    pub fn privacy_path_exists(&self) -> bool {
+        self.probe_hit(LinkSource::ProbePrivacyPath)
+    }
+
+    fn probe_hit(&self, via: LinkSource) -> bool {
+        self.pages.iter().any(|p| p.via == via && p.status.is_success())
+    }
+}
+
+fn hash_body(body: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    body.hash(&mut h);
+    h.finish()
+}
+
+/// Default politeness delay between fetches when robots declares none.
+pub const DEFAULT_POLITENESS_MS: u64 = 500;
+
+/// The crawler's user-agent string (matched against robots groups).
+pub const USER_AGENT: &str = "aipan-crawler/0.1 (headless)";
+
+fn finish(
+    domain: &str,
+    outcome: CrawlOutcome,
+    pages: Vec<CrawledPage>,
+    fetch_attempts: usize,
+    robots_skipped: usize,
+    robots_blocked: bool,
+    delay_per_fetch: u64,
+) -> DomainCrawl {
+    DomainCrawl {
+        domain: domain.to_string(),
+        outcome,
+        politeness_delay_ms: delay_per_fetch * fetch_attempts.saturating_sub(1) as u64,
+        pages,
+        fetch_attempts,
+        robots_skipped,
+        robots_blocked,
+    }
+}
+
+/// Crawl one domain with the §3.1 navigation policy, honoring robots.txt.
+pub fn crawl_domain(client: &Client, domain: &str) -> DomainCrawl {
+    let mut pages: Vec<CrawledPage> = Vec::new();
+    let mut fetch_attempts = 0usize;
+    let mut robots_skipped = 0usize;
+    let mut visited: HashSet<Url> = HashSet::new();
+
+    let home_url = match Url::parse(&format!("https://{domain}/")) {
+        Ok(u) => u,
+        Err(e) => {
+            return finish(
+                domain,
+                CrawlOutcome::TransportFailure(format!("bad domain: {e}")),
+                pages,
+                fetch_attempts,
+                0,
+                false,
+                DEFAULT_POLITENESS_MS,
+            )
+        }
+    };
+
+    // 0. robots.txt (not counted as a crawled page).
+    let robots = fetch_robots(client, &home_url);
+    let delay_per_fetch = robots
+        .crawl_delay_ms(USER_AGENT)
+        .unwrap_or(DEFAULT_POLITENESS_MS);
+    if robots.blocks_everything(USER_AGENT) {
+        return finish(
+            domain,
+            CrawlOutcome::NoPrivacyPage,
+            pages,
+            fetch_attempts,
+            0,
+            true,
+            delay_per_fetch,
+        );
+    }
+    let allowed = |url: &Url| robots.is_allowed(USER_AGENT, &url.path);
+
+    // 1. Homepage.
+    fetch_attempts += 1;
+    let home = match client.fetch(&home_url) {
+        Ok(res) => res,
+        Err(e) => {
+            return finish(
+                domain,
+                CrawlOutcome::TransportFailure(e.to_string()),
+                pages,
+                fetch_attempts,
+                robots_skipped,
+                false,
+                delay_per_fetch,
+            )
+        }
+    };
+    visited.insert(home_url.clone());
+    visited.insert(home.final_url.clone());
+    let home_doc = extract(&String::from_utf8_lossy(&home.response.body));
+    pages.push(CrawledPage {
+        url: home_url.clone(),
+        final_url: home.final_url.clone(),
+        status: home.response.status,
+        content_type: home.response.content_type,
+        body: home.response.body_text(),
+        via: LinkSource::Homepage,
+    });
+
+    if !home.response.status.is_success() {
+        return finish(
+            domain,
+            CrawlOutcome::NoPrivacyPage,
+            pages,
+            fetch_attempts,
+            robots_skipped,
+            false,
+            delay_per_fetch,
+        );
+    }
+
+    // 2. Up to three "privacy" links from the bottom of the homepage.
+    let mut seed_targets: Vec<(Url, LinkSource)> = Vec::new();
+    let footer_links = home_doc
+        .links_containing("privacy")
+        .filter(|l| l.region == PageRegion::Footer)
+        .take(MAX_FOOTER_LINKS);
+    for link in footer_links {
+        if let Ok(url) = home_url.join(&link.href) {
+            if url.same_site(&home_url) {
+                seed_targets.push((url, LinkSource::FooterLink));
+            }
+        }
+    }
+    // 3. Standard path probes.
+    if let Ok(u) = home_url.join("/privacy-policy") {
+        seed_targets.push((u, LinkSource::ProbePolicyPath));
+    }
+    if let Ok(u) = home_url.join("/privacy") {
+        seed_targets.push((u, LinkSource::ProbePrivacyPath));
+    }
+
+    // Fetch the seed pages; collect header links from each.
+    let mut header_targets: Vec<(Url, LinkSource)> = Vec::new();
+    for (url, via) in seed_targets {
+        if pages.len() >= MAX_PAGES {
+            break;
+        }
+        // Footer-link targets are skipped if already visited; the two path
+        // probes are deliberately always attempted (and recorded) even when
+        // a footer link pointed at the same URL — the probe-hit statistics
+        // of §3.1 are defined over the probes themselves. privacy_pages()
+        // deduplicates by final URL, so annotation is unaffected.
+        if visited.contains(&url)
+            && !matches!(via, LinkSource::ProbePolicyPath | LinkSource::ProbePrivacyPath)
+        {
+            continue;
+        }
+        if !allowed(&url) {
+            robots_skipped += 1;
+            continue;
+        }
+        fetch_attempts += 1;
+        let fetched = match client.fetch(&url) {
+            Ok(res) => res,
+            Err(_) => continue,
+        };
+        visited.insert(url.clone());
+        visited.insert(fetched.final_url.clone());
+        let body = fetched.response.body_text();
+        if fetched.response.status.is_success()
+            && fetched.response.content_type == ContentType::Html
+        {
+            let doc = extract(&body);
+            for link in doc
+                .links_containing("privacy")
+                .filter(|l| l.region == PageRegion::Header)
+                .take(MAX_HEADER_LINKS)
+            {
+                if let Ok(target) = fetched.final_url.join(&link.href) {
+                    if target.same_site(&home_url) && !visited.contains(&target) {
+                        header_targets.push((target, LinkSource::HeaderLink));
+                    }
+                }
+            }
+        }
+        pages.push(CrawledPage {
+            url,
+            final_url: fetched.final_url,
+            status: fetched.response.status,
+            content_type: fetched.response.content_type,
+            body,
+            via,
+        });
+    }
+
+    // 4. Header "privacy" links from the seed pages.
+    for (url, via) in header_targets {
+        if pages.len() >= MAX_PAGES {
+            break;
+        }
+        if visited.contains(&url) {
+            continue;
+        }
+        if !allowed(&url) {
+            robots_skipped += 1;
+            continue;
+        }
+        fetch_attempts += 1;
+        let fetched = match client.fetch(&url) {
+            Ok(res) => res,
+            Err(_) => continue,
+        };
+        visited.insert(url.clone());
+        visited.insert(fetched.final_url.clone());
+        pages.push(CrawledPage {
+            url,
+            final_url: fetched.final_url,
+            status: fetched.response.status,
+            content_type: fetched.response.content_type,
+            body: fetched.response.body_text(),
+            via,
+        });
+    }
+
+    let outcome = if pages.iter().any(|p| p.is_potential_privacy_page()) {
+        CrawlOutcome::Success
+    } else {
+        CrawlOutcome::NoPrivacyPage
+    };
+    finish(domain, outcome, pages, fetch_attempts, robots_skipped, false, delay_per_fetch)
+}
+
+/// Fetch and parse robots.txt; any failure (absent file, transport error,
+/// non-HTML content type aside) yields the allow-everything policy.
+fn fetch_robots(client: &Client, home_url: &Url) -> RobotsPolicy {
+    let Ok(robots_url) = home_url.join("/robots.txt") else {
+        return RobotsPolicy::default();
+    };
+    match client.fetch(&robots_url) {
+        Ok(res) if res.response.status.is_success() => {
+            RobotsPolicy::parse(&res.response.body_text())
+        }
+        _ => RobotsPolicy::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aipan_net::fault::{FaultConfig, FaultInjector};
+    use aipan_net::host::StaticSite;
+    use aipan_net::http::Response;
+    use aipan_net::Internet;
+
+    fn client_for(net: Internet) -> Client {
+        Client::new(net, FaultInjector::new(0, FaultConfig::none()))
+    }
+
+    fn home_with_footer(links: &str) -> Response {
+        Response::html(format!(
+            "<html><body><main><p>welcome to our homepage</p></main>\
+             <footer>{links}</footer></body></html>"
+        ))
+    }
+
+    #[test]
+    fn finds_policy_via_footer_link() {
+        let net = Internet::new();
+        net.register(
+            "a.com",
+            StaticSite::new()
+                .page("/", home_with_footer("<a href=\"/legal/pp\">Privacy Policy</a>"))
+                .page("/legal/pp", Response::html("<h1>Privacy</h1><p>policy text</p>")),
+        );
+        let crawl = crawl_domain(&client_for(net), "a.com");
+        assert!(crawl.is_success());
+        assert!(crawl
+            .pages
+            .iter()
+            .any(|p| p.via == LinkSource::FooterLink && p.status.is_success()));
+        // Probes 404 but were attempted.
+        assert!(!crawl.policy_path_exists());
+        assert!(!crawl.privacy_path_exists());
+    }
+
+    #[test]
+    fn finds_policy_via_probe_without_any_link() {
+        let net = Internet::new();
+        net.register(
+            "b.com",
+            StaticSite::new()
+                .page("/", home_with_footer(""))
+                .page("/privacy-policy", Response::html("<p>the policy</p>")),
+        );
+        let crawl = crawl_domain(&client_for(net), "b.com");
+        assert!(crawl.is_success());
+        assert!(crawl.policy_path_exists());
+        assert!(!crawl.privacy_path_exists());
+    }
+
+    #[test]
+    fn follows_header_links_from_privacy_center() {
+        let net = Internet::new();
+        net.register(
+            "c.com",
+            StaticSite::new()
+                .page("/", home_with_footer("<a href=\"/privacy\">Privacy Center</a>"))
+                .page(
+                    "/privacy",
+                    Response::html(
+                        "<header><a href=\"/privacy/full\">Privacy Policy</a></header>\
+                         <main><p>center</p></main>",
+                    ),
+                )
+                .page("/privacy/full", Response::html("<p>full policy text</p>")),
+        );
+        let crawl = crawl_domain(&client_for(net), "c.com");
+        assert!(crawl.is_success());
+        let deep = crawl
+            .pages
+            .iter()
+            .find(|p| p.via == LinkSource::HeaderLink)
+            .expect("followed header link");
+        assert_eq!(deep.final_url.path, "/privacy/full");
+    }
+
+    #[test]
+    fn no_privacy_page_when_nothing_exists() {
+        let net = Internet::new();
+        net.register("d.com", StaticSite::new().page("/", home_with_footer("")));
+        let crawl = crawl_domain(&client_for(net), "d.com");
+        assert_eq!(crawl.outcome, CrawlOutcome::NoPrivacyPage);
+        assert!(!crawl.is_success());
+    }
+
+    #[test]
+    fn transport_failure_reported() {
+        let net = Internet::new(); // d.com unregistered → DNS failure.
+        let crawl = crawl_domain(&client_for(net), "missing.com");
+        assert!(matches!(crawl.outcome, CrawlOutcome::TransportFailure(_)));
+    }
+
+    #[test]
+    fn javascript_links_ignored() {
+        let net = Internet::new();
+        net.register(
+            "e.com",
+            StaticSite::new().page(
+                "/",
+                home_with_footer("<a href=\"javascript:openPrivacy()\">Privacy Policy</a>"),
+            ),
+        );
+        let crawl = crawl_domain(&client_for(net), "e.com");
+        assert_eq!(crawl.outcome, CrawlOutcome::NoPrivacyPage);
+    }
+
+    #[test]
+    fn offsite_links_ignored() {
+        let net = Internet::new();
+        net.register(
+            "f.com",
+            StaticSite::new().page(
+                "/",
+                home_with_footer("<a href=\"https://other.com/privacy\">Privacy Policy</a>"),
+            ),
+        );
+        net.register("other.com", StaticSite::new().page("/privacy", Response::html("x")));
+        let crawl = crawl_domain(&client_for(net), "f.com");
+        assert_eq!(crawl.outcome, CrawlOutcome::NoPrivacyPage);
+    }
+
+    #[test]
+    fn footer_links_capped_at_three() {
+        let net = Internet::new();
+        let footer: String = (0..6)
+            .map(|i| format!("<a href=\"/privacy{i}\">Privacy {i}</a>"))
+            .collect();
+        let mut site = StaticSite::new().page("/", home_with_footer(&footer));
+        for i in 0..6 {
+            site = site.page(&format!("/privacy{i}"), Response::html("<p>p</p>"));
+        }
+        net.register("g.com", site);
+        let crawl = crawl_domain(&client_for(net), "g.com");
+        let footer_fetches = crawl
+            .pages
+            .iter()
+            .filter(|p| p.via == LinkSource::FooterLink)
+            .count();
+        assert_eq!(footer_fetches, MAX_FOOTER_LINKS);
+    }
+
+    #[test]
+    fn page_budget_never_exceeded() {
+        // A pathological site where every page links five more privacy pages.
+        let net = Internet::new();
+        let mut site = StaticSite::new();
+        let footer: String = (0..3)
+            .map(|i| format!("<a href=\"/privacy-hub{i}\">Privacy hub {i}</a>"))
+            .collect();
+        site = site.page("/", home_with_footer(&footer));
+        for i in 0..3 {
+            let header: String = (0..5)
+                .map(|j| format!("<a href=\"/privacy-leaf{i}{j}\">Privacy leaf</a>"))
+                .collect();
+            site = site.page(
+                &format!("/privacy-hub{i}"),
+                Response::html(format!("<header>{header}</header><main><p>hub</p></main>")),
+            );
+            for j in 0..5 {
+                site = site.page(
+                    &format!("/privacy-leaf{i}{j}"),
+                    Response::html("<p>leaf</p>"),
+                );
+            }
+        }
+        net.register("h.com", site);
+        let crawl = crawl_domain(&client_for(net), "h.com");
+        assert!(crawl.pages.len() <= MAX_PAGES, "{} pages", crawl.pages.len());
+        assert!(crawl.fetch_attempts <= MAX_PAGES + 2);
+    }
+
+    #[test]
+    fn privacy_pages_deduplicated_by_redirect_target() {
+        let net = Internet::new();
+        net.register(
+            "i.com",
+            StaticSite::new()
+                .page("/", home_with_footer("<a href=\"/privacy-policy\">Privacy Policy</a>"))
+                .page("/privacy-policy", Response::html("<p>one true policy</p>"))
+                .page("/privacy", Response::redirect(Status::MOVED_PERMANENTLY, "/privacy-policy")),
+        );
+        let crawl = crawl_domain(&client_for(net), "i.com");
+        assert!(crawl.policy_path_exists());
+        assert!(crawl.privacy_path_exists());
+        assert_eq!(crawl.privacy_pages().len(), 1, "redirected duplicate merged");
+    }
+
+    #[test]
+    fn robots_disallow_all_blocks_crawl() {
+        let net = Internet::new();
+        net.register(
+            "r.com",
+            StaticSite::new()
+                .page("/robots.txt", Response {
+                    status: Status::OK,
+                    content_type: ContentType::Plain,
+                    body: "User-agent: *\nDisallow: /\n".into(),
+                    location: None,
+                })
+                .page("/", home_with_footer("<a href=\"/privacy\">Privacy Policy</a>"))
+                .page("/privacy", Response::html("<p>policy</p>")),
+        );
+        let crawl = crawl_domain(&client_for(net), "r.com");
+        assert!(crawl.robots_blocked);
+        assert_eq!(crawl.outcome, CrawlOutcome::NoPrivacyPage);
+        assert!(crawl.pages.is_empty(), "nothing may be fetched");
+    }
+
+    #[test]
+    fn robots_path_rules_skip_disallowed_targets() {
+        let net = Internet::new();
+        net.register(
+            "s.com",
+            StaticSite::new()
+                .page("/robots.txt", Response {
+                    status: Status::OK,
+                    content_type: ContentType::Plain,
+                    body: "User-agent: *\nDisallow: /privacy-policy\nCrawl-delay: 2\n".into(),
+                    location: None,
+                })
+                .page("/", home_with_footer("<a href=\"/privacy\">Privacy Policy</a>"))
+                .page("/privacy", Response::html("<p>the policy text</p>"))
+                .page("/privacy-policy", Response::html("<p>forbidden copy</p>")),
+        );
+        let crawl = crawl_domain(&client_for(net), "s.com");
+        assert!(crawl.is_success(), "allowed path still crawled");
+        assert!(crawl.robots_skipped >= 1, "disallowed probe skipped");
+        assert!(
+            crawl.pages.iter().all(|p| p.final_url.path != "/privacy-policy"),
+            "disallowed path must not be fetched"
+        );
+        // Crawl-delay: 2 → 2000 ms between fetches.
+        assert!(crawl.politeness_delay_ms >= 2000);
+    }
+
+    #[test]
+    fn missing_robots_allows_everything() {
+        let net = Internet::new();
+        net.register(
+            "t.com",
+            StaticSite::new()
+                .page("/", home_with_footer(""))
+                .page("/privacy", Response::html("<p>p</p>")),
+        );
+        let crawl = crawl_domain(&client_for(net), "t.com");
+        assert!(crawl.is_success());
+        assert!(!crawl.robots_blocked);
+        assert_eq!(crawl.robots_skipped, 0);
+    }
+
+    #[test]
+    fn blocked_site_yields_no_success() {
+        let net = Internet::new();
+        net.register(
+            "j.com",
+            StaticSite::new().page("/", home_with_footer("<a href=\"/privacy\">Privacy</a>")),
+        );
+        let cfg = FaultConfig { block_crawlers: 1.0, ..FaultConfig::none() };
+        let client = Client::new(net, FaultInjector::new(0, cfg));
+        let crawl = crawl_domain(&client, "j.com");
+        // The bot wall serves 403s: homepage not successful → no privacy page.
+        assert_eq!(crawl.outcome, CrawlOutcome::NoPrivacyPage);
+    }
+}

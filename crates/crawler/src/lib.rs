@@ -1,0 +1,38 @@
+//! # aipan-crawler
+//!
+//! The privacy-page crawler — AIPAN-RS's stand-in for the paper's
+//! Crawlee/Playwright crawler, implementing the §3.1 navigation policy
+//! exactly:
+//!
+//! 1. fetch the homepage;
+//! 2. follow up to **three** links containing the word "privacy" from the
+//!    *bottom* of the homepage;
+//! 3. probe `/privacy-policy` and `/privacy`;
+//! 4. follow up to **five** links containing "privacy" from the *top* of
+//!    each of those five pages (finding policies behind dedicated privacy
+//!    center pages);
+//! 5. never fetch more than **31** pages per site.
+//!
+//! A domain crawl *succeeds* when at least one potential privacy page
+//! (a non-homepage page reached via the heuristics) returns an HTTP status
+//! below 400.
+//!
+//! The crawler honors robots.txt ([`robots`]): it fetches and parses the
+//! exclusion policy before crawling, skips disallowed paths, and accounts
+//! the politeness delay implied by `Crawl-delay`.
+//!
+//! Modules: [`crawl`] (single-domain procedure), [`pool`] (crossbeam worker
+//! pool for whole-universe crawls with graceful shutdown), [`report`]
+//! (funnel accounting matching §3.1/§4).
+
+#![warn(missing_docs)]
+
+pub mod crawl;
+pub mod pool;
+pub mod report;
+pub mod robots;
+
+pub use crawl::{crawl_domain, CrawlOutcome, CrawledPage, DomainCrawl, LinkSource, MAX_PAGES};
+pub use pool::{crawl_all, PoolConfig};
+pub use report::{CrawlFunnel, CrawlReport};
+pub use robots::RobotsPolicy;

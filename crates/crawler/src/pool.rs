@@ -1,0 +1,156 @@
+//! Whole-universe crawling on a crossbeam worker pool.
+//!
+//! Work distribution follows the channel-based worker pattern of the
+//! networking guides (adapted from async task spawning to scoped threads,
+//! since the dependency set is synchronous): a bounded job channel feeds
+//! `workers` threads, each driving its own clone of the shared [`Client`];
+//! results flow back over a second channel and are re-sorted by domain so
+//! output order is deterministic regardless of scheduling.
+
+use crate::crawl::{crawl_domain, DomainCrawl};
+use aipan_net::Client;
+use crossbeam::channel;
+
+/// Worker-pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Number of crawler worker threads.
+    pub workers: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(16))
+            .unwrap_or(4);
+        PoolConfig { workers }
+    }
+}
+
+/// Crawl every domain in `domains` and return the results sorted by domain.
+///
+/// The pool shuts down gracefully: the job channel is closed after the last
+/// job, workers drain it and exit, and the scope joins them all before
+/// returning.
+pub fn crawl_all(client: &Client, domains: &[String], config: PoolConfig) -> Vec<DomainCrawl> {
+    let workers = config.workers.max(1);
+    let (job_tx, job_rx) = channel::bounded::<String>(workers * 2);
+    let (res_tx, res_rx) = channel::unbounded::<DomainCrawl>();
+
+    let mut results: Vec<DomainCrawl> = Vec::with_capacity(domains.len());
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let client = client.clone();
+            scope.spawn(move |_| {
+                for domain in job_rx.iter() {
+                    let crawl = crawl_domain(&client, &domain);
+                    if res_tx.send(crawl).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(job_rx);
+        drop(res_tx);
+
+        // Feed jobs from this thread while collecting results to avoid
+        // deadlock on the bounded job channel.
+        let feeder = scope.spawn({
+            let job_tx = job_tx.clone();
+            let domains = domains.to_vec();
+            move |_| {
+                for d in domains {
+                    if job_tx.send(d).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        drop(job_tx);
+        for crawl in res_rx.iter() {
+            results.push(crawl);
+        }
+        feeder.join().expect("feeder thread");
+    })
+    .expect("crawl pool");
+
+    results.sort_by(|a, b| a.domain.cmp(&b.domain));
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aipan_net::fault::{FaultConfig, FaultInjector};
+    use aipan_net::host::StaticSite;
+    use aipan_net::http::Response;
+    use aipan_net::Internet;
+
+    fn make_net(n: usize) -> (Internet, Vec<String>) {
+        let net = Internet::new();
+        let mut domains = Vec::new();
+        for i in 0..n {
+            let domain = format!("site{i}.com");
+            net.register(
+                &domain,
+                StaticSite::new()
+                    .page(
+                        "/",
+                        Response::html(
+                            "<footer><a href=\"/privacy\">Privacy Policy</a></footer>",
+                        ),
+                    )
+                    .page("/privacy", Response::html("<p>policy</p>")),
+            );
+            domains.push(domain);
+        }
+        (net, domains)
+    }
+
+    #[test]
+    fn crawls_all_domains_sorted() {
+        let (net, mut domains) = make_net(37);
+        let client = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
+        let results = crawl_all(&client, &domains, PoolConfig { workers: 4 });
+        assert_eq!(results.len(), 37);
+        domains.sort();
+        let got: Vec<_> = results.iter().map(|r| r.domain.clone()).collect();
+        assert_eq!(got, domains);
+        assert!(results.iter().all(|r| r.is_success()));
+    }
+
+    #[test]
+    fn single_worker_matches_many_workers() {
+        let (net, domains) = make_net(12);
+        let client1 = Client::new(net.clone(), FaultInjector::new(0, FaultConfig::none()));
+        let client8 = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
+        let a = crawl_all(&client1, &domains, PoolConfig { workers: 1 });
+        let b = crawl_all(&client8, &domains, PoolConfig { workers: 8 });
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.pages.len(), y.pages.len());
+        }
+    }
+
+    #[test]
+    fn empty_domain_list() {
+        let (net, _) = make_net(1);
+        let client = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
+        let results = crawl_all(&client, &[], PoolConfig::default());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn unknown_domains_reported_as_failures() {
+        let (net, mut domains) = make_net(3);
+        domains.push("ghost.com".to_string());
+        let client = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
+        let results = crawl_all(&client, &domains, PoolConfig { workers: 2 });
+        let ghost = results.iter().find(|r| r.domain == "ghost.com").unwrap();
+        assert!(!ghost.is_success());
+    }
+}

@@ -1,0 +1,310 @@
+//! Stack-based DOM construction from the token stream.
+//!
+//! Implements the subset of the HTML tree-construction rules that matters
+//! for content extraction: void elements never take children, `<p>` and
+//! `<li>`-style elements implicitly close their predecessors, and unmatched
+//! end tags are ignored. The resulting tree is an ordinary owned arena of
+//! [`Node`]s.
+
+use crate::tokenizer::{tokenize, Attribute, Token};
+
+/// Kind of a DOM node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// Synthetic root of the document.
+    Document,
+    /// An element with a (lower-case) tag name and attributes.
+    Element {
+        /// Tag name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<Attribute>,
+    },
+    /// A text node (entity-decoded).
+    Text(String),
+}
+
+/// A node in the owned DOM tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// What kind of node this is.
+    pub kind: NodeKind,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    /// Parse an HTML document into a tree rooted at a
+    /// [`NodeKind::Document`] node.
+    pub fn parse(html: &str) -> Node {
+        build(tokenize(html))
+    }
+
+    /// Element tag name, if this is an element.
+    pub fn tag(&self) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Value of attribute `name`, if this is an element carrying it.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Element { attrs, .. } => attrs
+                .iter()
+                .find(|a| a.name == name)
+                .map(|a| a.value.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Concatenated text of this subtree (no layout, single spaces between
+    /// text nodes). For layout-aware extraction use [`crate::text::extract`].
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out.trim().to_string()
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        match &self.kind {
+            NodeKind::Text(t) => {
+                if !out.is_empty() && !out.ends_with(' ') {
+                    out.push(' ');
+                }
+                out.push_str(t.trim());
+            }
+            _ => {
+                for c in &self.children {
+                    c.collect_text(out);
+                }
+            }
+        }
+    }
+
+    /// Depth-first pre-order iterator over the subtree (including `self`).
+    pub fn descendants(&self) -> Descendants<'_> {
+        Descendants { stack: vec![self] }
+    }
+
+    /// First descendant element with the given tag name.
+    pub fn find(&self, tag: &str) -> Option<&Node> {
+        self.descendants().find(|n| n.tag() == Some(tag))
+    }
+}
+
+/// Iterator over a subtree in document order.
+pub struct Descendants<'a> {
+    stack: Vec<&'a Node>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = &'a Node;
+
+    fn next(&mut self) -> Option<&'a Node> {
+        let node = self.stack.pop()?;
+        for child in node.children.iter().rev() {
+            self.stack.push(child);
+        }
+        Some(node)
+    }
+}
+
+/// Elements that never have children.
+fn is_void(name: &str) -> bool {
+    matches!(
+        name,
+        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
+            | "param" | "source" | "track" | "wbr"
+    )
+}
+
+/// When `incoming` starts, which open elements does it implicitly close?
+fn implicitly_closes(incoming: &str, open: &str) -> bool {
+    match incoming {
+        "p" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "ul" | "ol" | "table" | "div"
+        | "section" | "article" | "header" | "footer" | "nav" | "blockquote" | "pre" => {
+            open == "p"
+        }
+        "li" => open == "li",
+        "tr" => matches!(open, "tr" | "td" | "th"),
+        "td" | "th" => matches!(open, "td" | "th"),
+        "option" => open == "option",
+        "dt" | "dd" => matches!(open, "dt" | "dd"),
+        _ => false,
+    }
+}
+
+fn build(tokens: Vec<Token>) -> Node {
+    // Arena of partially built nodes; stack holds indices of open nodes.
+    struct Open {
+        kind: NodeKind,
+        children: Vec<Node>,
+    }
+    let mut stack: Vec<Open> = vec![Open { kind: NodeKind::Document, children: Vec::new() }];
+
+    fn close_top(stack: &mut Vec<Open>) {
+        // Never pop the document root.
+        if stack.len() <= 1 {
+            return;
+        }
+        let top = stack.pop().expect("stack non-empty");
+        let node = Node { kind: top.kind, children: top.children };
+        stack.last_mut().expect("root remains").children.push(node);
+    }
+
+    for token in tokens {
+        match token {
+            Token::Text(t) => {
+                stack
+                    .last_mut()
+                    .expect("root")
+                    .children
+                    .push(Node { kind: NodeKind::Text(t), children: Vec::new() });
+            }
+            Token::Comment(_) | Token::Doctype(_) => {}
+            Token::StartTag { name, attrs, self_closing } => {
+                // Implicit closes.
+                while stack.len() > 1 {
+                    let top_name = match &stack.last().expect("non-empty").kind {
+                        NodeKind::Element { name, .. } => name.clone(),
+                        _ => break,
+                    };
+                    if implicitly_closes(&name, &top_name) {
+                        close_top(&mut stack);
+                    } else {
+                        break;
+                    }
+                }
+                let kind = NodeKind::Element { name: name.clone(), attrs };
+                if self_closing || is_void(&name) {
+                    stack
+                        .last_mut()
+                        .expect("root")
+                        .children
+                        .push(Node { kind, children: Vec::new() });
+                } else {
+                    stack.push(Open { kind, children: Vec::new() });
+                }
+            }
+            Token::EndTag { name } => {
+                // Find a matching open element; if none, ignore.
+                let matching = stack.iter().rposition(|o| {
+                    matches!(&o.kind, NodeKind::Element { name: n, .. } if *n == name)
+                });
+                if let Some(idx) = matching {
+                    while stack.len() > idx {
+                        close_top(&mut stack);
+                    }
+                }
+            }
+        }
+    }
+    while stack.len() > 1 {
+        close_top(&mut stack);
+    }
+    let root = stack.pop().expect("document root");
+    Node { kind: root.kind, children: root.children }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_tree() {
+        let doc = Node::parse("<div><p>one</p><p>two</p></div>");
+        let div = doc.find("div").unwrap();
+        let ps: Vec<_> = div.children.iter().filter(|c| c.tag() == Some("p")).collect();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].text_content(), "one");
+        assert_eq!(ps[1].text_content(), "two");
+    }
+
+    #[test]
+    fn p_implicitly_closed_by_p() {
+        let doc = Node::parse("<p>one<p>two");
+        let ps: Vec<_> = doc.descendants().filter(|n| n.tag() == Some("p")).collect();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].text_content(), "one");
+        assert_eq!(ps[1].text_content(), "two");
+    }
+
+    #[test]
+    fn li_implicitly_closed() {
+        let doc = Node::parse("<ul><li>a<li>b<li>c</ul>");
+        let lis: Vec<_> = doc.descendants().filter(|n| n.tag() == Some("li")).collect();
+        assert_eq!(lis.len(), 3);
+        // No nesting: each li's text is exactly its own.
+        assert_eq!(lis[1].text_content(), "b");
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let doc = Node::parse("<p>a<br>b</p>");
+        let p = doc.find("p").unwrap();
+        assert_eq!(p.children.len(), 3);
+        assert_eq!(p.children[1].tag(), Some("br"));
+        assert!(p.children[1].children.is_empty());
+    }
+
+    #[test]
+    fn unmatched_end_tag_ignored() {
+        let doc = Node::parse("<div>x</span></div>");
+        assert_eq!(doc.find("div").unwrap().text_content(), "x");
+    }
+
+    #[test]
+    fn end_tag_closes_intervening_elements() {
+        let doc = Node::parse("<div><b>bold text</div>after");
+        // </div> force-closes <b>.
+        let div = doc.find("div").unwrap();
+        assert_eq!(div.text_content(), "bold text");
+        let texts: Vec<_> = doc
+            .children
+            .iter()
+            .filter_map(|n| match &n.kind {
+                NodeKind::Text(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(texts, vec!["after".to_string()]);
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let doc = Node::parse(r#"<a href="/privacy-policy" rel=nofollow>Privacy</a>"#);
+        let a = doc.find("a").unwrap();
+        assert_eq!(a.attr("href"), Some("/privacy-policy"));
+        assert_eq!(a.attr("rel"), Some("nofollow"));
+        assert_eq!(a.attr("missing"), None);
+    }
+
+    #[test]
+    fn text_content_joins_with_spaces() {
+        let doc = Node::parse("<p>Hello <b>dear</b> world</p>");
+        assert_eq!(doc.text_content(), "Hello dear world");
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let doc = Node::parse("<div><p>a</p><span>b</span></div>");
+        let tags: Vec<_> = doc.descendants().filter_map(|n| n.tag()).collect();
+        assert_eq!(tags, vec!["div", "p", "span"]);
+    }
+
+    #[test]
+    fn malformed_soup_never_panics() {
+        for s in [
+            "<<<>>>",
+            "<div><div><div>",
+            "</p></p>",
+            "<a <b> c>",
+            "<p>x</",
+            "<table><tr><td>a<td>b<tr><td>c</table>",
+        ] {
+            let _ = Node::parse(s);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # aipan-html
+//!
+//! HTML parsing and text extraction for the AIPAN-RS pipeline — the
+//! stand-in for the `inscriptis` HTML-to-text library used by the paper
+//! (§3.2.1) plus the heading/bold detection of Appendix B.
+//!
+//! The crate is built in three layers:
+//!
+//! 1. [`tokenizer`] — a forgiving HTML tokenizer (tags, attributes, text,
+//!    comments, raw-text elements like `<script>`). Malformed markup never
+//!    panics; it degrades to text.
+//! 2. [`dom`] — a stack-based tree builder with the implicit-close rules
+//!    needed for real-world pages (`<p>`, `<li>`, void elements).
+//! 3. [`text`] — the inscriptis-style renderer: block-level layout into
+//!    numbered lines, heading detection (`<h1>`–`<h6>` plus bold text on its
+//!    own line, per Appendix B), anchor extraction with page-region
+//!    attribution (header/body/footer), and title extraction.
+//!
+//! [`lang`] adds the stop-word-based English detector used to drop
+//! non-English policies, and [`entity`] decodes character references.
+
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod entity;
+pub mod lang;
+pub mod text;
+pub mod tokenizer;
+
+pub use dom::{Node, NodeKind};
+pub use lang::english_score;
+pub use text::{extract, ExtractedDoc, HeadingLevel, Line, LineKind, PageLink, PageRegion};

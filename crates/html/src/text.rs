@@ -1,0 +1,564 @@
+//! Inscriptis-style layout-aware text extraction.
+//!
+//! Renders a DOM into a sequence of numbered [`Line`]s, the representation
+//! the annotation prompts consume (each input line is prefixed `[123]` by
+//! the prompt builder). Along the way it records the two signals Appendix B
+//! needs for segmentation:
+//!
+//! * heading lines — text inside `<h1>`–`<h6>`, **plus bold text
+//!   (`<b>`/`<strong>`) that appears on a line of its own** (not inline with
+//!   non-bold text), exactly as the paper defines heading detection;
+//! * anchors — with their text, target, and page region (header/body/footer),
+//!   which drive the §3.1 crawler link heuristics.
+//!
+//! Content of `<script>`, `<style>`, `<noscript>`, `<template>`, and
+//! collapsed `<details>` elements is not rendered — the latter reproduces the
+//! paper's observed failure mode of policies hidden under expandable
+//! elements. Image `alt` text is likewise not rendered (image-based
+//! policies yield no text).
+
+use crate::dom::{Node, NodeKind};
+use serde::{Deserialize, Serialize};
+
+/// Heading level of a heading line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HeadingLevel {
+    /// `<h1>` … `<h6>`.
+    H1,
+    /// `<h2>`.
+    H2,
+    /// `<h3>`.
+    H3,
+    /// `<h4>`.
+    H4,
+    /// `<h5>`.
+    H5,
+    /// `<h6>`.
+    H6,
+    /// Bold text on its own line (ranked below `<h6>` per Appendix B).
+    Bold,
+}
+
+impl HeadingLevel {
+    /// Numeric rank for hierarchy purposes: H1=1 … H6=6, Bold=7.
+    pub fn rank(self) -> u8 {
+        match self {
+            HeadingLevel::H1 => 1,
+            HeadingLevel::H2 => 2,
+            HeadingLevel::H3 => 3,
+            HeadingLevel::H4 => 4,
+            HeadingLevel::H5 => 5,
+            HeadingLevel::H6 => 6,
+            HeadingLevel::Bold => 7,
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<HeadingLevel> {
+        Some(match tag {
+            "h1" => HeadingLevel::H1,
+            "h2" => HeadingLevel::H2,
+            "h3" => HeadingLevel::H3,
+            "h4" => HeadingLevel::H4,
+            "h5" => HeadingLevel::H5,
+            "h6" => HeadingLevel::H6,
+            _ => return None,
+        })
+    }
+}
+
+/// Classification of an extracted line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LineKind {
+    /// A heading line (explicit heading tag or bold-on-own-line).
+    Heading(HeadingLevel),
+    /// Ordinary flowing text.
+    Text,
+}
+
+/// One extracted text line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Line {
+    /// The line's text (whitespace-normalized, entity-decoded).
+    pub text: String,
+    /// Heading or body text.
+    pub kind: LineKind,
+}
+
+/// Page region an anchor was found in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageRegion {
+    /// Inside `<header>`/`<nav>`, or in the top of the page.
+    Header,
+    /// Main content.
+    Body,
+    /// Inside `<footer>`, or in the bottom of the page.
+    Footer,
+}
+
+/// An anchor extracted from the page.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageLink {
+    /// Raw `href` attribute value.
+    pub href: String,
+    /// Anchor text (whitespace-normalized).
+    pub text: String,
+    /// 1-based line the anchor text starts on (0 if the anchor produced no
+    /// text and no line existed yet).
+    pub line: usize,
+    /// Region attribution.
+    pub region: PageRegion,
+}
+
+/// The result of extracting a page.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExtractedDoc {
+    /// Document title (`<title>`), if present.
+    pub title: Option<String>,
+    /// Extracted lines in document order; line numbers are index+1.
+    pub lines: Vec<Line>,
+    /// Extracted anchors in document order.
+    pub links: Vec<PageLink>,
+}
+
+impl ExtractedDoc {
+    /// Full text, one line per extracted line.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(&line.text);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total number of whitespace-separated words across all lines.
+    pub fn word_count(&self) -> usize {
+        self.lines.iter().map(|l| l.text.split_whitespace().count()).sum()
+    }
+
+    /// Number of heading lines (used by Appendix B's ">5 headings" rule).
+    pub fn heading_count(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| matches!(l.kind, LineKind::Heading(_)))
+            .count()
+    }
+
+    /// Links whose anchor text or href contains `needle` (case-insensitive).
+    pub fn links_containing(&self, needle: &str) -> impl Iterator<Item = &PageLink> {
+        let needle = needle.to_ascii_lowercase();
+        self.links.iter().filter(move |l| {
+            l.text.to_ascii_lowercase().contains(&needle)
+                || l.href.to_ascii_lowercase().contains(&needle)
+        })
+    }
+}
+
+/// Extract a page: parse `html` and render it to lines + links.
+///
+/// ```
+/// let doc = aipan_html::extract(
+///     "<h2>Information We Collect</h2><p>We collect your email address.</p>",
+/// );
+/// assert_eq!(doc.lines.len(), 2);
+/// assert_eq!(doc.heading_count(), 1);
+/// assert!(doc.text().contains("email address"));
+/// ```
+pub fn extract(html: &str) -> ExtractedDoc {
+    let dom = Node::parse(html);
+    let mut r = Renderer::default();
+    r.walk(&dom, &WalkCtx::default());
+    r.finish()
+}
+
+/// Fraction of lines from the top considered "header" when no semantic
+/// `<header>`/`<nav>` ancestor exists.
+const HEADER_FRACTION: f64 = 0.2;
+/// Fraction of lines from the bottom considered "footer" when no semantic
+/// `<footer>` ancestor exists.
+const FOOTER_FRACTION: f64 = 0.2;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct WalkCtx {
+    bold: bool,
+    heading: Option<HeadingLevel>,
+    region: Option<PageRegion>,
+    in_title: bool,
+}
+
+#[derive(Debug, Default)]
+struct Renderer {
+    lines: Vec<Line>,
+    // Current line state.
+    buf: String,
+    buf_heading: Option<HeadingLevel>,
+    buf_has_bold: bool,
+    buf_has_plain: bool,
+    title: Option<String>,
+    links: Vec<PendingLink>,
+}
+
+#[derive(Debug)]
+struct PendingLink {
+    href: String,
+    text: String,
+    line: usize,
+    region: Option<PageRegion>,
+}
+
+impl Renderer {
+    fn walk(&mut self, node: &Node, ctx: &WalkCtx) {
+        match &node.kind {
+            NodeKind::Document => {
+                for c in &node.children {
+                    self.walk(c, ctx);
+                }
+            }
+            NodeKind::Text(t) => self.push_text(t, ctx),
+            NodeKind::Element { name, .. } => self.walk_element(node, name, ctx),
+        }
+    }
+
+    fn walk_element(&mut self, node: &Node, name: &str, ctx: &WalkCtx) {
+        match name {
+            "script" | "style" | "noscript" | "template" | "iframe" | "svg" | "head" => {
+                // Head is skipped except we still want the title.
+                if name == "head" {
+                    let mut tctx = *ctx;
+                    tctx.in_title = true;
+                    if let Some(title) = node.find("title") {
+                        let text = title.text_content();
+                        if !text.is_empty() {
+                            self.title = Some(text);
+                        }
+                    }
+                    let _ = tctx;
+                }
+            }
+            "details" if node.attr("open").is_none() => {
+                // Collapsed expandable content: render only the <summary>.
+                if let Some(summary) = node.find("summary") {
+                    self.flush_line();
+                    self.walk_children(summary, ctx);
+                    self.flush_line();
+                }
+            }
+            "br" => self.flush_line(),
+            "img" | "input" | "hr" | "meta" | "link" | "base" => {}
+            "a" => {
+                let href = node.attr("href").unwrap_or("").to_string();
+                let start_line = self.lines.len() + 1;
+                let text = node.text_content();
+                self.walk_children(node, ctx);
+                if !href.is_empty() {
+                    self.links.push(PendingLink {
+                        href,
+                        text,
+                        line: start_line,
+                        region: ctx.region,
+                    });
+                }
+            }
+            "b" | "strong" => {
+                let mut c = *ctx;
+                c.bold = true;
+                self.walk_children(node, &c);
+            }
+            "header" | "nav" => {
+                let mut c = *ctx;
+                c.region = Some(PageRegion::Header);
+                self.block(node, &c);
+            }
+            "footer" => {
+                let mut c = *ctx;
+                c.region = Some(PageRegion::Footer);
+                self.block(node, &c);
+            }
+            _ => {
+                if let Some(level) = HeadingLevel::from_tag(name) {
+                    let mut c = *ctx;
+                    c.heading = Some(level);
+                    self.flush_line();
+                    self.walk_children(node, &c);
+                    self.flush_line();
+                } else if is_block(name) {
+                    self.block(node, ctx);
+                } else {
+                    self.walk_children(node, ctx);
+                }
+            }
+        }
+    }
+
+    fn block(&mut self, node: &Node, ctx: &WalkCtx) {
+        self.flush_line();
+        self.walk_children(node, ctx);
+        self.flush_line();
+    }
+
+    fn walk_children(&mut self, node: &Node, ctx: &WalkCtx) {
+        for c in &node.children {
+            self.walk(c, ctx);
+        }
+    }
+
+    fn push_text(&mut self, raw: &str, ctx: &WalkCtx) {
+        if raw.chars().all(char::is_whitespace) {
+            // Whitespace-only node: collapses to a single pending space.
+            if !self.buf.is_empty() && !self.buf.ends_with(' ') {
+                self.buf.push(' ');
+            }
+            return;
+        }
+        if raw.starts_with(char::is_whitespace)
+            && !self.buf.is_empty()
+            && !self.buf.ends_with(' ')
+        {
+            self.buf.push(' ');
+        }
+        let mut first = true;
+        for w in raw.split_whitespace() {
+            if !first {
+                self.buf.push(' ');
+            }
+            self.buf.push_str(w);
+            first = false;
+        }
+        if raw.ends_with(char::is_whitespace) {
+            self.buf.push(' ');
+        }
+        if let Some(h) = ctx.heading {
+            self.buf_heading = Some(match self.buf_heading {
+                Some(existing) if existing.rank() <= h.rank() => existing,
+                _ => h,
+            });
+        }
+        if ctx.bold {
+            self.buf_has_bold = true;
+        } else {
+            self.buf_has_plain = true;
+        }
+    }
+
+    fn flush_line(&mut self) {
+        let text = std::mem::take(&mut self.buf).trim().to_string();
+        let heading = self.buf_heading.take();
+        let has_bold = std::mem::take(&mut self.buf_has_bold);
+        let has_plain = std::mem::take(&mut self.buf_has_plain);
+        if text.is_empty() {
+            return;
+        }
+        let kind = if let Some(h) = heading {
+            LineKind::Heading(h)
+        } else if has_bold && !has_plain {
+            LineKind::Heading(HeadingLevel::Bold)
+        } else {
+            LineKind::Text
+        };
+        self.lines.push(Line { text, kind });
+    }
+
+    fn finish(mut self) -> ExtractedDoc {
+        self.flush_line();
+        let total = self.lines.len().max(1) as f64;
+        let links = self
+            .links
+            .into_iter()
+            .map(|p| {
+                let region = p.region.unwrap_or_else(|| {
+                    let frac = (p.line.max(1) - 1) as f64 / total;
+                    if frac < HEADER_FRACTION {
+                        PageRegion::Header
+                    } else if frac >= 1.0 - FOOTER_FRACTION {
+                        PageRegion::Footer
+                    } else {
+                        PageRegion::Body
+                    }
+                });
+                PageLink { href: p.href, text: p.text, line: p.line, region }
+            })
+            .collect();
+        ExtractedDoc { title: self.title, lines: self.lines, links }
+    }
+}
+
+fn is_block(name: &str) -> bool {
+    matches!(
+        name,
+        "p" | "div"
+            | "section"
+            | "article"
+            | "aside"
+            | "main"
+            | "ul"
+            | "ol"
+            | "li"
+            | "table"
+            | "tr"
+            | "td"
+            | "th"
+            | "thead"
+            | "tbody"
+            | "tfoot"
+            | "blockquote"
+            | "pre"
+            | "form"
+            | "fieldset"
+            | "figure"
+            | "figcaption"
+            | "address"
+            | "dl"
+            | "dt"
+            | "dd"
+            | "summary"
+            | "details"
+            | "body"
+            | "html"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paragraphs_become_lines() {
+        let doc = extract("<p>one two</p><p>three</p>");
+        assert_eq!(doc.lines.len(), 2);
+        assert_eq!(doc.lines[0].text, "one two");
+        assert_eq!(doc.lines[1].text, "three");
+        assert_eq!(doc.lines[0].kind, LineKind::Text);
+    }
+
+    #[test]
+    fn headings_detected_with_level() {
+        let doc = extract("<h1>Top</h1><h3>Sub</h3><p>body</p>");
+        assert_eq!(doc.lines[0].kind, LineKind::Heading(HeadingLevel::H1));
+        assert_eq!(doc.lines[1].kind, LineKind::Heading(HeadingLevel::H3));
+        assert_eq!(doc.lines[2].kind, LineKind::Text);
+        assert_eq!(doc.heading_count(), 2);
+    }
+
+    #[test]
+    fn bold_on_own_line_is_heading() {
+        let doc = extract("<p><b>Information We Collect</b></p><p>We collect stuff.</p>");
+        assert_eq!(doc.lines[0].kind, LineKind::Heading(HeadingLevel::Bold));
+        assert_eq!(doc.lines[1].kind, LineKind::Text);
+    }
+
+    #[test]
+    fn bold_inline_with_text_is_not_heading() {
+        let doc = extract("<p>We collect <b>everything</b> about you.</p>");
+        assert_eq!(doc.lines.len(), 1);
+        assert_eq!(doc.lines[0].kind, LineKind::Text);
+        assert_eq!(doc.lines[0].text, "We collect everything about you.");
+    }
+
+    #[test]
+    fn strong_counts_as_bold() {
+        let doc = extract("<div><strong>Your Rights</strong></div>");
+        assert_eq!(doc.lines[0].kind, LineKind::Heading(HeadingLevel::Bold));
+    }
+
+    #[test]
+    fn inline_elements_flow() {
+        let doc = extract("<p>one <span>two</span> <em>three</em></p>");
+        assert_eq!(doc.lines.len(), 1);
+        assert_eq!(doc.lines[0].text, "one two three");
+    }
+
+    #[test]
+    fn script_and_style_skipped() {
+        let doc = extract("<style>p{}</style><script>var x;</script><p>visible</p>");
+        assert_eq!(doc.text().trim(), "visible");
+    }
+
+    #[test]
+    fn title_extracted_not_rendered() {
+        let doc = extract("<head><title>Acme Privacy</title></head><body><p>x</p></body>");
+        assert_eq!(doc.title.as_deref(), Some("Acme Privacy"));
+        assert_eq!(doc.text().trim(), "x");
+    }
+
+    #[test]
+    fn links_with_regions_semantic() {
+        let html = r#"
+            <header><a href="/top">Privacy Center</a></header>
+            <main><p>text</p><a href="/mid">Privacy</a></main>
+            <footer><a href="/privacy">Privacy Policy</a></footer>
+        "#;
+        let doc = extract(html);
+        let by_href = |h: &str| doc.links.iter().find(|l| l.href == h).unwrap().region;
+        assert_eq!(by_href("/top"), PageRegion::Header);
+        assert_eq!(by_href("/privacy"), PageRegion::Footer);
+    }
+
+    #[test]
+    fn links_region_positional_fallback() {
+        // 20 body lines, link on the last line → footer by position.
+        let mut html = String::from("<a href='/first'>first link here</a>");
+        for i in 0..20 {
+            html.push_str(&format!("<p>filler line number {i}</p>"));
+        }
+        html.push_str("<p><a href='/last'>last link</a></p>");
+        let doc = extract(&html);
+        let first = doc.links.iter().find(|l| l.href == "/first").unwrap();
+        let last = doc.links.iter().find(|l| l.href == "/last").unwrap();
+        assert_eq!(first.region, PageRegion::Header);
+        assert_eq!(last.region, PageRegion::Footer);
+    }
+
+    #[test]
+    fn links_containing_matches_text_and_href() {
+        let doc = extract(
+            r#"<a href="/legal">Privacy Notice</a><a href="/privacy-policy">Legal</a>
+               <a href="/about">About</a>"#,
+        );
+        let hits: Vec<_> = doc.links_containing("privacy").map(|l| l.href.as_str()).collect();
+        assert_eq!(hits, vec!["/legal", "/privacy-policy"]);
+    }
+
+    #[test]
+    fn collapsed_details_hidden_open_details_shown() {
+        let closed = extract("<details><summary>More</summary><p>secret policy text</p></details>");
+        assert!(!closed.text().contains("secret policy text"));
+        assert!(closed.text().contains("More"));
+        let open = extract(
+            "<details open><summary>More</summary><p>secret policy text</p></details>",
+        );
+        assert!(open.text().contains("secret policy text"));
+    }
+
+    #[test]
+    fn image_alt_not_rendered() {
+        let doc = extract(r#"<p>before</p><img src="policy.png" alt="full policy text"><p>after</p>"#);
+        assert!(!doc.text().contains("full policy text"));
+    }
+
+    #[test]
+    fn word_count_counts_words() {
+        let doc = extract("<p>one two three</p><p>four five</p>");
+        assert_eq!(doc.word_count(), 5);
+    }
+
+    #[test]
+    fn br_splits_lines() {
+        let doc = extract("<p>line one<br>line two</p>");
+        assert_eq!(doc.lines.len(), 2);
+    }
+
+    #[test]
+    fn nested_lists_render_items_as_lines() {
+        let doc = extract("<ul><li>alpha</li><li>beta</li><li>gamma</li></ul>");
+        let texts: Vec<_> = doc.lines.iter().map(|l| l.text.as_str()).collect();
+        assert_eq!(texts, vec!["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn empty_page() {
+        let doc = extract("");
+        assert!(doc.lines.is_empty());
+        assert!(doc.links.is_empty());
+        assert_eq!(doc.word_count(), 0);
+    }
+}

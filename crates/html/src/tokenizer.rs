@@ -1,0 +1,389 @@
+//! A forgiving HTML tokenizer.
+//!
+//! Produces a flat stream of [`Token`]s: start tags (with attributes), end
+//! tags, text, comments, and doctype. Raw-text elements (`<script>`,
+//! `<style>`) swallow their content until the matching close tag, as per the
+//! HTML parsing algorithm. Malformed input never panics — stray `<` become
+//! text, unterminated constructs run to end-of-input.
+
+use crate::entity;
+
+/// A single HTML attribute, name lower-cased, value entity-decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name (lower-case).
+    pub name: String,
+    /// Attribute value ("" for bare attributes).
+    pub value: String,
+}
+
+/// One token from the input stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `<name attr=...>`; `self_closing` reflects a trailing `/`.
+    StartTag {
+        /// Tag name (lower-case).
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<Attribute>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Tag name (lower-case).
+        name: String,
+    },
+    /// Entity-decoded character data.
+    Text(String),
+    /// `<!-- ... -->` (content, undecoded).
+    Comment(String),
+    /// `<!DOCTYPE ...>` (content after `<!`, undecoded).
+    Doctype(String),
+}
+
+/// Elements whose content is raw text (no nested markup).
+fn is_raw_text(name: &str) -> bool {
+    matches!(name, "script" | "style" | "textarea" | "title")
+}
+
+/// Tokenize `input` into a vector of tokens.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Tokenizer::new(input).run()
+}
+
+struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer { input, pos: 0, tokens: Vec::new() }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.input.len() {
+            match self.rest().find('<') {
+                None => {
+                    self.emit_text(self.pos, self.input.len());
+                    break;
+                }
+                Some(rel) => {
+                    let lt = self.pos + rel;
+                    self.emit_text(self.pos, lt);
+                    self.pos = lt;
+                    self.consume_markup();
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn emit_text(&mut self, start: usize, end: usize) {
+        if start < end {
+            let decoded = entity::decode(&self.input[start..end]);
+            if !decoded.is_empty() {
+                self.tokens.push(Token::Text(decoded));
+            }
+        }
+    }
+
+    /// `self.pos` is at a `<`. Consume one markup construct.
+    fn consume_markup(&mut self) {
+        let rest = self.rest();
+        debug_assert!(rest.starts_with('<'));
+        let after = &rest[1..];
+
+        if let Some(comment) = after.strip_prefix("!--") {
+            // Comment: until -->
+            match comment.find("-->") {
+                Some(end) => {
+                    self.tokens.push(Token::Comment(comment[..end].to_string()));
+                    self.pos += 1 + 3 + end + 3;
+                }
+                None => {
+                    self.tokens.push(Token::Comment(comment.to_string()));
+                    self.pos = self.input.len();
+                }
+            }
+            return;
+        }
+        if after.starts_with('!') || after.starts_with('?') {
+            // Doctype / processing instruction: until '>'.
+            match after.find('>') {
+                Some(end) => {
+                    self.tokens.push(Token::Doctype(after[1..end].to_string()));
+                    self.pos += 1 + end + 1;
+                }
+                None => {
+                    self.tokens.push(Token::Doctype(after[1..].to_string()));
+                    self.pos = self.input.len();
+                }
+            }
+            return;
+        }
+        if let Some(close) = after.strip_prefix('/') {
+            // End tag.
+            match close.find('>') {
+                Some(end) => {
+                    let name = close[..end]
+                        .trim()
+                        .trim_end_matches('/')
+                        .to_ascii_lowercase();
+                    if !name.is_empty() {
+                        self.tokens.push(Token::EndTag { name });
+                    }
+                    self.pos += 2 + end + 1;
+                }
+                None => {
+                    self.pos = self.input.len();
+                }
+            }
+            return;
+        }
+        if !after.starts_with(|c: char| c.is_ascii_alphabetic()) {
+            // Stray '<': emit as text.
+            self.tokens.push(Token::Text("<".to_string()));
+            self.pos += 1;
+            return;
+        }
+        // Start tag.
+        match self.parse_start_tag() {
+            Some((name, attrs, self_closing, consumed)) => {
+                self.pos += consumed;
+                let raw = is_raw_text(&name) && !self_closing;
+                self.tokens.push(Token::StartTag {
+                    name: name.clone(),
+                    attrs,
+                    self_closing,
+                });
+                if raw {
+                    self.consume_raw_text(&name);
+                }
+            }
+            None => {
+                // Unterminated tag; drop the rest.
+                self.pos = self.input.len();
+            }
+        }
+    }
+
+    /// Parse a start tag beginning at `self.pos` (which is `<`). Returns
+    /// (name, attrs, self_closing, bytes consumed including both angle
+    /// brackets), or None if unterminated.
+    fn parse_start_tag(&self) -> Option<(String, Vec<Attribute>, bool, usize)> {
+        let rest = self.rest();
+        let bytes = rest.as_bytes();
+        let mut i = 1; // skip '<'
+        let name_start = i;
+        while i < bytes.len()
+            && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-' || bytes[i] == b':')
+        {
+            i += 1;
+        }
+        let name = rest[name_start..i].to_ascii_lowercase();
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            // Skip whitespace.
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return None;
+            }
+            match bytes[i] {
+                b'>' => return Some((name, attrs, self_closing, i + 1)),
+                b'/' => {
+                    self_closing = true;
+                    i += 1;
+                }
+                b'"' | b'\'' => {
+                    // Stray quote; skip.
+                    i += 1;
+                }
+                _ => {
+                    // Attribute name.
+                    let attr_start = i;
+                    while i < bytes.len()
+                        && !bytes[i].is_ascii_whitespace()
+                        && !matches!(bytes[i], b'=' | b'>' | b'/')
+                    {
+                        i += 1;
+                    }
+                    let attr_name = rest[attr_start..i].to_ascii_lowercase();
+                    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    let mut value = String::new();
+                    if i < bytes.len() && bytes[i] == b'=' {
+                        i += 1;
+                        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                            i += 1;
+                        }
+                        if i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'\'') {
+                            let quote = bytes[i];
+                            i += 1;
+                            let val_start = i;
+                            while i < bytes.len() && bytes[i] != quote {
+                                i += 1;
+                            }
+                            value = entity::decode(&rest[val_start..i]);
+                            if i < bytes.len() {
+                                i += 1; // closing quote
+                            }
+                        } else {
+                            let val_start = i;
+                            while i < bytes.len()
+                                && !bytes[i].is_ascii_whitespace()
+                                && bytes[i] != b'>'
+                            {
+                                i += 1;
+                            }
+                            value = entity::decode(&rest[val_start..i]);
+                        }
+                    }
+                    if !attr_name.is_empty() {
+                        attrs.push(Attribute { name: attr_name, value });
+                    }
+                }
+            }
+        }
+    }
+
+    /// After a raw-text start tag, consume content until `</name>` and emit
+    /// it as a single Text token (undecoded, as the HTML spec treats raw
+    /// text) plus the end tag.
+    fn consume_raw_text(&mut self, name: &str) {
+        let rest = self.rest();
+        let close = format!("</{name}");
+        let lower = rest.to_ascii_lowercase();
+        match lower.find(&close) {
+            Some(idx) => {
+                if idx > 0 {
+                    self.tokens.push(Token::Text(rest[..idx].to_string()));
+                }
+                // Find the '>' terminating the close tag.
+                let after = &rest[idx..];
+                let end = after.find('>').map(|e| e + 1).unwrap_or(after.len());
+                self.tokens.push(Token::EndTag { name: name.to_string() });
+                self.pos += idx + end;
+            }
+            None => {
+                if !rest.is_empty() {
+                    self.tokens.push(Token::Text(rest.to_string()));
+                }
+                self.pos = self.input.len();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str) -> Token {
+        Token::StartTag { name: name.into(), attrs: vec![], self_closing: false }
+    }
+
+    #[test]
+    fn simple_document() {
+        let toks = tokenize("<p>Hello</p>");
+        assert_eq!(
+            toks,
+            vec![
+                start("p"),
+                Token::Text("Hello".into()),
+                Token::EndTag { name: "p".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_and_bare() {
+        let toks = tokenize(r#"<a href="/privacy" class='x' hidden data-n=5>"#);
+        match &toks[0] {
+            Token::StartTag { name, attrs, self_closing } => {
+                assert_eq!(name, "a");
+                assert!(!self_closing);
+                assert_eq!(attrs[0], Attribute { name: "href".into(), value: "/privacy".into() });
+                assert_eq!(attrs[1], Attribute { name: "class".into(), value: "x".into() });
+                assert_eq!(attrs[2], Attribute { name: "hidden".into(), value: "".into() });
+                assert_eq!(attrs[3], Attribute { name: "data-n".into(), value: "5".into() });
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_closing() {
+        let toks = tokenize("<br/><img src=x />");
+        assert!(matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br"));
+        assert!(matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "img"));
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let toks = tokenize(r#"<a title="Ben &amp; Jerry">&copy; 2024</a>"#);
+        match &toks[0] {
+            Token::StartTag { attrs, .. } => assert_eq!(attrs[0].value, "Ben & Jerry"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(toks[1], Token::Text("© 2024".into()));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- hi --><p>x</p>");
+        assert!(matches!(&toks[0], Token::Doctype(d) if d.contains("DOCTYPE") || d.contains("html")));
+        assert_eq!(toks[1], Token::Comment(" hi ".into()));
+    }
+
+    #[test]
+    fn script_raw_text_not_parsed() {
+        let toks = tokenize("<script>if (a < b) { x(); }</script><p>y</p>");
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "script"));
+        assert_eq!(toks[1], Token::Text("if (a < b) { x(); }".into()));
+        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+    }
+
+    #[test]
+    fn script_case_insensitive_close() {
+        let toks = tokenize("<SCRIPT>var x=1;</ScRiPt>done");
+        assert_eq!(toks[1], Token::Text("var x=1;".into()));
+        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert_eq!(toks[3], Token::Text("done".into()));
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let toks = tokenize("1 < 2 and <b>bold</b>");
+        let text: String = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Text(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(text.contains("1 < 2 and "));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for s in ["<p", "<!-- open", "<a href=\"x", "</", "<script>never closed"] {
+            let _ = tokenize(s);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Evaluation: accuracy, per-class precision/recall/F1, and student-teacher
+//! agreement.
+
+use crate::features::Featurizer;
+use crate::nb::NaiveBayes;
+use crate::train::LabeledLine;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Per-class metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl ClassMetrics {
+    /// Precision (1.0 when no predictions were made).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall (1.0 when the class never occurs).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Evaluation report over a test set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Test examples evaluated.
+    pub examples: usize,
+    /// Correct predictions.
+    pub correct: usize,
+    /// Per-class metrics, sorted by class name.
+    pub per_class: Vec<(String, ClassMetrics)>,
+}
+
+impl EvalReport {
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.examples == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.examples as f64
+        }
+    }
+
+    /// Macro-averaged F1 across classes.
+    pub fn macro_f1(&self) -> f64 {
+        if self.per_class.is_empty() {
+            return 0.0;
+        }
+        self.per_class.iter().map(|(_, m)| m.f1()).sum::<f64>() / self.per_class.len() as f64
+    }
+
+    /// Render a compact table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "accuracy {:.1}% over {} examples, macro-F1 {:.3}",
+            self.accuracy() * 100.0,
+            self.examples,
+            self.macro_f1()
+        );
+        let _ = writeln!(out, "  {:<22} {:>6} {:>8} {:>8} {:>8}", "class", "n", "prec", "recall", "F1");
+        for (label, m) in &self.per_class {
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>6} {:>7.1}% {:>7.1}% {:>8.3}",
+                label,
+                m.tp + m.fn_,
+                m.precision() * 100.0,
+                m.recall() * 100.0,
+                m.f1()
+            );
+        }
+        out
+    }
+}
+
+/// Evaluate a trained model against labeled examples.
+pub fn evaluate(
+    model: &NaiveBayes,
+    featurizer: &Featurizer,
+    test: &[&LabeledLine],
+) -> EvalReport {
+    let mut correct = 0usize;
+    let mut per_class: HashMap<String, ClassMetrics> = HashMap::new();
+    for example in test {
+        let predicted = model
+            .predict(&featurizer.featurize(&example.text))
+            .unwrap_or("none")
+            .to_string();
+        if predicted == example.label {
+            correct += 1;
+            per_class.entry(predicted).or_default().tp += 1;
+        } else {
+            per_class.entry(predicted).or_default().fp += 1;
+            per_class.entry(example.label.clone()).or_default().fn_ += 1;
+        }
+    }
+    let mut per_class: Vec<(String, ClassMetrics)> = per_class.into_iter().collect();
+    per_class.sort_by(|a, b| a.0.cmp(&b.0));
+    EvalReport { examples: test.len(), correct, per_class }
+}
+
+/// Train a naive-Bayes student on `train` examples.
+pub fn train_student(featurizer: &Featurizer, train: &[&LabeledLine]) -> NaiveBayes {
+    let mut model = NaiveBayes::new(featurizer.dimensions);
+    for example in train {
+        model.observe(&example.label, &featurizer.featurize(&example.text));
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(text: &str, label: &str) -> LabeledLine {
+        LabeledLine { text: text.into(), label: label.into(), domain: "d.com".into() }
+    }
+
+    #[test]
+    fn perfect_classifier_metrics() {
+        let f = Featurizer::small();
+        let train_set = [
+            line("we retain data for years", "handling"),
+            line("records retained as necessary", "handling"),
+            line("opt out by clicking the link", "rights"),
+            line("delete your account", "rights"),
+        ];
+        let refs: Vec<&LabeledLine> = train_set.iter().collect();
+        let model = train_student(&f, &refs);
+        let report = evaluate(&model, &f, &refs);
+        assert_eq!(report.accuracy(), 1.0);
+        assert_eq!(report.macro_f1(), 1.0);
+        assert!(report.render().contains("100.0%"));
+    }
+
+    #[test]
+    fn metrics_count_errors() {
+        let m = ClassMetrics { tp: 8, fp: 2, fn_: 2 };
+        assert!((m.precision() - 0.8).abs() < 1e-9);
+        assert!((m.recall() - 0.8).abs() < 1e-9);
+        assert!((m.f1() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_test_set() {
+        let f = Featurizer::small();
+        let model = NaiveBayes::new(f.dimensions);
+        let report = evaluate(&model, &f, &[]);
+        assert_eq!(report.accuracy(), 0.0);
+        assert_eq!(report.examples, 0);
+    }
+
+    #[test]
+    fn degenerate_class_metrics() {
+        let m = ClassMetrics::default();
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Sparse bag-of-words features via feature hashing.
+//!
+//! Unigrams and bigrams of lower-cased alphanumeric tokens are hashed into
+//! a fixed-size feature space (the "hashing trick"), so no vocabulary needs
+//! to be stored or synchronized between training and inference.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sparse feature vector: feature index → count.
+pub type FeatureVector = HashMap<u32, f64>;
+
+/// Configurable featurizer: hashed unigrams + bigrams.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Featurizer {
+    /// Feature-space size (number of hash buckets).
+    pub dimensions: u32,
+    /// Whether to include bigram features.
+    pub bigrams: bool,
+}
+
+impl Default for Featurizer {
+    fn default() -> Self {
+        Featurizer { dimensions: 1 << 18, bigrams: true }
+    }
+}
+
+impl Featurizer {
+    /// A smaller feature space (for tests and quick experiments).
+    pub fn small() -> Featurizer {
+        Featurizer { dimensions: 1 << 12, bigrams: true }
+    }
+
+    /// Featurize one line of text.
+    pub fn featurize(&self, text: &str) -> FeatureVector {
+        let tokens = tokenize(text);
+        let mut features = FeatureVector::new();
+        for token in &tokens {
+            *features.entry(self.bucket(token, "u")).or_insert(0.0) += 1.0;
+        }
+        if self.bigrams {
+            for pair in tokens.windows(2) {
+                let bigram = format!("{} {}", pair[0], pair[1]);
+                *features.entry(self.bucket(&bigram, "b")).or_insert(0.0) += 1.0;
+            }
+        }
+        features
+    }
+
+    fn bucket(&self, token: &str, salt: &str) -> u32 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        salt.hash(&mut h);
+        token.hash(&mut h);
+        (h.finish() % self.dimensions as u64) as u32
+    }
+}
+
+/// Lower-cased alphanumeric tokens (hyphen/apostrophe kept inside words).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() || ch == '-' || ch == '\'' {
+            for lc in ch.to_lowercase() {
+                current.push(lc);
+            }
+        } else if !current.is_empty() {
+            out.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_basics() {
+        assert_eq!(tokenize("We RETAIN your data!"), vec!["we", "retain", "your", "data"]);
+        assert_eq!(tokenize("opt-out, don't"), vec!["opt-out", "don't"]);
+        assert!(tokenize("  !!!  ").is_empty());
+    }
+
+    #[test]
+    fn featurize_counts_repeats() {
+        let f = Featurizer::small();
+        let v = f.featurize("data data data");
+        let unigram_count: f64 = v.values().sum();
+        // 3 unigrams + 2 bigrams (identical, same bucket).
+        assert_eq!(unigram_count, 5.0);
+    }
+
+    #[test]
+    fn featurize_is_deterministic() {
+        let f = Featurizer::default();
+        assert_eq!(f.featurize("retain your data"), f.featurize("retain your data"));
+    }
+
+    #[test]
+    fn different_texts_differ() {
+        let f = Featurizer::default();
+        assert_ne!(f.featurize("opt out via link"), f.featurize("delete your account"));
+    }
+
+    #[test]
+    fn buckets_in_range() {
+        let f = Featurizer::small();
+        for (k, _) in f.featurize("some words to hash into buckets here") {
+            assert!(k < f.dimensions);
+        }
+    }
+
+    #[test]
+    fn unigram_only_mode() {
+        let uni = Featurizer { dimensions: 1 << 12, bigrams: false };
+        let v = uni.featurize("alpha beta gamma");
+        let total: f64 = v.values().sum();
+        assert_eq!(total, 3.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # aipan-ml
+//!
+//! Offline machine-learning models distilled from the chatbot's annotations
+//! — the paper's stated future work ("training offline LLMs to replicate
+//! the chatbot-generated annotations is another important aspect of our
+//! future work", §6) and the approach of the pre-LLM related work the paper
+//! cites (Privee's classifiers, MAPS, Polisis).
+//!
+//! The crate implements the classical counterpart of that plan:
+//!
+//! * [`features`] — text → sparse bag-of-words features via feature hashing
+//!   (unigrams + bigrams), no external dependencies.
+//! * [`nb`] — a multinomial naive-Bayes classifier with Laplace smoothing,
+//!   serializable, suitable for the line-level labeling tasks.
+//! * [`train`] — builds line-level training corpora from a pipeline run:
+//!   the chatbot is the *teacher* (its annotations label the lines), the
+//!   naive-Bayes model is the *student*.
+//! * [`eval`] — train/test splits, accuracy / per-class precision-recall-F1,
+//!   and teacher-vs-student agreement reports.
+//!
+//! The `distillation` example trains a student on half the corpus and
+//! evaluates on the held-out half, reproducing the measurement a real
+//! deployment would run before swapping the expensive chatbot for a local
+//! model on easy tasks (segmentation; handling/rights labeling).
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod features;
+pub mod nb;
+pub mod train;
+
+pub use eval::{ClassMetrics, EvalReport};
+pub use features::{FeatureVector, Featurizer};
+pub use nb::NaiveBayes;
+pub use train::{build_aspect_corpus, build_rights_corpus, LabeledLine};

@@ -1,0 +1,200 @@
+//! Multinomial naive Bayes with Laplace smoothing over hashed features.
+
+use crate::features::FeatureVector;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A trained multinomial naive-Bayes classifier over string class labels.
+///
+/// ```
+/// use aipan_ml::{Featurizer, NaiveBayes};
+///
+/// let f = Featurizer::small();
+/// let mut nb = NaiveBayes::new(f.dimensions);
+/// nb.observe("handling", &f.featurize("we retain records for two years"));
+/// nb.observe("rights", &f.featurize("you may opt out or delete your account"));
+/// assert_eq!(nb.predict(&f.featurize("data is retained briefly")), Some("handling"));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NaiveBayes {
+    /// Laplace smoothing constant.
+    pub alpha: f64,
+    /// Feature-space size (must match the featurizer).
+    pub dimensions: u32,
+    classes: Vec<ClassState>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ClassState {
+    label: String,
+    document_count: u64,
+    total_feature_mass: f64,
+    feature_mass: HashMap<u32, f64>,
+}
+
+impl NaiveBayes {
+    /// New untrained model.
+    pub fn new(dimensions: u32) -> NaiveBayes {
+        NaiveBayes { alpha: 1.0, dimensions, classes: Vec::new() }
+    }
+
+    /// Add one training example.
+    pub fn observe(&mut self, label: &str, features: &FeatureVector) {
+        let class = match self.classes.iter_mut().find(|c| c.label == label) {
+            Some(c) => c,
+            None => {
+                self.classes.push(ClassState {
+                    label: label.to_string(),
+                    document_count: 0,
+                    total_feature_mass: 0.0,
+                    feature_mass: HashMap::new(),
+                });
+                self.classes.last_mut().expect("just pushed")
+            }
+        };
+        class.document_count += 1;
+        for (&f, &v) in features {
+            class.total_feature_mass += v;
+            *class.feature_mass.entry(f).or_insert(0.0) += v;
+        }
+    }
+
+    /// Number of classes seen.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Class labels, in first-seen order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.classes.iter().map(|c| c.label.as_str()).collect()
+    }
+
+    /// Log-posterior (unnormalized) for each class.
+    pub fn log_scores(&self, features: &FeatureVector) -> Vec<(&str, f64)> {
+        let total_docs: u64 = self.classes.iter().map(|c| c.document_count).sum();
+        self.classes
+            .iter()
+            .map(|class| {
+                let prior = (class.document_count as f64 + self.alpha)
+                    / (total_docs as f64 + self.alpha * self.classes.len() as f64);
+                let mut score = prior.ln();
+                let denom =
+                    class.total_feature_mass + self.alpha * self.dimensions as f64;
+                for (&f, &v) in features {
+                    let mass = class.feature_mass.get(&f).copied().unwrap_or(0.0);
+                    score += v * ((mass + self.alpha) / denom).ln();
+                }
+                (class.label.as_str(), score)
+            })
+            .collect()
+    }
+
+    /// Most likely class, or `None` if untrained.
+    pub fn predict(&self, features: &FeatureVector) -> Option<&str> {
+        self.log_scores(features)
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+            .map(|(label, _)| label)
+    }
+
+    /// Posterior probabilities (softmax of log scores).
+    pub fn predict_proba(&self, features: &FeatureVector) -> Vec<(String, f64)> {
+        let scores = self.log_scores(features);
+        if scores.is_empty() {
+            return Vec::new();
+        }
+        let max = scores.iter().map(|(_, s)| *s).fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = scores.iter().map(|(_, s)| (s - max).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        scores
+            .iter()
+            .zip(exps)
+            .map(|((label, _), e)| (label.to_string(), e / total))
+            .collect()
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<NaiveBayes> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::Featurizer;
+
+    fn train_toy() -> (NaiveBayes, Featurizer) {
+        let f = Featurizer::small();
+        let mut nb = NaiveBayes::new(f.dimensions);
+        for text in [
+            "we retain your data for two years",
+            "records are retained as long as necessary",
+            "retention periods are limited",
+        ] {
+            nb.observe("handling", &f.featurize(text));
+        }
+        for text in [
+            "you may opt out by clicking the link",
+            "you can delete your account",
+            "update or correct your information",
+        ] {
+            nb.observe("rights", &f.featurize(text));
+        }
+        (nb, f)
+    }
+
+    #[test]
+    fn learns_separable_classes() {
+        let (nb, f) = train_toy();
+        assert_eq!(nb.class_count(), 2);
+        assert_eq!(nb.predict(&f.featurize("data is retained for five years")), Some("handling"));
+        assert_eq!(nb.predict(&f.featurize("opt out or delete your account")), Some("rights"));
+    }
+
+    #[test]
+    fn untrained_predicts_none() {
+        let nb = NaiveBayes::new(4096);
+        assert_eq!(nb.predict(&FeatureVector::new()), None);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (nb, f) = train_toy();
+        let probs = nb.predict_proba(&f.featurize("retain records"));
+        let total: f64 = probs.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(probs.iter().all(|(_, p)| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn empty_features_fall_back_to_prior() {
+        let f = Featurizer::small();
+        let mut nb = NaiveBayes::new(f.dimensions);
+        // 3:1 prior for "a".
+        for _ in 0..3 {
+            nb.observe("a", &f.featurize("x"));
+        }
+        nb.observe("b", &f.featurize("y"));
+        assert_eq!(nb.predict(&FeatureVector::new()), Some("a"));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_predictions() {
+        let (nb, f) = train_toy();
+        let back = NaiveBayes::from_json(&nb.to_json().unwrap()).unwrap();
+        let probe = f.featurize("we retain information");
+        assert_eq!(nb.predict(&probe), back.predict(&probe));
+    }
+
+    #[test]
+    fn labels_in_first_seen_order() {
+        let (nb, _) = train_toy();
+        assert_eq!(nb.labels(), vec!["handling", "rights"]);
+    }
+}

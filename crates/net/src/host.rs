@@ -1,0 +1,183 @@
+//! Virtual hosts and the in-memory "Internet" registry.
+
+use crate::http::{Request, Response};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A website: maps requests to responses.
+///
+/// Implementations must be pure functions of the request (the simulated web
+/// is static), which keeps crawls deterministic and repeatable.
+pub trait VirtualHost: Send + Sync {
+    /// Handle a request addressed to this host.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+impl<F> VirtualHost for F
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    fn handle(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// A static site: a path → response table with a 404 fallback.
+#[derive(Default)]
+pub struct StaticSite {
+    pages: HashMap<String, Response>,
+}
+
+impl StaticSite {
+    /// Empty site (every path 404s).
+    pub fn new() -> StaticSite {
+        StaticSite::default()
+    }
+
+    /// Register `response` at `path` (normalized: trailing slash stripped).
+    pub fn page(mut self, path: &str, response: Response) -> StaticSite {
+        self.pages.insert(normalize(path), response);
+        self
+    }
+
+    /// Number of registered pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the site has no pages.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// All registered paths (unordered).
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.pages.keys().map(String::as_str)
+    }
+}
+
+fn normalize(path: &str) -> String {
+    let p = path.trim_end_matches('/');
+    if p.is_empty() {
+        "/".to_string()
+    } else {
+        p.to_string()
+    }
+}
+
+impl VirtualHost for StaticSite {
+    fn handle(&self, request: &Request) -> Response {
+        self.pages
+            .get(&normalize(&request.url.path))
+            .cloned()
+            .unwrap_or_else(Response::not_found)
+    }
+}
+
+/// The registry of all virtual hosts: a deterministic, in-memory web.
+///
+/// Cloning is cheap (`Arc`-shared); hosts may be registered from any thread.
+#[derive(Clone, Default)]
+pub struct Internet {
+    hosts: Arc<RwLock<HashMap<String, Arc<dyn VirtualHost>>>>,
+}
+
+impl Internet {
+    /// An empty web.
+    pub fn new() -> Internet {
+        Internet::default()
+    }
+
+    /// Register `host` to serve `domain` (and, implicitly, `www.domain`).
+    pub fn register(&self, domain: &str, host: impl VirtualHost + 'static) {
+        self.hosts
+            .write()
+            .insert(domain.to_ascii_lowercase(), Arc::new(host));
+    }
+
+    /// Resolve a host name to its site, accepting a `www.` prefix.
+    pub fn resolve(&self, host: &str) -> Option<Arc<dyn VirtualHost>> {
+        let lower = host.to_ascii_lowercase();
+        let hosts = self.hosts.read();
+        hosts
+            .get(&lower)
+            .or_else(|| hosts.get(lower.strip_prefix("www.")?))
+            .cloned()
+    }
+
+    /// Number of registered domains.
+    pub fn len(&self) -> usize {
+        self.hosts.read().len()
+    }
+
+    /// Whether no domains are registered.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.read().is_empty()
+    }
+
+    /// All registered domains, sorted (stable iteration for reports).
+    pub fn domains(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.hosts.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Status;
+    use crate::url::Url;
+
+    fn req(url: &str) -> Request {
+        Request::get(Url::parse(url).unwrap())
+    }
+
+    #[test]
+    fn static_site_serves_pages_and_404s() {
+        let site = StaticSite::new()
+            .page("/", Response::html("<p>home</p>"))
+            .page("/privacy", Response::html("<p>policy</p>"));
+        assert_eq!(site.handle(&req("https://a.com/")).body_text(), "<p>home</p>");
+        assert_eq!(
+            site.handle(&req("https://a.com/privacy")).body_text(),
+            "<p>policy</p>"
+        );
+        assert_eq!(site.handle(&req("https://a.com/none")).status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn static_site_normalizes_trailing_slash() {
+        let site = StaticSite::new().page("/privacy/", Response::html("x"));
+        assert!(site.handle(&req("https://a.com/privacy")).status.is_success());
+    }
+
+    #[test]
+    fn internet_resolves_with_and_without_www() {
+        let net = Internet::new();
+        net.register("acme.com", StaticSite::new().page("/", Response::html("hi")));
+        assert!(net.resolve("acme.com").is_some());
+        assert!(net.resolve("WWW.ACME.COM").is_some());
+        assert!(net.resolve("other.com").is_none());
+        assert_eq!(net.len(), 1);
+    }
+
+    #[test]
+    fn closure_as_host() {
+        let net = Internet::new();
+        net.register("echo.com", |r: &Request| {
+            Response::html(format!("<p>{}</p>", r.url.path))
+        });
+        let host = net.resolve("echo.com").unwrap();
+        assert_eq!(host.handle(&req("https://echo.com/abc")).body_text(), "<p>/abc</p>");
+    }
+
+    #[test]
+    fn domains_sorted() {
+        let net = Internet::new();
+        net.register("b.com", StaticSite::new());
+        net.register("a.com", StaticSite::new());
+        assert_eq!(net.domains(), vec!["a.com".to_string(), "b.com".to_string()]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # aipan-net
+//!
+//! A simulated HTTP substrate for AIPAN-RS — the stand-in for the live web
+//! that the paper's Crawlee/Playwright crawler operated on.
+//!
+//! Following the layered, fault-injecting design of embedded network stacks
+//! (see DESIGN.md §7), the crate provides:
+//!
+//! * [`url`] — a small URL type with relative-reference resolution, enough
+//!   for same-site crawling.
+//! * [`http`] — request/response/status types with `bytes` payloads.
+//! * [`host`] — the [`host::VirtualHost`] trait and [`host::Internet`]
+//!   registry: a deterministic "world wide web" served from memory.
+//! * [`fault`] — configurable fault injection (connection failures,
+//!   timeouts, bot blocking, extra latency), decided by a seeded hash so
+//!   every run and request order sees identical faults.
+//! * [`transport`] — the client: DNS-style host lookup, fault application,
+//!   redirect following, simulated latency accounting, and shared
+//!   [`transport::TransportMetrics`].
+//!
+//! No real sockets are involved; everything is in-process and deterministic,
+//! which is what lets the whole paper pipeline run reproducibly in tests and
+//! benches.
+
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod host;
+pub mod http;
+pub mod transport;
+pub mod url;
+
+pub use fault::{FaultConfig, FaultInjector, FaultKind};
+pub use host::{Internet, VirtualHost};
+pub use http::{ContentType, Request, Response, Status};
+pub use transport::{Client, FetchError, FetchResult, TransportMetrics};
+pub use url::Url;

@@ -1,0 +1,345 @@
+//! The simulated HTTP client: host resolution, fault application, redirect
+//! following, and transport metrics.
+
+use crate::fault::{FaultInjector, FaultKind};
+use crate::host::Internet;
+use crate::http::{Request, Response};
+use crate::url::Url;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A failed fetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// The host name did not resolve (no such site in the simulated web).
+    DnsFailure(String),
+    /// TCP-level connection failure.
+    ConnectFailure(String),
+    /// The request exceeded the client timeout.
+    Timeout(String),
+    /// More than [`Client::MAX_REDIRECTS`] redirects.
+    TooManyRedirects(String),
+    /// A redirect pointed at an unparsable or unsupported location.
+    BadRedirect(String),
+}
+
+impl FetchError {
+    /// The domain the error concerns.
+    pub fn domain(&self) -> &str {
+        match self {
+            FetchError::DnsFailure(d)
+            | FetchError::ConnectFailure(d)
+            | FetchError::Timeout(d)
+            | FetchError::TooManyRedirects(d)
+            | FetchError::BadRedirect(d) => d,
+        }
+    }
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::DnsFailure(d) => write!(f, "dns failure for {d}"),
+            FetchError::ConnectFailure(d) => write!(f, "connection failure to {d}"),
+            FetchError::Timeout(d) => write!(f, "timeout fetching from {d}"),
+            FetchError::TooManyRedirects(d) => write!(f, "too many redirects on {d}"),
+            FetchError::BadRedirect(d) => write!(f, "bad redirect target on {d}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// A successful fetch: the final response plus where it ended up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchResult {
+    /// The response delivered (post-redirects).
+    pub response: Response,
+    /// The URL that ultimately served the response.
+    pub final_url: Url,
+    /// Number of redirects followed.
+    pub redirects: u32,
+    /// Simulated total latency in milliseconds.
+    pub latency_ms: u64,
+}
+
+/// Cumulative transport counters, shared across clones of a [`Client`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportMetrics {
+    /// Requests issued (including each redirect hop).
+    pub requests: u64,
+    /// Successful fetches (a response was delivered, any status).
+    pub responses: u64,
+    /// Total body bytes delivered.
+    pub bytes: u64,
+    /// DNS failures.
+    pub dns_failures: u64,
+    /// Connection failures.
+    pub connect_failures: u64,
+    /// Timeouts.
+    pub timeouts: u64,
+    /// Redirects followed.
+    pub redirects: u64,
+    /// Total simulated latency in milliseconds.
+    pub latency_ms: u64,
+}
+
+/// The simulated HTTP client.
+///
+/// Cheap to clone; clones share the same metrics. Thread-safe: the crawler's
+/// worker pool drives one clone per worker.
+#[derive(Clone)]
+pub struct Client {
+    internet: Internet,
+    faults: Arc<FaultInjector>,
+    metrics: Arc<Mutex<TransportMetrics>>,
+}
+
+impl Client {
+    /// Maximum redirect hops before giving up.
+    pub const MAX_REDIRECTS: u32 = 5;
+
+    /// Create a client over `internet` with the given fault injector.
+    pub fn new(internet: Internet, faults: FaultInjector) -> Client {
+        Client {
+            internet,
+            faults: Arc::new(faults),
+            metrics: Arc::new(Mutex::new(TransportMetrics::default())),
+        }
+    }
+
+    /// Fetch `url`, following redirects.
+    pub fn fetch(&self, url: &Url) -> Result<FetchResult, FetchError> {
+        let mut current = url.clone();
+        let mut redirects = 0u32;
+        let mut latency_total = 0u64;
+        loop {
+            let domain = current.domain();
+            {
+                let mut m = self.metrics.lock();
+                m.requests += 1;
+            }
+            // Per-domain fate.
+            match self.faults.fate(&domain) {
+                FaultKind::ConnectFailure => {
+                    self.metrics.lock().connect_failures += 1;
+                    return Err(FetchError::ConnectFailure(domain));
+                }
+                FaultKind::Timeout => {
+                    self.metrics.lock().timeouts += 1;
+                    return Err(FetchError::Timeout(domain));
+                }
+                FaultKind::Blocked => {
+                    let latency = self.faults.latency_ms(&domain, &current.path);
+                    latency_total += latency;
+                    let response = Response::blocked();
+                    let mut m = self.metrics.lock();
+                    m.responses += 1;
+                    m.bytes += response.body.len() as u64;
+                    m.latency_ms += latency;
+                    return Ok(FetchResult {
+                        response,
+                        final_url: current,
+                        redirects,
+                        latency_ms: latency_total,
+                    });
+                }
+                FaultKind::None => {}
+            }
+            let host = match self.internet.resolve(&current.host) {
+                Some(h) => h,
+                None => {
+                    self.metrics.lock().dns_failures += 1;
+                    return Err(FetchError::DnsFailure(domain));
+                }
+            };
+            let latency = self.faults.latency_ms(&domain, &current.path);
+            latency_total += latency;
+            let response = host.handle(&Request::get(current.clone()));
+            {
+                let mut m = self.metrics.lock();
+                m.responses += 1;
+                m.bytes += response.body.len() as u64;
+                m.latency_ms += latency;
+            }
+            if response.status.is_redirect() {
+                if redirects >= Self::MAX_REDIRECTS {
+                    return Err(FetchError::TooManyRedirects(domain));
+                }
+                let location = response.location.clone().unwrap_or_default();
+                current = current
+                    .join(&location)
+                    .map_err(|_| FetchError::BadRedirect(domain.clone()))?;
+                redirects += 1;
+                self.metrics.lock().redirects += 1;
+                continue;
+            }
+            return Ok(FetchResult {
+                response,
+                final_url: current,
+                redirects,
+                latency_ms: latency_total,
+            });
+        }
+    }
+
+    /// Snapshot of the shared metrics.
+    pub fn metrics(&self) -> TransportMetrics {
+        *self.metrics.lock()
+    }
+
+    /// The underlying simulated web.
+    pub fn internet(&self) -> &Internet {
+        &self.internet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use crate::host::StaticSite;
+    use crate::http::Status;
+
+    fn no_fault_client(net: Internet) -> Client {
+        Client::new(net, FaultInjector::new(0, FaultConfig::none()))
+    }
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn fetch_success() {
+        let net = Internet::new();
+        net.register("a.com", StaticSite::new().page("/", Response::html("<p>hi</p>")));
+        let client = no_fault_client(net);
+        let res = client.fetch(&url("https://a.com/")).unwrap();
+        assert_eq!(res.response.status, Status::OK);
+        assert_eq!(res.response.body_text(), "<p>hi</p>");
+        assert_eq!(res.redirects, 0);
+        let m = client.metrics();
+        assert_eq!(m.requests, 1);
+        assert_eq!(m.responses, 1);
+        assert!(m.bytes > 0);
+    }
+
+    #[test]
+    fn fetch_follows_redirects() {
+        let net = Internet::new();
+        net.register(
+            "a.com",
+            StaticSite::new()
+                .page("/", Response::redirect(Status::MOVED_PERMANENTLY, "/new"))
+                .page("/new", Response::html("here")),
+        );
+        let client = no_fault_client(net);
+        let res = client.fetch(&url("https://a.com/")).unwrap();
+        assert_eq!(res.response.body_text(), "here");
+        assert_eq!(res.redirects, 1);
+        assert_eq!(res.final_url.path, "/new");
+        assert_eq!(client.metrics().redirects, 1);
+    }
+
+    #[test]
+    fn redirect_loop_errors() {
+        let net = Internet::new();
+        net.register(
+            "a.com",
+            StaticSite::new()
+                .page("/x", Response::redirect(Status::FOUND, "/y"))
+                .page("/y", Response::redirect(Status::FOUND, "/x")),
+        );
+        let client = no_fault_client(net);
+        let err = client.fetch(&url("https://a.com/x")).unwrap_err();
+        assert!(matches!(err, FetchError::TooManyRedirects(_)));
+    }
+
+    #[test]
+    fn dns_failure_for_unknown_host() {
+        let client = no_fault_client(Internet::new());
+        let err = client.fetch(&url("https://nowhere.com/")).unwrap_err();
+        assert_eq!(err, FetchError::DnsFailure("nowhere.com".into()));
+        assert_eq!(client.metrics().dns_failures, 1);
+    }
+
+    #[test]
+    fn blocked_domain_serves_403() {
+        let net = Internet::new();
+        net.register("a.com", StaticSite::new().page("/", Response::html("x")));
+        let cfg = FaultConfig { block_crawlers: 1.0, ..FaultConfig::none() };
+        let client = Client::new(net, FaultInjector::new(0, cfg));
+        let res = client.fetch(&url("https://a.com/")).unwrap();
+        assert_eq!(res.response.status, Status::FORBIDDEN);
+    }
+
+    #[test]
+    fn timeout_domain_errors() {
+        let net = Internet::new();
+        net.register("a.com", StaticSite::new());
+        let cfg = FaultConfig { timeout: 1.0, ..FaultConfig::none() };
+        let client = Client::new(net, FaultInjector::new(0, cfg));
+        assert!(matches!(
+            client.fetch(&url("https://a.com/")),
+            Err(FetchError::Timeout(_))
+        ));
+        assert_eq!(client.metrics().timeouts, 1);
+    }
+
+    #[test]
+    fn cross_host_redirect() {
+        let net = Internet::new();
+        net.register(
+            "old.com",
+            StaticSite::new().page("/", Response::redirect(Status::FOUND, "https://new.com/p")),
+        );
+        net.register("new.com", StaticSite::new().page("/p", Response::html("moved")));
+        let client = no_fault_client(net);
+        let res = client.fetch(&url("https://old.com/")).unwrap();
+        assert_eq!(res.final_url.host, "new.com");
+        assert_eq!(res.response.body_text(), "moved");
+    }
+
+    #[test]
+    fn latency_accumulates_across_redirect_hops() {
+        let net = Internet::new();
+        net.register(
+            "a.com",
+            StaticSite::new()
+                .page("/", Response::redirect(Status::FOUND, "/hop1"))
+                .page("/hop1", Response::redirect(Status::FOUND, "/hop2"))
+                .page("/hop2", Response::html("done")),
+        );
+        let cfg = FaultConfig { base_latency_ms: 100, jitter_ms: 0, ..FaultConfig::none() };
+        let client = Client::new(net, FaultInjector::new(0, cfg));
+        let res = client.fetch(&url("https://a.com/")).unwrap();
+        assert_eq!(res.redirects, 2);
+        assert_eq!(res.latency_ms, 300, "one base latency per hop");
+        assert_eq!(client.metrics().latency_ms, 300);
+    }
+
+    #[test]
+    fn byte_accounting_covers_redirect_bodies() {
+        let net = Internet::new();
+        net.register(
+            "a.com",
+            StaticSite::new().page("/", Response::html("0123456789")),
+        );
+        let client = no_fault_client(net);
+        client.fetch(&url("https://a.com/")).unwrap();
+        assert_eq!(client.metrics().bytes, 10);
+        assert_eq!(client.metrics().responses, 1);
+    }
+
+    #[test]
+    fn metrics_shared_across_clones() {
+        let net = Internet::new();
+        net.register("a.com", StaticSite::new().page("/", Response::html("x")));
+        let client = no_fault_client(net);
+        let clone = client.clone();
+        clone.fetch(&url("https://a.com/")).unwrap();
+        client.fetch(&url("https://a.com/")).unwrap();
+        assert_eq!(client.metrics().requests, 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! A minimal URL type sufficient for same-site crawling.
+//!
+//! Supports `http`/`https` schemes, host, and path (query strings and
+//! fragments are parsed but dropped from the normalized form — crawlers
+//! treat `/privacy?x=1` and `/privacy#top` as the page `/privacy`).
+
+use serde::{Deserialize, Serialize};
+
+/// A parsed, normalized URL.
+///
+/// ```
+/// use aipan_net::Url;
+///
+/// let base = Url::parse("https://www.acme.com/legal/privacy?lang=en").unwrap();
+/// assert_eq!(base.path, "/legal/privacy");          // query dropped
+/// assert_eq!(base.domain(), "acme.com");            // registrable domain
+/// let joined = base.join("../privacy-policy").unwrap();
+/// assert_eq!(joined.to_string(), "https://www.acme.com/privacy-policy");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Url {
+    /// `http` or `https`.
+    pub scheme: String,
+    /// Lower-cased host, e.g. `www.acme.com`.
+    pub host: String,
+    /// Absolute path beginning with `/`, with a trailing slash stripped
+    /// (except for the root path itself).
+    pub path: String,
+}
+
+/// Error parsing or resolving a URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UrlError {
+    /// The scheme is not http/https (e.g. `mailto:`, `javascript:`).
+    UnsupportedScheme(String),
+    /// The input had no usable host.
+    MissingHost,
+    /// A relative reference was given without a base.
+    RelativeWithoutBase,
+}
+
+impl std::fmt::Display for UrlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UrlError::UnsupportedScheme(s) => write!(f, "unsupported scheme: {s}"),
+            UrlError::MissingHost => write!(f, "missing host"),
+            UrlError::RelativeWithoutBase => write!(f, "relative reference without a base URL"),
+        }
+    }
+}
+
+impl std::error::Error for UrlError {}
+
+impl Url {
+    /// Parse an absolute URL.
+    pub fn parse(input: &str) -> Result<Url, UrlError> {
+        let input = input.trim();
+        let (scheme, rest) = match input.split_once("://") {
+            Some((s, r)) => (s.to_ascii_lowercase(), r),
+            None => {
+                if let Some((s, _)) = input.split_once(':') {
+                    // mailto:, javascript:, tel:, data:
+                    return Err(UrlError::UnsupportedScheme(s.to_ascii_lowercase()));
+                }
+                return Err(UrlError::RelativeWithoutBase);
+            }
+        };
+        if scheme != "http" && scheme != "https" {
+            return Err(UrlError::UnsupportedScheme(scheme));
+        }
+        let (host, path) = match rest.find('/') {
+            Some(idx) => (&rest[..idx], &rest[idx..]),
+            None => (rest, "/"),
+        };
+        let host = host
+            .split('@')
+            .next_back()
+            .unwrap_or(host)
+            .split(':')
+            .next()
+            .unwrap_or(host)
+            .to_ascii_lowercase();
+        if host.is_empty() {
+            return Err(UrlError::MissingHost);
+        }
+        Ok(Url { scheme, host, path: normalize_path(path) })
+    }
+
+    /// Resolve `reference` against this base URL. Handles absolute URLs,
+    /// protocol-relative (`//host/p`), absolute paths (`/p`), and relative
+    /// paths (`p`, `../p`).
+    pub fn join(&self, reference: &str) -> Result<Url, UrlError> {
+        let reference = reference.trim();
+        if reference.is_empty() {
+            return Ok(self.clone());
+        }
+        if let Some(rest) = reference.strip_prefix("//") {
+            return Url::parse(&format!("{}://{}", self.scheme, rest));
+        }
+        if reference.contains("://") {
+            return Url::parse(reference);
+        }
+        if let Some((scheme, _)) = reference.split_once(':') {
+            if scheme.chars().all(|c| c.is_ascii_alphabetic()) && !scheme.is_empty() {
+                // mailto:, javascript:, tel: — unsupported.
+                return Err(UrlError::UnsupportedScheme(scheme.to_ascii_lowercase()));
+            }
+        }
+        let path = if let Some(p) = reference.strip_prefix('/') {
+            format!("/{p}")
+        } else {
+            // Relative to the base path's directory.
+            let dir = match self.path.rfind('/') {
+                Some(idx) => &self.path[..=idx],
+                None => "/",
+            };
+            format!("{dir}{reference}")
+        };
+        Ok(Url {
+            scheme: self.scheme.clone(),
+            host: self.host.clone(),
+            path: normalize_path(&path),
+        })
+    }
+
+    /// Registrable-domain heuristic: last two labels of the host
+    /// (`shop.acme.com` → `acme.com`).
+    pub fn domain(&self) -> String {
+        let labels: Vec<&str> = self.host.split('.').collect();
+        if labels.len() <= 2 {
+            self.host.clone()
+        } else {
+            labels[labels.len() - 2..].join(".")
+        }
+    }
+
+    /// Whether `other` is on the same registrable domain.
+    pub fn same_site(&self, other: &Url) -> bool {
+        self.domain() == other.domain()
+    }
+
+    /// File extension of the path, lower-cased, if any.
+    pub fn extension(&self) -> Option<String> {
+        let last = self.path.rsplit('/').next()?;
+        let (_, ext) = last.rsplit_once('.')?;
+        if ext.is_empty() || ext.len() > 5 {
+            None
+        } else {
+            Some(ext.to_ascii_lowercase())
+        }
+    }
+}
+
+impl std::fmt::Display for Url {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}://{}{}", self.scheme, self.host, self.path)
+    }
+}
+
+/// Normalize a path: strip query/fragment, resolve `.`/`..` segments,
+/// collapse `//`, strip one trailing slash (keeping `/`).
+fn normalize_path(path: &str) -> String {
+    let path = path.split(['?', '#']).next().unwrap_or(path);
+    let mut segments: Vec<&str> = Vec::new();
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                segments.pop();
+            }
+            s => segments.push(s),
+        }
+    }
+    if segments.is_empty() {
+        "/".to_string()
+    } else {
+        format!("/{}", segments.join("/"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let u = Url::parse("https://www.Acme.com/Privacy-Policy").unwrap();
+        assert_eq!(u.scheme, "https");
+        assert_eq!(u.host, "www.acme.com");
+        assert_eq!(u.path, "/Privacy-Policy");
+        assert_eq!(u.to_string(), "https://www.acme.com/Privacy-Policy");
+    }
+
+    #[test]
+    fn parse_no_path() {
+        let u = Url::parse("http://acme.com").unwrap();
+        assert_eq!(u.path, "/");
+    }
+
+    #[test]
+    fn parse_strips_port_and_userinfo() {
+        let u = Url::parse("https://user@acme.com:8443/x").unwrap();
+        assert_eq!(u.host, "acme.com");
+    }
+
+    #[test]
+    fn query_and_fragment_dropped() {
+        let u = Url::parse("https://acme.com/privacy?lang=en#top").unwrap();
+        assert_eq!(u.path, "/privacy");
+    }
+
+    #[test]
+    fn unsupported_schemes_rejected() {
+        assert!(matches!(
+            Url::parse("mailto:privacy@acme.com"),
+            Err(UrlError::UnsupportedScheme(s)) if s == "mailto"
+        ));
+        assert!(Url::parse("javascript:void(0)").is_err());
+    }
+
+    #[test]
+    fn join_absolute_path() {
+        let base = Url::parse("https://acme.com/legal/privacy").unwrap();
+        let u = base.join("/privacy-policy").unwrap();
+        assert_eq!(u.to_string(), "https://acme.com/privacy-policy");
+    }
+
+    #[test]
+    fn join_relative_path() {
+        let base = Url::parse("https://acme.com/legal/privacy").unwrap();
+        assert_eq!(base.join("cookies").unwrap().path, "/legal/cookies");
+        assert_eq!(base.join("../about").unwrap().path, "/about");
+        assert_eq!(base.join("").unwrap(), base);
+    }
+
+    #[test]
+    fn join_absolute_url_and_protocol_relative() {
+        let base = Url::parse("https://acme.com/").unwrap();
+        let u = base.join("http://other.com/p").unwrap();
+        assert_eq!(u.host, "other.com");
+        assert_eq!(u.scheme, "http");
+        let v = base.join("//cdn.acme.com/a").unwrap();
+        assert_eq!(v.scheme, "https");
+        assert_eq!(v.host, "cdn.acme.com");
+    }
+
+    #[test]
+    fn join_rejects_mailto() {
+        let base = Url::parse("https://acme.com/").unwrap();
+        assert!(base.join("mailto:x@y.com").is_err());
+    }
+
+    #[test]
+    fn dot_segments_resolved() {
+        let u = Url::parse("https://a.com/x/./y/../z//w").unwrap();
+        assert_eq!(u.path, "/x/z/w");
+        let v = Url::parse("https://a.com/../..").unwrap();
+        assert_eq!(v.path, "/");
+    }
+
+    #[test]
+    fn trailing_slash_normalized() {
+        let a = Url::parse("https://a.com/privacy/").unwrap();
+        let b = Url::parse("https://a.com/privacy").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn domain_and_same_site() {
+        let a = Url::parse("https://www.acme.com/").unwrap();
+        let b = Url::parse("https://shop.acme.com/x").unwrap();
+        let c = Url::parse("https://other.com/").unwrap();
+        assert_eq!(a.domain(), "acme.com");
+        assert!(a.same_site(&b));
+        assert!(!a.same_site(&c));
+    }
+
+    #[test]
+    fn extension() {
+        assert_eq!(
+            Url::parse("https://a.com/p/policy.pdf").unwrap().extension(),
+            Some("pdf".into())
+        );
+        assert_eq!(Url::parse("https://a.com/p/policy").unwrap().extension(), None);
+        assert_eq!(Url::parse("https://a.com/").unwrap().extension(), None);
+    }
+}

@@ -1,0 +1,215 @@
+//! The nine privacy-policy section aspects of Section 3.2.1.
+
+use serde::{Deserialize, Serialize};
+
+/// A privacy-policy *aspect*: the topic a section of the policy discusses.
+///
+/// Segmentation (Appendix B of the paper) assigns one or more aspects to
+/// every section of a crawled policy; the annotation tasks then consume the
+/// text of the four aspects that are the focus of the study
+/// ([`Aspect::Types`], [`Aspect::Purposes`], [`Aspect::Handling`],
+/// [`Aspect::Rights`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Aspect {
+    /// What types or categories of data are collected.
+    Types,
+    /// How data may be collected (methods, sources, tools).
+    Methods,
+    /// Why data is collected and how it is used.
+    Purposes,
+    /// How collected data is handled, stored, retained, or protected.
+    Handling,
+    /// Whether and how data is shared with or disclosed to third parties.
+    Sharing,
+    /// User rights, choices, and controls (access, edit, deletion, opt-out).
+    Rights,
+    /// Information for specific audiences (children, California, Europe, ...).
+    Audiences,
+    /// If and how users will be informed of policy changes.
+    Changes,
+    /// Introductory/generic statements, contact info, anything else.
+    Other,
+}
+
+impl Aspect {
+    /// All nine aspects, in the order the paper lists them.
+    pub const ALL: [Aspect; 9] = [
+        Aspect::Types,
+        Aspect::Methods,
+        Aspect::Purposes,
+        Aspect::Handling,
+        Aspect::Sharing,
+        Aspect::Rights,
+        Aspect::Audiences,
+        Aspect::Changes,
+        Aspect::Other,
+    ];
+
+    /// The four aspects whose text feeds the annotation tasks of §3.2.2.
+    pub const ANNOTATED: [Aspect; 4] = [
+        Aspect::Types,
+        Aspect::Purposes,
+        Aspect::Handling,
+        Aspect::Rights,
+    ];
+
+    /// Lower-case key used in prompts and serialized outputs.
+    pub fn key(self) -> &'static str {
+        match self {
+            Aspect::Types => "types",
+            Aspect::Methods => "methods",
+            Aspect::Purposes => "purposes",
+            Aspect::Handling => "handling",
+            Aspect::Sharing => "sharing",
+            Aspect::Rights => "rights",
+            Aspect::Audiences => "audiences",
+            Aspect::Changes => "changes",
+            Aspect::Other => "other",
+        }
+    }
+
+    /// Parse a lower-case aspect key as emitted by the chatbot tasks.
+    pub fn from_key(key: &str) -> Option<Aspect> {
+        Aspect::ALL.iter().copied().find(|a| a.key() == key)
+    }
+
+    /// One-line description of the aspect, as used in the section-heading
+    /// labeling prompt (Figure 2a).
+    pub fn description(self) -> &'static str {
+        match self {
+            Aspect::Types => "What types or categories of data are collected.",
+            Aspect::Methods => {
+                "How data may be collected, including methods, sources, or tools used for data collection."
+            }
+            Aspect::Purposes => {
+                "What are the purposes of data collection, including why data is collected and how it is used."
+            }
+            Aspect::Handling => {
+                "How the collected data is handled, stored, or protected, including data processing, data retention, and security mechanisms."
+            }
+            Aspect::Sharing => {
+                "Whether and how data is shared with or disclosed to third parties."
+            }
+            Aspect::Rights => {
+                "User rights, choices, and controls, including access, edit, deletion, and opt-out options."
+            }
+            Aspect::Audiences => {
+                "Information related to specific audiences, e.g., children or users from California, Europe, etc."
+            }
+            Aspect::Changes => "If and how users will be informed of changes.",
+            Aspect::Other => {
+                "Information not covered above, including introductory or generic statements, contact information, and other information not directly related to data privacy."
+            }
+        }
+    }
+
+    /// Example section headings relevant to this aspect; the glossary block of
+    /// the heading-labeling prompt (Figure 2a).
+    pub fn heading_glossary(self) -> &'static [&'static str] {
+        match self {
+            Aspect::Types => &[
+                "Information we collect",
+                "Types of data collected",
+                "Categories of personal data",
+                "Personal information we collect",
+                "What information do we collect",
+            ],
+            Aspect::Methods => &[
+                "How we collect information",
+                "Data collection methods",
+                "Sources of data we collect",
+                "Cookies and tracking technologies",
+            ],
+            Aspect::Purposes => &[
+                "Why do we collect your data",
+                "How we use the information we collect",
+                "Purpose of data collection",
+                "Use of personal information",
+            ],
+            Aspect::Handling => &[
+                "How we protect your information",
+                "Data retention",
+                "Data security",
+                "How long we keep your information",
+            ],
+            Aspect::Sharing => &[
+                "How we share your information",
+                "Disclosure of personal information",
+                "Third parties",
+                "Who we share data with",
+            ],
+            Aspect::Rights => &[
+                "Your rights and choices",
+                "Your privacy rights",
+                "Opt-out options",
+                "Access and correction",
+                "Managing your information",
+            ],
+            Aspect::Audiences => &[
+                "Children's privacy",
+                "California residents",
+                "European users",
+                "Notice to Nevada residents",
+            ],
+            Aspect::Changes => &[
+                "Changes to this policy",
+                "Policy updates",
+                "Amendments to this notice",
+            ],
+            Aspect::Other => &[
+                "Contact us",
+                "Introduction",
+                "About this policy",
+                "Definitions",
+            ],
+        }
+    }
+}
+
+impl std::fmt::Display for Aspect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_keys() {
+        for a in Aspect::ALL {
+            assert_eq!(Aspect::from_key(a.key()), Some(a));
+        }
+    }
+
+    #[test]
+    fn unknown_key_is_none() {
+        assert_eq!(Aspect::from_key("bogus"), None);
+        assert_eq!(Aspect::from_key(""), None);
+        assert_eq!(Aspect::from_key("Types"), None, "keys are lower-case");
+    }
+
+    #[test]
+    fn annotated_is_subset_of_all() {
+        for a in Aspect::ANNOTATED {
+            assert!(Aspect::ALL.contains(&a));
+        }
+    }
+
+    #[test]
+    fn nine_distinct_aspects() {
+        let mut keys: Vec<_> = Aspect::ALL.iter().map(|a| a.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 9);
+    }
+
+    #[test]
+    fn every_aspect_has_glossary_and_description() {
+        for a in Aspect::ALL {
+            assert!(!a.description().is_empty());
+            assert!(!a.heading_glossary().is_empty());
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Glossary rendering: turns the taxonomy into the glossary blocks attached
+//! to the chatbot prompts (Figure 2 of the paper).
+//!
+//! The paper attaches a compiled glossary to both data-type tasks ("this
+//! helps provide the chatbot with more context for performing the tasks")
+//! and notes the glossary is *not* comprehensive — the chatbot is asked to
+//! also identify terms not listed.
+
+use crate::aspect::Aspect;
+use crate::datatypes::{descriptors_for, DataTypeCategory};
+use crate::purposes::{purposes_for, PurposeCategory};
+use std::fmt::Write as _;
+
+/// Render the section-heading glossary for the heading-labeling task
+/// (Figure 2a): one line per aspect with example headings.
+pub fn heading_glossary() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "The glossary below includes phrases relevant to each category. This glossary is \
+         not comprehensive; it is crucial that you also identify relevant phrases not \
+         listed below.\n",
+    );
+    for aspect in Aspect::ALL {
+        let examples: Vec<String> = aspect
+            .heading_glossary()
+            .iter()
+            .map(|h| format!("\"{h}\""))
+            .collect();
+        let _ = writeln!(out, "- {}: {}.", aspect.key(), examples.join(", "));
+    }
+    out
+}
+
+/// Render the data-type glossary for the extraction and normalization tasks
+/// (Figure 2b): one line per category listing its descriptors.
+///
+/// `max_per_category` truncates each category's list (the paper's glossary
+/// is an illustrative subset, not the full vocabulary).
+pub fn datatype_glossary(max_per_category: usize) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "The glossary below includes some examples of data types. This glossary is not \
+         comprehensive; it is crucial that you also identify terms not listed below.\n",
+    );
+    for category in DataTypeCategory::ALL {
+        let mut specs: Vec<_> = descriptors_for(category).collect();
+        specs.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+        let shown: Vec<String> = specs
+            .iter()
+            .take(max_per_category)
+            .map(|d| format!("\"{}\"", d.name))
+            .collect();
+        let _ = writeln!(out, "- {}: {}", category.name(), shown.join(", "));
+    }
+    out
+}
+
+/// Render the purpose glossary for the purpose extraction/normalization task.
+pub fn purpose_glossary(max_per_category: usize) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "The glossary below includes some examples of data collection purposes. This \
+         glossary is not comprehensive; it is crucial that you also identify purposes \
+         not listed below.\n",
+    );
+    for category in PurposeCategory::ALL {
+        let mut specs: Vec<_> = purposes_for(category).collect();
+        specs.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+        let shown: Vec<String> = specs
+            .iter()
+            .take(max_per_category)
+            .map(|p| format!("\"{}\"", p.name))
+            .collect();
+        let _ = writeln!(out, "- {}: {}", category.name(), shown.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heading_glossary_lists_all_aspects() {
+        let g = heading_glossary();
+        for a in Aspect::ALL {
+            assert!(g.contains(&format!("- {}:", a.key())), "missing {a}");
+        }
+        assert!(g.contains("Information we collect"));
+    }
+
+    #[test]
+    fn datatype_glossary_lists_all_categories() {
+        let g = datatype_glossary(5);
+        for c in DataTypeCategory::ALL {
+            assert!(g.contains(c.name()), "missing {c}");
+        }
+        assert!(g.contains("\"email address\""));
+    }
+
+    #[test]
+    fn datatype_glossary_truncates() {
+        let short = datatype_glossary(1);
+        let long = datatype_glossary(100);
+        assert!(short.len() < long.len());
+        // With one descriptor per category the top-weighted must survive.
+        assert!(short.contains("\"ip address\""));
+    }
+
+    #[test]
+    fn purpose_glossary_lists_all_categories() {
+        let g = purpose_glossary(5);
+        for c in PurposeCategory::ALL {
+            assert!(g.contains(c.name()), "missing {c}");
+        }
+        assert!(g.contains("\"legal compliance\""));
+    }
+
+    #[test]
+    fn glossaries_declare_non_exhaustiveness() {
+        for g in [heading_glossary(), datatype_glossary(3), purpose_glossary(3)] {
+            assert!(g.contains("not comprehensive"));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Data-handling labels: retention and protection practices (Table 1,
+//! "Data retention" and "Data protection" blocks).
+
+use serde::{Deserialize, Serialize};
+
+/// Label for a data-retention mention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RetentionLabel {
+    /// Retention period is limited but unspecified ("as long as necessary").
+    Limited,
+    /// Retention period is explicitly specified (and extracted).
+    Stated,
+    /// Collected data is retained indefinitely.
+    Indefinitely,
+}
+
+impl RetentionLabel {
+    /// All three retention labels in Table 1 order.
+    pub const ALL: [RetentionLabel; 3] = [
+        RetentionLabel::Limited,
+        RetentionLabel::Stated,
+        RetentionLabel::Indefinitely,
+    ];
+
+    /// Table-style label name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RetentionLabel::Limited => "Limited",
+            RetentionLabel::Stated => "Stated",
+            RetentionLabel::Indefinitely => "Indefinitely",
+        }
+    }
+
+    /// One-line description as in Table 1.
+    pub fn description(self) -> &'static str {
+        match self {
+            RetentionLabel::Limited => "Retention period is limited but unspecified.",
+            RetentionLabel::Stated => {
+                "Retention period is specified (and extracted by the chatbot)."
+            }
+            RetentionLabel::Indefinitely => "Collected data is retained indefinitely.",
+        }
+    }
+
+    /// Parse a label name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<RetentionLabel> {
+        let lower = name.trim().to_ascii_lowercase();
+        RetentionLabel::ALL
+            .iter()
+            .copied()
+            .find(|l| l.name().to_ascii_lowercase() == lower)
+    }
+
+    /// Stable dense index (0..3).
+    pub fn index(self) -> usize {
+        RetentionLabel::ALL.iter().position(|&l| l == self).expect("label in ALL")
+    }
+}
+
+impl std::fmt::Display for RetentionLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Label for a data-protection mention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProtectionLabel {
+    /// Generic statement regarding data protection/security.
+    Generic,
+    /// Data access is restricted on a need-to-know basis.
+    AccessLimit,
+    /// Data transfer is secured, e.g. via encryption in transit.
+    SecureTransfer,
+    /// Data is stored securely, e.g. encrypted at rest.
+    SecureStorage,
+    /// Company has a data privacy/protection program.
+    PrivacyProgram,
+    /// Privacy measures and protections are reviewed/audited.
+    PrivacyReview,
+    /// User authentication is secured, e.g. via encryption or 2FA.
+    SecureAuthentication,
+}
+
+impl ProtectionLabel {
+    /// All seven protection labels in Table 1 order.
+    pub const ALL: [ProtectionLabel; 7] = [
+        ProtectionLabel::Generic,
+        ProtectionLabel::AccessLimit,
+        ProtectionLabel::SecureTransfer,
+        ProtectionLabel::SecureStorage,
+        ProtectionLabel::PrivacyProgram,
+        ProtectionLabel::PrivacyReview,
+        ProtectionLabel::SecureAuthentication,
+    ];
+
+    /// Table-style label name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtectionLabel::Generic => "Generic",
+            ProtectionLabel::AccessLimit => "Access limit",
+            ProtectionLabel::SecureTransfer => "Secure transfer",
+            ProtectionLabel::SecureStorage => "Secure storage",
+            ProtectionLabel::PrivacyProgram => "Privacy program",
+            ProtectionLabel::PrivacyReview => "Privacy review",
+            ProtectionLabel::SecureAuthentication => "Secure authentication",
+        }
+    }
+
+    /// One-line description as in Table 1.
+    pub fn description(self) -> &'static str {
+        match self {
+            ProtectionLabel::Generic => "Generic statement regarding data protection/security.",
+            ProtectionLabel::AccessLimit => "Data access is restricted on a need-to-know basis.",
+            ProtectionLabel::SecureTransfer => "Data transfer is secured, e.g., via encryption.",
+            ProtectionLabel::SecureStorage => {
+                "Data is stored securely, e.g., in an encrypted format or database."
+            }
+            ProtectionLabel::PrivacyProgram => "Company has a data privacy/protection program.",
+            ProtectionLabel::PrivacyReview => {
+                "Privacy measures and data protection practices are reviewed/audited."
+            }
+            ProtectionLabel::SecureAuthentication => {
+                "User authentication is secured, e.g., via encryption or 2FA."
+            }
+        }
+    }
+
+    /// Parse a label name (case-insensitive). Accepts the abbreviated
+    /// "Secure auth." spelling used in Table 3.
+    pub fn from_name(name: &str) -> Option<ProtectionLabel> {
+        let lower = name.trim().to_ascii_lowercase();
+        if lower == "secure auth." || lower == "secure auth" {
+            return Some(ProtectionLabel::SecureAuthentication);
+        }
+        ProtectionLabel::ALL
+            .iter()
+            .copied()
+            .find(|l| l.name().to_ascii_lowercase() == lower)
+    }
+
+    /// Stable dense index (0..7).
+    pub fn index(self) -> usize {
+        ProtectionLabel::ALL.iter().position(|&l| l == self).expect("label in ALL")
+    }
+}
+
+impl std::fmt::Display for ProtectionLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retention_roundtrip() {
+        for l in RetentionLabel::ALL {
+            assert_eq!(RetentionLabel::from_name(l.name()), Some(l));
+            assert!(!l.description().is_empty());
+        }
+        assert_eq!(RetentionLabel::from_name("forever"), None);
+    }
+
+    #[test]
+    fn protection_roundtrip() {
+        for l in ProtectionLabel::ALL {
+            assert_eq!(ProtectionLabel::from_name(l.name()), Some(l));
+            assert!(!l.description().is_empty());
+        }
+        assert_eq!(
+            ProtectionLabel::from_name("Secure auth."),
+            Some(ProtectionLabel::SecureAuthentication)
+        );
+    }
+
+    #[test]
+    fn counts_match_paper() {
+        assert_eq!(RetentionLabel::ALL.len(), 3);
+        assert_eq!(ProtectionLabel::ALL.len(), 7);
+    }
+
+    #[test]
+    fn indices_dense() {
+        for (i, l) in RetentionLabel::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+        }
+        for (i, l) in ProtectionLabel::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+        }
+    }
+}

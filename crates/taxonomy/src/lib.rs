@@ -1,0 +1,53 @@
+//! # aipan-taxonomy
+//!
+//! The annotation taxonomy used throughout AIPAN-RS, reproducing the manual
+//! taxonomy constructed in *"Analyzing Corporate Privacy Policies using AI
+//! Chatbots"* (IMC 2024), Section 3.2 and Appendix D.
+//!
+//! The taxonomy covers four annotation *aspects* of a privacy policy:
+//!
+//! * **Collected data types** — 6 meta-categories, 34 categories, and 125+
+//!   normalized descriptors (e.g. both "mailing address" and "home address"
+//!   normalize to the descriptor `postal address` in category
+//!   [`DataTypeCategory::ContactInfo`]).
+//! * **Data collection purposes** — 3 meta-categories, 7 categories, and 48
+//!   normalized descriptors.
+//! * **Data handling** — data retention labels (limited / stated /
+//!   indefinitely) and data protection labels (generic, access limit, secure
+//!   transfer, secure storage, privacy program, privacy review, secure
+//!   authentication).
+//! * **User rights** — user choice labels (opt-out via contact / via link,
+//!   privacy settings, opt-in, do-not-use) and user access labels (edit,
+//!   full delete, view, export, partial delete, deactivate).
+//!
+//! It also defines the nine section [`Aspect`]s used for policy segmentation
+//! (Section 3.2.1) and the eleven S&P [`Sector`]s used for the sector
+//! breakdowns of Tables 2, 3, and 5.
+//!
+//! The taxonomy is *open*: normalized descriptors are carried as strings in
+//! [`records::Annotation`] values so that out-of-vocabulary (zero-shot)
+//! descriptors produced by a chatbot can flow through the pipeline unchanged,
+//! while the [`normalize::Normalizer`] maps known surface forms onto the
+//! canonical vocabulary defined here.
+
+#![warn(missing_docs)]
+
+pub mod aspect;
+pub mod datatypes;
+pub mod glossary;
+pub mod handling;
+pub mod normalize;
+pub mod purposes;
+pub mod records;
+pub mod rights;
+pub mod sector;
+pub mod zeroshot;
+
+pub use aspect::Aspect;
+pub use datatypes::{DataTypeCategory, DataTypeMeta, DescriptorSpec, DATA_TYPE_DESCRIPTORS};
+pub use handling::{ProtectionLabel, RetentionLabel};
+pub use normalize::Normalizer;
+pub use purposes::{PurposeCategory, PurposeMeta, PurposeSpec, PURPOSE_DESCRIPTORS};
+pub use records::{Annotation, AnnotationPayload, AspectKind};
+pub use rights::{AccessLabel, ChoiceLabel};
+pub use sector::Sector;

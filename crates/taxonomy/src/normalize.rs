@@ -1,0 +1,179 @@
+//! Normalization of surface forms onto the canonical descriptor vocabulary.
+//!
+//! The paper's second data-type task maps verbatim mentions onto *normalized*
+//! descriptors (e.g. "mailing address" → "postal address") and assigns a
+//! category. [`Normalizer`] provides that mapping for the built-in
+//! vocabulary; unknown terms are left to the caller (the chatbot generates
+//! zero-shot descriptors for them).
+
+use crate::datatypes::{DataTypeCategory, DATA_TYPE_DESCRIPTORS};
+use crate::purposes::{PurposeCategory, PURPOSE_DESCRIPTORS};
+use std::collections::HashMap;
+
+/// Result of normalizing a data-type surface form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalizedDataType {
+    /// Canonical descriptor.
+    pub descriptor: &'static str,
+    /// Category of the descriptor.
+    pub category: DataTypeCategory,
+}
+
+/// Result of normalizing a purpose surface form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalizedPurpose {
+    /// Canonical descriptor.
+    pub descriptor: &'static str,
+    /// Category of the descriptor.
+    pub category: PurposeCategory,
+}
+
+/// Case/whitespace/punctuation-insensitive index from surface forms onto the
+/// canonical vocabulary.
+///
+/// Construction walks the static descriptor tables once; lookups are O(1)
+/// hash probes on a folded key.
+///
+/// ```
+/// use aipan_taxonomy::{DataTypeCategory, Normalizer};
+///
+/// let normalizer = Normalizer::new();
+/// let hit = normalizer.datatype("Mailing   Address").unwrap();
+/// assert_eq!(hit.descriptor, "postal address");
+/// assert_eq!(hit.category, DataTypeCategory::ContactInfo);
+/// assert!(normalizer.datatype("flux capacitor readings").is_none());
+/// ```
+#[derive(Debug)]
+pub struct Normalizer {
+    datatypes: HashMap<String, NormalizedDataType>,
+    purposes: HashMap<String, NormalizedPurpose>,
+}
+
+impl Normalizer {
+    /// Build the index over the full built-in vocabulary.
+    pub fn new() -> Self {
+        let mut datatypes = HashMap::new();
+        for spec in DATA_TYPE_DESCRIPTORS {
+            let value = NormalizedDataType { descriptor: spec.name, category: spec.category };
+            datatypes.insert(fold(spec.name), value);
+            for s in spec.surfaces {
+                datatypes.insert(fold(s), value);
+            }
+        }
+        let mut purposes = HashMap::new();
+        for spec in PURPOSE_DESCRIPTORS {
+            let value = NormalizedPurpose { descriptor: spec.name, category: spec.category };
+            purposes.insert(fold(spec.name), value);
+            for s in spec.surfaces {
+                purposes.insert(fold(s), value);
+            }
+        }
+        Normalizer { datatypes, purposes }
+    }
+
+    /// Normalize a data-type surface form, if it is in the vocabulary.
+    pub fn datatype(&self, surface: &str) -> Option<NormalizedDataType> {
+        self.datatypes.get(&fold(surface)).copied()
+    }
+
+    /// Normalize a purpose surface form, if it is in the vocabulary.
+    pub fn purpose(&self, surface: &str) -> Option<NormalizedPurpose> {
+        self.purposes.get(&fold(surface)).copied()
+    }
+
+    /// Number of indexed data-type surface forms.
+    pub fn datatype_surface_count(&self) -> usize {
+        self.datatypes.len()
+    }
+
+    /// Number of indexed purpose surface forms.
+    pub fn purpose_surface_count(&self) -> usize {
+        self.purposes.len()
+    }
+}
+
+impl Default for Normalizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fold a surface form to its lookup key: lower-cased, punctuation stripped
+/// (except internal hyphens/slashes which are significant, e.g. "e-mail",
+/// "zip/postal code"), whitespace collapsed.
+pub fn fold(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for ch in s.chars() {
+        let ch = ch.to_ascii_lowercase();
+        if ch.is_alphanumeric() || ch == '-' || ch == '/' || ch == '&' || ch == '\'' {
+            out.push(ch);
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_mailing_and_home_address() {
+        let n = Normalizer::new();
+        let a = n.datatype("mailing address").unwrap();
+        let b = n.datatype("Home Address").unwrap();
+        assert_eq!(a.descriptor, "postal address");
+        assert_eq!(b.descriptor, "postal address");
+        assert_eq!(a.category, DataTypeCategory::ContactInfo);
+    }
+
+    #[test]
+    fn fold_is_insensitive_to_case_space_punct() {
+        assert_eq!(fold("  E-Mail   Address!! "), "e-mail address");
+        assert_eq!(fold("IP, address."), "ip address");
+        assert_eq!(fold("zip/postal code"), "zip/postal code");
+    }
+
+    #[test]
+    fn canonical_names_normalize_to_themselves() {
+        let n = Normalizer::new();
+        for spec in DATA_TYPE_DESCRIPTORS {
+            let got = n.datatype(spec.name).unwrap();
+            assert_eq!(got.descriptor, spec.name);
+            assert_eq!(got.category, spec.category);
+        }
+        for spec in PURPOSE_DESCRIPTORS {
+            let got = n.purpose(spec.name).unwrap();
+            assert_eq!(got.descriptor, spec.name);
+        }
+    }
+
+    #[test]
+    fn unknown_terms_are_none() {
+        let n = Normalizer::new();
+        assert!(n.datatype("quantum entanglement state").is_none());
+        assert!(n.purpose("summon demons").is_none());
+    }
+
+    #[test]
+    fn purpose_surface_normalizes() {
+        let n = Normalizer::new();
+        let p = n.purpose("send you marketing communications").unwrap();
+        assert_eq!(p.descriptor, "direct marketing");
+        assert_eq!(p.category, PurposeCategory::AdvertisingSales);
+    }
+
+    #[test]
+    fn index_sizes_cover_vocabulary() {
+        let n = Normalizer::new();
+        assert!(n.datatype_surface_count() >= DATA_TYPE_DESCRIPTORS.len());
+        assert!(n.purpose_surface_count() >= PURPOSE_DESCRIPTORS.len());
+    }
+}

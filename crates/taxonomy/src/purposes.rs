@@ -1,0 +1,289 @@
+//! Data-collection purpose taxonomy: 3 meta-categories, 7 categories, 48
+//! normalized descriptors (Table 1, "Purposes" block).
+
+use serde::{Deserialize, Serialize};
+
+/// One of the three purpose meta-categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PurposeMeta {
+    /// Running and improving the business itself.
+    Operations,
+    /// Legal, regulatory, and security obligations.
+    Legal,
+    /// Marketing and sharing with third parties.
+    ThirdParty,
+}
+
+impl PurposeMeta {
+    /// All three purpose meta-categories in Table 1 order.
+    pub const ALL: [PurposeMeta; 3] = [
+        PurposeMeta::Operations,
+        PurposeMeta::Legal,
+        PurposeMeta::ThirdParty,
+    ];
+
+    /// Human-readable name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PurposeMeta::Operations => "Operations",
+            PurposeMeta::Legal => "Legal",
+            PurposeMeta::ThirdParty => "Third-party",
+        }
+    }
+
+    /// Categories belonging to this meta-category.
+    pub fn categories(self) -> &'static [PurposeCategory] {
+        use PurposeCategory::*;
+        match self {
+            PurposeMeta::Operations => &[BasicFunctioning, UserExperience, AnalyticsResearch],
+            PurposeMeta::Legal => &[LegalCompliance, Security],
+            PurposeMeta::ThirdParty => &[AdvertisingSales, DataSharing],
+        }
+    }
+
+    /// Stable dense index (0..3).
+    pub fn index(self) -> usize {
+        PurposeMeta::ALL.iter().position(|&m| m == self).expect("meta in ALL")
+    }
+}
+
+impl std::fmt::Display for PurposeMeta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One of the seven purpose categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PurposeCategory {
+    /// Core operation of the product/service (customer service, transaction
+    /// processing, account management, ...).
+    BasicFunctioning,
+    /// Improving or personalizing the user experience.
+    UserExperience,
+    /// Analytics, research, and product development.
+    AnalyticsResearch,
+    /// Legal, regulatory, and policy compliance.
+    LegalCompliance,
+    /// Security, fraud prevention, authentication.
+    Security,
+    /// Marketing, promotions, and targeted advertising.
+    AdvertisingSales,
+    /// Sharing with (or selling to) third parties.
+    DataSharing,
+}
+
+impl PurposeCategory {
+    /// All seven purpose categories, grouped by meta-category.
+    pub const ALL: [PurposeCategory; 7] = [
+        PurposeCategory::BasicFunctioning,
+        PurposeCategory::UserExperience,
+        PurposeCategory::AnalyticsResearch,
+        PurposeCategory::LegalCompliance,
+        PurposeCategory::Security,
+        PurposeCategory::AdvertisingSales,
+        PurposeCategory::DataSharing,
+    ];
+
+    /// The meta-category this category belongs to.
+    pub fn meta(self) -> PurposeMeta {
+        use PurposeCategory::*;
+        match self {
+            BasicFunctioning | UserExperience | AnalyticsResearch => PurposeMeta::Operations,
+            LegalCompliance | Security => PurposeMeta::Legal,
+            AdvertisingSales | DataSharing => PurposeMeta::ThirdParty,
+        }
+    }
+
+    /// Human-readable name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        use PurposeCategory::*;
+        match self {
+            BasicFunctioning => "Basic functioning",
+            UserExperience => "User experience",
+            AnalyticsResearch => "Analytics & research",
+            LegalCompliance => "Legal & compliance",
+            Security => "Security",
+            AdvertisingSales => "Advertising & sales",
+            DataSharing => "Data sharing",
+        }
+    }
+
+    /// Parse a table-style category name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<PurposeCategory> {
+        let lower = name.trim().to_ascii_lowercase();
+        PurposeCategory::ALL
+            .iter()
+            .copied()
+            .find(|c| c.name().to_ascii_lowercase() == lower)
+    }
+
+    /// Stable dense index (0..7).
+    pub fn index(self) -> usize {
+        PurposeCategory::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("category in ALL")
+    }
+}
+
+impl std::fmt::Display for PurposeCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A normalized purpose descriptor with its surface forms and within-category
+/// popularity weight (calibrated to the Table 1 "Purposes" frequencies).
+#[derive(Debug, Clone, Copy)]
+pub struct PurposeSpec {
+    /// Canonical normalized descriptor, e.g. `"targeted advertising"`.
+    pub name: &'static str,
+    /// Category the descriptor belongs to.
+    pub category: PurposeCategory,
+    /// Additional lower-case surface forms that normalize to this descriptor.
+    pub surfaces: &'static [&'static str],
+    /// Relative popularity within the category.
+    pub weight: f32,
+}
+
+macro_rules! pp {
+    ($name:literal, $cat:ident, $w:literal, [$($s:literal),*]) => {
+        PurposeSpec {
+            name: $name,
+            category: PurposeCategory::$cat,
+            surfaces: &[$($s),*],
+            weight: $w,
+        }
+    };
+}
+
+/// The 48-descriptor normalized vocabulary for data-collection purposes.
+pub static PURPOSE_DESCRIPTORS: &[PurposeSpec] = &[
+    // ---- Operations / Basic functioning (11) ----
+    pp!("customer service", BasicFunctioning, 9.3, ["provide customer service", "customer support", "respond to your inquiries", "support services"]),
+    pp!("customer communication", BasicFunctioning, 8.0, ["communicate with you", "send you notifications", "contact you", "service announcements"]),
+    pp!("transaction processing", BasicFunctioning, 4.8, ["process transactions", "process your orders", "complete transactions"]),
+    pp!("account management", BasicFunctioning, 4.5, ["manage your account", "maintain your account", "account creation", "register your account"]),
+    pp!("order fulfillment", BasicFunctioning, 4.0, ["fulfill your orders", "deliver products", "shipping and delivery"]),
+    pp!("service provision", BasicFunctioning, 4.5, ["provide our services", "provide the services you request", "operate our website", "deliver our services"]),
+    pp!("contract fulfillment", BasicFunctioning, 3.5, ["for the performance of a contract or to conduct business with you", "perform our contract", "contractual obligations"]),
+    pp!("payment processing", BasicFunctioning, 3.5, ["process payments", "billing purposes", "collect payments"]),
+    pp!("identity verification", BasicFunctioning, 3.0, ["verify your identity", "confirm your identity"]),
+    pp!("record keeping", BasicFunctioning, 2.5, ["maintain records", "internal record keeping", "administrative purposes"]),
+    pp!("recruitment", BasicFunctioning, 2.5, ["process your application", "evaluate job applicants", "hiring purposes"]),
+    // ---- Operations / User experience (6) ----
+    pp!("product improvement", UserExperience, 20.1, ["improve our products", "improve our services", "improve our website", "enhance our offerings", "improve the services"]),
+    pp!("personalization", UserExperience, 16.3, ["personalize your experience", "customize your experience", "tailor content", "personalized content"]),
+    pp!("quality assurance", UserExperience, 4.4, ["quality control", "monitor quality", "training and quality purposes"]),
+    pp!("user experience enhancement", UserExperience, 4.0, ["enhance your experience", "improve user experience", "better user experience"]),
+    pp!("recommendations", UserExperience, 3.0, ["provide recommendations", "suggest products", "recommend content"]),
+    pp!("remember preferences", UserExperience, 3.0, ["remember your preferences", "remember your settings", "store your preferences"]),
+    // ---- Operations / Analytics & research (6) ----
+    pp!("analytics", AnalyticsResearch, 17.4, ["perform analytics", "web analytics", "usage analytics", "analyze usage", "analytics purposes"]),
+    pp!("product/service development", AnalyticsResearch, 8.6, ["develop new products", "develop new services", "product development", "develop new features"]),
+    pp!("research", AnalyticsResearch, 6.2, ["conduct research", "research purposes", "internal research"]),
+    pp!("market research", AnalyticsResearch, 4.0, ["market analysis", "understand our market", "consumer research"]),
+    pp!("statistical analysis", AnalyticsResearch, 3.5, ["compile statistics", "statistical purposes", "aggregate statistics"]),
+    pp!("trend analysis", AnalyticsResearch, 3.0, ["identify usage trends", "analyze trends", "understand trends"]),
+    // ---- Legal / Legal & compliance (7) ----
+    pp!("legal compliance", LegalCompliance, 28.1, ["comply with the law", "comply with legal obligations", "comply with applicable laws", "as required by law", "legal requirements"]),
+    pp!("regulatory compliance", LegalCompliance, 10.2, ["comply with regulations", "regulatory requirements", "regulatory obligations"]),
+    pp!("policy compliance", LegalCompliance, 7.4, ["enforce our policies", "enforce our terms", "enforce our terms of service", "enforce agreements"]),
+    pp!("legal rights protection", LegalCompliance, 5.0, ["protect our legal rights", "establish or defend legal claims", "exercise legal rights"]),
+    pp!("law enforcement requests", LegalCompliance, 4.0, ["respond to law enforcement", "respond to lawful requests", "respond to subpoenas", "court orders"]),
+    pp!("dispute resolution", LegalCompliance, 3.0, ["resolve disputes", "handle disputes"]),
+    pp!("audit requirements", LegalCompliance, 2.5, ["audits", "internal audits", "audit purposes"]),
+    // ---- Legal / Security (7) ----
+    pp!("fraud prevention", Security, 21.8, ["prevent fraud", "detect fraud", "fraud detection", "prevent fraudulent activity", "anti-fraud"]),
+    pp!("authentication", Security, 6.6, ["authenticate users", "verify your credentials", "authenticate your account"]),
+    pp!("product/service safety", Security, 5.4, ["safety of our services", "protect the safety", "user safety", "ensure safety"]),
+    pp!("security monitoring", Security, 5.0, ["monitor for security", "protect the security", "maintain security", "security purposes", "network security"]),
+    pp!("threat detection", Security, 3.5, ["detect security incidents", "detect malicious activity", "identify threats"]),
+    pp!("access control", Security, 3.0, ["control access", "prevent unauthorized access"]),
+    pp!("incident investigation", Security, 2.5, ["investigate incidents", "investigate suspicious activity", "investigate violations"]),
+    // ---- Third-party / Advertising & sales (6) ----
+    pp!("direct marketing", AdvertisingSales, 20.8, ["marketing purposes", "send you marketing communications", "marketing emails", "direct mail marketing", "send promotional materials"]),
+    pp!("promotions", AdvertisingSales, 18.8, ["promotional offers", "special offers", "contests and sweepstakes", "promotional communications"]),
+    pp!("targeted advertising", AdvertisingSales, 16.3, ["interest-based advertising", "personalized advertising", "behavioral advertising", "serve relevant ads", "tailored advertising"]),
+    pp!("newsletters", AdvertisingSales, 4.0, ["send newsletters", "email newsletters"]),
+    pp!("sales outreach", AdvertisingSales, 3.5, ["sales purposes", "sell our products", "business development"]),
+    pp!("advertising measurement", AdvertisingSales, 3.0, ["measure ad effectiveness", "measure advertising performance", "ad campaign measurement"]),
+    // ---- Third-party / Data sharing (5) ----
+    pp!("third-party sharing", DataSharing, 18.8, ["share with third parties", "disclose to third parties", "share your information with third parties"]),
+    pp!("sharing with partners", DataSharing, 15.0, ["share with our partners", "share with business partners", "provide personal information to our affiliated businesses", "data sharing with affiliates"]),
+    pp!("anonymization", DataSharing, 4.3, ["share aggregated data", "share anonymized data", "de-identified data sharing"]),
+    pp!("data for sale", DataSharing, 8.0, ["sell your personal information", "sale of personal information", "sell your data", "may sell your information"]),
+    pp!("service provider sharing", DataSharing, 6.0, ["share with service providers", "share with vendors", "disclose to our service providers"]),
+];
+
+/// Iterate the purpose specs belonging to `category`.
+pub fn purposes_for(category: PurposeCategory) -> impl Iterator<Item = &'static PurposeSpec> {
+    PURPOSE_DESCRIPTORS.iter().filter(move |p| p.category == category)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_48_descriptors() {
+        assert_eq!(PURPOSE_DESCRIPTORS.len(), 48);
+    }
+
+    #[test]
+    fn seven_categories_three_metas() {
+        assert_eq!(PurposeCategory::ALL.len(), 7);
+        assert_eq!(PurposeMeta::ALL.len(), 3);
+        let n: usize = PurposeMeta::ALL.iter().map(|m| m.categories().len()).sum();
+        assert_eq!(n, 7);
+        for m in PurposeMeta::ALL {
+            for &c in m.categories() {
+                assert_eq!(c.meta(), m);
+            }
+        }
+    }
+
+    #[test]
+    fn every_category_populated() {
+        for c in PurposeCategory::ALL {
+            assert!(purposes_for(c).count() >= 3, "{c:?} too sparse");
+        }
+    }
+
+    #[test]
+    fn names_and_surfaces_unique() {
+        let mut seen: HashSet<&str> = HashSet::new();
+        for p in PURPOSE_DESCRIPTORS {
+            for form in std::iter::once(&p.name).chain(p.surfaces.iter()) {
+                assert!(seen.insert(form), "purpose surface {form:?} duplicated");
+                assert_eq!(*form, form.to_lowercase());
+            }
+        }
+    }
+
+    #[test]
+    fn top3_matches_paper_for_advertising() {
+        let mut ds: Vec<_> = purposes_for(PurposeCategory::AdvertisingSales).collect();
+        ds.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+        assert_eq!(ds[0].name, "direct marketing");
+        assert_eq!(ds[1].name, "promotions");
+        assert_eq!(ds[2].name, "targeted advertising");
+    }
+
+    #[test]
+    fn data_for_sale_exists() {
+        // §5 highlights "data sharing → data for sale" (26 companies).
+        assert!(PURPOSE_DESCRIPTORS
+            .iter()
+            .any(|p| p.name == "data for sale" && p.category == PurposeCategory::DataSharing));
+    }
+
+    #[test]
+    fn category_name_roundtrip() {
+        for c in PurposeCategory::ALL {
+            assert_eq!(PurposeCategory::from_name(c.name()), Some(c));
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Structured annotation records produced by the pipeline and consumed by
+//! the analysis layer.
+//!
+//! An [`Annotation`] pairs a taxonomy label ([`AnnotationPayload`]) with the
+//! verbatim text span that evidences it (used by the hallucination check of
+//! §3.2.2) and the line of the policy it was found on.
+
+use crate::datatypes::{DataTypeCategory, DataTypeMeta};
+use crate::handling::{ProtectionLabel, RetentionLabel};
+use crate::purposes::{PurposeCategory, PurposeMeta};
+use crate::rights::{AccessLabel, ChoiceLabel};
+use serde::{Deserialize, Serialize};
+
+/// Which of the four annotated aspect streams a record belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AspectKind {
+    /// Collected data types.
+    Types,
+    /// Data-collection purposes.
+    Purposes,
+    /// Data handling (retention + protection).
+    Handling,
+    /// User rights (choices + access).
+    Rights,
+}
+
+impl AspectKind {
+    /// All four annotated aspect kinds.
+    pub const ALL: [AspectKind; 4] = [
+        AspectKind::Types,
+        AspectKind::Purposes,
+        AspectKind::Handling,
+        AspectKind::Rights,
+    ];
+
+    /// Lower-case key.
+    pub fn key(self) -> &'static str {
+        match self {
+            AspectKind::Types => "types",
+            AspectKind::Purposes => "purposes",
+            AspectKind::Handling => "handling",
+            AspectKind::Rights => "rights",
+        }
+    }
+}
+
+impl std::fmt::Display for AspectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// The label part of an annotation.
+///
+/// Data types and purposes carry an *open* normalized descriptor string —
+/// descriptors outside the built-in vocabulary (zero-shot annotations) flow
+/// through unchanged — plus the closed category assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AnnotationPayload {
+    /// A collected data type, e.g. descriptor `"postal address"` in category
+    /// [`DataTypeCategory::ContactInfo`].
+    DataType {
+        /// Normalized descriptor (open vocabulary).
+        descriptor: String,
+        /// Closed category assignment.
+        category: DataTypeCategory,
+    },
+    /// A data-collection purpose.
+    Purpose {
+        /// Normalized descriptor (open vocabulary).
+        descriptor: String,
+        /// Closed category assignment.
+        category: PurposeCategory,
+    },
+    /// A data-retention practice; `period_days` is populated for
+    /// [`RetentionLabel::Stated`] mentions where the chatbot extracted a
+    /// concrete period.
+    Retention {
+        /// Retention label.
+        label: RetentionLabel,
+        /// Stated retention period in days, if extracted.
+        period_days: Option<u32>,
+    },
+    /// A data-protection practice.
+    Protection {
+        /// Protection label.
+        label: ProtectionLabel,
+    },
+    /// A user-choice practice.
+    Choice {
+        /// Choice label.
+        label: ChoiceLabel,
+    },
+    /// A user-access practice.
+    Access {
+        /// Access label.
+        label: AccessLabel,
+    },
+}
+
+impl AnnotationPayload {
+    /// The aspect stream this payload belongs to.
+    pub fn aspect_kind(&self) -> AspectKind {
+        match self {
+            AnnotationPayload::DataType { .. } => AspectKind::Types,
+            AnnotationPayload::Purpose { .. } => AspectKind::Purposes,
+            AnnotationPayload::Retention { .. } | AnnotationPayload::Protection { .. } => {
+                AspectKind::Handling
+            }
+            AnnotationPayload::Choice { .. } | AnnotationPayload::Access { .. } => {
+                AspectKind::Rights
+            }
+        }
+    }
+
+    /// A canonical key identifying "the same term" for the per-policy
+    /// deduplication of Table 1 ("unique annotations after eliminating
+    /// repetitive mentions of the same term").
+    pub fn dedup_key(&self) -> String {
+        match self {
+            AnnotationPayload::DataType { descriptor, category } => {
+                format!("dt:{}:{}", category.index(), descriptor)
+            }
+            AnnotationPayload::Purpose { descriptor, category } => {
+                format!("pu:{}:{}", category.index(), descriptor)
+            }
+            AnnotationPayload::Retention { label, .. } => format!("re:{}", label.index()),
+            AnnotationPayload::Protection { label } => format!("pr:{}", label.index()),
+            AnnotationPayload::Choice { label } => format!("ch:{}", label.index()),
+            AnnotationPayload::Access { label } => format!("ac:{}", label.index()),
+        }
+    }
+
+    /// Data-type meta-category, if this is a data-type annotation.
+    pub fn datatype_meta(&self) -> Option<DataTypeMeta> {
+        match self {
+            AnnotationPayload::DataType { category, .. } => Some(category.meta()),
+            _ => None,
+        }
+    }
+
+    /// Purpose meta-category, if this is a purpose annotation.
+    pub fn purpose_meta(&self) -> Option<PurposeMeta> {
+        match self {
+            AnnotationPayload::Purpose { category, .. } => Some(category.meta()),
+            _ => None,
+        }
+    }
+}
+
+/// One labeled annotation extracted from a privacy policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Annotation {
+    /// The taxonomy label.
+    pub payload: AnnotationPayload,
+    /// Verbatim text span from the policy that evidences the label. The
+    /// pipeline's hallucination check verifies this text is present in the
+    /// source document.
+    pub text: String,
+    /// 1-based line number of the mention in the extracted policy text.
+    pub line: usize,
+}
+
+impl Annotation {
+    /// Construct an annotation.
+    pub fn new(payload: AnnotationPayload, text: impl Into<String>, line: usize) -> Self {
+        Annotation { payload, text: text.into(), line }
+    }
+
+    /// The aspect stream this annotation belongs to.
+    pub fn aspect_kind(&self) -> AspectKind {
+        self.payload.aspect_kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dt(desc: &str) -> AnnotationPayload {
+        AnnotationPayload::DataType {
+            descriptor: desc.into(),
+            category: DataTypeCategory::ContactInfo,
+        }
+    }
+
+    #[test]
+    fn aspect_kind_mapping() {
+        assert_eq!(dt("email address").aspect_kind(), AspectKind::Types);
+        assert_eq!(
+            AnnotationPayload::Purpose {
+                descriptor: "analytics".into(),
+                category: PurposeCategory::AnalyticsResearch,
+            }
+            .aspect_kind(),
+            AspectKind::Purposes
+        );
+        assert_eq!(
+            AnnotationPayload::Retention { label: RetentionLabel::Limited, period_days: None }
+                .aspect_kind(),
+            AspectKind::Handling
+        );
+        assert_eq!(
+            AnnotationPayload::Protection { label: ProtectionLabel::Generic }.aspect_kind(),
+            AspectKind::Handling
+        );
+        assert_eq!(
+            AnnotationPayload::Choice { label: ChoiceLabel::OptIn }.aspect_kind(),
+            AspectKind::Rights
+        );
+        assert_eq!(
+            AnnotationPayload::Access { label: AccessLabel::View }.aspect_kind(),
+            AspectKind::Rights
+        );
+    }
+
+    #[test]
+    fn dedup_key_collapses_repeats_and_distinguishes_terms() {
+        assert_eq!(dt("email address").dedup_key(), dt("email address").dedup_key());
+        assert_ne!(dt("email address").dedup_key(), dt("phone number").dedup_key());
+        // Same descriptor text in different enum arms must not collide.
+        let p = AnnotationPayload::Purpose {
+            descriptor: "email address".into(),
+            category: PurposeCategory::BasicFunctioning,
+        };
+        assert_ne!(dt("email address").dedup_key(), p.dedup_key());
+    }
+
+    #[test]
+    fn retention_dedup_ignores_period() {
+        let a = AnnotationPayload::Retention {
+            label: RetentionLabel::Stated,
+            period_days: Some(730),
+        };
+        let b = AnnotationPayload::Retention {
+            label: RetentionLabel::Stated,
+            period_days: Some(365),
+        };
+        assert_eq!(a.dedup_key(), b.dedup_key());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ann = Annotation::new(dt("postal address"), "mailing address", 42);
+        let json = serde_json::to_string(&ann).unwrap();
+        let back: Annotation = serde_json::from_str(&json).unwrap();
+        assert_eq!(ann, back);
+    }
+
+    #[test]
+    fn metas_only_for_matching_variants() {
+        assert!(dt("x").datatype_meta().is_some());
+        assert!(dt("x").purpose_meta().is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! User-rights labels: choices and access practices (Table 1, "User choices"
+//! and "User access" blocks).
+
+use serde::{Deserialize, Serialize};
+
+/// Label for a user-choice mention (opt-in/opt-out and privacy controls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ChoiceLabel {
+    /// Users must directly contact the company (e.g. via email) to opt out.
+    OptOutViaContact,
+    /// Users can opt out via a link provided by the company.
+    OptOutViaLink,
+    /// Company provides controls via a dedicated privacy-settings page.
+    PrivacySettings,
+    /// Users must consent before data can be collected, used, or shared.
+    OptIn,
+    /// The only option is for users to not use a feature or service.
+    DoNotUse,
+}
+
+impl ChoiceLabel {
+    /// All five choice labels in Table 1 order.
+    pub const ALL: [ChoiceLabel; 5] = [
+        ChoiceLabel::OptOutViaContact,
+        ChoiceLabel::OptOutViaLink,
+        ChoiceLabel::PrivacySettings,
+        ChoiceLabel::OptIn,
+        ChoiceLabel::DoNotUse,
+    ];
+
+    /// Table-style label name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChoiceLabel::OptOutViaContact => "Opt-out via contact",
+            ChoiceLabel::OptOutViaLink => "Opt-out via link",
+            ChoiceLabel::PrivacySettings => "Privacy settings",
+            ChoiceLabel::OptIn => "Opt-in",
+            ChoiceLabel::DoNotUse => "Do not use",
+        }
+    }
+
+    /// One-line description as in Table 1.
+    pub fn description(self) -> &'static str {
+        match self {
+            ChoiceLabel::OptOutViaContact => {
+                "Users must directly contact the company (e.g., via email) to opt-out."
+            }
+            ChoiceLabel::OptOutViaLink => {
+                "Users can opt-out via a link provided by the company."
+            }
+            ChoiceLabel::PrivacySettings => {
+                "Company provides controls via a dedicated privacy settings page."
+            }
+            ChoiceLabel::OptIn => {
+                "Users must consent before data can be collected, used, or shared."
+            }
+            ChoiceLabel::DoNotUse => {
+                "The only option is for users to not use a feature or service."
+            }
+        }
+    }
+
+    /// Parse a label name (case-insensitive). Accepts the parenthesized Table
+    /// 3 spellings "Opt-out (contact)" and "Opt-out (link)".
+    pub fn from_name(name: &str) -> Option<ChoiceLabel> {
+        let lower = name.trim().to_ascii_lowercase();
+        match lower.as_str() {
+            "opt-out (contact)" => return Some(ChoiceLabel::OptOutViaContact),
+            "opt-out (link)" => return Some(ChoiceLabel::OptOutViaLink),
+            _ => {}
+        }
+        ChoiceLabel::ALL
+            .iter()
+            .copied()
+            .find(|l| l.name().to_ascii_lowercase() == lower)
+    }
+
+    /// Stable dense index (0..5).
+    pub fn index(self) -> usize {
+        ChoiceLabel::ALL.iter().position(|&l| l == self).expect("label in ALL")
+    }
+}
+
+impl std::fmt::Display for ChoiceLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Label for a user-access mention (view/edit/delete/export rights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AccessLabel {
+    /// Users can modify, correct, or delete specific data.
+    Edit,
+    /// Users can fully delete their account (all data removed).
+    FullDelete,
+    /// Users can view their data.
+    View,
+    /// Users can export or obtain a copy of their data.
+    Export,
+    /// Users can partially delete their account (company may retain some data).
+    PartialDelete,
+    /// Users can deactivate their account (company retains access to data).
+    Deactivate,
+}
+
+impl AccessLabel {
+    /// All six access labels in Table 1 order.
+    pub const ALL: [AccessLabel; 6] = [
+        AccessLabel::Edit,
+        AccessLabel::FullDelete,
+        AccessLabel::View,
+        AccessLabel::Export,
+        AccessLabel::PartialDelete,
+        AccessLabel::Deactivate,
+    ];
+
+    /// Table-style label name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessLabel::Edit => "Edit",
+            AccessLabel::FullDelete => "Full delete",
+            AccessLabel::View => "View",
+            AccessLabel::Export => "Export",
+            AccessLabel::PartialDelete => "Partial delete",
+            AccessLabel::Deactivate => "Deactivate",
+        }
+    }
+
+    /// One-line description as in Table 1.
+    pub fn description(self) -> &'static str {
+        match self {
+            AccessLabel::Edit => "Users can modify, correct, or delete specific data.",
+            AccessLabel::FullDelete => {
+                "Users can fully delete their account (all data is removed from servers/databases)."
+            }
+            AccessLabel::View => "Users can view their data.",
+            AccessLabel::Export => "Users can export or obtain a copy of their data.",
+            AccessLabel::PartialDelete => {
+                "Users can partially delete their account (company may retain some of their data)."
+            }
+            AccessLabel::Deactivate => {
+                "Users can deactivate their account (company retains access to their data)."
+            }
+        }
+    }
+
+    /// Parse a label name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<AccessLabel> {
+        let lower = name.trim().to_ascii_lowercase();
+        AccessLabel::ALL
+            .iter()
+            .copied()
+            .find(|l| l.name().to_ascii_lowercase() == lower)
+    }
+
+    /// Whether this access right implies *write* access to user data (used
+    /// by the §5 read/write vs read-only breakdown).
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            AccessLabel::Edit | AccessLabel::FullDelete | AccessLabel::PartialDelete
+        )
+    }
+
+    /// Stable dense index (0..6).
+    pub fn index(self) -> usize {
+        AccessLabel::ALL.iter().position(|&l| l == self).expect("label in ALL")
+    }
+}
+
+impl std::fmt::Display for AccessLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choice_roundtrip() {
+        for l in ChoiceLabel::ALL {
+            assert_eq!(ChoiceLabel::from_name(l.name()), Some(l));
+            assert!(!l.description().is_empty());
+        }
+        assert_eq!(
+            ChoiceLabel::from_name("Opt-out (contact)"),
+            Some(ChoiceLabel::OptOutViaContact)
+        );
+        assert_eq!(
+            ChoiceLabel::from_name("Opt-out (link)"),
+            Some(ChoiceLabel::OptOutViaLink)
+        );
+    }
+
+    #[test]
+    fn access_roundtrip() {
+        for l in AccessLabel::ALL {
+            assert_eq!(AccessLabel::from_name(l.name()), Some(l));
+            assert!(!l.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn counts_match_paper() {
+        assert_eq!(ChoiceLabel::ALL.len(), 5);
+        assert_eq!(AccessLabel::ALL.len(), 6);
+    }
+
+    #[test]
+    fn write_split_matches_section5() {
+        // §5: read/write access = edit, partial delete, or full delete.
+        let writes: Vec<_> = AccessLabel::ALL.iter().filter(|l| l.is_write()).collect();
+        assert_eq!(writes.len(), 3);
+        assert!(!AccessLabel::View.is_write());
+        assert!(!AccessLabel::Export.is_write());
+        assert!(!AccessLabel::Deactivate.is_write());
+    }
+}

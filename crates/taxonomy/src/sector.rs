@@ -1,0 +1,150 @@
+//! The eleven S&P sectors used for the sector breakdowns of Tables 2/3/5.
+
+use serde::{Deserialize, Serialize};
+
+/// An S&P (GICS-style) sector, with the abbreviations of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Sector {
+    /// CD — Consumer discretionary.
+    ConsumerDiscretionary,
+    /// CS — Consumer staples.
+    ConsumerStaples,
+    /// EN — Energy.
+    Energy,
+    /// FS — Financials.
+    Financials,
+    /// HC — Health care.
+    HealthCare,
+    /// IN — Industrials.
+    Industrials,
+    /// IT — Information technology.
+    InformationTechnology,
+    /// MT — Materials.
+    Materials,
+    /// RE — Real estate.
+    RealEstate,
+    /// TC — Communication services.
+    CommunicationServices,
+    /// UT — Utilities.
+    Utilities,
+}
+
+impl Sector {
+    /// All eleven sectors in abbreviation order (CD, CS, EN, FS, HC, IN, IT,
+    /// MT, RE, TC, UT).
+    pub const ALL: [Sector; 11] = [
+        Sector::ConsumerDiscretionary,
+        Sector::ConsumerStaples,
+        Sector::Energy,
+        Sector::Financials,
+        Sector::HealthCare,
+        Sector::Industrials,
+        Sector::InformationTechnology,
+        Sector::Materials,
+        Sector::RealEstate,
+        Sector::CommunicationServices,
+        Sector::Utilities,
+    ];
+
+    /// Two-letter abbreviation used throughout the paper's tables.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Sector::ConsumerDiscretionary => "CD",
+            Sector::ConsumerStaples => "CS",
+            Sector::Energy => "EN",
+            Sector::Financials => "FS",
+            Sector::HealthCare => "HC",
+            Sector::Industrials => "IN",
+            Sector::InformationTechnology => "IT",
+            Sector::Materials => "MT",
+            Sector::RealEstate => "RE",
+            Sector::CommunicationServices => "TC",
+            Sector::Utilities => "UT",
+        }
+    }
+
+    /// Full sector name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sector::ConsumerDiscretionary => "Consumer discretionary",
+            Sector::ConsumerStaples => "Consumer staples",
+            Sector::Energy => "Energy",
+            Sector::Financials => "Financials",
+            Sector::HealthCare => "Health care",
+            Sector::Industrials => "Industrials",
+            Sector::InformationTechnology => "Information technology",
+            Sector::Materials => "Materials",
+            Sector::RealEstate => "Real estate",
+            Sector::CommunicationServices => "Communication services",
+            Sector::Utilities => "Utilities",
+        }
+    }
+
+    /// Parse a two-letter abbreviation.
+    pub fn from_abbrev(s: &str) -> Option<Sector> {
+        Sector::ALL.iter().copied().find(|x| x.abbrev() == s)
+    }
+
+    /// Approximate share of Russell-3000 constituents in this sector, used by
+    /// the synthetic universe generator. Shares sum to 1.
+    pub fn universe_share(self) -> f64 {
+        match self {
+            Sector::ConsumerDiscretionary => 0.110,
+            Sector::ConsumerStaples => 0.040,
+            Sector::Energy => 0.040,
+            Sector::Financials => 0.160,
+            Sector::HealthCare => 0.170,
+            Sector::Industrials => 0.152,
+            Sector::InformationTechnology => 0.140,
+            Sector::Materials => 0.055,
+            Sector::RealEstate => 0.070,
+            Sector::CommunicationServices => 0.035,
+            Sector::Utilities => 0.028,
+        }
+    }
+
+    /// Stable dense index (0..11) for array-indexed per-sector accumulators.
+    pub fn index(self) -> usize {
+        Sector::ALL.iter().position(|&s| s == self).expect("sector in ALL")
+    }
+}
+
+impl std::fmt::Display for Sector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbrev_roundtrip() {
+        for s in Sector::ALL {
+            assert_eq!(Sector::from_abbrev(s.abbrev()), Some(s));
+        }
+        assert_eq!(Sector::from_abbrev("XX"), None);
+    }
+
+    #[test]
+    fn eleven_sectors() {
+        let mut ab: Vec<_> = Sector::ALL.iter().map(|s| s.abbrev()).collect();
+        ab.sort_unstable();
+        ab.dedup();
+        assert_eq!(ab.len(), 11);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let total: f64 = Sector::ALL.iter().map(|s| s.universe_share()).sum();
+        assert!((total - 1.0).abs() < 0.015, "shares sum to {total}");
+    }
+
+    #[test]
+    fn index_is_dense_and_stable() {
+        for (i, s) in Sector::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Out-of-vocabulary ("zero-shot") descriptors.
+//!
+//! The paper's first contribution is a pipeline that supports
+//! *out-of-vocabulary (zero-shot) annotations by leaving the set of labels
+//! open*: the chatbot is instructed to generate descriptors of its own for
+//! terms not in the glossary. This module models that world: terms that are
+//! **not** part of [`crate::DATA_TYPE_DESCRIPTORS`] / glossaries, but that a
+//! capable LLM recognizes and can categorize anyway.
+//!
+//! The synthetic-policy generator plants these terms; the simulated chatbot
+//! "knows" them (its world knowledge exceeds the glossary) and emits them as
+//! open-vocabulary descriptors, which flow through the pipeline as plain
+//! strings.
+
+use crate::datatypes::DataTypeCategory;
+use crate::purposes::PurposeCategory;
+
+/// A zero-shot data-type term and the category a capable model assigns it.
+#[derive(Debug, Clone, Copy)]
+pub struct ZeroShotDataType {
+    /// The surface term as it appears in policies (also used as the
+    /// emitted descriptor).
+    pub term: &'static str,
+    /// Category a capable model assigns.
+    pub category: DataTypeCategory,
+}
+
+/// Zero-shot data-type vocabulary (disjoint from the built-in glossary).
+pub static ZERO_SHOT_DATA_TYPES: &[ZeroShotDataType] = &[
+    ZeroShotDataType { term: "podcast listening habits", category: DataTypeCategory::ContentConsumption },
+    ZeroShotDataType { term: "gait patterns", category: DataTypeCategory::BiometricData },
+    ZeroShotDataType { term: "commute routes", category: DataTypeCategory::TravelData },
+    ZeroShotDataType { term: "smart home telemetry", category: DataTypeCategory::DeviceInfo },
+    ZeroShotDataType { term: "loyalty program tier", category: DataTypeCategory::AccountInfo },
+    ZeroShotDataType { term: "gaming achievements", category: DataTypeCategory::ProductServiceUsage },
+    ZeroShotDataType { term: "charging station usage", category: DataTypeCategory::VehicleInfo },
+    ZeroShotDataType { term: "dietary restrictions", category: DataTypeCategory::MedicalInfo },
+    ZeroShotDataType { term: "pet information", category: DataTypeCategory::DemographicInfo },
+    ZeroShotDataType { term: "voice assistant queries", category: DataTypeCategory::CommunicationData },
+    ZeroShotDataType { term: "keyboard typing cadence", category: DataTypeCategory::BiometricData },
+    ZeroShotDataType { term: "warranty registrations", category: DataTypeCategory::TransactionInfo },
+    ZeroShotDataType { term: "wearable sensor readings", category: DataTypeCategory::FitnessHealth },
+    ZeroShotDataType { term: "smart meter readings", category: DataTypeCategory::DeviceInfo },
+    ZeroShotDataType { term: "beacon proximity pings", category: DataTypeCategory::PreciseLocation },
+    ZeroShotDataType { term: "delivery drop-off notes", category: DataTypeCategory::ContactInfo },
+    ZeroShotDataType { term: "screen recording sessions", category: DataTypeCategory::InternetUsage },
+    ZeroShotDataType { term: "seat preferences", category: DataTypeCategory::Preferences },
+    ZeroShotDataType { term: "crypto wallet addresses", category: DataTypeCategory::FinancialInfo },
+    ZeroShotDataType { term: "drone flight logs", category: DataTypeCategory::DiagnosticData },
+];
+
+/// A zero-shot purpose term and its category.
+#[derive(Debug, Clone, Copy)]
+pub struct ZeroShotPurpose {
+    /// The surface term (also used as the emitted descriptor).
+    pub term: &'static str,
+    /// Category a capable model assigns.
+    pub category: PurposeCategory,
+}
+
+/// Zero-shot purpose vocabulary (disjoint from the built-in glossary).
+pub static ZERO_SHOT_PURPOSES: &[ZeroShotPurpose] = &[
+    ZeroShotPurpose { term: "train machine learning models", category: PurposeCategory::AnalyticsResearch },
+    ZeroShotPurpose { term: "calibrate demand forecasts", category: PurposeCategory::AnalyticsResearch },
+    ZeroShotPurpose { term: "co-branded loyalty campaigns", category: PurposeCategory::AdvertisingSales },
+    ZeroShotPurpose { term: "verify statutory eligibility", category: PurposeCategory::LegalCompliance },
+    ZeroShotPurpose { term: "detect account-sharing abuse", category: PurposeCategory::Security },
+    ZeroShotPurpose { term: "benchmark against industry peers", category: PurposeCategory::AnalyticsResearch },
+    ZeroShotPurpose { term: "optimize store layouts", category: PurposeCategory::UserExperience },
+    ZeroShotPurpose { term: "coordinate franchise operations", category: PurposeCategory::BasicFunctioning },
+    ZeroShotPurpose { term: "syndicate listings to aggregators", category: PurposeCategory::DataSharing },
+    ZeroShotPurpose { term: "schedule preventive maintenance", category: PurposeCategory::BasicFunctioning },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatypes::DATA_TYPE_DESCRIPTORS;
+    use crate::normalize::Normalizer;
+    use crate::purposes::PURPOSE_DESCRIPTORS;
+
+    #[test]
+    fn zero_shot_terms_not_in_glossary() {
+        let n = Normalizer::new();
+        for z in ZERO_SHOT_DATA_TYPES {
+            assert!(
+                n.datatype(z.term).is_none(),
+                "{} is in the built-in vocabulary; not zero-shot",
+                z.term
+            );
+        }
+        for z in ZERO_SHOT_PURPOSES {
+            assert!(n.purpose(z.term).is_none(), "{} is in-vocabulary", z.term);
+        }
+    }
+
+    #[test]
+    fn zero_shot_terms_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for z in ZERO_SHOT_DATA_TYPES {
+            assert!(seen.insert(z.term));
+        }
+        for z in ZERO_SHOT_PURPOSES {
+            assert!(seen.insert(z.term));
+        }
+    }
+
+    #[test]
+    fn vocabularies_disjoint_by_construction() {
+        // Defensive: no zero-shot term equals any canonical descriptor name.
+        for z in ZERO_SHOT_DATA_TYPES {
+            assert!(DATA_TYPE_DESCRIPTORS.iter().all(|d| d.name != z.term));
+        }
+        for z in ZERO_SHOT_PURPOSES {
+            assert!(PURPOSE_DESCRIPTORS.iter().all(|p| p.name != z.term));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # aipan-webgen
+//!
+//! The synthetic web: a deterministic Russell-3000-like company universe,
+//! a simulated search index, and a privacy-policy website generator that
+//! **plants ground truth**.
+//!
+//! Every company's policy is authored from a sampled
+//! [`groundtruth::GroundTruth`]: the exact set of data types, purposes,
+//! retention/protection practices, and user rights the policy discusses,
+//! drawn from sector-calibrated distributions fit to Tables 2, 3, and 5 of
+//! the paper. Because the truth is known, the pipeline's precision and
+//! recall can be measured exactly — something the paper could only estimate
+//! by manual inspection.
+//!
+//! Failure modes observed in the paper's §4 audit (sites without policies,
+//! PDF policies, JavaScript-loaded content, image-based policies, policies
+//! behind consent boxes or non-"privacy" link text, non-English and
+//! mixed-language pages) are injected at the audited rates via
+//! deterministic per-company fates.
+//!
+//! Modules:
+//!
+//! * [`universe`] — companies, tickers, sectors, domains (with duplicate
+//!   tickers sharing one domain, like GOOG/GOOGL).
+//! * [`search`] — the simulated "first Google result" domain lookup.
+//! * [`calibration`] — coverage / mean±SD targets per category and sector.
+//! * [`groundtruth`] — sampling a company's planted annotation set.
+//! * [`policy`] — rendering a ground truth into realistic legalese HTML.
+//! * [`site`] — assembling full sites (homepage, privacy center, fates) and
+//!   registering them on an [`aipan_net::Internet`].
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod groundtruth;
+pub mod policy;
+pub mod rng;
+pub mod search;
+pub mod site;
+pub mod universe;
+
+pub use groundtruth::{GroundTruth, PlantedMention};
+pub use search::SearchIndex;
+pub use site::{build_world, CompanyFate, World, WorldConfig};
+pub use universe::{Company, Universe};

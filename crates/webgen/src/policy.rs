@@ -1,0 +1,979 @@
+//! Rendering a [`GroundTruth`] into realistic privacy-policy HTML.
+//!
+//! The renderer guarantees that **every planted surface form appears
+//! verbatim, exactly where the ground truth says** (in its aspect's
+//! section), and that the surrounding boilerplate is free of taxonomy
+//! surface forms — so a perfect extractor recovers exactly the planted
+//! truth. This invariant is enforced corpus-wide by integration tests.
+//!
+//! Styles vary per company: `<h2>` headings, bold-line headings (the
+//! Appendix-B bold-heading case), or no headings at all (short policies
+//! that force the paper's segmentation-via-text-analysis path); prose
+//! sentences vs bullet lists; and "inline" aspects folded into a generic
+//! section (which triggers the §3.2.2 full-text fallback).
+
+use crate::groundtruth::{GroundTruth, PlantedMention, PlantedPurpose};
+use crate::rng;
+use aipan_taxonomy::records::AspectKind;
+use aipan_taxonomy::{AccessLabel, ChoiceLabel, ProtectionLabel, RetentionLabel};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How section headings are rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeadingStyle {
+    /// `<h2>` headings (detected via heading tags).
+    H2,
+    /// `<p><strong>…</strong></p>` headings (detected via bold-line rule).
+    BoldLines,
+    /// No headings at all (short policies; text-analysis segmentation).
+    None,
+}
+
+/// Per-company rendering style.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyStyle {
+    /// Heading rendering.
+    pub heading: HeadingStyle,
+    /// Aspects folded into a generic "Additional Information" section
+    /// instead of a dedicated one (triggers the full-text fallback).
+    pub inline_aspects: Vec<AspectKind>,
+    /// Render mention lists as bullets (vs prose sentences).
+    pub bullets: bool,
+    /// Filler verbosity 0–2 (scales policy word count).
+    pub filler_level: u8,
+}
+
+impl PolicyStyle {
+    /// Sample the style for `(seed, domain)`.
+    pub fn sample(seed: u64, domain: &str) -> PolicyStyle {
+        let mut r = rng::stream(seed, "policy-style", domain);
+        let heading = match r.gen::<f64>() {
+            x if x < 0.62 => HeadingStyle::H2,
+            x if x < 0.93 => HeadingStyle::BoldLines,
+            _ => HeadingStyle::None,
+        };
+        let mut inline_aspects = Vec::new();
+        if heading != HeadingStyle::None && r.gen::<f64>() < 0.30 {
+            // Fold one aspect inline; handling and rights are the usual
+            // victims in real policies.
+            let pick = match r.gen_range(0..10) {
+                0..=4 => AspectKind::Handling,
+                5..=7 => AspectKind::Rights,
+                8 => AspectKind::Purposes,
+                _ => AspectKind::Types,
+            };
+            inline_aspects.push(pick);
+        }
+        PolicyStyle {
+            heading,
+            inline_aspects,
+            bullets: r.gen::<f64>() < 0.5,
+            filler_level: if heading == HeadingStyle::None {
+                0
+            } else {
+                1 + u8::from(r.gen::<f64>() < 0.5)
+            },
+        }
+    }
+}
+
+/// Filler paragraphs (taxonomy-surface-free legalese) used to give policies
+/// realistic length; the §3.2.1 median core length of 2671 words is mostly
+/// boilerplate in real policies too. Each entry is safe to place in any
+/// core section.
+const FILLER: &[&str] = &[
+    "This document is intended to be read together with any supplemental notices we \
+     provide for particular offerings. Where a supplemental notice conflicts with this \
+     document, the supplemental notice governs for the offering it describes. Nothing in \
+     this document limits any protection afforded to you by applicable law, and nothing \
+     here creates contractual duties beyond those required by applicable law.",
+    "Our practices are designed to be proportionate to the nature of our relationship \
+     with you. A casual visitor interacts with us differently than a long-standing \
+     customer, and the handling described in this document reflects those differences. \
+     We periodically evaluate whether what we maintain remains necessary for the \
+     operation of our business and the delivery of our offerings.",
+    "We work with carefully selected vendors that support the operation of our \
+     business. These vendors are evaluated before engagement and periodically \
+     thereafter, and they are held to contractual commitments appropriate to the \
+     sensitivity of what they handle on our behalf. Our vendor management procedures \
+     are part of our broader governance framework.",
+    "Where our offerings are provided through intermediaries, distributors, or \
+     franchisees, those parties maintain their own notices and their own obligations \
+     under applicable law. We encourage you to review the notices of any party you \
+     deal with directly, because this document describes only our own practices and \
+     not the practices of independent businesses.",
+    "If any portion of this document is found to be unenforceable, the remaining \
+     portions continue in full force. Headings are provided for convenience only and \
+     do not affect interpretation. References to applicable law include statutes, \
+     regulations, and binding guidance issued by competent authorities in the \
+     jurisdictions where we operate.",
+    "We recognize that expectations differ across jurisdictions, and we aim to apply a \
+     consistent baseline worldwide while honoring stricter local requirements where \
+     they apply. Our legal and compliance teams monitor regulatory developments and \
+     update our internal procedures when obligations change.",
+    "Questions about the scope of this document arise from time to time, and we \
+     maintain internal escalation procedures so that novel questions receive \
+     appropriate review. Our personnel receive periodic training on the handling \
+     practices described here, and violations of our internal procedures are subject \
+     to disciplinary action.",
+    "When you interact with us on behalf of an organization, this document applies to \
+     you as an individual, while separate agreements may govern the organization's \
+     relationship with us. We may maintain business records about organizations that \
+     are outside the scope of this document.",
+    "From time to time we participate in industry initiatives that promote responsible \
+     handling practices. Participation in such initiatives does not modify this \
+     document, but it informs the evolution of our internal procedures and our \
+     assessment of emerging norms.",
+    "Our offerings may contain links to destinations operated by others. Once you \
+     leave our properties, this document no longer applies, and we encourage you to \
+     review the notices published at any destination you visit. We are not responsible \
+     for the practices of destinations we do not operate.",
+    "We keep documentation of our processing activities where required by applicable \
+     law, and we cooperate with competent supervisory authorities in the exercise of \
+     their duties. Where a legal obligation requires us to act in a particular way, \
+     that obligation takes precedence over the discretionary practices described in \
+     this document.",
+    "The examples provided throughout this document are illustrative rather than \
+     exhaustive. Our business evolves, and the precise details of our operations may \
+     vary by offering, by market, and over time, always within the boundaries \
+     described here and required by applicable law.",
+];
+
+/// Render the policy for `truth` with `style` as an HTML document body
+/// fragment (the site builder wraps it in a full page).
+pub fn render_policy(
+    truth: &GroundTruth,
+    style: &PolicyStyle,
+    company_name: &str,
+    seed: u64,
+) -> String {
+    let mut w = Writer::new(style.clone());
+    let mut vr = rng::stream(seed, "label-variants", &truth.domain);
+    w.para(&format!(
+        "This Privacy Policy explains how {company_name} handles information in connection \
+         with our websites, products, and services. Please read it carefully. By accessing \
+         our services, you acknowledge the practices described in this policy."
+    ));
+    w.filler_block(0);
+
+    // Dedicated sections for aspects not folded inline.
+    let inline = |k: AspectKind| style.inline_aspects.contains(&k);
+
+    if !inline(AspectKind::Types) {
+        w.heading("Information We Collect");
+        render_types(&mut w, truth, style);
+        w.filler_block(1);
+    }
+
+    w.heading("How We Collect Information");
+    w.para(
+        "We obtain information directly from you when you fill out forms, place orders, or \
+         correspond with us. We also receive information through automated technologies when \
+         you visit our websites, and occasionally from commercial sources where permitted by \
+         applicable law.",
+    );
+    if style.filler_level >= 2 {
+        w.para(
+            "The technologies we use may change over time as our services evolve. Where \
+             required, we will request permission before deploying technologies that are not \
+             strictly necessary for the operation of our services.",
+        );
+    }
+    w.filler_block(2);
+
+    if !inline(AspectKind::Purposes) {
+        w.heading("How We Use Your Information");
+        render_purposes(&mut w, truth, style);
+        w.filler_block(3);
+    }
+
+    w.heading("How We Share Your Information");
+    w.para(
+        "We do not make personal information available to unaffiliated companies for their \
+         own independent purposes except as described in this policy. Corporate transactions \
+         such as a merger, acquisition, or sale of assets may involve the transfer of \
+         business records as permitted by applicable law.",
+    );
+    if style.filler_level >= 1 {
+        w.para(
+            "Vendors that perform functions on our behalf are held to contractual \
+             commitments consistent with this policy and are permitted to use what they \
+             receive only to perform those functions.",
+        );
+    }
+    w.filler_block(4);
+
+    if !inline(AspectKind::Handling) {
+        w.heading("Data Retention and Security");
+        render_handling(&mut w, truth, style, &mut vr);
+        w.filler_block(5);
+    }
+
+    if !inline(AspectKind::Rights) {
+        w.heading("Your Rights and Choices");
+        render_rights(&mut w, truth, style, &mut vr);
+        w.filler_block(6);
+    }
+
+    // Inline (fallback-triggering) content goes under a generic heading.
+    if !style.inline_aspects.is_empty() {
+        w.heading("Additional Information");
+        for aspect in style.inline_aspects.clone() {
+            match aspect {
+                AspectKind::Types => render_types(&mut w, truth, style),
+                AspectKind::Purposes => render_purposes(&mut w, truth, style),
+                AspectKind::Handling => render_handling(&mut w, truth, style, &mut vr),
+                AspectKind::Rights => render_rights(&mut w, truth, style, &mut vr),
+            }
+        }
+    }
+
+    w.heading("Specific Audiences");
+    w.para(
+        "Our services are not directed to minors under sixteen, and we ask that they not \
+         submit information to us. California residents and residents of the European \
+         Economic Area may have additional rights described in supplemental notices.",
+    );
+
+    w.heading("Changes to This Policy");
+    w.para(
+        "We may update this policy from time to time. When we make material updates, we \
+         will revise the date below and, where required, provide additional notice. Your \
+         continued use of the services after an update constitutes acceptance of the \
+         revised policy.",
+    );
+
+    w.heading("Contact Us");
+    w.para(&format!(
+        "If you have questions about this policy or our practices, please reach out to our \
+         privacy office at privacy@{} or by mail at our corporate headquarters.",
+        truth.domain
+    ));
+
+    w.finish()
+}
+
+/// Render the German-language policy used by the non-English fate.
+pub fn render_policy_german(company_name: &str) -> String {
+    format!(
+        "<h2>Datenschutzerkl\u{e4}rung</h2>\
+         <p>Diese Datenschutzerkl\u{e4}rung beschreibt, wie {company_name} Ihre Daten \
+         verarbeitet, wenn Sie unsere Dienste nutzen. Der Schutz Ihrer Daten ist uns ein \
+         wichtiges Anliegen, und wir verarbeiten Ihre Angaben ausschlie\u{df}lich im Rahmen \
+         der gesetzlichen Bestimmungen.</p>\
+         <p>Wir erheben Angaben, wenn Sie unsere Webseiten besuchen oder mit uns in Kontakt \
+         treten. Die Verarbeitung erfolgt zur Bereitstellung unserer Dienste, zur Erf\u{fc}llung \
+         vertraglicher Pflichten sowie zur Wahrung berechtigter Interessen.</p>\
+         <p>Sie haben jederzeit das Recht auf Auskunft, Berichtigung und L\u{f6}schung Ihrer \
+         gespeicherten Angaben. Bitte wenden Sie sich hierzu an unseren \
+         Datenschutzbeauftragten.</p>\
+         <p>Weitere Hinweise erhalten Sie auf Anfrage. Wir aktualisieren diese Erkl\u{e4}rung \
+         regelm\u{e4}\u{df}ig und ver\u{f6}ffentlichen \u{c4}nderungen auf dieser Seite.</p>"
+    )
+}
+
+/// Render a mixed-language policy (English + German halves): the paper's
+/// pre-processing discards such pages.
+pub fn render_policy_mixed(
+    truth: &GroundTruth,
+    style: &PolicyStyle,
+    company_name: &str,
+    seed: u64,
+) -> String {
+    let english = render_policy(truth, style, company_name, seed);
+    let german = render_policy_german(company_name);
+    // Size the German half to outweigh the English half so the aggregate
+    // stop-word score drops below the English threshold (the paper's
+    // pre-processing then discards the page).
+    let english_words = english.split_whitespace().count();
+    let german_words = german.split_whitespace().count().max(1);
+    let repeats = (english_words * 3 / german_words).max(3);
+    let mut out = english;
+    for _ in 0..repeats {
+        out.push_str(&german);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Section renderers
+// ---------------------------------------------------------------------------
+
+fn render_types(w: &mut Writer, truth: &GroundTruth, style: &PolicyStyle) {
+    if truth.types.is_empty() {
+        w.para(
+            "We limit collection to what is reasonably necessary to operate our services, \
+             as described at the point of collection.",
+        );
+    } else if style.bullets {
+        w.para("Depending on how you interact with us, the personal information we collect includes:");
+        let items: Vec<String> = truth.types.iter().map(|m| m.surface.clone()).collect();
+        w.bullets(&items);
+    } else {
+        let openers = [
+            "We may collect",
+            "The categories of personal information we collect include",
+            "When you interact with our services, we collect",
+            "Our systems may automatically record",
+            "In the course of providing our services, we also collect",
+        ];
+        for (i, chunk) in truth.types.chunks(3).enumerate() {
+            let list = oxford(&surfaces(chunk));
+            w.para(&format!("{} {list}.", openers[i % openers.len()]));
+        }
+    }
+    if style.filler_level >= 1 {
+        w.para(
+            "The specific categories collected depend on how you interact with us. Where \
+             required by applicable law, we will provide additional notice at the point of \
+             collection and honor any legal limits on collection.",
+        );
+    }
+    for neg in &truth.negated_types {
+        w.para(&format!(
+            "For the avoidance of doubt, we do not collect {} in connection with the \
+             services covered by this policy.",
+            neg.surface
+        ));
+    }
+}
+
+fn render_purposes(w: &mut Writer, truth: &GroundTruth, style: &PolicyStyle) {
+    if truth.purposes.is_empty() {
+        w.para("We process information as reasonably necessary to operate our business.");
+        return;
+    }
+    if style.bullets {
+        w.para("We use the information we collect for the following purposes:");
+        let items: Vec<String> = truth.purposes.iter().map(|p| p.surface.clone()).collect();
+        w.bullets(&items);
+    } else {
+        for chunk in truth.purposes.chunks(4) {
+            let list = oxford(&purpose_surfaces(chunk));
+            w.para(&format!("We use the information we collect for: {list}."));
+        }
+    }
+    if style.filler_level >= 1 {
+        w.para(
+            "We rely on several legal bases for processing where applicable law requires \
+             one, and we will not process information in ways that are incompatible with \
+             the purposes described in this policy without providing appropriate notice.",
+        );
+    }
+}
+
+fn render_handling(
+    w: &mut Writer,
+    truth: &GroundTruth,
+    _style: &PolicyStyle,
+    vr: &mut impl Rng,
+) {
+    // Real policies restate the same practice in several places (per data
+    // class, per jurisdiction); the paper's Table 1 counts each distinct
+    // mention. Render 1–3 phrasing variants per planted label.
+    for ret in &truth.retention {
+        let variants = retention_sentences(ret.label, ret.period_days);
+        let k = variant_count(vr, variants.len(), 3);
+        for sentence in variants.iter().take(k) {
+            w.para(sentence);
+        }
+    }
+    for prot in &truth.protection {
+        let variants = protection_sentences(*prot);
+        let k = variant_count(vr, variants.len(), 2);
+        for sentence in variants.iter().take(k) {
+            w.para(sentence);
+        }
+    }
+    w.para(
+        "No method of transmission over the Internet is completely secure. While we work \
+         hard to protect the information we maintain, we cannot guarantee absolute \
+         security, and we encourage caution when submitting information online.",
+    );
+}
+
+/// How many phrasing variants to render (1..=max, capped by availability).
+fn variant_count(vr: &mut impl Rng, available: usize, max: usize) -> usize {
+    vr.gen_range(1..=max.min(available).max(1))
+}
+
+fn render_rights(
+    w: &mut Writer,
+    truth: &GroundTruth,
+    _style: &PolicyStyle,
+    vr: &mut impl Rng,
+) {
+    for choice in &truth.choices {
+        let variants = choice_sentences(*choice, &truth.domain);
+        let k = variant_count(vr, variants.len(), 3);
+        for sentence in variants.iter().take(k) {
+            w.para(sentence);
+        }
+    }
+    for access in &truth.access {
+        let variants = access_sentences(*access);
+        let k = variant_count(vr, variants.len(), 2);
+        for sentence in variants.iter().take(k) {
+            w.para(sentence);
+        }
+    }
+    w.para(
+        "We will not discriminate against you for exercising any right described in this \
+         section, and we may need to validate a request before fulfilling it.",
+    );
+}
+
+/// Phrasing variants for a retention label (first is canonical).
+pub fn retention_sentences(label: RetentionLabel, period_days: Option<u32>) -> Vec<String> {
+    match label {
+        RetentionLabel::Limited => vec![
+            "We retain your personal information only for as long as necessary to fulfill \
+             the purposes described in this policy, unless a longer period is required by \
+             applicable law."
+                .to_string(),
+            "Retention periods are limited: records are kept no longer than necessary for \
+             the purposes for which they were collected."
+                .to_string(),
+            "We periodically review what we hold and retain information only as long as \
+             necessary for legitimate business needs."
+                .to_string(),
+        ],
+        RetentionLabel::Stated => {
+            let period = period_text(period_days.unwrap_or(730));
+            vec![
+                format!(
+                    "We retain your personal information for {period} after your last \
+                     interaction with our services, after which it is destroyed or \
+                     de-identified."
+                ),
+                format!(
+                    "Account records are retained for {period} following the closure of \
+                     your relationship with us."
+                ),
+                format!(
+                    "As a rule, we keep transactional records for {period} to satisfy our \
+                     obligations under applicable law."
+                ),
+            ]
+        }
+        RetentionLabel::Indefinitely => vec![
+            "Certain records may be retained indefinitely where permitted, including \
+             archival copies maintained for business continuity."
+                .to_string(),
+            "Aggregated records may be retained indefinitely for historical comparison."
+                .to_string(),
+            "Backup archives may retain information indefinitely unless deletion is \
+             required by applicable law."
+                .to_string(),
+        ],
+    }
+}
+
+/// Phrasing variants for a protection label (first is canonical).
+pub fn protection_sentences(label: ProtectionLabel) -> &'static [&'static str] {
+    match label {
+        ProtectionLabel::Generic => &[
+            "We maintain commercially reasonable administrative, technical, and \
+             organizational safeguards designed to protect the information we hold.",
+            "Our information security framework relies on administrative, technical, and \
+             physical safeguards appropriate to the sensitivity of the information.",
+        ],
+        ProtectionLabel::AccessLimit => &[
+            "Access to personal information is restricted to personnel with a need to know \
+             and is revoked when no longer required.",
+            "Internal access follows the principle of least privilege: only personnel with \
+             a need-to-know may view records.",
+        ],
+        ProtectionLabel::SecureTransfer => &[
+            "Information transmitted to us is protected in transit using Secure Socket \
+             Layer (SSL) or Transport Layer Security (TLS) encryption.",
+            "All traffic between your browser and our servers is encrypted in transit.",
+        ],
+        ProtectionLabel::SecureStorage => &[
+            "Personal information at rest is stored in encrypted databases hosted in \
+             access-controlled facilities.",
+            "Records are maintained in an encrypted format at rest within hardened \
+             facilities.",
+        ],
+        ProtectionLabel::PrivacyProgram => &[
+            "We maintain a comprehensive privacy program overseen by a dedicated data \
+             protection officer.",
+            "Our enterprise privacy program assigns accountability for handling practices \
+             across every business unit.",
+        ],
+        ProtectionLabel::PrivacyReview => &[
+            "Our security measures and data protection practices are regularly reviewed \
+             and audited by internal and independent assessors.",
+            "Our controls are audited periodically, and findings are tracked to closure.",
+        ],
+        ProtectionLabel::SecureAuthentication => &[
+            "We offer two-factor sign-in verification and encrypted credentials to help \
+             secure your account.",
+            "Multi-factor verification is available on all accounts to deter unauthorized \
+             sign-ins.",
+        ],
+    }
+}
+
+/// The canonical sentence for a protection label. The sentence form is
+/// stable so classifier tests can rely on the keywords.
+pub fn protection_sentence(label: ProtectionLabel) -> &'static str {
+    protection_sentences(label)[0]
+}
+
+#[allow(dead_code)]
+fn protection_sentence_legacy(label: ProtectionLabel) -> &'static str {
+    match label {
+        ProtectionLabel::Generic => {
+            "We maintain commercially reasonable administrative, technical, and \
+             organizational safeguards designed to protect the information we hold."
+        }
+        ProtectionLabel::AccessLimit => {
+            "Access to personal information is restricted to personnel with a need to know \
+             and is revoked when no longer required."
+        }
+        ProtectionLabel::SecureTransfer => {
+            "Information transmitted to us is protected in transit using Secure Socket \
+             Layer (SSL) or Transport Layer Security (TLS) encryption."
+        }
+        ProtectionLabel::SecureStorage => {
+            "Personal information at rest is stored in encrypted databases hosted in \
+             access-controlled facilities."
+        }
+        ProtectionLabel::PrivacyProgram => {
+            "We maintain a comprehensive privacy program overseen by a dedicated data \
+             protection officer."
+        }
+        ProtectionLabel::PrivacyReview => {
+            "Our security measures and data protection practices are regularly reviewed \
+             and audited by internal and independent assessors."
+        }
+        ProtectionLabel::SecureAuthentication => {
+            "We offer two-factor sign-in verification and encrypted credentials to help \
+             secure your account."
+        }
+    }
+}
+
+/// Phrasing variants for a user-choice label (first is canonical).
+pub fn choice_sentences(label: ChoiceLabel, domain: &str) -> Vec<String> {
+    match label {
+        ChoiceLabel::OptOutViaContact => vec![
+            format!(
+                "To opt out of marketing communications, please contact us directly at \
+                 privacy@{domain} with your request."
+            ),
+            format!(
+                "You can opt out of these communications at any time; simply write to us \
+                 at privacy@{domain}."
+            ),
+            "To opt out of the data uses described above, contact us and our team will \
+             process the request promptly."
+                .to_string(),
+        ],
+        ChoiceLabel::OptOutViaLink => vec![
+            "You may opt out at any time by clicking the unsubscribe link included in our \
+             communications or the Opt-Out Request link on this page."
+                .to_string(),
+            "Click the opt-out link at the bottom of any message to stop receiving them."
+                .to_string(),
+            "You may opt out of interest-based messaging by clicking the preference link \
+             provided with each campaign."
+                .to_string(),
+        ],
+        ChoiceLabel::PrivacySettings => vec![
+            "You can manage your choices at any time through the privacy settings page \
+             available in your account dashboard."
+                .to_string(),
+            "The privacy settings page lets you adjust how information about you is used."
+                .to_string(),
+            "Visit your privacy settings to switch individual features on or off."
+                .to_string(),
+        ],
+        ChoiceLabel::OptIn => vec![
+            "Where the law requires it, we will obtain your consent before we collect, \
+             use, or disclose this information."
+                .to_string(),
+            "These features operate only with your prior consent.".to_string(),
+            "We will obtain your consent before enabling any optional data uses."
+                .to_string(),
+        ],
+        ChoiceLabel::DoNotUse => vec![
+            "If you do not agree with the practices described in this policy, your sole \
+             remedy is to discontinue use of the affected feature or service."
+                .to_string(),
+            "If these practices are unacceptable to you, the only available option is to \
+             discontinue use of the service."
+                .to_string(),
+            "Users who do not agree with this policy should not use our services."
+                .to_string(),
+        ],
+    }
+}
+
+/// The canonical sentence for a user-choice label.
+pub fn choice_sentence(label: ChoiceLabel, domain: &str) -> String {
+    choice_sentences(label, domain).remove(0)
+}
+
+#[allow(dead_code)]
+fn choice_sentence_legacy(label: ChoiceLabel, domain: &str) -> String {
+    match label {
+        ChoiceLabel::OptOutViaContact => format!(
+            "To opt out of marketing communications, please contact us directly at \
+             privacy@{domain} with your request."
+        ),
+        ChoiceLabel::OptOutViaLink => {
+            "You may opt out at any time by clicking the unsubscribe link included in our \
+             communications or the Opt-Out Request link on this page."
+                .to_string()
+        }
+        ChoiceLabel::PrivacySettings => {
+            "You can manage your choices at any time through the privacy settings page \
+             available in your account dashboard."
+                .to_string()
+        }
+        ChoiceLabel::OptIn => {
+            "Where the law requires it, we will obtain your consent before we collect, \
+             use, or disclose this information."
+                .to_string()
+        }
+        ChoiceLabel::DoNotUse => {
+            "If you do not agree with the practices described in this policy, your sole \
+             remedy is to discontinue use of the affected feature or service."
+                .to_string()
+        }
+    }
+}
+
+/// Phrasing variants for a user-access label (first is canonical).
+pub fn access_sentences(label: AccessLabel) -> &'static [&'static str] {
+    match label {
+        AccessLabel::Edit => &[
+            "You may update or correct your personal information at any time by signing in \
+             or submitting a request.",
+            "Signed-in users can update or correct details directly from the account page.",
+        ],
+        AccessLabel::FullDelete => &[
+            "You may request that we delete your account and all associated personal \
+             information from our servers and databases.",
+            "Upon request, we will delete your account and all associated records from our \
+             production systems.",
+        ],
+        AccessLabel::View => &[
+            "You may request access to review the personal information we hold about you.",
+            "You can request access to the personal information we maintain about you.",
+        ],
+        AccessLabel::Export => &[
+            "You may request a copy of your personal information in a portable, \
+             machine-readable format.",
+            "A machine-readable export of the information we hold is available upon \
+             verified request.",
+        ],
+        AccessLabel::PartialDelete => &[
+            "You may request deletion of certain personal information, although we may \
+             retain some records where required by applicable law.",
+            "You may seek deletion of certain records, though we may retain some \
+             information to meet statutory duties.",
+        ],
+        AccessLabel::Deactivate => &[
+            "You may deactivate your account at any time through your account dashboard; \
+             deactivated records remain on our systems.",
+            "Accounts may be deactivated at any time from the account page; deactivated \
+             records remain available to us.",
+        ],
+    }
+}
+
+/// The canonical sentence for a user-access label.
+pub fn access_sentence(label: AccessLabel) -> &'static str {
+    access_sentences(label)[0]
+}
+
+#[allow(dead_code)]
+fn access_sentence_legacy(label: AccessLabel) -> &'static str {
+    match label {
+        AccessLabel::Edit => {
+            "You may update or correct your personal information at any time by signing in \
+             or submitting a request."
+        }
+        AccessLabel::FullDelete => {
+            "You may request that we delete your account and all associated personal \
+             information from our servers and databases."
+        }
+        AccessLabel::View => {
+            "You may request access to review the personal information we hold about you."
+        }
+        AccessLabel::Export => {
+            "You may request a copy of your personal information in a portable, \
+             machine-readable format."
+        }
+        AccessLabel::PartialDelete => {
+            "You may request deletion of certain personal information, although we may \
+             retain some records where required by applicable law."
+        }
+        AccessLabel::Deactivate => {
+            "You may deactivate your account at any time through your account dashboard; \
+             deactivated records remain on our systems."
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retention-period text
+// ---------------------------------------------------------------------------
+
+/// Spell a retention period in the "two (2) years" notation the paper's
+/// Table 6 exhibits.
+pub fn period_text(days: u32) -> String {
+    let (n, unit) = if days.is_multiple_of(365) && days >= 365 {
+        (days / 365, if days == 365 { "year" } else { "years" })
+    } else if days.is_multiple_of(30) && (30..365).contains(&days) {
+        (days / 30, if days == 30 { "month" } else { "months" })
+    } else {
+        (days, if days == 1 { "day" } else { "days" })
+    };
+    format!("{} ({}) {}", spell_number(n), n, unit)
+}
+
+/// Spell numbers up to 100 in words (digits beyond that).
+pub fn spell_number(n: u32) -> String {
+    const ONES: [&str; 20] = [
+        "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine",
+        "ten", "eleven", "twelve", "thirteen", "fourteen", "fifteen", "sixteen",
+        "seventeen", "eighteen", "nineteen",
+    ];
+    const TENS: [&str; 10] = [
+        "", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy", "eighty", "ninety",
+    ];
+    match n {
+        0..=19 => ONES[n as usize].to_string(),
+        20..=99 => {
+            let t = TENS[(n / 10) as usize];
+            if n.is_multiple_of(10) {
+                t.to_string()
+            } else {
+                format!("{t}-{}", ONES[(n % 10) as usize])
+            }
+        }
+        _ => n.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTML writing helpers
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    style: PolicyStyle,
+    html: String,
+}
+
+impl Writer {
+    fn new(style: PolicyStyle) -> Writer {
+        Writer { style, html: String::with_capacity(16 * 1024) }
+    }
+
+    fn heading(&mut self, text: &str) {
+        match self.style.heading {
+            HeadingStyle::H2 => {
+                self.html.push_str("<h2>");
+                self.html.push_str(text);
+                self.html.push_str("</h2>\n");
+            }
+            HeadingStyle::BoldLines => {
+                self.html.push_str("<p><strong>");
+                self.html.push_str(text);
+                self.html.push_str("</strong></p>\n");
+            }
+            HeadingStyle::None => {}
+        }
+    }
+
+    fn para(&mut self, text: &str) {
+        self.html.push_str("<p>");
+        self.html.push_str(text);
+        self.html.push_str("</p>\n");
+    }
+
+    /// Emit the section's share of filler paragraphs (rotating through the
+    /// pool by section index so sections don't repeat each other).
+    fn filler_block(&mut self, section: usize) {
+        let count = match self.style.filler_level {
+            0 => 0,
+            1 => 7,
+            _ => 10,
+        };
+        for k in 0..count {
+            let idx = (section * 5 + k * 3) % FILLER.len();
+            self.para(FILLER[idx]);
+        }
+    }
+
+    fn bullets(&mut self, items: &[String]) {
+        self.html.push_str("<ul>\n");
+        for item in items {
+            self.html.push_str("<li>");
+            self.html.push_str(item);
+            self.html.push_str("</li>\n");
+        }
+        self.html.push_str("</ul>\n");
+    }
+
+    fn finish(self) -> String {
+        self.html
+    }
+}
+
+fn surfaces(mentions: &[PlantedMention]) -> Vec<String> {
+    mentions.iter().map(|m| format!("your {}", m.surface)).collect()
+}
+
+fn purpose_surfaces(purposes: &[PlantedPurpose]) -> Vec<String> {
+    purposes.iter().map(|p| p.surface.clone()).collect()
+}
+
+fn oxford(items: &[String]) -> String {
+    match items.len() {
+        0 => String::new(),
+        1 => items[0].clone(),
+        2 => format!("{} and {}", items[0], items[1]),
+        _ => {
+            let head = items[..items.len() - 1].join(", ");
+            format!("{head}, and {}", items[items.len() - 1])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groundtruth::GroundTruth;
+    use aipan_taxonomy::Sector;
+
+    fn sample(seed: u64, domain: &str) -> (GroundTruth, PolicyStyle) {
+        let t = GroundTruth::sample(seed, domain, Sector::InformationTechnology);
+        let s = PolicyStyle::sample(seed, domain);
+        (t, s)
+    }
+
+    #[test]
+    fn every_planted_surface_appears_verbatim() {
+        for i in 0..40 {
+            let (t, s) = sample(1, &format!("d{i}.com"));
+            let html = render_policy(&t, &s, "Test Corp", 1);
+            let lower = html.to_lowercase();
+            for m in t.types.iter().chain(t.negated_types.iter()) {
+                assert!(
+                    lower.contains(&m.surface.to_lowercase()),
+                    "missing surface {:?} in policy for d{i}.com",
+                    m.surface
+                );
+            }
+            for p in &t.purposes {
+                assert!(lower.contains(&p.surface.to_lowercase()), "missing {:?}", p.surface);
+            }
+        }
+    }
+
+    #[test]
+    fn negated_mentions_preceded_by_negation() {
+        let t = GroundTruth {
+            negated_types: vec![crate::groundtruth::PlantedMention {
+                descriptor: "biometric data".into(),
+                category: aipan_taxonomy::DataTypeCategory::BiometricData,
+                surface: "biometric data".into(),
+                zero_shot: false,
+            }],
+            ..GroundTruth::sample(2, "x.com", Sector::Energy)
+        };
+        let s = PolicyStyle::sample(2, "x.com");
+        let html = render_policy(&t, &s, "X Corp", 2);
+        assert!(html.contains("we do not collect biometric data"));
+    }
+
+    #[test]
+    fn period_text_forms() {
+        assert_eq!(period_text(730), "two (2) years");
+        assert_eq!(period_text(365), "one (1) year");
+        assert_eq!(period_text(90), "three (3) months");
+        assert_eq!(period_text(45), "forty-five (45) days");
+        assert_eq!(period_text(180), "six (6) months");
+        assert_eq!(period_text(1), "one (1) day");
+        assert_eq!(period_text(18250), "fifty (50) years");
+    }
+
+    #[test]
+    fn spell_numbers() {
+        assert_eq!(spell_number(0), "zero");
+        assert_eq!(spell_number(13), "thirteen");
+        assert_eq!(spell_number(21), "twenty-one");
+        assert_eq!(spell_number(50), "fifty");
+        assert_eq!(spell_number(101), "101");
+    }
+
+    #[test]
+    fn heading_styles_render_differently() {
+        let (t, _) = sample(3, "h.com");
+        let mk = |heading| PolicyStyle {
+            heading,
+            inline_aspects: vec![],
+            bullets: false,
+            filler_level: 1,
+        };
+        let h2 = render_policy(&t, &mk(HeadingStyle::H2), "H Corp", 3);
+        let bold = render_policy(&t, &mk(HeadingStyle::BoldLines), "H Corp", 3);
+        let none = render_policy(&t, &mk(HeadingStyle::None), "H Corp", 3);
+        assert!(h2.contains("<h2>Information We Collect</h2>"));
+        assert!(bold.contains("<strong>Information We Collect</strong>"));
+        assert!(!none.contains("<h2>") && !none.contains("<strong>"));
+    }
+
+    #[test]
+    fn inline_aspect_moves_content_to_additional_section() {
+        let (t, _) = sample(4, "i.com");
+        let style = PolicyStyle {
+            heading: HeadingStyle::H2,
+            inline_aspects: vec![AspectKind::Handling],
+            bullets: false,
+            filler_level: 1,
+        };
+        let html = render_policy(&t, &style, "I Corp", 4);
+        assert!(!html.contains("<h2>Data Retention and Security</h2>"));
+        assert!(html.contains("<h2>Additional Information</h2>"));
+    }
+
+    #[test]
+    fn german_policy_is_not_english() {
+        let html = render_policy_german("Müller AG");
+        let doc = aipan_html::extract(&html);
+        assert!(!aipan_html::lang::is_english(&doc.text()));
+    }
+
+    #[test]
+    fn mixed_policy_scores_below_english_threshold() {
+        let (t, s) = sample(5, "mix.com");
+        let html = render_policy_mixed(&t, &s, "Mix Corp", 5);
+        let doc = aipan_html::extract(&html);
+        assert!(!aipan_html::lang::is_english(&doc.text()), "mixed text should be discarded");
+    }
+
+    #[test]
+    fn english_policy_is_english() {
+        let (t, s) = sample(6, "en.com");
+        let html = render_policy(&t, &s, "En Corp", 6);
+        let doc = aipan_html::extract(&html);
+        assert!(aipan_html::lang::is_english(&doc.text()));
+    }
+
+    #[test]
+    fn style_sampling_deterministic_and_varied() {
+        let a = PolicyStyle::sample(7, "a.com");
+        assert_eq!(a, PolicyStyle::sample(7, "a.com"));
+        let styles: std::collections::HashSet<String> = (0..50)
+            .map(|i| format!("{:?}", PolicyStyle::sample(7, &format!("v{i}.com")).heading))
+            .collect();
+        assert!(styles.len() > 1, "heading styles should vary");
+    }
+}

@@ -1,0 +1,108 @@
+//! The simulated search engine used for domain acquisition.
+//!
+//! The paper finds each company's domain by taking "the first Google search
+//! result for the associated company name" and manually reviewing the
+//! result. We model that as a name → domain index built from the universe,
+//! with a small, deterministic rate of wrong-first-result lookups that the
+//! manual-review step corrects (mirroring the paper's workflow).
+
+use crate::rng;
+use crate::universe::Universe;
+use std::collections::HashMap;
+
+/// A simulated search index over the company universe.
+#[derive(Debug, Clone)]
+pub struct SearchIndex {
+    by_name: HashMap<String, String>,
+    /// Names whose raw first result is wrong (fixed by manual review).
+    misleading: std::collections::HashSet<String>,
+}
+
+/// Result of a company-name search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchHit {
+    /// The first result's domain.
+    pub domain: String,
+    /// Whether the raw first result was wrong and manual review corrected
+    /// it (the returned `domain` is always the corrected one).
+    pub needed_review: bool,
+}
+
+impl SearchIndex {
+    /// Rate of misleading first results (corrected by manual review).
+    pub const MISLEADING_RATE: f64 = 0.02;
+
+    /// Build the index for a universe.
+    pub fn build(seed: u64, universe: &Universe) -> SearchIndex {
+        let mut by_name = HashMap::new();
+        let mut misleading = std::collections::HashSet::new();
+        for c in &universe.companies {
+            by_name.insert(c.name.clone(), c.domain.clone());
+            if rng::unit(seed, "search-misleading", &c.name) < Self::MISLEADING_RATE {
+                misleading.insert(c.name.clone());
+            }
+        }
+        SearchIndex { by_name, misleading }
+    }
+
+    /// Search for a company name; `None` if the name is unknown.
+    pub fn first_result(&self, company_name: &str) -> Option<SearchHit> {
+        let domain = self.by_name.get(company_name)?.clone();
+        Some(SearchHit { domain, needed_review: self.misleading.contains(company_name) })
+    }
+
+    /// Number of indexed names.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_company_resolvable() {
+        let u = Universe::generate_sized(1, 200);
+        let idx = SearchIndex::build(1, &u);
+        for c in &u.companies {
+            let hit = idx.first_result(&c.name).expect("indexed");
+            assert_eq!(hit.domain, c.domain);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        let u = Universe::generate_sized(1, 50);
+        let idx = SearchIndex::build(1, &u);
+        assert!(idx.first_result("Nonexistent Conglomerate LLC").is_none());
+    }
+
+    #[test]
+    fn misleading_rate_small_but_nonzero() {
+        let u = Universe::generate_sized(2, 2000);
+        let idx = SearchIndex::build(2, &u);
+        let flagged = u
+            .companies
+            .iter()
+            .filter(|c| idx.first_result(&c.name).unwrap().needed_review)
+            .count();
+        let rate = flagged as f64 / u.len() as f64;
+        assert!(rate > 0.001 && rate < 0.06, "rate={rate}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let u = Universe::generate_sized(3, 100);
+        let a = SearchIndex::build(3, &u);
+        let b = SearchIndex::build(3, &u);
+        for c in &u.companies {
+            assert_eq!(a.first_result(&c.name), b.first_result(&c.name));
+        }
+    }
+}

@@ -1,0 +1,761 @@
+//! Assembling company websites and the full simulated world.
+//!
+//! Each domain gets a deterministic [`CompanyFate`] that reproduces one of
+//! the §4 failure classes (or `Normal`), a site layout variant (canonical
+//! `/privacy-policy`, `/privacy`, custom paths, or a privacy-center
+//! arrangement — calibrated so the §3.1 path-existence rates hold), and its
+//! rendered pages registered on an [`Internet`].
+
+use crate::groundtruth::GroundTruth;
+use crate::policy::{
+    render_policy, render_policy_german, render_policy_mixed, PolicyStyle,
+};
+use crate::rng;
+use crate::search::SearchIndex;
+use crate::universe::{Company, Universe, UNIVERSE_SIZE};
+use aipan_net::fault::FaultConfig;
+use aipan_net::host::StaticSite;
+use aipan_net::http::{Response, Status};
+use aipan_net::Internet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The fate assigned to a company's website, reproducing the §4 audit
+/// classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompanyFate {
+    /// Policy present and extractable.
+    Normal,
+    /// The site has no privacy policy at all.
+    NoPolicy,
+    /// Policy exists but is linked as "Legal Notices" (no "privacy" in the
+    /// link text or target).
+    HiddenLegalLink,
+    /// The footer privacy link triggers a JavaScript action instead of
+    /// navigation.
+    JsActionLink,
+    /// The privacy link lives only inside a collapsed consent box.
+    ConsentBoxLink,
+    /// The policy is served as a PDF.
+    PdfPolicy,
+    /// The site (and policy) is in German.
+    NonEnglish,
+    /// The policy mixes English and German; pre-processing discards it.
+    MixedLanguage,
+    /// The privacy page is an empty JavaScript-rendered shell.
+    JsLoadedPolicy,
+    /// The policy is embedded as an image.
+    ImagePolicy,
+    /// The policy body is hidden inside collapsed expandable elements.
+    ExpandablePolicy,
+}
+
+impl CompanyFate {
+    /// Assign the fate for `(seed, domain)` at the calibrated rates.
+    pub fn assign(seed: u64, domain: &str) -> CompanyFate {
+        let u = rng::unit(seed, "fate", domain);
+        match u {
+            x if x < 0.057 => CompanyFate::NoPolicy,
+            x if x < 0.064 => CompanyFate::HiddenLegalLink,
+            x if x < 0.0665 => CompanyFate::JsActionLink,
+            x if x < 0.069 => CompanyFate::ConsentBoxLink,
+            x if x < 0.083 => CompanyFate::PdfPolicy,
+            x if x < 0.088 => CompanyFate::NonEnglish,
+            x if x < 0.0895 => CompanyFate::MixedLanguage,
+            x if x < 0.0955 => CompanyFate::JsLoadedPolicy,
+            x if x < 0.098 => CompanyFate::ImagePolicy,
+            x if x < 0.101 => CompanyFate::ExpandablePolicy,
+            _ => CompanyFate::Normal,
+        }
+    }
+
+    /// Whether a correctly functioning pipeline should fully annotate this
+    /// site.
+    pub fn expect_extraction(self) -> bool {
+        self == CompanyFate::Normal
+    }
+}
+
+/// Layout variant of a normal site's privacy pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteLayout {
+    /// `/privacy-policy` real page, `/privacy` redirects to it.
+    Both,
+    /// Only `/privacy-policy`.
+    PolicyPathOnly,
+    /// Only `/privacy`.
+    PrivacyPathOnly,
+    /// Custom path (`/legal/privacy-notice`), neither standard path exists.
+    Custom,
+    /// A privacy center at `/privacy` with the actual policy one link
+    /// deeper at `/privacy/policy`.
+    Center,
+}
+
+impl SiteLayout {
+    /// Assign the layout for `(seed, domain)` at rates calibrated to the
+    /// §3.1 path-existence statistics (54.5% `/privacy-policy`, 48.6%
+    /// `/privacy` over all domains).
+    pub fn assign(seed: u64, domain: &str) -> SiteLayout {
+        let u = rng::unit(seed, "layout", domain);
+        match u {
+            x if x < 0.30 => SiteLayout::Both,
+            x if x < 0.60 => SiteLayout::PolicyPathOnly,
+            x if x < 0.76 => SiteLayout::PrivacyPathOnly,
+            x if x < 0.92 => SiteLayout::Custom,
+            _ => SiteLayout::Center,
+        }
+    }
+
+    /// Path of the page that actually contains the policy.
+    pub fn policy_path(self) -> &'static str {
+        match self {
+            SiteLayout::Both | SiteLayout::PolicyPathOnly => "/privacy-policy",
+            SiteLayout::PrivacyPathOnly => "/privacy",
+            SiteLayout::Custom => "/legal/privacy-notice",
+            SiteLayout::Center => "/privacy/policy",
+        }
+    }
+}
+
+/// Configuration for building a world.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Number of index constituents (2916 reproduces the paper).
+    pub universe_size: usize,
+    /// Network fault configuration.
+    pub faults: FaultConfig,
+    /// Policy revision number: 0 is the initial snapshot; higher values
+    /// apply that many update cycles to every policy (longitudinal trend
+    /// analysis).
+    pub revision: u32,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 42,
+            universe_size: UNIVERSE_SIZE,
+            faults: FaultConfig::default(),
+            revision: 0,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A small world for tests and examples.
+    pub fn small(seed: u64, universe_size: usize) -> WorldConfig {
+        WorldConfig { seed, universe_size, faults: FaultConfig::default(), revision: 0 }
+    }
+
+    /// The same world at a later policy revision.
+    pub fn at_revision(mut self, revision: u32) -> WorldConfig {
+        self.revision = revision;
+        self
+    }
+}
+
+/// The fully built simulated world.
+pub struct World {
+    /// The configuration used.
+    pub config: WorldConfig,
+    /// The company universe.
+    pub universe: Universe,
+    /// The simulated search index.
+    pub search: SearchIndex,
+    /// The simulated web.
+    pub internet: Internet,
+    /// Per-domain fates.
+    pub fates: HashMap<String, CompanyFate>,
+    /// Per-domain planted ground truth (absent for [`CompanyFate::NoPolicy`]).
+    pub truths: HashMap<String, GroundTruth>,
+    /// Per-domain policy rendering style.
+    pub styles: HashMap<String, PolicyStyle>,
+    /// Per-domain path of the page actually containing the policy (absent
+    /// for `NoPolicy`).
+    pub policy_paths: HashMap<String, String>,
+}
+
+impl World {
+    /// Fate of a domain (`Normal` for unknown domains).
+    pub fn fate(&self, domain: &str) -> CompanyFate {
+        self.fates.get(domain).copied().unwrap_or(CompanyFate::Normal)
+    }
+
+    /// Ground truth of a domain.
+    pub fn truth(&self, domain: &str) -> Option<&GroundTruth> {
+        self.truths.get(domain)
+    }
+
+    /// The first-listed company for a domain.
+    pub fn company(&self, domain: &str) -> Option<&Company> {
+        self.universe.by_domain(domain)
+    }
+
+    /// Count of domains with each fate.
+    pub fn fate_histogram(&self) -> HashMap<CompanyFate, usize> {
+        let mut h = HashMap::new();
+        for &fate in self.fates.values() {
+            *h.entry(fate).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+/// Build the full simulated world for `config`.
+pub fn build_world(config: WorldConfig) -> World {
+    let universe = Universe::generate_sized(config.seed, config.universe_size);
+    let search = SearchIndex::build(config.seed, &universe);
+    let internet = Internet::new();
+    let mut fates = HashMap::new();
+    let mut truths = HashMap::new();
+    let mut styles = HashMap::new();
+    let mut policy_paths = HashMap::new();
+
+    for company in universe.unique_domains() {
+        let domain = company.domain.clone();
+        let fate = CompanyFate::assign(config.seed, &domain);
+        fates.insert(domain.clone(), fate);
+
+        let style = PolicyStyle::sample(config.seed, &domain);
+        let mut site = match fate {
+            CompanyFate::NoPolicy => build_no_policy_site(company),
+            _ => {
+                let truth = GroundTruth::sample(config.seed, &domain, company.sector)
+                    .revise(config.seed, config.revision);
+                let (site, policy_path) =
+                    build_site(config.seed, company, &truth, &style, fate);
+                truths.insert(domain.clone(), truth);
+                policy_paths.insert(domain.clone(), policy_path);
+                site
+            }
+        };
+        if let Some(robots) = robots_txt(config.seed, &domain) {
+            site = site.page("/robots.txt", robots);
+        }
+        styles.insert(domain.clone(), style);
+        internet.register(&domain, site);
+    }
+
+    World { config, universe, search, internet, fates, truths, styles, policy_paths }
+}
+
+// ---------------------------------------------------------------------------
+// Page assembly
+// ---------------------------------------------------------------------------
+
+fn page(title: &str, header: &str, main: &str, footer: &str) -> Response {
+    Response::html(format!(
+        "<!DOCTYPE html><html><head><title>{title}</title></head><body>\
+         <header><nav>{header}</nav></header>\
+         <main>{main}</main>\
+         <footer>{footer}</footer>\
+         </body></html>"
+    ))
+}
+
+/// Whether `domain`'s robots.txt disallows all crawling (a compliant
+/// crawler then fetches nothing; used by the §4 failure audit).
+pub fn robots_blocks_all(seed: u64, domain: &str) -> bool {
+    rng::unit(seed, "robots", domain) < 0.002
+}
+
+/// robots.txt for a site: ~75% of sites publish one (benign rules plus an
+/// occasional crawl-delay); a tiny fraction disallow all crawling, which a
+/// compliant crawler must honor (one of the §4 blocked-crawl flavors).
+fn robots_txt(seed: u64, domain: &str) -> Option<Response> {
+    let u = rng::unit(seed, "robots", domain);
+    if u > 0.75 {
+        return None; // no robots.txt → 404
+    }
+    let body = if u < 0.002 {
+        "User-agent: *\nDisallow: /\n".to_string()
+    } else if u < 0.20 {
+        "User-agent: *\nCrawl-delay: 2\nDisallow: /admin\nDisallow: /cart\n".to_string()
+    } else {
+        format!(
+            "# robots.txt for {domain}\nUser-agent: *\nDisallow: /admin\n\
+             Disallow: /internal\nSitemap: https://{domain}/sitemap.xml\n"
+        )
+    };
+    Some(Response {
+        status: aipan_net::http::Status::OK,
+        content_type: aipan_net::http::ContentType::Plain,
+        body: body.into(),
+        location: None,
+    })
+}
+
+fn standard_header() -> String {
+    "<a href=\"/\">Home</a> <a href=\"/about\">About</a> \
+     <a href=\"/products\">Products</a> <a href=\"/careers\">Careers</a>"
+        .to_string()
+}
+
+fn footer_links(privacy_links: &[(&str, &str)]) -> String {
+    let mut f = String::from("<a href=\"/terms\">Terms of Use</a> ");
+    for (text, href) in privacy_links {
+        f.push_str(&format!("<a href=\"{href}\">{text}</a> "));
+    }
+    f.push_str("<a href=\"/accessibility\">Accessibility</a> <a href=\"/sitemap\">Sitemap</a>");
+    f
+}
+
+fn marketing(company: &Company) -> String {
+    format!(
+        "<h1>{0}</h1>\
+         <p>Welcome to {0}, a leader in the {1} space. Explore what makes our team \
+         different and how we deliver for our stakeholders every day.</p>\
+         <p>Founded on a commitment to excellence, {0} operates across multiple markets \
+         and is proud of the communities we serve.</p>",
+        company.name,
+        company.sector.name().to_lowercase()
+    )
+}
+
+/// Build the site for one company under its fate. Returns the site and the
+/// path of the page actually containing the policy.
+fn build_site(
+    seed: u64,
+    company: &Company,
+    truth: &GroundTruth,
+    style: &PolicyStyle,
+    fate: CompanyFate,
+) -> (StaticSite, String) {
+    let domain = &company.domain;
+    let layout = SiteLayout::assign(seed, domain);
+    let policy_html = render_policy(truth, style, &company.name, seed);
+    let extra_choices_link = rng::unit(seed, "extra-link", domain) < 0.40;
+    let california_link = rng::unit(seed, "ca-link", domain) < 0.30;
+
+    let policy_page = |body: &str| {
+        page(
+            &format!("Privacy Policy | {}", company.name),
+            &standard_header(),
+            body,
+            &footer_links(&[("Privacy Policy", layout.policy_path())]),
+        )
+    };
+
+    match fate {
+        CompanyFate::Normal => {
+            let mut privacy_links: Vec<(&str, &str)> = Vec::new();
+            let policy_path = layout.policy_path();
+            let footer_label = match layout {
+                SiteLayout::Custom => "Privacy Notice",
+                SiteLayout::Center => "Privacy Center",
+                _ => "Privacy Policy",
+            };
+            let footer_target = match layout {
+                SiteLayout::Center => "/privacy",
+                _ => policy_path,
+            };
+            privacy_links.push((footer_label, footer_target));
+            if extra_choices_link {
+                privacy_links.push(("Your Privacy Choices", "/your-privacy-choices"));
+            }
+            if california_link {
+                privacy_links.push(("California Privacy Notice", "/california-privacy"));
+            }
+
+            let mut site = StaticSite::new().page(
+                "/",
+                page(&company.name, &standard_header(), &marketing(company), &footer_links(&privacy_links)),
+            );
+            site = site.page(policy_path, policy_page(&policy_html));
+            match layout {
+                SiteLayout::Both => {
+                    site = site
+                        .page("/privacy", Response::redirect(Status::MOVED_PERMANENTLY, "/privacy-policy"));
+                }
+                SiteLayout::Center => {
+                    // The center page links to the real policy from its top
+                    // navigation (the "dedicated privacy home/center page"
+                    // case of §3.1).
+                    let center = page(
+                        &format!("Privacy Center | {}", company.name),
+                        "<a href=\"/privacy/policy\">Privacy Policy</a> \
+                         <a href=\"/privacy/faqs\">Privacy FAQs</a> \
+                         <a href=\"/privacy/choices\">Privacy Choices</a>",
+                        "<h1>Privacy Center</h1><p>Learn how we approach responsible \
+                         information handling, and find the documents that govern our \
+                         practices.</p>",
+                        &footer_links(&[("Privacy Center", "/privacy")]),
+                    );
+                    site = site.page("/privacy", center);
+                    site = site.page(
+                        "/privacy/faqs",
+                        page(
+                            &format!("Privacy FAQs | {}", company.name),
+                            &standard_header(),
+                            "<h1>Privacy FAQs</h1><p>Answers to common questions about \
+                             our approach are collected here for convenience.</p>",
+                            &footer_links(&[("Privacy Center", "/privacy")]),
+                        ),
+                    );
+                    site = site.page(
+                        "/privacy/choices",
+                        page(
+                            &format!("Privacy Choices | {}", company.name),
+                            &standard_header(),
+                            "<h1>Privacy Choices</h1><p>Controls available to you are \
+                             described in the policy document.</p>",
+                            &footer_links(&[("Privacy Center", "/privacy")]),
+                        ),
+                    );
+                }
+                _ => {}
+            }
+            if california_link {
+                site = site.page(
+                    "/california-privacy",
+                    page(
+                        &format!("California Privacy Notice | {}", company.name),
+                        &standard_header(),
+                        "<h1>California Privacy Notice</h1><p>This supplemental notice \
+                         applies to residents of California and describes rights available \
+                         under state law. The main policy document governs where this \
+                         notice is silent.</p>",
+                        &footer_links(&[("Privacy Policy", policy_path)]),
+                    ),
+                );
+            }
+            if extra_choices_link {
+                site = site.page(
+                    "/your-privacy-choices",
+                    page(
+                        &format!("Your Privacy Choices | {}", company.name),
+                        &format!("<a href=\"{policy_path}\">Privacy Policy</a>"),
+                        "<h1>Your Privacy Choices</h1><p>This page summarizes the controls \
+                         available to you. The full policy document governs.</p>",
+                        &footer_links(&[("Privacy Policy", policy_path)]),
+                    ),
+                );
+            }
+            (site, policy_path.to_string())
+        }
+        CompanyFate::HiddenLegalLink => {
+            // Footer says "Legal Notices"; policy lives at a path without
+            // the word "privacy".
+            let site = StaticSite::new()
+                .page(
+                    "/",
+                    page(
+                        &company.name,
+                        &standard_header(),
+                        &marketing(company),
+                        &footer_links(&[("Legal Notices", "/legal-notices")]),
+                    ),
+                )
+                .page(
+                    "/legal-notices",
+                    page(
+                        &format!("Legal Notices | {}", company.name),
+                        &standard_header(),
+                        &policy_html,
+                        &footer_links(&[("Legal Notices", "/legal-notices")]),
+                    ),
+                );
+            (site, "/legal-notices".to_string())
+        }
+        CompanyFate::JsActionLink => {
+            let footer = "<a href=\"/terms\">Terms of Use</a> \
+                          <a href=\"javascript:openPrivacyModal()\">Privacy Policy</a> \
+                          <a href=\"/accessibility\">Accessibility</a>";
+            let site = StaticSite::new()
+                .page(
+                    "/",
+                    page(&company.name, &standard_header(), &marketing(company), footer),
+                )
+                .page("/modal/privacy-content", policy_page(&policy_html));
+            (site, "/modal/privacy-content".to_string())
+        }
+        CompanyFate::ConsentBoxLink => {
+            let main = format!(
+                "{}<details class=\"consent\"><summary>We value your privacy</summary>\
+                 <p>Manage preferences or read the <a href=\"/legal/privacy-statement\">\
+                 Privacy Statement</a>.</p></details>",
+                marketing(company)
+            );
+            let site = StaticSite::new()
+                .page(
+                    "/",
+                    page(&company.name, &standard_header(), &main, &footer_links(&[])),
+                )
+                .page("/legal/privacy-statement", policy_page(&policy_html));
+            (site, "/legal/privacy-statement".to_string())
+        }
+        CompanyFate::PdfPolicy => {
+            let pdf_body = format!("%PDF-1.7 privacy policy of {}", company.name);
+            let site = StaticSite::new()
+                .page(
+                    "/",
+                    page(
+                        &company.name,
+                        &standard_header(),
+                        &marketing(company),
+                        &footer_links(&[("Privacy Policy", "/docs/privacy-policy.pdf")]),
+                    ),
+                )
+                .page("/docs/privacy-policy.pdf", Response::pdf(pdf_body));
+            (site, "/docs/privacy-policy.pdf".to_string())
+        }
+        CompanyFate::NonEnglish => {
+            let german = render_policy_german(&company.name);
+            let site = StaticSite::new()
+                .page(
+                    "/",
+                    page(
+                        &company.name,
+                        "<a href=\"/\">Startseite</a> <a href=\"/ueber-uns\">\u{dc}ber uns</a>",
+                        &format!(
+                            "<h1>{0}</h1><p>Willkommen bei {0}. Wir freuen uns \u{fc}ber Ihren \
+                             Besuch und stehen Ihnen gerne zur Verf\u{fc}gung.</p>",
+                            company.name
+                        ),
+                        &footer_links(&[("Privacy Policy", "/privacy")]),
+                    ),
+                )
+                .page(
+                    "/privacy",
+                    page(
+                        &format!("Datenschutz | {}", company.name),
+                        "",
+                        &german,
+                        &footer_links(&[("Privacy Policy", "/privacy")]),
+                    ),
+                );
+            (site, "/privacy".to_string())
+        }
+        CompanyFate::MixedLanguage => {
+            let mixed = render_policy_mixed(truth, style, &company.name, seed);
+            let site = StaticSite::new()
+                .page(
+                    "/",
+                    page(
+                        &company.name,
+                        &standard_header(),
+                        &marketing(company),
+                        &footer_links(&[("Privacy Policy", "/privacy-policy")]),
+                    ),
+                )
+                .page("/privacy-policy", policy_page(&mixed));
+            (site, "/privacy-policy".to_string())
+        }
+        CompanyFate::JsLoadedPolicy => {
+            let shell = "<div id=\"root\"></div>\
+                         <script src=\"/static/bundle.js\"></script>\
+                         <script>window.__APP__ = { page: 'privacy' };</script>";
+            let site = StaticSite::new()
+                .page(
+                    "/",
+                    page(
+                        &company.name,
+                        &standard_header(),
+                        &marketing(company),
+                        &footer_links(&[("Privacy Policy", "/privacy-policy")]),
+                    ),
+                )
+                .page("/privacy-policy", policy_page(shell));
+            (site, "/privacy-policy".to_string())
+        }
+        CompanyFate::ImagePolicy => {
+            let main = "<h1>Privacy Policy</h1>\
+                        <img src=\"/assets/privacy-policy.png\" \
+                        alt=\"Scanned privacy policy document\">";
+            let site = StaticSite::new()
+                .page(
+                    "/",
+                    page(
+                        &company.name,
+                        &standard_header(),
+                        &marketing(company),
+                        &footer_links(&[("Privacy Policy", "/privacy-policy")]),
+                    ),
+                )
+                .page("/privacy-policy", policy_page(main));
+            (site, "/privacy-policy".to_string())
+        }
+        CompanyFate::ExpandablePolicy => {
+            let main = format!(
+                "<h1>Privacy Policy</h1>\
+                 <details><summary>Read our full privacy policy</summary>{policy_html}</details>"
+            );
+            let site = StaticSite::new()
+                .page(
+                    "/",
+                    page(
+                        &company.name,
+                        &standard_header(),
+                        &marketing(company),
+                        &footer_links(&[("Privacy Policy", "/privacy-policy")]),
+                    ),
+                )
+                .page("/privacy-policy", policy_page(&main));
+            (site, "/privacy-policy".to_string())
+        }
+        CompanyFate::NoPolicy => unreachable!("handled by caller"),
+    }
+}
+
+fn build_no_policy_site(company: &Company) -> StaticSite {
+    StaticSite::new().page(
+        "/",
+        page(
+            &company.name,
+            &standard_header(),
+            &marketing(company),
+            &footer_links(&[]),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aipan_net::fault::FaultInjector;
+    use aipan_net::{Client, Url};
+
+    fn small_world() -> World {
+        build_world(WorldConfig::small(11, 300))
+    }
+
+    #[test]
+    fn world_registers_all_unique_domains() {
+        let w = small_world();
+        assert_eq!(w.internet.len(), w.universe.unique_domains().len());
+    }
+
+    #[test]
+    fn fates_mostly_normal() {
+        let w = small_world();
+        let hist = w.fate_histogram();
+        let normal = hist.get(&CompanyFate::Normal).copied().unwrap_or(0);
+        let total: usize = hist.values().sum();
+        let rate = normal as f64 / total as f64;
+        assert!((0.82..0.97).contains(&rate), "normal rate {rate}");
+    }
+
+    #[test]
+    fn normal_site_serves_policy_with_planted_surfaces() {
+        let w = small_world();
+        let client = Client::new(w.internet.clone(), FaultInjector::new(0, FaultConfig::none()));
+        let (domain, _) = w
+            .fates
+            .iter()
+            .find(|(_, f)| **f == CompanyFate::Normal)
+            .expect("some normal site");
+        let path = w.policy_paths.get(domain).unwrap();
+        let url = Url::parse(&format!("https://{domain}{path}")).unwrap();
+        let res = client.fetch(&url).unwrap();
+        assert!(res.response.status.is_success());
+        let body = res.response.body_text().to_lowercase();
+        let truth = w.truth(domain).unwrap();
+        for m in &truth.types {
+            assert!(body.contains(&m.surface.to_lowercase()), "missing {}", m.surface);
+        }
+    }
+
+    #[test]
+    fn no_policy_sites_404_standard_paths() {
+        let w = small_world();
+        let client = Client::new(w.internet.clone(), FaultInjector::new(0, FaultConfig::none()));
+        if let Some((domain, _)) = w.fates.iter().find(|(_, f)| **f == CompanyFate::NoPolicy) {
+            for path in ["/privacy-policy", "/privacy"] {
+                let url = Url::parse(&format!("https://{domain}{path}")).unwrap();
+                let res = client.fetch(&url).unwrap();
+                assert_eq!(res.response.status, Status::NOT_FOUND);
+            }
+            assert!(w.truth(domain).is_none());
+        }
+    }
+
+    #[test]
+    fn homepage_privacy_link_presence_by_fate() {
+        let w = small_world();
+        let client = Client::new(w.internet.clone(), FaultInjector::new(0, FaultConfig::none()));
+        for (domain, fate) in &w.fates {
+            let url = Url::parse(&format!("https://{domain}/")).unwrap();
+            let res = client.fetch(&url).unwrap();
+            let doc = aipan_html::extract(&res.response.body_text());
+            let has_privacy_link = doc.links_containing("privacy").next().is_some();
+            match fate {
+                CompanyFate::Normal
+                | CompanyFate::PdfPolicy
+                | CompanyFate::NonEnglish
+                | CompanyFate::MixedLanguage
+                | CompanyFate::JsLoadedPolicy
+                | CompanyFate::ImagePolicy
+                | CompanyFate::ExpandablePolicy => {
+                    assert!(has_privacy_link, "{domain} ({fate:?}) should link privacy");
+                }
+                CompanyFate::NoPolicy | CompanyFate::HiddenLegalLink => {
+                    assert!(!has_privacy_link, "{domain} ({fate:?}) must not link privacy");
+                }
+                // JsActionLink has a privacy link but it's a javascript: URL;
+                // ConsentBoxLink's link is hidden in collapsed details.
+                CompanyFate::JsActionLink => {}
+                CompanyFate::ConsentBoxLink => {
+                    assert!(!has_privacy_link, "{domain}: consent-box link must be hidden");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layout_rates_give_path_existence_near_paper() {
+        let w = build_world(WorldConfig::small(13, 1500));
+        let client = Client::new(w.internet.clone(), FaultInjector::new(0, FaultConfig::none()));
+        let mut pp = 0usize;
+        let mut p = 0usize;
+        let domains: Vec<String> = w.fates.keys().cloned().collect();
+        for domain in &domains {
+            for (path, counter) in [("/privacy-policy", &mut pp), ("/privacy", &mut p)] {
+                let url = Url::parse(&format!("https://{domain}{path}")).unwrap();
+                if let Ok(res) = client.fetch(&url) {
+                    if res.response.status.is_success()
+                        && res.response.status != Status::FORBIDDEN
+                    {
+                        *counter += 1;
+                    }
+                }
+            }
+        }
+        let pp_rate = pp as f64 / domains.len() as f64;
+        let p_rate = p as f64 / domains.len() as f64;
+        // Paper: 54.5% and 48.6%.
+        assert!((pp_rate - 0.545).abs() < 0.08, "/privacy-policy rate {pp_rate}");
+        assert!((p_rate - 0.486).abs() < 0.08, "/privacy rate {p_rate}");
+    }
+
+    #[test]
+    fn deterministic_world() {
+        let a = build_world(WorldConfig::small(21, 100));
+        let b = build_world(WorldConfig::small(21, 100));
+        assert_eq!(a.fates, b.fates);
+        assert_eq!(a.policy_paths, b.policy_paths);
+        for (d, t) in &a.truths {
+            assert_eq!(Some(t), b.truths.get(d));
+        }
+    }
+
+    #[test]
+    fn expandable_policy_hides_text_from_extractor() {
+        let w = build_world(WorldConfig::small(31, 2000));
+        let client = Client::new(w.internet.clone(), FaultInjector::new(0, FaultConfig::none()));
+        let found = w.fates.iter().find(|(_, f)| **f == CompanyFate::ExpandablePolicy);
+        if let Some((domain, _)) = found {
+            let path = w.policy_paths.get(domain).unwrap();
+            let url = Url::parse(&format!("https://{domain}{path}")).unwrap();
+            let res = client.fetch(&url).unwrap();
+            let doc = aipan_html::extract(&res.response.body_text());
+            assert!(
+                doc.word_count() < 80,
+                "expandable policy leaked {} words",
+                doc.word_count()
+            );
+        }
+    }
+}

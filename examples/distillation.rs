@@ -1,0 +1,53 @@
+//! Knowledge distillation — the paper's §6 future work ("training offline
+//! LLMs to replicate the chatbot-generated annotations") with a classical
+//! student: train naive-Bayes models on chatbot-labeled lines and measure
+//! how well they replicate the teacher on held-out companies.
+//!
+//! Run with: `cargo run --release --example distillation [n_policies]`
+
+use aipan::chatbot::SimulatedChatbot;
+use aipan::ml::train::split_by_domain;
+use aipan::ml::{build_aspect_corpus, build_rights_corpus, eval, Featurizer};
+use aipan::webgen::{build_world, WorldConfig};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    let world = build_world(WorldConfig::small(42, n.max(50)));
+    let teacher = SimulatedChatbot::gpt4(42);
+    let featurizer = Featurizer::default();
+
+    println!("== task 1: line → aspect segmentation (9 classes) ==");
+    let corpus = build_aspect_corpus(&world, &teacher, n);
+    let (train, test) = split_by_domain(&corpus);
+    println!(
+        "corpus: {} labeled lines from teacher; train {} / test {} (split by company)",
+        corpus.len(),
+        train.len(),
+        test.len()
+    );
+    let student = eval::train_student(&featurizer, &train);
+    let report = eval::evaluate(&student, &featurizer, &test);
+    print!("{}", report.render());
+
+    println!("\n== task 2: line → user-rights label (12 classes incl. none) ==");
+    let corpus = build_rights_corpus(&world, &teacher, n);
+    let (train, test) = split_by_domain(&corpus);
+    println!(
+        "corpus: {} labeled lines; train {} / test {}",
+        corpus.len(),
+        train.len(),
+        test.len()
+    );
+    let student = eval::train_student(&featurizer, &train);
+    let report = eval::evaluate(&student, &featurizer, &test);
+    print!("{}", report.render());
+
+    println!(
+        "\nA student this cheap cannot annotate open-vocabulary data types, but for \
+         segmentation and closed-label tasks it can replace most chatbot calls — the \
+         deployment the paper's future work anticipates."
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a small simulated world, run the full AIPAN pipeline,
+//! and print what it learned about one company.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use aipan::core::{run_pipeline, PipelineConfig};
+use aipan::taxonomy::records::AspectKind;
+use aipan::webgen::{build_world, WorldConfig};
+
+fn main() {
+    // 1. A deterministic world: 300 synthetic companies with real-looking
+    //    websites, privacy policies, and failure modes.
+    let world = build_world(WorldConfig::small(42, 300));
+    println!(
+        "world: {} companies, {} unique domains",
+        world.universe.len(),
+        world.internet.len()
+    );
+
+    // 2. Crawl + segment + annotate everything with the GPT-4-Turbo-profile
+    //    simulated chatbot.
+    let run = run_pipeline(&world, PipelineConfig { seed: 42, ..Default::default() });
+    println!(
+        "pipeline: {} crawled, {} extracted, {} annotated",
+        run.crawl_funnel.crawl_success,
+        run.extraction.extraction_success,
+        run.extraction.annotated
+    );
+
+    // 3. Inspect one company's structured annotations.
+    let policy = run
+        .dataset
+        .policies
+        .iter()
+        .max_by_key(|p| p.annotations.len())
+        .expect("at least one annotated policy");
+    let company = world.company(&policy.domain).expect("company exists");
+    println!(
+        "\nmost-annotated policy: {} ({}, sector {})",
+        company.name, policy.domain, policy.sector
+    );
+    for kind in AspectKind::ALL {
+        let n = policy.for_aspect(kind).count();
+        println!("  {kind:<10} {n} annotations");
+    }
+    println!("\nfirst few data-type annotations:");
+    for ann in policy.for_aspect(AspectKind::Types).take(5) {
+        println!("  line {:>3}  {:?}  ← {:?}", ann.line, ann.payload, ann.text);
+    }
+
+    // 4. Token accounting, as a real chatbot deployment would need.
+    let total: u64 = run.usage.iter().map(|(_, u)| u.total()).sum();
+    println!("\ntotal simulated chatbot tokens: {total}");
+}

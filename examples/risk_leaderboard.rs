@@ -1,0 +1,36 @@
+//! Privacy-exposure leaderboard — the "legal exposure risk analysis" use
+//! case from the paper's Discussion: score every company's policy on
+//! collection breadth/sensitivity, protection gaps, and rights gaps, and
+//! rank them.
+//!
+//! Run with: `cargo run --release --example risk_leaderboard [universe_size]`
+
+use aipan::analysis::risk;
+use aipan::core::{run_pipeline, PipelineConfig};
+use aipan::webgen::{build_world, WorldConfig};
+
+fn main() {
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600);
+    let world = build_world(WorldConfig::small(42, size));
+    let run = run_pipeline(&world, PipelineConfig { seed: 42, ..Default::default() });
+
+    let scores = risk::rank(&run.dataset);
+    print!("{}", risk::render(&scores, 15));
+
+    // Decompose the single riskiest policy.
+    if let Some(worst) = scores.first() {
+        println!("\nriskiest policy: {} ({})", worst.domain, worst.sector.name());
+        println!(
+            "  collection {:.1}/50 · protection gap {:.1}/25 · rights gap {:.1}/25",
+            worst.collection, worst.protection_gap, worst.rights_gap
+        );
+        let policy = run.dataset.by_domain(&worst.domain).expect("scored from dataset");
+        println!("  {} annotations across {} aspects", policy.annotations.len(), 4);
+    }
+    if let Some(best) = scores.last() {
+        println!("least exposed: {} ({:.1} points)", best.domain, best.score);
+    }
+}

@@ -1,0 +1,122 @@
+//! Sector privacy-posture report — the §5 "consumer discretionary relies on
+//! broad data collection" analysis as a reusable league table.
+//!
+//! For every S&P sector, reports the average number of distinct data-type
+//! categories collected, the dominant collection purposes, and the share of
+//! companies offering opt-outs and full deletion.
+//!
+//! Run with: `cargo run --release --example sector_report [universe_size]`
+
+use aipan::core::{run_pipeline, PipelineConfig};
+use aipan::taxonomy::records::AnnotationPayload;
+use aipan::taxonomy::{ChoiceLabel, DataTypeCategory, PurposeMeta, Sector};
+use aipan::webgen::{build_world, WorldConfig};
+use std::collections::{HashMap, HashSet};
+
+fn main() {
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(800);
+    let world = build_world(WorldConfig::small(42, size));
+    let run = run_pipeline(&world, PipelineConfig { seed: 42, ..Default::default() });
+
+    println!(
+        "{:<24} {:>5} {:>10} {:>10} {:>9} {:>9}",
+        "Sector", "n", "avg cats", "top purpose", "opt-out", "full-del"
+    );
+    let mut rows: Vec<(Sector, usize, f64, String, f64, f64)> = Vec::new();
+    for sector in Sector::ALL {
+        let policies: Vec<_> = run
+            .dataset
+            .annotated()
+            .filter(|p| p.sector == sector)
+            .collect();
+        if policies.is_empty() {
+            continue;
+        }
+        let mut cat_total = 0usize;
+        let mut purpose_meta_counts: HashMap<PurposeMeta, usize> = HashMap::new();
+        let mut optout = 0usize;
+        let mut fulldel = 0usize;
+        for p in &policies {
+            let cats: HashSet<DataTypeCategory> = p
+                .annotations
+                .iter()
+                .filter_map(|a| match &a.payload {
+                    AnnotationPayload::DataType { category, .. } => Some(*category),
+                    _ => None,
+                })
+                .collect();
+            cat_total += cats.len();
+            for a in &p.annotations {
+                match &a.payload {
+                    AnnotationPayload::Purpose { category, .. } => {
+                        *purpose_meta_counts.entry(category.meta()).or_insert(0) += 1;
+                    }
+                    AnnotationPayload::Choice {
+                        label: ChoiceLabel::OptOutViaContact | ChoiceLabel::OptOutViaLink,
+                    } => optout += 1,
+                    AnnotationPayload::Access { label } if label.name() == "Full delete" => {
+                        fulldel += 1
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let n = policies.len();
+        let top_purpose = purpose_meta_counts
+            .iter()
+            .max_by_key(|(_, c)| **c)
+            .map(|(m, _)| m.name().to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let optout_share = policies
+            .iter()
+            .filter(|p| {
+                p.annotations.iter().any(|a| {
+                    matches!(
+                        a.payload,
+                        AnnotationPayload::Choice {
+                            label: ChoiceLabel::OptOutViaContact | ChoiceLabel::OptOutViaLink
+                        }
+                    )
+                })
+            })
+            .count() as f64
+            / n as f64;
+        let fulldel_share = policies
+            .iter()
+            .filter(|p| {
+                p.annotations.iter().any(|a| {
+                    matches!(&a.payload, AnnotationPayload::Access { label } if label.name() == "Full delete")
+                })
+            })
+            .count() as f64
+            / n as f64;
+        let _ = (optout, fulldel);
+        rows.push((
+            sector,
+            n,
+            cat_total as f64 / n as f64,
+            top_purpose,
+            optout_share,
+            fulldel_share,
+        ));
+    }
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    for (sector, n, avg_cats, top_purpose, optout, fulldel) in rows {
+        println!(
+            "{:<24} {:>5} {:>10.1} {:>10} {:>8.0}% {:>8.0}%",
+            sector.name(),
+            n,
+            avg_cats,
+            top_purpose,
+            optout * 100.0,
+            fulldel * 100.0
+        );
+    }
+    println!(
+        "\n(the paper's §5 finding: consumer discretionary tops the table, with \
+         advertising/analytics as its dominant data uses)"
+    );
+}

@@ -1,0 +1,45 @@
+//! Longitudinal trend analysis — the "trends" use case the paper's
+//! Discussion says the structured dataset unlocks: crawl the same universe
+//! at two policy revisions and diff what companies started and stopped
+//! doing.
+//!
+//! Run with: `cargo run --release --example trend_watch [universe_size]`
+
+use aipan::analysis::trends::{peer_gaps, TrendReport};
+use aipan::core::{run_pipeline, PipelineConfig};
+use aipan::webgen::{build_world, WorldConfig};
+
+fn main() {
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+
+    println!("snapshot 1: initial policies");
+    let world_v1 = build_world(WorldConfig::small(42, size));
+    let run_v1 = run_pipeline(&world_v1, PipelineConfig { seed: 42, ..Default::default() });
+
+    println!("snapshot 2: after two policy-update cycles");
+    let world_v2 = build_world(WorldConfig::small(42, size).at_revision(2));
+    let run_v2 = run_pipeline(&world_v2, PipelineConfig { seed: 42, ..Default::default() });
+
+    let report = TrendReport::diff(&run_v1.dataset, &run_v2.dataset);
+    print!("{}", report.render(12));
+
+    // Peer-group comparison for the most-changed company.
+    if let Some(diff) = report
+        .diffs
+        .iter()
+        .max_by_key(|d| d.added.len() + d.removed.len())
+    {
+        println!("\nmost-changed company: {}", diff.domain);
+        println!("  added:   {:?}", diff.added);
+        println!("  removed: {:?}", diff.removed);
+        if let Some(gaps) = peer_gaps(&run_v2.dataset, &diff.domain, 0.6) {
+            println!(
+                "  still missing vs ≥60% of sector peers: {:?}",
+                gaps
+            );
+        }
+    }
+}

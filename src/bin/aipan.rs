@@ -1,0 +1,198 @@
+//! `aipan` — the command-line interface to the AIPAN-RS stack.
+//!
+//! ```text
+//! aipan run      [--seed N] [--size N] [--out FILE]   run the pipeline, write the dataset JSON
+//! aipan audit    <domain> [--seed N] [--size N]       crawl + annotate one company
+//! aipan tables   [--seed N] [--size N]                print Tables 1–5 from a fresh run
+//! aipan validate [--seed N] [--size N]                run the §4 validation harness
+//! aipan distill  [--seed N] [--size N]                train + evaluate offline student models
+//! aipan analyze  <dataset.json>                       analyze a previously exported dataset
+//! ```
+
+use aipan::analysis::validation::{FailureAudit, MissingAspectAudit, PrecisionReport};
+use aipan::analysis::{insights::Insights, tables};
+use aipan::chatbot::SimulatedChatbot;
+use aipan::core::pipeline::Pipeline;
+use aipan::core::{run_pipeline, Dataset, PipelineConfig};
+use aipan::crawler::crawl_domain;
+use aipan::ml::{build_aspect_corpus, build_rights_corpus, eval, train::split_by_domain, Featurizer};
+use aipan::net::fault::FaultInjector;
+use aipan::net::Client;
+use aipan::webgen::{build_world, World, WorldConfig};
+
+struct Args {
+    command: String,
+    positional: Vec<String>,
+    seed: u64,
+    size: usize,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        command: String::new(),
+        positional: Vec::new(),
+        seed: 42,
+        size: 600,
+        out: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => args.seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
+            "--size" => args.size = iter.next().and_then(|v| v.parse().ok()).unwrap_or(args.size),
+            "--out" => args.out = iter.next(),
+            other if args.command.is_empty() => args.command = other.to_string(),
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aipan <run|audit|tables|validate|distill|analyze> [args]\n\
+         \n\
+         run      [--seed N] [--size N] [--out FILE]   run the pipeline, export dataset JSON\n\
+         audit    <domain>   [--seed N] [--size N]     crawl + annotate one company\n\
+         tables              [--seed N] [--size N]     print Tables 1-5\n\
+         validate            [--seed N] [--size N]     run the §4 validation harness\n\
+         distill             [--seed N] [--size N]     train offline student models\n\
+         analyze  <dataset.json>                       analyze an exported dataset"
+    );
+    std::process::exit(2);
+}
+
+fn build(args: &Args) -> World {
+    eprintln!("building world (seed {}, {} constituents)...", args.seed, args.size);
+    build_world(WorldConfig { seed: args.seed, universe_size: args.size, ..Default::default() })
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "run" => cmd_run(&args),
+        "audit" => cmd_audit(&args),
+        "tables" => cmd_tables(&args),
+        "validate" => cmd_validate(&args),
+        "distill" => cmd_distill(&args),
+        "analyze" => cmd_analyze(&args),
+        _ => usage(),
+    }
+}
+
+fn cmd_run(args: &Args) {
+    let world = build(args);
+    let run = run_pipeline(&world, PipelineConfig { seed: args.seed, ..Default::default() });
+    println!(
+        "crawled {} domains ({} ok), annotated {} policies",
+        run.crawl_funnel.domains_total,
+        run.crawl_funnel.crawl_success,
+        run.extraction.annotated
+    );
+    let out = args.out.clone().unwrap_or_else(|| "aipan-dataset.json".to_string());
+    let json = run.dataset.to_json().expect("serialize dataset");
+    std::fs::write(&out, &json).expect("write dataset");
+    println!("dataset written to {out} ({} bytes)", json.len());
+}
+
+fn cmd_audit(args: &Args) {
+    let Some(domain) = args.positional.first() else { usage() };
+    let world = build(args);
+    if world.company(domain).is_none() {
+        eprintln!("domain {domain} not in this world (seed {}, size {})", args.seed, args.size);
+        std::process::exit(1);
+    }
+    let client = Client::new(
+        world.internet.clone(),
+        FaultInjector::new(world.config.seed, world.config.faults),
+    );
+    let crawl = crawl_domain(&client, domain);
+    println!(
+        "crawl: {:?}, {} pages, {} privacy pages, robots skipped {}",
+        crawl.outcome,
+        crawl.pages.len(),
+        crawl.privacy_pages().len(),
+        crawl.robots_skipped
+    );
+    let pipeline = Pipeline::new(PipelineConfig { seed: args.seed, ..Default::default() });
+    let sector = world.company(domain).expect("checked").sector;
+    match pipeline.process_domain(&crawl, sector) {
+        Some(policy) => {
+            println!(
+                "policy at {} ({} words): {} annotations, fallbacks {:?}",
+                policy.policy_path,
+                policy.core_word_count,
+                policy.annotations.len(),
+                policy.fallbacks
+            );
+            for ann in &policy.annotations {
+                println!("  L{:>3} {:?} ← {:?}", ann.line, ann.payload, ann.text);
+            }
+        }
+        None => println!("no extractable policy (fate {:?})", world.fate(domain)),
+    }
+}
+
+fn cmd_tables(args: &Args) {
+    let world = build(args);
+    let run = run_pipeline(&world, PipelineConfig { seed: args.seed, ..Default::default() });
+    println!("{}", tables::render_table1(&tables::table1(&run.dataset, 3)));
+    println!(
+        "{}",
+        tables::render_breakdown("Table 2a — data-type meta-categories", &tables::table2a(&run.dataset))
+    );
+    println!(
+        "{}",
+        tables::render_breakdown("Table 2b — purposes", &tables::table2b(&run.dataset))
+    );
+    println!("{}", tables::render_table3(&tables::table3(&run.dataset)));
+    println!(
+        "{}",
+        tables::render_breakdown("Table 5 — all data-type categories", &tables::table5(&run.dataset))
+    );
+    println!("{}", Insights::compute(&run.dataset).render());
+}
+
+fn cmd_validate(args: &Args) {
+    let world = build(args);
+    let run = run_pipeline(&world, PipelineConfig { seed: args.seed, ..Default::default() });
+    println!("{}", FailureAudit::run(&world, &run.dataset, 50, args.seed).render());
+    println!("{}", MissingAspectAudit::run(&world, &run.dataset, 20, args.seed).render());
+    println!("{}", PrecisionReport::run(&world, &run.dataset, args.seed).render());
+}
+
+fn cmd_distill(args: &Args) {
+    let world = build(args);
+    let teacher = SimulatedChatbot::gpt4(args.seed);
+    let featurizer = Featurizer::default();
+    for (name, corpus) in [
+        ("aspect segmentation", build_aspect_corpus(&world, &teacher, args.size)),
+        ("rights labeling", build_rights_corpus(&world, &teacher, args.size)),
+    ] {
+        let (train, test) = split_by_domain(&corpus);
+        let model = eval::train_student(&featurizer, &train);
+        let report = eval::evaluate(&model, &featurizer, &test);
+        println!(
+            "== {name}: {} train / {} test lines ==\n{}",
+            train.len(),
+            test.len(),
+            report.render()
+        );
+    }
+}
+
+fn cmd_analyze(args: &Args) {
+    let Some(path) = args.positional.first() else { usage() };
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let dataset = Dataset::from_json(&json).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("{} policies, {} annotated", dataset.len(), dataset.annotated().count());
+    println!("{}", tables::render_table1(&tables::table1(&dataset, 3)));
+    println!("{}", Insights::compute(&dataset).render());
+}

@@ -1,0 +1,181 @@
+//! Cross-crate end-to-end tests: the full pipeline over a mid-size world,
+//! funnel-shape assertions, determinism, dataset round-tripping, and the
+//! validation harness.
+
+use aipan::analysis::validation::{
+    FailureAudit, FailureClass, MissingAspectAudit, PrecisionReport,
+};
+use aipan::analysis::{insights::Insights, tables};
+use aipan::core::{run_pipeline, Dataset, PipelineConfig};
+use aipan::taxonomy::records::AspectKind;
+use aipan::taxonomy::Sector;
+use aipan::webgen::{build_world, WorldConfig};
+use std::sync::OnceLock;
+
+const SEED: u64 = 1234;
+const SIZE: usize = 700;
+
+fn fixture() -> &'static (aipan::webgen::World, aipan::core::PipelineRun) {
+    static FIX: OnceLock<(aipan::webgen::World, aipan::core::PipelineRun)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let world = build_world(WorldConfig::small(SEED, SIZE));
+        let run = run_pipeline(&world, PipelineConfig { seed: SEED, ..Default::default() });
+        (world, run)
+    })
+}
+
+#[test]
+fn funnel_shape_matches_paper() {
+    let (_, run) = fixture();
+    let f = &run.crawl_funnel;
+    let e = &run.extraction;
+
+    // §3.1: ~91.6% crawl success.
+    let success = f.success_rate();
+    assert!((0.86..=0.96).contains(&success), "crawl success {success}");
+
+    // §3.1: path-existence rates around 54.5% and 48.6%.
+    assert!((0.44..=0.64).contains(&f.policy_path_rate()), "{}", f.policy_path_rate());
+    assert!((0.38..=0.58).contains(&f.privacy_path_rate()), "{}", f.privacy_path_rate());
+
+    // §3.2.1: extraction ≈ 88% of all, ≈96% of crawled.
+    assert!((0.82..=0.94).contains(&e.extraction_rate()), "{}", e.extraction_rate());
+    assert!(
+        (0.92..=0.99).contains(&e.extraction_rate_of_crawled()),
+        "{}",
+        e.extraction_rate_of_crawled()
+    );
+
+    // §3.2.1: median core policy length ≈ 2671 words.
+    assert!(
+        (1800..=3600).contains(&e.median_core_words),
+        "median {} words",
+        e.median_core_words
+    );
+
+    // §3.2.2 footnote: fallback for roughly a quarter of policies.
+    let fallback_rate = e.policies_with_fallback as f64 / e.extraction_success.max(1) as f64;
+    assert!((0.12..=0.45).contains(&fallback_rate), "fallback rate {fallback_rate}");
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let world = build_world(WorldConfig::small(55, 150));
+    let a = run_pipeline(&world, PipelineConfig { seed: 55, ..Default::default() });
+    let b = run_pipeline(&world, PipelineConfig { seed: 55, ..Default::default() });
+    assert_eq!(a.dataset.len(), b.dataset.len());
+    for (x, y) in a.dataset.policies.iter().zip(&b.dataset.policies) {
+        assert_eq!(x.domain, y.domain);
+        assert_eq!(x.annotations, y.annotations);
+        assert_eq!(x.fallbacks, y.fallbacks);
+    }
+    assert_eq!(a.extraction, b.extraction);
+    assert_eq!(a.crawl_funnel, b.crawl_funnel);
+}
+
+#[test]
+fn different_seeds_produce_different_worlds() {
+    let a = build_world(WorldConfig::small(1, 100));
+    let b = build_world(WorldConfig::small(2, 100));
+    let da: Vec<_> = a.universe.unique_domains().iter().map(|c| c.domain.clone()).collect();
+    let db: Vec<_> = b.universe.unique_domains().iter().map(|c| c.domain.clone()).collect();
+    assert_ne!(da, db);
+}
+
+#[test]
+fn dataset_json_roundtrip_preserves_analysis() {
+    let (_, run) = fixture();
+    let json = run.dataset.to_json().expect("serialize");
+    let reloaded = Dataset::from_json(&json).expect("parse");
+    assert_eq!(reloaded.len(), run.dataset.len());
+    let before = tables::table1(&run.dataset, 3);
+    let after = tables::table1(&reloaded, 3);
+    assert_eq!(before.types_total, after.types_total);
+    assert_eq!(before.purposes_total, after.purposes_total);
+    let ins_before = Insights::compute(&run.dataset);
+    let ins_after = Insights::compute(&reloaded);
+    assert_eq!(ins_before.retention_median_days, ins_after.retention_median_days);
+    assert_eq!(ins_before.data_for_sale, ins_after.data_for_sale);
+}
+
+#[test]
+fn precision_bands_match_section4() {
+    let (world, run) = fixture();
+    let report = PrecisionReport::run(world, &run.dataset, SEED);
+    let types = PrecisionReport::precision(report.types);
+    let purposes = PrecisionReport::precision(report.purposes);
+    let handling = PrecisionReport::precision(report.handling);
+    let rights = PrecisionReport::precision(report.rights);
+    // Paper: 89.7 / 94.3 / 97.5 / 90.5 (±generous band for a smaller world).
+    assert!((0.80..=0.97).contains(&types), "types {types}");
+    assert!((0.87..=1.0).contains(&purposes), "purposes {purposes}");
+    assert!((0.90..=1.0).contains(&handling), "handling {handling}");
+    assert!((0.80..=0.98).contains(&rights), "rights {rights}");
+    // Purposes and handling must be cleaner than types, as in the paper.
+    assert!(purposes > types, "purposes {purposes} vs types {types}");
+    assert!(handling > types, "handling {handling} vs types {types}");
+}
+
+#[test]
+fn failure_audit_dominated_by_missing_policies() {
+    let (world, run) = fixture();
+    let audit = FailureAudit::run(world, &run.dataset, 50, SEED);
+    assert!(audit.failed_total > 0);
+    let no_policy = audit
+        .counts
+        .iter()
+        .find(|(c, _)| *c == FailureClass::NoPolicy)
+        .map(|(_, n)| *n)
+        .unwrap_or(0);
+    // Paper: 27/50 had no policy — the plurality class.
+    assert!(
+        no_policy * 2 >= audit.sample_size,
+        "no-policy {no_policy} of {}",
+        audit.sample_size
+    );
+}
+
+#[test]
+fn missing_aspect_audit_mostly_genuine() {
+    let (world, run) = fixture();
+    let audit = MissingAspectAudit::run(world, &run.dataset, 20, SEED);
+    // Paper: 16/20 genuinely absent.
+    assert!(audit.truly_absent as f64 >= 0.7 * audit.sample_size as f64, "{audit:?}");
+}
+
+#[test]
+fn annotations_cover_all_four_aspects_corpus_wide() {
+    let (_, run) = fixture();
+    for kind in AspectKind::ALL {
+        let n = run.dataset.annotation_count(kind);
+        assert!(n > 100, "{kind} has only {n} annotations corpus-wide");
+    }
+}
+
+#[test]
+fn every_sector_represented_in_dataset() {
+    let (_, run) = fixture();
+    for sector in Sector::ALL {
+        let n = run.dataset.annotated().filter(|p| p.sector == sector).count();
+        assert!(n > 0, "sector {sector} missing from dataset");
+    }
+}
+
+#[test]
+fn planted_retention_extremes_survive_pipeline() {
+    // Full-size check on the three real-name companies the paper cites.
+    let world = build_world(WorldConfig::small(42, 2916));
+    let run = run_pipeline(&world, PipelineConfig { seed: 42, ..Default::default() });
+    let insights = Insights::compute(&run.dataset);
+    assert_eq!(insights.retention_min.0, 1, "min stated period should be 1 day");
+    assert!(insights.retention_min.1.contains(&"arescre.com".to_string()));
+    assert!(insights.retention_min.1.contains(&"pg.com".to_string()));
+    assert_eq!(insights.retention_max.0, 18_250, "max should be 50 years");
+    assert!(insights.retention_max.1.contains(&"bms.com".to_string()));
+    // §5: median stated retention ≈ 2 years.
+    assert!(
+        (540..=920).contains(&insights.retention_median_days),
+        "median {}",
+        insights.retention_median_days
+    );
+}

@@ -1,0 +1,131 @@
+//! The repository's strongest invariant: with a *perfect* chatbot (the
+//! oracle profile) and no network faults, the pipeline recovers **exactly**
+//! the planted ground truth for every Normal-fate domain — no missing
+//! annotations, no extras.
+//!
+//! This is what ties the whole system together: the generator's surface
+//! forms, the HTML extraction, the two-step segmentation, the per-aspect
+//! fallback, the vocabulary matchers, and the normalization must all agree.
+//! Any cross-vocabulary collision or template leak breaks this test.
+
+use aipan::chatbot::ModelProfile;
+use aipan::core::{run_pipeline, PipelineConfig};
+use aipan::net::fault::FaultConfig;
+use aipan::taxonomy::records::AnnotationPayload;
+use aipan::webgen::{build_world, CompanyFate, WorldConfig};
+use std::collections::BTreeSet;
+
+#[test]
+fn oracle_pipeline_recovers_planted_truth_exactly() {
+    let mut cfg = WorldConfig::small(42, 500);
+    cfg.faults = FaultConfig::none();
+    let world = build_world(cfg);
+    let run = run_pipeline(
+        &world,
+        PipelineConfig { seed: 42, profile: ModelProfile::oracle(), ..Default::default() },
+    );
+
+    let mut checked = 0usize;
+    for policy in run.dataset.annotated() {
+        if world.fate(&policy.domain) != CompanyFate::Normal {
+            continue;
+        }
+        let truth = world.truth(&policy.domain).expect("normal domains have truth");
+        checked += 1;
+
+        // Data types: exact (descriptor, category) set equality.
+        let got: BTreeSet<(String, String)> = policy
+            .annotations
+            .iter()
+            .filter_map(|a| match &a.payload {
+                AnnotationPayload::DataType { descriptor, category } => {
+                    Some((descriptor.clone(), category.name().to_string()))
+                }
+                _ => None,
+            })
+            .collect();
+        let want: BTreeSet<(String, String)> = truth
+            .types
+            .iter()
+            .map(|m| (m.descriptor.clone(), m.category.name().to_string()))
+            .collect();
+        assert_eq!(got, want, "data types diverge for {}", policy.domain);
+
+        // Purposes: exact set equality.
+        let got: BTreeSet<(String, String)> = policy
+            .annotations
+            .iter()
+            .filter_map(|a| match &a.payload {
+                AnnotationPayload::Purpose { descriptor, category } => {
+                    Some((descriptor.clone(), category.name().to_string()))
+                }
+                _ => None,
+            })
+            .collect();
+        let want: BTreeSet<(String, String)> = truth
+            .purposes
+            .iter()
+            .map(|m| (m.descriptor.clone(), m.category.name().to_string()))
+            .collect();
+        assert_eq!(got, want, "purposes diverge for {}", policy.domain);
+
+        // Handling and rights: exact label-set equality.
+        let got: BTreeSet<String> = policy
+            .annotations
+            .iter()
+            .filter_map(|a| match &a.payload {
+                AnnotationPayload::Retention { label, .. } => Some(format!("ret:{label}")),
+                AnnotationPayload::Protection { label } => Some(format!("prot:{label}")),
+                AnnotationPayload::Choice { label } => Some(format!("choice:{label}")),
+                AnnotationPayload::Access { label } => Some(format!("access:{label}")),
+                _ => None,
+            })
+            .collect();
+        let mut want: BTreeSet<String> = BTreeSet::new();
+        want.extend(truth.retention.iter().map(|r| format!("ret:{}", r.label)));
+        want.extend(truth.protection.iter().map(|l| format!("prot:{l}")));
+        want.extend(truth.choices.iter().map(|l| format!("choice:{l}")));
+        want.extend(truth.access.iter().map(|l| format!("access:{l}")));
+        assert_eq!(got, want, "handling/rights labels diverge for {}", policy.domain);
+
+        // Stated retention periods must round-trip through the text.
+        for planted in &truth.retention {
+            if let Some(days) = planted.period_days {
+                let recovered = policy.annotations.iter().any(|a| {
+                    matches!(a.payload, AnnotationPayload::Retention { period_days: Some(d), .. } if d == days)
+                });
+                assert!(recovered, "period {days}d lost for {}", policy.domain);
+            }
+        }
+
+        // Negated mentions must never be annotated.
+        for neg in &truth.negated_types {
+            let leaked = policy.annotations.iter().any(|a| {
+                matches!(&a.payload, AnnotationPayload::DataType { descriptor, .. }
+                    if *descriptor == neg.descriptor)
+            });
+            assert!(
+                leaked == truth.types.iter().any(|t| t.descriptor == neg.descriptor),
+                "negated mention {:?} leaked into annotations for {}",
+                neg.descriptor,
+                policy.domain
+            );
+        }
+    }
+    assert!(checked >= 350, "only {checked} normal policies checked");
+}
+
+#[test]
+fn oracle_pipeline_removes_no_hallucinations() {
+    let mut cfg = WorldConfig::small(7, 150);
+    cfg.faults = FaultConfig::none();
+    let world = build_world(cfg);
+    let run = run_pipeline(
+        &world,
+        PipelineConfig { seed: 7, profile: ModelProfile::oracle(), ..Default::default() },
+    );
+    assert_eq!(
+        run.extraction.hallucinations_removed, 0,
+        "the oracle never hallucinates, so verification should remove nothing"
+    );
+}
