@@ -7,7 +7,7 @@ use aipan_taxonomy::{
     AccessLabel, ChoiceLabel, DataTypeCategory, ProtectionLabel, RetentionLabel, Sector,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// The §5 statistics.
@@ -66,7 +66,7 @@ impl Insights {
         let mut cats_gt_22 = 0;
         let mut cats_gt_25 = 0;
         for policy in dataset.annotated() {
-            let distinct: HashSet<DataTypeCategory> = policy
+            let distinct: BTreeSet<DataTypeCategory> = policy
                 .annotations
                 .iter()
                 .filter_map(|a| match &a.payload {
@@ -145,7 +145,7 @@ impl Insights {
         let mut access_read_only = 0;
         let mut access_none = 0;
         for policy in dataset.annotated() {
-            let labels: HashSet<AccessLabel> = policy
+            let labels: BTreeSet<AccessLabel> = policy
                 .annotations
                 .iter()
                 .filter_map(|a| match &a.payload {
@@ -157,8 +157,7 @@ impl Insights {
                 access_none += 1;
             } else if labels.iter().any(|l| l.is_write()) {
                 access_read_write += 1;
-            } else if labels.contains(&AccessLabel::View) || labels.contains(&AccessLabel::Export)
-            {
+            } else if labels.contains(&AccessLabel::View) || labels.contains(&AccessLabel::Export) {
                 access_read_only += 1;
             } else {
                 // Deactivate only: neither read/write nor read-only.
@@ -209,7 +208,7 @@ impl Insights {
             let mut cat_counts: Vec<f64> = Vec::new();
             let mut desc_counts: Vec<f64> = Vec::new();
             for policy in dataset.annotated().filter(|p| p.sector == sector) {
-                let cats: HashSet<DataTypeCategory> = policy
+                let cats: BTreeSet<DataTypeCategory> = policy
                     .annotations
                     .iter()
                     .filter_map(|a| match &a.payload {
@@ -415,7 +414,9 @@ mod tests {
         let rw = policy(
             "rw.com",
             vec![Annotation::new(
-                AnnotationPayload::Access { label: AccessLabel::Edit },
+                AnnotationPayload::Access {
+                    label: AccessLabel::Edit,
+                },
                 "edit",
                 1,
             )],
@@ -423,7 +424,9 @@ mod tests {
         let ro = policy(
             "ro.com",
             vec![Annotation::new(
-                AnnotationPayload::Access { label: AccessLabel::View },
+                AnnotationPayload::Access {
+                    label: AccessLabel::View,
+                },
                 "view",
                 1,
             )],
@@ -431,12 +434,16 @@ mod tests {
         let none = policy(
             "none.com",
             vec![Annotation::new(
-                AnnotationPayload::Choice { label: ChoiceLabel::OptIn },
+                AnnotationPayload::Choice {
+                    label: ChoiceLabel::OptIn,
+                },
                 "consent",
                 1,
             )],
         );
-        let ds = Dataset { policies: vec![rw, ro, none] };
+        let ds = Dataset {
+            policies: vec![rw, ro, none],
+        };
         let ins = Insights::compute(&ds);
         assert_eq!(ins.access_read_write, 1);
         assert_eq!(ins.access_read_only, 1);
@@ -457,7 +464,9 @@ mod tests {
                 1,
             )],
         );
-        let ds = Dataset { policies: vec![seller] };
+        let ds = Dataset {
+            policies: vec![seller],
+        };
         let ins = Insights::compute(&ds);
         assert_eq!(ins.data_for_sale, vec!["seller.com".to_string()]);
     }
@@ -475,7 +484,9 @@ mod tests {
                 1,
             ));
         }
-        let ds = Dataset { policies: vec![policy("wide.com", anns)] };
+        let ds = Dataset {
+            policies: vec![policy("wide.com", anns)],
+        };
         let ins = Insights::compute(&ds);
         assert_eq!(ins.cats_ge_3, 1);
         assert_eq!(ins.cats_gt_25, 1);
@@ -483,7 +494,9 @@ mod tests {
 
     #[test]
     fn render_contains_reference_values() {
-        let ds = Dataset { policies: vec![policy("a.com", vec![retention(730)])] };
+        let ds = Dataset {
+            policies: vec![policy("a.com", vec![retention(730)])],
+        };
         let text = Insights::compute(&ds).render();
         assert!(text.contains("paper: 93.5%"));
         assert!(text.contains("retention median"));

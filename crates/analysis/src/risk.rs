@@ -17,11 +17,10 @@
 use aipan_core::dataset::{AnnotatedPolicy, Dataset};
 use aipan_taxonomy::records::AnnotationPayload;
 use aipan_taxonomy::{
-    AccessLabel, ChoiceLabel, DataTypeCategory, ProtectionLabel, RetentionLabel,
-    Sector,
+    AccessLabel, ChoiceLabel, DataTypeCategory, ProtectionLabel, RetentionLabel, Sector,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// Risk weight of a data-type category (sensitive classes score higher).
@@ -34,8 +33,12 @@ pub fn category_sensitivity(category: DataTypeCategory) -> f64 {
         PreciseLocation => 2.5,
         PersonalIdentifier => 2.0,
         // Moderately sensitive.
-        PhysicalCharacteristic | DemographicInfo | ApproximateLocation | TravelData
-        | CommunicationData | ContentGeneration => 1.5,
+        PhysicalCharacteristic
+        | DemographicInfo
+        | ApproximateLocation
+        | TravelData
+        | CommunicationData
+        | ContentGeneration => 1.5,
         // Baseline.
         _ => 1.0,
     }
@@ -61,7 +64,7 @@ pub struct RiskScore {
 /// Score a single policy.
 pub fn score_policy(policy: &AnnotatedPolicy) -> RiskScore {
     // Collection: sensitivity-weighted distinct categories, saturating.
-    let categories: HashSet<DataTypeCategory> = policy
+    let categories: BTreeSet<DataTypeCategory> = policy
         .annotations
         .iter()
         .filter_map(|a| match &a.payload {
@@ -75,7 +78,7 @@ pub fn score_policy(policy: &AnnotatedPolicy) -> RiskScore {
     let collection = (weighted / 51.5 * 50.0).min(50.0);
 
     // Protection gap: start from the full gap, credit concrete practices.
-    let mut protections: HashSet<ProtectionLabel> = HashSet::new();
+    let mut protections: BTreeSet<ProtectionLabel> = BTreeSet::new();
     let mut has_stated_retention = false;
     let mut retains_indefinitely = false;
     for ann in &policy.annotations {
@@ -91,7 +94,10 @@ pub fn score_policy(policy: &AnnotatedPolicy) -> RiskScore {
             _ => {}
         }
     }
-    let specific = protections.iter().filter(|l| **l != ProtectionLabel::Generic).count();
+    let specific = protections
+        .iter()
+        .filter(|l| **l != ProtectionLabel::Generic)
+        .count();
     let mut protection_gap: f64 = 25.0;
     protection_gap -= (specific as f64 * 4.0).min(16.0);
     if protections.contains(&ProtectionLabel::Generic) {
@@ -107,16 +113,45 @@ pub fn score_policy(policy: &AnnotatedPolicy) -> RiskScore {
 
     // Rights gap: credit deletion, edit/view, and opt-outs.
     let mut rights_gap: f64 = 25.0;
-    let has = |f: &dyn Fn(&AnnotationPayload) -> bool| policy.annotations.iter().any(|a| f(&a.payload));
-    if has(&|p| matches!(p, AnnotationPayload::Access { label: AccessLabel::FullDelete })) {
+    let has =
+        |f: &dyn Fn(&AnnotationPayload) -> bool| policy.annotations.iter().any(|a| f(&a.payload));
+    if has(&|p| {
+        matches!(
+            p,
+            AnnotationPayload::Access {
+                label: AccessLabel::FullDelete
+            }
+        )
+    }) {
         rights_gap -= 9.0;
-    } else if has(&|p| matches!(p, AnnotationPayload::Access { label: AccessLabel::PartialDelete })) {
+    } else if has(&|p| {
+        matches!(
+            p,
+            AnnotationPayload::Access {
+                label: AccessLabel::PartialDelete
+            }
+        )
+    }) {
         rights_gap -= 5.0;
     }
-    if has(&|p| matches!(p, AnnotationPayload::Access { label: AccessLabel::Edit })) {
+    if has(&|p| {
+        matches!(
+            p,
+            AnnotationPayload::Access {
+                label: AccessLabel::Edit
+            }
+        )
+    }) {
         rights_gap -= 5.0;
     }
-    if has(&|p| matches!(p, AnnotationPayload::Access { label: AccessLabel::View | AccessLabel::Export })) {
+    if has(&|p| {
+        matches!(
+            p,
+            AnnotationPayload::Access {
+                label: AccessLabel::View | AccessLabel::Export
+            }
+        )
+    }) {
         rights_gap -= 3.0;
     }
     if has(&|p| {
@@ -129,7 +164,14 @@ pub fn score_policy(policy: &AnnotatedPolicy) -> RiskScore {
     }) {
         rights_gap -= 5.0;
     }
-    if has(&|p| matches!(p, AnnotationPayload::Choice { label: ChoiceLabel::OptIn })) {
+    if has(&|p| {
+        matches!(
+            p,
+            AnnotationPayload::Choice {
+                label: ChoiceLabel::OptIn
+            }
+        )
+    }) {
         rights_gap -= 3.0;
     }
     let rights_gap = rights_gap.clamp(0.0, 25.0);
@@ -147,7 +189,11 @@ pub fn score_policy(policy: &AnnotatedPolicy) -> RiskScore {
 /// Score a whole dataset, descending by score.
 pub fn rank(dataset: &Dataset) -> Vec<RiskScore> {
     let mut scores: Vec<RiskScore> = dataset.annotated().map(score_policy).collect();
-    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.domain.cmp(&b.domain)));
+    scores.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.domain.cmp(&b.domain))
+    });
     scores
 }
 
@@ -155,19 +201,27 @@ pub fn rank(dataset: &Dataset) -> Vec<RiskScore> {
 pub fn sector_averages(scores: &[RiskScore]) -> Vec<(Sector, f64, usize)> {
     let mut out = Vec::new();
     for sector in Sector::ALL {
-        let v: Vec<f64> = scores.iter().filter(|s| s.sector == sector).map(|s| s.score).collect();
+        let v: Vec<f64> = scores
+            .iter()
+            .filter(|s| s.sector == sector)
+            .map(|s| s.score)
+            .collect();
         if !v.is_empty() {
             out.push((sector, v.iter().sum::<f64>() / v.len() as f64, v.len()));
         }
     }
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    out.sort_by(|a, b| b.1.total_cmp(&a.1));
     out
 }
 
 /// Render a leaderboard (top-`k` riskiest plus sector averages).
 pub fn render(scores: &[RiskScore], k: usize) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Privacy-exposure leaderboard (top {k} of {}):", scores.len());
+    let _ = writeln!(
+        out,
+        "Privacy-exposure leaderboard (top {k} of {}):",
+        scores.len()
+    );
     let _ = writeln!(
         out,
         "  {:<28} {:<4} {:>6} {:>9} {:>9} {:>8}",
@@ -213,7 +267,10 @@ mod tests {
 
     fn dt(category: DataTypeCategory) -> Annotation {
         Annotation::new(
-            AnnotationPayload::DataType { descriptor: format!("d-{category:?}"), category },
+            AnnotationPayload::DataType {
+                descriptor: format!("d-{category:?}"),
+                category,
+            },
             "d",
             1,
         )
@@ -232,7 +289,9 @@ mod tests {
         let mut guarded_annotations = vec![
             dt(DataTypeCategory::MedicalInfo),
             Annotation::new(
-                AnnotationPayload::Protection { label: ProtectionLabel::SecureStorage },
+                AnnotationPayload::Protection {
+                    label: ProtectionLabel::SecureStorage,
+                },
                 "encrypted",
                 2,
             ),
@@ -245,18 +304,24 @@ mod tests {
                 3,
             ),
             Annotation::new(
-                AnnotationPayload::Access { label: AccessLabel::FullDelete },
+                AnnotationPayload::Access {
+                    label: AccessLabel::FullDelete,
+                },
                 "delete",
                 4,
             ),
             Annotation::new(
-                AnnotationPayload::Choice { label: ChoiceLabel::OptOutViaLink },
+                AnnotationPayload::Choice {
+                    label: ChoiceLabel::OptOutViaLink,
+                },
                 "opt out",
                 5,
             ),
         ];
         guarded_annotations.push(Annotation::new(
-            AnnotationPayload::Choice { label: ChoiceLabel::OptIn },
+            AnnotationPayload::Choice {
+                label: ChoiceLabel::OptIn,
+            },
             "consent",
             6,
         ));
@@ -273,11 +338,16 @@ mod tests {
         // Both policies earn the same protection credit; the indefinite
         // retainer must lose part of it back.
         let credit = Annotation::new(
-            AnnotationPayload::Protection { label: ProtectionLabel::SecureStorage },
+            AnnotationPayload::Protection {
+                label: ProtectionLabel::SecureStorage,
+            },
             "encrypted",
             2,
         );
-        let base = policy("a.com", vec![dt(DataTypeCategory::ContactInfo), credit.clone()]);
+        let base = policy(
+            "a.com",
+            vec![dt(DataTypeCategory::ContactInfo), credit.clone()],
+        );
         let indefinite = policy(
             "b.com",
             vec![
@@ -301,7 +371,10 @@ mod tests {
         let everything: Vec<Annotation> = DataTypeCategory::ALL.iter().map(|&c| dt(c)).collect();
         let s = score_policy(&policy("max.com", everything));
         assert!(s.score <= 100.0 && s.score >= 0.0);
-        assert!((s.collection - 50.0).abs() < 1e-9, "max collector saturates");
+        assert!(
+            (s.collection - 50.0).abs() < 1e-9,
+            "max collector saturates"
+        );
     }
 
     #[test]
@@ -309,7 +382,13 @@ mod tests {
         let ds = Dataset {
             policies: vec![
                 policy("low.com", vec![dt(DataTypeCategory::Preferences)]),
-                policy("high.com", vec![dt(DataTypeCategory::BiometricData), dt(DataTypeCategory::MedicalInfo)]),
+                policy(
+                    "high.com",
+                    vec![
+                        dt(DataTypeCategory::BiometricData),
+                        dt(DataTypeCategory::MedicalInfo),
+                    ],
+                ),
             ],
         };
         let ranked = rank(&ds);

@@ -38,12 +38,21 @@ impl CategoryStats {
     /// uncovered).
     pub fn from_counts(counts: &[usize]) -> CategoryStats {
         let population = counts.len();
-        let covered_counts: Vec<f64> =
-            counts.iter().filter(|&&c| c > 0).map(|&c| c as f64).collect();
+        let covered_counts: Vec<f64> = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| c as f64)
+            .collect();
         let covered = covered_counts.len();
         let total_mentions = counts.iter().sum();
         let (mean, sd) = mean_sd(&covered_counts);
-        CategoryStats { population, covered, mean, sd, total_mentions }
+        CategoryStats {
+            population,
+            covered,
+            mean,
+            sd,
+            total_mentions,
+        }
     }
 }
 
@@ -68,9 +77,16 @@ pub fn median(values: &mut [u32]) -> u32 {
 }
 
 /// How many unique mentions a policy has for `matches`.
-fn unique_mentions(policy: &AnnotatedPolicy, matches: impl Fn(&AnnotationPayload) -> bool) -> usize {
+fn unique_mentions(
+    policy: &AnnotatedPolicy,
+    matches: impl Fn(&AnnotationPayload) -> bool,
+) -> usize {
     // Annotations are already deduplicated per policy by dedup key.
-    policy.annotations.iter().filter(|a| matches(&a.payload)).count()
+    policy
+        .annotations
+        .iter()
+        .filter(|a| matches(&a.payload))
+        .count()
 }
 
 /// Compute stats over all annotated policies for an arbitrary payload
@@ -121,8 +137,7 @@ impl SectorBreakdown {
         let mut ranked = stats_by_sector(dataset, matches);
         ranked.sort_by(|a, b| {
             b.1.coverage()
-                .partial_cmp(&a.1.coverage())
-                .unwrap()
+                .total_cmp(&a.1.coverage())
                 .then_with(|| a.0.abbrev().cmp(b.0.abbrev()))
         });
         SectorBreakdown { ranked }
@@ -142,7 +157,9 @@ impl SectorBreakdown {
 // --- Convenience predicates -------------------------------------------------
 
 /// Predicate: data-type annotation in `category`.
-pub fn is_datatype_category(category: DataTypeCategory) -> impl Fn(&AnnotationPayload) -> bool + Copy {
+pub fn is_datatype_category(
+    category: DataTypeCategory,
+) -> impl Fn(&AnnotationPayload) -> bool + Copy {
     move |p| matches!(p, AnnotationPayload::DataType { category: c, .. } if *c == category)
 }
 
@@ -152,7 +169,9 @@ pub fn is_datatype_meta(meta: DataTypeMeta) -> impl Fn(&AnnotationPayload) -> bo
 }
 
 /// Predicate: purpose annotation in `category`.
-pub fn is_purpose_category(category: PurposeCategory) -> impl Fn(&AnnotationPayload) -> bool + Copy {
+pub fn is_purpose_category(
+    category: PurposeCategory,
+) -> impl Fn(&AnnotationPayload) -> bool + Copy {
     move |p| matches!(p, AnnotationPayload::Purpose { category: c, .. } if *c == category)
 }
 
@@ -250,7 +269,10 @@ mod tests {
         assert!((s.mean - 1.5).abs() < 1e-9);
 
         let by_sector = stats_by_sector(&ds, is_datatype_category(DataTypeCategory::ContactInfo));
-        let energy = by_sector.iter().find(|(s, _)| *s == Sector::Energy).unwrap();
+        let energy = by_sector
+            .iter()
+            .find(|(s, _)| *s == Sector::Energy)
+            .unwrap();
         assert_eq!(energy.1.covered, 1);
         assert_eq!(energy.1.population, 1);
     }

@@ -13,9 +13,8 @@ use aipan_taxonomy::{
     PurposeMeta, RetentionLabel,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
-
 
 // ---------------------------------------------------------------------------
 // Table 1 / Table 4: annotation counts and top descriptors
@@ -61,11 +60,15 @@ pub struct Table1 {
 pub fn table1(dataset: &Dataset, k: usize) -> Table1 {
     let mut datatype_rows = Vec::new();
     for category in DataTypeCategory::ALL {
-        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
         let mut total = 0usize;
         for policy in dataset.annotated() {
             for ann in &policy.annotations {
-                if let AnnotationPayload::DataType { descriptor, category: c } = &ann.payload {
+                if let AnnotationPayload::DataType {
+                    descriptor,
+                    category: c,
+                } = &ann.payload
+                {
                     if *c == category {
                         *counts.entry(descriptor.clone()).or_insert(0) += 1;
                         total += 1;
@@ -82,11 +85,15 @@ pub fn table1(dataset: &Dataset, k: usize) -> Table1 {
     }
     let mut purpose_rows = Vec::new();
     for category in PurposeCategory::ALL {
-        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
         let mut total = 0usize;
         for policy in dataset.annotated() {
             for ann in &policy.annotations {
-                if let AnnotationPayload::Purpose { descriptor, category: c } = &ann.payload {
+                if let AnnotationPayload::Purpose {
+                    descriptor,
+                    category: c,
+                } = &ann.payload
+                {
                     if *c == category {
                         *counts.entry(descriptor.clone()).or_insert(0) += 1;
                         total += 1;
@@ -105,19 +112,35 @@ pub fn table1(dataset: &Dataset, k: usize) -> Table1 {
     let mut label_counts = Vec::new();
     for label in RetentionLabel::ALL {
         let s = stats::stats_for(dataset, stats::is_retention(label));
-        label_counts.push(("Data retention".to_string(), label.name().to_string(), s.total_mentions));
+        label_counts.push((
+            "Data retention".to_string(),
+            label.name().to_string(),
+            s.total_mentions,
+        ));
     }
     for label in ProtectionLabel::ALL {
         let s = stats::stats_for(dataset, stats::is_protection(label));
-        label_counts.push(("Data protection".to_string(), label.name().to_string(), s.total_mentions));
+        label_counts.push((
+            "Data protection".to_string(),
+            label.name().to_string(),
+            s.total_mentions,
+        ));
     }
     for label in ChoiceLabel::ALL {
         let s = stats::stats_for(dataset, stats::is_choice(label));
-        label_counts.push(("User choices".to_string(), label.name().to_string(), s.total_mentions));
+        label_counts.push((
+            "User choices".to_string(),
+            label.name().to_string(),
+            s.total_mentions,
+        ));
     }
     for label in AccessLabel::ALL {
         let s = stats::stats_for(dataset, stats::is_access(label));
-        label_counts.push(("User access".to_string(), label.name().to_string(), s.total_mentions));
+        label_counts.push((
+            "User access".to_string(),
+            label.name().to_string(),
+            s.total_mentions,
+        ));
     }
 
     Table1 {
@@ -145,12 +168,21 @@ pub fn table1(dataset: &Dataset, k: usize) -> Table1 {
     }
 }
 
-fn top_k(counts: HashMap<String, usize>, total: usize, k: usize) -> Vec<(String, f64)> {
+fn top_k(counts: BTreeMap<String, usize>, total: usize, k: usize) -> Vec<(String, f64)> {
     let mut v: Vec<(String, usize)> = counts.into_iter().collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     v.into_iter()
         .take(k)
-        .map(|(d, c)| (d, if total == 0 { 0.0 } else { c as f64 / total as f64 }))
+        .map(|(d, c)| {
+            (
+                d,
+                if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                },
+            )
+        })
         .collect()
 }
 
@@ -161,8 +193,12 @@ pub fn render_table1(t: &Table1) -> String {
         out,
         "Table 1/4 — AI-generated annotations (types {}, purposes {}, retention {}, \
          protection {}, choices {}, access {})",
-        t.types_total, t.purposes_total, t.retention_total, t.protection_total,
-        t.choices_total, t.access_total
+        t.types_total,
+        t.purposes_total,
+        t.retention_total,
+        t.protection_total,
+        t.choices_total,
+        t.access_total
     );
     let mut last_meta = String::new();
     for row in t.datatype_rows.iter().chain(t.purpose_rows.iter()) {
@@ -175,7 +211,13 @@ pub fn render_table1(t: &Table1) -> String {
             .iter()
             .map(|(d, f)| format!("{d} ({:.1}%)", f * 100.0))
             .collect();
-        let _ = writeln!(out, "    {:<26} {:>7}  {}", row.category, row.count, tops.join(", "));
+        let _ = writeln!(
+            out,
+            "    {:<26} {:>7}  {}",
+            row.category,
+            row.count,
+            tops.join(", ")
+        );
     }
     let _ = writeln!(out, "  Handling & rights labels");
     for (group, label, count) in &t.label_counts {
@@ -226,7 +268,11 @@ pub fn table2a(dataset: &Dataset) -> Vec<BreakdownRow> {
 pub fn table2b(dataset: &Dataset) -> Vec<BreakdownRow> {
     let mut rows = Vec::new();
     for meta in PurposeMeta::ALL {
-        rows.push(BreakdownRow::compute(dataset, meta.name(), stats::is_purpose_meta(meta)));
+        rows.push(BreakdownRow::compute(
+            dataset,
+            meta.name(),
+            stats::is_purpose_meta(meta),
+        ));
         for &category in meta.categories() {
             rows.push(BreakdownRow::compute(
                 dataset,
@@ -326,7 +372,11 @@ pub fn render_table3(rows: &[(String, BreakdownRow)]) -> String {
     );
     let mut last_group = String::new();
     for (group, row) in rows {
-        let group_cell = if *group == last_group { "" } else { group.as_str() };
+        let group_cell = if *group == last_group {
+            ""
+        } else {
+            group.as_str()
+        };
         last_group = group.clone();
         let cell = |entry: Option<&(aipan_taxonomy::Sector, CategoryStats)>| match entry {
             Some((sector, s)) => {
@@ -382,8 +432,7 @@ pub fn table6(
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
     let mut rows = Vec::new();
-    let mut policies: Vec<&aipan_core::dataset::AnnotatedPolicy> =
-        dataset.annotated().collect();
+    let mut policies: Vec<&aipan_core::dataset::AnnotatedPolicy> = dataset.annotated().collect();
     policies.sort_by(|a, b| a.domain.cmp(&b.domain));
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x7ab1e6);
     policies.shuffle(&mut rng);
@@ -393,15 +442,17 @@ pub fn table6(
         if taken.iter().all(|&t| t >= per_aspect) {
             break;
         }
-        let Some(truth) = world.truth(&policy.domain) else { continue };
-        let Some(style) = world.styles.get(&policy.domain) else { continue };
-        let Some(company) = world.company(&policy.domain) else { continue };
-        let html = aipan_webgen::policy::render_policy(
-            truth,
-            style,
-            &company.name,
-            world.config.seed,
-        );
+        let Some(truth) = world.truth(&policy.domain) else {
+            continue;
+        };
+        let Some(style) = world.styles.get(&policy.domain) else {
+            continue;
+        };
+        let Some(company) = world.company(&policy.domain) else {
+            continue;
+        };
+        let html =
+            aipan_webgen::policy::render_policy(truth, style, &company.name, world.config.seed);
         let doc = aipan_html::extract(&html);
         for ann in &policy.annotations {
             let idx = match ann.aspect_kind() {
@@ -440,18 +491,28 @@ pub fn table6(
 
 fn describe_payload(payload: &AnnotationPayload) -> (String, String, String) {
     match payload {
-        AnnotationPayload::DataType { descriptor, category } => {
-            ("Types".into(), category.name().into(), descriptor.clone())
-        }
-        AnnotationPayload::Purpose { descriptor, category } => {
-            ("Purposes".into(), category.name().into(), descriptor.clone())
-        }
-        AnnotationPayload::Retention { label, .. } => {
-            ("Handling".into(), "Data retention".into(), label.name().into())
-        }
-        AnnotationPayload::Protection { label } => {
-            ("Handling".into(), "Data protection".into(), label.name().into())
-        }
+        AnnotationPayload::DataType {
+            descriptor,
+            category,
+        } => ("Types".into(), category.name().into(), descriptor.clone()),
+        AnnotationPayload::Purpose {
+            descriptor,
+            category,
+        } => (
+            "Purposes".into(),
+            category.name().into(),
+            descriptor.clone(),
+        ),
+        AnnotationPayload::Retention { label, .. } => (
+            "Handling".into(),
+            "Data retention".into(),
+            label.name().into(),
+        ),
+        AnnotationPayload::Protection { label } => (
+            "Handling".into(),
+            "Data protection".into(),
+            label.name().into(),
+        ),
         AnnotationPayload::Choice { label } => {
             ("Rights".into(), "User choices".into(), label.name().into())
         }
@@ -523,7 +584,9 @@ mod tests {
                     4,
                 ),
                 Annotation::new(
-                    AnnotationPayload::Choice { label: ChoiceLabel::OptIn },
+                    AnnotationPayload::Choice {
+                        label: ChoiceLabel::OptIn,
+                    },
                     "obtain your consent",
                     5,
                 ),

@@ -59,7 +59,10 @@ impl TrendReport {
             .map(|p| {
                 (
                     p.domain.as_str(),
-                    p.annotations.iter().map(|a| practice_key(&a.payload)).collect(),
+                    p.annotations
+                        .iter()
+                        .map(|a| practice_key(&a.payload))
+                        .collect(),
                 )
             })
             .collect();
@@ -68,7 +71,10 @@ impl TrendReport {
             .map(|p| {
                 (
                     p.domain.as_str(),
-                    p.annotations.iter().map(|a| practice_key(&a.payload)).collect(),
+                    p.annotations
+                        .iter()
+                        .map(|a| practice_key(&a.payload))
+                        .collect(),
                 )
             })
             .collect();
@@ -77,7 +83,9 @@ impl TrendReport {
         let mut practice_flux: BTreeMap<String, (usize, usize)> = BTreeMap::new();
         let mut companies_compared = 0usize;
         for (domain, old_set) in &old_by_domain {
-            let Some(new_set) = new_by_domain.get(domain) else { continue };
+            let Some(new_set) = new_by_domain.get(domain) else {
+                continue;
+            };
             companies_compared += 1;
             let added: Vec<String> = new_set.difference(old_set).cloned().collect();
             let removed: Vec<String> = old_set.difference(new_set).cloned().collect();
@@ -88,7 +96,11 @@ impl TrendReport {
                 practice_flux.entry(practice.clone()).or_default().1 += 1;
             }
             if !added.is_empty() || !removed.is_empty() {
-                diffs.push(CompanyDiff { domain: domain.to_string(), added, removed });
+                diffs.push(CompanyDiff {
+                    domain: domain.to_string(),
+                    added,
+                    removed,
+                });
             }
         }
         let disappeared = old_by_domain
@@ -99,7 +111,13 @@ impl TrendReport {
             .keys()
             .filter(|d| !old_by_domain.contains_key(*d))
             .count();
-        TrendReport { companies_compared, disappeared, appeared, diffs, practice_flux }
+        TrendReport {
+            companies_compared,
+            disappeared,
+            appeared,
+            diffs,
+            practice_flux,
+        }
     }
 
     /// Share of compared companies with any change.
@@ -156,12 +174,18 @@ pub fn peer_gaps(dataset: &Dataset, domain: &str, threshold: f64) -> Option<Vec<
     if peers.is_empty() {
         return Some(Vec::new());
     }
-    let mine: BTreeSet<String> =
-        target.annotations.iter().map(|a| practice_key(&a.payload)).collect();
+    let mine: BTreeSet<String> = target
+        .annotations
+        .iter()
+        .map(|a| practice_key(&a.payload))
+        .collect();
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     for peer in &peers {
-        let set: BTreeSet<String> =
-            peer.annotations.iter().map(|a| practice_key(&a.payload)).collect();
+        let set: BTreeSet<String> = peer
+            .annotations
+            .iter()
+            .map(|a| practice_key(&a.payload))
+            .collect();
         for practice in set {
             *counts.entry(practice).or_default() += 1;
         }
@@ -224,13 +248,23 @@ mod tests {
     }
 
     fn optin() -> Annotation {
-        Annotation::new(AnnotationPayload::Choice { label: ChoiceLabel::OptIn }, "consent", 2)
+        Annotation::new(
+            AnnotationPayload::Choice {
+                label: ChoiceLabel::OptIn,
+            },
+            "consent",
+            2,
+        )
     }
 
     #[test]
     fn diff_detects_additions_and_removals() {
-        let old = Dataset { policies: vec![policy("a.com", vec![dt()])] };
-        let new = Dataset { policies: vec![policy("a.com", vec![dt(), optin()])] };
+        let old = Dataset {
+            policies: vec![policy("a.com", vec![dt()])],
+        };
+        let new = Dataset {
+            policies: vec![policy("a.com", vec![dt(), optin()])],
+        };
         let report = TrendReport::diff(&old, &new);
         assert_eq!(report.companies_compared, 1);
         assert_eq!(report.diffs.len(), 1);
@@ -243,7 +277,9 @@ mod tests {
 
     #[test]
     fn identical_snapshots_have_no_churn() {
-        let ds = Dataset { policies: vec![policy("a.com", vec![dt(), optin()])] };
+        let ds = Dataset {
+            policies: vec![policy("a.com", vec![dt(), optin()])],
+        };
         let report = TrendReport::diff(&ds, &ds);
         assert!(report.diffs.is_empty());
         assert_eq!(report.churn_rate(), 0.0);
@@ -251,8 +287,12 @@ mod tests {
 
     #[test]
     fn appeared_and_disappeared_counted() {
-        let old = Dataset { policies: vec![policy("gone.com", vec![dt()])] };
-        let new = Dataset { policies: vec![policy("new.com", vec![dt()])] };
+        let old = Dataset {
+            policies: vec![policy("gone.com", vec![dt()])],
+        };
+        let new = Dataset {
+            policies: vec![policy("new.com", vec![dt()])],
+        };
         let report = TrendReport::diff(&old, &new);
         assert_eq!(report.companies_compared, 0);
         assert_eq!(report.disappeared, 1);
@@ -264,7 +304,9 @@ mod tests {
         let laggard = policy("laggard.com", vec![dt()]);
         let peer1 = policy("p1.com", vec![dt(), optin()]);
         let peer2 = policy("p2.com", vec![dt(), optin()]);
-        let ds = Dataset { policies: vec![laggard, peer1, peer2] };
+        let ds = Dataset {
+            policies: vec![laggard, peer1, peer2],
+        };
         let gaps = peer_gaps(&ds, "laggard.com", 0.8).unwrap();
         assert_eq!(gaps, vec!["choice:Opt-in".to_string()]);
         // Peers lack nothing.
@@ -275,10 +317,16 @@ mod tests {
     #[test]
     fn top_trends_ranked_by_net() {
         let old = Dataset {
-            policies: vec![policy("a.com", vec![dt()]), policy("b.com", vec![dt(), optin()])],
+            policies: vec![
+                policy("a.com", vec![dt()]),
+                policy("b.com", vec![dt(), optin()]),
+            ],
         };
         let new = Dataset {
-            policies: vec![policy("a.com", vec![dt(), optin()]), policy("b.com", vec![dt()])],
+            policies: vec![
+                policy("a.com", vec![dt(), optin()]),
+                policy("b.com", vec![dt()]),
+            ],
         };
         let report = TrendReport::diff(&old, &new);
         // Opt-in added once, removed once → net 0.

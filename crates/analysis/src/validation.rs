@@ -13,15 +13,15 @@ use aipan_net::fault::{FaultConfig, FaultInjector};
 use aipan_net::Client;
 use aipan_taxonomy::normalize::fold;
 use aipan_taxonomy::records::{AnnotationPayload, AspectKind};
-use aipan_taxonomy::{ChoiceLabel, Normalizer};
 #[cfg(test)]
 use aipan_taxonomy::DataTypeCategory;
+use aipan_taxonomy::{ChoiceLabel, Normalizer};
 use aipan_webgen::{CompanyFate, GroundTruth, World};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 fn sample_rng(seed: u64, salt: u64) -> ChaCha8Rng {
@@ -89,14 +89,18 @@ impl FailureAudit {
         failed.truncate(sample_size);
 
         let injector = FaultInjector::new(world.config.seed, world.config.faults);
-        let mut histogram: HashMap<FailureClass, usize> = HashMap::new();
+        let mut histogram: BTreeMap<FailureClass, usize> = BTreeMap::new();
         for domain in &failed {
             let class = classify_failure(world, &injector, domain);
             *histogram.entry(class).or_insert(0) += 1;
         }
         let mut counts: Vec<(FailureClass, usize)> = histogram.into_iter().collect();
         counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        FailureAudit { failed_total, sample_size: failed.len(), counts }
+        FailureAudit {
+            failed_total,
+            sample_size: failed.len(),
+            counts,
+        }
     }
 
     /// Render with the paper's reference breakdown.
@@ -164,7 +168,12 @@ pub struct MissingAspectAudit {
 
 impl MissingAspectAudit {
     /// Audit a deterministic sample of missing-aspect policies.
-    pub fn run(world: &World, dataset: &Dataset, sample_size: usize, seed: u64) -> MissingAspectAudit {
+    pub fn run(
+        world: &World,
+        dataset: &Dataset,
+        sample_size: usize,
+        seed: u64,
+    ) -> MissingAspectAudit {
         let mut missing: Vec<&str> = dataset
             .annotated()
             .filter(|p| !p.missing_aspects().is_empty())
@@ -179,7 +188,9 @@ impl MissingAspectAudit {
         let mut truly_absent = 0;
         let mut pipeline_miss = 0;
         for domain in &missing {
-            let policy = dataset.by_domain(domain).expect("sampled from dataset");
+            let Some(policy) = dataset.by_domain(domain) else {
+                continue;
+            };
             let Some(truth) = world.truth(domain) else {
                 pipeline_miss += 1;
                 continue;
@@ -255,11 +266,14 @@ impl PrecisionReport {
         per_rights: usize,
     ) -> PrecisionReport {
         // Collect (domain, payload) pools per stratum key.
-        let mut pools: HashMap<String, Vec<(&str, &AnnotationPayload)>> = HashMap::new();
+        let mut pools: BTreeMap<String, Vec<(&str, &AnnotationPayload)>> = BTreeMap::new();
         for policy in dataset.annotated() {
             for ann in &policy.annotations {
                 let key = stratum_key(&ann.payload);
-                pools.entry(key).or_default().push((policy.domain.as_str(), &ann.payload));
+                pools
+                    .entry(key)
+                    .or_default()
+                    .push((policy.domain.as_str(), &ann.payload));
             }
         }
 
@@ -300,7 +314,9 @@ impl PrecisionReport {
                         if !correct
                             && matches!(
                                 payload,
-                                AnnotationPayload::Choice { label: ChoiceLabel::DoNotUse }
+                                AnnotationPayload::Choice {
+                                    label: ChoiceLabel::DoNotUse
+                                }
                             )
                         {
                             rights_errors_do_not_use += 1;
@@ -310,7 +326,13 @@ impl PrecisionReport {
             }
         }
 
-        PrecisionReport { types, purposes, handling, rights, rights_errors_do_not_use }
+        PrecisionReport {
+            types,
+            purposes,
+            handling,
+            rights,
+            rights_errors_do_not_use,
+        }
     }
 
     /// Precision for one aspect tuple.
@@ -382,11 +404,17 @@ fn hash_key(key: &str) -> u64 {
 /// Whether an annotation payload agrees with the planted truth.
 pub fn payload_correct(truth: &GroundTruth, payload: &AnnotationPayload) -> bool {
     match payload {
-        AnnotationPayload::DataType { descriptor, category } => truth
+        AnnotationPayload::DataType {
+            descriptor,
+            category,
+        } => truth
             .types
             .iter()
             .any(|m| m.descriptor == *descriptor && m.category == *category),
-        AnnotationPayload::Purpose { descriptor, category } => truth
+        AnnotationPayload::Purpose {
+            descriptor,
+            category,
+        } => truth
             .purposes
             .iter()
             .any(|m| m.descriptor == *descriptor && m.category == *category),
@@ -429,12 +457,17 @@ impl ModelComparison {
 
         // Fetch each policy's extracted text once (fault-free client: the
         // comparison is about the models, not the crawl).
-        let client = Client::new(world.internet.clone(), FaultInjector::new(0, FaultConfig::none()));
+        let client = Client::new(
+            world.internet.clone(),
+            FaultInjector::new(0, FaultConfig::none()),
+        );
         let normalizer = Normalizer::new();
         let mut docs: Vec<(String, String)> = Vec::new(); // (domain, numbered text)
         for domain in &candidates {
             let crawl = crawl_domain(&client, domain);
-            let Some(path) = world.policy_paths.get(domain) else { continue };
+            let Some(path) = world.policy_paths.get(domain) else {
+                continue;
+            };
             let Some(page) = crawl
                 .privacy_pages()
                 .into_iter()
@@ -455,17 +488,20 @@ impl ModelComparison {
             let mut correct = 0usize;
             let mut negated = 0usize;
             for (domain, input) in &docs {
-                let truth = world.truth(domain).expect("normal fate has truth");
+                let Some(truth) = world.truth(domain) else {
+                    continue;
+                };
                 let rows = protocol::parse_extractions(&bot.complete(&prompt, input));
                 for (_, text) in rows {
                     extracted += 1;
                     let folded = fold(&text);
-                    let planted_positive = truth
-                        .types
+                    let planted_positive = truth.types.iter().any(|m| {
+                        fold(&m.surface) == folded || normalized_matches(&normalizer, &folded, m)
+                    });
+                    let planted_negated = truth
+                        .negated_types
                         .iter()
-                        .any(|m| fold(&m.surface) == folded || normalized_matches(&normalizer, &folded, m));
-                    let planted_negated =
-                        truth.negated_types.iter().any(|m| fold(&m.surface) == folded);
+                        .any(|m| fold(&m.surface) == folded);
                     if planted_positive {
                         correct += 1;
                     } else if planted_negated {
@@ -475,7 +511,10 @@ impl ModelComparison {
             }
             results.push((profile.id.clone(), extracted, correct, negated));
         }
-        ModelComparison { policies: docs.len(), results }
+        ModelComparison {
+            policies: docs.len(),
+            results,
+        }
     }
 
     /// Render with the paper's reference values.
@@ -529,7 +568,13 @@ mod tests {
         static FIX: OnceLock<(World, Dataset)> = OnceLock::new();
         FIX.get_or_init(|| {
             let world = build_world(WorldConfig::small(3, 400));
-            let run = run_pipeline(&world, PipelineConfig { seed: 3, ..Default::default() });
+            let run = run_pipeline(
+                &world,
+                PipelineConfig {
+                    seed: 3,
+                    ..Default::default()
+                },
+            );
             (world, run.dataset)
         })
     }
@@ -564,7 +609,11 @@ mod tests {
         let report = PrecisionReport::run(world, dataset, 5);
         let types_p = PrecisionReport::precision(report.types);
         let handling_p = PrecisionReport::precision(report.handling);
-        assert!(report.types.0 > 50, "types sample too small: {:?}", report.types);
+        assert!(
+            report.types.0 > 50,
+            "types sample too small: {:?}",
+            report.types
+        );
         assert!((0.75..=1.0).contains(&types_p), "types precision {types_p}");
         assert!(handling_p >= types_p - 0.1, "handling should be cleaner");
     }
@@ -607,7 +656,10 @@ mod tests {
             p(gpt4),
             p(llama)
         );
-        assert!(llama.3 > gpt4.3, "llama should extract more negated contexts");
+        assert!(
+            llama.3 > gpt4.3,
+            "llama should extract more negated contexts"
+        );
     }
 
     #[test]

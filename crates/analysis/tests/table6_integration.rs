@@ -10,9 +10,19 @@ use aipan_webgen::{build_world, WorldConfig};
 #[test]
 fn table6_rows_have_consistent_context() {
     let world = build_world(WorldConfig::small(5, 200));
-    let run = run_pipeline(&world, PipelineConfig { seed: 5, ..Default::default() });
+    let run = run_pipeline(
+        &world,
+        PipelineConfig {
+            seed: 5,
+            ..Default::default()
+        },
+    );
     let rows = tables::table6(&world, &run.dataset, 4, 5);
-    assert!(rows.len() >= 8, "expected rows for several aspects, got {}", rows.len());
+    assert!(
+        rows.len() >= 8,
+        "expected rows for several aspects, got {}",
+        rows.len()
+    );
     let mut aspects = std::collections::HashSet::new();
     for row in &rows {
         aspects.insert(row.aspect.clone());

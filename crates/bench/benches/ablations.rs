@@ -34,7 +34,12 @@ fn config(use_segmentation: bool, fallback: bool, verify: bool) -> PipelineConfi
 
 fn report_once(name: &str, cfg: &PipelineConfig) {
     let run = run_pipeline(world(), cfg.clone());
-    let annotations: usize = run.dataset.policies.iter().map(|p| p.annotations.len()).sum();
+    let annotations: usize = run
+        .dataset
+        .policies
+        .iter()
+        .map(|p| p.annotations.len())
+        .sum();
     let tokens: u64 = run.usage.iter().map(|(_, u)| u.total()).sum();
     eprintln!(
         "[ablation:{name}] policies={} annotations={annotations} tokens={tokens} \

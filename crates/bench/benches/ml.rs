@@ -59,5 +59,10 @@ fn bench_inference_vs_chatbot(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_featurize, bench_train, bench_inference_vs_chatbot);
+criterion_group!(
+    benches,
+    bench_featurize,
+    bench_train,
+    bench_inference_vs_chatbot
+);
 criterion_main!(benches);

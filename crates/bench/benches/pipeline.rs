@@ -39,7 +39,13 @@ fn bench_crawl_universe(c: &mut Criterion) {
             BenchmarkId::new("workers", workers),
             &workers,
             |b, &workers| {
-                b.iter(|| crawl_all(black_box(&client), black_box(&domains), PoolConfig { workers }))
+                b.iter(|| {
+                    crawl_all(
+                        black_box(&client),
+                        black_box(&domains),
+                        PoolConfig { workers },
+                    )
+                })
             },
         );
     }
@@ -52,7 +58,15 @@ fn bench_full_pipeline(c: &mut Criterion) {
     for size in [100usize, 300] {
         let world = build_world(WorldConfig::small(9, size));
         group.bench_with_input(BenchmarkId::from_parameter(size), &world, |b, world| {
-            b.iter(|| run_pipeline(black_box(world), PipelineConfig { seed: 9, ..Default::default() }))
+            b.iter(|| {
+                run_pipeline(
+                    black_box(world),
+                    PipelineConfig {
+                        seed: 9,
+                        ..Default::default()
+                    },
+                )
+            })
         });
     }
     group.finish();
@@ -60,11 +74,23 @@ fn bench_full_pipeline(c: &mut Criterion) {
 
 fn bench_analysis(c: &mut Criterion) {
     let world = build_world(WorldConfig::small(9, 400));
-    let run = run_pipeline(&world, PipelineConfig { seed: 9, ..Default::default() });
+    let run = run_pipeline(
+        &world,
+        PipelineConfig {
+            seed: 9,
+            ..Default::default()
+        },
+    );
     let mut group = c.benchmark_group("analysis");
-    group.bench_function("table1", |b| b.iter(|| tables::table1(black_box(&run.dataset), 3)));
-    group.bench_function("table5", |b| b.iter(|| tables::table5(black_box(&run.dataset))));
-    group.bench_function("table3", |b| b.iter(|| tables::table3(black_box(&run.dataset))));
+    group.bench_function("table1", |b| {
+        b.iter(|| tables::table1(black_box(&run.dataset), 3))
+    });
+    group.bench_function("table5", |b| {
+        b.iter(|| tables::table5(black_box(&run.dataset)))
+    });
+    group.bench_function("table3", |b| {
+        b.iter(|| tables::table3(black_box(&run.dataset)))
+    });
     group.bench_function("insights", |b| {
         b.iter(|| Insights::compute(black_box(&run.dataset)))
     });

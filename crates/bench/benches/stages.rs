@@ -60,7 +60,12 @@ fn bench_chatbot_tasks(c: &mut Criterion) {
 
 fn bench_normalizer(c: &mut Criterion) {
     let normalizer = Normalizer::new();
-    let surfaces = ["mailing address", "browsing history", "not a real term", "gps coordinates"];
+    let surfaces = [
+        "mailing address",
+        "browsing history",
+        "not a real term",
+        "gps coordinates",
+    ];
     c.bench_function("normalize_lookup", |b| {
         b.iter(|| {
             for s in surfaces {
@@ -73,7 +78,10 @@ fn bench_normalizer(c: &mut Criterion) {
 
 fn bench_crawl_domain(c: &mut Criterion) {
     let world = build_world(WorldConfig::small(7, 64));
-    let client = Client::new(world.internet.clone(), FaultInjector::new(0, FaultConfig::none()));
+    let client = Client::new(
+        world.internet.clone(),
+        FaultInjector::new(0, FaultConfig::none()),
+    );
     let domain = world
         .fates
         .iter()

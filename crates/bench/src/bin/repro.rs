@@ -31,9 +31,19 @@ fn main() {
     }
 
     eprintln!("building world (seed {seed}, {size} constituents)...");
-    let world = build_world(WorldConfig { seed, universe_size: size, ..Default::default() });
+    let world = build_world(WorldConfig {
+        seed,
+        universe_size: size,
+        ..Default::default()
+    });
     eprintln!("running pipeline...");
-    let run = run_pipeline(&world, PipelineConfig { seed, ..Default::default() });
+    let run = run_pipeline(
+        &world,
+        PipelineConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     eprintln!(
         "pipeline done: {} policies annotated\n",
         run.dataset.annotated().count()
@@ -48,7 +58,10 @@ fn run_experiment(experiment: &str, world: &World, run: &PipelineRun, seed: u64)
     match experiment {
         "fig1" => fig1(run),
         "funnel" => funnel(run),
-        "tab1" => println!("{}", tables::render_table1(&tables::table1(&run.dataset, 3))),
+        "tab1" => println!(
+            "{}",
+            tables::render_table1(&tables::table1(&run.dataset, 3))
+        ),
         "tab2a" => println!(
             "{}",
             tables::render_breakdown(
@@ -92,8 +105,20 @@ fn run_experiment(experiment: &str, world: &World, run: &PipelineRun, seed: u64)
         "usage" => usage(run),
         "all" => {
             for e in [
-                "fig1", "funnel", "tab1", "tab2a", "tab2b", "tab3", "tab5", "tab6", "val-crawl",
-                "val-miss", "val-prec", "sec5", "sec6", "usage",
+                "fig1",
+                "funnel",
+                "tab1",
+                "tab2a",
+                "tab2b",
+                "tab3",
+                "tab5",
+                "tab6",
+                "val-crawl",
+                "val-miss",
+                "val-prec",
+                "sec5",
+                "sec6",
+                "usage",
             ] {
                 run_experiment(e, world, run, seed);
             }
@@ -107,10 +132,24 @@ fn fig1(run: &PipelineRun) {
     let e = &run.extraction;
     println!("Figure 1 — Pipeline overview (stage counts)");
     println!("  company list        → {} unique domains", f.domains_total);
-    println!("  web crawler         → {} domains with ≥1 privacy page", f.crawl_success);
-    println!("  text extraction     → {} policies with aspect text", e.extraction_success);
-    println!("  chatbot annotation  → {} policies with ≥1 annotation", e.annotated);
-    let total: usize = run.dataset.policies.iter().map(|p| p.annotations.len()).sum();
+    println!(
+        "  web crawler         → {} domains with ≥1 privacy page",
+        f.crawl_success
+    );
+    println!(
+        "  text extraction     → {} policies with aspect text",
+        e.extraction_success
+    );
+    println!(
+        "  chatbot annotation  → {} policies with ≥1 annotation",
+        e.annotated
+    );
+    let total: usize = run
+        .dataset
+        .policies
+        .iter()
+        .map(|p| p.annotations.len())
+        .sum();
     println!("  labeled annotations → {total} unique annotations\n");
 }
 
@@ -118,7 +157,10 @@ fn funnel(run: &PipelineRun) {
     let f = &run.crawl_funnel;
     let e = &run.extraction;
     println!("Section 3 funnel (measured vs [paper])");
-    println!("  domains                    {:>6}   [2892]", f.domains_total);
+    println!(
+        "  domains                    {:>6}   [2892]",
+        f.domains_total
+    );
     println!(
         "  crawl success              {:>6} ({:.1}%)   [2648, 91.6%]",
         f.crawl_success,
@@ -132,7 +174,10 @@ fn funnel(run: &PipelineRun) {
         "  /privacy exists             {:>5.1}%   [48.6%]",
         100.0 * f.privacy_path_rate()
     );
-    println!("  avg pages crawled           {:>5.2}   [5.1]", f.avg_pages_crawled());
+    println!(
+        "  avg pages crawled           {:>5.2}   [5.1]",
+        f.avg_pages_crawled()
+    );
     println!(
         "  privacy pages per domain    {:>5.2}   [1.8]",
         e.avg_english_privacy_pages()
@@ -144,10 +189,22 @@ fn funnel(run: &PipelineRun) {
         100.0 * e.extraction_rate_of_crawled()
     );
     println!("  ≥1 annotation              {:>6}   [2529]", e.annotated);
-    println!("  missing ≥1 aspect          {:>6}   [375]", e.missing_any_aspect);
-    println!("  fallback activated         {:>6}   [708]", e.policies_with_fallback);
-    println!("  median core words          {:>6}   [2671]", e.median_core_words);
-    println!("  hallucinations removed     {:>6}", e.hallucinations_removed);
+    println!(
+        "  missing ≥1 aspect          {:>6}   [375]",
+        e.missing_any_aspect
+    );
+    println!(
+        "  fallback activated         {:>6}   [708]",
+        e.policies_with_fallback
+    );
+    println!(
+        "  median core words          {:>6}   [2671]",
+        e.median_core_words
+    );
+    println!(
+        "  hallucinations removed     {:>6}",
+        e.hallucinations_removed
+    );
     println!(
         "  robots: {} fetches skipped, {} domains fully blocked, {:.1} h politeness delay\n",
         f.robots_skipped,

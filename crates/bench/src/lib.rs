@@ -18,11 +18,21 @@ pub mod fixtures {
 
     /// Build a world of `size` constituents with `seed`.
     pub fn world(seed: u64, size: usize) -> World {
-        build_world(WorldConfig { seed, universe_size: size, ..Default::default() })
+        build_world(WorldConfig {
+            seed,
+            universe_size: size,
+            ..Default::default()
+        })
     }
 
     /// Run the default pipeline over a world.
     pub fn pipeline_run(world: &World, seed: u64) -> PipelineRun {
-        run_pipeline(world, PipelineConfig { seed, ..Default::default() })
+        run_pipeline(
+            world,
+            PipelineConfig {
+                seed,
+                ..Default::default()
+            },
+        )
     }
 }

@@ -32,7 +32,11 @@ pub struct SimulatedChatbot {
 impl SimulatedChatbot {
     /// Create a chatbot with `profile`, seeded by `seed`.
     pub fn new(profile: ModelProfile, seed: u64) -> SimulatedChatbot {
-        SimulatedChatbot { profile, seed, ledger: UsageLedger::new() }
+        SimulatedChatbot {
+            profile,
+            seed,
+            ledger: UsageLedger::new(),
+        }
     }
 
     /// GPT-4-Turbo-profile chatbot (the paper's production configuration).
@@ -56,44 +60,44 @@ impl Chatbot for SimulatedChatbot {
         // Instruction-following failures: malformed output the pipeline
         // must tolerate (GPT-3.5 exhibits these; GPT-4 effectively never).
         let doc = tasks::doc_key(input);
-        let output = if !decide(
-            self.seed,
-            &[&self.profile.id, "follow", prompt.kind.name(), &doc],
-            self.profile.instruction_following,
-        ) {
-            "I'm sorry, here are the results you asked for:\n[[1, \"".to_string()
-        } else {
-            match prompt.kind {
-                TaskKind::LabelHeadings => protocol::encode_labels(&tasks::run_label_headings(
-                    &self.profile,
-                    self.seed,
-                    input,
-                )),
-                TaskKind::SegmentText => protocol::encode_labels(&tasks::run_segment_text(
-                    &self.profile,
-                    self.seed,
-                    input,
-                )),
-                TaskKind::ExtractDataTypes => protocol::encode_extractions(
-                    &tasks::run_extract_datatypes(&self.profile, self.seed, input),
-                ),
-                TaskKind::NormalizeDataTypes => protocol::encode_normalizations(
-                    &tasks::run_normalize_datatypes(&self.profile, self.seed, input),
-                ),
-                TaskKind::AnnotatePurposes => protocol::encode_purposes(
-                    &tasks::run_annotate_purposes(&self.profile, self.seed, input),
-                ),
-                TaskKind::AnnotateHandling => protocol::encode_handling(
-                    &tasks::run_annotate_handling(&self.profile, self.seed, input),
-                ),
-                TaskKind::AnnotateRights => protocol::encode_rights(&tasks::run_annotate_rights(
-                    &self.profile,
-                    self.seed,
-                    input,
-                )),
-            }
-        };
-        self.ledger.record(prompt.kind.name(), &prompt.text, input, &output);
+        let output =
+            if !decide(
+                self.seed,
+                &[&self.profile.id, "follow", prompt.kind.name(), &doc],
+                self.profile.instruction_following,
+            ) {
+                "I'm sorry, here are the results you asked for:\n[[1, \"".to_string()
+            } else {
+                match prompt.kind {
+                    TaskKind::LabelHeadings => protocol::encode_labels(&tasks::run_label_headings(
+                        &self.profile,
+                        self.seed,
+                        input,
+                    )),
+                    TaskKind::SegmentText => protocol::encode_labels(&tasks::run_segment_text(
+                        &self.profile,
+                        self.seed,
+                        input,
+                    )),
+                    TaskKind::ExtractDataTypes => protocol::encode_extractions(
+                        &tasks::run_extract_datatypes(&self.profile, self.seed, input),
+                    ),
+                    TaskKind::NormalizeDataTypes => protocol::encode_normalizations(
+                        &tasks::run_normalize_datatypes(&self.profile, self.seed, input),
+                    ),
+                    TaskKind::AnnotatePurposes => protocol::encode_purposes(
+                        &tasks::run_annotate_purposes(&self.profile, self.seed, input),
+                    ),
+                    TaskKind::AnnotateHandling => protocol::encode_handling(
+                        &tasks::run_annotate_handling(&self.profile, self.seed, input),
+                    ),
+                    TaskKind::AnnotateRights => protocol::encode_rights(
+                        &tasks::run_annotate_rights(&self.profile, self.seed, input),
+                    ),
+                }
+            };
+        self.ledger
+            .record(prompt.kind.name(), &prompt.text, input, &output);
         output
     }
 

@@ -72,7 +72,9 @@ pub struct VocabMatcher {
 impl VocabMatcher {
     /// Matcher over all data-type surface forms (glossary + zero-shot).
     pub fn for_datatypes() -> VocabMatcher {
-        let mut m = VocabMatcher { by_first: HashMap::new() };
+        let mut m = VocabMatcher {
+            by_first: HashMap::new(),
+        };
         for spec in DATA_TYPE_DESCRIPTORS {
             let target = MatchTarget::DataType {
                 descriptor: spec.name,
@@ -87,7 +89,11 @@ impl VocabMatcher {
         for z in ZERO_SHOT_DATA_TYPES {
             m.add(
                 z.term,
-                MatchTarget::DataType { descriptor: z.term, category: z.category, zero_shot: true },
+                MatchTarget::DataType {
+                    descriptor: z.term,
+                    category: z.category,
+                    zero_shot: true,
+                },
             );
         }
         m.sort_entries();
@@ -96,7 +102,9 @@ impl VocabMatcher {
 
     /// Matcher over all purpose surface forms (glossary + zero-shot).
     pub fn for_purposes() -> VocabMatcher {
-        let mut m = VocabMatcher { by_first: HashMap::new() };
+        let mut m = VocabMatcher {
+            by_first: HashMap::new(),
+        };
         for spec in PURPOSE_DESCRIPTORS {
             let target = MatchTarget::Purpose {
                 descriptor: spec.name,
@@ -111,7 +119,11 @@ impl VocabMatcher {
         for z in ZERO_SHOT_PURPOSES {
             m.add(
                 z.term,
-                MatchTarget::Purpose { descriptor: z.term, category: z.category, zero_shot: true },
+                MatchTarget::Purpose {
+                    descriptor: z.term,
+                    category: z.category,
+                    zero_shot: true,
+                },
             );
         }
         m.sort_entries();
@@ -160,7 +172,10 @@ impl VocabMatcher {
                 for entry in entries {
                     let n = entry.tokens.len();
                     if i + n <= tokens.len()
-                        && tokens[i..i + n].iter().map(|(w, _, _)| w).eq(entry.tokens.iter())
+                        && tokens[i..i + n]
+                            .iter()
+                            .map(|(w, _, _)| w)
+                            .eq(entry.tokens.iter())
                     {
                         let start = tokens[i].1;
                         let end = tokens[i + n - 1].2;
@@ -186,12 +201,18 @@ impl VocabMatcher {
 }
 
 fn is_negation_token(word: &str) -> bool {
-    matches!(word, "not" | "never" | "don't" | "doesn't" | "won't" | "neither" | "nor")
+    matches!(
+        word,
+        "not" | "never" | "don't" | "doesn't" | "won't" | "neither" | "nor"
+    )
 }
 
 /// Lower-cased word tokens (same character classes as the taxonomy fold).
 fn tokenize_words(s: &str) -> Vec<String> {
-    tokenize_with_spans(s).into_iter().map(|(w, _, _)| w).collect()
+    tokenize_with_spans(s)
+        .into_iter()
+        .map(|(w, _, _)| w)
+        .collect()
 }
 
 /// Tokens with byte spans `(word, start, end)` into the original string.
@@ -244,7 +265,11 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].text, "Mailing Address");
         match hits[0].target {
-            MatchTarget::DataType { descriptor, category, .. } => {
+            MatchTarget::DataType {
+                descriptor,
+                category,
+                ..
+            } => {
                 assert_eq!(descriptor, "postal address");
                 assert_eq!(category, DataTypeCategory::ContactInfo);
             }
@@ -270,8 +295,7 @@ mod tests {
         let hits = m.scan_line("We do not collect biometric data from users.");
         assert_eq!(hits.len(), 1);
         assert!(hits[0].negated);
-        let hits2 =
-            m.scan_line("This privacy notice does not apply to medical info we may hold.");
+        let hits2 = m.scan_line("This privacy notice does not apply to medical info we may hold.");
         assert!(hits2.iter().all(|h| h.negated));
     }
 
@@ -296,7 +320,11 @@ mod tests {
         let hits = m.scan_line("We analyze podcast listening habits to improve audio.");
         assert_eq!(hits.len(), 1);
         match hits[0].target {
-            MatchTarget::DataType { descriptor, zero_shot, .. } => {
+            MatchTarget::DataType {
+                descriptor,
+                zero_shot,
+                ..
+            } => {
                 assert_eq!(descriptor, "podcast listening habits");
                 assert!(zero_shot);
             }

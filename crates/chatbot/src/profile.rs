@@ -172,7 +172,10 @@ mod tests {
         let gpt35 = ModelProfile::gpt35_turbo();
         assert!(gpt4.extraction_recall > gpt35.extraction_recall);
         assert!(gpt4.negation_error < llama.negation_error);
-        assert!(llama.negation_error > 0.5, "llama must extract negated contexts");
+        assert!(
+            llama.negation_error > 0.5,
+            "llama must extract negated contexts"
+        );
         assert!(gpt4.spurious_rate < llama.spurious_rate);
         assert!(llama.spurious_rate < gpt35.spurious_rate);
     }
@@ -193,10 +196,7 @@ mod tests {
             .count();
         let rate = hits as f64 / n as f64;
         assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
-        assert_eq!(
-            decide(9, &["a", "b"], 0.5),
-            decide(9, &["a", "b"], 0.5)
-        );
+        assert_eq!(decide(9, &["a", "b"], 0.5), decide(9, &["a", "b"], 0.5));
     }
 
     #[test]

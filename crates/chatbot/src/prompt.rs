@@ -264,11 +264,15 @@ mod tests {
 
     #[test]
     fn glossaries_attached() {
-        assert!(TaskPrompt::build(TaskKind::ExtractDataTypes).text.contains("email address"));
+        assert!(TaskPrompt::build(TaskKind::ExtractDataTypes)
+            .text
+            .contains("email address"));
         assert!(TaskPrompt::build(TaskKind::NormalizeDataTypes)
             .text
             .contains("postal address"));
-        assert!(TaskPrompt::build(TaskKind::AnnotatePurposes).text.contains("fraud prevention"));
+        assert!(TaskPrompt::build(TaskKind::AnnotatePurposes)
+            .text
+            .contains("fraud prevention"));
         assert!(TaskPrompt::build(TaskKind::LabelHeadings)
             .text
             .contains("Information we collect"));

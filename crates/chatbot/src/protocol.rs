@@ -93,7 +93,11 @@ pub fn encode_normalizations(rows: &[NormalizeRow]) -> String {
     let v: Vec<Value> = rows
         .iter()
         .map(|(n, d, c)| {
-            Value::Array(vec![Value::from(*n), Value::from(d.as_str()), Value::from(c.as_str())])
+            Value::Array(vec![
+                Value::from(*n),
+                Value::from(d.as_str()),
+                Value::from(c.as_str()),
+            ])
         })
         .collect();
     Value::Array(v).to_string()
@@ -171,7 +175,11 @@ pub fn encode_rights(rows: &[RightsRow]) -> String {
     let v: Vec<Value> = rows
         .iter()
         .map(|(n, t, l)| {
-            Value::Array(vec![Value::from(*n), Value::from(t.as_str()), Value::from(l.as_str())])
+            Value::Array(vec![
+                Value::from(*n),
+                Value::from(t.as_str()),
+                Value::from(l.as_str()),
+            ])
         })
         .collect();
     Value::Array(v).to_string()
@@ -216,14 +224,20 @@ mod tests {
 
     #[test]
     fn labels_roundtrip() {
-        let rows = vec![(1, vec![Aspect::Types]), (8, vec![Aspect::Purposes, Aspect::Other])];
+        let rows = vec![
+            (1, vec![Aspect::Types]),
+            (8, vec![Aspect::Purposes, Aspect::Other]),
+        ];
         let parsed = parse_labels(&encode_labels(&rows));
         assert_eq!(parsed, rows);
     }
 
     #[test]
     fn extractions_roundtrip() {
-        let rows = vec![(4, "email address".to_string()), (9, "ip address".to_string())];
+        let rows = vec![
+            (4, "email address".to_string()),
+            (9, "ip address".to_string()),
+        ];
         assert_eq!(parse_extractions(&encode_extractions(&rows)), rows);
     }
 
@@ -247,8 +261,18 @@ mod tests {
     #[test]
     fn handling_roundtrip_with_and_without_period() {
         let rows = vec![
-            (3, "retain for two (2) years".to_string(), "Stated".to_string(), Some("2 years".to_string())),
-            (5, "as long as necessary".to_string(), "Limited".to_string(), None),
+            (
+                3,
+                "retain for two (2) years".to_string(),
+                "Stated".to_string(),
+                Some("2 years".to_string()),
+            ),
+            (
+                5,
+                "as long as necessary".to_string(),
+                "Limited".to_string(),
+                None,
+            ),
         ];
         assert_eq!(parse_handling(&encode_handling(&rows)), rows);
     }

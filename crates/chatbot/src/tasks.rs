@@ -9,13 +9,10 @@
 
 use crate::matcher::{MatchTarget, VocabMatcher};
 use crate::profile::{decide, pick, ModelProfile};
-use crate::protocol::{
-    ExtractRow, HandlingRow, LabelRow, NormalizeRow, PurposeRow, RightsRow,
-};
+use crate::protocol::{ExtractRow, HandlingRow, LabelRow, NormalizeRow, PurposeRow, RightsRow};
 use aipan_taxonomy::zeroshot::ZERO_SHOT_DATA_TYPES;
 use aipan_taxonomy::{
-    AccessLabel, Aspect, ChoiceLabel, DataTypeCategory, Normalizer, ProtectionLabel,
-    RetentionLabel,
+    AccessLabel, Aspect, ChoiceLabel, DataTypeCategory, Normalizer, ProtectionLabel, RetentionLabel,
 };
 use std::sync::OnceLock;
 
@@ -39,9 +36,15 @@ pub fn parse_numbered(input: &str) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     for line in input.lines() {
         let line = line.trim_end();
-        let Some(rest) = line.strip_prefix('[') else { continue };
-        let Some((num, text)) = rest.split_once(']') else { continue };
-        let Ok(n) = num.trim().parse::<usize>() else { continue };
+        let Some(rest) = line.strip_prefix('[') else {
+            continue;
+        };
+        let Some((num, text)) = rest.split_once(']') else {
+            continue;
+        };
+        let Ok(n) = num.trim().parse::<usize>() else {
+            continue;
+        };
         out.push((n, text.trim_start().to_string()));
     }
     out
@@ -91,12 +94,22 @@ pub fn classify_heading(text: &str) -> Vec<Aspect> {
     if has("share") || has("sharing") || has("disclos") || has("third part") {
         aspects.push(Aspect::Sharing);
     }
-    if has("rights") || has("choices") || has("opt-out") || has("opt out") || has("access and correction")
+    if has("rights")
+        || has("choices")
+        || has("opt-out")
+        || has("opt out")
+        || has("access and correction")
     {
         aspects.push(Aspect::Rights);
     }
-    if has("california") || has("children") || has("minors") || has("european") || has("audiences")
-        || has("nevada") || has("gdpr") || has("ccpa")
+    if has("california")
+        || has("children")
+        || has("minors")
+        || has("european")
+        || has("audiences")
+        || has("nevada")
+        || has("gdpr")
+        || has("ccpa")
     {
         aspects.push(Aspect::Audiences);
     }
@@ -134,15 +147,28 @@ pub fn classify_line(text: &str) -> Vec<Aspect> {
     let has = |needle: &str| t.contains(needle);
     let mut aspects = Vec::new();
 
-    if has("retain") || has("retention") || has("indefinitely") || has("safeguard")
-        || has("encrypt") || has("need to know") || has("privacy program") || has("two-factor")
+    if has("retain")
+        || has("retention")
+        || has("indefinitely")
+        || has("safeguard")
+        || has("encrypt")
+        || has("need to know")
+        || has("privacy program")
+        || has("two-factor")
         || has("audited")
     {
         aspects.push(Aspect::Handling);
     }
-    if has("opt out") || has("opt-out") || has("consent") || has("update or correct")
-        || has("delete your account") || has("access to review") || has("copy of your")
-        || has("deactivate") || has("privacy settings") || has("deletion of certain")
+    if has("opt out")
+        || has("opt-out")
+        || has("consent")
+        || has("update or correct")
+        || has("delete your account")
+        || has("access to review")
+        || has("copy of your")
+        || has("deactivate")
+        || has("privacy settings")
+        || has("deletion of certain")
         || has("discontinue use")
     {
         aspects.push(Aspect::Rights);
@@ -150,7 +176,9 @@ pub fn classify_line(text: &str) -> Vec<Aspect> {
     if has("share") || has("disclos") || has("unaffiliated") || has("third part") {
         aspects.push(Aspect::Sharing);
     }
-    if has("update this policy") || has("changes to this") || has("revise the date")
+    if has("update this policy")
+        || has("changes to this")
+        || has("revise the date")
         || has("material update")
     {
         aspects.push(Aspect::Changes);
@@ -241,7 +269,11 @@ pub fn run_extract_datatypes(profile: &ModelProfile, seed: u64, input: &str) -> 
             if hit.negated {
                 // The prompt says to ignore negated contexts; weaker models
                 // extract them anyway (the Llama-3.1 failure of §6).
-                if !decide(seed, &[&profile.id, "neg", &doc, &item], profile.negation_error) {
+                if !decide(
+                    seed,
+                    &[&profile.id, "neg", &doc, &item],
+                    profile.negation_error,
+                ) {
                     continue;
                 }
             } else if !decide(
@@ -254,8 +286,11 @@ pub fn run_extract_datatypes(profile: &ModelProfile, seed: u64, input: &str) -> 
             rows.push((n, hit.text));
         }
         // Context confusion: a span that is not a data type.
-        if decide(seed, &[&profile.id, "spurious", &doc, &n.to_string()], profile.spurious_rate)
-        {
+        if decide(
+            seed,
+            &[&profile.id, "spurious", &doc, &n.to_string()],
+            profile.spurious_rate,
+        ) {
             if let Some(span) = spurious_span(seed, profile, &doc, n, &text) {
                 rows.push((n, span));
             }
@@ -263,7 +298,11 @@ pub fn run_extract_datatypes(profile: &ModelProfile, seed: u64, input: &str) -> 
     }
     // Hallucination: fabricated text absent from the document (caught by
     // the pipeline's verbatim verification).
-    if decide(seed, &[&profile.id, "hallucinate", &doc], profile.hallucination_rate) {
+    if decide(
+        seed,
+        &[&profile.id, "hallucinate", &doc],
+        profile.hallucination_rate,
+    ) {
         rows.push((1, "telepathic preference signals".to_string()));
     }
     rows
@@ -284,7 +323,11 @@ fn spurious_span(
     if words.is_empty() {
         return None;
     }
-    let idx = pick(seed, &[&profile.id, "span", doc, &n.to_string()], words.len());
+    let idx = pick(
+        seed,
+        &[&profile.id, "span", doc, &n.to_string()],
+        words.len(),
+    );
     Some(words[idx].to_string())
 }
 
@@ -329,7 +372,6 @@ pub fn run_normalize_datatypes(
     rows
 }
 
-
 /// Approximate prevalence prior for each data-type category (fraction of
 /// policies mentioning it, per the paper's Table 5) — the simulated model's
 /// prior when guessing a category for an unknown term or when it confuses
@@ -337,17 +379,39 @@ pub fn run_normalize_datatypes(
 pub fn category_prior(cat: DataTypeCategory) -> f64 {
     use DataTypeCategory::*;
     match cat {
-        ContactInfo => 0.864, PersonalIdentifier => 0.895, ProfessionalInfo => 0.590,
-        DemographicInfo => 0.499, EducationalInfo => 0.279, VehicleInfo => 0.050,
-        DeviceInfo => 0.744, OnlineIdentifier => 0.809, AccountInfo => 0.500,
-        NetworkConnectivity => 0.295, SocialMediaData => 0.233, ExternalData => 0.124,
-        MedicalInfo => 0.283, BiometricData => 0.164, PhysicalCharacteristic => 0.112,
-        FitnessHealth => 0.035, FinancialInfo => 0.539, LegalInfo => 0.287,
-        FinancialCapability => 0.215, InsuranceInfo => 0.148, PreciseLocation => 0.509,
-        ApproximateLocation => 0.333, TravelData => 0.066, PhysicalInteraction => 0.028,
-        InternetUsage => 0.728, TrackingData => 0.467, ProductServiceUsage => 0.508,
-        TransactionInfo => 0.439, Preferences => 0.491, ContentGeneration => 0.328,
-        CommunicationData => 0.338, FeedbackData => 0.253, ContentConsumption => 0.267,
+        ContactInfo => 0.864,
+        PersonalIdentifier => 0.895,
+        ProfessionalInfo => 0.590,
+        DemographicInfo => 0.499,
+        EducationalInfo => 0.279,
+        VehicleInfo => 0.050,
+        DeviceInfo => 0.744,
+        OnlineIdentifier => 0.809,
+        AccountInfo => 0.500,
+        NetworkConnectivity => 0.295,
+        SocialMediaData => 0.233,
+        ExternalData => 0.124,
+        MedicalInfo => 0.283,
+        BiometricData => 0.164,
+        PhysicalCharacteristic => 0.112,
+        FitnessHealth => 0.035,
+        FinancialInfo => 0.539,
+        LegalInfo => 0.287,
+        FinancialCapability => 0.215,
+        InsuranceInfo => 0.148,
+        PreciseLocation => 0.509,
+        ApproximateLocation => 0.333,
+        TravelData => 0.066,
+        PhysicalInteraction => 0.028,
+        InternetUsage => 0.728,
+        TrackingData => 0.467,
+        ProductServiceUsage => 0.508,
+        TransactionInfo => 0.439,
+        Preferences => 0.491,
+        ContentGeneration => 0.328,
+        CommunicationData => 0.338,
+        FeedbackData => 0.253,
+        ContentConsumption => 0.267,
         DiagnosticData => 0.143,
     }
 }
@@ -356,8 +420,12 @@ pub fn category_prior(cat: DataTypeCategory) -> f64 {
 pub fn purpose_prior(cat: aipan_taxonomy::PurposeCategory) -> f64 {
     use aipan_taxonomy::PurposeCategory::*;
     match cat {
-        BasicFunctioning => 0.951, UserExperience => 0.865, AnalyticsResearch => 0.813,
-        LegalCompliance => 0.732, Security => 0.725, AdvertisingSales => 0.780,
+        BasicFunctioning => 0.951,
+        UserExperience => 0.865,
+        AnalyticsResearch => 0.813,
+        LegalCompliance => 0.732,
+        Security => 0.725,
+        AdvertisingSales => 0.780,
         DataSharing => 0.261,
     }
 }
@@ -432,7 +500,11 @@ pub fn run_annotate_purposes(profile: &ModelProfile, seed: u64, input: &str) -> 
         for (idx, hit) in hits.enumerate() {
             let item = format!("{n}:{idx}:{}", hit.text);
             if hit.negated {
-                if !decide(seed, &[&profile.id, "pneg", &doc, &item], profile.negation_error) {
+                if !decide(
+                    seed,
+                    &[&profile.id, "pneg", &doc, &item],
+                    profile.negation_error,
+                ) {
                     continue;
                 }
             } else if !decide(
@@ -442,7 +514,12 @@ pub fn run_annotate_purposes(profile: &ModelProfile, seed: u64, input: &str) -> 
             ) {
                 continue;
             }
-            let MatchTarget::Purpose { descriptor, category, .. } = hit.target else {
+            let MatchTarget::Purpose {
+                descriptor,
+                category,
+                ..
+            } = hit.target
+            else {
                 continue;
             };
             let category = if decide(
@@ -465,7 +542,12 @@ pub fn run_annotate_purposes(profile: &ModelProfile, seed: u64, input: &str) -> 
             } else {
                 category
             };
-            rows.push((n, hit.text, descriptor.to_string(), category.name().to_string()));
+            rows.push((
+                n,
+                hit.text,
+                descriptor.to_string(),
+                category.name().to_string(),
+            ));
         }
     }
     rows
@@ -551,7 +633,11 @@ pub fn run_annotate_handling(profile: &ModelProfile, seed: u64, input: &str) -> 
     for (n, text) in parse_numbered(input) {
         if let Some((label, period)) = classify_retention(&text) {
             let label = maybe_confuse_retention(profile, seed, &doc, n, label);
-            let period = if label == RetentionLabel::Stated { period } else { None };
+            let period = if label == RetentionLabel::Stated {
+                period
+            } else {
+                None
+            };
             rows.push((n, text.clone(), label.name().to_string(), period));
         }
         for (idx, label) in classify_protection(&text).into_iter().enumerate() {
@@ -779,9 +865,18 @@ mod tests {
 
     #[test]
     fn heading_classification() {
-        assert_eq!(classify_heading("Information We Collect"), vec![Aspect::Types]);
-        assert_eq!(classify_heading("How We Collect Information"), vec![Aspect::Methods]);
-        assert_eq!(classify_heading("How We Use Your Information"), vec![Aspect::Purposes]);
+        assert_eq!(
+            classify_heading("Information We Collect"),
+            vec![Aspect::Types]
+        );
+        assert_eq!(
+            classify_heading("How We Collect Information"),
+            vec![Aspect::Methods]
+        );
+        assert_eq!(
+            classify_heading("How We Use Your Information"),
+            vec![Aspect::Purposes]
+        );
         assert_eq!(
             classify_heading("Data Retention and Security"),
             vec![Aspect::Handling]
@@ -790,11 +885,23 @@ mod tests {
             classify_heading("How We Share Your Information"),
             vec![Aspect::Sharing]
         );
-        assert_eq!(classify_heading("Your Rights and Choices"), vec![Aspect::Rights]);
-        assert_eq!(classify_heading("Specific Audiences"), vec![Aspect::Audiences]);
-        assert_eq!(classify_heading("Changes to This Policy"), vec![Aspect::Changes]);
+        assert_eq!(
+            classify_heading("Your Rights and Choices"),
+            vec![Aspect::Rights]
+        );
+        assert_eq!(
+            classify_heading("Specific Audiences"),
+            vec![Aspect::Audiences]
+        );
+        assert_eq!(
+            classify_heading("Changes to This Policy"),
+            vec![Aspect::Changes]
+        );
         assert_eq!(classify_heading("Contact Us"), vec![Aspect::Other]);
-        assert_eq!(classify_heading("Additional Information"), vec![Aspect::Other]);
+        assert_eq!(
+            classify_heading("Additional Information"),
+            vec![Aspect::Other]
+        );
     }
 
     #[test]
@@ -841,8 +948,12 @@ mod tests {
         let doc = number_lines(["We use your information to prevent fraud and for analytics."]);
         let rows = run_annotate_purposes(&oracle(), 3, &doc);
         assert_eq!(rows.len(), 2);
-        assert!(rows.iter().any(|r| r.2 == "fraud prevention" && r.3 == "Security"));
-        assert!(rows.iter().any(|r| r.2 == "analytics" && r.3 == "Analytics & research"));
+        assert!(rows
+            .iter()
+            .any(|r| r.2 == "fraud prevention" && r.3 == "Security"));
+        assert!(rows
+            .iter()
+            .any(|r| r.2 == "analytics" && r.3 == "Analytics & research"));
     }
 
     #[test]
@@ -866,10 +977,16 @@ mod tests {
 
     #[test]
     fn period_parsing_forms() {
-        assert_eq!(parse_period("for two (2) years after"), Some("2 years".to_string()));
+        assert_eq!(
+            parse_period("for two (2) years after"),
+            Some("2 years".to_string())
+        );
         assert_eq!(parse_period("for 90 days"), Some("90 days".to_string()));
         assert_eq!(parse_period("six (6) months"), Some("6 months".to_string()));
-        assert_eq!(parse_period("fifty (50) years"), Some("50 years".to_string()));
+        assert_eq!(
+            parse_period("fifty (50) years"),
+            Some("50 years".to_string())
+        );
         assert_eq!(parse_period("for a while"), None);
     }
 
@@ -877,17 +994,38 @@ mod tests {
     fn protection_classification() {
         use ProtectionLabel::*;
         let cases: [(&str, ProtectionLabel); 7] = [
-            ("We maintain commercially reasonable safeguards designed to protect.", Generic),
-            ("Access restricted to personnel with a need to know.", AccessLimit),
-            ("Protected in transit using Secure Socket Layer (SSL) encryption.", SecureTransfer),
-            ("Stored in encrypted databases in controlled facilities.", SecureStorage),
-            ("We maintain a comprehensive privacy program.", PrivacyProgram),
-            ("Practices are regularly reviewed and audited.", PrivacyReview),
+            (
+                "We maintain commercially reasonable safeguards designed to protect.",
+                Generic,
+            ),
+            (
+                "Access restricted to personnel with a need to know.",
+                AccessLimit,
+            ),
+            (
+                "Protected in transit using Secure Socket Layer (SSL) encryption.",
+                SecureTransfer,
+            ),
+            (
+                "Stored in encrypted databases in controlled facilities.",
+                SecureStorage,
+            ),
+            (
+                "We maintain a comprehensive privacy program.",
+                PrivacyProgram,
+            ),
+            (
+                "Practices are regularly reviewed and audited.",
+                PrivacyReview,
+            ),
             ("We offer two-factor authentication.", SecureAuthentication),
         ];
         for (text, expected) in cases {
             let got = classify_protection(text);
-            assert!(got.contains(&expected), "{text:?} → {got:?}, want {expected:?}");
+            assert!(
+                got.contains(&expected),
+                "{text:?} → {got:?}, want {expected:?}"
+            );
         }
         assert!(classify_protection("We like dogs.").is_empty());
     }
@@ -931,7 +1069,9 @@ mod tests {
             vec![AccessLabel::Export]
         );
         assert_eq!(
-            classify_access("Request deletion of certain personal information; we may retain some."),
+            classify_access(
+                "Request deletion of certain personal information; we may retain some."
+            ),
             vec![AccessLabel::PartialDelete]
         );
         assert_eq!(
@@ -947,7 +1087,10 @@ mod tests {
             "Our services are not directed to minors.",
         ]);
         let rows = run_annotate_rights(&oracle(), 7, &doc);
-        assert!(rows.is_empty(), "oracle must not produce spurious rows: {rows:?}");
+        assert!(
+            rows.is_empty(),
+            "oracle must not produce spurious rows: {rows:?}"
+        );
     }
 
     #[test]
@@ -973,18 +1116,30 @@ mod tests {
     #[test]
     fn segmentation_classifies_core_lines() {
         let lines = [
-            ("We retain your data for as long as necessary.", Aspect::Handling),
+            (
+                "We retain your data for as long as necessary.",
+                Aspect::Handling,
+            ),
             ("You may opt out by contacting us.", Aspect::Rights),
             ("We may collect your email address.", Aspect::Types),
             ("We use data for fraud prevention.", Aspect::Purposes),
             ("We may share records with third parties.", Aspect::Sharing),
-            ("California residents have additional rights.", Aspect::Audiences),
-            ("We may update this policy from time to time.", Aspect::Changes),
+            (
+                "California residents have additional rights.",
+                Aspect::Audiences,
+            ),
+            (
+                "We may update this policy from time to time.",
+                Aspect::Changes,
+            ),
             ("Thank you for visiting.", Aspect::Other),
         ];
         for (text, expected) in lines {
             let got = classify_line(text);
-            assert!(got.contains(&expected), "{text:?} → {got:?}, want {expected:?}");
+            assert!(
+                got.contains(&expected),
+                "{text:?} → {got:?}, want {expected:?}"
+            );
         }
     }
 

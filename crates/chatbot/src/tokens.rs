@@ -66,7 +66,11 @@ impl UsageLedger {
             output_tokens: estimate_tokens(output),
             calls: 1,
         };
-        self.inner.lock().entry(task.to_string()).or_default().add(usage);
+        self.inner
+            .lock()
+            .entry(task.to_string())
+            .or_default()
+            .add(usage);
     }
 
     /// Usage for one task.
@@ -85,8 +89,12 @@ impl UsageLedger {
 
     /// Per-task usage snapshot, sorted by task name.
     pub fn breakdown(&self) -> Vec<(String, TokenUsage)> {
-        let mut v: Vec<(String, TokenUsage)> =
-            self.inner.lock().iter().map(|(k, u)| (k.clone(), *u)).collect();
+        let mut v: Vec<(String, TokenUsage)> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(k, u)| (k.clone(), *u))
+            .collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
     }
@@ -134,8 +142,18 @@ mod tests {
 
     #[test]
     fn usage_total_and_add() {
-        let mut a = TokenUsage { prompt_tokens: 1, input_tokens: 2, output_tokens: 3, calls: 1 };
-        a.add(TokenUsage { prompt_tokens: 10, input_tokens: 20, output_tokens: 30, calls: 2 });
+        let mut a = TokenUsage {
+            prompt_tokens: 1,
+            input_tokens: 2,
+            output_tokens: 3,
+            calls: 1,
+        };
+        a.add(TokenUsage {
+            prompt_tokens: 10,
+            input_tokens: 20,
+            output_tokens: 30,
+            calls: 2,
+        });
         assert_eq!(a.total(), 66);
         assert_eq!(a.calls, 3);
     }

@@ -32,7 +32,10 @@ pub struct AnnotateOptions {
 
 impl Default for AnnotateOptions {
     fn default() -> Self {
-        AnnotateOptions { fallback: true, verify: true }
+        AnnotateOptions {
+            fallback: true,
+            verify: true,
+        }
     }
 }
 
@@ -51,7 +54,9 @@ pub struct AnnotationOutcome {
 impl AnnotationOutcome {
     /// Annotations belonging to one aspect stream.
     pub fn for_aspect(&self, kind: AspectKind) -> impl Iterator<Item = &Annotation> {
-        self.annotations.iter().filter(move |a| a.aspect_kind() == kind)
+        self.annotations
+            .iter()
+            .filter(move |a| a.aspect_kind() == kind)
     }
 
     /// Whether any annotation exists for `kind`.
@@ -79,8 +84,7 @@ pub fn annotate_policy_with(
     let mut annotations = Vec::new();
     let mut fallbacks = Vec::new();
 
-    let full_text_input =
-        protocol::number_lines(doc.lines.iter().map(|l| l.text.as_str()));
+    let full_text_input = protocol::number_lines(doc.lines.iter().map(|l| l.text.as_str()));
     let folded_policy = folded_text(doc);
 
     // --- Data types: extract (section → fallback), then normalize. ---
@@ -112,8 +116,10 @@ pub fn annotate_policy_with(
             }
         }
         let norm_input = protocol::number_lines(unique.iter().map(String::as_str));
-        let norm_out =
-            chatbot.complete(&TaskPrompt::build(TaskKind::NormalizeDataTypes), &norm_input);
+        let norm_out = chatbot.complete(
+            &TaskPrompt::build(TaskKind::NormalizeDataTypes),
+            &norm_input,
+        );
         let norm_rows = protocol::parse_normalizations(&norm_out);
         // index (1-based) → (descriptor, category)
         let mut normalized: Vec<Option<(String, DataTypeCategory)>> = vec![None; unique.len()];
@@ -125,7 +131,9 @@ pub fn annotate_policy_with(
             }
         }
         for (line, text) in rows {
-            let idx = unique.iter().position(|u| *u == text).expect("uniqued");
+            let Some(idx) = unique.iter().position(|u| *u == text) else {
+                continue;
+            };
             if let Some((descriptor, category)) = &normalized[idx] {
                 annotations.push(Annotation::new(
                     AnnotationPayload::DataType {
@@ -158,7 +166,10 @@ pub fn annotate_policy_with(
         }
         if let Some(category) = PurposeCategory::from_name(&category_name) {
             annotations.push(Annotation::new(
-                AnnotationPayload::Purpose { descriptor, category },
+                AnnotationPayload::Purpose {
+                    descriptor,
+                    category,
+                },
                 text,
                 line,
             ));
@@ -216,9 +227,17 @@ pub fn annotate_policy_with(
             continue;
         }
         if let Some(label) = ChoiceLabel::from_name(&label_name) {
-            annotations.push(Annotation::new(AnnotationPayload::Choice { label }, text, line));
+            annotations.push(Annotation::new(
+                AnnotationPayload::Choice { label },
+                text,
+                line,
+            ));
         } else if let Some(label) = AccessLabel::from_name(&label_name) {
-            annotations.push(Annotation::new(AnnotationPayload::Access { label }, text, line));
+            annotations.push(Annotation::new(
+                AnnotationPayload::Access { label },
+                text,
+                line,
+            ));
         }
     }
 
@@ -238,7 +257,11 @@ pub fn annotate_policy_with(
         seen.insert(key)
     });
 
-    AnnotationOutcome { annotations, fallbacks, hallucinations_removed }
+    AnnotationOutcome {
+        annotations,
+        fallbacks,
+        hallucinations_removed,
+    }
 }
 
 /// Run `task` on the aspect's section text; if it parses to nothing, run it
@@ -325,7 +348,11 @@ mod tests {
         assert!(out.has_aspect(AspectKind::Purposes));
         assert!(out.has_aspect(AspectKind::Handling));
         assert!(out.has_aspect(AspectKind::Rights));
-        assert!(out.fallbacks.is_empty(), "no fallback expected: {:?}", out.fallbacks);
+        assert!(
+            out.fallbacks.is_empty(),
+            "no fallback expected: {:?}",
+            out.fallbacks
+        );
 
         // Normalization: "mailing address" → "postal address".
         let descriptors: Vec<String> = out

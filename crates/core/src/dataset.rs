@@ -38,7 +38,9 @@ pub struct AnnotatedPolicy {
 impl AnnotatedPolicy {
     /// Annotations in one aspect stream.
     pub fn for_aspect(&self, kind: AspectKind) -> impl Iterator<Item = &Annotation> {
-        self.annotations.iter().filter(move |a| a.aspect_kind() == kind)
+        self.annotations
+            .iter()
+            .filter(move |a| a.aspect_kind() == kind)
     }
 
     /// Whether the policy has any annotation for `kind`.
@@ -82,7 +84,10 @@ impl Dataset {
 
     /// Total annotation count for one aspect stream.
     pub fn annotation_count(&self, kind: AspectKind) -> usize {
-        self.policies.iter().map(|p| p.for_aspect(kind).count()).sum()
+        self.policies
+            .iter()
+            .map(|p| p.for_aspect(kind).count())
+            .sum()
     }
 
     /// Serialize to JSON.
@@ -158,7 +163,10 @@ mod tests {
     #[test]
     fn dataset_counts_and_lookup() {
         let ds = Dataset {
-            policies: vec![policy("a.com", vec![dt_annotation()]), policy("b.com", vec![])],
+            policies: vec![
+                policy("a.com", vec![dt_annotation()]),
+                policy("b.com", vec![]),
+            ],
         };
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.annotated().count(), 1);
@@ -170,7 +178,9 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        let ds = Dataset { policies: vec![policy("a.com", vec![dt_annotation()])] };
+        let ds = Dataset {
+            policies: vec![policy("a.com", vec![dt_annotation()])],
+        };
         let json = ds.to_json().unwrap();
         let back = Dataset::from_json(&json).unwrap();
         assert_eq!(back.len(), 1);

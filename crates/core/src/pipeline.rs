@@ -125,11 +125,7 @@ impl Pipeline {
     /// Returns `None` when the crawl failed, when no page survives the
     /// content/language filters, or when text extraction fails per the
     /// §3.2.1 success definition.
-    pub fn process_domain(
-        &self,
-        crawl: &DomainCrawl,
-        sector: Sector,
-    ) -> Option<AnnotatedPolicy> {
+    pub fn process_domain(&self, crawl: &DomainCrawl, sector: Sector) -> Option<AnnotatedPolicy> {
         if !crawl.is_success() {
             return None;
         }
@@ -199,7 +195,13 @@ pub fn run_pipeline(world: &World, config: PipelineConfig) -> PipelineRun {
         .iter()
         .map(|c| c.domain.clone())
         .collect();
-    let crawls = crawl_all(&client, &domains, PoolConfig { workers: config.workers });
+    let crawls = crawl_all(
+        &client,
+        &domains,
+        PoolConfig {
+            workers: config.workers,
+        },
+    );
     let report = CrawlReport::new(crawls);
 
     // Process domains in parallel (the chatbot is Send + Sync and clones
@@ -213,8 +215,7 @@ pub fn run_pipeline(world: &World, config: PipelineConfig) -> PipelineRun {
     };
     for crawl in &report.crawls {
         if crawl.is_success() {
-            extraction.english_privacy_pages +=
-                pipeline.english_privacy_pages(crawl).len();
+            extraction.english_privacy_pages += pipeline.english_privacy_pages(crawl).len();
         }
     }
     let mut words: Vec<usize> = Vec::new();
@@ -256,13 +257,12 @@ fn parallel_process(
             .map(|c| c.sector)
             .unwrap_or(Sector::Industrials)
     };
-    let mut policies: Vec<AnnotatedPolicy> =
-        run_indexed(crawls, workers.max(1), |crawl| {
-            pipeline.process_domain(crawl, sector_of(&crawl.domain))
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+    let mut policies: Vec<AnnotatedPolicy> = run_indexed(crawls, workers.max(1), |crawl| {
+        pipeline.process_domain(crawl, sector_of(&crawl.domain))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     policies.sort_by(|a, b| a.domain.cmp(&b.domain));
     policies
 }
@@ -280,7 +280,9 @@ mod work_queue {
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let results = std::sync::Mutex::new(Vec::<(usize, R)>::with_capacity(n));
-        crossbeam::scope(|scope| {
+        // Worker closures never panic while holding the lock with interesting
+        // state half-written, so recovering from poisoning is sound here.
+        let _ = crossbeam::scope(|scope| {
             for _ in 0..workers.min(n.max(1)) {
                 scope.spawn(|_| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -288,15 +290,27 @@ mod work_queue {
                         break;
                     }
                     let r = f(&items[i]);
-                    results.lock().expect("results lock").push((i, r));
+                    results
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .push((i, r));
                 });
             }
-        })
-        .expect("process pool");
-        for (i, r) in results.into_inner().expect("results") {
+        });
+        let collected = results
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for (i, r) in collected {
             out[i] = Some(r);
         }
-        out.into_iter().map(|o| o.expect("all items processed")).collect()
+        // If a worker died mid-item (spawn failure, panic), repair the gaps
+        // serially rather than aborting the whole run.
+        out.iter_mut().enumerate().for_each(|(i, slot)| {
+            if slot.is_none() {
+                *slot = Some(f(&items[i]));
+            }
+        });
+        out.into_iter().flatten().collect()
     }
 }
 
@@ -307,7 +321,13 @@ mod tests {
 
     fn small_run(seed: u64, n: usize) -> (PipelineRun, aipan_webgen::World) {
         let world = build_world(WorldConfig::small(seed, n));
-        let run = run_pipeline(&world, PipelineConfig { seed, ..Default::default() });
+        let run = run_pipeline(
+            &world,
+            PipelineConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         (run, world)
     }
 
@@ -318,7 +338,10 @@ mod tests {
         assert!(run.extraction.extraction_success > 0);
         assert!(run.extraction.annotated > 0);
         assert!(!run.dataset.is_empty());
-        assert!(run.usage.iter().any(|(task, u)| task == "extract_data_types" && u.calls > 0));
+        assert!(run
+            .usage
+            .iter()
+            .any(|(task, u)| task == "extract_data_types" && u.calls > 0));
         // Every annotated domain must be a real domain of the world.
         for p in &run.dataset.policies {
             assert!(world.fates.contains_key(&p.domain));
@@ -464,11 +487,17 @@ mod tests {
                         "<footer><a href=\"/privacy-policy.pdf\">Privacy Policy</a></footer>",
                     ),
                 )
-                .page("/privacy-policy.pdf", Response::pdf("%PDF-1.7 long policy text here")),
+                .page(
+                    "/privacy-policy.pdf",
+                    Response::pdf("%PDF-1.7 long policy text here"),
+                ),
         );
         let client = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
         let crawl = aipan_crawler::crawl_domain(&client, "pdf.com");
-        assert!(crawl.is_success(), "PDF still counts as a potential privacy page");
+        assert!(
+            crawl.is_success(),
+            "PDF still counts as a potential privacy page"
+        );
         let pipeline = Pipeline::new(PipelineConfig::default());
         assert!(pipeline.process_domain(&crawl, Sector::Materials).is_none());
     }

@@ -50,23 +50,30 @@ impl SegmentedPolicy {
     pub fn whole_text(doc: &ExtractedDoc) -> SegmentedPolicy {
         let all: Vec<usize> = (1..=doc.lines.len()).collect();
         let mut aspect_lines = BTreeMap::new();
-        for aspect in [Aspect::Types, Aspect::Purposes, Aspect::Handling, Aspect::Rights] {
+        for aspect in [
+            Aspect::Types,
+            Aspect::Purposes,
+            Aspect::Handling,
+            Aspect::Rights,
+        ] {
             aspect_lines.insert(aspect, all.clone());
         }
-        SegmentedPolicy { aspect_lines, method: Method::TextAnalysis }
+        SegmentedPolicy {
+            aspect_lines,
+            method: Method::TextAnalysis,
+        }
     }
 
     /// Line numbers for `aspect` (empty if none).
     pub fn lines_for(&self, aspect: Aspect) -> &[usize] {
-        self.aspect_lines.get(&aspect).map(Vec::as_slice).unwrap_or(&[])
+        self.aspect_lines
+            .get(&aspect)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Non-heading text lines for `aspect`, as (line number, text) pairs.
-    pub fn text_for<'d>(
-        &self,
-        aspect: Aspect,
-        doc: &'d ExtractedDoc,
-    ) -> Vec<(usize, &'d str)> {
+    pub fn text_for<'d>(&self, aspect: Aspect, doc: &'d ExtractedDoc) -> Vec<(usize, &'d str)> {
         self.lines_for(aspect)
             .iter()
             .filter_map(|&n| {
@@ -121,9 +128,14 @@ impl SegmentedPolicy {
 
     /// Whether any of the four annotated aspects has no text.
     pub fn missing_studied_aspect(&self, doc: &ExtractedDoc) -> bool {
-        [AspectKind::Types, AspectKind::Purposes, AspectKind::Handling, AspectKind::Rights]
-            .iter()
-            .any(|k| self.text_for(aspect_of(*k), doc).is_empty())
+        [
+            AspectKind::Types,
+            AspectKind::Purposes,
+            AspectKind::Handling,
+            AspectKind::Rights,
+        ]
+        .iter()
+        .any(|k| self.text_for(aspect_of(*k), doc).is_empty())
     }
 }
 
@@ -148,25 +160,17 @@ pub fn segment(chatbot: &dyn Chatbot, doc: &ExtractedDoc) -> SegmentedPolicy {
         })
         .collect();
 
-    let mut seg = if heading_lines.len() >= MIN_HEADINGS {
+    let heading_seg = if heading_lines.len() >= MIN_HEADINGS {
         Some(segment_by_headings(chatbot, doc, &heading_lines))
     } else {
         None
     };
 
-    let needs_text_analysis = match &seg {
-        None => true,
-        Some(s) => s.missing_studied_aspect(doc),
-    };
-
-    if needs_text_analysis {
-        let text_seg = segment_by_text(chatbot, doc);
-        seg = Some(match seg {
-            None => text_seg,
-            Some(heading_seg) => merge(heading_seg, text_seg, doc),
-        });
+    match heading_seg {
+        Some(seg) if !seg.missing_studied_aspect(doc) => seg,
+        Some(seg) => merge(seg, segment_by_text(chatbot, doc), doc),
+        None => segment_by_text(chatbot, doc),
     }
-    seg.expect("segmentation produced")
 }
 
 /// Step 1: label the table of contents, assign body lines to the nearest
@@ -178,9 +182,8 @@ fn segment_by_headings(
 ) -> SegmentedPolicy {
     // Build the TOC preserving original line numbers (the hierarchy implied
     // by heading ranks is cosmetic for the simulated model).
-    let toc_input = protocol::number_lines_with(
-        headings.iter().map(|(n, line)| (*n, line.text.as_str())),
-    );
+    let toc_input =
+        protocol::number_lines_with(headings.iter().map(|(n, line)| (*n, line.text.as_str())));
     let prompt = TaskPrompt::build(TaskKind::LabelHeadings);
     let output = chatbot.complete(&prompt, &toc_input);
     let labels = protocol::parse_labels(&output);
@@ -191,19 +194,24 @@ fn segment_by_headings(
     for (idx, line) in doc.lines.iter().enumerate() {
         let n = idx + 1;
         if matches!(line.kind, LineKind::Heading(_)) {
-            current = label_map.get(&n).map(Vec::as_slice).unwrap_or(&[Aspect::Other]);
+            current = label_map
+                .get(&n)
+                .map(Vec::as_slice)
+                .unwrap_or(&[Aspect::Other]);
         }
         for &aspect in current {
             aspect_lines.entry(aspect).or_default().push(n);
         }
     }
-    SegmentedPolicy { aspect_lines, method: Method::Headings }
+    SegmentedPolicy {
+        aspect_lines,
+        method: Method::Headings,
+    }
 }
 
 /// Step 2: whole-text line labeling.
 fn segment_by_text(chatbot: &dyn Chatbot, doc: &ExtractedDoc) -> SegmentedPolicy {
-    let input =
-        protocol::number_lines(doc.lines.iter().map(|l| l.text.as_str()));
+    let input = protocol::number_lines(doc.lines.iter().map(|l| l.text.as_str()));
     let prompt = TaskPrompt::build(TaskKind::SegmentText);
     let output = chatbot.complete(&prompt, &input);
     let mut aspect_lines: BTreeMap<Aspect, Vec<usize>> = BTreeMap::new();
@@ -216,7 +224,10 @@ fn segment_by_text(chatbot: &dyn Chatbot, doc: &ExtractedDoc) -> SegmentedPolicy
         lines.sort_unstable();
         lines.dedup();
     }
-    SegmentedPolicy { aspect_lines, method: Method::TextAnalysis }
+    SegmentedPolicy {
+        aspect_lines,
+        method: Method::TextAnalysis,
+    }
 }
 
 /// Merge: keep the heading-based assignment for aspects it found; take the

@@ -124,7 +124,9 @@ impl DomainCrawl {
     }
 
     fn probe_hit(&self, via: LinkSource) -> bool {
-        self.pages.iter().any(|p| p.via == via && p.status.is_success())
+        self.pages
+            .iter()
+            .any(|p| p.via == via && p.status.is_success())
     }
 }
 
@@ -274,7 +276,10 @@ pub fn crawl_domain(client: &Client, domain: &str) -> DomainCrawl {
         // of §3.1 are defined over the probes themselves. privacy_pages()
         // deduplicates by final URL, so annotation is unaffected.
         if visited.contains(&url)
-            && !matches!(via, LinkSource::ProbePolicyPath | LinkSource::ProbePrivacyPath)
+            && !matches!(
+                via,
+                LinkSource::ProbePolicyPath | LinkSource::ProbePrivacyPath
+            )
         {
             continue;
         }
@@ -350,7 +355,15 @@ pub fn crawl_domain(client: &Client, domain: &str) -> DomainCrawl {
     } else {
         CrawlOutcome::NoPrivacyPage
     };
-    finish(domain, outcome, pages, fetch_attempts, robots_skipped, false, delay_per_fetch)
+    finish(
+        domain,
+        outcome,
+        pages,
+        fetch_attempts,
+        robots_skipped,
+        false,
+        delay_per_fetch,
+    )
 }
 
 /// Fetch and parse robots.txt; any failure (absent file, transport error,
@@ -392,8 +405,14 @@ mod tests {
         net.register(
             "a.com",
             StaticSite::new()
-                .page("/", home_with_footer("<a href=\"/legal/pp\">Privacy Policy</a>"))
-                .page("/legal/pp", Response::html("<h1>Privacy</h1><p>policy text</p>")),
+                .page(
+                    "/",
+                    home_with_footer("<a href=\"/legal/pp\">Privacy Policy</a>"),
+                )
+                .page(
+                    "/legal/pp",
+                    Response::html("<h1>Privacy</h1><p>policy text</p>"),
+                ),
         );
         let crawl = crawl_domain(&client_for(net), "a.com");
         assert!(crawl.is_success());
@@ -427,7 +446,10 @@ mod tests {
         net.register(
             "c.com",
             StaticSite::new()
-                .page("/", home_with_footer("<a href=\"/privacy\">Privacy Center</a>"))
+                .page(
+                    "/",
+                    home_with_footer("<a href=\"/privacy\">Privacy Center</a>"),
+                )
                 .page(
                     "/privacy",
                     Response::html(
@@ -487,7 +509,10 @@ mod tests {
                 home_with_footer("<a href=\"https://other.com/privacy\">Privacy Policy</a>"),
             ),
         );
-        net.register("other.com", StaticSite::new().page("/privacy", Response::html("x")));
+        net.register(
+            "other.com",
+            StaticSite::new().page("/privacy", Response::html("x")),
+        );
         let crawl = crawl_domain(&client_for(net), "f.com");
         assert_eq!(crawl.outcome, CrawlOutcome::NoPrivacyPage);
     }
@@ -538,7 +563,11 @@ mod tests {
         }
         net.register("h.com", site);
         let crawl = crawl_domain(&client_for(net), "h.com");
-        assert!(crawl.pages.len() <= MAX_PAGES, "{} pages", crawl.pages.len());
+        assert!(
+            crawl.pages.len() <= MAX_PAGES,
+            "{} pages",
+            crawl.pages.len()
+        );
         assert!(crawl.fetch_attempts <= MAX_PAGES + 2);
     }
 
@@ -548,14 +577,24 @@ mod tests {
         net.register(
             "i.com",
             StaticSite::new()
-                .page("/", home_with_footer("<a href=\"/privacy-policy\">Privacy Policy</a>"))
+                .page(
+                    "/",
+                    home_with_footer("<a href=\"/privacy-policy\">Privacy Policy</a>"),
+                )
                 .page("/privacy-policy", Response::html("<p>one true policy</p>"))
-                .page("/privacy", Response::redirect(Status::MOVED_PERMANENTLY, "/privacy-policy")),
+                .page(
+                    "/privacy",
+                    Response::redirect(Status::MOVED_PERMANENTLY, "/privacy-policy"),
+                ),
         );
         let crawl = crawl_domain(&client_for(net), "i.com");
         assert!(crawl.policy_path_exists());
         assert!(crawl.privacy_path_exists());
-        assert_eq!(crawl.privacy_pages().len(), 1, "redirected duplicate merged");
+        assert_eq!(
+            crawl.privacy_pages().len(),
+            1,
+            "redirected duplicate merged"
+        );
     }
 
     #[test]
@@ -564,13 +603,19 @@ mod tests {
         net.register(
             "r.com",
             StaticSite::new()
-                .page("/robots.txt", Response {
-                    status: Status::OK,
-                    content_type: ContentType::Plain,
-                    body: "User-agent: *\nDisallow: /\n".into(),
-                    location: None,
-                })
-                .page("/", home_with_footer("<a href=\"/privacy\">Privacy Policy</a>"))
+                .page(
+                    "/robots.txt",
+                    Response {
+                        status: Status::OK,
+                        content_type: ContentType::Plain,
+                        body: "User-agent: *\nDisallow: /\n".into(),
+                        location: None,
+                    },
+                )
+                .page(
+                    "/",
+                    home_with_footer("<a href=\"/privacy\">Privacy Policy</a>"),
+                )
                 .page("/privacy", Response::html("<p>policy</p>")),
         );
         let crawl = crawl_domain(&client_for(net), "r.com");
@@ -585,13 +630,19 @@ mod tests {
         net.register(
             "s.com",
             StaticSite::new()
-                .page("/robots.txt", Response {
-                    status: Status::OK,
-                    content_type: ContentType::Plain,
-                    body: "User-agent: *\nDisallow: /privacy-policy\nCrawl-delay: 2\n".into(),
-                    location: None,
-                })
-                .page("/", home_with_footer("<a href=\"/privacy\">Privacy Policy</a>"))
+                .page(
+                    "/robots.txt",
+                    Response {
+                        status: Status::OK,
+                        content_type: ContentType::Plain,
+                        body: "User-agent: *\nDisallow: /privacy-policy\nCrawl-delay: 2\n".into(),
+                        location: None,
+                    },
+                )
+                .page(
+                    "/",
+                    home_with_footer("<a href=\"/privacy\">Privacy Policy</a>"),
+                )
                 .page("/privacy", Response::html("<p>the policy text</p>"))
                 .page("/privacy-policy", Response::html("<p>forbidden copy</p>")),
         );
@@ -599,7 +650,10 @@ mod tests {
         assert!(crawl.is_success(), "allowed path still crawled");
         assert!(crawl.robots_skipped >= 1, "disallowed probe skipped");
         assert!(
-            crawl.pages.iter().all(|p| p.final_url.path != "/privacy-policy"),
+            crawl
+                .pages
+                .iter()
+                .all(|p| p.final_url.path != "/privacy-policy"),
             "disallowed path must not be fetched"
         );
         // Crawl-delay: 2 → 2000 ms between fetches.
@@ -628,7 +682,10 @@ mod tests {
             "j.com",
             StaticSite::new().page("/", home_with_footer("<a href=\"/privacy\">Privacy</a>")),
         );
-        let cfg = FaultConfig { block_crawlers: 1.0, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            block_crawlers: 1.0,
+            ..FaultConfig::none()
+        };
         let client = Client::new(net, FaultInjector::new(0, cfg));
         let crawl = crawl_domain(&client, "j.com");
         // The bot wall serves 403s: homepage not successful → no privacy page.

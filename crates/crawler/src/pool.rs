@@ -38,7 +38,7 @@ pub fn crawl_all(client: &Client, domains: &[String], config: PoolConfig) -> Vec
     let (res_tx, res_rx) = channel::unbounded::<DomainCrawl>();
 
     let mut results: Vec<DomainCrawl> = Vec::with_capacity(domains.len());
-    crossbeam::scope(|scope| {
+    let _ = crossbeam::scope(|scope| {
         for _ in 0..workers {
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
@@ -72,9 +72,10 @@ pub fn crawl_all(client: &Client, domains: &[String], config: PoolConfig) -> Vec
         for crawl in res_rx.iter() {
             results.push(crawl);
         }
-        feeder.join().expect("feeder thread");
-    })
-    .expect("crawl pool");
+        // The feeder thread body cannot panic; a failed join only means the
+        // thread was torn down, and the result channel has already drained.
+        let _ = feeder.join();
+    });
 
     results.sort_by(|a, b| a.domain.cmp(&b.domain));
     results
@@ -98,9 +99,7 @@ mod tests {
                 StaticSite::new()
                     .page(
                         "/",
-                        Response::html(
-                            "<footer><a href=\"/privacy\">Privacy Policy</a></footer>",
-                        ),
+                        Response::html("<footer><a href=\"/privacy\">Privacy Policy</a></footer>"),
                     )
                     .page("/privacy", Response::html("<p>policy</p>")),
             );

@@ -77,7 +77,10 @@ pub struct CrawlReport {
 impl CrawlReport {
     /// Build a report from per-domain crawls.
     pub fn new(crawls: Vec<DomainCrawl>) -> CrawlReport {
-        let mut funnel = CrawlFunnel { domains_total: crawls.len(), ..Default::default() };
+        let mut funnel = CrawlFunnel {
+            domains_total: crawls.len(),
+            ..Default::default()
+        };
         for crawl in &crawls {
             match &crawl.outcome {
                 CrawlOutcome::Success => funnel.crawl_success += 1,
@@ -133,8 +136,18 @@ mod tests {
             outcome: CrawlOutcome::Success,
             pages: vec![
                 fake_page(LinkSource::Homepage, Status::OK, "/", "home"),
-                fake_page(LinkSource::ProbePolicyPath, Status::OK, "/privacy-policy", "p"),
-                fake_page(LinkSource::ProbePrivacyPath, Status::NOT_FOUND, "/privacy", ""),
+                fake_page(
+                    LinkSource::ProbePolicyPath,
+                    Status::OK,
+                    "/privacy-policy",
+                    "p",
+                ),
+                fake_page(
+                    LinkSource::ProbePrivacyPath,
+                    Status::NOT_FOUND,
+                    "/privacy",
+                    "",
+                ),
             ],
             fetch_attempts: 3,
             robots_skipped: 0,

@@ -52,7 +52,9 @@ impl RobotsPolicy {
             if line.is_empty() {
                 continue;
             }
-            let Some((key, value)) = line.split_once(':') else { continue };
+            let Some((key, value)) = line.split_once(':') else {
+                continue;
+            };
             let key = key.trim().to_ascii_lowercase();
             let value = value.trim().to_string();
             match key.as_str() {
@@ -114,13 +116,19 @@ impl RobotsPolicy {
         self.groups
             .iter()
             .find(|g| g.matches_agent(user_agent) && !g.agents.contains(&"*".to_string()))
-            .or_else(|| self.groups.iter().find(|g| g.agents.contains(&"*".to_string())))
+            .or_else(|| {
+                self.groups
+                    .iter()
+                    .find(|g| g.agents.contains(&"*".to_string()))
+            })
     }
 
     /// Whether `user_agent` may fetch `path`. Longest matching rule wins;
     /// `Allow` beats `Disallow` on equal length.
     pub fn is_allowed(&self, user_agent: &str, path: &str) -> bool {
-        let Some(group) = self.group_for(user_agent) else { return true };
+        let Some(group) = self.group_for(user_agent) else {
+            return true;
+        };
         let best_disallow = group
             .disallow
             .iter()
@@ -183,9 +191,7 @@ mod tests {
 
     #[test]
     fn allow_overrides_disallow_when_longer_or_equal() {
-        let p = RobotsPolicy::parse(
-            "User-agent: *\nDisallow: /legal\nAllow: /legal/privacy",
-        );
+        let p = RobotsPolicy::parse("User-agent: *\nDisallow: /legal\nAllow: /legal/privacy");
         assert!(!p.is_allowed(UA, "/legal/terms"));
         assert!(p.is_allowed(UA, "/legal/privacy-notice"));
     }

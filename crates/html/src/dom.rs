@@ -115,8 +115,20 @@ impl<'a> Iterator for Descendants<'a> {
 fn is_void(name: &str) -> bool {
     matches!(
         name,
-        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
-            | "param" | "source" | "track" | "wbr"
+        "area"
+            | "base"
+            | "br"
+            | "col"
+            | "embed"
+            | "hr"
+            | "img"
+            | "input"
+            | "link"
+            | "meta"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 
@@ -124,9 +136,7 @@ fn is_void(name: &str) -> bool {
 fn implicitly_closes(incoming: &str, open: &str) -> bool {
     match incoming {
         "p" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "ul" | "ol" | "table" | "div"
-        | "section" | "article" | "header" | "footer" | "nav" | "blockquote" | "pre" => {
-            open == "p"
-        }
+        | "section" | "article" | "header" | "footer" | "nav" | "blockquote" | "pre" => open == "p",
         "li" => open == "li",
         "tr" => matches!(open, "tr" | "td" | "th"),
         "td" | "th" => matches!(open, "td" | "th"),
@@ -142,33 +152,47 @@ fn build(tokens: Vec<Token>) -> Node {
         kind: NodeKind,
         children: Vec<Node>,
     }
-    let mut stack: Vec<Open> = vec![Open { kind: NodeKind::Document, children: Vec::new() }];
+    let mut stack: Vec<Open> = vec![Open {
+        kind: NodeKind::Document,
+        children: Vec::new(),
+    }];
 
     fn close_top(stack: &mut Vec<Open>) {
         // Never pop the document root.
         if stack.len() <= 1 {
             return;
         }
-        let top = stack.pop().expect("stack non-empty");
-        let node = Node { kind: top.kind, children: top.children };
-        stack.last_mut().expect("root remains").children.push(node);
+        if let Some(top) = stack.pop() {
+            let node = Node {
+                kind: top.kind,
+                children: top.children,
+            };
+            if let Some(parent) = stack.last_mut() {
+                parent.children.push(node);
+            }
+        }
     }
 
     for token in tokens {
         match token {
             Token::Text(t) => {
-                stack
-                    .last_mut()
-                    .expect("root")
-                    .children
-                    .push(Node { kind: NodeKind::Text(t), children: Vec::new() });
+                if let Some(open) = stack.last_mut() {
+                    open.children.push(Node {
+                        kind: NodeKind::Text(t),
+                        children: Vec::new(),
+                    });
+                }
             }
             Token::Comment(_) | Token::Doctype(_) => {}
-            Token::StartTag { name, attrs, self_closing } => {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
                 // Implicit closes.
                 while stack.len() > 1 {
-                    let top_name = match &stack.last().expect("non-empty").kind {
-                        NodeKind::Element { name, .. } => name.clone(),
+                    let top_name = match stack.last().map(|o| &o.kind) {
+                        Some(NodeKind::Element { name, .. }) => name.clone(),
                         _ => break,
                     };
                     if implicitly_closes(&name, &top_name) {
@@ -177,22 +201,29 @@ fn build(tokens: Vec<Token>) -> Node {
                         break;
                     }
                 }
-                let kind = NodeKind::Element { name: name.clone(), attrs };
+                let kind = NodeKind::Element {
+                    name: name.clone(),
+                    attrs,
+                };
                 if self_closing || is_void(&name) {
-                    stack
-                        .last_mut()
-                        .expect("root")
-                        .children
-                        .push(Node { kind, children: Vec::new() });
+                    if let Some(open) = stack.last_mut() {
+                        open.children.push(Node {
+                            kind,
+                            children: Vec::new(),
+                        });
+                    }
                 } else {
-                    stack.push(Open { kind, children: Vec::new() });
+                    stack.push(Open {
+                        kind,
+                        children: Vec::new(),
+                    });
                 }
             }
             Token::EndTag { name } => {
                 // Find a matching open element; if none, ignore.
-                let matching = stack.iter().rposition(|o| {
-                    matches!(&o.kind, NodeKind::Element { name: n, .. } if *n == name)
-                });
+                let matching = stack.iter().rposition(
+                    |o| matches!(&o.kind, NodeKind::Element { name: n, .. } if *n == name),
+                );
                 if let Some(idx) = matching {
                     while stack.len() > idx {
                         close_top(&mut stack);
@@ -204,8 +235,18 @@ fn build(tokens: Vec<Token>) -> Node {
     while stack.len() > 1 {
         close_top(&mut stack);
     }
-    let root = stack.pop().expect("document root");
-    Node { kind: root.kind, children: root.children }
+    match stack.pop() {
+        Some(root) => Node {
+            kind: root.kind,
+            children: root.children,
+        },
+        // Unreachable: the root sentinel is never popped; return an empty
+        // document rather than panicking if that ever changes.
+        None => Node {
+            kind: NodeKind::Document,
+            children: Vec::new(),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -216,7 +257,11 @@ mod tests {
     fn builds_nested_tree() {
         let doc = Node::parse("<div><p>one</p><p>two</p></div>");
         let div = doc.find("div").unwrap();
-        let ps: Vec<_> = div.children.iter().filter(|c| c.tag() == Some("p")).collect();
+        let ps: Vec<_> = div
+            .children
+            .iter()
+            .filter(|c| c.tag() == Some("p"))
+            .collect();
         assert_eq!(ps.len(), 2);
         assert_eq!(ps[0].text_content(), "one");
         assert_eq!(ps[1].text_content(), "two");
@@ -234,7 +279,10 @@ mod tests {
     #[test]
     fn li_implicitly_closed() {
         let doc = Node::parse("<ul><li>a<li>b<li>c</ul>");
-        let lis: Vec<_> = doc.descendants().filter(|n| n.tag() == Some("li")).collect();
+        let lis: Vec<_> = doc
+            .descendants()
+            .filter(|n| n.tag() == Some("li"))
+            .collect();
         assert_eq!(lis.len(), 3);
         // No nesting: each li's text is exactly its own.
         assert_eq!(lis[1].text_content(), "b");

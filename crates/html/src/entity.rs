@@ -72,13 +72,12 @@ pub fn decode(input: &str) -> String {
 fn decode_one(rest: &str) -> Option<(String, usize)> {
     if let Some(num) = rest.strip_prefix('#') {
         // Numeric reference.
-        let (digits, radix): (&str, u32) = if let Some(hex) =
-            num.strip_prefix('x').or_else(|| num.strip_prefix('X'))
-        {
-            (hex, 16)
-        } else {
-            (num, 10)
-        };
+        let (digits, radix): (&str, u32) =
+            if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+                (hex, 16)
+            } else {
+                (num, 10)
+            };
         let end = digits
             .char_indices()
             .take_while(|(_, c)| c.is_digit(radix))

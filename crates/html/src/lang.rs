@@ -10,10 +10,53 @@
 /// Common English stop words; privacy-policy legalese is saturated with
 /// these.
 const STOPWORDS: &[&str] = &[
-    "the", "of", "and", "to", "a", "in", "that", "is", "we", "you", "your", "for", "on",
-    "with", "as", "are", "this", "be", "or", "by", "our", "it", "from", "at", "an", "not",
-    "may", "will", "can", "have", "has", "us", "if", "any", "other", "such", "use", "when",
-    "how", "do", "about", "information", "data", "privacy", "policy", "collect", "personal",
+    "the",
+    "of",
+    "and",
+    "to",
+    "a",
+    "in",
+    "that",
+    "is",
+    "we",
+    "you",
+    "your",
+    "for",
+    "on",
+    "with",
+    "as",
+    "are",
+    "this",
+    "be",
+    "or",
+    "by",
+    "our",
+    "it",
+    "from",
+    "at",
+    "an",
+    "not",
+    "may",
+    "will",
+    "can",
+    "have",
+    "has",
+    "us",
+    "if",
+    "any",
+    "other",
+    "such",
+    "use",
+    "when",
+    "how",
+    "do",
+    "about",
+    "information",
+    "data",
+    "privacy",
+    "policy",
+    "collect",
+    "personal",
 ];
 
 /// Fraction of tokens in `text` that are English stop words (0.0–1.0).
@@ -63,7 +106,11 @@ mod tests {
     fn german_scores_low() {
         let text = "Wir erheben personenbezogene Daten über Sie, wenn Sie unsere Dienste \
                     nutzen, und geben diese gegebenenfalls an unsere Partner weiter.";
-        assert!(english_score(text) < ENGLISH_THRESHOLD, "score={}", english_score(text));
+        assert!(
+            english_score(text) < ENGLISH_THRESHOLD,
+            "score={}",
+            english_score(text)
+        );
         assert!(!is_english(text));
     }
 

@@ -133,7 +133,10 @@ impl ExtractedDoc {
 
     /// Total number of whitespace-separated words across all lines.
     pub fn word_count(&self) -> usize {
-        self.lines.iter().map(|l| l.text.split_whitespace().count()).sum()
+        self.lines
+            .iter()
+            .map(|l| l.text.split_whitespace().count())
+            .sum()
     }
 
     /// Number of heading lines (used by Appendix B's ">5 headings" rule).
@@ -310,9 +313,7 @@ impl Renderer {
             }
             return;
         }
-        if raw.starts_with(char::is_whitespace)
-            && !self.buf.is_empty()
-            && !self.buf.ends_with(' ')
+        if raw.starts_with(char::is_whitespace) && !self.buf.is_empty() && !self.buf.ends_with(' ')
         {
             self.buf.push(' ');
         }
@@ -375,10 +376,19 @@ impl Renderer {
                         PageRegion::Body
                     }
                 });
-                PageLink { href: p.href, text: p.text, line: p.line, region }
+                PageLink {
+                    href: p.href,
+                    text: p.text,
+                    line: p.line,
+                    region,
+                }
             })
             .collect();
-        ExtractedDoc { title: self.title, lines: self.lines, links }
+        ExtractedDoc {
+            title: self.title,
+            lines: self.lines,
+            links,
+        }
     }
 }
 
@@ -514,7 +524,10 @@ mod tests {
             r#"<a href="/legal">Privacy Notice</a><a href="/privacy-policy">Legal</a>
                <a href="/about">About</a>"#,
         );
-        let hits: Vec<_> = doc.links_containing("privacy").map(|l| l.href.as_str()).collect();
+        let hits: Vec<_> = doc
+            .links_containing("privacy")
+            .map(|l| l.href.as_str())
+            .collect();
         assert_eq!(hits, vec!["/legal", "/privacy-policy"]);
     }
 
@@ -523,15 +536,15 @@ mod tests {
         let closed = extract("<details><summary>More</summary><p>secret policy text</p></details>");
         assert!(!closed.text().contains("secret policy text"));
         assert!(closed.text().contains("More"));
-        let open = extract(
-            "<details open><summary>More</summary><p>secret policy text</p></details>",
-        );
+        let open =
+            extract("<details open><summary>More</summary><p>secret policy text</p></details>");
         assert!(open.text().contains("secret policy text"));
     }
 
     #[test]
     fn image_alt_not_rendered() {
-        let doc = extract(r#"<p>before</p><img src="policy.png" alt="full policy text"><p>after</p>"#);
+        let doc =
+            extract(r#"<p>before</p><img src="policy.png" alt="full policy text"><p>after</p>"#);
         assert!(!doc.text().contains("full policy text"));
     }
 

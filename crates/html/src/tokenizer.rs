@@ -60,7 +60,11 @@ struct Tokenizer<'a> {
 
 impl<'a> Tokenizer<'a> {
     fn new(input: &'a str) -> Self {
-        Tokenizer { input, pos: 0, tokens: Vec::new() }
+        Tokenizer {
+            input,
+            pos: 0,
+            tokens: Vec::new(),
+        }
     }
 
     fn run(mut self) -> Vec<Token> {
@@ -250,7 +254,10 @@ impl<'a> Tokenizer<'a> {
                         }
                     }
                     if !attr_name.is_empty() {
-                        attrs.push(Attribute { name: attr_name, value });
+                        attrs.push(Attribute {
+                            name: attr_name,
+                            value,
+                        });
                     }
                 }
             }
@@ -272,7 +279,9 @@ impl<'a> Tokenizer<'a> {
                 // Find the '>' terminating the close tag.
                 let after = &rest[idx..];
                 let end = after.find('>').map(|e| e + 1).unwrap_or(after.len());
-                self.tokens.push(Token::EndTag { name: name.to_string() });
+                self.tokens.push(Token::EndTag {
+                    name: name.to_string(),
+                });
                 self.pos += idx + end;
             }
             None => {
@@ -290,7 +299,11 @@ mod tests {
     use super::*;
 
     fn start(name: &str) -> Token {
-        Token::StartTag { name: name.into(), attrs: vec![], self_closing: false }
+        Token::StartTag {
+            name: name.into(),
+            attrs: vec![],
+            self_closing: false,
+        }
     }
 
     #[test]
@@ -310,13 +323,41 @@ mod tests {
     fn attributes_quoted_and_bare() {
         let toks = tokenize(r#"<a href="/privacy" class='x' hidden data-n=5>"#);
         match &toks[0] {
-            Token::StartTag { name, attrs, self_closing } => {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
                 assert_eq!(name, "a");
                 assert!(!self_closing);
-                assert_eq!(attrs[0], Attribute { name: "href".into(), value: "/privacy".into() });
-                assert_eq!(attrs[1], Attribute { name: "class".into(), value: "x".into() });
-                assert_eq!(attrs[2], Attribute { name: "hidden".into(), value: "".into() });
-                assert_eq!(attrs[3], Attribute { name: "data-n".into(), value: "5".into() });
+                assert_eq!(
+                    attrs[0],
+                    Attribute {
+                        name: "href".into(),
+                        value: "/privacy".into()
+                    }
+                );
+                assert_eq!(
+                    attrs[1],
+                    Attribute {
+                        name: "class".into(),
+                        value: "x".into()
+                    }
+                );
+                assert_eq!(
+                    attrs[2],
+                    Attribute {
+                        name: "hidden".into(),
+                        value: "".into()
+                    }
+                );
+                assert_eq!(
+                    attrs[3],
+                    Attribute {
+                        name: "data-n".into(),
+                        value: "5".into()
+                    }
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -325,8 +366,12 @@ mod tests {
     #[test]
     fn self_closing() {
         let toks = tokenize("<br/><img src=x />");
-        assert!(matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br"));
-        assert!(matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "img"));
+        assert!(
+            matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br")
+        );
+        assert!(
+            matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "img")
+        );
     }
 
     #[test]
@@ -342,7 +387,9 @@ mod tests {
     #[test]
     fn comments_and_doctype() {
         let toks = tokenize("<!DOCTYPE html><!-- hi --><p>x</p>");
-        assert!(matches!(&toks[0], Token::Doctype(d) if d.contains("DOCTYPE") || d.contains("html")));
+        assert!(
+            matches!(&toks[0], Token::Doctype(d) if d.contains("DOCTYPE") || d.contains("html"))
+        );
         assert_eq!(toks[1], Token::Comment(" hi ".into()));
     }
 
@@ -351,14 +398,24 @@ mod tests {
         let toks = tokenize("<script>if (a < b) { x(); }</script><p>y</p>");
         assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "script"));
         assert_eq!(toks[1], Token::Text("if (a < b) { x(); }".into()));
-        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert_eq!(
+            toks[2],
+            Token::EndTag {
+                name: "script".into()
+            }
+        );
     }
 
     #[test]
     fn script_case_insensitive_close() {
         let toks = tokenize("<SCRIPT>var x=1;</ScRiPt>done");
         assert_eq!(toks[1], Token::Text("var x=1;".into()));
-        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert_eq!(
+            toks[2],
+            Token::EndTag {
+                name: "script".into()
+            }
+        );
         assert_eq!(toks[3], Token::Text("done".into()));
     }
 
@@ -377,7 +434,13 @@ mod tests {
 
     #[test]
     fn unterminated_constructs_do_not_panic() {
-        for s in ["<p", "<!-- open", "<a href=\"x", "</", "<script>never closed"] {
+        for s in [
+            "<p",
+            "<!-- open",
+            "<a href=\"x",
+            "</",
+            "<script>never closed",
+        ] {
             let _ = tokenize(s);
         }
     }

@@ -1,0 +1,36 @@
+//! `aipan-lint`: the workspace's own static-analysis pass.
+//!
+//! Reproducibility is a first-class claim of this codebase: the paper's
+//! pipeline must produce byte-identical tables and reports across runs and
+//! machines. This crate enforces the determinism contract (and a few hygiene
+//! rules) over the workspace's own Rust sources, plus *data invariants* over
+//! the taxonomy vocabulary that the whole measurement rests on.
+//!
+//! Code rules (see [`rules`]): `D1` wall-clock/entropy, `D2` hash-order
+//! iteration feeding output, `R1` panics in library code, `O1` stray stdio
+//! in library code, `H1` untracked to-do markers. Data invariants (see
+//! [`invariants`]): `T1` normalization closure, `T2` canonical-name
+//! uniqueness, `T3` nine-aspect coverage.
+//!
+//! Two entry points:
+//! - `cargo run -p aipan-lint` (or `cargo lint`): CLI with human diff-style
+//!   or `--json` output, `--deny-warnings` for CI strictness.
+//! - `crates/lint/tests/workspace_clean.rs`: tier-1 test failing on any
+//!   non-allowlisted finding, so `cargo test` alone enforces the contract.
+//!
+//! Vetted exceptions live in `lint.allow` at the workspace root (see
+//! [`allow`]); every entry carries a mandatory justification, and entries
+//! that stop matching anything are themselves reported (`A0`).
+
+pub mod allow;
+pub mod findings;
+pub mod invariants;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use allow::Allowlist;
+pub use findings::{Finding, Severity};
+pub use rules::lint_source;
+pub use scan::{run, Report};

@@ -1,0 +1,141 @@
+//! CLI for the workspace lint pass.
+//!
+//! ```text
+//! cargo run -p aipan-lint -- [--json] [--deny-warnings] [--verbose] [--root DIR] [--allow FILE]
+//! ```
+//!
+//! Exit codes: 0 clean (or warnings only, without `--deny-warnings`),
+//! 1 findings failed the run, 2 usage or I/O error.
+
+use aipan_lint::allow::Allowlist;
+use aipan_lint::{report, scan};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    deny_warnings: bool,
+    verbose: bool,
+    root: Option<PathBuf>,
+    allow: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        deny_warnings: false,
+        verbose: false,
+        root: None,
+        allow: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // `cargo lint` aliases to `run -p aipan-lint --`, so a second
+            // `--` from `cargo lint -- --json` arrives literally; ignore it.
+            "--" => {}
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--verbose" => opts.verbose = true,
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next().ok_or("--root needs a directory argument")?,
+                ))
+            }
+            "--allow" => {
+                opts.allow = Some(PathBuf::from(
+                    args.next().ok_or("--allow needs a file argument")?,
+                ))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "aipan-lint: workspace determinism & invariant checks\n\n\
+                     USAGE: cargo run -p aipan-lint -- [OPTIONS]\n\n\
+                     OPTIONS:\n\
+                     \x20 --json            machine-readable output\n\
+                     \x20 --deny-warnings   any finding fails the run (CI mode)\n\
+                     \x20 --verbose         also list allowlist-suppressed findings\n\
+                     \x20 --root DIR        workspace root (default: discovered from cwd)\n\
+                     \x20 --allow FILE      allowlist path (default: <root>/lint.allow)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("aipan-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match opts.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| scan::find_workspace_root(&cwd))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("aipan-lint: could not locate workspace root (try --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let allow_path = opts
+        .allow
+        .clone()
+        .unwrap_or_else(|| root.join("lint.allow"));
+    let allowlist = if allow_path.is_file() {
+        match std::fs::read_to_string(&allow_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Allowlist::parse(&text).map_err(|e| e.to_string()))
+        {
+            Ok(list) => list,
+            Err(e) => {
+                eprintln!("aipan-lint: {}: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Allowlist::default()
+    };
+
+    let lint_report = match scan::run(&root, allowlist) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("aipan-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        println!("{}", report::json(&lint_report));
+    } else {
+        print!("{}", report::human(&lint_report, opts.deny_warnings));
+        if opts.verbose {
+            for f in &lint_report.suppressed {
+                println!(
+                    "allowlisted: {}:{}:{}: {} {}: {}",
+                    f.file,
+                    f.line,
+                    f.col,
+                    f.severity.name(),
+                    f.rule,
+                    f.message
+                );
+            }
+        }
+    }
+
+    if lint_report.failed(opts.deny_warnings) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,137 @@
+//! Rendering lint results: human diff-style text and machine-readable JSON.
+
+use crate::findings::{Finding, Severity};
+use crate::scan::Report;
+use serde::{Serialize, Value};
+use std::fmt::Write as _;
+
+/// Render findings in a diff-style human format:
+///
+/// ```text
+/// crates/net/src/url.rs:88:21: deny R1: `unwrap` can panic in library code...
+///    |
+/// 88 |         let host = parts.next().unwrap();
+///    |
+/// ```
+pub fn human(report: &Report, deny_warnings: bool) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        if f.line > 0 {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: {} {}: {}",
+                f.file,
+                f.line,
+                f.col,
+                f.severity.name(),
+                f.rule,
+                f.message
+            );
+            if !f.snippet.is_empty() {
+                let gutter = f.line.to_string();
+                let pad = " ".repeat(gutter.len());
+                let _ = writeln!(out, "{pad} |");
+                let _ = writeln!(out, "{gutter} | {}", f.snippet);
+                let _ = writeln!(out, "{pad} |");
+            }
+        } else {
+            let _ = writeln!(
+                out,
+                "{}: {} {}: {}",
+                f.file,
+                f.severity.name(),
+                f.rule,
+                f.message
+            );
+            if !f.snippet.is_empty() {
+                let _ = writeln!(out, "  | {}", f.snippet);
+            }
+        }
+    }
+    let denies = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    let warns = report.findings.len() - denies;
+    let _ = writeln!(
+        out,
+        "aipan-lint: {} file(s) scanned, {denies} deny, {warns} warn ({} allowlisted) — {}",
+        report.files_scanned,
+        report.suppressed.len(),
+        if report.failed(deny_warnings) {
+            "FAIL"
+        } else {
+            "ok"
+        }
+    );
+    out
+}
+
+/// Render the report as a single JSON object:
+/// `{"files_scanned": N, "findings": [...], "suppressed": [...]}`.
+pub fn json(report: &Report) -> String {
+    let obj = Value::Object(vec![
+        (
+            "files_scanned".to_string(),
+            (report.files_scanned as u64).to_value(),
+        ),
+        ("findings".to_string(), findings_value(&report.findings)),
+        ("suppressed".to_string(), findings_value(&report.suppressed)),
+    ]);
+    serde_json::to_string_pretty(&obj).unwrap_or_else(|_| obj.to_string())
+}
+
+fn findings_value(findings: &[Finding]) -> Value {
+    Value::Array(findings.iter().map(|f| f.to_value()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::Finding;
+
+    fn sample_report() -> Report {
+        Report {
+            findings: vec![
+                Finding::at(
+                    "R1",
+                    Severity::Deny,
+                    "crates/x/src/a.rs",
+                    12,
+                    9,
+                    "`unwrap` can panic".to_string(),
+                    "let v = o.unwrap();".to_string(),
+                ),
+                Finding::for_data(
+                    "T2",
+                    "crates/taxonomy/src/rights.rs",
+                    "dup".to_string(),
+                    String::new(),
+                ),
+            ],
+            suppressed: Vec::new(),
+            files_scanned: 3,
+        }
+    }
+
+    #[test]
+    fn human_format_names_file_line_rule() {
+        let text = human(&sample_report(), false);
+        assert!(text.contains("crates/x/src/a.rs:12:9: deny R1:"), "{text}");
+        assert!(text.contains("12 | let v = o.unwrap();"), "{text}");
+        assert!(text.contains("2 deny, 0 warn"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+    }
+
+    #[test]
+    fn json_is_parseable_and_complete() {
+        let text = json(&sample_report());
+        let v: Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(v.field("files_scanned").unwrap().as_u64(), Some(3));
+        let findings = v.field("findings").unwrap().as_array().expect("array");
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].field("rule").unwrap().as_str(), Some("R1"));
+        assert_eq!(findings[0].field("line").unwrap().as_u64(), Some(12));
+    }
+}

@@ -1,0 +1,157 @@
+//! Workspace discovery and the end-to-end lint driver.
+//!
+//! Scans the workspace's own Rust sources — `crates/`, `src/`, `tests/`,
+//! `examples/`, `benches/` — skipping `vendor/` (offline stand-in crates are
+//! third-party API mirrors, not our code), `target/`, and hidden
+//! directories.
+
+use crate::allow::Allowlist;
+use crate::findings::{sort_findings, Finding};
+use crate::{invariants, rules};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories under the workspace root that are scanned for `.rs` files.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples", "benches"];
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["vendor", "target"];
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// holding a `Cargo.toml` with a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// All lintable source files under `root`, as sorted workspace-relative
+/// forward-slash paths.
+pub fn source_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    for scan_root in SCAN_ROOTS {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            walk(&dir, root, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of a full lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings that survived the allowlist, sorted deterministically.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by `lint.allow` (kept for `--verbose` display).
+    pub suppressed: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the run fails under the given strictness.
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        if deny_warnings {
+            !self.findings.is_empty()
+        } else {
+            self.findings
+                .iter()
+                .any(|f| f.severity == crate::findings::Severity::Deny)
+        }
+    }
+}
+
+/// Lint the whole workspace at `root` against `allowlist`: every source
+/// file through the token rules, plus the taxonomy data invariants, plus
+/// unused-allowlist-entry findings.
+pub fn run(root: &Path, mut allowlist: Allowlist) -> io::Result<Report> {
+    let files = source_files(root)?;
+    let mut raw = Vec::new();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        raw.extend(rules::lint_source(rel, &src));
+    }
+    raw.extend(invariants::check_all());
+
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    for finding in raw {
+        if allowlist.permits(&finding) {
+            suppressed.push(finding);
+        } else {
+            findings.push(finding);
+        }
+    }
+    findings.extend(allowlist.unused());
+    sort_findings(&mut findings);
+    sort_findings(&mut suppressed);
+    Ok(Report {
+        findings,
+        suppressed,
+        files_scanned: files.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_root() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("lint crate lives in the workspace");
+        assert!(root.join("crates/lint/Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn scan_skips_vendor_and_sorts() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).unwrap();
+        let files = source_files(&root).unwrap();
+        assert!(!files.is_empty());
+        assert!(
+            files.iter().all(|f| !f.starts_with("vendor/")),
+            "vendor must be skipped"
+        );
+        assert!(files.iter().any(|f| f == "crates/lint/src/lexer.rs"));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

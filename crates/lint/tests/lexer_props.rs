@@ -1,0 +1,66 @@
+//! Property tests for the lint lexer: on arbitrary ASCII Rust-like input,
+//! lexing never panics and the token texts concatenate back to the input
+//! byte-for-byte (total coverage — nothing dropped, nothing duplicated).
+
+use aipan_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+fn roundtrips(src: &str) -> Result<(), String> {
+    let tokens = lex(src);
+    let joined: String = tokens.iter().map(|t| t.text).collect();
+    prop_assert_eq!(&joined, src, "lexer must cover every byte");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_ascii_roundtrips(src in "[ -~\t\n]{0,80}") {
+        roundtrips(&src)?;
+    }
+
+    #[test]
+    fn token_soup_roundtrips(
+        src in r##"((fn|let|mut|struct|unwrap|x1|_y)|[0-9]{1,4}|[{}()\[\];:,.&=<>!'"#/*-]|[ \n]){0,40}"##
+    ) {
+        roundtrips(&src)?;
+    }
+
+    #[test]
+    fn string_and_comment_heavy_input_roundtrips(
+        src in r#"("([a-z \\"]{0,6}")?|//[a-z .]{0,8}|/\*[a-z *]{0,6}(\*/)?|'[a-z]'?|r"[a-z]{0,4}(")?|[a-z]{1,6}|[ \n]){0,20}"#
+    ) {
+        roundtrips(&src)?;
+    }
+
+    #[test]
+    fn positions_are_monotonic(src in "[ -~\n]{0,60}") {
+        let tokens = lex(&src);
+        let mut prev = (1u32, 0u32);
+        for t in &tokens {
+            let pos = (t.line, t.col);
+            prop_assert!(
+                pos.0 > prev.0 || (pos.0 == prev.0 && pos.1 > prev.1),
+                "token positions must advance: {:?} then {:?}",
+                prev,
+                pos
+            );
+            prev = pos;
+        }
+    }
+
+    #[test]
+    fn no_empty_tokens(src in "[ -~\t\n]{0,80}") {
+        for t in lex(&src) {
+            prop_assert!(!t.text.is_empty(), "empty token of kind {:?}", t.kind);
+        }
+    }
+
+    #[test]
+    fn whitespace_tokens_are_pure_whitespace(src in "[ -~\t\n]{0,80}") {
+        for t in lex(&src) {
+            if t.kind == TokenKind::Whitespace {
+                prop_assert!(t.text.bytes().all(|b| b.is_ascii_whitespace()));
+            }
+        }
+    }
+}

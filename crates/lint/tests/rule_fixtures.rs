@@ -1,0 +1,145 @@
+//! Per-rule fixtures: each rule has a positive case (fires, names the right
+//! file/line/rule) and an allowlisted-negative case (the same finding is
+//! suppressed by a matching `lint.allow` entry).
+
+use aipan_lint::allow::Allowlist;
+use aipan_lint::{lint_source, Finding};
+
+/// Fire `src` through the linter as `path`, then partition the findings
+/// through an allowlist text.
+fn lint_with_allow(path: &str, src: &str, allow: &str) -> (Vec<Finding>, Vec<Finding>) {
+    let mut allowlist = Allowlist::parse(allow).expect("fixture allowlist parses");
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in lint_source(path, src) {
+        if allowlist.permits(&f) {
+            suppressed.push(f);
+        } else {
+            kept.push(f);
+        }
+    }
+    (kept, suppressed)
+}
+
+fn allow_entry(rule: &str, file: &str) -> String {
+    format!("[[allow]]\nrule = \"{rule}\"\nfile = \"{file}\"\nreason = \"fixture: vetted\"\n")
+}
+
+#[test]
+fn d1_wall_clock_positive_and_allowlisted() {
+    let path = "crates/core/src/clock.rs";
+    let src = "use std::time::Instant;\npub fn stamp() -> Instant { Instant::now() }\n";
+    let findings = lint_source(path, src);
+    assert_eq!(findings.len(), 1);
+    let f = &findings[0];
+    assert_eq!((f.rule, f.file.as_str(), f.line), ("D1", path, 2));
+    assert!(f.message.contains("Instant::now()"));
+
+    let (kept, suppressed) = lint_with_allow(path, src, &allow_entry("D1", path));
+    assert!(
+        kept.is_empty(),
+        "allowlisted finding must be suppressed: {kept:?}"
+    );
+    assert_eq!(suppressed.len(), 1);
+}
+
+#[test]
+fn d1_entropy_sources() {
+    let src = "pub fn seed() -> u64 { rand::thread_rng().gen() }\n";
+    let findings = lint_source("crates/webgen/src/x.rs", src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "D1");
+    assert!(findings[0].message.contains("thread_rng"));
+
+    let src = "pub fn mk() -> ChaCha8Rng { ChaCha8Rng::from_entropy() }\n";
+    let findings = lint_source("crates/webgen/src/x.rs", src);
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].message.contains("from_entropy"));
+}
+
+#[test]
+fn d2_hash_iteration_positive_and_allowlisted() {
+    let path = "crates/analysis/src/t.rs";
+    let src = "use std::collections::HashMap;\n\
+               pub fn emit(counts: HashMap<String, u32>) -> String {\n\
+               \x20   let mut out = String::new();\n\
+               \x20   for (k, v) in &counts {\n\
+               \x20       out.push_str(&format!(\"{k} {v}\\n\"));\n\
+               \x20   }\n\
+               \x20   out\n\
+               }\n";
+    let findings = lint_source(path, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.line), ("D2", 4));
+    assert!(f.message.contains("BTreeMap"));
+
+    let (kept, _) = lint_with_allow(path, src, &allow_entry("D2", path));
+    assert!(kept.is_empty());
+}
+
+#[test]
+fn r1_panics_positive_and_allowlisted() {
+    let path = "crates/net/src/x.rs";
+    let src = "pub fn a(v: Option<u8>) -> u8 { v.unwrap() }\n\
+               pub fn b(v: Option<u8>) -> u8 { v.expect(\"present\") }\n\
+               pub fn c() { panic!(\"boom\") }\n";
+    let findings = lint_source(path, src);
+    let got: Vec<(u32, &str)> = findings
+        .iter()
+        .map(|f| (f.line, f.message.split('`').nth(1).unwrap_or("")))
+        .collect();
+    assert_eq!(got, vec![(1, "unwrap"), (2, "expect"), (3, "panic")]);
+
+    // Line-pinned allow suppresses only its line.
+    let allow = format!(
+        "[[allow]]\nrule = \"R1\"\nfile = \"{path}\"\nline = 2\nreason = \"fixture: invariant documented\"\n"
+    );
+    let (kept, suppressed) = lint_with_allow(path, src, &allow);
+    assert_eq!(kept.len(), 2);
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].line, 2);
+}
+
+#[test]
+fn o1_stdio_positive_and_allowlisted() {
+    let path = "crates/ml/src/x.rs";
+    let src = "pub fn log(x: u32) { println!(\"{x}\"); eprintln!(\"{x}\"); }\n";
+    let findings = lint_source(path, src);
+    assert_eq!(findings.len(), 2);
+    assert!(findings.iter().all(|f| f.rule == "O1"));
+
+    let (kept, _) = lint_with_allow(path, src, &allow_entry("O1", path));
+    assert!(kept.is_empty());
+}
+
+#[test]
+fn h1_untracked_todo_positive_and_allowlisted() {
+    let path = "crates/core/src/x.rs";
+    let src = "// TODO: finish this\npub fn f() {}\n";
+    let findings = lint_source(path, src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!((findings[0].rule, findings[0].line), ("H1", 1));
+
+    // Tagged form is clean without any allowlist.
+    let tagged = "// TODO(#7): finish this\npub fn f() {}\n";
+    assert!(lint_source(path, tagged).is_empty());
+
+    let (kept, _) = lint_with_allow(path, src, &allow_entry("H1", path));
+    assert!(kept.is_empty());
+}
+
+#[test]
+fn injected_thread_rng_into_core_is_named_precisely() {
+    // The acceptance scenario: drop a thread_rng() call into crates/core and
+    // the lint names the file, line, and rule.
+    let path = "crates/core/src/pipeline.rs";
+    let src = "pub fn shuffle_order() -> u64 {\n    let mut rng = rand::thread_rng();\n    rng.gen()\n}\n";
+    let findings = lint_source(path, src);
+    assert_eq!(findings.len(), 1);
+    let f = &findings[0];
+    assert_eq!(f.rule, "D1");
+    assert_eq!(f.file, path);
+    assert_eq!(f.line, 2);
+    assert!(f.snippet.contains("thread_rng"));
+}

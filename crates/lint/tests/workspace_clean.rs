@@ -1,0 +1,64 @@
+//! Tier-1 gate: the workspace's own sources must be lint-clean.
+//!
+//! Equivalent to `cargo run -p aipan-lint -- --deny-warnings` exiting 0:
+//! every finding — deny *or* warn — must be fixed or carry a justified
+//! `lint.allow` entry. This runs under plain `cargo test`, so the
+//! determinism contract is enforced by the same command that runs the rest
+//! of tier 1.
+
+use aipan_lint::allow::Allowlist;
+use aipan_lint::scan;
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    scan::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace")
+}
+
+#[test]
+fn workspace_sources_are_lint_clean() {
+    let root = workspace_root();
+    let allow_path = root.join("lint.allow");
+    let allowlist = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path).expect("readable lint.allow");
+        Allowlist::parse(&text).expect("well-formed lint.allow")
+    } else {
+        Allowlist::default()
+    };
+
+    let report = scan::run(&root, allowlist).expect("scan the workspace");
+    assert!(
+        report.files_scanned > 30,
+        "expected the full workspace, scanned {}",
+        report.files_scanned
+    );
+
+    if !report.findings.is_empty() {
+        let mut msg = String::new();
+        for f in &report.findings {
+            msg.push_str(&format!(
+                "\n  {}:{}:{} [{} {}] {}",
+                f.file,
+                f.line,
+                f.col,
+                f.severity.name(),
+                f.rule,
+                f.message
+            ));
+        }
+        panic!(
+            "workspace has {} non-allowlisted lint finding(s) (fix them or add a justified \
+             entry to lint.allow):{msg}",
+            report.findings.len()
+        );
+    }
+}
+
+#[test]
+fn taxonomy_invariants_hold() {
+    let findings = aipan_lint::invariants::check_all();
+    assert!(
+        findings.is_empty(),
+        "taxonomy data-invariant violations: {findings:#?}"
+    );
+}

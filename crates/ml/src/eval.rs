@@ -5,7 +5,7 @@ use crate::features::Featurizer;
 use crate::nb::NaiveBayes;
 use crate::train::LabeledLine;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Per-class metrics.
@@ -89,7 +89,11 @@ impl EvalReport {
             self.examples,
             self.macro_f1()
         );
-        let _ = writeln!(out, "  {:<22} {:>6} {:>8} {:>8} {:>8}", "class", "n", "prec", "recall", "F1");
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>6} {:>8} {:>8} {:>8}",
+            "class", "n", "prec", "recall", "F1"
+        );
         for (label, m) in &self.per_class {
             let _ = writeln!(
                 out,
@@ -106,13 +110,9 @@ impl EvalReport {
 }
 
 /// Evaluate a trained model against labeled examples.
-pub fn evaluate(
-    model: &NaiveBayes,
-    featurizer: &Featurizer,
-    test: &[&LabeledLine],
-) -> EvalReport {
+pub fn evaluate(model: &NaiveBayes, featurizer: &Featurizer, test: &[&LabeledLine]) -> EvalReport {
     let mut correct = 0usize;
-    let mut per_class: HashMap<String, ClassMetrics> = HashMap::new();
+    let mut per_class: BTreeMap<String, ClassMetrics> = BTreeMap::new();
     for example in test {
         let predicted = model
             .predict(&featurizer.featurize(&example.text))
@@ -128,7 +128,11 @@ pub fn evaluate(
     }
     let mut per_class: Vec<(String, ClassMetrics)> = per_class.into_iter().collect();
     per_class.sort_by(|a, b| a.0.cmp(&b.0));
-    EvalReport { examples: test.len(), correct, per_class }
+    EvalReport {
+        examples: test.len(),
+        correct,
+        per_class,
+    }
 }
 
 /// Train a naive-Bayes student on `train` examples.
@@ -145,7 +149,11 @@ mod tests {
     use super::*;
 
     fn line(text: &str, label: &str) -> LabeledLine {
-        LabeledLine { text: text.into(), label: label.into(), domain: "d.com".into() }
+        LabeledLine {
+            text: text.into(),
+            label: label.into(),
+            domain: "d.com".into(),
+        }
     }
 
     #[test]
@@ -167,7 +175,11 @@ mod tests {
 
     #[test]
     fn metrics_count_errors() {
-        let m = ClassMetrics { tp: 8, fp: 2, fn_: 2 };
+        let m = ClassMetrics {
+            tp: 8,
+            fp: 2,
+            fn_: 2,
+        };
         assert!((m.precision() - 0.8).abs() < 1e-9);
         assert!((m.recall() - 0.8).abs() < 1e-9);
         assert!((m.f1() - 0.8).abs() < 1e-9);

@@ -5,10 +5,11 @@
 //! to be stored or synchronized between training and inference.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-/// A sparse feature vector: feature index → count.
-pub type FeatureVector = HashMap<u32, f64>;
+/// A sparse feature vector: feature index → count. Ordered so that
+/// accumulating floats from it is reproducible across processes.
+pub type FeatureVector = BTreeMap<u32, f64>;
 
 /// Configurable featurizer: hashed unigrams + bigrams.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -21,14 +22,20 @@ pub struct Featurizer {
 
 impl Default for Featurizer {
     fn default() -> Self {
-        Featurizer { dimensions: 1 << 18, bigrams: true }
+        Featurizer {
+            dimensions: 1 << 18,
+            bigrams: true,
+        }
     }
 }
 
 impl Featurizer {
     /// A smaller feature space (for tests and quick experiments).
     pub fn small() -> Featurizer {
-        Featurizer { dimensions: 1 << 12, bigrams: true }
+        Featurizer {
+            dimensions: 1 << 12,
+            bigrams: true,
+        }
     }
 
     /// Featurize one line of text.
@@ -81,7 +88,10 @@ mod tests {
 
     #[test]
     fn tokenize_basics() {
-        assert_eq!(tokenize("We RETAIN your data!"), vec!["we", "retain", "your", "data"]);
+        assert_eq!(
+            tokenize("We RETAIN your data!"),
+            vec!["we", "retain", "your", "data"]
+        );
         assert_eq!(tokenize("opt-out, don't"), vec!["opt-out", "don't"]);
         assert!(tokenize("  !!!  ").is_empty());
     }
@@ -98,13 +108,19 @@ mod tests {
     #[test]
     fn featurize_is_deterministic() {
         let f = Featurizer::default();
-        assert_eq!(f.featurize("retain your data"), f.featurize("retain your data"));
+        assert_eq!(
+            f.featurize("retain your data"),
+            f.featurize("retain your data")
+        );
     }
 
     #[test]
     fn different_texts_differ() {
         let f = Featurizer::default();
-        assert_ne!(f.featurize("opt out via link"), f.featurize("delete your account"));
+        assert_ne!(
+            f.featurize("opt out via link"),
+            f.featurize("delete your account")
+        );
     }
 
     #[test]
@@ -117,7 +133,10 @@ mod tests {
 
     #[test]
     fn unigram_only_mode() {
-        let uni = Featurizer { dimensions: 1 << 12, bigrams: false };
+        let uni = Featurizer {
+            dimensions: 1 << 12,
+            bigrams: false,
+        };
         let v = uni.featurize("alpha beta gamma");
         let total: f64 = v.values().sum();
         assert_eq!(total, 3.0);

@@ -2,7 +2,7 @@
 
 use crate::features::FeatureVector;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A trained multinomial naive-Bayes classifier over string class labels.
 ///
@@ -29,29 +29,34 @@ struct ClassState {
     label: String,
     document_count: u64,
     total_feature_mass: f64,
-    feature_mass: HashMap<u32, f64>,
+    feature_mass: BTreeMap<u32, f64>,
 }
 
 impl NaiveBayes {
     /// New untrained model.
     pub fn new(dimensions: u32) -> NaiveBayes {
-        NaiveBayes { alpha: 1.0, dimensions, classes: Vec::new() }
+        NaiveBayes {
+            alpha: 1.0,
+            dimensions,
+            classes: Vec::new(),
+        }
     }
 
     /// Add one training example.
     pub fn observe(&mut self, label: &str, features: &FeatureVector) {
-        let class = match self.classes.iter_mut().find(|c| c.label == label) {
-            Some(c) => c,
+        let idx = match self.classes.iter().position(|c| c.label == label) {
+            Some(i) => i,
             None => {
                 self.classes.push(ClassState {
                     label: label.to_string(),
                     document_count: 0,
                     total_feature_mass: 0.0,
-                    feature_mass: HashMap::new(),
+                    feature_mass: BTreeMap::new(),
                 });
-                self.classes.last_mut().expect("just pushed")
+                self.classes.len() - 1
             }
         };
+        let class = &mut self.classes[idx];
         class.document_count += 1;
         for (&f, &v) in features {
             class.total_feature_mass += v;
@@ -78,8 +83,7 @@ impl NaiveBayes {
                 let prior = (class.document_count as f64 + self.alpha)
                     / (total_docs as f64 + self.alpha * self.classes.len() as f64);
                 let mut score = prior.ln();
-                let denom =
-                    class.total_feature_mass + self.alpha * self.dimensions as f64;
+                let denom = class.total_feature_mass + self.alpha * self.dimensions as f64;
                 for (&f, &v) in features {
                     let mass = class.feature_mass.get(&f).copied().unwrap_or(0.0);
                     score += v * ((mass + self.alpha) / denom).ln();
@@ -93,7 +97,7 @@ impl NaiveBayes {
     pub fn predict(&self, features: &FeatureVector) -> Option<&str> {
         self.log_scores(features)
             .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(label, _)| label)
     }
 
@@ -103,7 +107,10 @@ impl NaiveBayes {
         if scores.is_empty() {
             return Vec::new();
         }
-        let max = scores.iter().map(|(_, s)| *s).fold(f64::NEG_INFINITY, f64::max);
+        let max = scores
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = scores.iter().map(|(_, s)| (s - max).exp()).collect();
         let total: f64 = exps.iter().sum();
         scores
@@ -153,8 +160,14 @@ mod tests {
     fn learns_separable_classes() {
         let (nb, f) = train_toy();
         assert_eq!(nb.class_count(), 2);
-        assert_eq!(nb.predict(&f.featurize("data is retained for five years")), Some("handling"));
-        assert_eq!(nb.predict(&f.featurize("opt out or delete your account")), Some("rights"));
+        assert_eq!(
+            nb.predict(&f.featurize("data is retained for five years")),
+            Some("handling")
+        );
+        assert_eq!(
+            nb.predict(&f.featurize("opt out or delete your account")),
+            Some("rights")
+        );
     }
 
     #[test]

@@ -171,20 +171,39 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = FaultInjector::new(1, FaultConfig { connect_failure: 0.5, ..FaultConfig::none() });
-        let b = FaultInjector::new(2, FaultConfig { connect_failure: 0.5, ..FaultConfig::none() });
+        let a = FaultInjector::new(
+            1,
+            FaultConfig {
+                connect_failure: 0.5,
+                ..FaultConfig::none()
+            },
+        );
+        let b = FaultInjector::new(
+            2,
+            FaultConfig {
+                connect_failure: 0.5,
+                ..FaultConfig::none()
+            },
+        );
         let diff = (0..200)
             .filter(|i| {
                 let d = format!("x{i}.com");
                 a.fate(&d) != b.fate(&d)
             })
             .count();
-        assert!(diff > 20, "seeds should produce different fates, diff={diff}");
+        assert!(
+            diff > 20,
+            "seeds should produce different fates, diff={diff}"
+        );
     }
 
     #[test]
     fn latency_within_bounds_and_stable() {
-        let cfg = FaultConfig { base_latency_ms: 100, jitter_ms: 50, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            base_latency_ms: 100,
+            jitter_ms: 50,
+            ..FaultConfig::none()
+        };
         let inj = FaultInjector::new(3, cfg);
         for i in 0..100 {
             let l = inj.latency_ms("a.com", &format!("/p{i}"));

@@ -2,7 +2,7 @@
 
 use crate::http::{Request, Response};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// A website: maps requests to responses.
@@ -26,7 +26,7 @@ where
 /// A static site: a path → response table with a 404 fallback.
 #[derive(Default)]
 pub struct StaticSite {
-    pages: HashMap<String, Response>,
+    pages: BTreeMap<String, Response>,
 }
 
 impl StaticSite {
@@ -139,24 +139,36 @@ mod tests {
         let site = StaticSite::new()
             .page("/", Response::html("<p>home</p>"))
             .page("/privacy", Response::html("<p>policy</p>"));
-        assert_eq!(site.handle(&req("https://a.com/")).body_text(), "<p>home</p>");
+        assert_eq!(
+            site.handle(&req("https://a.com/")).body_text(),
+            "<p>home</p>"
+        );
         assert_eq!(
             site.handle(&req("https://a.com/privacy")).body_text(),
             "<p>policy</p>"
         );
-        assert_eq!(site.handle(&req("https://a.com/none")).status, Status::NOT_FOUND);
+        assert_eq!(
+            site.handle(&req("https://a.com/none")).status,
+            Status::NOT_FOUND
+        );
     }
 
     #[test]
     fn static_site_normalizes_trailing_slash() {
         let site = StaticSite::new().page("/privacy/", Response::html("x"));
-        assert!(site.handle(&req("https://a.com/privacy")).status.is_success());
+        assert!(site
+            .handle(&req("https://a.com/privacy"))
+            .status
+            .is_success());
     }
 
     #[test]
     fn internet_resolves_with_and_without_www() {
         let net = Internet::new();
-        net.register("acme.com", StaticSite::new().page("/", Response::html("hi")));
+        net.register(
+            "acme.com",
+            StaticSite::new().page("/", Response::html("hi")),
+        );
         assert!(net.resolve("acme.com").is_some());
         assert!(net.resolve("WWW.ACME.COM").is_some());
         assert!(net.resolve("other.com").is_none());
@@ -170,7 +182,10 @@ mod tests {
             Response::html(format!("<p>{}</p>", r.url.path))
         });
         let host = net.resolve("echo.com").unwrap();
-        assert_eq!(host.handle(&req("https://echo.com/abc")).body_text(), "<p>/abc</p>");
+        assert_eq!(
+            host.handle(&req("https://echo.com/abc")).body_text(),
+            "<p>/abc</p>"
+        );
     }
 
     #[test]
@@ -178,6 +193,9 @@ mod tests {
         let net = Internet::new();
         net.register("b.com", StaticSite::new());
         net.register("a.com", StaticSite::new());
-        assert_eq!(net.domains(), vec!["a.com".to_string(), "b.com".to_string()]);
+        assert_eq!(
+            net.domains(),
+            vec!["a.com".to_string(), "b.com".to_string()]
+        );
     }
 }

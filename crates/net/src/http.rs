@@ -82,7 +82,10 @@ pub struct Request {
 impl Request {
     /// A GET request with the crawler's default user agent.
     pub fn get(url: Url) -> Request {
-        Request { url, user_agent: "aipan-crawler/0.1 (headless)".to_string() }
+        Request {
+            url,
+            user_agent: "aipan-crawler/0.1 (headless)".to_string(),
+        }
     }
 }
 

@@ -213,7 +213,10 @@ mod tests {
     #[test]
     fn fetch_success() {
         let net = Internet::new();
-        net.register("a.com", StaticSite::new().page("/", Response::html("<p>hi</p>")));
+        net.register(
+            "a.com",
+            StaticSite::new().page("/", Response::html("<p>hi</p>")),
+        );
         let client = no_fault_client(net);
         let res = client.fetch(&url("https://a.com/")).unwrap();
         assert_eq!(res.response.status, Status::OK);
@@ -268,7 +271,10 @@ mod tests {
     fn blocked_domain_serves_403() {
         let net = Internet::new();
         net.register("a.com", StaticSite::new().page("/", Response::html("x")));
-        let cfg = FaultConfig { block_crawlers: 1.0, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            block_crawlers: 1.0,
+            ..FaultConfig::none()
+        };
         let client = Client::new(net, FaultInjector::new(0, cfg));
         let res = client.fetch(&url("https://a.com/")).unwrap();
         assert_eq!(res.response.status, Status::FORBIDDEN);
@@ -278,7 +284,10 @@ mod tests {
     fn timeout_domain_errors() {
         let net = Internet::new();
         net.register("a.com", StaticSite::new());
-        let cfg = FaultConfig { timeout: 1.0, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            timeout: 1.0,
+            ..FaultConfig::none()
+        };
         let client = Client::new(net, FaultInjector::new(0, cfg));
         assert!(matches!(
             client.fetch(&url("https://a.com/")),
@@ -294,7 +303,10 @@ mod tests {
             "old.com",
             StaticSite::new().page("/", Response::redirect(Status::FOUND, "https://new.com/p")),
         );
-        net.register("new.com", StaticSite::new().page("/p", Response::html("moved")));
+        net.register(
+            "new.com",
+            StaticSite::new().page("/p", Response::html("moved")),
+        );
         let client = no_fault_client(net);
         let res = client.fetch(&url("https://old.com/")).unwrap();
         assert_eq!(res.final_url.host, "new.com");
@@ -311,7 +323,11 @@ mod tests {
                 .page("/hop1", Response::redirect(Status::FOUND, "/hop2"))
                 .page("/hop2", Response::html("done")),
         );
-        let cfg = FaultConfig { base_latency_ms: 100, jitter_ms: 0, ..FaultConfig::none() };
+        let cfg = FaultConfig {
+            base_latency_ms: 100,
+            jitter_ms: 0,
+            ..FaultConfig::none()
+        };
         let client = Client::new(net, FaultInjector::new(0, cfg));
         let res = client.fetch(&url("https://a.com/")).unwrap();
         assert_eq!(res.redirects, 2);

@@ -83,7 +83,11 @@ impl Url {
         if host.is_empty() {
             return Err(UrlError::MissingHost);
         }
-        Ok(Url { scheme, host, path: normalize_path(path) })
+        Ok(Url {
+            scheme,
+            host,
+            path: normalize_path(path),
+        })
     }
 
     /// Resolve `reference` against this base URL. Handles absolute URLs,
@@ -278,10 +282,15 @@ mod tests {
     #[test]
     fn extension() {
         assert_eq!(
-            Url::parse("https://a.com/p/policy.pdf").unwrap().extension(),
+            Url::parse("https://a.com/p/policy.pdf")
+                .unwrap()
+                .extension(),
             Some("pdf".into())
         );
-        assert_eq!(Url::parse("https://a.com/p/policy").unwrap().extension(), None);
+        assert_eq!(
+            Url::parse("https://a.com/p/policy").unwrap().extension(),
+            None
+        );
         assert_eq!(Url::parse("https://a.com/").unwrap().extension(), None);
     }
 }

@@ -78,12 +78,9 @@ impl DataTypeMeta {
                 PhysicalCharacteristic,
                 FitnessHealth,
             ],
-            DataTypeMeta::FinancialLegalProfile => &[
-                FinancialInfo,
-                LegalInfo,
-                FinancialCapability,
-                InsuranceInfo,
-            ],
+            DataTypeMeta::FinancialLegalProfile => {
+                &[FinancialInfo, LegalInfo, FinancialCapability, InsuranceInfo]
+            }
             DataTypeMeta::PhysicalBehavior => &[
                 PreciseLocation,
                 ApproximateLocation,
@@ -105,9 +102,10 @@ impl DataTypeMeta {
         }
     }
 
-    /// Stable dense index (0..6).
+    /// Stable dense index (0..6); `ALL` lists variants in declaration
+    /// order, so the discriminant is the position (asserted in tests).
     pub fn index(self) -> usize {
-        DataTypeMeta::ALL.iter().position(|&m| m == self).expect("meta in ALL")
+        self as usize
     }
 }
 
@@ -241,8 +239,8 @@ impl DataTypeCategory {
         match self {
             ContactInfo | PersonalIdentifier | ProfessionalInfo | DemographicInfo
             | EducationalInfo | VehicleInfo => DataTypeMeta::PhysicalProfile,
-            DeviceInfo | OnlineIdentifier | AccountInfo | NetworkConnectivity
-            | SocialMediaData | ExternalData => DataTypeMeta::DigitalProfile,
+            DeviceInfo | OnlineIdentifier | AccountInfo | NetworkConnectivity | SocialMediaData
+            | ExternalData => DataTypeMeta::DigitalProfile,
             MedicalInfo | BiometricData | PhysicalCharacteristic | FitnessHealth => {
                 DataTypeMeta::BioHealthProfile
             }
@@ -252,9 +250,9 @@ impl DataTypeCategory {
             PreciseLocation | ApproximateLocation | TravelData | PhysicalInteraction => {
                 DataTypeMeta::PhysicalBehavior
             }
-            InternetUsage | TrackingData | ProductServiceUsage | TransactionInfo
-            | Preferences | ContentGeneration | CommunicationData | FeedbackData
-            | ContentConsumption | DiagnosticData => DataTypeMeta::DigitalBehavior,
+            InternetUsage | TrackingData | ProductServiceUsage | TransactionInfo | Preferences
+            | ContentGeneration | CommunicationData | FeedbackData | ContentConsumption
+            | DiagnosticData => DataTypeMeta::DigitalBehavior,
         }
     }
 
@@ -308,12 +306,10 @@ impl DataTypeCategory {
             .find(|c| c.name().to_ascii_lowercase() == lower)
     }
 
-    /// Stable dense index (0..34).
+    /// Stable dense index (0..34); `ALL` lists variants in declaration
+    /// order, so the discriminant is the position (asserted in tests).
     pub fn index(self) -> usize {
-        DataTypeCategory::ALL
-            .iter()
-            .position(|&c| c == self)
-            .expect("category in ALL")
+        self as usize
     }
 }
 
@@ -356,235 +352,1358 @@ macro_rules! dt {
 /// outside this vocabulary).
 pub static DATA_TYPE_DESCRIPTORS: &[DescriptorSpec] = &[
     // ---- Physical profile / Contact info ----
-    dt!("email address", ContactInfo, 27.3, ["e-mail address", "email", "electronic mail address"]),
-    dt!("postal address", ContactInfo, 25.6, ["mailing address", "home address", "street address", "physical address", "billing address", "shipping address"]),
-    dt!("phone number", ContactInfo, 25.1, ["telephone number", "mobile number", "cell phone number", "mobile phone number"]),
-    dt!("contact info", ContactInfo, 12.0, ["contact information", "contact details", "contact data"]),
+    dt!(
+        "email address",
+        ContactInfo,
+        27.3,
+        ["e-mail address", "email", "electronic mail address"]
+    ),
+    dt!(
+        "postal address",
+        ContactInfo,
+        25.6,
+        [
+            "mailing address",
+            "home address",
+            "street address",
+            "physical address",
+            "billing address",
+            "shipping address"
+        ]
+    ),
+    dt!(
+        "phone number",
+        ContactInfo,
+        25.1,
+        [
+            "telephone number",
+            "mobile number",
+            "cell phone number",
+            "mobile phone number"
+        ]
+    ),
+    dt!(
+        "contact info",
+        ContactInfo,
+        12.0,
+        ["contact information", "contact details", "contact data"]
+    ),
     dt!("fax number", ContactInfo, 4.0, ["facsimile number"]),
-    dt!("emergency contact", ContactInfo, 6.0, ["emergency contact details", "emergency contact information"]),
+    dt!(
+        "emergency contact",
+        ContactInfo,
+        6.0,
+        ["emergency contact details", "emergency contact information"]
+    ),
     // ---- Physical profile / Personal identifier ----
-    dt!("name", PersonalIdentifier, 31.0, ["full name", "first and last name", "legal name", "surname"]),
-    dt!("unique personal identifier", PersonalIdentifier, 11.7, ["unique identifier", "personal identifier", "customer id"]),
-    dt!("social security number", PersonalIdentifier, 8.6, ["ssn", "social security no"]),
-    dt!("date of birth", PersonalIdentifier, 8.0, ["birth date", "birthdate", "dob"]),
-    dt!("driver's license", PersonalIdentifier, 7.0, ["driver's license number", "drivers license", "driving license number"]),
-    dt!("passport", PersonalIdentifier, 5.5, ["passport number", "passport details"]),
-    dt!("government-issued identifier", PersonalIdentifier, 5.0, ["government id", "government identification number", "national id number", "state identification card"]),
-    dt!("birth certificate", PersonalIdentifier, 2.0, ["birth certificate details"]),
-    dt!("photograph", PersonalIdentifier, 4.0, ["photo id", "photographic identification"]),
+    dt!(
+        "name",
+        PersonalIdentifier,
+        31.0,
+        ["full name", "first and last name", "legal name", "surname"]
+    ),
+    dt!(
+        "unique personal identifier",
+        PersonalIdentifier,
+        11.7,
+        ["unique identifier", "personal identifier", "customer id"]
+    ),
+    dt!(
+        "social security number",
+        PersonalIdentifier,
+        8.6,
+        ["ssn", "social security no"]
+    ),
+    dt!(
+        "date of birth",
+        PersonalIdentifier,
+        8.0,
+        ["birth date", "birthdate", "dob"]
+    ),
+    dt!(
+        "driver's license",
+        PersonalIdentifier,
+        7.0,
+        [
+            "driver's license number",
+            "drivers license",
+            "driving license number"
+        ]
+    ),
+    dt!(
+        "passport",
+        PersonalIdentifier,
+        5.5,
+        ["passport number", "passport details"]
+    ),
+    dt!(
+        "government-issued identifier",
+        PersonalIdentifier,
+        5.0,
+        [
+            "government id",
+            "government identification number",
+            "national id number",
+            "state identification card"
+        ]
+    ),
+    dt!(
+        "birth certificate",
+        PersonalIdentifier,
+        2.0,
+        ["birth certificate details"]
+    ),
+    dt!(
+        "photograph",
+        PersonalIdentifier,
+        4.0,
+        ["photo id", "photographic identification"]
+    ),
     // ---- Physical profile / Professional info ----
-    dt!("employment history", ProfessionalInfo, 16.3, ["work history", "employment records", "employment background"]),
-    dt!("employer details", ProfessionalInfo, 10.8, ["employer name", "employer information", "company you work for"]),
-    dt!("job title", ProfessionalInfo, 10.5, ["position", "role", "occupation"]),
-    dt!("professional info", ProfessionalInfo, 9.0, ["professional information", "professional details", "employment-related information"]),
-    dt!("resume", ProfessionalInfo, 6.0, ["cv", "curriculum vitae", "resume details"]),
-    dt!("salary", ProfessionalInfo, 4.0, ["compensation", "salary information", "pay history"]),
-    dt!("professional certifications", ProfessionalInfo, 3.5, ["professional licenses", "certifications"]),
+    dt!(
+        "employment history",
+        ProfessionalInfo,
+        16.3,
+        [
+            "work history",
+            "employment records",
+            "employment background"
+        ]
+    ),
+    dt!(
+        "employer details",
+        ProfessionalInfo,
+        10.8,
+        [
+            "employer name",
+            "employer information",
+            "company you work for"
+        ]
+    ),
+    dt!(
+        "job title",
+        ProfessionalInfo,
+        10.5,
+        ["position", "role", "occupation"]
+    ),
+    dt!(
+        "professional info",
+        ProfessionalInfo,
+        9.0,
+        [
+            "professional information",
+            "professional details",
+            "employment-related information"
+        ]
+    ),
+    dt!(
+        "resume",
+        ProfessionalInfo,
+        6.0,
+        ["cv", "curriculum vitae", "resume details"]
+    ),
+    dt!(
+        "salary",
+        ProfessionalInfo,
+        4.0,
+        ["compensation", "salary information", "pay history"]
+    ),
+    dt!(
+        "professional certifications",
+        ProfessionalInfo,
+        3.5,
+        ["professional licenses", "certifications"]
+    ),
     // ---- Physical profile / Demographic info ----
     dt!("gender", DemographicInfo, 14.1, ["sex", "gender identity"]),
     dt!("age", DemographicInfo, 10.6, ["age range", "age group"]),
-    dt!("demographic info", DemographicInfo, 9.9, ["demographic information", "demographic data", "demographics"]),
-    dt!("ethnicity", DemographicInfo, 7.5, ["race", "racial or ethnic origin", "ethnic background"]),
+    dt!(
+        "demographic info",
+        DemographicInfo,
+        9.9,
+        [
+            "demographic information",
+            "demographic data",
+            "demographics"
+        ]
+    ),
+    dt!(
+        "ethnicity",
+        DemographicInfo,
+        7.5,
+        ["race", "racial or ethnic origin", "ethnic background"]
+    ),
     dt!("marital status", DemographicInfo, 6.0, ["family status"]),
-    dt!("citizenship", DemographicInfo, 5.0, ["citizenships held", "citizenship status", "nationality", "residency status"]),
-    dt!("household data", DemographicInfo, 4.0, ["household information", "household composition", "number of dependents"]),
-    dt!("language", DemographicInfo, 3.0, ["spoken language", "native language"]),
+    dt!(
+        "citizenship",
+        DemographicInfo,
+        5.0,
+        [
+            "citizenships held",
+            "citizenship status",
+            "nationality",
+            "residency status"
+        ]
+    ),
+    dt!(
+        "household data",
+        DemographicInfo,
+        4.0,
+        [
+            "household information",
+            "household composition",
+            "number of dependents"
+        ]
+    ),
+    dt!(
+        "language",
+        DemographicInfo,
+        3.0,
+        ["spoken language", "native language"]
+    ),
     // ---- Physical profile / Educational info ----
-    dt!("educational info", EducationalInfo, 30.7, ["educational information", "education details", "education history", "educational background"]),
-    dt!("schools attended", EducationalInfo, 6.4, ["institutions attended", "university attended"]),
-    dt!("degrees earned", EducationalInfo, 5.5, ["degrees", "qualifications", "diplomas"]),
-    dt!("academic records", EducationalInfo, 5.0, ["transcripts", "grades"]),
-    dt!("student status", EducationalInfo, 3.0, ["enrollment status"]),
+    dt!(
+        "educational info",
+        EducationalInfo,
+        30.7,
+        [
+            "educational information",
+            "education details",
+            "education history",
+            "educational background"
+        ]
+    ),
+    dt!(
+        "schools attended",
+        EducationalInfo,
+        6.4,
+        ["institutions attended", "university attended"]
+    ),
+    dt!(
+        "degrees earned",
+        EducationalInfo,
+        5.5,
+        ["degrees", "qualifications", "diplomas"]
+    ),
+    dt!(
+        "academic records",
+        EducationalInfo,
+        5.0,
+        ["transcripts", "grades"]
+    ),
+    dt!(
+        "student status",
+        EducationalInfo,
+        3.0,
+        ["enrollment status"]
+    ),
     // ---- Physical profile / Vehicle info ----
-    dt!("vehicle info", VehicleInfo, 14.3, ["vehicle information", "vehicle details", "vehicle data"]),
+    dt!(
+        "vehicle info",
+        VehicleInfo,
+        14.3,
+        ["vehicle information", "vehicle details", "vehicle data"]
+    ),
     dt!("vin", VehicleInfo, 10.2, ["vehicle identification number"]),
-    dt!("vehicle registration", VehicleInfo, 5.6, ["registration details", "vehicle registration number"]),
-    dt!("license plate number", VehicleInfo, 5.0, ["license plate", "number plate"]),
-    dt!("vehicle telematics", VehicleInfo, 3.0, ["driving behavior data", "odometer reading"]),
+    dt!(
+        "vehicle registration",
+        VehicleInfo,
+        5.6,
+        ["registration details", "vehicle registration number"]
+    ),
+    dt!(
+        "license plate number",
+        VehicleInfo,
+        5.0,
+        ["license plate", "number plate"]
+    ),
+    dt!(
+        "vehicle telematics",
+        VehicleInfo,
+        3.0,
+        ["driving behavior data", "odometer reading"]
+    ),
     // ---- Digital profile / Device info ----
-    dt!("browser type", DeviceInfo, 22.4, ["type of browser", "browser version", "type of browser software", "web browser type"]),
-    dt!("operating system", DeviceInfo, 15.6, ["type of operating system", "os version", "operating system version"]),
-    dt!("device identifier", DeviceInfo, 12.9, ["device id", "unique device identifier", "device serial number"]),
-    dt!("device type", DeviceInfo, 9.0, ["type of device", "device model", "hardware model"]),
-    dt!("device settings", DeviceInfo, 5.0, ["device configuration", "device attributes"]),
-    dt!("screen resolution", DeviceInfo, 3.5, ["display size", "screen size"]),
-    dt!("device info", DeviceInfo, 8.0, ["device information", "device data", "information about your device"]),
+    dt!(
+        "browser type",
+        DeviceInfo,
+        22.4,
+        [
+            "type of browser",
+            "browser version",
+            "type of browser software",
+            "web browser type"
+        ]
+    ),
+    dt!(
+        "operating system",
+        DeviceInfo,
+        15.6,
+        [
+            "type of operating system",
+            "os version",
+            "operating system version"
+        ]
+    ),
+    dt!(
+        "device identifier",
+        DeviceInfo,
+        12.9,
+        [
+            "device id",
+            "unique device identifier",
+            "device serial number"
+        ]
+    ),
+    dt!(
+        "device type",
+        DeviceInfo,
+        9.0,
+        ["type of device", "device model", "hardware model"]
+    ),
+    dt!(
+        "device settings",
+        DeviceInfo,
+        5.0,
+        ["device configuration", "device attributes"]
+    ),
+    dt!(
+        "screen resolution",
+        DeviceInfo,
+        3.5,
+        ["display size", "screen size"]
+    ),
+    dt!(
+        "device info",
+        DeviceInfo,
+        8.0,
+        [
+            "device information",
+            "device data",
+            "information about your device"
+        ]
+    ),
     // ---- Digital profile / Online identifier ----
-    dt!("ip address", OnlineIdentifier, 65.5, ["internet protocol address", "internet address", "ip addresses"]),
-    dt!("online identifier", OnlineIdentifier, 9.1, ["online identifiers", "digital identifier"]),
+    dt!(
+        "ip address",
+        OnlineIdentifier,
+        65.5,
+        [
+            "internet protocol address",
+            "internet address",
+            "ip addresses"
+        ]
+    ),
+    dt!(
+        "online identifier",
+        OnlineIdentifier,
+        9.1,
+        ["online identifiers", "digital identifier"]
+    ),
     dt!("domain name", OnlineIdentifier, 3.9, ["domain"]),
-    dt!("mac address", OnlineIdentifier, 3.0, ["media access control address"]),
-    dt!("advertising identifier", OnlineIdentifier, 4.0, ["advertising id", "mobile advertising identifier", "idfa"]),
+    dt!(
+        "mac address",
+        OnlineIdentifier,
+        3.0,
+        ["media access control address"]
+    ),
+    dt!(
+        "advertising identifier",
+        OnlineIdentifier,
+        4.0,
+        ["advertising id", "mobile advertising identifier", "idfa"]
+    ),
     // ---- Digital profile / Account info ----
-    dt!("username", AccountInfo, 30.1, ["user name", "user id", "login name", "screen name"]),
-    dt!("password", AccountInfo, 19.1, ["passwords", "account password"]),
-    dt!("account info", AccountInfo, 9.0, ["account information", "account details", "account data"]),
-    dt!("account number", AccountInfo, 6.0, ["membership number", "customer number"]),
-    dt!("security questions", AccountInfo, 4.0, ["security question answers", "password hints"]),
-    dt!("login credentials", AccountInfo, 5.0, ["login information", "sign-in information", "login details"]),
+    dt!(
+        "username",
+        AccountInfo,
+        30.1,
+        ["user name", "user id", "login name", "screen name"]
+    ),
+    dt!(
+        "password",
+        AccountInfo,
+        19.1,
+        ["passwords", "account password"]
+    ),
+    dt!(
+        "account info",
+        AccountInfo,
+        9.0,
+        ["account information", "account details", "account data"]
+    ),
+    dt!(
+        "account number",
+        AccountInfo,
+        6.0,
+        ["membership number", "customer number"]
+    ),
+    dt!(
+        "security questions",
+        AccountInfo,
+        4.0,
+        ["security question answers", "password hints"]
+    ),
+    dt!(
+        "login credentials",
+        AccountInfo,
+        5.0,
+        ["login information", "sign-in information", "login details"]
+    ),
     // ---- Digital profile / Network connectivity ----
-    dt!("isp", NetworkConnectivity, 21.6, ["internet service provider", "internet provider"]),
-    dt!("internet connection", NetworkConnectivity, 17.3, ["connection type", "connection information"]),
-    dt!("network traffic", NetworkConnectivity, 8.0, ["traffic data", "network activity"]),
-    dt!("wifi network", NetworkConnectivity, 5.0, ["wi-fi network information", "wireless network"]),
+    dt!(
+        "isp",
+        NetworkConnectivity,
+        21.6,
+        ["internet service provider", "internet provider"]
+    ),
+    dt!(
+        "internet connection",
+        NetworkConnectivity,
+        17.3,
+        ["connection type", "connection information"]
+    ),
+    dt!(
+        "network traffic",
+        NetworkConnectivity,
+        8.0,
+        ["traffic data", "network activity"]
+    ),
+    dt!(
+        "wifi network",
+        NetworkConnectivity,
+        5.0,
+        ["wi-fi network information", "wireless network"]
+    ),
     dt!("connection speed", NetworkConnectivity, 4.0, ["bandwidth"]),
     // ---- Digital profile / Social media data ----
-    dt!("social media handle", SocialMediaData, 23.4, ["social media username", "social media account name", "social media profile"]),
-    dt!("profile picture", SocialMediaData, 19.1, ["profile photo", "avatar"]),
-    dt!("social media data", SocialMediaData, 9.4, ["social media information", "social network data", "social media content"]),
-    dt!("friends list", SocialMediaData, 4.0, ["contact list", "connections", "followers"]),
-    dt!("social media posts", SocialMediaData, 4.0, ["shares", "likes", "social posts"]),
+    dt!(
+        "social media handle",
+        SocialMediaData,
+        23.4,
+        [
+            "social media username",
+            "social media account name",
+            "social media profile"
+        ]
+    ),
+    dt!(
+        "profile picture",
+        SocialMediaData,
+        19.1,
+        ["profile photo", "avatar"]
+    ),
+    dt!(
+        "social media data",
+        SocialMediaData,
+        9.4,
+        [
+            "social media information",
+            "social network data",
+            "social media content"
+        ]
+    ),
+    dt!(
+        "friends list",
+        SocialMediaData,
+        4.0,
+        ["contact list", "connections", "followers"]
+    ),
+    dt!(
+        "social media posts",
+        SocialMediaData,
+        4.0,
+        ["shares", "likes", "social posts"]
+    ),
     // ---- Digital profile / External data ----
-    dt!("third-party data", ExternalData, 24.8, ["data from third parties", "information from third parties", "third party sources"]),
-    dt!("data from partners", ExternalData, 17.2, ["partner data", "information from business partners"]),
-    dt!("inferences", ExternalData, 5.6, ["inferred data", "derived data", "inferences drawn"]),
-    dt!("public records data", ExternalData, 5.0, ["publicly available information", "public sources"]),
-    dt!("data broker data", ExternalData, 4.0, ["data from data brokers"]),
+    dt!(
+        "third-party data",
+        ExternalData,
+        24.8,
+        [
+            "data from third parties",
+            "information from third parties",
+            "third party sources"
+        ]
+    ),
+    dt!(
+        "data from partners",
+        ExternalData,
+        17.2,
+        ["partner data", "information from business partners"]
+    ),
+    dt!(
+        "inferences",
+        ExternalData,
+        5.6,
+        ["inferred data", "derived data", "inferences drawn"]
+    ),
+    dt!(
+        "public records data",
+        ExternalData,
+        5.0,
+        ["publicly available information", "public sources"]
+    ),
+    dt!(
+        "data broker data",
+        ExternalData,
+        4.0,
+        ["data from data brokers"]
+    ),
     // ---- Bio/health profile / Medical info ----
-    dt!("medical info", MedicalInfo, 14.7, ["medical information", "health information", "health data", "medical data"]),
-    dt!("medical conditions", MedicalInfo, 10.1, ["health conditions", "diagnoses", "illnesses"]),
-    dt!("disability status", MedicalInfo, 4.3, ["disability information", "disabilities"]),
-    dt!("medical history", MedicalInfo, 4.0, ["health history", "medical records"]),
-    dt!("prescription info", MedicalInfo, 3.5, ["medications", "prescription information", "prescriptions"]),
-    dt!("mental health info", MedicalInfo, 2.5, ["mental health information"]),
-    dt!("vaccination status", MedicalInfo, 2.0, ["immunization records"]),
+    dt!(
+        "medical info",
+        MedicalInfo,
+        14.7,
+        [
+            "medical information",
+            "health information",
+            "health data",
+            "medical data"
+        ]
+    ),
+    dt!(
+        "medical conditions",
+        MedicalInfo,
+        10.1,
+        ["health conditions", "diagnoses", "illnesses"]
+    ),
+    dt!(
+        "disability status",
+        MedicalInfo,
+        4.3,
+        ["disability information", "disabilities"]
+    ),
+    dt!(
+        "medical history",
+        MedicalInfo,
+        4.0,
+        ["health history", "medical records"]
+    ),
+    dt!(
+        "prescription info",
+        MedicalInfo,
+        3.5,
+        ["medications", "prescription information", "prescriptions"]
+    ),
+    dt!(
+        "mental health info",
+        MedicalInfo,
+        2.5,
+        ["mental health information"]
+    ),
+    dt!(
+        "vaccination status",
+        MedicalInfo,
+        2.0,
+        ["immunization records"]
+    ),
     // ---- Bio/health profile / Biometric data ----
-    dt!("biometric data", BiometricData, 25.0, ["biometric information", "biometric identifiers", "biometrics"]),
-    dt!("facial data", BiometricData, 12.6, ["face geometry", "facial recognition data", "facial images", "faceprint"]),
-    dt!("fingerprint", BiometricData, 10.9, ["fingerprints", "palm prints or fingerprints"]),
-    dt!("voice print", BiometricData, 6.0, ["voice prints", "voiceprint", "voice recognition data"]),
-    dt!("retina scan", BiometricData, 4.0, ["imagery of the iris or retina", "retina or iris scan"]),
+    dt!(
+        "biometric data",
+        BiometricData,
+        25.0,
+        [
+            "biometric information",
+            "biometric identifiers",
+            "biometrics"
+        ]
+    ),
+    dt!(
+        "facial data",
+        BiometricData,
+        12.6,
+        [
+            "face geometry",
+            "facial recognition data",
+            "facial images",
+            "faceprint"
+        ]
+    ),
+    dt!(
+        "fingerprint",
+        BiometricData,
+        10.9,
+        ["fingerprints", "palm prints or fingerprints"]
+    ),
+    dt!(
+        "voice print",
+        BiometricData,
+        6.0,
+        ["voice prints", "voiceprint", "voice recognition data"]
+    ),
+    dt!(
+        "retina scan",
+        BiometricData,
+        4.0,
+        ["imagery of the iris or retina", "retina or iris scan"]
+    ),
     dt!("iris scan", BiometricData, 3.0, ["iris imagery"]),
     // ---- Bio/health profile / Physical characteristic ----
-    dt!("physical characteristics", PhysicalCharacteristic, 46.6, ["physical description", "physical attributes", "physical appearance"]),
+    dt!(
+        "physical characteristics",
+        PhysicalCharacteristic,
+        46.6,
+        [
+            "physical description",
+            "physical attributes",
+            "physical appearance"
+        ]
+    ),
     dt!("weight", PhysicalCharacteristic, 7.3, []),
     dt!("height", PhysicalCharacteristic, 6.3, []),
     dt!("hair color", PhysicalCharacteristic, 3.0, ["hair colour"]),
     dt!("eye color", PhysicalCharacteristic, 3.0, ["eye colour"]),
     // ---- Bio/health profile / Fitness & health ----
-    dt!("physical activity info", FitnessHealth, 25.0, ["activity data", "exercise data", "physical activity information"]),
+    dt!(
+        "physical activity info",
+        FitnessHealth,
+        25.0,
+        [
+            "activity data",
+            "exercise data",
+            "physical activity information"
+        ]
+    ),
     dt!("sleep patterns", FitnessHealth, 17.3, ["sleep data"]),
-    dt!("health metrics", FitnessHealth, 3.8, ["wellness metrics", "vital signs"]),
+    dt!(
+        "health metrics",
+        FitnessHealth,
+        3.8,
+        ["wellness metrics", "vital signs"]
+    ),
     dt!("heart rate", FitnessHealth, 3.0, ["pulse"]),
     dt!("step count", FitnessHealth, 3.0, ["steps taken"]),
     // ---- Financial/legal / Financial info ----
-    dt!("payment card info", FinancialInfo, 25.6, ["credit card number", "debit card number", "card details", "payment card information", "credit or debit card information"]),
-    dt!("financial info", FinancialInfo, 15.3, ["financial information", "financial data", "financial details"]),
-    dt!("bank account info", FinancialInfo, 14.7, ["bank account number", "bank details", "banking information", "routing number"]),
-    dt!("billing info", FinancialInfo, 7.0, ["billing information", "billing details"]),
-    dt!("tax id", FinancialInfo, 4.0, ["tax identification number", "taxpayer id", "tax information"]),
-    dt!("investment info", FinancialInfo, 3.5, ["investment information", "portfolio holdings", "brokerage information"]),
+    dt!(
+        "payment card info",
+        FinancialInfo,
+        25.6,
+        [
+            "credit card number",
+            "debit card number",
+            "card details",
+            "payment card information",
+            "credit or debit card information"
+        ]
+    ),
+    dt!(
+        "financial info",
+        FinancialInfo,
+        15.3,
+        [
+            "financial information",
+            "financial data",
+            "financial details"
+        ]
+    ),
+    dt!(
+        "bank account info",
+        FinancialInfo,
+        14.7,
+        [
+            "bank account number",
+            "bank details",
+            "banking information",
+            "routing number"
+        ]
+    ),
+    dt!(
+        "billing info",
+        FinancialInfo,
+        7.0,
+        ["billing information", "billing details"]
+    ),
+    dt!(
+        "tax id",
+        FinancialInfo,
+        4.0,
+        [
+            "tax identification number",
+            "taxpayer id",
+            "tax information"
+        ]
+    ),
+    dt!(
+        "investment info",
+        FinancialInfo,
+        3.5,
+        [
+            "investment information",
+            "portfolio holdings",
+            "brokerage information"
+        ]
+    ),
     // ---- Financial/legal / Legal info ----
-    dt!("signature", LegalInfo, 21.2, ["electronic signature", "signatures"]),
-    dt!("background checks", LegalInfo, 9.8, ["background check results", "background screening"]),
-    dt!("criminal records", LegalInfo, 7.2, ["criminal history", "criminal convictions", "criminal background"]),
-    dt!("litigation history", LegalInfo, 4.0, ["legal proceedings", "court records"]),
-    dt!("legal claims", LegalInfo, 3.5, ["claims information", "legal disputes"]),
+    dt!(
+        "signature",
+        LegalInfo,
+        21.2,
+        ["electronic signature", "signatures"]
+    ),
+    dt!(
+        "background checks",
+        LegalInfo,
+        9.8,
+        ["background check results", "background screening"]
+    ),
+    dt!(
+        "criminal records",
+        LegalInfo,
+        7.2,
+        [
+            "criminal history",
+            "criminal convictions",
+            "criminal background"
+        ]
+    ),
+    dt!(
+        "litigation history",
+        LegalInfo,
+        4.0,
+        ["legal proceedings", "court records"]
+    ),
+    dt!(
+        "legal claims",
+        LegalInfo,
+        3.5,
+        ["claims information", "legal disputes"]
+    ),
     // ---- Financial/legal / Financial capability ----
-    dt!("income", FinancialCapability, 17.6, ["income level", "income information", "earnings", "household income"]),
-    dt!("credit history", FinancialCapability, 13.9, ["credit records", "credit information", "credit reports"]),
-    dt!("credit score", FinancialCapability, 7.6, ["credit rating", "credit worthiness"]),
-    dt!("assets", FinancialCapability, 5.0, ["asset information", "property owned"]),
-    dt!("liabilities", FinancialCapability, 3.0, ["debts", "outstanding loans"]),
-    dt!("net worth", FinancialCapability, 3.0, ["net worth information"]),
-    dt!("student loan information", FinancialCapability, 2.0, ["student loan financial information", "student loans"]),
+    dt!(
+        "income",
+        FinancialCapability,
+        17.6,
+        [
+            "income level",
+            "income information",
+            "earnings",
+            "household income"
+        ]
+    ),
+    dt!(
+        "credit history",
+        FinancialCapability,
+        13.9,
+        ["credit records", "credit information", "credit reports"]
+    ),
+    dt!(
+        "credit score",
+        FinancialCapability,
+        7.6,
+        ["credit rating", "credit worthiness"]
+    ),
+    dt!(
+        "assets",
+        FinancialCapability,
+        5.0,
+        ["asset information", "property owned"]
+    ),
+    dt!(
+        "liabilities",
+        FinancialCapability,
+        3.0,
+        ["debts", "outstanding loans"]
+    ),
+    dt!(
+        "net worth",
+        FinancialCapability,
+        3.0,
+        ["net worth information"]
+    ),
+    dt!(
+        "student loan information",
+        FinancialCapability,
+        2.0,
+        ["student loan financial information", "student loans"]
+    ),
     // ---- Financial/legal / Insurance info ----
-    dt!("health insurance", InsuranceInfo, 29.2, ["health insurance information", "health plan details", "health insurance policy"]),
-    dt!("insurance policy number", InsuranceInfo, 19.5, ["policy number", "insurance policy details"]),
-    dt!("insurance info", InsuranceInfo, 9.7, ["insurance information", "insurance details", "insurance data"]),
-    dt!("insurance claims", InsuranceInfo, 5.0, ["claims history", "insurance claim information"]),
-    dt!("coverage details", InsuranceInfo, 3.5, ["coverage information", "benefits information"]),
+    dt!(
+        "health insurance",
+        InsuranceInfo,
+        29.2,
+        [
+            "health insurance information",
+            "health plan details",
+            "health insurance policy"
+        ]
+    ),
+    dt!(
+        "insurance policy number",
+        InsuranceInfo,
+        19.5,
+        ["policy number", "insurance policy details"]
+    ),
+    dt!(
+        "insurance info",
+        InsuranceInfo,
+        9.7,
+        [
+            "insurance information",
+            "insurance details",
+            "insurance data"
+        ]
+    ),
+    dt!(
+        "insurance claims",
+        InsuranceInfo,
+        5.0,
+        ["claims history", "insurance claim information"]
+    ),
+    dt!(
+        "coverage details",
+        InsuranceInfo,
+        3.5,
+        ["coverage information", "benefits information"]
+    ),
     // ---- Physical behavior / Precise location ----
-    dt!("gps location", PreciseLocation, 54.8, ["gps coordinates", "latitude and longitude coordinates", "gps data", "satellite location"]),
-    dt!("precise location", PreciseLocation, 13.0, ["precise geolocation", "exact location", "precise location data"]),
-    dt!("device location", PreciseLocation, 4.1, ["location of your device", "mobile device location"]),
-    dt!("geolocation coordinates", PreciseLocation, 3.5, ["geolocation data", "geo-location information"]),
-    dt!("real-time location", PreciseLocation, 3.0, ["live location"]),
+    dt!(
+        "gps location",
+        PreciseLocation,
+        54.8,
+        [
+            "gps coordinates",
+            "latitude and longitude coordinates",
+            "gps data",
+            "satellite location"
+        ]
+    ),
+    dt!(
+        "precise location",
+        PreciseLocation,
+        13.0,
+        [
+            "precise geolocation",
+            "exact location",
+            "precise location data"
+        ]
+    ),
+    dt!(
+        "device location",
+        PreciseLocation,
+        4.1,
+        ["location of your device", "mobile device location"]
+    ),
+    dt!(
+        "geolocation coordinates",
+        PreciseLocation,
+        3.5,
+        ["geolocation data", "geo-location information"]
+    ),
+    dt!(
+        "real-time location",
+        PreciseLocation,
+        3.0,
+        ["live location"]
+    ),
     // ---- Physical behavior / Approximate location ----
-    dt!("country", ApproximateLocation, 18.7, ["country of residence", "country location"]),
-    dt!("zip code", ApproximateLocation, 18.0, ["postal code", "zip/postal code"]),
-    dt!("approximate location", ApproximateLocation, 17.6, ["general location", "coarse location", "approximate geolocation"]),
-    dt!("city", ApproximateLocation, 8.0, ["city of residence", "town"]),
-    dt!("region", ApproximateLocation, 6.0, ["state", "province", "geographic region"]),
-    dt!("time zone", ApproximateLocation, 4.0, ["timezone", "time zone setting"]),
+    dt!(
+        "country",
+        ApproximateLocation,
+        18.7,
+        ["country of residence", "country location"]
+    ),
+    dt!(
+        "zip code",
+        ApproximateLocation,
+        18.0,
+        ["postal code", "zip/postal code"]
+    ),
+    dt!(
+        "approximate location",
+        ApproximateLocation,
+        17.6,
+        [
+            "general location",
+            "coarse location",
+            "approximate geolocation"
+        ]
+    ),
+    dt!(
+        "city",
+        ApproximateLocation,
+        8.0,
+        ["city of residence", "town"]
+    ),
+    dt!(
+        "region",
+        ApproximateLocation,
+        6.0,
+        ["state", "province", "geographic region"]
+    ),
+    dt!(
+        "time zone",
+        ApproximateLocation,
+        4.0,
+        ["timezone", "time zone setting"]
+    ),
     // ---- Physical behavior / Travel data ----
-    dt!("movement patterns", TravelData, 26.1, ["movement data", "mobility patterns"]),
-    dt!("travel history", TravelData, 10.9, ["places visited", "travel records"]),
-    dt!("travel data", TravelData, 2.2, ["travel information", "travel details"]),
-    dt!("trip itinerary", TravelData, 2.0, ["itinerary details", "booking itinerary"]),
+    dt!(
+        "movement patterns",
+        TravelData,
+        26.1,
+        ["movement data", "mobility patterns"]
+    ),
+    dt!(
+        "travel history",
+        TravelData,
+        10.9,
+        ["places visited", "travel records"]
+    ),
+    dt!(
+        "travel data",
+        TravelData,
+        2.2,
+        ["travel information", "travel details"]
+    ),
+    dt!(
+        "trip itinerary",
+        TravelData,
+        2.0,
+        ["itinerary details", "booking itinerary"]
+    ),
     dt!("flight bookings", TravelData, 2.0, ["flight reservations"]),
     // ---- Physical behavior / Physical interaction ----
-    dt!("in-store interactions", PhysicalInteraction, 43.3, ["in-store activity", "in-store purchases and visits", "store visits"]),
-    dt!("event participation", PhysicalInteraction, 4.4, ["event attendance", "events attended"]),
-    dt!("interactions", PhysicalInteraction, 4.4, ["physical interactions", "offline interactions"]),
+    dt!(
+        "in-store interactions",
+        PhysicalInteraction,
+        43.3,
+        [
+            "in-store activity",
+            "in-store purchases and visits",
+            "store visits"
+        ]
+    ),
+    dt!(
+        "event participation",
+        PhysicalInteraction,
+        4.4,
+        ["event attendance", "events attended"]
+    ),
+    dt!(
+        "interactions",
+        PhysicalInteraction,
+        4.4,
+        ["physical interactions", "offline interactions"]
+    ),
     // ---- Digital behavior / Internet usage ----
-    dt!("browsing history", InternetUsage, 14.5, ["browsing activity", "web browsing history", "browsing behavior", "sites visited"]),
-    dt!("search history", InternetUsage, 8.3, ["search queries", "search terms", "searches performed"]),
-    dt!("click behavior", InternetUsage, 7.7, ["clicks", "clickstream data", "click-through data", "links clicked"]),
-    dt!("pages visited", InternetUsage, 6.5, ["pages viewed", "pages you visit", "visited pages"]),
-    dt!("time spent on pages", InternetUsage, 5.0, ["time spent on site", "visit duration", "session duration"]),
-    dt!("referring urls", InternetUsage, 4.5, ["referring website", "referral url", "referring page", "referring/exit pages"]),
-    dt!("navigation paths", InternetUsage, 3.0, ["navigation data", "browsing paths"]),
+    dt!(
+        "browsing history",
+        InternetUsage,
+        14.5,
+        [
+            "browsing activity",
+            "web browsing history",
+            "browsing behavior",
+            "sites visited"
+        ]
+    ),
+    dt!(
+        "search history",
+        InternetUsage,
+        8.3,
+        ["search queries", "search terms", "searches performed"]
+    ),
+    dt!(
+        "click behavior",
+        InternetUsage,
+        7.7,
+        [
+            "clicks",
+            "clickstream data",
+            "click-through data",
+            "links clicked"
+        ]
+    ),
+    dt!(
+        "pages visited",
+        InternetUsage,
+        6.5,
+        ["pages viewed", "pages you visit", "visited pages"]
+    ),
+    dt!(
+        "time spent on pages",
+        InternetUsage,
+        5.0,
+        ["time spent on site", "visit duration", "session duration"]
+    ),
+    dt!(
+        "referring urls",
+        InternetUsage,
+        4.5,
+        [
+            "referring website",
+            "referral url",
+            "referring page",
+            "referring/exit pages"
+        ]
+    ),
+    dt!(
+        "navigation paths",
+        InternetUsage,
+        3.0,
+        ["navigation data", "browsing paths"]
+    ),
     // ---- Digital behavior / Tracking data ----
-    dt!("cookies", TrackingData, 43.4, ["cookie data", "browser cookies", "http cookies", "cookies and similar technologies"]),
-    dt!("web beacons", TrackingData, 19.0, ["beacons", "clear gifs", "web bugs"]),
-    dt!("online tracking technologies", TrackingData, 6.8, ["tracking technologies", "similar tracking technologies", "tracking tools"]),
-    dt!("pixel tags", TrackingData, 5.5, ["pixels", "tracking pixels"]),
-    dt!("session identifiers", TrackingData, 3.5, ["session id", "session tokens"]),
-    dt!("local storage data", TrackingData, 2.5, ["local shared objects", "flash cookies"]),
+    dt!(
+        "cookies",
+        TrackingData,
+        43.4,
+        [
+            "cookie data",
+            "browser cookies",
+            "http cookies",
+            "cookies and similar technologies"
+        ]
+    ),
+    dt!(
+        "web beacons",
+        TrackingData,
+        19.0,
+        ["beacons", "clear gifs", "web bugs"]
+    ),
+    dt!(
+        "online tracking technologies",
+        TrackingData,
+        6.8,
+        [
+            "tracking technologies",
+            "similar tracking technologies",
+            "tracking tools"
+        ]
+    ),
+    dt!(
+        "pixel tags",
+        TrackingData,
+        5.5,
+        ["pixels", "tracking pixels"]
+    ),
+    dt!(
+        "session identifiers",
+        TrackingData,
+        3.5,
+        ["session id", "session tokens"]
+    ),
+    dt!(
+        "local storage data",
+        TrackingData,
+        2.5,
+        ["local shared objects", "flash cookies"]
+    ),
     // ---- Digital behavior / Product-service usage ----
-    dt!("user engagement metrics", ProductServiceUsage, 20.6, ["engagement data", "engagement metrics", "interaction metrics"]),
-    dt!("website usage", ProductServiceUsage, 9.7, ["use of our website", "site usage", "website activity", "usage of the site"]),
-    dt!("app usage", ProductServiceUsage, 9.1, ["application usage", "app activity", "mobile app usage"]),
-    dt!("feature usage", ProductServiceUsage, 5.0, ["features used", "features accessed"]),
-    dt!("service usage", ProductServiceUsage, 5.0, ["use of our services", "services used", "usage data"]),
-    dt!("usage frequency", ProductServiceUsage, 3.0, ["frequency of use"]),
+    dt!(
+        "user engagement metrics",
+        ProductServiceUsage,
+        20.6,
+        [
+            "engagement data",
+            "engagement metrics",
+            "interaction metrics"
+        ]
+    ),
+    dt!(
+        "website usage",
+        ProductServiceUsage,
+        9.7,
+        [
+            "use of our website",
+            "site usage",
+            "website activity",
+            "usage of the site"
+        ]
+    ),
+    dt!(
+        "app usage",
+        ProductServiceUsage,
+        9.1,
+        ["application usage", "app activity", "mobile app usage"]
+    ),
+    dt!(
+        "feature usage",
+        ProductServiceUsage,
+        5.0,
+        ["features used", "features accessed"]
+    ),
+    dt!(
+        "service usage",
+        ProductServiceUsage,
+        5.0,
+        ["use of our services", "services used", "usage data"]
+    ),
+    dt!(
+        "usage frequency",
+        ProductServiceUsage,
+        3.0,
+        ["frequency of use"]
+    ),
     // ---- Digital behavior / Transaction info ----
-    dt!("purchase history", TransactionInfo, 28.6, ["purchasing history", "products purchased", "purchase records", "purchases made", "purchasing tendencies"]),
-    dt!("transaction info", TransactionInfo, 9.5, ["transaction information", "transaction data", "transaction details", "transaction history"]),
-    dt!("commercial info", TransactionInfo, 5.5, ["commercial information"]),
-    dt!("order details", TransactionInfo, 5.0, ["order history", "order information"]),
-    dt!("shopping cart contents", TransactionInfo, 3.0, ["cart contents", "items in your cart"]),
+    dt!(
+        "purchase history",
+        TransactionInfo,
+        28.6,
+        [
+            "purchasing history",
+            "products purchased",
+            "purchase records",
+            "purchases made",
+            "purchasing tendencies"
+        ]
+    ),
+    dt!(
+        "transaction info",
+        TransactionInfo,
+        9.5,
+        [
+            "transaction information",
+            "transaction data",
+            "transaction details",
+            "transaction history"
+        ]
+    ),
+    dt!(
+        "commercial info",
+        TransactionInfo,
+        5.5,
+        ["commercial information"]
+    ),
+    dt!(
+        "order details",
+        TransactionInfo,
+        5.0,
+        ["order history", "order information"]
+    ),
+    dt!(
+        "shopping cart contents",
+        TransactionInfo,
+        3.0,
+        ["cart contents", "items in your cart"]
+    ),
     dt!("returns history", TransactionInfo, 2.0, ["product returns"]),
     // ---- Digital behavior / Preferences ----
-    dt!("language preferences", Preferences, 20.3, ["preferred language", "language settings"]),
-    dt!("preferences", Preferences, 16.5, ["user preferences", "personal preferences", "saved preferences"]),
-    dt!("product preferences", Preferences, 7.0, ["shopping preferences", "favorite products"]),
-    dt!("communication preferences", Preferences, 6.0, ["contact preferences", "notification preferences"]),
-    dt!("marketing preferences", Preferences, 5.0, ["advertising preferences"]),
-    dt!("interests", Preferences, 5.0, ["areas of interest", "interests and hobbies"]),
+    dt!(
+        "language preferences",
+        Preferences,
+        20.3,
+        ["preferred language", "language settings"]
+    ),
+    dt!(
+        "preferences",
+        Preferences,
+        16.5,
+        [
+            "user preferences",
+            "personal preferences",
+            "saved preferences"
+        ]
+    ),
+    dt!(
+        "product preferences",
+        Preferences,
+        7.0,
+        ["shopping preferences", "favorite products"]
+    ),
+    dt!(
+        "communication preferences",
+        Preferences,
+        6.0,
+        ["contact preferences", "notification preferences"]
+    ),
+    dt!(
+        "marketing preferences",
+        Preferences,
+        5.0,
+        ["advertising preferences"]
+    ),
+    dt!(
+        "interests",
+        Preferences,
+        5.0,
+        ["areas of interest", "interests and hobbies"]
+    ),
     // ---- Digital behavior / Content generation ----
-    dt!("uploaded media", ContentGeneration, 31.7, ["uploaded content", "uploaded files", "files you upload", "uploaded images"]),
-    dt!("comments & posts", ContentGeneration, 9.1, ["comments", "posts", "forum posts", "comments and posts"]),
-    dt!("audio recordings", ContentGeneration, 4.5, ["voice recordings", "recorded calls", "audio data"]),
-    dt!("photos", ContentGeneration, 4.0, ["photographs", "pictures", "images you provide"]),
-    dt!("videos", ContentGeneration, 3.5, ["video recordings", "video content"]),
-    dt!("reviews", ContentGeneration, 3.0, ["product reviews", "ratings and reviews"]),
-    dt!("user-generated content", ContentGeneration, 3.0, ["content you create", "content you submit"]),
+    dt!(
+        "uploaded media",
+        ContentGeneration,
+        31.7,
+        [
+            "uploaded content",
+            "uploaded files",
+            "files you upload",
+            "uploaded images"
+        ]
+    ),
+    dt!(
+        "comments & posts",
+        ContentGeneration,
+        9.1,
+        ["comments", "posts", "forum posts", "comments and posts"]
+    ),
+    dt!(
+        "audio recordings",
+        ContentGeneration,
+        4.5,
+        ["voice recordings", "recorded calls", "audio data"]
+    ),
+    dt!(
+        "photos",
+        ContentGeneration,
+        4.0,
+        ["photographs", "pictures", "images you provide"]
+    ),
+    dt!(
+        "videos",
+        ContentGeneration,
+        3.5,
+        ["video recordings", "video content"]
+    ),
+    dt!(
+        "reviews",
+        ContentGeneration,
+        3.0,
+        ["product reviews", "ratings and reviews"]
+    ),
+    dt!(
+        "user-generated content",
+        ContentGeneration,
+        3.0,
+        ["content you create", "content you submit"]
+    ),
     // ---- Digital behavior / Communication data ----
-    dt!("email records", CommunicationData, 23.4, ["email communications", "email correspondence", "emails you send"]),
-    dt!("call records", CommunicationData, 15.3, ["phone call records", "call logs", "call history"]),
-    dt!("communication data", CommunicationData, 9.0, ["communication records", "correspondence", "communication history"]),
-    dt!("chat logs", CommunicationData, 5.0, ["chat history", "chat transcripts", "live chat records"]),
-    dt!("messages", CommunicationData, 5.0, ["text messages", "direct messages", "sms messages"]),
+    dt!(
+        "email records",
+        CommunicationData,
+        23.4,
+        [
+            "email communications",
+            "email correspondence",
+            "emails you send"
+        ]
+    ),
+    dt!(
+        "call records",
+        CommunicationData,
+        15.3,
+        ["phone call records", "call logs", "call history"]
+    ),
+    dt!(
+        "communication data",
+        CommunicationData,
+        9.0,
+        [
+            "communication records",
+            "correspondence",
+            "communication history"
+        ]
+    ),
+    dt!(
+        "chat logs",
+        CommunicationData,
+        5.0,
+        ["chat history", "chat transcripts", "live chat records"]
+    ),
+    dt!(
+        "messages",
+        CommunicationData,
+        5.0,
+        ["text messages", "direct messages", "sms messages"]
+    ),
     // ---- Digital behavior / Feedback data ----
-    dt!("survey responses", FeedbackData, 26.1, ["survey answers", "survey data", "responses to surveys"]),
-    dt!("customer service interactions", FeedbackData, 13.9, ["support interactions", "customer support records", "service inquiries"]),
-    dt!("feedback data", FeedbackData, 9.9, ["feedback", "feedback you provide", "user feedback"]),
-    dt!("reviews & ratings", FeedbackData, 4.0, ["ratings", "customer reviews"]),
+    dt!(
+        "survey responses",
+        FeedbackData,
+        26.1,
+        ["survey answers", "survey data", "responses to surveys"]
+    ),
+    dt!(
+        "customer service interactions",
+        FeedbackData,
+        13.9,
+        [
+            "support interactions",
+            "customer support records",
+            "service inquiries"
+        ]
+    ),
+    dt!(
+        "feedback data",
+        FeedbackData,
+        9.9,
+        ["feedback", "feedback you provide", "user feedback"]
+    ),
+    dt!(
+        "reviews & ratings",
+        FeedbackData,
+        4.0,
+        ["ratings", "customer reviews"]
+    ),
     dt!("complaints", FeedbackData, 3.0, ["complaint records"]),
     // ---- Digital behavior / Content consumption ----
-    dt!("accessed content", ContentConsumption, 62.0, ["content accessed", "content you view", "content viewed", "content you access"]),
-    dt!("downloaded content", ContentConsumption, 6.2, ["downloads", "files downloaded", "content downloaded"]),
-    dt!("access logs", ContentConsumption, 5.3, ["log files", "server logs", "access times"]),
-    dt!("viewed videos", ContentConsumption, 3.0, ["videos watched", "viewing history"]),
-    dt!("reading history", ContentConsumption, 2.0, ["articles read"]),
+    dt!(
+        "accessed content",
+        ContentConsumption,
+        62.0,
+        [
+            "content accessed",
+            "content you view",
+            "content viewed",
+            "content you access"
+        ]
+    ),
+    dt!(
+        "downloaded content",
+        ContentConsumption,
+        6.2,
+        ["downloads", "files downloaded", "content downloaded"]
+    ),
+    dt!(
+        "access logs",
+        ContentConsumption,
+        5.3,
+        ["log files", "server logs", "access times"]
+    ),
+    dt!(
+        "viewed videos",
+        ContentConsumption,
+        3.0,
+        ["videos watched", "viewing history"]
+    ),
+    dt!(
+        "reading history",
+        ContentConsumption,
+        2.0,
+        ["articles read"]
+    ),
     // ---- Digital behavior / Diagnostic data ----
-    dt!("error reports", DiagnosticData, 13.4, ["error logs", "error data"]),
-    dt!("crash reports", DiagnosticData, 10.7, ["crash data", "crash logs"]),
-    dt!("diagnostic data", DiagnosticData, 9.1, ["diagnostic information", "diagnostics"]),
-    dt!("performance data", DiagnosticData, 5.0, ["performance metrics", "performance information"]),
-    dt!("system logs", DiagnosticData, 4.0, ["system activity logs", "event logs"]),
+    dt!(
+        "error reports",
+        DiagnosticData,
+        13.4,
+        ["error logs", "error data"]
+    ),
+    dt!(
+        "crash reports",
+        DiagnosticData,
+        10.7,
+        ["crash data", "crash logs"]
+    ),
+    dt!(
+        "diagnostic data",
+        DiagnosticData,
+        9.1,
+        ["diagnostic information", "diagnostics"]
+    ),
+    dt!(
+        "performance data",
+        DiagnosticData,
+        5.0,
+        ["performance metrics", "performance information"]
+    ),
+    dt!(
+        "system logs",
+        DiagnosticData,
+        4.0,
+        ["system activity logs", "event logs"]
+    ),
 ];
 
 /// Iterate the descriptor specs belonging to `category`, in vocabulary order.

@@ -44,7 +44,7 @@ pub fn datatype_glossary(max_per_category: usize) -> String {
     );
     for category in DataTypeCategory::ALL {
         let mut specs: Vec<_> = descriptors_for(category).collect();
-        specs.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+        specs.sort_by(|a, b| b.weight.total_cmp(&a.weight));
         let shown: Vec<String> = specs
             .iter()
             .take(max_per_category)
@@ -65,7 +65,7 @@ pub fn purpose_glossary(max_per_category: usize) -> String {
     );
     for category in PurposeCategory::ALL {
         let mut specs: Vec<_> = purposes_for(category).collect();
-        specs.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+        specs.sort_by(|a, b| b.weight.total_cmp(&a.weight));
         let shown: Vec<String> = specs
             .iter()
             .take(max_per_category)
@@ -118,7 +118,11 @@ mod tests {
 
     #[test]
     fn glossaries_declare_non_exhaustiveness() {
-        for g in [heading_glossary(), datatype_glossary(3), purpose_glossary(3)] {
+        for g in [
+            heading_glossary(),
+            datatype_glossary(3),
+            purpose_glossary(3),
+        ] {
             assert!(g.contains("not comprehensive"));
         }
     }

@@ -51,9 +51,10 @@ impl RetentionLabel {
             .find(|l| l.name().to_ascii_lowercase() == lower)
     }
 
-    /// Stable dense index (0..3).
+    /// Stable dense index (0..3); `ALL` lists variants in declaration
+    /// order, so the discriminant is the position (asserted in tests).
     pub fn index(self) -> usize {
-        RetentionLabel::ALL.iter().position(|&l| l == self).expect("label in ALL")
+        self as usize
     }
 }
 
@@ -139,9 +140,10 @@ impl ProtectionLabel {
             .find(|l| l.name().to_ascii_lowercase() == lower)
     }
 
-    /// Stable dense index (0..7).
+    /// Stable dense index (0..7); `ALL` lists variants in declaration
+    /// order, so the discriminant is the position (asserted in tests).
     pub fn index(self) -> usize {
-        ProtectionLabel::ALL.iter().position(|&l| l == self).expect("label in ALL")
+        self as usize
     }
 }
 

@@ -54,7 +54,10 @@ impl Normalizer {
     pub fn new() -> Self {
         let mut datatypes = HashMap::new();
         for spec in DATA_TYPE_DESCRIPTORS {
-            let value = NormalizedDataType { descriptor: spec.name, category: spec.category };
+            let value = NormalizedDataType {
+                descriptor: spec.name,
+                category: spec.category,
+            };
             datatypes.insert(fold(spec.name), value);
             for s in spec.surfaces {
                 datatypes.insert(fold(s), value);
@@ -62,13 +65,19 @@ impl Normalizer {
         }
         let mut purposes = HashMap::new();
         for spec in PURPOSE_DESCRIPTORS {
-            let value = NormalizedPurpose { descriptor: spec.name, category: spec.category };
+            let value = NormalizedPurpose {
+                descriptor: spec.name,
+                category: spec.category,
+            };
             purposes.insert(fold(spec.name), value);
             for s in spec.surfaces {
                 purposes.insert(fold(s), value);
             }
         }
-        Normalizer { datatypes, purposes }
+        Normalizer {
+            datatypes,
+            purposes,
+        }
     }
 
     /// Normalize a data-type surface form, if it is in the vocabulary.

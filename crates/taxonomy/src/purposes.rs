@@ -41,9 +41,10 @@ impl PurposeMeta {
         }
     }
 
-    /// Stable dense index (0..3).
+    /// Stable dense index (0..3); `ALL` lists variants in declaration
+    /// order, so the discriminant is the position (asserted in tests).
     pub fn index(self) -> usize {
-        PurposeMeta::ALL.iter().position(|&m| m == self).expect("meta in ALL")
+        self as usize
     }
 }
 
@@ -118,12 +119,10 @@ impl PurposeCategory {
             .find(|c| c.name().to_ascii_lowercase() == lower)
     }
 
-    /// Stable dense index (0..7).
+    /// Stable dense index (0..7); `ALL` lists variants in declaration
+    /// order, so the discriminant is the position (asserted in tests).
     pub fn index(self) -> usize {
-        PurposeCategory::ALL
-            .iter()
-            .position(|&c| c == self)
-            .expect("category in ALL")
+        self as usize
     }
 }
 
@@ -161,65 +160,497 @@ macro_rules! pp {
 /// The 48-descriptor normalized vocabulary for data-collection purposes.
 pub static PURPOSE_DESCRIPTORS: &[PurposeSpec] = &[
     // ---- Operations / Basic functioning (11) ----
-    pp!("customer service", BasicFunctioning, 9.3, ["provide customer service", "customer support", "respond to your inquiries", "support services"]),
-    pp!("customer communication", BasicFunctioning, 8.0, ["communicate with you", "send you notifications", "contact you", "service announcements"]),
-    pp!("transaction processing", BasicFunctioning, 4.8, ["process transactions", "process your orders", "complete transactions"]),
-    pp!("account management", BasicFunctioning, 4.5, ["manage your account", "maintain your account", "account creation", "register your account"]),
-    pp!("order fulfillment", BasicFunctioning, 4.0, ["fulfill your orders", "deliver products", "shipping and delivery"]),
-    pp!("service provision", BasicFunctioning, 4.5, ["provide our services", "provide the services you request", "operate our website", "deliver our services"]),
-    pp!("contract fulfillment", BasicFunctioning, 3.5, ["for the performance of a contract or to conduct business with you", "perform our contract", "contractual obligations"]),
-    pp!("payment processing", BasicFunctioning, 3.5, ["process payments", "billing purposes", "collect payments"]),
-    pp!("identity verification", BasicFunctioning, 3.0, ["verify your identity", "confirm your identity"]),
-    pp!("record keeping", BasicFunctioning, 2.5, ["maintain records", "internal record keeping", "administrative purposes"]),
-    pp!("recruitment", BasicFunctioning, 2.5, ["process your application", "evaluate job applicants", "hiring purposes"]),
+    pp!(
+        "customer service",
+        BasicFunctioning,
+        9.3,
+        [
+            "provide customer service",
+            "customer support",
+            "respond to your inquiries",
+            "support services"
+        ]
+    ),
+    pp!(
+        "customer communication",
+        BasicFunctioning,
+        8.0,
+        [
+            "communicate with you",
+            "send you notifications",
+            "contact you",
+            "service announcements"
+        ]
+    ),
+    pp!(
+        "transaction processing",
+        BasicFunctioning,
+        4.8,
+        [
+            "process transactions",
+            "process your orders",
+            "complete transactions"
+        ]
+    ),
+    pp!(
+        "account management",
+        BasicFunctioning,
+        4.5,
+        [
+            "manage your account",
+            "maintain your account",
+            "account creation",
+            "register your account"
+        ]
+    ),
+    pp!(
+        "order fulfillment",
+        BasicFunctioning,
+        4.0,
+        [
+            "fulfill your orders",
+            "deliver products",
+            "shipping and delivery"
+        ]
+    ),
+    pp!(
+        "service provision",
+        BasicFunctioning,
+        4.5,
+        [
+            "provide our services",
+            "provide the services you request",
+            "operate our website",
+            "deliver our services"
+        ]
+    ),
+    pp!(
+        "contract fulfillment",
+        BasicFunctioning,
+        3.5,
+        [
+            "for the performance of a contract or to conduct business with you",
+            "perform our contract",
+            "contractual obligations"
+        ]
+    ),
+    pp!(
+        "payment processing",
+        BasicFunctioning,
+        3.5,
+        ["process payments", "billing purposes", "collect payments"]
+    ),
+    pp!(
+        "identity verification",
+        BasicFunctioning,
+        3.0,
+        ["verify your identity", "confirm your identity"]
+    ),
+    pp!(
+        "record keeping",
+        BasicFunctioning,
+        2.5,
+        [
+            "maintain records",
+            "internal record keeping",
+            "administrative purposes"
+        ]
+    ),
+    pp!(
+        "recruitment",
+        BasicFunctioning,
+        2.5,
+        [
+            "process your application",
+            "evaluate job applicants",
+            "hiring purposes"
+        ]
+    ),
     // ---- Operations / User experience (6) ----
-    pp!("product improvement", UserExperience, 20.1, ["improve our products", "improve our services", "improve our website", "enhance our offerings", "improve the services"]),
-    pp!("personalization", UserExperience, 16.3, ["personalize your experience", "customize your experience", "tailor content", "personalized content"]),
-    pp!("quality assurance", UserExperience, 4.4, ["quality control", "monitor quality", "training and quality purposes"]),
-    pp!("user experience enhancement", UserExperience, 4.0, ["enhance your experience", "improve user experience", "better user experience"]),
-    pp!("recommendations", UserExperience, 3.0, ["provide recommendations", "suggest products", "recommend content"]),
-    pp!("remember preferences", UserExperience, 3.0, ["remember your preferences", "remember your settings", "store your preferences"]),
+    pp!(
+        "product improvement",
+        UserExperience,
+        20.1,
+        [
+            "improve our products",
+            "improve our services",
+            "improve our website",
+            "enhance our offerings",
+            "improve the services"
+        ]
+    ),
+    pp!(
+        "personalization",
+        UserExperience,
+        16.3,
+        [
+            "personalize your experience",
+            "customize your experience",
+            "tailor content",
+            "personalized content"
+        ]
+    ),
+    pp!(
+        "quality assurance",
+        UserExperience,
+        4.4,
+        [
+            "quality control",
+            "monitor quality",
+            "training and quality purposes"
+        ]
+    ),
+    pp!(
+        "user experience enhancement",
+        UserExperience,
+        4.0,
+        [
+            "enhance your experience",
+            "improve user experience",
+            "better user experience"
+        ]
+    ),
+    pp!(
+        "recommendations",
+        UserExperience,
+        3.0,
+        [
+            "provide recommendations",
+            "suggest products",
+            "recommend content"
+        ]
+    ),
+    pp!(
+        "remember preferences",
+        UserExperience,
+        3.0,
+        [
+            "remember your preferences",
+            "remember your settings",
+            "store your preferences"
+        ]
+    ),
     // ---- Operations / Analytics & research (6) ----
-    pp!("analytics", AnalyticsResearch, 17.4, ["perform analytics", "web analytics", "usage analytics", "analyze usage", "analytics purposes"]),
-    pp!("product/service development", AnalyticsResearch, 8.6, ["develop new products", "develop new services", "product development", "develop new features"]),
-    pp!("research", AnalyticsResearch, 6.2, ["conduct research", "research purposes", "internal research"]),
-    pp!("market research", AnalyticsResearch, 4.0, ["market analysis", "understand our market", "consumer research"]),
-    pp!("statistical analysis", AnalyticsResearch, 3.5, ["compile statistics", "statistical purposes", "aggregate statistics"]),
-    pp!("trend analysis", AnalyticsResearch, 3.0, ["identify usage trends", "analyze trends", "understand trends"]),
+    pp!(
+        "analytics",
+        AnalyticsResearch,
+        17.4,
+        [
+            "perform analytics",
+            "web analytics",
+            "usage analytics",
+            "analyze usage",
+            "analytics purposes"
+        ]
+    ),
+    pp!(
+        "product/service development",
+        AnalyticsResearch,
+        8.6,
+        [
+            "develop new products",
+            "develop new services",
+            "product development",
+            "develop new features"
+        ]
+    ),
+    pp!(
+        "research",
+        AnalyticsResearch,
+        6.2,
+        ["conduct research", "research purposes", "internal research"]
+    ),
+    pp!(
+        "market research",
+        AnalyticsResearch,
+        4.0,
+        [
+            "market analysis",
+            "understand our market",
+            "consumer research"
+        ]
+    ),
+    pp!(
+        "statistical analysis",
+        AnalyticsResearch,
+        3.5,
+        [
+            "compile statistics",
+            "statistical purposes",
+            "aggregate statistics"
+        ]
+    ),
+    pp!(
+        "trend analysis",
+        AnalyticsResearch,
+        3.0,
+        [
+            "identify usage trends",
+            "analyze trends",
+            "understand trends"
+        ]
+    ),
     // ---- Legal / Legal & compliance (7) ----
-    pp!("legal compliance", LegalCompliance, 28.1, ["comply with the law", "comply with legal obligations", "comply with applicable laws", "as required by law", "legal requirements"]),
-    pp!("regulatory compliance", LegalCompliance, 10.2, ["comply with regulations", "regulatory requirements", "regulatory obligations"]),
-    pp!("policy compliance", LegalCompliance, 7.4, ["enforce our policies", "enforce our terms", "enforce our terms of service", "enforce agreements"]),
-    pp!("legal rights protection", LegalCompliance, 5.0, ["protect our legal rights", "establish or defend legal claims", "exercise legal rights"]),
-    pp!("law enforcement requests", LegalCompliance, 4.0, ["respond to law enforcement", "respond to lawful requests", "respond to subpoenas", "court orders"]),
-    pp!("dispute resolution", LegalCompliance, 3.0, ["resolve disputes", "handle disputes"]),
-    pp!("audit requirements", LegalCompliance, 2.5, ["audits", "internal audits", "audit purposes"]),
+    pp!(
+        "legal compliance",
+        LegalCompliance,
+        28.1,
+        [
+            "comply with the law",
+            "comply with legal obligations",
+            "comply with applicable laws",
+            "as required by law",
+            "legal requirements"
+        ]
+    ),
+    pp!(
+        "regulatory compliance",
+        LegalCompliance,
+        10.2,
+        [
+            "comply with regulations",
+            "regulatory requirements",
+            "regulatory obligations"
+        ]
+    ),
+    pp!(
+        "policy compliance",
+        LegalCompliance,
+        7.4,
+        [
+            "enforce our policies",
+            "enforce our terms",
+            "enforce our terms of service",
+            "enforce agreements"
+        ]
+    ),
+    pp!(
+        "legal rights protection",
+        LegalCompliance,
+        5.0,
+        [
+            "protect our legal rights",
+            "establish or defend legal claims",
+            "exercise legal rights"
+        ]
+    ),
+    pp!(
+        "law enforcement requests",
+        LegalCompliance,
+        4.0,
+        [
+            "respond to law enforcement",
+            "respond to lawful requests",
+            "respond to subpoenas",
+            "court orders"
+        ]
+    ),
+    pp!(
+        "dispute resolution",
+        LegalCompliance,
+        3.0,
+        ["resolve disputes", "handle disputes"]
+    ),
+    pp!(
+        "audit requirements",
+        LegalCompliance,
+        2.5,
+        ["audits", "internal audits", "audit purposes"]
+    ),
     // ---- Legal / Security (7) ----
-    pp!("fraud prevention", Security, 21.8, ["prevent fraud", "detect fraud", "fraud detection", "prevent fraudulent activity", "anti-fraud"]),
-    pp!("authentication", Security, 6.6, ["authenticate users", "verify your credentials", "authenticate your account"]),
-    pp!("product/service safety", Security, 5.4, ["safety of our services", "protect the safety", "user safety", "ensure safety"]),
-    pp!("security monitoring", Security, 5.0, ["monitor for security", "protect the security", "maintain security", "security purposes", "network security"]),
-    pp!("threat detection", Security, 3.5, ["detect security incidents", "detect malicious activity", "identify threats"]),
-    pp!("access control", Security, 3.0, ["control access", "prevent unauthorized access"]),
-    pp!("incident investigation", Security, 2.5, ["investigate incidents", "investigate suspicious activity", "investigate violations"]),
+    pp!(
+        "fraud prevention",
+        Security,
+        21.8,
+        [
+            "prevent fraud",
+            "detect fraud",
+            "fraud detection",
+            "prevent fraudulent activity",
+            "anti-fraud"
+        ]
+    ),
+    pp!(
+        "authentication",
+        Security,
+        6.6,
+        [
+            "authenticate users",
+            "verify your credentials",
+            "authenticate your account"
+        ]
+    ),
+    pp!(
+        "product/service safety",
+        Security,
+        5.4,
+        [
+            "safety of our services",
+            "protect the safety",
+            "user safety",
+            "ensure safety"
+        ]
+    ),
+    pp!(
+        "security monitoring",
+        Security,
+        5.0,
+        [
+            "monitor for security",
+            "protect the security",
+            "maintain security",
+            "security purposes",
+            "network security"
+        ]
+    ),
+    pp!(
+        "threat detection",
+        Security,
+        3.5,
+        [
+            "detect security incidents",
+            "detect malicious activity",
+            "identify threats"
+        ]
+    ),
+    pp!(
+        "access control",
+        Security,
+        3.0,
+        ["control access", "prevent unauthorized access"]
+    ),
+    pp!(
+        "incident investigation",
+        Security,
+        2.5,
+        [
+            "investigate incidents",
+            "investigate suspicious activity",
+            "investigate violations"
+        ]
+    ),
     // ---- Third-party / Advertising & sales (6) ----
-    pp!("direct marketing", AdvertisingSales, 20.8, ["marketing purposes", "send you marketing communications", "marketing emails", "direct mail marketing", "send promotional materials"]),
-    pp!("promotions", AdvertisingSales, 18.8, ["promotional offers", "special offers", "contests and sweepstakes", "promotional communications"]),
-    pp!("targeted advertising", AdvertisingSales, 16.3, ["interest-based advertising", "personalized advertising", "behavioral advertising", "serve relevant ads", "tailored advertising"]),
-    pp!("newsletters", AdvertisingSales, 4.0, ["send newsletters", "email newsletters"]),
-    pp!("sales outreach", AdvertisingSales, 3.5, ["sales purposes", "sell our products", "business development"]),
-    pp!("advertising measurement", AdvertisingSales, 3.0, ["measure ad effectiveness", "measure advertising performance", "ad campaign measurement"]),
+    pp!(
+        "direct marketing",
+        AdvertisingSales,
+        20.8,
+        [
+            "marketing purposes",
+            "send you marketing communications",
+            "marketing emails",
+            "direct mail marketing",
+            "send promotional materials"
+        ]
+    ),
+    pp!(
+        "promotions",
+        AdvertisingSales,
+        18.8,
+        [
+            "promotional offers",
+            "special offers",
+            "contests and sweepstakes",
+            "promotional communications"
+        ]
+    ),
+    pp!(
+        "targeted advertising",
+        AdvertisingSales,
+        16.3,
+        [
+            "interest-based advertising",
+            "personalized advertising",
+            "behavioral advertising",
+            "serve relevant ads",
+            "tailored advertising"
+        ]
+    ),
+    pp!(
+        "newsletters",
+        AdvertisingSales,
+        4.0,
+        ["send newsletters", "email newsletters"]
+    ),
+    pp!(
+        "sales outreach",
+        AdvertisingSales,
+        3.5,
+        [
+            "sales purposes",
+            "sell our products",
+            "business development"
+        ]
+    ),
+    pp!(
+        "advertising measurement",
+        AdvertisingSales,
+        3.0,
+        [
+            "measure ad effectiveness",
+            "measure advertising performance",
+            "ad campaign measurement"
+        ]
+    ),
     // ---- Third-party / Data sharing (5) ----
-    pp!("third-party sharing", DataSharing, 18.8, ["share with third parties", "disclose to third parties", "share your information with third parties"]),
-    pp!("sharing with partners", DataSharing, 15.0, ["share with our partners", "share with business partners", "provide personal information to our affiliated businesses", "data sharing with affiliates"]),
-    pp!("anonymization", DataSharing, 4.3, ["share aggregated data", "share anonymized data", "de-identified data sharing"]),
-    pp!("data for sale", DataSharing, 8.0, ["sell your personal information", "sale of personal information", "sell your data", "may sell your information"]),
-    pp!("service provider sharing", DataSharing, 6.0, ["share with service providers", "share with vendors", "disclose to our service providers"]),
+    pp!(
+        "third-party sharing",
+        DataSharing,
+        18.8,
+        [
+            "share with third parties",
+            "disclose to third parties",
+            "share your information with third parties"
+        ]
+    ),
+    pp!(
+        "sharing with partners",
+        DataSharing,
+        15.0,
+        [
+            "share with our partners",
+            "share with business partners",
+            "provide personal information to our affiliated businesses",
+            "data sharing with affiliates"
+        ]
+    ),
+    pp!(
+        "anonymization",
+        DataSharing,
+        4.3,
+        [
+            "share aggregated data",
+            "share anonymized data",
+            "de-identified data sharing"
+        ]
+    ),
+    pp!(
+        "data for sale",
+        DataSharing,
+        8.0,
+        [
+            "sell your personal information",
+            "sale of personal information",
+            "sell your data",
+            "may sell your information"
+        ]
+    ),
+    pp!(
+        "service provider sharing",
+        DataSharing,
+        6.0,
+        [
+            "share with service providers",
+            "share with vendors",
+            "disclose to our service providers"
+        ]
+    ),
 ];
 
 /// Iterate the purpose specs belonging to `category`.
 pub fn purposes_for(category: PurposeCategory) -> impl Iterator<Item = &'static PurposeSpec> {
-    PURPOSE_DESCRIPTORS.iter().filter(move |p| p.category == category)
+    PURPOSE_DESCRIPTORS
+        .iter()
+        .filter(move |p| p.category == category)
 }
 
 #[cfg(test)]
@@ -284,6 +715,16 @@ mod tests {
     fn category_name_roundtrip() {
         for c in PurposeCategory::ALL {
             assert_eq!(PurposeCategory::from_name(c.name()), Some(c));
+        }
+    }
+
+    #[test]
+    fn indices_dense() {
+        for (i, m) in PurposeMeta::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+        for (i, c) in PurposeCategory::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
         }
     }
 }

@@ -118,10 +118,16 @@ impl AnnotationPayload {
     /// repetitive mentions of the same term").
     pub fn dedup_key(&self) -> String {
         match self {
-            AnnotationPayload::DataType { descriptor, category } => {
+            AnnotationPayload::DataType {
+                descriptor,
+                category,
+            } => {
                 format!("dt:{}:{}", category.index(), descriptor)
             }
-            AnnotationPayload::Purpose { descriptor, category } => {
+            AnnotationPayload::Purpose {
+                descriptor,
+                category,
+            } => {
                 format!("pu:{}:{}", category.index(), descriptor)
             }
             AnnotationPayload::Retention { label, .. } => format!("re:{}", label.index()),
@@ -164,7 +170,11 @@ pub struct Annotation {
 impl Annotation {
     /// Construct an annotation.
     pub fn new(payload: AnnotationPayload, text: impl Into<String>, line: usize) -> Self {
-        Annotation { payload, text: text.into(), line }
+        Annotation {
+            payload,
+            text: text.into(),
+            line,
+        }
     }
 
     /// The aspect stream this annotation belongs to.
@@ -196,28 +206,46 @@ mod tests {
             AspectKind::Purposes
         );
         assert_eq!(
-            AnnotationPayload::Retention { label: RetentionLabel::Limited, period_days: None }
-                .aspect_kind(),
+            AnnotationPayload::Retention {
+                label: RetentionLabel::Limited,
+                period_days: None
+            }
+            .aspect_kind(),
             AspectKind::Handling
         );
         assert_eq!(
-            AnnotationPayload::Protection { label: ProtectionLabel::Generic }.aspect_kind(),
+            AnnotationPayload::Protection {
+                label: ProtectionLabel::Generic
+            }
+            .aspect_kind(),
             AspectKind::Handling
         );
         assert_eq!(
-            AnnotationPayload::Choice { label: ChoiceLabel::OptIn }.aspect_kind(),
+            AnnotationPayload::Choice {
+                label: ChoiceLabel::OptIn
+            }
+            .aspect_kind(),
             AspectKind::Rights
         );
         assert_eq!(
-            AnnotationPayload::Access { label: AccessLabel::View }.aspect_kind(),
+            AnnotationPayload::Access {
+                label: AccessLabel::View
+            }
+            .aspect_kind(),
             AspectKind::Rights
         );
     }
 
     #[test]
     fn dedup_key_collapses_repeats_and_distinguishes_terms() {
-        assert_eq!(dt("email address").dedup_key(), dt("email address").dedup_key());
-        assert_ne!(dt("email address").dedup_key(), dt("phone number").dedup_key());
+        assert_eq!(
+            dt("email address").dedup_key(),
+            dt("email address").dedup_key()
+        );
+        assert_ne!(
+            dt("email address").dedup_key(),
+            dt("phone number").dedup_key()
+        );
         // Same descriptor text in different enum arms must not collide.
         let p = AnnotationPayload::Purpose {
             descriptor: "email address".into(),

@@ -45,9 +45,7 @@ impl ChoiceLabel {
             ChoiceLabel::OptOutViaContact => {
                 "Users must directly contact the company (e.g., via email) to opt-out."
             }
-            ChoiceLabel::OptOutViaLink => {
-                "Users can opt-out via a link provided by the company."
-            }
+            ChoiceLabel::OptOutViaLink => "Users can opt-out via a link provided by the company.",
             ChoiceLabel::PrivacySettings => {
                 "Company provides controls via a dedicated privacy settings page."
             }
@@ -75,9 +73,10 @@ impl ChoiceLabel {
             .find(|l| l.name().to_ascii_lowercase() == lower)
     }
 
-    /// Stable dense index (0..5).
+    /// Stable dense index (0..5); `ALL` lists variants in declaration
+    /// order, so the discriminant is the position (asserted in tests).
     pub fn index(self) -> usize {
-        ChoiceLabel::ALL.iter().position(|&l| l == self).expect("label in ALL")
+        self as usize
     }
 }
 
@@ -163,9 +162,10 @@ impl AccessLabel {
         )
     }
 
-    /// Stable dense index (0..6).
+    /// Stable dense index (0..6); `ALL` lists variants in declaration
+    /// order, so the discriminant is the position (asserted in tests).
     pub fn index(self) -> usize {
-        AccessLabel::ALL.iter().position(|&l| l == self).expect("label in ALL")
+        self as usize
     }
 }
 
@@ -207,6 +207,16 @@ mod tests {
     fn counts_match_paper() {
         assert_eq!(ChoiceLabel::ALL.len(), 5);
         assert_eq!(AccessLabel::ALL.len(), 6);
+    }
+
+    #[test]
+    fn indices_dense() {
+        for (i, l) in ChoiceLabel::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+        }
+        for (i, l) in AccessLabel::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+        }
     }
 
     #[test]

@@ -103,9 +103,11 @@ impl Sector {
         }
     }
 
-    /// Stable dense index (0..11) for array-indexed per-sector accumulators.
+    /// Stable dense index (0..11) for array-indexed per-sector accumulators;
+    /// `ALL` lists variants in declaration order, so the discriminant is the
+    /// position (asserted in tests).
     pub fn index(self) -> usize {
-        Sector::ALL.iter().position(|&s| s == self).expect("sector in ALL")
+        self as usize
     }
 }
 

@@ -27,26 +27,86 @@ pub struct ZeroShotDataType {
 
 /// Zero-shot data-type vocabulary (disjoint from the built-in glossary).
 pub static ZERO_SHOT_DATA_TYPES: &[ZeroShotDataType] = &[
-    ZeroShotDataType { term: "podcast listening habits", category: DataTypeCategory::ContentConsumption },
-    ZeroShotDataType { term: "gait patterns", category: DataTypeCategory::BiometricData },
-    ZeroShotDataType { term: "commute routes", category: DataTypeCategory::TravelData },
-    ZeroShotDataType { term: "smart home telemetry", category: DataTypeCategory::DeviceInfo },
-    ZeroShotDataType { term: "loyalty program tier", category: DataTypeCategory::AccountInfo },
-    ZeroShotDataType { term: "gaming achievements", category: DataTypeCategory::ProductServiceUsage },
-    ZeroShotDataType { term: "charging station usage", category: DataTypeCategory::VehicleInfo },
-    ZeroShotDataType { term: "dietary restrictions", category: DataTypeCategory::MedicalInfo },
-    ZeroShotDataType { term: "pet information", category: DataTypeCategory::DemographicInfo },
-    ZeroShotDataType { term: "voice assistant queries", category: DataTypeCategory::CommunicationData },
-    ZeroShotDataType { term: "keyboard typing cadence", category: DataTypeCategory::BiometricData },
-    ZeroShotDataType { term: "warranty registrations", category: DataTypeCategory::TransactionInfo },
-    ZeroShotDataType { term: "wearable sensor readings", category: DataTypeCategory::FitnessHealth },
-    ZeroShotDataType { term: "smart meter readings", category: DataTypeCategory::DeviceInfo },
-    ZeroShotDataType { term: "beacon proximity pings", category: DataTypeCategory::PreciseLocation },
-    ZeroShotDataType { term: "delivery drop-off notes", category: DataTypeCategory::ContactInfo },
-    ZeroShotDataType { term: "screen recording sessions", category: DataTypeCategory::InternetUsage },
-    ZeroShotDataType { term: "seat preferences", category: DataTypeCategory::Preferences },
-    ZeroShotDataType { term: "crypto wallet addresses", category: DataTypeCategory::FinancialInfo },
-    ZeroShotDataType { term: "drone flight logs", category: DataTypeCategory::DiagnosticData },
+    ZeroShotDataType {
+        term: "podcast listening habits",
+        category: DataTypeCategory::ContentConsumption,
+    },
+    ZeroShotDataType {
+        term: "gait patterns",
+        category: DataTypeCategory::BiometricData,
+    },
+    ZeroShotDataType {
+        term: "commute routes",
+        category: DataTypeCategory::TravelData,
+    },
+    ZeroShotDataType {
+        term: "smart home telemetry",
+        category: DataTypeCategory::DeviceInfo,
+    },
+    ZeroShotDataType {
+        term: "loyalty program tier",
+        category: DataTypeCategory::AccountInfo,
+    },
+    ZeroShotDataType {
+        term: "gaming achievements",
+        category: DataTypeCategory::ProductServiceUsage,
+    },
+    ZeroShotDataType {
+        term: "charging station usage",
+        category: DataTypeCategory::VehicleInfo,
+    },
+    ZeroShotDataType {
+        term: "dietary restrictions",
+        category: DataTypeCategory::MedicalInfo,
+    },
+    ZeroShotDataType {
+        term: "pet information",
+        category: DataTypeCategory::DemographicInfo,
+    },
+    ZeroShotDataType {
+        term: "voice assistant queries",
+        category: DataTypeCategory::CommunicationData,
+    },
+    ZeroShotDataType {
+        term: "keyboard typing cadence",
+        category: DataTypeCategory::BiometricData,
+    },
+    ZeroShotDataType {
+        term: "warranty registrations",
+        category: DataTypeCategory::TransactionInfo,
+    },
+    ZeroShotDataType {
+        term: "wearable sensor readings",
+        category: DataTypeCategory::FitnessHealth,
+    },
+    ZeroShotDataType {
+        term: "smart meter readings",
+        category: DataTypeCategory::DeviceInfo,
+    },
+    ZeroShotDataType {
+        term: "beacon proximity pings",
+        category: DataTypeCategory::PreciseLocation,
+    },
+    ZeroShotDataType {
+        term: "delivery drop-off notes",
+        category: DataTypeCategory::ContactInfo,
+    },
+    ZeroShotDataType {
+        term: "screen recording sessions",
+        category: DataTypeCategory::InternetUsage,
+    },
+    ZeroShotDataType {
+        term: "seat preferences",
+        category: DataTypeCategory::Preferences,
+    },
+    ZeroShotDataType {
+        term: "crypto wallet addresses",
+        category: DataTypeCategory::FinancialInfo,
+    },
+    ZeroShotDataType {
+        term: "drone flight logs",
+        category: DataTypeCategory::DiagnosticData,
+    },
 ];
 
 /// A zero-shot purpose term and its category.
@@ -60,16 +120,46 @@ pub struct ZeroShotPurpose {
 
 /// Zero-shot purpose vocabulary (disjoint from the built-in glossary).
 pub static ZERO_SHOT_PURPOSES: &[ZeroShotPurpose] = &[
-    ZeroShotPurpose { term: "train machine learning models", category: PurposeCategory::AnalyticsResearch },
-    ZeroShotPurpose { term: "calibrate demand forecasts", category: PurposeCategory::AnalyticsResearch },
-    ZeroShotPurpose { term: "co-branded loyalty campaigns", category: PurposeCategory::AdvertisingSales },
-    ZeroShotPurpose { term: "verify statutory eligibility", category: PurposeCategory::LegalCompliance },
-    ZeroShotPurpose { term: "detect account-sharing abuse", category: PurposeCategory::Security },
-    ZeroShotPurpose { term: "benchmark against industry peers", category: PurposeCategory::AnalyticsResearch },
-    ZeroShotPurpose { term: "optimize store layouts", category: PurposeCategory::UserExperience },
-    ZeroShotPurpose { term: "coordinate franchise operations", category: PurposeCategory::BasicFunctioning },
-    ZeroShotPurpose { term: "syndicate listings to aggregators", category: PurposeCategory::DataSharing },
-    ZeroShotPurpose { term: "schedule preventive maintenance", category: PurposeCategory::BasicFunctioning },
+    ZeroShotPurpose {
+        term: "train machine learning models",
+        category: PurposeCategory::AnalyticsResearch,
+    },
+    ZeroShotPurpose {
+        term: "calibrate demand forecasts",
+        category: PurposeCategory::AnalyticsResearch,
+    },
+    ZeroShotPurpose {
+        term: "co-branded loyalty campaigns",
+        category: PurposeCategory::AdvertisingSales,
+    },
+    ZeroShotPurpose {
+        term: "verify statutory eligibility",
+        category: PurposeCategory::LegalCompliance,
+    },
+    ZeroShotPurpose {
+        term: "detect account-sharing abuse",
+        category: PurposeCategory::Security,
+    },
+    ZeroShotPurpose {
+        term: "benchmark against industry peers",
+        category: PurposeCategory::AnalyticsResearch,
+    },
+    ZeroShotPurpose {
+        term: "optimize store layouts",
+        category: PurposeCategory::UserExperience,
+    },
+    ZeroShotPurpose {
+        term: "coordinate franchise operations",
+        category: PurposeCategory::BasicFunctioning,
+    },
+    ZeroShotPurpose {
+        term: "syndicate listings to aggregators",
+        category: PurposeCategory::DataSharing,
+    },
+    ZeroShotPurpose {
+        term: "schedule preventive maintenance",
+        category: PurposeCategory::BasicFunctioning,
+    },
 ];
 
 #[cfg(test)]

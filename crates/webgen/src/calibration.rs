@@ -9,8 +9,8 @@
 //! coverage that keeps the share-weighted overall on target.
 
 use aipan_taxonomy::{
-    AccessLabel, ChoiceLabel, DataTypeCategory, ProtectionLabel, PurposeCategory,
-    RetentionLabel, Sector,
+    AccessLabel, ChoiceLabel, DataTypeCategory, ProtectionLabel, PurposeCategory, RetentionLabel,
+    Sector,
 };
 
 /// Calibration entry for one category/label.
@@ -59,107 +59,694 @@ pub fn datatype_calibration(category: DataTypeCategory) -> Calibration {
     use DataTypeCategory::*;
     // (coverage, mean, sd, anchors = [(sector, coverage)])
     let (coverage, mean, sd, anchors): (f64, f64, f64, &'static [(Sector, f64)]) = match category {
-        ContactInfo => (0.864, 3.6, 1.4, &[(HealthCare, 0.910), (CommunicationServices, 0.908), (ConsumerDiscretionary, 0.904), (Financials, 0.774)]),
-        PersonalIdentifier => (0.895, 3.4, 2.6, &[(CommunicationServices, 0.939), (ConsumerDiscretionary, 0.918), (ConsumerStaples, 0.913), (Energy, 0.778)]),
-        ProfessionalInfo => (0.590, 4.5, 5.0, &[(InformationTechnology, 0.687), (HealthCare, 0.656), (CommunicationServices, 0.653), (Utilities, 0.444)]),
-        DemographicInfo => (0.499, 4.7, 4.2, &[(CommunicationServices, 0.673), (ConsumerDiscretionary, 0.653), (ConsumerStaples, 0.621), (Materials, 0.298)]),
-        EducationalInfo => (0.279, 2.2, 2.3, &[(HealthCare, 0.346), (Financials, 0.314), (ConsumerStaples, 0.282), (Materials, 0.158)]),
-        VehicleInfo => (0.050, 3.0, 8.2, &[(ConsumerDiscretionary, 0.113), (RealEstate, 0.097), (Industrials, 0.080), (HealthCare, 0.004)]),
-        DeviceInfo => (0.744, 4.0, 2.9, &[(CommunicationServices, 0.888), (ConsumerDiscretionary, 0.863), (InformationTechnology, 0.830), (Financials, 0.583)]),
-        OnlineIdentifier => (0.809, 1.7, 0.9, &[(CommunicationServices, 0.888), (ConsumerDiscretionary, 0.883), (Utilities, 0.870), (Financials, 0.657)]),
-        AccountInfo => (0.500, 2.4, 1.6, &[(ConsumerDiscretionary, 0.646), (CommunicationServices, 0.622), (InformationTechnology, 0.604), (Energy, 0.303)]),
-        NetworkConnectivity => (0.295, 1.5, 1.0, &[(ConsumerDiscretionary, 0.450), (CommunicationServices, 0.449), (InformationTechnology, 0.347), (Energy, 0.141)]),
-        SocialMediaData => (0.233, 1.6, 1.2, &[(ConsumerDiscretionary, 0.395), (CommunicationServices, 0.367), (ConsumerStaples, 0.340), (Materials, 0.096)]),
-        ExternalData => (0.124, 1.7, 1.4, &[(CommunicationServices, 0.235), (Utilities, 0.185), (ConsumerStaples, 0.175), (Energy, 0.051)]),
-        MedicalInfo => (0.283, 3.7, 3.5, &[(HealthCare, 0.501), (ConsumerStaples, 0.311), (Financials, 0.280), (Energy, 0.111)]),
-        BiometricData => (0.164, 2.6, 3.0, &[(Financials, 0.202), (HealthCare, 0.191), (ConsumerDiscretionary, 0.189), (Energy, 0.030)]),
-        PhysicalCharacteristic => (0.112, 1.5, 1.1, &[(ConsumerStaples, 0.165), (Financials, 0.161), (ConsumerDiscretionary, 0.144), (Energy, 0.040)]),
-        FitnessHealth => (0.035, 2.2, 2.5, &[(CommunicationServices, 0.071), (ConsumerDiscretionary, 0.052), (HealthCare, 0.047), (InformationTechnology, 0.015)]),
-        FinancialInfo => (0.539, 3.2, 2.3, &[(ConsumerDiscretionary, 0.735), (Utilities, 0.648), (Financials, 0.639), (Energy, 0.273)]),
-        LegalInfo => (0.287, 2.3, 2.1, &[(Financials, 0.359), (ConsumerDiscretionary, 0.330), (RealEstate, 0.323), (Materials, 0.167)]),
-        FinancialCapability => (0.215, 2.5, 2.1, &[(Financials, 0.516), (RealEstate, 0.226), (ConsumerDiscretionary, 0.192), (ConsumerStaples, 0.087)]),
-        InsuranceInfo => (0.148, 2.0, 1.7, &[(Financials, 0.242), (HealthCare, 0.222), (ConsumerDiscretionary, 0.134), (Materials, 0.061)]),
-        PreciseLocation => (0.509, 1.5, 0.9, &[(CommunicationServices, 0.714), (ConsumerDiscretionary, 0.684), (ConsumerStaples, 0.592), (Energy, 0.253)]),
-        ApproximateLocation => (0.333, 1.8, 1.2, &[(CommunicationServices, 0.541), (InformationTechnology, 0.449), (ConsumerDiscretionary, 0.430), (Utilities, 0.167)]),
-        TravelData => (0.066, 1.6, 1.9, &[(Industrials, 0.104), (ConsumerDiscretionary, 0.096), (CommunicationServices, 0.092), (Utilities, 0.019)]),
-        PhysicalInteraction => (0.028, 1.2, 0.5, &[(ConsumerDiscretionary, 0.065), (RealEstate, 0.040), (Industrials, 0.036), (Financials, 0.016)]),
-        InternetUsage => (0.728, 3.8, 2.8, &[(CommunicationServices, 0.847), (ConsumerDiscretionary, 0.832), (ConsumerStaples, 0.806), (Energy, 0.485)]),
-        TrackingData => (0.467, 2.3, 1.6, &[(ConsumerDiscretionary, 0.550), (InformationTechnology, 0.542), (CommunicationServices, 0.510), (Financials, 0.377)]),
-        ProductServiceUsage => (0.508, 2.1, 1.8, &[(CommunicationServices, 0.724), (ConsumerDiscretionary, 0.619), (ConsumerStaples, 0.602), (Energy, 0.323)]),
-        TransactionInfo => (0.439, 2.2, 1.5, &[(ConsumerDiscretionary, 0.639), (Financials, 0.601), (ConsumerStaples, 0.583), (Energy, 0.212)]),
-        Preferences => (0.491, 2.0, 1.3, &[(ConsumerDiscretionary, 0.656), (ConsumerStaples, 0.641), (CommunicationServices, 0.541), (Utilities, 0.296)]),
-        ContentGeneration => (0.328, 2.3, 1.9, &[(ConsumerDiscretionary, 0.495), (CommunicationServices, 0.418), (ConsumerStaples, 0.417), (Utilities, 0.130)]),
-        CommunicationData => (0.338, 1.9, 1.4, &[(CommunicationServices, 0.480), (ConsumerDiscretionary, 0.426), (InformationTechnology, 0.390), (Utilities, 0.111)]),
-        FeedbackData => (0.253, 1.8, 1.2, &[(ConsumerDiscretionary, 0.371), (ConsumerStaples, 0.340), (InformationTechnology, 0.310), (Energy, 0.121)]),
-        ContentConsumption => (0.267, 1.3, 0.8, &[(CommunicationServices, 0.469), (InformationTechnology, 0.347), (ConsumerStaples, 0.330), (Utilities, 0.111)]),
-        DiagnosticData => (0.143, 1.6, 1.3, &[(CommunicationServices, 0.265), (InformationTechnology, 0.220), (Industrials, 0.171), (Energy, 0.040)]),
+        ContactInfo => (
+            0.864,
+            3.6,
+            1.4,
+            &[
+                (HealthCare, 0.910),
+                (CommunicationServices, 0.908),
+                (ConsumerDiscretionary, 0.904),
+                (Financials, 0.774),
+            ],
+        ),
+        PersonalIdentifier => (
+            0.895,
+            3.4,
+            2.6,
+            &[
+                (CommunicationServices, 0.939),
+                (ConsumerDiscretionary, 0.918),
+                (ConsumerStaples, 0.913),
+                (Energy, 0.778),
+            ],
+        ),
+        ProfessionalInfo => (
+            0.590,
+            4.5,
+            5.0,
+            &[
+                (InformationTechnology, 0.687),
+                (HealthCare, 0.656),
+                (CommunicationServices, 0.653),
+                (Utilities, 0.444),
+            ],
+        ),
+        DemographicInfo => (
+            0.499,
+            4.7,
+            4.2,
+            &[
+                (CommunicationServices, 0.673),
+                (ConsumerDiscretionary, 0.653),
+                (ConsumerStaples, 0.621),
+                (Materials, 0.298),
+            ],
+        ),
+        EducationalInfo => (
+            0.279,
+            2.2,
+            2.3,
+            &[
+                (HealthCare, 0.346),
+                (Financials, 0.314),
+                (ConsumerStaples, 0.282),
+                (Materials, 0.158),
+            ],
+        ),
+        VehicleInfo => (
+            0.050,
+            3.0,
+            8.2,
+            &[
+                (ConsumerDiscretionary, 0.113),
+                (RealEstate, 0.097),
+                (Industrials, 0.080),
+                (HealthCare, 0.004),
+            ],
+        ),
+        DeviceInfo => (
+            0.744,
+            4.0,
+            2.9,
+            &[
+                (CommunicationServices, 0.888),
+                (ConsumerDiscretionary, 0.863),
+                (InformationTechnology, 0.830),
+                (Financials, 0.583),
+            ],
+        ),
+        OnlineIdentifier => (
+            0.809,
+            1.7,
+            0.9,
+            &[
+                (CommunicationServices, 0.888),
+                (ConsumerDiscretionary, 0.883),
+                (Utilities, 0.870),
+                (Financials, 0.657),
+            ],
+        ),
+        AccountInfo => (
+            0.500,
+            2.4,
+            1.6,
+            &[
+                (ConsumerDiscretionary, 0.646),
+                (CommunicationServices, 0.622),
+                (InformationTechnology, 0.604),
+                (Energy, 0.303),
+            ],
+        ),
+        NetworkConnectivity => (
+            0.295,
+            1.5,
+            1.0,
+            &[
+                (ConsumerDiscretionary, 0.450),
+                (CommunicationServices, 0.449),
+                (InformationTechnology, 0.347),
+                (Energy, 0.141),
+            ],
+        ),
+        SocialMediaData => (
+            0.233,
+            1.6,
+            1.2,
+            &[
+                (ConsumerDiscretionary, 0.395),
+                (CommunicationServices, 0.367),
+                (ConsumerStaples, 0.340),
+                (Materials, 0.096),
+            ],
+        ),
+        ExternalData => (
+            0.124,
+            1.7,
+            1.4,
+            &[
+                (CommunicationServices, 0.235),
+                (Utilities, 0.185),
+                (ConsumerStaples, 0.175),
+                (Energy, 0.051),
+            ],
+        ),
+        MedicalInfo => (
+            0.283,
+            3.7,
+            3.5,
+            &[
+                (HealthCare, 0.501),
+                (ConsumerStaples, 0.311),
+                (Financials, 0.280),
+                (Energy, 0.111),
+            ],
+        ),
+        BiometricData => (
+            0.164,
+            2.6,
+            3.0,
+            &[
+                (Financials, 0.202),
+                (HealthCare, 0.191),
+                (ConsumerDiscretionary, 0.189),
+                (Energy, 0.030),
+            ],
+        ),
+        PhysicalCharacteristic => (
+            0.112,
+            1.5,
+            1.1,
+            &[
+                (ConsumerStaples, 0.165),
+                (Financials, 0.161),
+                (ConsumerDiscretionary, 0.144),
+                (Energy, 0.040),
+            ],
+        ),
+        FitnessHealth => (
+            0.035,
+            2.2,
+            2.5,
+            &[
+                (CommunicationServices, 0.071),
+                (ConsumerDiscretionary, 0.052),
+                (HealthCare, 0.047),
+                (InformationTechnology, 0.015),
+            ],
+        ),
+        FinancialInfo => (
+            0.539,
+            3.2,
+            2.3,
+            &[
+                (ConsumerDiscretionary, 0.735),
+                (Utilities, 0.648),
+                (Financials, 0.639),
+                (Energy, 0.273),
+            ],
+        ),
+        LegalInfo => (
+            0.287,
+            2.3,
+            2.1,
+            &[
+                (Financials, 0.359),
+                (ConsumerDiscretionary, 0.330),
+                (RealEstate, 0.323),
+                (Materials, 0.167),
+            ],
+        ),
+        FinancialCapability => (
+            0.215,
+            2.5,
+            2.1,
+            &[
+                (Financials, 0.516),
+                (RealEstate, 0.226),
+                (ConsumerDiscretionary, 0.192),
+                (ConsumerStaples, 0.087),
+            ],
+        ),
+        InsuranceInfo => (
+            0.148,
+            2.0,
+            1.7,
+            &[
+                (Financials, 0.242),
+                (HealthCare, 0.222),
+                (ConsumerDiscretionary, 0.134),
+                (Materials, 0.061),
+            ],
+        ),
+        PreciseLocation => (
+            0.509,
+            1.5,
+            0.9,
+            &[
+                (CommunicationServices, 0.714),
+                (ConsumerDiscretionary, 0.684),
+                (ConsumerStaples, 0.592),
+                (Energy, 0.253),
+            ],
+        ),
+        ApproximateLocation => (
+            0.333,
+            1.8,
+            1.2,
+            &[
+                (CommunicationServices, 0.541),
+                (InformationTechnology, 0.449),
+                (ConsumerDiscretionary, 0.430),
+                (Utilities, 0.167),
+            ],
+        ),
+        TravelData => (
+            0.066,
+            1.6,
+            1.9,
+            &[
+                (Industrials, 0.104),
+                (ConsumerDiscretionary, 0.096),
+                (CommunicationServices, 0.092),
+                (Utilities, 0.019),
+            ],
+        ),
+        PhysicalInteraction => (
+            0.028,
+            1.2,
+            0.5,
+            &[
+                (ConsumerDiscretionary, 0.065),
+                (RealEstate, 0.040),
+                (Industrials, 0.036),
+                (Financials, 0.016),
+            ],
+        ),
+        InternetUsage => (
+            0.728,
+            3.8,
+            2.8,
+            &[
+                (CommunicationServices, 0.847),
+                (ConsumerDiscretionary, 0.832),
+                (ConsumerStaples, 0.806),
+                (Energy, 0.485),
+            ],
+        ),
+        TrackingData => (
+            0.467,
+            2.3,
+            1.6,
+            &[
+                (ConsumerDiscretionary, 0.550),
+                (InformationTechnology, 0.542),
+                (CommunicationServices, 0.510),
+                (Financials, 0.377),
+            ],
+        ),
+        ProductServiceUsage => (
+            0.508,
+            2.1,
+            1.8,
+            &[
+                (CommunicationServices, 0.724),
+                (ConsumerDiscretionary, 0.619),
+                (ConsumerStaples, 0.602),
+                (Energy, 0.323),
+            ],
+        ),
+        TransactionInfo => (
+            0.439,
+            2.2,
+            1.5,
+            &[
+                (ConsumerDiscretionary, 0.639),
+                (Financials, 0.601),
+                (ConsumerStaples, 0.583),
+                (Energy, 0.212),
+            ],
+        ),
+        Preferences => (
+            0.491,
+            2.0,
+            1.3,
+            &[
+                (ConsumerDiscretionary, 0.656),
+                (ConsumerStaples, 0.641),
+                (CommunicationServices, 0.541),
+                (Utilities, 0.296),
+            ],
+        ),
+        ContentGeneration => (
+            0.328,
+            2.3,
+            1.9,
+            &[
+                (ConsumerDiscretionary, 0.495),
+                (CommunicationServices, 0.418),
+                (ConsumerStaples, 0.417),
+                (Utilities, 0.130),
+            ],
+        ),
+        CommunicationData => (
+            0.338,
+            1.9,
+            1.4,
+            &[
+                (CommunicationServices, 0.480),
+                (ConsumerDiscretionary, 0.426),
+                (InformationTechnology, 0.390),
+                (Utilities, 0.111),
+            ],
+        ),
+        FeedbackData => (
+            0.253,
+            1.8,
+            1.2,
+            &[
+                (ConsumerDiscretionary, 0.371),
+                (ConsumerStaples, 0.340),
+                (InformationTechnology, 0.310),
+                (Energy, 0.121),
+            ],
+        ),
+        ContentConsumption => (
+            0.267,
+            1.3,
+            0.8,
+            &[
+                (CommunicationServices, 0.469),
+                (InformationTechnology, 0.347),
+                (ConsumerStaples, 0.330),
+                (Utilities, 0.111),
+            ],
+        ),
+        DiagnosticData => (
+            0.143,
+            1.6,
+            1.3,
+            &[
+                (CommunicationServices, 0.265),
+                (InformationTechnology, 0.220),
+                (Industrials, 0.171),
+                (Energy, 0.040),
+            ],
+        ),
     };
-    Calibration { coverage, mean, sd, anchors }
+    Calibration {
+        coverage,
+        mean,
+        sd,
+        anchors,
+    }
 }
 
 /// Table 2b calibration for each of the 7 purpose categories.
 pub fn purpose_calibration(category: PurposeCategory) -> Calibration {
     use PurposeCategory::*;
     let (coverage, mean, sd, anchors): (f64, f64, f64, &'static [(Sector, f64)]) = match category {
-        BasicFunctioning => (0.951, 9.1, 7.8, &[(ConsumerStaples, 0.990), (CommunicationServices, 0.980), (HealthCare, 0.974), (Energy, 0.889)]),
-        UserExperience => (0.865, 3.9, 2.9, &[(ConsumerStaples, 0.932), (InformationTechnology, 0.923), (ConsumerDiscretionary, 0.921), (Financials, 0.751)]),
-        AnalyticsResearch => (0.813, 4.1, 3.1, &[(ConsumerDiscretionary, 0.893), (CommunicationServices, 0.888), (ConsumerStaples, 0.874), (Energy, 0.667)]),
-        LegalCompliance => (0.732, 4.1, 3.3, &[(CommunicationServices, 0.827), (Financials, 0.783), (ConsumerDiscretionary, 0.780), (Energy, 0.475)]),
-        Security => (0.725, 4.1, 3.3, &[(CommunicationServices, 0.857), (ConsumerStaples, 0.796), (ConsumerDiscretionary, 0.790), (Energy, 0.535)]),
-        AdvertisingSales => (0.780, 3.0, 2.3, &[(ConsumerDiscretionary, 0.911), (ConsumerStaples, 0.854), (InformationTechnology, 0.848), (Energy, 0.515)]),
-        DataSharing => (0.261, 2.1, 2.3, &[(CommunicationServices, 0.367), (RealEstate, 0.355), (HealthCare, 0.303), (Financials, 0.182)]),
+        BasicFunctioning => (
+            0.951,
+            9.1,
+            7.8,
+            &[
+                (ConsumerStaples, 0.990),
+                (CommunicationServices, 0.980),
+                (HealthCare, 0.974),
+                (Energy, 0.889),
+            ],
+        ),
+        UserExperience => (
+            0.865,
+            3.9,
+            2.9,
+            &[
+                (ConsumerStaples, 0.932),
+                (InformationTechnology, 0.923),
+                (ConsumerDiscretionary, 0.921),
+                (Financials, 0.751),
+            ],
+        ),
+        AnalyticsResearch => (
+            0.813,
+            4.1,
+            3.1,
+            &[
+                (ConsumerDiscretionary, 0.893),
+                (CommunicationServices, 0.888),
+                (ConsumerStaples, 0.874),
+                (Energy, 0.667),
+            ],
+        ),
+        LegalCompliance => (
+            0.732,
+            4.1,
+            3.3,
+            &[
+                (CommunicationServices, 0.827),
+                (Financials, 0.783),
+                (ConsumerDiscretionary, 0.780),
+                (Energy, 0.475),
+            ],
+        ),
+        Security => (
+            0.725,
+            4.1,
+            3.3,
+            &[
+                (CommunicationServices, 0.857),
+                (ConsumerStaples, 0.796),
+                (ConsumerDiscretionary, 0.790),
+                (Energy, 0.535),
+            ],
+        ),
+        AdvertisingSales => (
+            0.780,
+            3.0,
+            2.3,
+            &[
+                (ConsumerDiscretionary, 0.911),
+                (ConsumerStaples, 0.854),
+                (InformationTechnology, 0.848),
+                (Energy, 0.515),
+            ],
+        ),
+        DataSharing => (
+            0.261,
+            2.1,
+            2.3,
+            &[
+                (CommunicationServices, 0.367),
+                (RealEstate, 0.355),
+                (HealthCare, 0.303),
+                (Financials, 0.182),
+            ],
+        ),
     };
-    Calibration { coverage, mean, sd, anchors }
+    Calibration {
+        coverage,
+        mean,
+        sd,
+        anchors,
+    }
 }
 
 /// Table 3 calibration for retention labels (coverage only; a retention
 /// mention is one label, so mean=1).
 pub fn retention_calibration(label: RetentionLabel) -> Calibration {
     let (coverage, anchors): (f64, &'static [(Sector, f64)]) = match label {
-        RetentionLabel::Limited => (0.609, &[(CommunicationServices, 0.816), (InformationTechnology, 0.814), (Utilities, 0.259)]),
-        RetentionLabel::Stated => (0.099, &[(InformationTechnology, 0.164), (CommunicationServices, 0.153), (Utilities, 0.056)]),
-        RetentionLabel::Indefinitely => (0.055, &[(HealthCare, 0.065), (CommunicationServices, 0.061), (ConsumerDiscretionary, 0.045)]),
+        RetentionLabel::Limited => (
+            0.609,
+            &[
+                (CommunicationServices, 0.816),
+                (InformationTechnology, 0.814),
+                (Utilities, 0.259),
+            ],
+        ),
+        RetentionLabel::Stated => (
+            0.099,
+            &[
+                (InformationTechnology, 0.164),
+                (CommunicationServices, 0.153),
+                (Utilities, 0.056),
+            ],
+        ),
+        RetentionLabel::Indefinitely => (
+            0.055,
+            &[
+                (HealthCare, 0.065),
+                (CommunicationServices, 0.061),
+                (ConsumerDiscretionary, 0.045),
+            ],
+        ),
     };
-    Calibration { coverage, mean: 1.0, sd: 0.0, anchors }
+    Calibration {
+        coverage,
+        mean: 1.0,
+        sd: 0.0,
+        anchors,
+    }
 }
 
 /// Table 3 calibration for protection labels.
 pub fn protection_calibration(label: ProtectionLabel) -> Calibration {
     let (coverage, anchors): (f64, &'static [(Sector, f64)]) = match label {
-        ProtectionLabel::Generic => (0.731, &[(RealEstate, 0.782), (InformationTechnology, 0.765), (Energy, 0.636)]),
-        ProtectionLabel::AccessLimit => (0.191, &[(Financials, 0.294), (InformationTechnology, 0.220), (Materials, 0.114)]),
-        ProtectionLabel::SecureTransfer => (0.140, &[(Utilities, 0.185), (CommunicationServices, 0.184), (Energy, 0.071)]),
-        ProtectionLabel::SecureStorage => (0.161, &[(Financials, 0.316), (InformationTechnology, 0.214), (ConsumerStaples, 0.049)]),
-        ProtectionLabel::PrivacyProgram => (0.099, &[(InformationTechnology, 0.164), (Financials, 0.143), (RealEstate, 0.032)]),
-        ProtectionLabel::PrivacyReview => (0.068, &[(InformationTechnology, 0.130), (Utilities, 0.111), (ConsumerStaples, 0.029)]),
-        ProtectionLabel::SecureAuthentication => (0.042, &[(Financials, 0.072), (InformationTechnology, 0.053), (Materials, 0.018)]),
+        ProtectionLabel::Generic => (
+            0.731,
+            &[
+                (RealEstate, 0.782),
+                (InformationTechnology, 0.765),
+                (Energy, 0.636),
+            ],
+        ),
+        ProtectionLabel::AccessLimit => (
+            0.191,
+            &[
+                (Financials, 0.294),
+                (InformationTechnology, 0.220),
+                (Materials, 0.114),
+            ],
+        ),
+        ProtectionLabel::SecureTransfer => (
+            0.140,
+            &[
+                (Utilities, 0.185),
+                (CommunicationServices, 0.184),
+                (Energy, 0.071),
+            ],
+        ),
+        ProtectionLabel::SecureStorage => (
+            0.161,
+            &[
+                (Financials, 0.316),
+                (InformationTechnology, 0.214),
+                (ConsumerStaples, 0.049),
+            ],
+        ),
+        ProtectionLabel::PrivacyProgram => (
+            0.099,
+            &[
+                (InformationTechnology, 0.164),
+                (Financials, 0.143),
+                (RealEstate, 0.032),
+            ],
+        ),
+        ProtectionLabel::PrivacyReview => (
+            0.068,
+            &[
+                (InformationTechnology, 0.130),
+                (Utilities, 0.111),
+                (ConsumerStaples, 0.029),
+            ],
+        ),
+        ProtectionLabel::SecureAuthentication => (
+            0.042,
+            &[
+                (Financials, 0.072),
+                (InformationTechnology, 0.053),
+                (Materials, 0.018),
+            ],
+        ),
     };
-    Calibration { coverage, mean: 1.0, sd: 0.0, anchors }
+    Calibration {
+        coverage,
+        mean: 1.0,
+        sd: 0.0,
+        anchors,
+    }
 }
 
 /// Table 3 calibration for user-choice labels.
 pub fn choice_calibration(label: ChoiceLabel) -> Calibration {
     let (coverage, anchors): (f64, &'static [(Sector, f64)]) = match label {
-        ChoiceLabel::OptOutViaContact => (0.652, &[(CommunicationServices, 0.724), (InformationTechnology, 0.718), (Energy, 0.434)]),
-        ChoiceLabel::OptOutViaLink => (0.361, &[(CommunicationServices, 0.612), (ConsumerStaples, 0.602), (Energy, 0.172)]),
-        ChoiceLabel::PrivacySettings => (0.177, &[(CommunicationServices, 0.296), (InformationTechnology, 0.245), (Energy, 0.081)]),
-        ChoiceLabel::OptIn => (0.177, &[(ConsumerStaples, 0.223), (Utilities, 0.222), (CommunicationServices, 0.122)]),
-        ChoiceLabel::DoNotUse => (0.050, &[(Utilities, 0.071), (ConsumerStaples, 0.065), (RealEstate, 0.038)]),
+        ChoiceLabel::OptOutViaContact => (
+            0.652,
+            &[
+                (CommunicationServices, 0.724),
+                (InformationTechnology, 0.718),
+                (Energy, 0.434),
+            ],
+        ),
+        ChoiceLabel::OptOutViaLink => (
+            0.361,
+            &[
+                (CommunicationServices, 0.612),
+                (ConsumerStaples, 0.602),
+                (Energy, 0.172),
+            ],
+        ),
+        ChoiceLabel::PrivacySettings => (
+            0.177,
+            &[
+                (CommunicationServices, 0.296),
+                (InformationTechnology, 0.245),
+                (Energy, 0.081),
+            ],
+        ),
+        ChoiceLabel::OptIn => (
+            0.177,
+            &[
+                (ConsumerStaples, 0.223),
+                (Utilities, 0.222),
+                (CommunicationServices, 0.122),
+            ],
+        ),
+        ChoiceLabel::DoNotUse => (
+            0.050,
+            &[
+                (Utilities, 0.071),
+                (ConsumerStaples, 0.065),
+                (RealEstate, 0.038),
+            ],
+        ),
     };
-    Calibration { coverage, mean: 1.0, sd: 0.0, anchors }
+    Calibration {
+        coverage,
+        mean: 1.0,
+        sd: 0.0,
+        anchors,
+    }
 }
 
 /// Table 3 calibration for user-access labels.
 pub fn access_calibration(label: AccessLabel) -> Calibration {
     let (coverage, anchors): (f64, &'static [(Sector, f64)]) = match label {
-        AccessLabel::Edit => (0.716, &[(InformationTechnology, 0.854), (CommunicationServices, 0.806), (Energy, 0.434)]),
-        AccessLabel::FullDelete => (0.535, &[(ConsumerDiscretionary, 0.639), (CommunicationServices, 0.622), (Utilities, 0.278)]),
-        AccessLabel::View => (0.456, &[(InformationTechnology, 0.573), (CommunicationServices, 0.520), (Utilities, 0.278)]),
-        AccessLabel::Export => (0.429, &[(InformationTechnology, 0.610), (ConsumerStaples, 0.495), (Utilities, 0.185)]),
-        AccessLabel::PartialDelete => (0.112, &[(CommunicationServices, 0.224), (InformationTechnology, 0.146), (Utilities, 0.019)]),
-        AccessLabel::Deactivate => (0.025, &[(CommunicationServices, 0.082), (Utilities, 0.056), (Industrials, 0.008)]),
+        AccessLabel::Edit => (
+            0.716,
+            &[
+                (InformationTechnology, 0.854),
+                (CommunicationServices, 0.806),
+                (Energy, 0.434),
+            ],
+        ),
+        AccessLabel::FullDelete => (
+            0.535,
+            &[
+                (ConsumerDiscretionary, 0.639),
+                (CommunicationServices, 0.622),
+                (Utilities, 0.278),
+            ],
+        ),
+        AccessLabel::View => (
+            0.456,
+            &[
+                (InformationTechnology, 0.573),
+                (CommunicationServices, 0.520),
+                (Utilities, 0.278),
+            ],
+        ),
+        AccessLabel::Export => (
+            0.429,
+            &[
+                (InformationTechnology, 0.610),
+                (ConsumerStaples, 0.495),
+                (Utilities, 0.185),
+            ],
+        ),
+        AccessLabel::PartialDelete => (
+            0.112,
+            &[
+                (CommunicationServices, 0.224),
+                (InformationTechnology, 0.146),
+                (Utilities, 0.019),
+            ],
+        ),
+        AccessLabel::Deactivate => (
+            0.025,
+            &[
+                (CommunicationServices, 0.082),
+                (Utilities, 0.056),
+                (Industrials, 0.008),
+            ],
+        ),
     };
-    Calibration { coverage, mean: 1.0, sd: 0.0, anchors }
+    Calibration {
+        coverage,
+        mean: 1.0,
+        sd: 0.0,
+        anchors,
+    }
 }
 
 #[cfg(test)]

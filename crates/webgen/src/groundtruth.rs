@@ -11,8 +11,8 @@ use aipan_taxonomy::datatypes::descriptors_for;
 use aipan_taxonomy::purposes::purposes_for;
 use aipan_taxonomy::zeroshot::{ZERO_SHOT_DATA_TYPES, ZERO_SHOT_PURPOSES};
 use aipan_taxonomy::{
-    AccessLabel, ChoiceLabel, DataTypeCategory, ProtectionLabel, PurposeCategory,
-    RetentionLabel, Sector,
+    AccessLabel, ChoiceLabel, DataTypeCategory, ProtectionLabel, PurposeCategory, RetentionLabel,
+    Sector,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -204,12 +204,13 @@ impl GroundTruth {
             let mut attempts = 0;
             while negated_types.len() < n && attempts < 20 {
                 attempts += 1;
-                let cat =
-                    DataTypeCategory::ALL[r.gen_range(0..DataTypeCategory::ALL.len())];
+                let cat = DataTypeCategory::ALL[r.gen_range(0..DataTypeCategory::ALL.len())];
                 let specs: Vec<_> = descriptors_for(cat).collect();
                 let spec = specs[r.gen_range(0..specs.len())];
                 if types.iter().any(|t| t.descriptor == spec.name)
-                    || negated_types.iter().any(|t: &PlantedMention| t.descriptor == spec.name)
+                    || negated_types
+                        .iter()
+                        .any(|t: &PlantedMention| t.descriptor == spec.name)
                 {
                     continue;
                 }
@@ -267,7 +268,10 @@ impl GroundTruth {
                 } else {
                     None
                 };
-                retention.push(PlantedRetention { label, period_days: period });
+                retention.push(PlantedRetention {
+                    label,
+                    period_days: period,
+                });
             }
         }
         // Planted retention extremes (§5: arescre.com & pg.com at 1 day,
@@ -355,7 +359,10 @@ impl GroundTruth {
                 // Never contradict a planted negated mention.
                 let specs: Vec<_> = descriptors_for(category)
                     .filter(|spec| {
-                        truth.negated_types.iter().all(|n| n.descriptor != spec.name)
+                        truth
+                            .negated_types
+                            .iter()
+                            .all(|n| n.descriptor != spec.name)
                     })
                     .collect();
                 let count = (1 + r.gen_range(0..2usize)).min(specs.len());
@@ -399,7 +406,9 @@ impl GroundTruth {
                 .filter(|l| !truth.protection.contains(l))
                 .collect();
             if !missing.is_empty() {
-                truth.protection.push(missing[r.gen_range(0..missing.len())]);
+                truth
+                    .protection
+                    .push(missing[r.gen_range(0..missing.len())]);
             }
         }
         // Change the stated retention period.
@@ -427,19 +436,32 @@ fn sample_count(r: &mut impl Rng, mean: f64, sd: f64, available: usize) -> usize
 pub fn inv_norm_cdf(p: f64) -> f64 {
     debug_assert!((0.0..1.0).contains(&p) && p > 0.0);
     const A: [f64; 6] = [
-        -3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
-        1.383_577_518_672_69e2, -3.066479806614716e+01, 2.506628277459239e+00,
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
     ];
     const B: [f64; 5] = [
-        -5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
-        6.680131188771972e+01, -1.328068155288572e+01,
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
     ];
     const C: [f64; 6] = [
-        -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
-        -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00,
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
     ];
     const D: [f64; 4] = [
-        7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
         3.754408661907416e+00,
     ];
     const P_LOW: f64 = 0.02425;
@@ -514,10 +536,10 @@ fn sample_period_days(r: &mut impl Rng) -> u32 {
     let z = box_muller(r);
     let days = (730.0_f64 * (0.9 * z).exp()).clamp(7.0, 18_250.0);
     // Real policies state round periods: snap to the nearest common unit.
-    *MENU
-        .iter()
-        .min_by_key(|&&m| (m as f64 - days).abs() as u64)
-        .expect("menu non-empty")
+    MENU.iter()
+        .copied()
+        .min_by_key(|&m| (m as f64 - days).abs() as u64)
+        .unwrap_or(730)
 }
 
 #[cfg(test)]
@@ -557,10 +579,16 @@ mod tests {
         let mut medical = 0usize;
         for i in 0..n {
             let t = truth(3, &format!("c{i}.com"), sector);
-            if t.types.iter().any(|m| m.category == DataTypeCategory::ContactInfo && !m.zero_shot) {
+            if t.types
+                .iter()
+                .any(|m| m.category == DataTypeCategory::ContactInfo && !m.zero_shot)
+            {
                 contact += 1;
             }
-            if t.types.iter().any(|m| m.category == DataTypeCategory::MedicalInfo && !m.zero_shot) {
+            if t.types
+                .iter()
+                .any(|m| m.category == DataTypeCategory::MedicalInfo && !m.zero_shot)
+            {
                 medical += 1;
             }
         }
@@ -570,8 +598,14 @@ mod tests {
             .sector_coverage(sector);
         let medical_target = calibration::datatype_calibration(DataTypeCategory::MedicalInfo)
             .sector_coverage(sector);
-        assert!((contact_rate - contact_target).abs() < 0.04, "{contact_rate} vs {contact_target}");
-        assert!((medical_rate - medical_target).abs() < 0.04, "{medical_rate} vs {medical_target}");
+        assert!(
+            (contact_rate - contact_target).abs() < 0.04,
+            "{contact_rate} vs {contact_target}"
+        );
+        assert!(
+            (medical_rate - medical_target).abs() < 0.04,
+            "{medical_rate} vs {medical_target}"
+        );
     }
 
     #[test]
@@ -680,7 +714,11 @@ mod tests {
             let t = truth(23, &format!("uq{i}.com"), Sector::HealthCare).revise(23, 4);
             let mut seen = std::collections::HashSet::new();
             for m in &t.types {
-                assert!(seen.insert(m.descriptor.clone()), "dup descriptor {}", m.descriptor);
+                assert!(
+                    seen.insert(m.descriptor.clone()),
+                    "dup descriptor {}",
+                    m.descriptor
+                );
             }
             let mut labels = std::collections::HashSet::new();
             for l in &t.access {

@@ -145,16 +145,23 @@ const FILLER: &[&str] = &[
 pub fn render_policy(
     truth: &GroundTruth,
     style: &PolicyStyle,
-    company_name: &str,
+    _company_name: &str,
     seed: u64,
 ) -> String {
     let mut w = Writer::new(style.clone());
     let mut vr = rng::stream(seed, "label-variants", &truth.domain);
-    w.para(&format!(
-        "This Privacy Policy explains how {company_name} handles information in connection \
+    // The company name is deliberately NOT interpolated into the English
+    // policy body: generated names reuse sector words ("... Diagnostics",
+    // "... Analytica") that collide with taxonomy surface forms, and a name
+    // in the matcher-visible text would leak spurious annotations into
+    // otherwise collision-free worlds (the oracle-exactness invariant). The
+    // name still appears in the page <title> and the contact email, which
+    // the text extraction keeps out of annotation input.
+    w.para(
+        "This Privacy Policy explains how our company handles information in connection \
          with our websites, products, and services. Please read it carefully. By accessing \
-         our services, you acknowledge the practices described in this policy."
-    ));
+         our services, you acknowledge the practices described in this policy.",
+    );
     w.filler_block(0);
 
     // Dedicated sections for aspects not folded inline.
@@ -307,7 +314,9 @@ fn render_types(w: &mut Writer, truth: &GroundTruth, style: &PolicyStyle) {
              as described at the point of collection.",
         );
     } else if style.bullets {
-        w.para("Depending on how you interact with us, the personal information we collect includes:");
+        w.para(
+            "Depending on how you interact with us, the personal information we collect includes:",
+        );
         let items: Vec<String> = truth.types.iter().map(|m| m.surface.clone()).collect();
         w.bullets(&items);
     } else {
@@ -363,12 +372,7 @@ fn render_purposes(w: &mut Writer, truth: &GroundTruth, style: &PolicyStyle) {
     }
 }
 
-fn render_handling(
-    w: &mut Writer,
-    truth: &GroundTruth,
-    _style: &PolicyStyle,
-    vr: &mut impl Rng,
-) {
+fn render_handling(w: &mut Writer, truth: &GroundTruth, _style: &PolicyStyle, vr: &mut impl Rng) {
     // Real policies restate the same practice in several places (per data
     // class, per jurisdiction); the paper's Table 1 counts each distinct
     // mention. Render 1–3 phrasing variants per planted label.
@@ -398,12 +402,7 @@ fn variant_count(vr: &mut impl Rng, available: usize, max: usize) -> usize {
     vr.gen_range(1..=max.min(available).max(1))
 }
 
-fn render_rights(
-    w: &mut Writer,
-    truth: &GroundTruth,
-    _style: &PolicyStyle,
-    vr: &mut impl Rng,
-) {
+fn render_rights(w: &mut Writer, truth: &GroundTruth, _style: &PolicyStyle, vr: &mut impl Rng) {
     for choice in &truth.choices {
         let variants = choice_sentences(*choice, &truth.domain);
         let k = variant_count(vr, variants.len(), 3);
@@ -588,16 +587,14 @@ pub fn choice_sentences(label: ChoiceLabel, domain: &str) -> Vec<String> {
                 .to_string(),
             "The privacy settings page lets you adjust how information about you is used."
                 .to_string(),
-            "Visit your privacy settings to switch individual features on or off."
-                .to_string(),
+            "Visit your privacy settings to switch individual features on or off.".to_string(),
         ],
         ChoiceLabel::OptIn => vec![
             "Where the law requires it, we will obtain your consent before we collect, \
              use, or disclose this information."
                 .to_string(),
             "These features operate only with your prior consent.".to_string(),
-            "We will obtain your consent before enabling any optional data uses."
-                .to_string(),
+            "We will obtain your consent before enabling any optional data uses.".to_string(),
         ],
         ChoiceLabel::DoNotUse => vec![
             "If you do not agree with the practices described in this policy, your sole \
@@ -606,8 +603,7 @@ pub fn choice_sentences(label: ChoiceLabel, domain: &str) -> Vec<String> {
             "If these practices are unacceptable to you, the only available option is to \
              discontinue use of the service."
                 .to_string(),
-            "Users who do not agree with this policy should not use our services."
-                .to_string(),
+            "Users who do not agree with this policy should not use our services.".to_string(),
         ],
     }
 }
@@ -740,9 +736,26 @@ pub fn period_text(days: u32) -> String {
 /// Spell numbers up to 100 in words (digits beyond that).
 pub fn spell_number(n: u32) -> String {
     const ONES: [&str; 20] = [
-        "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine",
-        "ten", "eleven", "twelve", "thirteen", "fourteen", "fifteen", "sixteen",
-        "seventeen", "eighteen", "nineteen",
+        "zero",
+        "one",
+        "two",
+        "three",
+        "four",
+        "five",
+        "six",
+        "seven",
+        "eight",
+        "nine",
+        "ten",
+        "eleven",
+        "twelve",
+        "thirteen",
+        "fourteen",
+        "fifteen",
+        "sixteen",
+        "seventeen",
+        "eighteen",
+        "nineteen",
     ];
     const TENS: [&str; 10] = [
         "", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy", "eighty", "ninety",
@@ -772,7 +785,10 @@ struct Writer {
 
 impl Writer {
     fn new(style: PolicyStyle) -> Writer {
-        Writer { style, html: String::with_capacity(16 * 1024) }
+        Writer {
+            style,
+            html: String::with_capacity(16 * 1024),
+        }
     }
 
     fn heading(&mut self, text: &str) {
@@ -827,7 +843,10 @@ impl Writer {
 }
 
 fn surfaces(mentions: &[PlantedMention]) -> Vec<String> {
-    mentions.iter().map(|m| format!("your {}", m.surface)).collect()
+    mentions
+        .iter()
+        .map(|m| format!("your {}", m.surface))
+        .collect()
 }
 
 fn purpose_surfaces(purposes: &[PlantedPurpose]) -> Vec<String> {
@@ -872,7 +891,11 @@ mod tests {
                 );
             }
             for p in &t.purposes {
-                assert!(lower.contains(&p.surface.to_lowercase()), "missing {:?}", p.surface);
+                assert!(
+                    lower.contains(&p.surface.to_lowercase()),
+                    "missing {:?}",
+                    p.surface
+                );
             }
         }
     }
@@ -956,7 +979,10 @@ mod tests {
         let (t, s) = sample(5, "mix.com");
         let html = render_policy_mixed(&t, &s, "Mix Corp", 5);
         let doc = aipan_html::extract(&html);
-        assert!(!aipan_html::lang::is_english(&doc.text()), "mixed text should be discarded");
+        assert!(
+            !aipan_html::lang::is_english(&doc.text()),
+            "mixed text should be discarded"
+        );
     }
 
     #[test]

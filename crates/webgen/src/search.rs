@@ -42,13 +42,19 @@ impl SearchIndex {
                 misleading.insert(c.name.clone());
             }
         }
-        SearchIndex { by_name, misleading }
+        SearchIndex {
+            by_name,
+            misleading,
+        }
     }
 
     /// Search for a company name; `None` if the name is unknown.
     pub fn first_result(&self, company_name: &str) -> Option<SearchHit> {
         let domain = self.by_name.get(company_name)?.clone();
-        Some(SearchHit { domain, needed_review: self.misleading.contains(company_name) })
+        Some(SearchHit {
+            domain,
+            needed_review: self.misleading.contains(company_name),
+        })
     }
 
     /// Number of indexed names.

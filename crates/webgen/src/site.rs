@@ -7,9 +7,7 @@
 //! rendered pages registered on an [`Internet`].
 
 use crate::groundtruth::GroundTruth;
-use crate::policy::{
-    render_policy, render_policy_german, render_policy_mixed, PolicyStyle,
-};
+use crate::policy::{render_policy, render_policy_german, render_policy_mixed, PolicyStyle};
 use crate::rng;
 use crate::search::SearchIndex;
 use crate::universe::{Company, Universe, UNIVERSE_SIZE};
@@ -18,11 +16,11 @@ use aipan_net::host::StaticSite;
 use aipan_net::http::{Response, Status};
 use aipan_net::Internet;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The fate assigned to a company's website, reproducing the §4 audit
 /// classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum CompanyFate {
     /// Policy present and extractable.
     Normal,
@@ -55,16 +53,16 @@ impl CompanyFate {
     pub fn assign(seed: u64, domain: &str) -> CompanyFate {
         let u = rng::unit(seed, "fate", domain);
         match u {
-            x if x < 0.057 => CompanyFate::NoPolicy,
-            x if x < 0.064 => CompanyFate::HiddenLegalLink,
-            x if x < 0.0665 => CompanyFate::JsActionLink,
-            x if x < 0.069 => CompanyFate::ConsentBoxLink,
-            x if x < 0.083 => CompanyFate::PdfPolicy,
-            x if x < 0.088 => CompanyFate::NonEnglish,
-            x if x < 0.0895 => CompanyFate::MixedLanguage,
-            x if x < 0.0955 => CompanyFate::JsLoadedPolicy,
-            x if x < 0.098 => CompanyFate::ImagePolicy,
-            x if x < 0.101 => CompanyFate::ExpandablePolicy,
+            x if x < 0.072 => CompanyFate::NoPolicy,
+            x if x < 0.079 => CompanyFate::HiddenLegalLink,
+            x if x < 0.0815 => CompanyFate::JsActionLink,
+            x if x < 0.084 => CompanyFate::ConsentBoxLink,
+            x if x < 0.098 => CompanyFate::PdfPolicy,
+            x if x < 0.103 => CompanyFate::NonEnglish,
+            x if x < 0.1045 => CompanyFate::MixedLanguage,
+            x if x < 0.1105 => CompanyFate::JsLoadedPolicy,
+            x if x < 0.113 => CompanyFate::ImagePolicy,
+            x if x < 0.116 => CompanyFate::ExpandablePolicy,
             _ => CompanyFate::Normal,
         }
     }
@@ -147,7 +145,12 @@ impl Default for WorldConfig {
 impl WorldConfig {
     /// A small world for tests and examples.
     pub fn small(seed: u64, universe_size: usize) -> WorldConfig {
-        WorldConfig { seed, universe_size, faults: FaultConfig::default(), revision: 0 }
+        WorldConfig {
+            seed,
+            universe_size,
+            faults: FaultConfig::default(),
+            revision: 0,
+        }
     }
 
     /// The same world at a later policy revision.
@@ -168,20 +171,23 @@ pub struct World {
     /// The simulated web.
     pub internet: Internet,
     /// Per-domain fates.
-    pub fates: HashMap<String, CompanyFate>,
+    pub fates: BTreeMap<String, CompanyFate>,
     /// Per-domain planted ground truth (absent for [`CompanyFate::NoPolicy`]).
-    pub truths: HashMap<String, GroundTruth>,
+    pub truths: BTreeMap<String, GroundTruth>,
     /// Per-domain policy rendering style.
-    pub styles: HashMap<String, PolicyStyle>,
+    pub styles: BTreeMap<String, PolicyStyle>,
     /// Per-domain path of the page actually containing the policy (absent
     /// for `NoPolicy`).
-    pub policy_paths: HashMap<String, String>,
+    pub policy_paths: BTreeMap<String, String>,
 }
 
 impl World {
     /// Fate of a domain (`Normal` for unknown domains).
     pub fn fate(&self, domain: &str) -> CompanyFate {
-        self.fates.get(domain).copied().unwrap_or(CompanyFate::Normal)
+        self.fates
+            .get(domain)
+            .copied()
+            .unwrap_or(CompanyFate::Normal)
     }
 
     /// Ground truth of a domain.
@@ -195,8 +201,8 @@ impl World {
     }
 
     /// Count of domains with each fate.
-    pub fn fate_histogram(&self) -> HashMap<CompanyFate, usize> {
-        let mut h = HashMap::new();
+    pub fn fate_histogram(&self) -> BTreeMap<CompanyFate, usize> {
+        let mut h = BTreeMap::new();
         for &fate in self.fates.values() {
             *h.entry(fate).or_insert(0) += 1;
         }
@@ -209,10 +215,10 @@ pub fn build_world(config: WorldConfig) -> World {
     let universe = Universe::generate_sized(config.seed, config.universe_size);
     let search = SearchIndex::build(config.seed, &universe);
     let internet = Internet::new();
-    let mut fates = HashMap::new();
-    let mut truths = HashMap::new();
-    let mut styles = HashMap::new();
-    let mut policy_paths = HashMap::new();
+    let mut fates = BTreeMap::new();
+    let mut truths = BTreeMap::new();
+    let mut styles = BTreeMap::new();
+    let mut policy_paths = BTreeMap::new();
 
     for company in universe.unique_domains() {
         let domain = company.domain.clone();
@@ -225,8 +231,7 @@ pub fn build_world(config: WorldConfig) -> World {
             _ => {
                 let truth = GroundTruth::sample(config.seed, &domain, company.sector)
                     .revise(config.seed, config.revision);
-                let (site, policy_path) =
-                    build_site(config.seed, company, &truth, &style, fate);
+                let (site, policy_path) = build_site(config.seed, company, &truth, &style, fate);
                 truths.insert(domain.clone(), truth);
                 policy_paths.insert(domain.clone(), policy_path);
                 site
@@ -239,7 +244,16 @@ pub fn build_world(config: WorldConfig) -> World {
         internet.register(&domain, site);
     }
 
-    World { config, universe, search, internet, fates, truths, styles, policy_paths }
+    World {
+        config,
+        universe,
+        search,
+        internet,
+        fates,
+        truths,
+        styles,
+        policy_paths,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -362,13 +376,20 @@ fn build_site(
 
             let mut site = StaticSite::new().page(
                 "/",
-                page(&company.name, &standard_header(), &marketing(company), &footer_links(&privacy_links)),
+                page(
+                    &company.name,
+                    &standard_header(),
+                    &marketing(company),
+                    &footer_links(&privacy_links),
+                ),
             );
             site = site.page(policy_path, policy_page(&policy_html));
             match layout {
                 SiteLayout::Both => {
-                    site = site
-                        .page("/privacy", Response::redirect(Status::MOVED_PERMANENTLY, "/privacy-policy"));
+                    site = site.page(
+                        "/privacy",
+                        Response::redirect(Status::MOVED_PERMANENTLY, "/privacy-policy"),
+                    );
                 }
                 SiteLayout::Center => {
                     // The center page links to the real policy from its top
@@ -467,7 +488,12 @@ fn build_site(
             let site = StaticSite::new()
                 .page(
                     "/",
-                    page(&company.name, &standard_header(), &marketing(company), footer),
+                    page(
+                        &company.name,
+                        &standard_header(),
+                        &marketing(company),
+                        footer,
+                    ),
                 )
                 .page("/modal/privacy-content", policy_page(&policy_html));
             (site, "/modal/privacy-content".to_string())
@@ -641,7 +667,10 @@ mod tests {
     #[test]
     fn normal_site_serves_policy_with_planted_surfaces() {
         let w = small_world();
-        let client = Client::new(w.internet.clone(), FaultInjector::new(0, FaultConfig::none()));
+        let client = Client::new(
+            w.internet.clone(),
+            FaultInjector::new(0, FaultConfig::none()),
+        );
         let (domain, _) = w
             .fates
             .iter()
@@ -654,14 +683,21 @@ mod tests {
         let body = res.response.body_text().to_lowercase();
         let truth = w.truth(domain).unwrap();
         for m in &truth.types {
-            assert!(body.contains(&m.surface.to_lowercase()), "missing {}", m.surface);
+            assert!(
+                body.contains(&m.surface.to_lowercase()),
+                "missing {}",
+                m.surface
+            );
         }
     }
 
     #[test]
     fn no_policy_sites_404_standard_paths() {
         let w = small_world();
-        let client = Client::new(w.internet.clone(), FaultInjector::new(0, FaultConfig::none()));
+        let client = Client::new(
+            w.internet.clone(),
+            FaultInjector::new(0, FaultConfig::none()),
+        );
         if let Some((domain, _)) = w.fates.iter().find(|(_, f)| **f == CompanyFate::NoPolicy) {
             for path in ["/privacy-policy", "/privacy"] {
                 let url = Url::parse(&format!("https://{domain}{path}")).unwrap();
@@ -675,7 +711,10 @@ mod tests {
     #[test]
     fn homepage_privacy_link_presence_by_fate() {
         let w = small_world();
-        let client = Client::new(w.internet.clone(), FaultInjector::new(0, FaultConfig::none()));
+        let client = Client::new(
+            w.internet.clone(),
+            FaultInjector::new(0, FaultConfig::none()),
+        );
         for (domain, fate) in &w.fates {
             let url = Url::parse(&format!("https://{domain}/")).unwrap();
             let res = client.fetch(&url).unwrap();
@@ -692,13 +731,19 @@ mod tests {
                     assert!(has_privacy_link, "{domain} ({fate:?}) should link privacy");
                 }
                 CompanyFate::NoPolicy | CompanyFate::HiddenLegalLink => {
-                    assert!(!has_privacy_link, "{domain} ({fate:?}) must not link privacy");
+                    assert!(
+                        !has_privacy_link,
+                        "{domain} ({fate:?}) must not link privacy"
+                    );
                 }
                 // JsActionLink has a privacy link but it's a javascript: URL;
                 // ConsentBoxLink's link is hidden in collapsed details.
                 CompanyFate::JsActionLink => {}
                 CompanyFate::ConsentBoxLink => {
-                    assert!(!has_privacy_link, "{domain}: consent-box link must be hidden");
+                    assert!(
+                        !has_privacy_link,
+                        "{domain}: consent-box link must be hidden"
+                    );
                 }
             }
         }
@@ -707,7 +752,10 @@ mod tests {
     #[test]
     fn layout_rates_give_path_existence_near_paper() {
         let w = build_world(WorldConfig::small(13, 1500));
-        let client = Client::new(w.internet.clone(), FaultInjector::new(0, FaultConfig::none()));
+        let client = Client::new(
+            w.internet.clone(),
+            FaultInjector::new(0, FaultConfig::none()),
+        );
         let mut pp = 0usize;
         let mut p = 0usize;
         let domains: Vec<String> = w.fates.keys().cloned().collect();
@@ -715,8 +763,7 @@ mod tests {
             for (path, counter) in [("/privacy-policy", &mut pp), ("/privacy", &mut p)] {
                 let url = Url::parse(&format!("https://{domain}{path}")).unwrap();
                 if let Ok(res) = client.fetch(&url) {
-                    if res.response.status.is_success()
-                        && res.response.status != Status::FORBIDDEN
+                    if res.response.status.is_success() && res.response.status != Status::FORBIDDEN
                     {
                         *counter += 1;
                     }
@@ -726,7 +773,10 @@ mod tests {
         let pp_rate = pp as f64 / domains.len() as f64;
         let p_rate = p as f64 / domains.len() as f64;
         // Paper: 54.5% and 48.6%.
-        assert!((pp_rate - 0.545).abs() < 0.08, "/privacy-policy rate {pp_rate}");
+        assert!(
+            (pp_rate - 0.545).abs() < 0.08,
+            "/privacy-policy rate {pp_rate}"
+        );
         assert!((p_rate - 0.486).abs() < 0.08, "/privacy rate {p_rate}");
     }
 
@@ -744,8 +794,14 @@ mod tests {
     #[test]
     fn expandable_policy_hides_text_from_extractor() {
         let w = build_world(WorldConfig::small(31, 2000));
-        let client = Client::new(w.internet.clone(), FaultInjector::new(0, FaultConfig::none()));
-        let found = w.fates.iter().find(|(_, f)| **f == CompanyFate::ExpandablePolicy);
+        let client = Client::new(
+            w.internet.clone(),
+            FaultInjector::new(0, FaultConfig::none()),
+        );
+        let found = w
+            .fates
+            .iter()
+            .find(|(_, f)| **f == CompanyFate::ExpandablePolicy);
         if let Some((domain, _)) = found {
             let path = w.policy_paths.get(domain).unwrap();
             let url = Url::parse(&format!("https://{domain}{path}")).unwrap();

@@ -41,29 +41,147 @@ pub const UNIVERSE_SIZE: usize = 2916;
 pub const UNIQUE_DOMAINS: usize = 2892;
 
 const NAME_HEADS: &[&str] = &[
-    "Apex", "Blue", "Cedar", "Delta", "Echo", "First", "Global", "Harbor", "Iron", "Jade",
-    "Keystone", "Lake", "Meridian", "North", "Omni", "Pioneer", "Quantum", "River", "Summit",
-    "Titan", "Union", "Vertex", "West", "Zenith", "Atlas", "Beacon", "Crown", "Dynamo",
-    "Evergreen", "Frontier", "Granite", "Horizon", "Ivory", "Juniper", "Kinetic", "Liberty",
-    "Monarch", "Nova", "Orchard", "Paragon", "Redwood", "Sterling", "Trident", "Vanguard",
-    "Willow", "Amber", "Bolt", "Cascade", "Drift", "Ember", "Falcon", "Grove", "Helix",
-    "Inlet", "Jet", "Krypton", "Lumen", "Mosaic", "Nimbus", "Onyx", "Pinnacle", "Quarry",
-    "Ridge", "Slate", "Terra", "Ultra", "Vista", "Wave", "Xenon", "Yield", "Zephyr",
+    "Apex",
+    "Blue",
+    "Cedar",
+    "Delta",
+    "Echo",
+    "First",
+    "Global",
+    "Harbor",
+    "Iron",
+    "Jade",
+    "Keystone",
+    "Lake",
+    "Meridian",
+    "North",
+    "Omni",
+    "Pioneer",
+    "Quantum",
+    "River",
+    "Summit",
+    "Titan",
+    "Union",
+    "Vertex",
+    "West",
+    "Zenith",
+    "Atlas",
+    "Beacon",
+    "Crown",
+    "Dynamo",
+    "Evergreen",
+    "Frontier",
+    "Granite",
+    "Horizon",
+    "Ivory",
+    "Juniper",
+    "Kinetic",
+    "Liberty",
+    "Monarch",
+    "Nova",
+    "Orchard",
+    "Paragon",
+    "Redwood",
+    "Sterling",
+    "Trident",
+    "Vanguard",
+    "Willow",
+    "Amber",
+    "Bolt",
+    "Cascade",
+    "Drift",
+    "Ember",
+    "Falcon",
+    "Grove",
+    "Helix",
+    "Inlet",
+    "Jet",
+    "Krypton",
+    "Lumen",
+    "Mosaic",
+    "Nimbus",
+    "Onyx",
+    "Pinnacle",
+    "Quarry",
+    "Ridge",
+    "Slate",
+    "Terra",
+    "Ultra",
+    "Vista",
+    "Wave",
+    "Xenon",
+    "Yield",
+    "Zephyr",
 ];
 
 const NAME_CORES: &[&str] = &[
-    "Tech", "Health", "Energy", "Financial", "Consumer", "Industrial", "Material", "Media",
-    "Realty", "Utility", "Data", "Micro", "Bio", "Pharma", "Retail", "Logistics", "Capital",
-    "Grid", "Steel", "Foods", "Brands", "Systems", "Networks", "Dynamics", "Analytica",
-    "Therapeutics", "Diagnostics", "Petroleum", "Mining", "Properties", "Bancorp", "Insurance",
-    "Aerospace", "Motors", "Chemical", "Paper", "Water", "Power", "Telecom", "Broadcast",
-    "Software", "Semiconductor", "Robotics", "Marine", "Rail", "Apparel", "Hospitality",
-    "Gaming", "Fitness", "Education",
+    "Tech",
+    "Health",
+    "Energy",
+    "Financial",
+    "Consumer",
+    "Industrial",
+    "Material",
+    "Media",
+    "Realty",
+    "Utility",
+    "Data",
+    "Micro",
+    "Bio",
+    "Pharma",
+    "Retail",
+    "Logistics",
+    "Capital",
+    "Grid",
+    "Steel",
+    "Foods",
+    "Brands",
+    "Systems",
+    "Networks",
+    "Dynamics",
+    "Analytica",
+    "Therapeutics",
+    "Diagnostics",
+    "Petroleum",
+    "Mining",
+    "Properties",
+    "Bancorp",
+    "Insurance",
+    "Aerospace",
+    "Motors",
+    "Chemical",
+    "Paper",
+    "Water",
+    "Power",
+    "Telecom",
+    "Broadcast",
+    "Software",
+    "Semiconductor",
+    "Robotics",
+    "Marine",
+    "Rail",
+    "Apparel",
+    "Hospitality",
+    "Gaming",
+    "Fitness",
+    "Education",
 ];
 
 const NAME_TAILS: &[&str] = &[
-    "Inc", "Corp", "Group", "Holdings", "Partners", "Industries", "Enterprises", "Company",
-    "International", "Solutions", "Labs", "Trust", "PLC", "Co",
+    "Inc",
+    "Corp",
+    "Group",
+    "Holdings",
+    "Partners",
+    "Industries",
+    "Enterprises",
+    "Company",
+    "International",
+    "Solutions",
+    "Labs",
+    "Trust",
+    "PLC",
+    "Co",
 ];
 
 impl Universe {
@@ -87,7 +205,12 @@ impl Universe {
 
         // Planted real-name companies (retention-extreme references in §5).
         let planted: &[(&str, &str, Sector, &str)] = &[
-            ("ACRE", "Ares Commercial Real Estate", Sector::RealEstate, "arescre.com"),
+            (
+                "ACRE",
+                "Ares Commercial Real Estate",
+                Sector::RealEstate,
+                "arescre.com",
+            ),
             ("PG", "Procter & Gamble", Sector::ConsumerStaples, "pg.com"),
             ("BMY", "Bristol-Myers Squibb", Sector::HealthCare, "bms.com"),
         ];
@@ -104,7 +227,11 @@ impl Universe {
         }
 
         // Duplicate-ticker issuers: 24 per 2916 constituents.
-        let dup_pairs = (n * (UNIVERSE_SIZE - UNIQUE_DOMAINS) / UNIVERSE_SIZE).max(if n >= 200 { 1 } else { 0 });
+        let dup_pairs = (n * (UNIVERSE_SIZE - UNIQUE_DOMAINS) / UNIVERSE_SIZE).max(if n >= 200 {
+            1
+        } else {
+            0
+        });
 
         for (sector_idx, &quota) in remaining.iter().enumerate() {
             let sector = Sector::ALL[sector_idx];
@@ -113,14 +240,26 @@ impl Universe {
                     break;
                 }
                 let (name, domain, ticker) = fresh_company(&mut rng, &mut used_names);
-                companies.push(Company { ticker, name, sector, domain });
+                companies.push(Company {
+                    ticker,
+                    name,
+                    sector,
+                    domain,
+                });
             }
         }
         // Top up (rounding slack) with random sectors.
         while companies.len() < n {
-            let sector = *Sector::ALL.as_slice().choose(&mut rng).expect("sectors");
+            // Same draw as `choose`, but indexing a non-empty const array
+            // cannot fail.
+            let sector = Sector::ALL[rng.gen_range(0..Sector::ALL.len())];
             let (name, domain, ticker) = fresh_company(&mut rng, &mut used_names);
-            companies.push(Company { ticker, name, sector, domain });
+            companies.push(Company {
+                ticker,
+                name,
+                sector,
+                domain,
+            });
         }
 
         // Create duplicate-ticker share classes: clone an existing company
@@ -191,17 +330,14 @@ fn sector_quotas(n: usize) -> [usize; 11] {
         assigned += quotas[i];
         remainders.push((i, exact - exact.floor()));
     }
-    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     for (i, _) in remainders.into_iter().take(n.saturating_sub(assigned)) {
         quotas[i] += 1;
     }
     quotas
 }
 
-fn fresh_company(
-    rng: &mut impl Rng,
-    used: &mut HashMap<String, u32>,
-) -> (String, String, String) {
+fn fresh_company(rng: &mut impl Rng, used: &mut HashMap<String, u32>) -> (String, String, String) {
     loop {
         let head = NAME_HEADS[rng.gen_range(0..NAME_HEADS.len())];
         let core = NAME_CORES[rng.gen_range(0..NAME_CORES.len())];
@@ -210,7 +346,10 @@ fn fresh_company(
         let count = used.entry(base.clone()).or_insert(0);
         *count += 1;
         let (name, slug) = if *count == 1 {
-            (format!("{base} {tail}"), format!("{}{}", head.to_lowercase(), core.to_lowercase()))
+            (
+                format!("{base} {tail}"),
+                format!("{}{}", head.to_lowercase(), core.to_lowercase()),
+            )
         } else if *count <= 3 {
             (
                 format!("{base} {tail} {count}"),
@@ -231,7 +370,11 @@ fn make_ticker(name: &str, used: &mut HashMap<String, u32>) -> String {
         .filter(|c| c.is_ascii_uppercase())
         .take(4)
         .collect();
-    let base = if letters.len() >= 2 { letters } else { "XX".to_string() };
+    let base = if letters.len() >= 2 {
+        letters
+    } else {
+        "XX".to_string()
+    };
     let key = format!("ticker:{base}");
     let count = used.entry(key).or_insert(0);
     *count += 1;
@@ -297,7 +440,10 @@ mod tests {
         for d in ["arescre.com", "pg.com", "bms.com"] {
             assert!(u.by_domain(d).is_some(), "missing planted {d}");
         }
-        assert_eq!(u.by_domain("pg.com").unwrap().sector, Sector::ConsumerStaples);
+        assert_eq!(
+            u.by_domain("pg.com").unwrap().sector,
+            Sector::ConsumerStaples
+        );
     }
 
     #[test]

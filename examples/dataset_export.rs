@@ -9,12 +9,21 @@ use aipan::core::{run_pipeline, Dataset, PipelineConfig};
 use aipan::webgen::{build_world, WorldConfig};
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| std::env::temp_dir().join("aipan-dataset.json").display().to_string());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join("aipan-dataset.json")
+            .display()
+            .to_string()
+    });
 
     let world = build_world(WorldConfig::small(42, 500));
-    let run = run_pipeline(&world, PipelineConfig { seed: 42, ..Default::default() });
+    let run = run_pipeline(
+        &world,
+        PipelineConfig {
+            seed: 42,
+            ..Default::default()
+        },
+    );
     let json = run.dataset.to_json().expect("serialize dataset");
     std::fs::write(&out_path, &json).expect("write dataset");
     println!(

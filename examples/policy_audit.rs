@@ -15,7 +15,9 @@ use aipan::webgen::{build_world, WorldConfig};
 
 fn main() {
     let world = build_world(WorldConfig::small(42, 600));
-    let domain = std::env::args().nth(1).unwrap_or_else(|| "pg.com".to_string());
+    let domain = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "pg.com".to_string());
     let Some(company) = world.company(&domain) else {
         eprintln!("domain {domain} not in this world; try one of:");
         for c in world.universe.unique_domains().iter().take(10) {
@@ -24,7 +26,12 @@ fn main() {
         std::process::exit(1);
     };
 
-    println!("auditing {} ({}, {})", company.name, domain, company.sector.name());
+    println!(
+        "auditing {} ({}, {})",
+        company.name,
+        domain,
+        company.sector.name()
+    );
     let client = Client::new(
         world.internet.clone(),
         FaultInjector::new(world.config.seed, world.config.faults),
@@ -37,9 +44,15 @@ fn main() {
         crawl.outcome
     );
 
-    let pipeline = Pipeline::new(PipelineConfig { seed: 42, ..Default::default() });
+    let pipeline = Pipeline::new(PipelineConfig {
+        seed: 42,
+        ..Default::default()
+    });
     let Some(policy) = pipeline.process_domain(&crawl, company.sector) else {
-        println!("no extractable policy for {domain} (fate: {:?})", world.fate(&domain));
+        println!(
+            "no extractable policy for {domain} (fate: {:?})",
+            world.fate(&domain)
+        );
         return;
     };
 
@@ -50,13 +63,21 @@ fn main() {
 
     println!("\nCOLLECTS:");
     for ann in policy.for_aspect(AspectKind::Types) {
-        if let AnnotationPayload::DataType { descriptor, category } = &ann.payload {
+        if let AnnotationPayload::DataType {
+            descriptor,
+            category,
+        } = &ann.payload
+        {
             println!("  [{}] {descriptor}", category.name());
         }
     }
     println!("\nUSES DATA FOR:");
     for ann in policy.for_aspect(AspectKind::Purposes) {
-        if let AnnotationPayload::Purpose { descriptor, category } = &ann.payload {
+        if let AnnotationPayload::Purpose {
+            descriptor,
+            category,
+        } = &ann.payload
+        {
             println!("  [{}] {descriptor}", category.name());
         }
     }

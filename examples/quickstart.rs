@@ -19,12 +19,16 @@ fn main() {
 
     // 2. Crawl + segment + annotate everything with the GPT-4-Turbo-profile
     //    simulated chatbot.
-    let run = run_pipeline(&world, PipelineConfig { seed: 42, ..Default::default() });
+    let run = run_pipeline(
+        &world,
+        PipelineConfig {
+            seed: 42,
+            ..Default::default()
+        },
+    );
     println!(
         "pipeline: {} crawled, {} extracted, {} annotated",
-        run.crawl_funnel.crawl_success,
-        run.extraction.extraction_success,
-        run.extraction.annotated
+        run.crawl_funnel.crawl_success, run.extraction.extraction_success, run.extraction.annotated
     );
 
     // 3. Inspect one company's structured annotations.
@@ -45,7 +49,10 @@ fn main() {
     }
     println!("\nfirst few data-type annotations:");
     for ann in policy.for_aspect(AspectKind::Types).take(5) {
-        println!("  line {:>3}  {:?}  ← {:?}", ann.line, ann.payload, ann.text);
+        println!(
+            "  line {:>3}  {:?}  ← {:?}",
+            ann.line, ann.payload, ann.text
+        );
     }
 
     // 4. Token accounting, as a real chatbot deployment would need.

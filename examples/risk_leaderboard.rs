@@ -15,20 +15,37 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(600);
     let world = build_world(WorldConfig::small(42, size));
-    let run = run_pipeline(&world, PipelineConfig { seed: 42, ..Default::default() });
+    let run = run_pipeline(
+        &world,
+        PipelineConfig {
+            seed: 42,
+            ..Default::default()
+        },
+    );
 
     let scores = risk::rank(&run.dataset);
     print!("{}", risk::render(&scores, 15));
 
     // Decompose the single riskiest policy.
     if let Some(worst) = scores.first() {
-        println!("\nriskiest policy: {} ({})", worst.domain, worst.sector.name());
+        println!(
+            "\nriskiest policy: {} ({})",
+            worst.domain,
+            worst.sector.name()
+        );
         println!(
             "  collection {:.1}/50 · protection gap {:.1}/25 · rights gap {:.1}/25",
             worst.collection, worst.protection_gap, worst.rights_gap
         );
-        let policy = run.dataset.by_domain(&worst.domain).expect("scored from dataset");
-        println!("  {} annotations across {} aspects", policy.annotations.len(), 4);
+        let policy = run
+            .dataset
+            .by_domain(&worst.domain)
+            .expect("scored from dataset");
+        println!(
+            "  {} annotations across {} aspects",
+            policy.annotations.len(),
+            4
+        );
     }
     if let Some(best) = scores.last() {
         println!("least exposed: {} ({:.1} points)", best.domain, best.score);

@@ -19,7 +19,13 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(800);
     let world = build_world(WorldConfig::small(42, size));
-    let run = run_pipeline(&world, PipelineConfig { seed: 42, ..Default::default() });
+    let run = run_pipeline(
+        &world,
+        PipelineConfig {
+            seed: 42,
+            ..Default::default()
+        },
+    );
 
     println!(
         "{:<24} {:>5} {:>10} {:>10} {:>9} {:>9}",

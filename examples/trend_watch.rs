@@ -17,11 +17,23 @@ fn main() {
 
     println!("snapshot 1: initial policies");
     let world_v1 = build_world(WorldConfig::small(42, size));
-    let run_v1 = run_pipeline(&world_v1, PipelineConfig { seed: 42, ..Default::default() });
+    let run_v1 = run_pipeline(
+        &world_v1,
+        PipelineConfig {
+            seed: 42,
+            ..Default::default()
+        },
+    );
 
     println!("snapshot 2: after two policy-update cycles");
     let world_v2 = build_world(WorldConfig::small(42, size).at_revision(2));
-    let run_v2 = run_pipeline(&world_v2, PipelineConfig { seed: 42, ..Default::default() });
+    let run_v2 = run_pipeline(
+        &world_v2,
+        PipelineConfig {
+            seed: 42,
+            ..Default::default()
+        },
+    );
 
     let report = TrendReport::diff(&run_v1.dataset, &run_v2.dataset);
     print!("{}", report.render(12));
@@ -36,10 +48,7 @@ fn main() {
         println!("  added:   {:?}", diff.added);
         println!("  removed: {:?}", diff.removed);
         if let Some(gaps) = peer_gaps(&run_v2.dataset, &diff.domain, 0.6) {
-            println!(
-                "  still missing vs ≥60% of sector peers: {:?}",
-                gaps
-            );
+            println!("  still missing vs ≥60% of sector peers: {:?}", gaps);
         }
     }
 }

@@ -15,7 +15,9 @@ use aipan::chatbot::SimulatedChatbot;
 use aipan::core::pipeline::Pipeline;
 use aipan::core::{run_pipeline, Dataset, PipelineConfig};
 use aipan::crawler::crawl_domain;
-use aipan::ml::{build_aspect_corpus, build_rights_corpus, eval, train::split_by_domain, Featurizer};
+use aipan::ml::{
+    build_aspect_corpus, build_rights_corpus, eval, train::split_by_domain, Featurizer,
+};
 use aipan::net::fault::FaultInjector;
 use aipan::net::Client;
 use aipan::webgen::{build_world, World, WorldConfig};
@@ -39,8 +41,18 @@ fn parse_args() -> Args {
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--seed" => args.seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
-            "--size" => args.size = iter.next().and_then(|v| v.parse().ok()).unwrap_or(args.size),
+            "--seed" => {
+                args.seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.seed)
+            }
+            "--size" => {
+                args.size = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.size)
+            }
             "--out" => args.out = iter.next(),
             other if args.command.is_empty() => args.command = other.to_string(),
             other => args.positional.push(other.to_string()),
@@ -64,8 +76,15 @@ fn usage() -> ! {
 }
 
 fn build(args: &Args) -> World {
-    eprintln!("building world (seed {}, {} constituents)...", args.seed, args.size);
-    build_world(WorldConfig { seed: args.seed, universe_size: args.size, ..Default::default() })
+    eprintln!(
+        "building world (seed {}, {} constituents)...",
+        args.seed, args.size
+    );
+    build_world(WorldConfig {
+        seed: args.seed,
+        universe_size: args.size,
+        ..Default::default()
+    })
 }
 
 fn main() {
@@ -83,24 +102,36 @@ fn main() {
 
 fn cmd_run(args: &Args) {
     let world = build(args);
-    let run = run_pipeline(&world, PipelineConfig { seed: args.seed, ..Default::default() });
+    let run = run_pipeline(
+        &world,
+        PipelineConfig {
+            seed: args.seed,
+            ..Default::default()
+        },
+    );
     println!(
         "crawled {} domains ({} ok), annotated {} policies",
-        run.crawl_funnel.domains_total,
-        run.crawl_funnel.crawl_success,
-        run.extraction.annotated
+        run.crawl_funnel.domains_total, run.crawl_funnel.crawl_success, run.extraction.annotated
     );
-    let out = args.out.clone().unwrap_or_else(|| "aipan-dataset.json".to_string());
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "aipan-dataset.json".to_string());
     let json = run.dataset.to_json().expect("serialize dataset");
     std::fs::write(&out, &json).expect("write dataset");
     println!("dataset written to {out} ({} bytes)", json.len());
 }
 
 fn cmd_audit(args: &Args) {
-    let Some(domain) = args.positional.first() else { usage() };
+    let Some(domain) = args.positional.first() else {
+        usage()
+    };
     let world = build(args);
     if world.company(domain).is_none() {
-        eprintln!("domain {domain} not in this world (seed {}, size {})", args.seed, args.size);
+        eprintln!(
+            "domain {domain} not in this world (seed {}, size {})",
+            args.seed, args.size
+        );
         std::process::exit(1);
     }
     let client = Client::new(
@@ -115,7 +146,10 @@ fn cmd_audit(args: &Args) {
         crawl.privacy_pages().len(),
         crawl.robots_skipped
     );
-    let pipeline = Pipeline::new(PipelineConfig { seed: args.seed, ..Default::default() });
+    let pipeline = Pipeline::new(PipelineConfig {
+        seed: args.seed,
+        ..Default::default()
+    });
     let sector = world.company(domain).expect("checked").sector;
     match pipeline.process_domain(&crawl, sector) {
         Some(policy) => {
@@ -136,11 +170,23 @@ fn cmd_audit(args: &Args) {
 
 fn cmd_tables(args: &Args) {
     let world = build(args);
-    let run = run_pipeline(&world, PipelineConfig { seed: args.seed, ..Default::default() });
-    println!("{}", tables::render_table1(&tables::table1(&run.dataset, 3)));
+    let run = run_pipeline(
+        &world,
+        PipelineConfig {
+            seed: args.seed,
+            ..Default::default()
+        },
+    );
     println!(
         "{}",
-        tables::render_breakdown("Table 2a — data-type meta-categories", &tables::table2a(&run.dataset))
+        tables::render_table1(&tables::table1(&run.dataset, 3))
+    );
+    println!(
+        "{}",
+        tables::render_breakdown(
+            "Table 2a — data-type meta-categories",
+            &tables::table2a(&run.dataset)
+        )
     );
     println!(
         "{}",
@@ -149,17 +195,35 @@ fn cmd_tables(args: &Args) {
     println!("{}", tables::render_table3(&tables::table3(&run.dataset)));
     println!(
         "{}",
-        tables::render_breakdown("Table 5 — all data-type categories", &tables::table5(&run.dataset))
+        tables::render_breakdown(
+            "Table 5 — all data-type categories",
+            &tables::table5(&run.dataset)
+        )
     );
     println!("{}", Insights::compute(&run.dataset).render());
 }
 
 fn cmd_validate(args: &Args) {
     let world = build(args);
-    let run = run_pipeline(&world, PipelineConfig { seed: args.seed, ..Default::default() });
-    println!("{}", FailureAudit::run(&world, &run.dataset, 50, args.seed).render());
-    println!("{}", MissingAspectAudit::run(&world, &run.dataset, 20, args.seed).render());
-    println!("{}", PrecisionReport::run(&world, &run.dataset, args.seed).render());
+    let run = run_pipeline(
+        &world,
+        PipelineConfig {
+            seed: args.seed,
+            ..Default::default()
+        },
+    );
+    println!(
+        "{}",
+        FailureAudit::run(&world, &run.dataset, 50, args.seed).render()
+    );
+    println!(
+        "{}",
+        MissingAspectAudit::run(&world, &run.dataset, 20, args.seed).render()
+    );
+    println!(
+        "{}",
+        PrecisionReport::run(&world, &run.dataset, args.seed).render()
+    );
 }
 
 fn cmd_distill(args: &Args) {
@@ -167,8 +231,14 @@ fn cmd_distill(args: &Args) {
     let teacher = SimulatedChatbot::gpt4(args.seed);
     let featurizer = Featurizer::default();
     for (name, corpus) in [
-        ("aspect segmentation", build_aspect_corpus(&world, &teacher, args.size)),
-        ("rights labeling", build_rights_corpus(&world, &teacher, args.size)),
+        (
+            "aspect segmentation",
+            build_aspect_corpus(&world, &teacher, args.size),
+        ),
+        (
+            "rights labeling",
+            build_rights_corpus(&world, &teacher, args.size),
+        ),
     ] {
         let (train, test) = split_by_domain(&corpus);
         let model = eval::train_student(&featurizer, &train);
@@ -183,7 +253,9 @@ fn cmd_distill(args: &Args) {
 }
 
 fn cmd_analyze(args: &Args) {
-    let Some(path) = args.positional.first() else { usage() };
+    let Some(path) = args.positional.first() else {
+        usage()
+    };
     let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
@@ -192,7 +264,11 @@ fn cmd_analyze(args: &Args) {
         eprintln!("cannot parse {path}: {e}");
         std::process::exit(1);
     });
-    println!("{} policies, {} annotated", dataset.len(), dataset.annotated().count());
+    println!(
+        "{} policies, {} annotated",
+        dataset.len(),
+        dataset.annotated().count()
+    );
     println!("{}", tables::render_table1(&tables::table1(&dataset, 3)));
     println!("{}", Insights::compute(&dataset).render());
 }

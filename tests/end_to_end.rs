@@ -19,7 +19,13 @@ fn fixture() -> &'static (aipan::webgen::World, aipan::core::PipelineRun) {
     static FIX: OnceLock<(aipan::webgen::World, aipan::core::PipelineRun)> = OnceLock::new();
     FIX.get_or_init(|| {
         let world = build_world(WorldConfig::small(SEED, SIZE));
-        let run = run_pipeline(&world, PipelineConfig { seed: SEED, ..Default::default() });
+        let run = run_pipeline(
+            &world,
+            PipelineConfig {
+                seed: SEED,
+                ..Default::default()
+            },
+        );
         (world, run)
     })
 }
@@ -35,11 +41,23 @@ fn funnel_shape_matches_paper() {
     assert!((0.86..=0.96).contains(&success), "crawl success {success}");
 
     // §3.1: path-existence rates around 54.5% and 48.6%.
-    assert!((0.44..=0.64).contains(&f.policy_path_rate()), "{}", f.policy_path_rate());
-    assert!((0.38..=0.58).contains(&f.privacy_path_rate()), "{}", f.privacy_path_rate());
+    assert!(
+        (0.44..=0.64).contains(&f.policy_path_rate()),
+        "{}",
+        f.policy_path_rate()
+    );
+    assert!(
+        (0.38..=0.58).contains(&f.privacy_path_rate()),
+        "{}",
+        f.privacy_path_rate()
+    );
 
     // §3.2.1: extraction ≈ 88% of all, ≈96% of crawled.
-    assert!((0.82..=0.94).contains(&e.extraction_rate()), "{}", e.extraction_rate());
+    assert!(
+        (0.82..=0.94).contains(&e.extraction_rate()),
+        "{}",
+        e.extraction_rate()
+    );
     assert!(
         (0.92..=0.99).contains(&e.extraction_rate_of_crawled()),
         "{}",
@@ -55,14 +73,29 @@ fn funnel_shape_matches_paper() {
 
     // §3.2.2 footnote: fallback for roughly a quarter of policies.
     let fallback_rate = e.policies_with_fallback as f64 / e.extraction_success.max(1) as f64;
-    assert!((0.12..=0.45).contains(&fallback_rate), "fallback rate {fallback_rate}");
+    assert!(
+        (0.12..=0.45).contains(&fallback_rate),
+        "fallback rate {fallback_rate}"
+    );
 }
 
 #[test]
 fn pipeline_is_deterministic() {
     let world = build_world(WorldConfig::small(55, 150));
-    let a = run_pipeline(&world, PipelineConfig { seed: 55, ..Default::default() });
-    let b = run_pipeline(&world, PipelineConfig { seed: 55, ..Default::default() });
+    let a = run_pipeline(
+        &world,
+        PipelineConfig {
+            seed: 55,
+            ..Default::default()
+        },
+    );
+    let b = run_pipeline(
+        &world,
+        PipelineConfig {
+            seed: 55,
+            ..Default::default()
+        },
+    );
     assert_eq!(a.dataset.len(), b.dataset.len());
     for (x, y) in a.dataset.policies.iter().zip(&b.dataset.policies) {
         assert_eq!(x.domain, y.domain);
@@ -77,8 +110,18 @@ fn pipeline_is_deterministic() {
 fn different_seeds_produce_different_worlds() {
     let a = build_world(WorldConfig::small(1, 100));
     let b = build_world(WorldConfig::small(2, 100));
-    let da: Vec<_> = a.universe.unique_domains().iter().map(|c| c.domain.clone()).collect();
-    let db: Vec<_> = b.universe.unique_domains().iter().map(|c| c.domain.clone()).collect();
+    let da: Vec<_> = a
+        .universe
+        .unique_domains()
+        .iter()
+        .map(|c| c.domain.clone())
+        .collect();
+    let db: Vec<_> = b
+        .universe
+        .unique_domains()
+        .iter()
+        .map(|c| c.domain.clone())
+        .collect();
     assert_ne!(da, db);
 }
 
@@ -94,7 +137,10 @@ fn dataset_json_roundtrip_preserves_analysis() {
     assert_eq!(before.purposes_total, after.purposes_total);
     let ins_before = Insights::compute(&run.dataset);
     let ins_after = Insights::compute(&reloaded);
-    assert_eq!(ins_before.retention_median_days, ins_after.retention_median_days);
+    assert_eq!(
+        ins_before.retention_median_days,
+        ins_after.retention_median_days
+    );
     assert_eq!(ins_before.data_for_sale, ins_after.data_for_sale);
 }
 
@@ -140,7 +186,10 @@ fn missing_aspect_audit_mostly_genuine() {
     let (world, run) = fixture();
     let audit = MissingAspectAudit::run(world, &run.dataset, 20, SEED);
     // Paper: 16/20 genuinely absent.
-    assert!(audit.truly_absent as f64 >= 0.7 * audit.sample_size as f64, "{audit:?}");
+    assert!(
+        audit.truly_absent as f64 >= 0.7 * audit.sample_size as f64,
+        "{audit:?}"
+    );
 }
 
 #[test]
@@ -156,7 +205,11 @@ fn annotations_cover_all_four_aspects_corpus_wide() {
 fn every_sector_represented_in_dataset() {
     let (_, run) = fixture();
     for sector in Sector::ALL {
-        let n = run.dataset.annotated().filter(|p| p.sector == sector).count();
+        let n = run
+            .dataset
+            .annotated()
+            .filter(|p| p.sector == sector)
+            .count();
         assert!(n > 0, "sector {sector} missing from dataset");
     }
 }
@@ -165,10 +218,22 @@ fn every_sector_represented_in_dataset() {
 fn planted_retention_extremes_survive_pipeline() {
     // Full-size check on the three real-name companies the paper cites.
     let world = build_world(WorldConfig::small(42, 2916));
-    let run = run_pipeline(&world, PipelineConfig { seed: 42, ..Default::default() });
+    let run = run_pipeline(
+        &world,
+        PipelineConfig {
+            seed: 42,
+            ..Default::default()
+        },
+    );
     let insights = Insights::compute(&run.dataset);
-    assert_eq!(insights.retention_min.0, 1, "min stated period should be 1 day");
-    assert!(insights.retention_min.1.contains(&"arescre.com".to_string()));
+    assert_eq!(
+        insights.retention_min.0, 1,
+        "min stated period should be 1 day"
+    );
+    assert!(insights
+        .retention_min
+        .1
+        .contains(&"arescre.com".to_string()));
     assert!(insights.retention_min.1.contains(&"pg.com".to_string()));
     assert_eq!(insights.retention_max.0, 18_250, "max should be 50 years");
     assert!(insights.retention_max.1.contains(&"bms.com".to_string()));

@@ -14,7 +14,13 @@ const SIZE: usize = 250;
 
 fn snapshot(revision: u32) -> aipan::core::PipelineRun {
     let world = build_world(WorldConfig::small(SEED, SIZE).at_revision(revision));
-    run_pipeline(&world, PipelineConfig { seed: SEED, ..Default::default() })
+    run_pipeline(
+        &world,
+        PipelineConfig {
+            seed: SEED,
+            ..Default::default()
+        },
+    )
 }
 
 fn fixture() -> &'static (aipan::core::PipelineRun, aipan::core::PipelineRun) {
@@ -26,7 +32,11 @@ fn fixture() -> &'static (aipan::core::PipelineRun, aipan::core::PipelineRun) {
 fn trend_report_detects_policy_evolution() {
     let (v0, v2) = fixture();
     let report = TrendReport::diff(&v0.dataset, &v2.dataset);
-    assert!(report.companies_compared > 150, "{}", report.companies_compared);
+    assert!(
+        report.companies_compared > 150,
+        "{}",
+        report.companies_compared
+    );
     // Two update cycles must change a nontrivial but minority share.
     let churn = report.churn_rate();
     assert!((0.05..0.95).contains(&churn), "churn {churn}");
@@ -52,7 +62,12 @@ fn risk_scores_cover_dataset_and_are_bounded() {
     let scores = risk::rank(&v0.dataset);
     assert_eq!(scores.len(), v0.dataset.annotated().count());
     for s in &scores {
-        assert!((0.0..=100.0).contains(&s.score), "{} scored {}", s.domain, s.score);
+        assert!(
+            (0.0..=100.0).contains(&s.score),
+            "{} scored {}",
+            s.domain,
+            s.score
+        );
     }
     // Ranked descending.
     for pair in scores.windows(2) {

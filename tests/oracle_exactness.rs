@@ -22,7 +22,11 @@ fn oracle_pipeline_recovers_planted_truth_exactly() {
     let world = build_world(cfg);
     let run = run_pipeline(
         &world,
-        PipelineConfig { seed: 42, profile: ModelProfile::oracle(), ..Default::default() },
+        PipelineConfig {
+            seed: 42,
+            profile: ModelProfile::oracle(),
+            ..Default::default()
+        },
     );
 
     let mut checked = 0usize;
@@ -30,7 +34,9 @@ fn oracle_pipeline_recovers_planted_truth_exactly() {
         if world.fate(&policy.domain) != CompanyFate::Normal {
             continue;
         }
-        let truth = world.truth(&policy.domain).expect("normal domains have truth");
+        let truth = world
+            .truth(&policy.domain)
+            .expect("normal domains have truth");
         checked += 1;
 
         // Data types: exact (descriptor, category) set equality.
@@ -38,9 +44,10 @@ fn oracle_pipeline_recovers_planted_truth_exactly() {
             .annotations
             .iter()
             .filter_map(|a| match &a.payload {
-                AnnotationPayload::DataType { descriptor, category } => {
-                    Some((descriptor.clone(), category.name().to_string()))
-                }
+                AnnotationPayload::DataType {
+                    descriptor,
+                    category,
+                } => Some((descriptor.clone(), category.name().to_string())),
                 _ => None,
             })
             .collect();
@@ -56,9 +63,10 @@ fn oracle_pipeline_recovers_planted_truth_exactly() {
             .annotations
             .iter()
             .filter_map(|a| match &a.payload {
-                AnnotationPayload::Purpose { descriptor, category } => {
-                    Some((descriptor.clone(), category.name().to_string()))
-                }
+                AnnotationPayload::Purpose {
+                    descriptor,
+                    category,
+                } => Some((descriptor.clone(), category.name().to_string())),
                 _ => None,
             })
             .collect();
@@ -86,7 +94,11 @@ fn oracle_pipeline_recovers_planted_truth_exactly() {
         want.extend(truth.protection.iter().map(|l| format!("prot:{l}")));
         want.extend(truth.choices.iter().map(|l| format!("choice:{l}")));
         want.extend(truth.access.iter().map(|l| format!("access:{l}")));
-        assert_eq!(got, want, "handling/rights labels diverge for {}", policy.domain);
+        assert_eq!(
+            got, want,
+            "handling/rights labels diverge for {}",
+            policy.domain
+        );
 
         // Stated retention periods must round-trip through the text.
         for planted in &truth.retention {
@@ -122,7 +134,11 @@ fn oracle_pipeline_removes_no_hallucinations() {
     let world = build_world(cfg);
     let run = run_pipeline(
         &world,
-        PipelineConfig { seed: 7, profile: ModelProfile::oracle(), ..Default::default() },
+        PipelineConfig {
+            seed: 7,
+            profile: ModelProfile::oracle(),
+            ..Default::default()
+        },
     );
     assert_eq!(
         run.extraction.hallucinations_removed, 0,

@@ -18,9 +18,11 @@ fn extract_types(text: &str) -> Vec<(String, String)> {
     let input = protocol::number_lines([text]);
     let out = bot.complete(&TaskPrompt::build(TaskKind::ExtractDataTypes), &input);
     let mentions = protocol::parse_extractions(&out);
-    let norm_input =
-        protocol::number_lines(mentions.iter().map(|(_, t)| t.as_str()));
-    let out = bot.complete(&TaskPrompt::build(TaskKind::NormalizeDataTypes), &norm_input);
+    let norm_input = protocol::number_lines(mentions.iter().map(|(_, t)| t.as_str()));
+    let out = bot.complete(
+        &TaskPrompt::build(TaskKind::NormalizeDataTypes),
+        &norm_input,
+    );
     protocol::parse_normalizations(&out)
         .into_iter()
         .map(|(_, descriptor, category)| (descriptor, category))
@@ -67,12 +69,14 @@ fn device_row_browser_type() {
          operating system you are using, and the type of browser software used.",
     );
     assert!(
-        got.iter().any(|(d, c)| d == "browser type" && c == "Device info"),
+        got.iter()
+            .any(|(d, c)| d == "browser type" && c == "Device info"),
         "{got:?}"
     );
     assert!(got.iter().any(|(d, _)| d == "operating system"), "{got:?}");
     assert!(
-        got.iter().any(|(d, c)| d == "isp" && c == "Network connectivity"),
+        got.iter()
+            .any(|(d, c)| d == "isp" && c == "Network connectivity"),
         "internet service provider should map to isp: {got:?}"
     );
 }
@@ -104,7 +108,8 @@ fn precise_location_row_gps() {
          timekeeping process when geolocation services are enabled",
     );
     assert!(
-        got.iter().any(|(d, c)| d == "gps location" && c == "Precise location"),
+        got.iter()
+            .any(|(d, c)| d == "gps location" && c == "Precise location"),
         "{got:?}"
     );
 }
@@ -169,9 +174,13 @@ fn handling_rows_stated_retention_and_protection() {
             .any(|(n, _, l, p)| *n == 1 && l == "Stated" && p.as_deref() == Some("6 years")),
         "{rows:?}"
     );
-    assert!(rows.iter().any(|(n, _, l, _)| *n == 2 && l == "Generic"), "{rows:?}");
     assert!(
-        rows.iter().any(|(n, _, l, _)| *n == 3 && l == "Secure transfer"),
+        rows.iter().any(|(n, _, l, _)| *n == 2 && l == "Generic"),
+        "{rows:?}"
+    );
+    assert!(
+        rows.iter()
+            .any(|(n, _, l, _)| *n == 3 && l == "Secure transfer"),
         "{rows:?}"
     );
 }
@@ -190,14 +199,19 @@ fn rights_rows_settings_link_and_edit() {
     let out = bot.complete(&TaskPrompt::build(TaskKind::AnnotateRights), &input);
     let rows = protocol::parse_rights(&out);
     assert!(
-        rows.iter().any(|(n, _, l)| *n == 1 && l == "Privacy settings"),
+        rows.iter()
+            .any(|(n, _, l)| *n == 1 && l == "Privacy settings"),
         "{rows:?}"
     );
     assert!(
-        rows.iter().any(|(n, _, l)| *n == 2 && l == "Opt-out via link"),
+        rows.iter()
+            .any(|(n, _, l)| *n == 2 && l == "Opt-out via link"),
         "{rows:?}"
     );
-    assert!(rows.iter().any(|(n, _, l)| *n == 3 && l == "Edit"), "{rows:?}");
+    assert!(
+        rows.iter().any(|(n, _, l)| *n == 3 && l == "Edit"),
+        "{rows:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,330 @@
+//! Offline stand-in for `crossbeam`, covering the subset this workspace
+//! uses: [`scope`] (scoped threads whose spawn closures receive the scope,
+//! enabling nested spawns) and [`channel`] (cloneable multi-producer
+//! multi-consumer channels with bounded and unbounded flavors).
+//!
+//! Backed by `std::thread::scope` and a `Mutex`/`Condvar` queue. Semantics
+//! relevant to callers are preserved: a bounded `send` blocks when full,
+//! `send` errors once all receivers are gone, and receiver iteration ends
+//! once all senders are gone and the queue drains.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Scoped-thread API.
+pub mod thread {
+    /// Handle to a thread spawned in a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// A scope in which threads borrowing local state may be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread; the closure receives the scope so it can spawn
+        /// further threads (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. A panic in an unjoined thread propagates as a panic (the
+    /// `Result` is for crossbeam API compatibility and is always `Ok`).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+/// MPMC channel API.
+pub mod channel {
+    use super::*;
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        /// Signaled when the queue gains an item or loses all senders.
+        readable: Condvar,
+        /// Signaled when the queue loses an item or loses all receivers.
+        writable: Condvar,
+        capacity: Option<usize>,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when no receiver remains.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// no sender remains.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (consumers compete for items).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A bounded channel: `send` blocks while `cap` items are queued.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, State<T>> {
+        shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking while a bounded channel is full. Errors
+        /// if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = lock(&self.shared);
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = self
+                    .shared
+                    .capacity
+                    .map(|cap| state.items.len() >= cap)
+                    .unwrap_or(false);
+                if !full {
+                    state.items.push_back(value);
+                    drop(state);
+                    self.shared.readable.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .shared
+                    .writable
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = lock(&self.shared);
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive the next item, blocking until one is available. Errors
+        /// if the channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = lock(&self.shared);
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.writable.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .readable
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+
+        /// Blocking iterator over received items; ends when the channel
+        /// closes (all senders dropped and queue drained).
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = lock(&self.shared);
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.shared.writable.notify_all();
+            }
+        }
+    }
+
+    /// Blocking receive iterator; see [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<'a, T> Iterator for Iter<'a, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut data = vec![1, 2, 3];
+        let sum = scope(|s| {
+            let h = s.spawn(|_| 10);
+            let inner: i32 = data.iter().sum();
+            inner + h.join().expect("spawned thread")
+        })
+        .expect("scope");
+        assert_eq!(sum, 16);
+        data.push(4); // borrow released
+        assert_eq!(data.len(), 4);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let total = scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 5);
+                inner.join().expect("inner") + 1
+            });
+            h.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn channel_fan_in_fan_out() {
+        let (job_tx, job_rx) = channel::bounded::<u32>(2);
+        let (res_tx, res_rx) = channel::unbounded::<u32>();
+        scope(|s| {
+            for _ in 0..3 {
+                let rx = job_rx.clone();
+                let tx = res_tx.clone();
+                s.spawn(move |_| {
+                    for job in rx.iter() {
+                        if tx.send(job * 2).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(job_rx);
+            drop(res_tx);
+            s.spawn(move |_| {
+                for i in 0..50 {
+                    job_tx.send(i).expect("send job");
+                }
+            });
+            let mut got: Vec<u32> = res_rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..50).map(|i| i * 2).collect::<Vec<u32>>());
+        })
+        .expect("scope");
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_fails_when_closed_and_empty() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(9).expect("send");
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for `proptest`, covering the subset this workspace
+//! uses: the `proptest!` test macro, `prop_assert!`/`prop_assert_eq!`,
+//! integer-range and tuple strategies, `collection::vec`, and `&str`
+//! regex strategies over a generation-oriented regex subset.
+//!
+//! Differences from real proptest, by design:
+//! - **Deterministic**: cases derive from a fixed per-test seed (hash of
+//!   the test name), so runs are reproducible — in keeping with the
+//!   workspace determinism contract.
+//! - **No shrinking**: a failing case reports its case index and message;
+//!   rerunning reproduces it exactly.
+//!
+//! The supported regex subset (enough for every pattern in the repo):
+//! literals, `.`, escapes (`\.`, `\[`, ...), classes `[a-z0-9-]` with
+//! ranges and `&&[^...]` subtraction, groups `(a|bc|[x-z])`, and
+//! repetition `{m,n}`, `{n}`, `?`, `*`, `+` (starred/plussed forms capped
+//! at 8 repeats).
+
+pub mod strategy;
+
+pub use strategy::{Gen, Strategy};
+
+/// Number of cases each property runs. Smaller than real proptest's 256
+/// to keep tier-1 wall-clock reasonable; raise locally when hunting.
+pub const CASES: usize = 64;
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Gen, Strategy, CASES};
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{Gen, Strategy};
+
+    /// Strategy producing `Vec`s whose length is drawn from `len` and
+    /// whose elements are drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Build a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let n = gen.usize_in(self.len.clone());
+            (0..n).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+}
+
+/// Assert within a property; failure fails the enclosing case with the
+/// formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err(format!("assertion failed: `{:?}` != `{:?}`", l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l, r, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return Err(format!("assertion failed: `{:?}` == `{:?}`", l, r));
+        }
+    }};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )+) => {$(
+        #[test]
+        fn $name() {
+            let mut gen = $crate::Gen::from_name(stringify!($name));
+            for case in 0..$crate::CASES {
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut gen);)+
+                let outcome = (|| -> ::core::result::Result<(), ::std::string::String> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(message) = outcome {
+                    panic!(
+                        "property `{}` failed at case {case}/{}: {message}",
+                        stringify!($name),
+                        $crate::CASES,
+                    );
+                }
+            }
+        }
+    )+};
+}

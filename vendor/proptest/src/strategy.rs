@@ -1,0 +1,447 @@
+//! Strategies and the deterministic generator behind them.
+
+/// Deterministic pseudo-random generator (SplitMix64 core) seeding each
+/// property from its test name, so failures reproduce run-to-run.
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Seed from a test name (stable FNV-1a hash).
+    pub fn from_name(name: &str) -> Gen {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Gen { state: h }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform `usize` in a half-open range (empty range yields `start`).
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        if range.end <= range.start {
+            return range.start;
+        }
+        range.start + self.below(range.end - range.start)
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, gen: &mut Gen) -> Self::Value {
+        (**self).generate(gen)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (gen.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end - start) as u64 + 1;
+                start + (gen.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, gen: &mut Gen) -> Self::Value {
+                ($(self.$n.generate(gen),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// `&str` patterns are regex strategies: the pattern is parsed (per the
+/// subset documented in the crate docs) and strings are sampled from it.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, gen: &mut Gen) -> String {
+        let ast = regex::parse(self);
+        let mut out = String::new();
+        regex::render(&ast, gen, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, gen: &mut Gen) -> String {
+        self.as_str().generate(gen)
+    }
+}
+
+/// Generation-oriented regex subset.
+mod regex {
+    use super::Gen;
+
+    /// One parsed regex node.
+    pub enum Node {
+        /// Literal character.
+        Literal(char),
+        /// `.` — any printable char (ASCII-weighted with occasional
+        /// non-ASCII to probe UTF-8 handling).
+        AnyChar,
+        /// Character class: the set of allowed chars, pre-expanded.
+        Class(Vec<char>),
+        /// Alternation of sequences: `(a|bc|...)`.
+        Alternation(Vec<Vec<Node>>),
+        /// `node{min,max}` repetition.
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    /// Parse `pattern` into a sequence of nodes. Panics on constructs
+    /// outside the subset — a property author error, surfaced loudly.
+    pub fn parse(pattern: &str) -> Vec<Node> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (nodes, consumed) = parse_sequence(&chars, 0, None);
+        assert_eq!(
+            consumed,
+            chars.len(),
+            "unsupported regex construct in pattern `{pattern}`"
+        );
+        nodes
+    }
+
+    /// Parse until end-of-input or the given terminator, returning the
+    /// nodes and the index reached (terminator not consumed).
+    fn parse_sequence(chars: &[char], mut i: usize, until: Option<char>) -> (Vec<Node>, usize) {
+        let mut nodes = Vec::new();
+        while i < chars.len() {
+            let c = chars[i];
+            if Some(c) == until || c == '|' {
+                break;
+            }
+            let node = match c {
+                '.' => {
+                    i += 1;
+                    Node::AnyChar
+                }
+                '\\' => {
+                    i += 1;
+                    let escaped = chars.get(i).copied().unwrap_or('\\');
+                    i += 1;
+                    Node::Literal(unescape(escaped))
+                }
+                '[' => {
+                    let (set, next) = parse_class(chars, i + 1);
+                    i = next;
+                    Node::Class(set)
+                }
+                '(' => {
+                    let mut alternatives = Vec::new();
+                    i += 1;
+                    loop {
+                        let (alt, next) = parse_sequence(chars, i, Some(')'));
+                        alternatives.push(alt);
+                        i = next;
+                        match chars.get(i) {
+                            Some('|') => i += 1,
+                            Some(')') => {
+                                i += 1;
+                                break;
+                            }
+                            _ => panic!("unterminated group in regex"),
+                        }
+                    }
+                    Node::Alternation(alternatives)
+                }
+                other => {
+                    i += 1;
+                    Node::Literal(other)
+                }
+            };
+            // Repetition suffix?
+            let node = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .expect("unterminated {} in regex");
+                    let spec: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    let (min, max) = match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.parse().expect("bad repeat min"),
+                            hi.parse().expect("bad repeat max"),
+                        ),
+                        None => {
+                            let n = spec.parse().expect("bad repeat count");
+                            (n, n)
+                        }
+                    };
+                    Node::Repeat(Box::new(node), min, max)
+                }
+                Some('?') => {
+                    i += 1;
+                    Node::Repeat(Box::new(node), 0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    Node::Repeat(Box::new(node), 0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    Node::Repeat(Box::new(node), 1, 8)
+                }
+                _ => node,
+            };
+            nodes.push(node);
+        }
+        (nodes, i)
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            other => other,
+        }
+    }
+
+    /// Parse a class body after `[`, returning the allowed set and the
+    /// index after the closing `]`. Supports ranges, escapes, leading `^`
+    /// negation, and `&&[^...]` subtraction.
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let negated = chars.get(i) == Some(&'^');
+        if negated {
+            i += 1;
+        }
+        let mut set: Vec<char> = Vec::new();
+        let mut subtract: Vec<char> = Vec::new();
+        while i < chars.len() {
+            match chars[i] {
+                ']' => {
+                    i += 1;
+                    let universe = printable_ascii();
+                    let mut result: Vec<char> = if negated {
+                        universe.into_iter().filter(|c| !set.contains(c)).collect()
+                    } else {
+                        set
+                    };
+                    result.retain(|c| !subtract.contains(c));
+                    assert!(!result.is_empty(), "empty character class in regex");
+                    return (result, i);
+                }
+                '&' if chars.get(i + 1) == Some(&'&') => {
+                    // `&&[^...]` — subtraction of the nested class.
+                    assert_eq!(chars.get(i + 2), Some(&'['), "unsupported && in class");
+                    assert_eq!(chars.get(i + 3), Some(&'^'), "unsupported && in class");
+                    let (sub, next) = parse_class_set(chars, i + 4);
+                    subtract = sub;
+                    i = next; // positioned after the inner `]`
+                }
+                _ => {
+                    let (items, next) = parse_class_item(chars, i);
+                    set.extend(items);
+                    i = next;
+                }
+            }
+        }
+        panic!("unterminated character class in regex");
+    }
+
+    /// Plain class body (no negation/subtraction), after `[`/`[^`.
+    fn parse_class_set(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let mut set = Vec::new();
+        while i < chars.len() {
+            if chars[i] == ']' {
+                return (set, i + 1);
+            }
+            let (items, next) = parse_class_item(chars, i);
+            set.extend(items);
+            i = next;
+        }
+        panic!("unterminated character class in regex");
+    }
+
+    /// One class atom: a literal, an escape, or a `a-z` range.
+    fn parse_class_item(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            let c = unescape(chars[i]);
+            i += 1;
+            c
+        } else {
+            let c = chars[i];
+            i += 1;
+            c
+        };
+        // Range? (`-` not last-in-class)
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).map_or(false, |&c| c != ']') {
+            i += 1;
+            let hi = if chars[i] == '\\' {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                c
+            } else {
+                let c = chars[i];
+                i += 1;
+                c
+            };
+            let (lo, hi) = (lo as u32, hi as u32);
+            assert!(lo <= hi, "inverted range in character class");
+            let items = (lo..=hi).filter_map(char::from_u32).collect();
+            (items, i)
+        } else {
+            (vec![lo], i)
+        }
+    }
+
+    fn printable_ascii() -> Vec<char> {
+        (0x20u8..0x7f).map(|b| b as char).collect()
+    }
+
+    /// Sample a string from parsed nodes.
+    pub fn render(nodes: &[Node], gen: &mut Gen, out: &mut String) {
+        for node in nodes {
+            render_node(node, gen, out);
+        }
+    }
+
+    fn render_node(node: &Node, gen: &mut Gen, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::AnyChar => {
+                // Mostly printable ASCII; occasionally a multibyte char or
+                // control to probe robustness paths.
+                match gen.below(20) {
+                    0 => out.push(['é', 'ß', '中', '😀', '\t'][gen.below(5)]),
+                    _ => out.push((0x20u8 + gen.below(0x5f) as u8) as char),
+                }
+            }
+            Node::Class(set) => out.push(set[gen.below(set.len())]),
+            Node::Alternation(alts) => {
+                let pick = &alts[gen.below(alts.len())];
+                render(pick, gen, out);
+            }
+            Node::Repeat(inner, min, max) => {
+                let n = *min + gen.below(max - min + 1);
+                for _ in 0..n {
+                    render_node(inner, gen, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &str, n: usize) -> Vec<String> {
+        let mut gen = Gen::from_name(pattern);
+        (0..n).map(|_| pattern.generate(&mut gen)).collect()
+    }
+
+    #[test]
+    fn literal_and_repeat() {
+        for s in sample("ab{2,4}c", 50) {
+            assert!(s.starts_with('a') && s.ends_with('c'));
+            let bs = s.len() - 2;
+            assert!((2..=4).contains(&bs), "{s}");
+            assert!(s[1..s.len() - 1].chars().all(|c| c == 'b'));
+        }
+    }
+
+    #[test]
+    fn class_ranges() {
+        for s in sample("[a-c0-2]{1,8}", 100) {
+            assert!(!s.is_empty() && s.len() <= 8);
+            assert!(s.chars().all(|c| "abc012".contains(c)), "{s}");
+        }
+    }
+
+    #[test]
+    fn class_subtraction() {
+        for s in sample("[ -~&&[^\"\\\\]]{0,40}", 100) {
+            assert!(
+                s.chars()
+                    .all(|c| (' '..='~').contains(&c) && c != '"' && c != '\\'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternation_with_nested_atoms() {
+        for s in sample("(<[a-z]{1,3}>|-->|x)", 100) {
+            let ok = s == "-->"
+                || s == "x"
+                || (s.starts_with('<')
+                    && s.ends_with('>')
+                    && (2..=5).contains(&s.len())
+                    && s[1..s.len() - 1].chars().all(|c| c.is_ascii_lowercase()));
+            assert!(ok, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_dot_is_literal() {
+        for s in sample("[a-z]{1,4}\\.(com|org)", 100) {
+            assert!(s.contains('.'), "{s}");
+            assert!(s.ends_with(".com") || s.ends_with(".org"), "{s}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(sample(".{0,30}", 10), sample(".{0,30}", 10));
+    }
+
+    #[test]
+    fn tuple_and_range_strategies() {
+        let mut gen = Gen::from_name("t");
+        for _ in 0..100 {
+            let (n, s) = (1usize..5, "[ab]{1,2}").generate(&mut gen);
+            assert!((1..5).contains(&n));
+            assert!(!s.is_empty());
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline stand-in for `rand_chacha`: [`ChaCha8Rng`] and [`ChaCha20Rng`]
+//! implemented from the ChaCha block function (RFC 8439 layout, 64-bit
+//! block counter). Keystream quality and determinism match the real
+//! cipher; note the word stream is not guaranteed bit-identical to the
+//! upstream crate's (only self-consistency is promised, which is what the
+//! workspace's determinism contract requires).
+
+use rand::{RngCore, SeedableRng};
+
+/// `rand_core` trait re-exports, mirroring the upstream crate layout
+/// (`rand_chacha::rand_core::SeedableRng`).
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Generic ChaCha keystream generator over `R` double-rounds.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const DOUBLE_ROUNDS: usize> {
+    /// Key words (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..13).
+    counter: u64,
+    /// Nonce words (state words 14..16); zero for seeded streams.
+    nonce: [u32; 2],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word index in `block`; 16 forces a refill.
+    word_pos: usize,
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaChaRng<DOUBLE_ROUNDS> {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.nonce[0];
+        state[15] = self.nonce[1];
+
+        let mut working = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            quarter(&mut working, 0, 4, 8, 12);
+            quarter(&mut working, 1, 5, 9, 13);
+            quarter(&mut working, 2, 6, 10, 14);
+            quarter(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut working, 0, 5, 10, 15);
+            quarter(&mut working, 1, 6, 11, 12);
+            quarter(&mut working, 2, 7, 8, 13);
+            quarter(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.block.iter_mut().zip(working.iter().zip(state.iter())) {
+            *out = w.wrapping_add(*s);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.word_pos = 0;
+    }
+}
+
+#[inline(always)]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl<const DOUBLE_ROUNDS: usize> RngCore for ChaChaRng<DOUBLE_ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.word_pos >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word_pos];
+        self.word_pos += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> SeedableRng for ChaChaRng<DOUBLE_ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            nonce: [0; 2],
+            block: [0; 16],
+            word_pos: 16,
+        }
+    }
+}
+
+/// ChaCha with 8 rounds (4 double-rounds): the fast statistical generator.
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 20 rounds: the full-strength variant.
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::from_seed([7; 32]);
+        let mut b = ChaCha8Rng::from_seed([7; 32]);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn chacha20_rfc8439_block_one() {
+        // RFC 8439 §2.3.2 test vector: key 00..1f, 96-bit nonce
+        // 000000090000004a00000000, 32-bit counter 1. The RFC's
+        // counter/nonce words map onto our 64-bit-counter layout as
+        // state[12..14] = counter, state[14..16] = nonce.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut rng = ChaCha20Rng::from_seed(key);
+        rng.counter = (0x0900_0000u64 << 32) | 1;
+        rng.nonce = [0x4a00_0000, 0];
+        rng.refill();
+        assert_eq!(rng.block[0], 0xe4e7_f110);
+        assert_eq!(rng.block[1], 0x1559_3bd1);
+        assert_eq!(rng.block[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn float_draws_in_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` available
+//! offline) and emits `impl serde::Serialize` / `impl serde::Deserialize`
+//! blocks that build or walk the `serde::Value` tree.
+//!
+//! Supported shapes — the full set used by this workspace:
+//! - structs with named fields
+//! - tuple structs (newtype and n-tuple)
+//! - unit structs
+//! - enums with unit, tuple, and struct variants (serde's external tagging)
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally not supported;
+//! deriving on such an item is a compile error with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field list of one struct or enum variant.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { fields, .. } => serialize_fields_expr(fields, "self.", true),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&serialize_variant_arm(name, v));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let name = item_name(&item);
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct_expr(name, fields, "__v"),
+        Item::Enum { name, variants } => deserialize_enum_expr(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> core::result::Result<Self, serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    }
+}
+
+// ---- code generation ----
+
+/// Expression building a `serde::Value` from fields reached via `prefix`
+/// (`self.` for structs, `` for bound match variables). `self_access`
+/// selects tuple-field syntax (`self.0`) over bound names (`__f0`).
+fn serialize_fields_expr(fields: &Fields, prefix: &str, self_access: bool) -> String {
+    match fields {
+        Fields::Unit => "serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let mut members = String::new();
+            for n in names {
+                members.push_str(&format!(
+                    "(String::from(\"{n}\"), serde::Serialize::to_value(&{prefix}{n})),"
+                ));
+            }
+            format!("serde::Value::Object(vec![{members}])")
+        }
+        Fields::Tuple(1) => {
+            let access = if self_access {
+                format!("{prefix}0")
+            } else {
+                "__f0".to_string()
+            };
+            format!("serde::Serialize::to_value(&{access})")
+        }
+        Fields::Tuple(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                let access = if self_access {
+                    format!("{prefix}{i}")
+                } else {
+                    format!("__f{i}")
+                };
+                items.push_str(&format!("serde::Serialize::to_value(&{access}),"));
+            }
+            format!("serde::Value::Array(vec![{items}])")
+        }
+    }
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => {
+            format!("{enum_name}::{vname} => serde::Value::String(String::from(\"{vname}\")),")
+        }
+        Fields::Named(names) => {
+            let binds = names.join(", ");
+            let inner = serialize_fields_expr(&v.fields, "", false);
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => serde::Value::Object(vec![\
+                     (String::from(\"{vname}\"), {inner})]),"
+            )
+        }
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let inner = serialize_fields_expr(&v.fields, "", false);
+            format!(
+                "{enum_name}::{vname}({}) => serde::Value::Object(vec![\
+                     (String::from(\"{vname}\"), {inner})]),",
+                binds.join(", ")
+            )
+        }
+    }
+}
+
+/// Expression of type `Result<Self, serde::Error>` reconstructing
+/// `type_path` from the `serde::Value` named by `src`.
+fn deserialize_struct_expr(type_path: &str, fields: &Fields, src: &str) -> String {
+    match fields {
+        Fields::Unit => format!("Ok({type_path})"),
+        Fields::Named(names) => {
+            let mut inits = String::new();
+            for n in names {
+                inits.push_str(&format!(
+                    "{n}: serde::Deserialize::from_value({src}.field(\"{n}\")?)?,"
+                ));
+            }
+            format!("Ok({type_path} {{ {inits} }})")
+        }
+        Fields::Tuple(1) => {
+            format!("Ok({type_path}(serde::Deserialize::from_value({src})?))")
+        }
+        Fields::Tuple(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                items.push_str(&format!(
+                    "serde::Deserialize::from_value(__items.get({i})\
+                         .ok_or_else(|| serde::Error::new(\"tuple too short\"))?)?,"
+                ));
+            }
+            format!(
+                "{{ let __items = {src}.as_array()\
+                     .ok_or_else(|| serde::Error::new(\"expected array\"))?;\
+                   Ok({type_path}({items})) }}"
+            )
+        }
+    }
+}
+
+fn deserialize_enum_expr(enum_name: &str, variants: &Vec<Variant>) -> String {
+    // Unit variants arrive as plain strings; data variants as single-key
+    // objects (serde's externally-tagged representation).
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push_str(&format!("\"{vname}\" => Ok({enum_name}::{vname}),"));
+            }
+            _ => {
+                let inner =
+                    deserialize_struct_expr(&format!("{enum_name}::{vname}"), &v.fields, "__inner");
+                data_arms.push_str(&format!("\"{vname}\" => {{ {inner} }},"));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+             serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 _ => Err(serde::Error::new(format!(\"unknown variant `{{}}` of {enum_name}\", __s))),\n\
+             }},\n\
+             serde::Value::Object(__members) if __members.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__members[0];\n\
+                 match __tag.as_str() {{\n\
+                     {data_arms}\n\
+                     _ => Err(serde::Error::new(format!(\"unknown variant `{{}}` of {enum_name}\", __tag))),\n\
+                 }}\n\
+             }},\n\
+             _ => Err(serde::Error::new(\"expected enum representation\")),\n\
+         }}"
+    )
+}
+
+// ---- token-stream parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (offline stand-in): generic types are not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advance past `#[...]` attributes (including doc comments) and any
+/// visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Names of the fields in a brace-delimited field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        names.push(name);
+        pos += 1;
+        // Skip `: Type` up to the next top-level comma. Generic angle
+        // brackets may nest commas, so track `<`/`>` depth; shifts (`>>`)
+        // arrive as separate '>' puncts in the token stream.
+        let mut depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    names
+}
+
+/// Number of fields in a parenthesized tuple field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            // A trailing comma does not introduce a field.
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && i + 1 < tokens.len() => {
+                count += 1
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while pos < tokens.len() {
+            if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
