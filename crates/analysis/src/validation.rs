@@ -196,8 +196,8 @@ impl MissingAspectAudit {
                 continue;
             };
             let all_absent = policy.missing_aspects().iter().all(|kind| match kind {
-                AspectKind::Types => truth.types.is_empty(),
-                AspectKind::Purposes => truth.purposes.is_empty(),
+                AspectKind::Types => !truth.has_types(),
+                AspectKind::Purposes => !truth.has_purposes(),
                 AspectKind::Handling => !truth.has_handling(),
                 AspectKind::Rights => !truth.has_rights(),
             });
@@ -447,7 +447,7 @@ impl ModelComparison {
         let mut candidates: Vec<String> = world
             .fates
             .iter()
-            .filter(|(_, f)| **f == CompanyFate::Normal)
+            .filter(|(_, f)| f.expect_extraction())
             .map(|(d, _)| d.clone())
             .collect();
         candidates.sort();

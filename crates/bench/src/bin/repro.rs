@@ -9,9 +9,11 @@
 //! default 2916).
 
 use aipan_analysis::{insights::Insights, tables, validation};
+use aipan_bench::fixtures;
 use aipan_chatbot::ModelProfile;
-use aipan_core::{run_pipeline, PipelineConfig, PipelineRun};
-use aipan_webgen::{build_world, World, WorldConfig};
+use aipan_core::PipelineRun;
+use aipan_taxonomy::normalize::Normalizer;
+use aipan_webgen::World;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,18 +33,14 @@ fn main() {
     }
 
     eprintln!("building world (seed {seed}, {size} constituents)...");
-    let world = build_world(WorldConfig {
-        seed,
-        universe_size: size,
-        ..Default::default()
-    });
+    let world = fixtures::world(seed, size);
     eprintln!("running pipeline...");
-    let run = run_pipeline(
-        &world,
-        PipelineConfig {
-            seed,
-            ..Default::default()
-        },
+    let run = fixtures::pipeline_run(&world, seed);
+    let vocab = Normalizer::new();
+    eprintln!(
+        "glossary: {} data-type surfaces, {} purpose surfaces",
+        vocab.datatype_surface_count(),
+        vocab.purpose_surface_count()
     );
     eprintln!(
         "pipeline done: {} policies annotated\n",

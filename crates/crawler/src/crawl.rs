@@ -15,6 +15,20 @@ pub const MAX_FOOTER_LINKS: usize = 3;
 /// Header privacy links followed from each seed page.
 pub const MAX_HEADER_LINKS: usize = 5;
 
+/// Link-target extensions that cannot be privacy-policy documents; the
+/// crawler skips them before spending a fetch. The simulated internet only
+/// serves text pages, so on simulated worlds this is a fetch-budget guard
+/// rather than a behavior change.
+const SKIP_EXTENSIONS: &[&str] = &[
+    "css", "gif", "ico", "jpeg", "jpg", "js", "mp4", "png", "svg", "webp", "zip",
+];
+
+/// Whether a link target's file extension marks it as a non-document asset.
+fn is_binary_link(url: &Url) -> bool {
+    url.extension()
+        .map_or(false, |ext| SKIP_EXTENSIONS.contains(&ext.as_str()))
+}
+
 /// How a page was discovered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LinkSource {
@@ -251,7 +265,7 @@ pub fn crawl_domain(client: &Client, domain: &str) -> DomainCrawl {
         .take(MAX_FOOTER_LINKS);
     for link in footer_links {
         if let Ok(url) = home_url.join(&link.href) {
-            if url.same_site(&home_url) {
+            if url.same_site(&home_url) && !is_binary_link(&url) {
                 seed_targets.push((url, LinkSource::FooterLink));
             }
         }
@@ -305,7 +319,10 @@ pub fn crawl_domain(client: &Client, domain: &str) -> DomainCrawl {
                 .take(MAX_HEADER_LINKS)
             {
                 if let Ok(target) = fetched.final_url.join(&link.href) {
-                    if target.same_site(&home_url) && !visited.contains(&target) {
+                    if target.same_site(&home_url)
+                        && !is_binary_link(&target)
+                        && !visited.contains(&target)
+                    {
                         header_targets.push((target, LinkSource::HeaderLink));
                     }
                 }
@@ -397,6 +414,38 @@ mod tests {
             "<html><body><main><p>welcome to our homepage</p></main>\
              <footer>{links}</footer></body></html>"
         ))
+    }
+
+    #[test]
+    fn binary_asset_links_are_recognized() {
+        let binary = Url::parse("https://a.com/assets/privacy-banner.PNG").unwrap();
+        assert!(is_binary_link(&binary), "case-insensitive extension match");
+        for path in [
+            "/privacy-policy",
+            "/privacy.html",
+            "/privacy.pdf",
+            "/v2.1/privacy",
+        ] {
+            let url = Url::parse(&format!("https://a.com{path}")).unwrap();
+            assert!(!is_binary_link(&url), "{path} must stay crawlable");
+        }
+    }
+
+    #[test]
+    fn binary_footer_links_are_not_fetched() {
+        let net = Internet::new();
+        net.register(
+            "a.com",
+            StaticSite::new().page(
+                "/",
+                home_with_footer("<a href=\"/privacy-seal.png\">Privacy Seal</a>"),
+            ),
+        );
+        let crawl = crawl_domain(&client_for(net), "a.com");
+        assert!(
+            crawl.pages.iter().all(|p| p.via != LinkSource::FooterLink),
+            "the .png link must be skipped before fetching"
+        );
     }
 
     #[test]

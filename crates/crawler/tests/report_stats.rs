@@ -1,0 +1,48 @@
+//! Integration test: crawl a small simulated world end to end and check
+//! the [`CrawlReport`] funnel statistics against the per-domain results.
+
+use aipan_crawler::{crawl_all, CrawlReport, PoolConfig};
+use aipan_net::fault::FaultInjector;
+use aipan_net::Client;
+use aipan_webgen::{build_world, WorldConfig};
+use std::collections::BTreeSet;
+
+#[test]
+fn report_stats_agree_with_per_domain_crawls() {
+    let world = build_world(WorldConfig {
+        seed: 7,
+        universe_size: 120,
+        ..Default::default()
+    });
+    let client = Client::new(
+        world.internet.clone(),
+        FaultInjector::new(world.config.seed, world.config.faults),
+    );
+    let domains: BTreeSet<String> = world
+        .universe
+        .companies
+        .iter()
+        .map(|c| c.domain.clone())
+        .collect();
+    let domains: Vec<String> = domains.into_iter().collect();
+    let crawls = crawl_all(&client, &domains, PoolConfig::default());
+    let report = CrawlReport::new(crawls);
+
+    assert_eq!(report.funnel.domains_total, domains.len());
+    assert!(report.funnel.crawl_success > 0, "some crawls must succeed");
+
+    // failed_domains is exactly the complement of the successes.
+    let failed = report.failed_domains().count();
+    assert_eq!(
+        failed,
+        report.funnel.domains_total - report.funnel.crawl_success
+    );
+    assert!(report.failed_domains().all(|c| !c.is_success()));
+
+    // Every successful domain contributes ≥1 deduplicated privacy page, so
+    // the per-success average is at least one and matches the raw totals.
+    let avg = report.funnel.avg_privacy_pages();
+    assert!(avg >= 1.0, "avg privacy pages per success was {avg}");
+    let expected = report.funnel.total_privacy_pages as f64 / report.funnel.crawl_success as f64;
+    assert!((avg - expected).abs() < 1e-12);
+}

@@ -20,15 +20,15 @@ use crate::findings::{Finding, Severity};
 
 /// One vetted exception.
 #[derive(Debug, Clone, PartialEq)]
-pub struct AllowEntry {
+pub(crate) struct AllowEntry {
     /// Rule ID the exception applies to (`R1`, `D2`, ...).
-    pub rule: String,
+    pub(crate) rule: String,
     /// Workspace-relative file the exception applies to.
-    pub file: String,
+    pub(crate) file: String,
     /// Specific line, or `None` to cover the whole file.
-    pub line: Option<u32>,
+    pub(crate) line: Option<u32>,
     /// Mandatory justification.
-    pub reason: String,
+    pub(crate) reason: String,
 }
 
 /// Parsed allowlist plus per-entry hit counters.

@@ -1,0 +1,234 @@
+//! `E1`: discarded `Result`s from fallible workspace functions.
+//!
+//! The paper's pipeline earns trust through verification layers; an error
+//! silently dropped between them (a crawl failure, a malformed annotation,
+//! a validation miss) turns a measured number into a guess. This pass
+//! resolves every call in library code against the set of *workspace*
+//! functions whose declared return type mentions `Result`, and flags:
+//!
+//! - `let _ = fallible(...);` — the error explicitly thrown away;
+//! - `fallible(...);` as a bare statement — implicitly dropped;
+//! - `anything.ok();` statement-final — the error mapped to `None` and
+//!   then dropped, which is the same silence with extra steps.
+//!
+//! Resolution is by callee name (the parser does not do type inference),
+//! so a workspace fn and a foreign method sharing a name can collide; the
+//! allowlist covers such vetted cases, with the collision documented.
+//! Tests, benches, examples, binaries, and `#[cfg(test)]` code are exempt,
+//! as for `R1`/`O1`.
+
+use crate::findings::{Finding, Severity};
+use crate::graph::{AnalyzedFile, Workspace};
+use crate::parser::{Discard, FnInfo, Item, ItemKind};
+use std::collections::BTreeSet;
+
+/// Run the `E1` pass over an analyzed workspace.
+pub fn check_error_flow(ws: &Workspace) -> Vec<Finding> {
+    let fallible = fallible_fn_names(ws);
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if !file.class.is_library_code() {
+            continue;
+        }
+        let mut fns: Vec<&Item> = Vec::new();
+        collect_fns(&file.parsed.items, &mut fns);
+        for item in fns {
+            if let ItemKind::Fn(info) = &item.kind {
+                scan_fn(file, info, &fallible, &mut findings);
+            }
+        }
+    }
+    findings
+}
+
+/// Flag the discarded-`Result` patterns inside one fn body.
+fn scan_fn(
+    file: &AnalyzedFile,
+    info: &FnInfo,
+    fallible: &BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    for call in &info.calls {
+        if call.discard == Discard::None {
+            continue;
+        }
+        if call.is_method && call.name == "ok" {
+            findings.push(Finding::at(
+                "E1",
+                Severity::Warn,
+                &file.parsed.rel_path,
+                call.line,
+                call.col,
+                "`.ok()` whose value is immediately dropped swallows the error; \
+                 handle the Err case, propagate with `?`, or match explicitly"
+                    .to_string(),
+                file.snippet(call.line),
+            ));
+        } else if fallible.contains(call.name.as_str()) {
+            let how = match call.discard {
+                Discard::LetUnderscore => "`let _ =` discards",
+                _ => "a bare statement drops",
+            };
+            findings.push(Finding::at(
+                "E1",
+                Severity::Warn,
+                &file.parsed.rel_path,
+                call.line,
+                call.col,
+                format!(
+                    "{how} the Result of fallible workspace fn `{}`; handle or \
+                     propagate the error (or justify the discard in lint.allow)",
+                    call.name
+                ),
+                file.snippet(call.line),
+            ));
+        }
+    }
+}
+
+/// Names of workspace fns whose declared return type mentions `Result`,
+/// collected from non-test library code across all crates.
+fn fallible_fn_names(ws: &Workspace) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for file in &ws.files {
+        if !file.class.is_library_code() {
+            continue;
+        }
+        let mut fns = Vec::new();
+        collect_fns(&file.parsed.items, &mut fns);
+        for item in fns {
+            if let ItemKind::Fn(info) = &item.kind {
+                if info.returns_result && !item.cfg_test {
+                    names.insert(item.name.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// All fn items (free, impl, trait, nested in mods), excluding
+/// `#[cfg(test)]` scopes.
+fn collect_fns<'a>(items: &'a [Item], out: &mut Vec<&'a Item>) {
+    for item in items {
+        if item.cfg_test {
+            continue;
+        }
+        if matches!(item.kind, ItemKind::Fn(_)) {
+            out.push(item);
+        }
+        collect_fns(&item.children, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        Workspace::build(&owned)
+    }
+
+    const FALLIBLE_DEF: (&str, &str) = (
+        "crates/net/src/url.rs",
+        "pub fn parse(s: &str) -> Result<Url, UrlError> { todo(s) }\n",
+    );
+
+    #[test]
+    fn let_underscore_discard_fires() {
+        let w = ws(&[
+            FALLIBLE_DEF,
+            (
+                "crates/core/src/lib.rs",
+                "pub fn f(s: &str) { let _ = parse(s); }\n",
+            ),
+        ]);
+        let f = check_error_flow(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(
+            (f[0].rule, f[0].file.as_str()),
+            ("E1", "crates/core/src/lib.rs")
+        );
+        assert!(f[0].message.contains("let _ ="), "{}", f[0].message);
+    }
+
+    #[test]
+    fn bare_statement_discard_fires() {
+        let w = ws(&[
+            FALLIBLE_DEF,
+            (
+                "crates/core/src/lib.rs",
+                "pub fn f(s: &str) { parse(s); }\n",
+            ),
+        ]);
+        let f = check_error_flow(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("bare statement"));
+    }
+
+    #[test]
+    fn ok_swallowing_fires_regardless_of_callee_origin() {
+        let w = ws(&[(
+            "crates/core/src/lib.rs",
+            "pub fn f(s: &str) { std::fs::remove_file(s).ok(); }\n",
+        )]);
+        let f = check_error_flow(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains(".ok()"));
+    }
+
+    #[test]
+    fn used_results_are_clean() {
+        let w = ws(&[
+            FALLIBLE_DEF,
+            (
+                "crates/core/src/lib.rs",
+                "pub fn f(s: &str) -> Result<Url, UrlError> {\n\
+                 \x20   let u = parse(s)?;\n\
+                 \x20   if parse(s).is_ok() { return parse(s); }\n\
+                 \x20   let v = parse(s).ok();\n\
+                 \x20   other(v);\n\
+                 \x20   Ok(u)\n\
+                 }\n\
+                 fn other<T>(_v: T) {}\n",
+            ),
+        ]);
+        let f = check_error_flow(&w);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_and_test_targets_are_exempt() {
+        let w = ws(&[
+            FALLIBLE_DEF,
+            (
+                "crates/core/src/lib.rs",
+                "#[cfg(test)]\nmod tests {\n    fn t() { let _ = parse(\"x\"); }\n}\n",
+            ),
+            (
+                "crates/core/tests/t.rs",
+                "#[test]\nfn t() { let _ = parse(\"x\"); }\n",
+            ),
+        ]);
+        assert!(check_error_flow(&w).is_empty());
+    }
+
+    #[test]
+    fn infallible_workspace_fns_are_clean() {
+        let w = ws(&[
+            (
+                "crates/net/src/url.rs",
+                "pub fn normalize(s: &str) -> String { s.to_string() }\n",
+            ),
+            (
+                "crates/core/src/lib.rs",
+                "pub fn f(s: &str) { normalize(s); }\n",
+            ),
+        ]);
+        assert!(check_error_flow(&w).is_empty());
+    }
+}

@@ -23,7 +23,7 @@ use std::collections::BTreeMap;
 /// One canonical vocabulary entry: its name, alias surface forms, and the
 /// taxonomy source file that declares it.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct VocabEntry {
+pub(crate) struct VocabEntry {
     /// Canonical descriptor or label name.
     pub name: String,
     /// Alias surface forms that normalize onto `name` (may be empty).
@@ -39,7 +39,7 @@ const HANDLING_RS: &str = "crates/taxonomy/src/handling.rs";
 const ASPECT_RS: &str = "crates/taxonomy/src/aspect.rs";
 
 /// Snapshot the real taxonomy tables into checkable form.
-pub fn workspace_vocab() -> Vec<VocabEntry> {
+pub(crate) fn workspace_vocab() -> Vec<VocabEntry> {
     let mut entries = Vec::new();
     for spec in DATA_TYPE_DESCRIPTORS {
         entries.push(VocabEntry {
@@ -80,7 +80,7 @@ pub fn workspace_vocab() -> Vec<VocabEntry> {
 /// Every folded surface key must be owned by exactly one canonical name, no
 /// surface may fold to the empty key, and no alias may collide with another
 /// entry's canonical name.
-pub fn check_normalization_closure(entries: &[VocabEntry]) -> Vec<Finding> {
+pub(crate) fn check_normalization_closure(entries: &[VocabEntry]) -> Vec<Finding> {
     let mut findings = Vec::new();
     // folded key -> sorted set of (canonical, source) that claim it.
     let mut claims: BTreeMap<String, Vec<(&str, &'static str)>> = BTreeMap::new();
@@ -127,7 +127,7 @@ pub fn check_normalization_closure(entries: &[VocabEntry]) -> Vec<Finding> {
 
 /// `T1` (live half): the built [`Normalizer`] must resolve every canonical
 /// name and every alias of the *real* tables back to its declared canonical.
-pub fn check_normalizer_agrees() -> Vec<Finding> {
+pub(crate) fn check_normalizer_agrees() -> Vec<Finding> {
     let mut findings = Vec::new();
     let n = Normalizer::new();
     for spec in DATA_TYPE_DESCRIPTORS {
@@ -170,7 +170,7 @@ pub fn check_normalizer_agrees() -> Vec<Finding> {
 }
 
 /// `T2`: canonical names must be unique across all four vocabulary files.
-pub fn check_duplicate_canonicals(entries: &[VocabEntry]) -> Vec<Finding> {
+pub(crate) fn check_duplicate_canonicals(entries: &[VocabEntry]) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut seen: BTreeMap<&str, Vec<&'static str>> = BTreeMap::new();
     for entry in entries {
@@ -197,7 +197,7 @@ pub fn check_duplicate_canonicals(entries: &[VocabEntry]) -> Vec<Finding> {
 /// `T3`: aspect coverage over a `(key, round_tripped)` snapshot, where
 /// `round_tripped` is whether `Aspect::from_key(key)` returned the aspect
 /// the key came from.
-pub fn check_aspect_keys(keys: &[(String, bool)]) -> Vec<Finding> {
+pub(crate) fn check_aspect_keys(keys: &[(String, bool)]) -> Vec<Finding> {
     let mut findings = Vec::new();
     if keys.len() != 9 {
         findings.push(Finding::for_data(
@@ -240,7 +240,7 @@ pub fn check_aspect_keys(keys: &[(String, bool)]) -> Vec<Finding> {
 }
 
 /// Snapshot the real `Aspect::ALL` table for [`check_aspect_keys`].
-pub fn workspace_aspect_keys() -> Vec<(String, bool)> {
+pub(crate) fn workspace_aspect_keys() -> Vec<(String, bool)> {
     Aspect::ALL
         .iter()
         .map(|a| {

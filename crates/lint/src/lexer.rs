@@ -381,6 +381,58 @@ mod tests {
     }
 
     #[test]
+    fn byte_and_raw_byte_strings_lex_as_single_literals() {
+        for src in [
+            "b\"bytes \\\" esc\"",
+            "b'x'",
+            r###"br#"raw "bytes""#"###,
+            r#"br"plain""#,
+            r####"br##"double "# fence"##"####,
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src} must be one literal, got {toks:?}");
+            assert_eq!(toks[0].kind, TokenKind::Literal, "{src}");
+        }
+        // The `b` prefix must not glue onto following code.
+        let idents: Vec<&str> = lex("b\"x\" y")
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, vec!["y"]);
+    }
+
+    #[test]
+    fn hash_fenced_raw_string_stops_at_matching_fence() {
+        // A shorter fence (`"#`) inside the literal must not close `r##`.
+        let src = r####"r##"quote " one-fence "# still inside"## tail"####;
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Literal);
+        assert_eq!(
+            toks[0].text,
+            r####"r##"quote " one-fence "# still inside"##"####
+        );
+        assert!(toks.iter().any(|t| t.text == "tail"));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let toks = lex("/* a /* b /* c */ */ */ x");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks[0].text, "/* a /* b /* c */ */ */");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, vec!["x"], "code after the comment must survive");
+        // An inner `*/` at depth > 0 must not terminate the comment early.
+        let toks = lex("/* outer /* inner */ let x = 1; */ done");
+        assert_eq!(toks[0].text, "/* outer /* inner */ let x = 1; */");
+    }
+
+    #[test]
     fn number_forms() {
         for src in ["0xDEAD_BEEF", "1_000u64", "3.25", "1e9", "2.5E-3", "7usize"] {
             let toks = lex(src);

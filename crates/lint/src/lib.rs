@@ -6,15 +6,26 @@
 //! rules) over the workspace's own Rust sources, plus *data invariants* over
 //! the taxonomy vocabulary that the whole measurement rests on.
 //!
-//! Code rules (see [`rules`]): `D1` wall-clock/entropy, `D2` hash-order
-//! iteration feeding output, `R1` panics in library code, `O1` stray stdio
-//! in library code, `H1` untracked to-do markers. Data invariants (see
-//! [`invariants`]): `T1` normalization closure, `T2` canonical-name
-//! uniqueness, `T3` nine-aspect coverage.
+//! Analysis runs in two layers over the same file set:
+//!
+//! 1. **Token rules** (see [`rules`]) on the [`lexer`] stream: `D1`
+//!    wall-clock/entropy, `D2` hash-order iteration feeding output, `R1`
+//!    panics in library code, `O1` stray stdio in library code, `H1`
+//!    untracked to-do markers.
+//! 2. **Graph rules** on the workspace item graph: every file through the
+//!    recursive-descent item [`parser`], assembled into a
+//!    [`graph::Workspace`], then `L1` crate layering against the
+//!    `lint.toml` contract (see [`config`]), `E1` discarded `Result`s from
+//!    fallible workspace fns (see [`error_flow`]), `K1` lock-acquisition
+//!    cycles (see [`locks`]), and `P1` unreferenced pub items (see
+//!    [`graph`]).
+//!
+//! Data invariants (see [`invariants`]): `T1` normalization closure, `T2`
+//! canonical-name uniqueness, `T3` nine-aspect coverage.
 //!
 //! Two entry points:
 //! - `cargo run -p aipan-lint` (or `cargo lint`): CLI with human diff-style
-//!   or `--json` output, `--deny-warnings` for CI strictness.
+//!   or `--format json` output, `--deny-warnings` for CI strictness.
 //! - `crates/lint/tests/workspace_clean.rs`: tier-1 test failing on any
 //!   non-allowlisted finding, so `cargo test` alone enforces the contract.
 //!
@@ -23,14 +34,20 @@
 //! that stop matching anything are themselves reported (`A0`).
 
 pub mod allow;
+pub mod config;
+pub mod error_flow;
 pub mod findings;
+pub mod graph;
 pub mod invariants;
 pub mod lexer;
+pub mod locks;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod scan;
 
-pub use allow::Allowlist;
+pub use allow::{Allowlist, ParseError};
+pub use config::{Config, ConfigError};
 pub use findings::{Finding, Severity};
 pub use rules::lint_source;
-pub use scan::{run, Report};
+pub use scan::{run, run_filtered, Report};

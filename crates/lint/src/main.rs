@@ -1,7 +1,7 @@
 //! CLI for the workspace lint pass.
 //!
 //! ```text
-//! cargo run -p aipan-lint -- [--json] [--deny-warnings] [--verbose] [--root DIR] [--allow FILE]
+//! cargo run -p aipan-lint -- [--format human|json] [--deny-warnings] [--verbose] [--root DIR] [--allow FILE]
 //! ```
 //!
 //! Exit codes: 0 clean (or warnings only, without `--deny-warnings`),
@@ -34,7 +34,18 @@ fn parse_args() -> Result<Options, String> {
             // `cargo lint` aliases to `run -p aipan-lint --`, so a second
             // `--` from `cargo lint -- --json` arrives literally; ignore it.
             "--" => {}
+            // `--json` is the legacy spelling of `--format json`.
             "--json" => opts.json = true,
+            "--format" => {
+                let value = args.next().ok_or("--format needs `human` or `json`")?;
+                match value.as_str() {
+                    "json" => opts.json = true,
+                    "human" => opts.json = false,
+                    other => {
+                        return Err(format!("--format must be `human` or `json`, got `{other}`"))
+                    }
+                }
+            }
             "--deny-warnings" => opts.deny_warnings = true,
             "--verbose" => opts.verbose = true,
             "--root" => {
@@ -52,7 +63,8 @@ fn parse_args() -> Result<Options, String> {
                     "aipan-lint: workspace determinism & invariant checks\n\n\
                      USAGE: cargo run -p aipan-lint -- [OPTIONS]\n\n\
                      OPTIONS:\n\
-                     \x20 --json            machine-readable output\n\
+                     \x20 --format FORMAT   output format: human (default) or json\n\
+                     \x20 --json            shorthand for --format json\n\
                      \x20 --deny-warnings   any finding fails the run (CI mode)\n\
                      \x20 --verbose         also list allowlist-suppressed findings\n\
                      \x20 --root DIR        workspace root (default: discovered from cwd)\n\

@@ -1,0 +1,1113 @@
+//! A recursive-descent *item* parser on top of [`crate::lexer`].
+//!
+//! The syntax-aware rule passes (`L1` layering, `E1` error flow, `K1`
+//! lock order, `P1` dead pub) need more structure than a flat token
+//! stream, but far less than a full Rust grammar: items, impls, fn
+//! signatures, use-trees, and the call/method expressions inside fn
+//! bodies. This parser recognizes exactly that slice — statement-level
+//! resolution, no expression grammar — and is tolerant by construction:
+//! any token sequence it does not recognize as an item is skipped, so
+//! malformed input degrades to fewer items, never to a panic.
+//!
+//! Spans are inclusive index ranges into the *significant* token stream
+//! (whitespace and comments dropped). Sibling item spans never overlap
+//! and child spans nest inside their parent's — a property the parser
+//! proptest (`tests/parser_props.rs`) enforces on arbitrary input.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// What a parsed item is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItemKind {
+    /// A free or associated function.
+    Fn(FnInfo),
+    /// A struct, with its named fields.
+    Struct { fields: Vec<FieldInfo> },
+    /// An enum or union.
+    Enum,
+    /// A trait declaration (children hold provided methods).
+    Trait,
+    /// An `impl` block; `of_trait` is true for `impl Trait for Type`.
+    Impl { of_trait: bool, self_ty: String },
+    /// An inline or file module (children hold its items).
+    Mod,
+    /// A `use` declaration; `paths` are the expanded leaf paths.
+    Use { paths: Vec<Vec<String>> },
+    /// A `const` or `static` item.
+    Const,
+    /// A `type` alias.
+    TypeAlias,
+    /// A `macro_rules!` definition.
+    MacroDef,
+}
+
+/// A named struct field and whether its declared type is a lock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldInfo {
+    /// Field name.
+    pub name: String,
+    /// Whether the declared type mentions `Mutex` or `RwLock`.
+    pub is_lock: bool,
+}
+
+/// Function-level facts the rule passes consume.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FnInfo {
+    /// Whether the declared return type mentions `Result`.
+    pub returns_result: bool,
+    /// Call and method-call expressions in the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+/// How a call's value leaves (or fails to leave) its statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discard {
+    /// The call is not statement-final; its value flows onward.
+    None,
+    /// `let _ = call(...);` — value explicitly thrown away.
+    LetUnderscore,
+    /// `call(...);` as a bare statement — value implicitly dropped.
+    StmtDrop,
+}
+
+/// One call or method-call expression inside a fn body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallSite {
+    /// Callee name: last path segment (`parse` in `Url::parse`) or the
+    /// method name (`lock` in `self.metrics.lock()`).
+    pub name: String,
+    /// For method calls, the receiver's plain path (`["self", "metrics"]`
+    /// for `self.metrics.lock()`); empty when the receiver is itself an
+    /// expression (chained calls) or for path calls.
+    pub recv: Vec<String>,
+    /// For path calls, the full path (`["Url", "parse"]`); empty for
+    /// method calls.
+    pub path: Vec<String>,
+    /// True for `.name(...)` method syntax.
+    pub is_method: bool,
+    /// 1-based line of the callee token.
+    pub line: u32,
+    /// 1-based column of the callee token.
+    pub col: u32,
+    /// Whether (and how) the call's value is discarded.
+    pub discard: Discard,
+}
+
+/// One parsed item with its nested children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Item {
+    /// Classification plus kind-specific facts.
+    pub kind: ItemKind,
+    /// Item name; empty for `impl` blocks and `use` declarations.
+    pub name: String,
+    /// Whether the item is plain `pub` (scoped visibility such as
+    /// `pub(crate)` does not count — it is already restricted).
+    pub is_pub: bool,
+    /// Whether the item sits under a `#[cfg(test)]` attribute (directly
+    /// or via an enclosing module).
+    pub cfg_test: bool,
+    /// 1-based line of the item's defining keyword.
+    pub line: u32,
+    /// 1-based column of the item's defining keyword.
+    pub col: u32,
+    /// Inclusive span in significant-token indices.
+    pub span: (usize, usize),
+    /// Identifier texts inside the item's span (children included, raw
+    /// `r#` prefixes stripped) — the names this item references. Dead-pub
+    /// liveness propagates through these.
+    pub idents: BTreeSet<String>,
+    /// Nested items (mod bodies, impl/trait members).
+    pub children: Vec<Item>,
+}
+
+impl Item {
+    /// Depth-first iteration over this item and all descendants.
+    pub fn walk<'a>(&'a self, out: &mut Vec<&'a Item>) {
+        out.push(self);
+        for child in &self.children {
+            child.walk(out);
+        }
+    }
+}
+
+/// A fully parsed source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Top-level items.
+    pub items: Vec<Item>,
+    /// Number of significant tokens (span upper bound).
+    pub sig_len: usize,
+}
+
+impl ParsedFile {
+    /// All items, flattened depth-first.
+    pub fn all_items(&self) -> Vec<&Item> {
+        let mut out = Vec::new();
+        for item in &self.items {
+            item.walk(&mut out);
+        }
+        out
+    }
+}
+
+/// Parse one file's source into its item tree.
+pub fn parse_file(rel_path: &str, src: &str) -> ParsedFile {
+    let tokens = lex(src);
+    let sig: Vec<&Token<'_>> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect();
+    let texts: Vec<&str> = sig.iter().map(|t| t.text).collect();
+    let mut parser = Parser {
+        sig: &sig,
+        texts: &texts,
+        pos: 0,
+    };
+    let mut items = parser.parse_items(false, false);
+    fill_idents(&mut items, &sig);
+    ParsedFile {
+        rel_path: rel_path.to_string(),
+        items,
+        sig_len: sig.len(),
+    }
+}
+
+/// Attach to every item the identifier texts inside its span.
+fn fill_idents(items: &mut [Item], sig: &[&Token<'_>]) {
+    for item in items {
+        let (lo, hi) = item.span;
+        item.idents = sig
+            .iter()
+            .take(hi + 1)
+            .skip(lo)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.strip_prefix("r#").unwrap_or(t.text).to_string())
+            .collect();
+        fill_idents(&mut item.children, sig);
+    }
+}
+
+struct Parser<'a, 'b> {
+    sig: &'a [&'a Token<'b>],
+    texts: &'a [&'b str],
+    pos: usize,
+}
+
+/// Keywords that can never start the path of a call expression.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "match", "loop", "return", "break", "continue", "fn", "let",
+    "move", "in", "as", "where", "impl", "dyn", "ref", "mut", "pub", "use", "mod", "struct",
+    "enum", "trait", "const", "static", "type", "unsafe", "extern", "async", "await",
+];
+
+impl<'a, 'b> Parser<'a, 'b> {
+    fn at(&self, i: usize) -> &str {
+        self.texts.get(i).copied().unwrap_or("")
+    }
+
+    fn cur(&self) -> &str {
+        self.at(self.pos)
+    }
+
+    fn peek(&self, n: usize) -> &str {
+        self.at(self.pos + n)
+    }
+
+    fn pos_of(&self, i: usize) -> (u32, u32) {
+        self.sig.get(i).map(|t| (t.line, t.col)).unwrap_or((0, 0))
+    }
+
+    /// Parse items until end-of-input or (when `stop_at_brace`) a `}` at
+    /// this nesting level. `in_cfg_test` propagates `#[cfg(test)]` from an
+    /// enclosing module.
+    fn parse_items(&mut self, stop_at_brace: bool, in_cfg_test: bool) -> Vec<Item> {
+        let mut items = Vec::new();
+        while self.pos < self.texts.len() {
+            if stop_at_brace && self.cur() == "}" {
+                break;
+            }
+            let start = self.pos;
+            let cfg_test = in_cfg_test | self.skip_attrs();
+            let is_pub = self.skip_visibility();
+            self.skip_fn_qualifiers();
+            let (line, col) = self.pos_of(self.pos);
+            let keyword = self.cur().to_string();
+            let parsed = match keyword.as_str() {
+                "fn" => self.parse_fn(),
+                "struct" => self.parse_struct(),
+                "enum" | "union" => self.parse_enum_like(),
+                "trait" => self.parse_trait(cfg_test),
+                "impl" => self.parse_impl(cfg_test),
+                "mod" => self.parse_mod(cfg_test),
+                "use" => self.parse_use(),
+                "const" | "static" => self.parse_const_static(),
+                "type" => self.parse_type_alias(),
+                "macro_rules" => self.parse_macro_def(),
+                _ => None,
+            };
+            match parsed {
+                Some((kind, name, children)) => items.push(Item {
+                    kind,
+                    name,
+                    is_pub,
+                    cfg_test,
+                    line,
+                    col,
+                    span: (start, self.pos.saturating_sub(1).max(start)),
+                    idents: BTreeSet::new(),
+                    children,
+                }),
+                None => {
+                    // Not an item start: skip one token (tolerant recovery).
+                    // Balanced groups are skipped whole so `}`s inside
+                    // unrecognized constructs don't end an enclosing body.
+                    match self.cur() {
+                        "{" | "(" | "[" => self.skip_balanced(),
+                        _ => self.pos += 1,
+                    }
+                }
+            }
+        }
+        items
+    }
+
+    /// Skip leading attributes; report whether any is `#[cfg(test)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut cfg_test = false;
+        while self.cur() == "#" {
+            let mut j = self.pos + 1;
+            if self.at(j) == "!" {
+                j += 1;
+            }
+            if self.at(j) != "[" {
+                break;
+            }
+            let attr_start = j;
+            let mut depth = 0usize;
+            while j < self.texts.len() {
+                match self.at(j) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let attr: Vec<&str> = self.texts[attr_start..=j.min(self.texts.len() - 1)].to_vec();
+            if attr.windows(4).any(|w| w == ["cfg", "(", "test", ")"]) {
+                cfg_test = true;
+            }
+            self.pos = (j + 1).min(self.texts.len());
+        }
+        cfg_test
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in path)`. Returns true only for
+    /// *plain* `pub`: scoped visibility is already restricted, so the
+    /// dead-pub rule treats it as non-public (demoting an unreferenced
+    /// `pub` item to `pub(crate)` is a recognized fix).
+    fn skip_visibility(&mut self) -> bool {
+        if self.cur() != "pub" {
+            return false;
+        }
+        self.pos += 1;
+        if self.cur() == "(" {
+            self.skip_balanced();
+            return false;
+        }
+        true
+    }
+
+    /// Skip `const`/`unsafe`/`async`/`extern "C"` fn qualifiers (only when
+    /// a `fn` actually follows, so `const NAME` items are untouched).
+    fn skip_fn_qualifiers(&mut self) {
+        loop {
+            match self.cur() {
+                "const" | "unsafe" | "async" if self.is_fn_ahead() => self.pos += 1,
+                "extern" if self.is_fn_ahead() => {
+                    self.pos += 1;
+                    if self.sig.get(self.pos).map(|t| t.kind) == Some(TokenKind::Literal) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Whether a `fn` keyword follows within the next few qualifier slots.
+    fn is_fn_ahead(&self) -> bool {
+        (1..=3).any(|n| self.peek(n) == "fn")
+    }
+
+    /// Skip one balanced `(`/`[`/`{` group (cursor on the opener).
+    fn skip_balanced(&mut self) {
+        let (open, close) = match self.cur() {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => {
+                self.pos += 1;
+                return;
+            }
+        };
+        let mut depth = 0usize;
+        while self.pos < self.texts.len() {
+            let is_open = self.cur() == open;
+            let is_close = self.cur() == close;
+            self.pos += 1;
+            if is_open {
+                depth += 1;
+            } else if is_close {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Skip a generics list (cursor on `<`), tolerating `->` inside
+    /// `Fn(..) -> T` bounds.
+    fn skip_generics(&mut self) {
+        if self.cur() != "<" {
+            return;
+        }
+        let mut depth = 0i32;
+        while self.pos < self.texts.len() {
+            if self.cur() == "-" && self.peek(1) == ">" {
+                self.pos += 2;
+                continue;
+            }
+            let is_lt = self.cur() == "<";
+            let is_gt = self.cur() == ">";
+            self.pos += 1;
+            if is_lt {
+                depth += 1;
+            } else if is_gt {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Collect type tokens until one of `stops` at bracket-depth 0;
+    /// cursor is left on the stop token. Returns the collected texts.
+    fn scan_type_until(&mut self, stops: &[&str]) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut angle = 0i32;
+        let mut group = 0i32;
+        while self.pos < self.texts.len() {
+            let t = self.cur();
+            if t == "-" && self.peek(1) == ">" {
+                out.push("->".to_string());
+                self.pos += 2;
+                continue;
+            }
+            if angle == 0 && group == 0 && stops.contains(&t) {
+                break;
+            }
+            match t {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "(" | "[" | "{" => group += 1,
+                ")" | "]" | "}" => {
+                    if group == 0 {
+                        break; // closing an enclosing group: stop here
+                    }
+                    group -= 1;
+                }
+                _ => {}
+            }
+            out.push(t.to_string());
+            self.pos += 1;
+        }
+        out
+    }
+
+    fn parse_fn(&mut self) -> Option<(ItemKind, String, Vec<Item>)> {
+        self.pos += 1; // fn
+        let name = self.ident()?;
+        self.skip_generics();
+        if self.cur() != "(" {
+            return None;
+        }
+        self.skip_balanced(); // params
+        let mut returns_result = false;
+        if self.cur() == "-" && self.peek(1) == ">" {
+            self.pos += 2;
+            let ty = self.scan_type_until(&["{", ";", "where"]);
+            returns_result = ty.iter().any(|t| t == "Result");
+        }
+        if self.cur() == "where" {
+            self.scan_type_until(&["{", ";"]);
+        }
+        let mut calls = Vec::new();
+        if self.cur() == "{" {
+            let body_start = self.pos;
+            self.skip_balanced();
+            let body_end = self.pos; // one past the closing brace
+            calls = self.extract_calls(body_start, body_end);
+        } else if self.cur() == ";" {
+            self.pos += 1;
+        }
+        Some((
+            ItemKind::Fn(FnInfo {
+                returns_result,
+                calls,
+            }),
+            name,
+            Vec::new(),
+        ))
+    }
+
+    fn parse_struct(&mut self) -> Option<(ItemKind, String, Vec<Item>)> {
+        self.pos += 1; // struct
+        let name = self.ident()?;
+        self.skip_generics();
+        if self.cur() == "where" {
+            self.scan_type_until(&["{", ";", "("]);
+        }
+        let mut fields = Vec::new();
+        match self.cur() {
+            "(" => {
+                self.skip_balanced();
+                if self.cur() == ";" {
+                    self.pos += 1;
+                }
+            }
+            "{" => {
+                let end = self.matching_brace(self.pos);
+                self.pos += 1;
+                while self.pos < end {
+                    self.skip_attrs();
+                    self.skip_visibility();
+                    let Some(field) = self.ident() else {
+                        self.pos += 1;
+                        continue;
+                    };
+                    if self.cur() != ":" {
+                        continue;
+                    }
+                    self.pos += 1;
+                    let ty = self.scan_type_until(&[","]);
+                    let is_lock = ty.iter().any(|t| t == "Mutex" || t == "RwLock");
+                    fields.push(FieldInfo {
+                        name: field,
+                        is_lock,
+                    });
+                    if self.cur() == "," {
+                        self.pos += 1;
+                    }
+                }
+                self.pos = (end + 1).min(self.texts.len());
+            }
+            ";" => self.pos += 1,
+            _ => {}
+        }
+        Some((ItemKind::Struct { fields }, name, Vec::new()))
+    }
+
+    fn parse_enum_like(&mut self) -> Option<(ItemKind, String, Vec<Item>)> {
+        self.pos += 1;
+        let name = self.ident()?;
+        self.skip_generics();
+        if self.cur() == "where" {
+            self.scan_type_until(&["{", ";"]);
+        }
+        if self.cur() == "{" {
+            self.skip_balanced();
+        } else if self.cur() == ";" {
+            self.pos += 1;
+        }
+        Some((ItemKind::Enum, name, Vec::new()))
+    }
+
+    fn parse_trait(&mut self, cfg_test: bool) -> Option<(ItemKind, String, Vec<Item>)> {
+        self.pos += 1;
+        let name = self.ident()?;
+        self.skip_generics();
+        self.scan_type_until(&["{", ";"]); // supertrait bounds / where
+        let mut children = Vec::new();
+        if self.cur() == "{" {
+            self.pos += 1;
+            children = self.parse_items(true, cfg_test);
+            if self.cur() == "}" {
+                self.pos += 1;
+            }
+        } else if self.cur() == ";" {
+            self.pos += 1;
+        }
+        Some((ItemKind::Trait, name, children))
+    }
+
+    fn parse_impl(&mut self, cfg_test: bool) -> Option<(ItemKind, String, Vec<Item>)> {
+        self.pos += 1;
+        self.skip_generics();
+        let first_ty = self.scan_type_until(&["{", "for", ";"]);
+        let (of_trait, self_ty) = if self.cur() == "for" {
+            self.pos += 1;
+            let ty = self.scan_type_until(&["{", ";", "where"]);
+            (true, type_head(&ty))
+        } else {
+            (false, type_head(&first_ty))
+        };
+        if self.cur() == "where" {
+            self.scan_type_until(&["{", ";"]);
+        }
+        let mut children = Vec::new();
+        if self.cur() == "{" {
+            self.pos += 1;
+            children = self.parse_items(true, cfg_test);
+            if self.cur() == "}" {
+                self.pos += 1;
+            }
+        } else if self.cur() == ";" {
+            self.pos += 1;
+        }
+        Some((
+            ItemKind::Impl { of_trait, self_ty },
+            String::new(),
+            children,
+        ))
+    }
+
+    fn parse_mod(&mut self, cfg_test: bool) -> Option<(ItemKind, String, Vec<Item>)> {
+        self.pos += 1;
+        let name = self.ident()?;
+        let mut children = Vec::new();
+        if self.cur() == "{" {
+            self.pos += 1;
+            children = self.parse_items(true, cfg_test);
+            if self.cur() == "}" {
+                self.pos += 1;
+            }
+        } else if self.cur() == ";" {
+            self.pos += 1;
+        }
+        Some((ItemKind::Mod, name, children))
+    }
+
+    fn parse_use(&mut self) -> Option<(ItemKind, String, Vec<Item>)> {
+        self.pos += 1; // use
+        let mut paths = Vec::new();
+        self.parse_use_tree(&mut Vec::new(), &mut paths);
+        if self.cur() == ";" {
+            self.pos += 1;
+        }
+        Some((ItemKind::Use { paths }, String::new(), Vec::new()))
+    }
+
+    /// Parse one use-tree level, expanding `{...}` groups into leaf paths.
+    fn parse_use_tree(&mut self, prefix: &mut Vec<String>, out: &mut Vec<Vec<String>>) {
+        let depth_at_entry = prefix.len();
+        loop {
+            match self.cur() {
+                "{" => {
+                    self.pos += 1;
+                    loop {
+                        self.parse_use_tree(prefix, out);
+                        if self.cur() == "," {
+                            self.pos += 1;
+                            continue;
+                        }
+                        break;
+                    }
+                    if self.cur() == "}" {
+                        self.pos += 1;
+                    }
+                    break;
+                }
+                "*" => {
+                    self.pos += 1;
+                    prefix.push("*".to_string());
+                    out.push(prefix.clone());
+                    prefix.pop();
+                    break;
+                }
+                "as" => {
+                    // Rename: record the leaf under its original path.
+                    self.pos += 1;
+                    self.ident();
+                    out.push(prefix.clone());
+                    break;
+                }
+                t if is_path_segment(t) => {
+                    prefix.push(t.to_string());
+                    self.pos += 1;
+                    if self.cur() == ":" && self.peek(1) == ":" {
+                        self.pos += 2;
+                        continue;
+                    }
+                    out.push(prefix.clone());
+                    break;
+                }
+                _ => break,
+            }
+        }
+        prefix.truncate(depth_at_entry);
+    }
+
+    fn parse_const_static(&mut self) -> Option<(ItemKind, String, Vec<Item>)> {
+        self.pos += 1; // const | static
+        if self.cur() == "mut" {
+            self.pos += 1;
+        }
+        let name = self.ident()?;
+        // Skip `: Type = expr;` — brackets balanced, stop at depth-0 `;`.
+        let mut depth = 0i32;
+        while self.pos < self.texts.len() {
+            let t = self.cur();
+            match t {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                ";" if depth == 0 => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Some((ItemKind::Const, name, Vec::new()))
+    }
+
+    fn parse_type_alias(&mut self) -> Option<(ItemKind, String, Vec<Item>)> {
+        self.pos += 1;
+        let name = self.ident()?;
+        self.scan_type_until(&[";"]);
+        if self.cur() == ";" {
+            self.pos += 1;
+        }
+        Some((ItemKind::TypeAlias, name, Vec::new()))
+    }
+
+    fn parse_macro_def(&mut self) -> Option<(ItemKind, String, Vec<Item>)> {
+        self.pos += 1; // macro_rules
+        if self.cur() == "!" {
+            self.pos += 1;
+        }
+        let name = self.ident()?;
+        if matches!(self.cur(), "{" | "(" | "[") {
+            self.skip_balanced();
+        }
+        Some((ItemKind::MacroDef, name, Vec::new()))
+    }
+
+    /// Consume one identifier token, if present.
+    fn ident(&mut self) -> Option<String> {
+        let tok = self.sig.get(self.pos)?;
+        if tok.kind != TokenKind::Ident {
+            return None;
+        }
+        self.pos += 1;
+        Some(tok.text.to_string())
+    }
+
+    /// Index of the `}` matching the `{` at `open` (or last token).
+    fn matching_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < self.texts.len() {
+            match self.at(j) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.texts.len().saturating_sub(1)
+    }
+
+    /// Extract call and method-call expressions from a body token range
+    /// `[body_start, body_end)` (statement-level scan; no expression
+    /// grammar).
+    fn extract_calls(&self, body_start: usize, body_end: usize) -> Vec<CallSite> {
+        let mut calls = Vec::new();
+        // Statement-start classification per token index: for each index,
+        // the kind of statement it belongs to.
+        #[derive(Clone, Copy, PartialEq)]
+        enum StmtKind {
+            LetUnderscore,
+            Other,
+            Bare,
+        }
+        let mut stmt_kind = StmtKind::Other;
+        let mut at_stmt_start = true;
+        let mut j = body_start + 1;
+        while j < body_end {
+            let t = self.at(j);
+            if at_stmt_start {
+                stmt_kind = if t == "let" {
+                    if self.at(j + 1) == "_" && self.at(j + 2) == "=" {
+                        StmtKind::LetUnderscore
+                    } else {
+                        StmtKind::Other
+                    }
+                } else if self.sig.get(j).map(|s| s.kind) == Some(TokenKind::Ident)
+                    && !NON_CALL_KEYWORDS.contains(&t)
+                {
+                    StmtKind::Bare
+                } else {
+                    StmtKind::Other
+                };
+                at_stmt_start = false;
+            }
+            if matches!(t, ";" | "{" | "}") {
+                at_stmt_start = true;
+                j += 1;
+                continue;
+            }
+            // A call: Ident followed by `(`, not a macro (`!`), not a
+            // keyword, not a definition (`fn name(`).
+            let is_call = self.sig.get(j).map(|s| s.kind) == Some(TokenKind::Ident)
+                && self.at(j + 1) == "("
+                && !NON_CALL_KEYWORDS.contains(&t)
+                && self.at(j.wrapping_sub(1)) != "fn"
+                && self.at(j.wrapping_sub(1)) != "!";
+            if !is_call {
+                j += 1;
+                continue;
+            }
+            let is_method = j > 0 && self.at(j - 1) == ".";
+            let (recv, path) = if is_method {
+                (self.receiver_path(j - 1), Vec::new())
+            } else {
+                (Vec::new(), self.callee_path(j))
+            };
+            // Find the matching `)` to classify the discard context.
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            while k < body_end {
+                match self.at(k) {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let discard = if self.at(k + 1) == ";" {
+                match stmt_kind {
+                    StmtKind::LetUnderscore => Discard::LetUnderscore,
+                    StmtKind::Bare => Discard::StmtDrop,
+                    StmtKind::Other => Discard::None,
+                }
+            } else {
+                Discard::None
+            };
+            let (line, col) = self.pos_of(j);
+            calls.push(CallSite {
+                name: t.to_string(),
+                recv,
+                path,
+                is_method,
+                line,
+                col,
+                discard,
+            });
+            j += 1;
+        }
+        calls
+    }
+
+    /// Walk back from a `.` at `dot` to collect a plain receiver path
+    /// (`self.metrics` → `["self", "metrics"]`); empty when the receiver
+    /// is an expression (e.g. chained off another call).
+    fn receiver_path(&self, dot: usize) -> Vec<String> {
+        let mut segs: Vec<String> = Vec::new();
+        let mut j = dot; // sits on '.'
+        loop {
+            if j == 0 {
+                break;
+            }
+            let prev = self.at(j - 1);
+            if self.sig.get(j - 1).map(|s| s.kind) == Some(TokenKind::Ident)
+                && !NON_CALL_KEYWORDS.contains(&prev)
+                || prev == "self"
+            {
+                segs.push(prev.to_string());
+                j -= 1;
+                if j >= 1 && self.at(j - 1) == "." {
+                    j -= 1;
+                    continue;
+                }
+                break;
+            }
+            // Receiver is not a plain path (call result, index, paren...).
+            return Vec::new();
+        }
+        segs.reverse();
+        segs
+    }
+
+    /// Walk back from the callee ident at `i` to collect its full path
+    /// (`Url::parse` → `["Url", "parse"]`).
+    fn callee_path(&self, i: usize) -> Vec<String> {
+        let mut segs = vec![self.at(i).to_string()];
+        let mut j = i;
+        while j >= 2
+            && self.at(j - 1) == ":"
+            && self.at(j - 2) == ":"
+            && j >= 3
+            && self.sig.get(j - 3).map(|s| s.kind) == Some(TokenKind::Ident)
+        {
+            segs.push(self.at(j - 3).to_string());
+            j -= 3;
+        }
+        segs.reverse();
+        segs
+    }
+}
+
+/// Whether a token can be a use-path segment.
+fn is_path_segment(t: &str) -> bool {
+    !t.is_empty()
+        && t.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'#')
+        && t != "as"
+}
+
+/// The "head" identifier of a type token run: the last identifier seen at
+/// angle-depth 0 (`html::dom::Node<T>` → `Node`, `fmt::Display` →
+/// `Display`).
+fn type_head(ty: &[String]) -> String {
+    let mut depth = 0i32;
+    let mut head = String::new();
+    for t in ty {
+        match t.as_str() {
+            "<" => depth += 1,
+            ">" => depth -= 1,
+            _ => {
+                if depth == 0
+                    && t.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+                    && t.bytes().next().map_or(false, |b| !b.is_ascii_digit())
+                    && !NON_CALL_KEYWORDS.contains(&t.as_str())
+                {
+                    head = t.clone();
+                }
+            }
+        }
+    }
+    head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(items: &[Item]) -> Vec<&str> {
+        items.iter().map(|i| i.name.as_str()).collect()
+    }
+
+    #[test]
+    fn parses_top_level_items() {
+        let src = r#"
+            use std::collections::BTreeMap;
+            pub struct Config { pub depth: u32 }
+            pub enum Mode { A, B }
+            pub trait Runner { fn run(&self); }
+            pub const LIMIT: usize = 10;
+            pub type Pair = (u32, u32);
+            pub fn go(x: u32) -> u32 { x + 1 }
+            mod inner { pub fn helper() {} }
+        "#;
+        let file = parse_file("crates/x/src/lib.rs", src);
+        assert_eq!(
+            names(&file.items),
+            vec!["", "Config", "Mode", "Runner", "LIMIT", "Pair", "go", "inner"]
+        );
+        let inner = &file.items[7];
+        assert_eq!(names(&inner.children), vec!["helper"]);
+        assert!(inner.children[0].is_pub);
+    }
+
+    #[test]
+    fn sibling_spans_do_not_overlap() {
+        let src = "fn a() { b(); }\nfn b() {}\nstruct S;\n";
+        let file = parse_file("x.rs", src);
+        assert_eq!(file.items.len(), 3);
+        for w in file.items.windows(2) {
+            assert!(w[0].span.1 < w[1].span.0, "{:?}", file.items);
+        }
+    }
+
+    #[test]
+    fn fn_return_type_result_detected() {
+        let src = "pub fn f() -> Result<u32, Error> { Ok(1) }\npub fn g() -> u32 { 1 }\npub fn h() -> io::Result<()> { Ok(()) }\n";
+        let file = parse_file("x.rs", src);
+        let results: Vec<bool> = file
+            .items
+            .iter()
+            .filter_map(|i| match &i.kind {
+                ItemKind::Fn(f) => Some(f.returns_result),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(results, vec![true, false, true]);
+    }
+
+    #[test]
+    fn impl_blocks_classify_trait_vs_inherent() {
+        let src =
+            "impl Foo { pub fn a(&self) {} }\nimpl fmt::Display for Foo { fn fmt(&self) {} }\n";
+        let file = parse_file("x.rs", src);
+        match (&file.items[0].kind, &file.items[1].kind) {
+            (
+                ItemKind::Impl {
+                    of_trait: false,
+                    self_ty: t1,
+                },
+                ItemKind::Impl {
+                    of_trait: true,
+                    self_ty: t2,
+                },
+            ) => {
+                assert_eq!(t1, "Foo");
+                assert_eq!(t2, "Foo");
+            }
+            other => panic!("unexpected kinds: {other:?}"),
+        }
+        assert_eq!(names(&file.items[0].children), vec!["a"]);
+        assert!(file.items[0].children[0].is_pub);
+    }
+
+    #[test]
+    fn use_trees_expand_to_leaf_paths() {
+        let src = "use aipan_net::{Client, host::{Internet, StaticSite}};\nuse aipan_taxonomy::Aspect as A;\nuse std::fmt::*;\n";
+        let file = parse_file("x.rs", src);
+        let mut all: Vec<Vec<String>> = Vec::new();
+        for item in &file.items {
+            if let ItemKind::Use { paths } = &item.kind {
+                all.extend(paths.clone());
+            }
+        }
+        let joined: Vec<String> = all.iter().map(|p| p.join("::")).collect();
+        assert_eq!(
+            joined,
+            vec![
+                "aipan_net::Client",
+                "aipan_net::host::Internet",
+                "aipan_net::host::StaticSite",
+                "aipan_taxonomy::Aspect",
+                "std::fmt::*",
+            ]
+        );
+    }
+
+    #[test]
+    fn struct_lock_fields_detected() {
+        let src = "pub struct Shared { metrics: Arc<Mutex<Metrics>>, hosts: RwLock<u32>, name: String }\n";
+        let file = parse_file("x.rs", src);
+        let ItemKind::Struct { fields } = &file.items[0].kind else {
+            panic!("expected struct");
+        };
+        let locks: Vec<(&str, bool)> = fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_lock))
+            .collect();
+        assert_eq!(
+            locks,
+            vec![("metrics", true), ("hosts", true), ("name", false)]
+        );
+    }
+
+    #[test]
+    fn calls_and_discards_extracted() {
+        let src = r#"
+            fn work(&self) {
+                let _ = Url::parse(input);
+                fetch(url);
+                let ok = compute();
+                self.metrics.lock();
+                chain().last();
+            }
+        "#;
+        let file = parse_file("x.rs", src);
+        let ItemKind::Fn(info) = &file.items[0].kind else {
+            panic!("expected fn");
+        };
+        let got: Vec<(&str, Discard, bool)> = info
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.discard, c.is_method))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("parse", Discard::LetUnderscore, false),
+                ("fetch", Discard::StmtDrop, false),
+                ("compute", Discard::None, false),
+                ("lock", Discard::StmtDrop, true),
+                ("chain", Discard::None, false),
+                ("last", Discard::StmtDrop, true),
+            ]
+        );
+        assert_eq!(info.calls[0].path, vec!["Url", "parse"]);
+        assert_eq!(info.calls[3].recv, vec!["self", "metrics"]);
+    }
+
+    #[test]
+    fn cfg_test_propagates_to_children() {
+        let src = "#[cfg(test)]\nmod tests {\n    pub fn helper() {}\n}\npub fn real() {}\n";
+        let file = parse_file("x.rs", src);
+        assert!(file.items[0].cfg_test);
+        assert!(file.items[0].children[0].cfg_test);
+        assert!(!file.items[1].cfg_test);
+    }
+
+    #[test]
+    fn question_mark_is_not_a_discard() {
+        let src = "fn f() -> Result<(), E> { g()?; Ok(()) }\n";
+        let file = parse_file("x.rs", src);
+        let ItemKind::Fn(info) = &file.items[0].kind else {
+            panic!("expected fn");
+        };
+        assert_eq!(info.calls[0].discard, Discard::None);
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for src in [
+            "fn",
+            "fn (",
+            "struct {",
+            "impl for {}",
+            "use ;",
+            "pub pub pub",
+            "}}}{{{",
+            "fn f( { } )",
+            "#[cfg(test)",
+        ] {
+            let _ = parse_file("x.rs", src);
+        }
+    }
+}

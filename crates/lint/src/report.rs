@@ -1,8 +1,15 @@
 //! Rendering lint results: human diff-style text and machine-readable JSON.
+//!
+//! The JSON form is the CI surface (`cargo lint -- --format json`), so its
+//! shape is deliberately rigid: object members are emitted from
+//! `BTreeMap`s, i.e. in sorted key order, and arrays in the report's
+//! deterministic finding order — two runs over the same tree produce
+//! byte-identical output.
 
 use crate::findings::{Finding, Severity};
 use crate::scan::Report;
 use serde::{Serialize, Value};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Render findings in a diff-style human format:
@@ -68,22 +75,41 @@ pub fn human(report: &Report, deny_warnings: bool) -> String {
     out
 }
 
-/// Render the report as a single JSON object:
+/// Render the report as a single JSON object with sorted member order:
 /// `{"files_scanned": N, "findings": [...], "suppressed": [...]}`.
 pub fn json(report: &Report) -> String {
-    let obj = Value::Object(vec![
-        (
-            "files_scanned".to_string(),
-            (report.files_scanned as u64).to_value(),
-        ),
-        ("findings".to_string(), findings_value(&report.findings)),
-        ("suppressed".to_string(), findings_value(&report.suppressed)),
+    let obj = sorted_object(vec![
+        ("files_scanned", (report.files_scanned as u64).to_value()),
+        ("findings", findings_value(&report.findings)),
+        ("suppressed", findings_value(&report.suppressed)),
     ]);
     serde_json::to_string_pretty(&obj).unwrap_or_else(|_| obj.to_string())
 }
 
+/// Build an object whose members are sorted by key via a `BTreeMap`, so
+/// field order can never depend on struct declaration or insertion order.
+fn sorted_object(members: Vec<(&str, Value)>) -> Value {
+    let map: BTreeMap<String, Value> = members
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    Value::Object(map.into_iter().collect())
+}
+
 fn findings_value(findings: &[Finding]) -> Value {
-    Value::Array(findings.iter().map(|f| f.to_value()).collect())
+    Value::Array(findings.iter().map(finding_value).collect())
+}
+
+fn finding_value(f: &Finding) -> Value {
+    sorted_object(vec![
+        ("col", (f.col as u64).to_value()),
+        ("file", f.file.to_value()),
+        ("line", (f.line as u64).to_value()),
+        ("message", f.message.to_value()),
+        ("rule", f.rule.to_value()),
+        ("severity", f.severity.name().to_value()),
+        ("snippet", f.snippet.to_value()),
+    ])
 }
 
 #[cfg(test)]
@@ -133,5 +159,33 @@ mod tests {
         assert_eq!(findings.len(), 2);
         assert_eq!(findings[0].field("rule").unwrap().as_str(), Some("R1"));
         assert_eq!(findings[0].field("line").unwrap().as_u64(), Some(12));
+        assert_eq!(
+            findings[0].field("severity").unwrap().as_str(),
+            Some("deny")
+        );
+    }
+
+    #[test]
+    fn json_member_order_is_sorted_and_stable() {
+        let text = json(&sample_report());
+        // Top-level keys in sorted order.
+        let fs = text.find("\"files_scanned\"").expect("files_scanned key");
+        let fi = text.find("\"findings\"").expect("findings key");
+        let su = text.find("\"suppressed\"").expect("suppressed key");
+        assert!(fs < fi && fi < su, "top-level keys must be sorted");
+        // Finding keys in sorted order: col < file < line < message < rule
+        // < severity < snippet within the first finding object.
+        let first = &text[fi..su];
+        let positions: Vec<usize> = [
+            "col", "file", "line", "message", "rule", "severity", "snippet",
+        ]
+        .iter()
+        .map(|k| first.find(&format!("\"{k}\"")).expect("finding key"))
+        .collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(positions, sorted, "finding keys must be sorted");
+        // Byte-identical across renders.
+        assert_eq!(text, json(&sample_report()));
     }
 }

@@ -4,10 +4,24 @@
 //! `examples/`, `benches/` — skipping `vendor/` (offline stand-in crates are
 //! third-party API mirrors, not our code), `target/`, and hidden
 //! directories.
+//!
+//! The driver runs two analysis layers over the same file set:
+//!
+//! 1. **token rules** ([`crate::rules`]): each file independently through
+//!    the lexer-level passes (`D1`/`D2`/`R1`/`O1`/`H1`);
+//! 2. **graph rules**: all files parsed ([`crate::parser`]) into a
+//!    [`crate::graph::Workspace`], then `L1` layering (against the
+//!    `lint.toml` contract), `E1` error flow, `K1` lock order, and `P1`
+//!    dead pub across the whole set at once.
+//!
+//! Taxonomy data invariants and allowlist bookkeeping (`A0`) run last, as
+//! before.
 
 use crate::allow::Allowlist;
+use crate::config::Config;
 use crate::findings::{sort_findings, Finding};
-use crate::{invariants, rules};
+use crate::graph::Workspace;
+use crate::{error_flow, invariants, locks, rules};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -36,19 +50,19 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 
 /// All lintable source files under `root`, as sorted workspace-relative
 /// forward-slash paths.
-pub fn source_files(root: &Path) -> io::Result<Vec<String>> {
+pub(crate) fn source_files(root: &Path) -> io::Result<Vec<String>> {
     let mut files = Vec::new();
     for scan_root in SCAN_ROOTS {
         let dir = root.join(scan_root);
         if dir.is_dir() {
-            walk(&dir, root, &mut files)?;
+            walk_dir(&dir, root, &mut files)?;
         }
     }
     files.sort();
     Ok(files)
 }
 
-fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+fn walk_dir(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
@@ -58,7 +72,7 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
             continue;
         }
         if path.is_dir() {
-            walk(&path, root, out)?;
+            walk_dir(&path, root, out)?;
         } else if name.ends_with(".rs") {
             let rel = path
                 .strip_prefix(root)
@@ -97,16 +111,49 @@ impl Report {
     }
 }
 
-/// Lint the whole workspace at `root` against `allowlist`: every source
-/// file through the token rules, plus the taxonomy data invariants, plus
-/// unused-allowlist-entry findings.
-pub fn run(root: &Path, mut allowlist: Allowlist) -> io::Result<Report> {
-    let files = source_files(root)?;
-    let mut raw = Vec::new();
+/// Lint the whole workspace at `root` against `allowlist`.
+pub fn run(root: &Path, allowlist: Allowlist) -> io::Result<Report> {
+    run_filtered(root, allowlist, |_| true)
+}
+
+/// Lint the subset of workspace files whose relative path satisfies
+/// `keep`. The graph passes see only the kept files, so a subset run
+/// answers "is this corner self-consistent?" — `tests/lint_self_clean.rs`
+/// uses it to hold `crates/lint` to its own rules with no allowlist.
+pub fn run_filtered(
+    root: &Path,
+    mut allowlist: Allowlist,
+    keep: impl Fn(&str) -> bool,
+) -> io::Result<Report> {
+    let files: Vec<String> = source_files(root)?
+        .into_iter()
+        .filter(|rel| keep(rel))
+        .collect();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for rel in &files {
         let src = fs::read_to_string(root.join(rel))?;
-        raw.extend(rules::lint_source(rel, &src));
+        sources.push((rel.clone(), src));
     }
+
+    // Layer 1: per-file token rules.
+    let mut raw = Vec::new();
+    for (rel, src) in &sources {
+        raw.extend(rules::lint_source(rel, src));
+    }
+
+    // Layer 2: workspace graph rules.
+    let workspace = Workspace::build(&sources);
+    let config_path = root.join("lint.toml");
+    if config_path.is_file() {
+        let text = fs::read_to_string(&config_path)?;
+        let config = Config::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        raw.extend(workspace.check_layering(&config));
+    }
+    raw.extend(error_flow::check_error_flow(&workspace));
+    raw.extend(locks::check_lock_order(&workspace));
+    raw.extend(workspace.check_dead_pub());
+
     raw.extend(invariants::check_all());
 
     let mut findings = Vec::new();
@@ -153,5 +200,18 @@ mod tests {
         let mut sorted = files.clone();
         sorted.sort();
         assert_eq!(files, sorted);
+    }
+
+    #[test]
+    fn filtered_run_sees_only_kept_files() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).unwrap();
+        let report = run_filtered(&root, Allowlist::default(), |rel| {
+            rel.starts_with("crates/lint/src/")
+        })
+        .expect("subset scan");
+        let all = source_files(&root).unwrap();
+        assert!(report.files_scanned > 0);
+        assert!(report.files_scanned < all.len());
     }
 }

@@ -1,0 +1,50 @@
+//! The analyzer must pass its own rules — with **no allowlist**.
+//!
+//! `workspace_clean.rs` holds the whole tree to `--deny-warnings` modulo
+//! `lint.allow`; this test is stricter on the lint crate itself: a
+//! filtered run over `crates/lint/` only, with an empty allowlist, so a
+//! finding inside the analyzer can never be suppressed — it has to be
+//! fixed structurally.
+
+use aipan_lint::allow::Allowlist;
+use aipan_lint::scan;
+use std::path::Path;
+
+#[test]
+fn lint_crate_passes_its_own_rules_without_an_allowlist() {
+    let root = scan::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let report = scan::run_filtered(&root, Allowlist::default(), |rel| {
+        rel.starts_with("crates/lint/")
+    })
+    .expect("scan crates/lint");
+    assert!(
+        report.files_scanned >= 10,
+        "expected every lint source and test file, scanned {}",
+        report.files_scanned
+    );
+    assert!(report.suppressed.is_empty(), "no allowlist was provided");
+
+    // Exactly `--deny-warnings` strictness: any finding at all fails.
+    if report.failed(true) {
+        let listing: Vec<String> = report
+            .findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{}:{}:{} [{} {}] {}",
+                    f.file,
+                    f.line,
+                    f.col,
+                    f.severity.name(),
+                    f.rule,
+                    f.message
+                )
+            })
+            .collect();
+        panic!(
+            "the analyzer violates its own rules:\n  {}",
+            listing.join("\n  ")
+        );
+    }
+}

@@ -143,3 +143,138 @@ fn injected_thread_rng_into_core_is_named_precisely() {
     assert_eq!(f.line, 2);
     assert!(f.snippet.contains("thread_rng"));
 }
+
+// ---------------------------------------------------------------------------
+// Graph rules (L1 / E1 / K1 / P1): one violating and one clean fixture each,
+// exercised through the public workspace API exactly as `scan::run` does.
+// ---------------------------------------------------------------------------
+
+use aipan_lint::config::Config;
+use aipan_lint::graph::Workspace;
+use aipan_lint::{error_flow, locks};
+
+fn workspace(files: &[(&str, &str)]) -> Workspace {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    Workspace::build(&owned)
+}
+
+const LAYERING: &str = "[layering]\n\
+                        taxonomy = []\n\
+                        html = []\n\
+                        analysis = [\"taxonomy\", \"html\"]\n";
+
+#[test]
+fn l1_layering_violation_fires_and_clean_import_does_not() {
+    let config = Config::parse(LAYERING).expect("fixture layering parses");
+
+    let bad = workspace(&[(
+        "crates/taxonomy/src/lib.rs",
+        "use aipan_analysis::tables;\npub fn f() { tables::go(); }\n",
+    )]);
+    let findings = bad.check_layering(&config);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("L1", aipan_lint::Severity::Deny));
+    assert_eq!(f.file, "crates/taxonomy/src/lib.rs");
+    assert!(f.message.contains("taxonomy"), "{}", f.message);
+    assert!(f.message.contains("analysis"), "{}", f.message);
+
+    let clean = workspace(&[(
+        "crates/analysis/src/lib.rs",
+        "use aipan_taxonomy::aspect;\npub fn f() { aspect::go(); }\n",
+    )]);
+    assert!(clean.check_layering(&config).is_empty());
+}
+
+#[test]
+fn e1_discarded_result_fires_and_handled_result_does_not() {
+    let bad = workspace(&[(
+        "crates/net/src/io.rs",
+        "pub fn send(x: u8) -> Result<(), String> { Ok(drop_marker(x)) }\n\
+         pub fn caller() { let _ = send(1); }\n",
+    )]);
+    let findings = error_flow::check_error_flow(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("E1", aipan_lint::Severity::Warn));
+    assert_eq!(f.line, 2);
+    assert!(f.message.contains("send"), "{}", f.message);
+
+    let clean = workspace(&[(
+        "crates/net/src/io.rs",
+        "pub fn send(x: u8) -> Result<(), String> { Ok(drop_marker(x)) }\n\
+         pub fn caller() -> Result<(), String> { send(1) }\n",
+    )]);
+    assert!(error_flow::check_error_flow(&clean).is_empty());
+}
+
+#[test]
+fn k1_lock_order_inversion_fires_and_consistent_order_does_not() {
+    let decl = "pub struct S { a: Mutex<u32>, b: RwLock<u32> }\n";
+    let bad = workspace(&[(
+        "crates/crawler/src/pool.rs",
+        &format!(
+            "{decl}impl S {{\n\
+             \x20   pub fn x(&self) {{ let g = self.a.lock(); let h = self.b.read(); use2(g, h); }}\n\
+             \x20   pub fn y(&self) {{ let h = self.b.write(); let g = self.a.lock(); use2(g, h); }}\n\
+             }}\n"
+        ),
+    )]);
+    let findings = locks::check_lock_order(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("K1", aipan_lint::Severity::Deny));
+    assert!(f.message.contains("crawler::S.a"), "{}", f.message);
+    assert!(f.message.contains("crawler::S.b"), "{}", f.message);
+
+    let clean = workspace(&[(
+        "crates/crawler/src/pool.rs",
+        &format!(
+            "{decl}impl S {{\n\
+             \x20   pub fn x(&self) {{ let g = self.a.lock(); let h = self.b.read(); use2(g, h); }}\n\
+             \x20   pub fn y(&self) {{ let g = self.a.lock(); let h = self.b.write(); use2(g, h); }}\n\
+             }}\n"
+        ),
+    )]);
+    assert!(locks::check_lock_order(&clean).is_empty());
+}
+
+#[test]
+fn p1_dead_pub_fires_and_referenced_pub_does_not() {
+    let bad = workspace(&[
+        (
+            "crates/html/src/lib.rs",
+            "pub fn orphan() -> u32 { 7 }\npub fn used() -> u32 { 8 }\n",
+        ),
+        (
+            "crates/core/src/lib.rs",
+            "pub fn caller() -> u32 { aipan_html::used() }\n",
+        ),
+        // Mentions from test files count as references (P1 flags items
+        // nothing in the workspace touches, tests included).
+        ("tests/smoke.rs", "fn s() { aipan_core::caller(); }\n"),
+    ]);
+    let findings = bad.check_dead_pub();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("P1", aipan_lint::Severity::Warn));
+    assert_eq!(f.file, "crates/html/src/lib.rs");
+    assert!(f.message.contains("orphan"), "{}", f.message);
+
+    // A cross-file mention — even from a test — keeps the item alive.
+    let clean = workspace(&[
+        (
+            "crates/html/src/lib.rs",
+            "pub fn orphan() -> u32 { 7 }\npub fn used() -> u32 { 8 }\n",
+        ),
+        (
+            "crates/core/src/lib.rs",
+            "pub fn caller() -> u32 { aipan_html::used() + aipan_html::orphan() }\n",
+        ),
+        ("tests/smoke.rs", "fn s() { aipan_core::caller(); }\n"),
+    ]);
+    assert!(clean.check_dead_pub().is_empty());
+}

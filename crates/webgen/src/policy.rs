@@ -515,46 +515,6 @@ pub fn protection_sentences(label: ProtectionLabel) -> &'static [&'static str] {
     }
 }
 
-/// The canonical sentence for a protection label. The sentence form is
-/// stable so classifier tests can rely on the keywords.
-pub fn protection_sentence(label: ProtectionLabel) -> &'static str {
-    protection_sentences(label)[0]
-}
-
-#[allow(dead_code)]
-fn protection_sentence_legacy(label: ProtectionLabel) -> &'static str {
-    match label {
-        ProtectionLabel::Generic => {
-            "We maintain commercially reasonable administrative, technical, and \
-             organizational safeguards designed to protect the information we hold."
-        }
-        ProtectionLabel::AccessLimit => {
-            "Access to personal information is restricted to personnel with a need to know \
-             and is revoked when no longer required."
-        }
-        ProtectionLabel::SecureTransfer => {
-            "Information transmitted to us is protected in transit using Secure Socket \
-             Layer (SSL) or Transport Layer Security (TLS) encryption."
-        }
-        ProtectionLabel::SecureStorage => {
-            "Personal information at rest is stored in encrypted databases hosted in \
-             access-controlled facilities."
-        }
-        ProtectionLabel::PrivacyProgram => {
-            "We maintain a comprehensive privacy program overseen by a dedicated data \
-             protection officer."
-        }
-        ProtectionLabel::PrivacyReview => {
-            "Our security measures and data protection practices are regularly reviewed \
-             and audited by internal and independent assessors."
-        }
-        ProtectionLabel::SecureAuthentication => {
-            "We offer two-factor sign-in verification and encrypted credentials to help \
-             secure your account."
-        }
-    }
-}
-
 /// Phrasing variants for a user-choice label (first is canonical).
 pub fn choice_sentences(label: ChoiceLabel, domain: &str) -> Vec<String> {
     match label {
@@ -608,41 +568,6 @@ pub fn choice_sentences(label: ChoiceLabel, domain: &str) -> Vec<String> {
     }
 }
 
-/// The canonical sentence for a user-choice label.
-pub fn choice_sentence(label: ChoiceLabel, domain: &str) -> String {
-    choice_sentences(label, domain).remove(0)
-}
-
-#[allow(dead_code)]
-fn choice_sentence_legacy(label: ChoiceLabel, domain: &str) -> String {
-    match label {
-        ChoiceLabel::OptOutViaContact => format!(
-            "To opt out of marketing communications, please contact us directly at \
-             privacy@{domain} with your request."
-        ),
-        ChoiceLabel::OptOutViaLink => {
-            "You may opt out at any time by clicking the unsubscribe link included in our \
-             communications or the Opt-Out Request link on this page."
-                .to_string()
-        }
-        ChoiceLabel::PrivacySettings => {
-            "You can manage your choices at any time through the privacy settings page \
-             available in your account dashboard."
-                .to_string()
-        }
-        ChoiceLabel::OptIn => {
-            "Where the law requires it, we will obtain your consent before we collect, \
-             use, or disclose this information."
-                .to_string()
-        }
-        ChoiceLabel::DoNotUse => {
-            "If you do not agree with the practices described in this policy, your sole \
-             remedy is to discontinue use of the affected feature or service."
-                .to_string()
-        }
-    }
-}
-
 /// Phrasing variants for a user-access label (first is canonical).
 pub fn access_sentences(label: AccessLabel) -> &'static [&'static str] {
     match label {
@@ -679,40 +604,6 @@ pub fn access_sentences(label: AccessLabel) -> &'static [&'static str] {
             "Accounts may be deactivated at any time from the account page; deactivated \
              records remain available to us.",
         ],
-    }
-}
-
-/// The canonical sentence for a user-access label.
-pub fn access_sentence(label: AccessLabel) -> &'static str {
-    access_sentences(label)[0]
-}
-
-#[allow(dead_code)]
-fn access_sentence_legacy(label: AccessLabel) -> &'static str {
-    match label {
-        AccessLabel::Edit => {
-            "You may update or correct your personal information at any time by signing in \
-             or submitting a request."
-        }
-        AccessLabel::FullDelete => {
-            "You may request that we delete your account and all associated personal \
-             information from our servers and databases."
-        }
-        AccessLabel::View => {
-            "You may request access to review the personal information we hold about you."
-        }
-        AccessLabel::Export => {
-            "You may request a copy of your personal information in a portable, \
-             machine-readable format."
-        }
-        AccessLabel::PartialDelete => {
-            "You may request deletion of certain personal information, although we may \
-             retain some records where required by applicable law."
-        }
-        AccessLabel::Deactivate => {
-            "You may deactivate your account at any time through your account dashboard; \
-             deactivated records remain on our systems."
-        }
     }
 }
 

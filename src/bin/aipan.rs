@@ -10,7 +10,7 @@
 //! ```
 
 use aipan::analysis::validation::{FailureAudit, MissingAspectAudit, PrecisionReport};
-use aipan::analysis::{insights::Insights, tables};
+use aipan::analysis::{insights::Insights, tables, trends};
 use aipan::chatbot::SimulatedChatbot;
 use aipan::core::pipeline::Pipeline;
 use aipan::core::{run_pipeline, Dataset, PipelineConfig};
@@ -20,7 +20,11 @@ use aipan::ml::{
 };
 use aipan::net::fault::FaultInjector;
 use aipan::net::Client;
-use aipan::webgen::{build_world, World, WorldConfig};
+use aipan::taxonomy::datatypes::DataTypeMeta;
+use aipan::taxonomy::purposes::PurposeMeta;
+use aipan::taxonomy::sector::Sector;
+use aipan::webgen::{build_world, SearchIndex, World, WorldConfig};
+use std::collections::BTreeMap;
 
 struct Args {
     command: String,
@@ -28,6 +32,7 @@ struct Args {
     seed: u64,
     size: usize,
     out: Option<String>,
+    sector: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -37,10 +42,12 @@ fn parse_args() -> Args {
         seed: 42,
         size: 600,
         out: None,
+        sector: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--sector" => args.sector = iter.next(),
             "--seed" => {
                 args.seed = iter
                     .next()
@@ -70,7 +77,7 @@ fn usage() -> ! {
          tables              [--seed N] [--size N]     print Tables 1-5\n\
          validate            [--seed N] [--size N]     run the §4 validation harness\n\
          distill             [--seed N] [--size N]     train offline student models\n\
-         analyze  <dataset.json>                       analyze an exported dataset"
+         analyze  <dataset.json> [--sector ABBREV]     analyze an exported dataset"
     );
     std::process::exit(2);
 }
@@ -102,6 +109,12 @@ fn main() {
 
 fn cmd_run(args: &Args) {
     let world = build(args);
+    let fates: Vec<String> = world
+        .fate_histogram()
+        .iter()
+        .map(|(fate, n)| format!("{fate:?} {n}"))
+        .collect();
+    println!("company fates: {}", fates.join(", "));
     let run = run_pipeline(
         &world,
         PipelineConfig {
@@ -123,17 +136,38 @@ fn cmd_run(args: &Args) {
 }
 
 fn cmd_audit(args: &Args) {
-    let Some(domain) = args.positional.first() else {
+    let Some(target) = args.positional.first() else {
         usage()
     };
     let world = build(args);
-    if world.company(domain).is_none() {
-        eprintln!(
-            "domain {domain} not in this world (seed {}, size {})",
-            args.seed, args.size
-        );
-        std::process::exit(1);
-    }
+    let domain = match world.company(target) {
+        Some(_) => target.clone(),
+        None => {
+            // Not a domain in this world — treat the argument as a company
+            // name and resolve it the way the paper does: first search
+            // result, corrected by manual review.
+            let index = SearchIndex::build(args.seed, &world.universe);
+            let Some(hit) = index.first_result(target) else {
+                eprintln!(
+                    "{target} is neither a domain nor a company name in this world \
+                     (seed {}, size {})",
+                    args.seed, args.size
+                );
+                std::process::exit(1);
+            };
+            println!(
+                "search: {target} → {}{}",
+                hit.domain,
+                if hit.needed_review {
+                    " (misleading first result corrected by manual review)"
+                } else {
+                    ""
+                }
+            );
+            hit.domain
+        }
+    };
+    let domain = domain.as_str();
     let client = Client::new(
         world.internet.clone(),
         FaultInjector::new(world.config.seed, world.config.faults),
@@ -146,6 +180,15 @@ fn cmd_audit(args: &Args) {
         crawl.privacy_pages().len(),
         crawl.robots_skipped
     );
+    for page in &crawl.pages {
+        println!(
+            "  {:?} {} [{}] via {:?}",
+            page.status,
+            page.url,
+            page.content_type.mime(),
+            page.via
+        );
+    }
     let pipeline = Pipeline::new(PipelineConfig {
         seed: args.seed,
         ..Default::default()
@@ -243,10 +286,27 @@ fn cmd_distill(args: &Args) {
         let (train, test) = split_by_domain(&corpus);
         let model = eval::train_student(&featurizer, &train);
         let report = eval::evaluate(&model, &featurizer, &test);
+        let top1_sum: f64 = test
+            .iter()
+            .map(|line| {
+                model
+                    .predict_proba(&featurizer.featurize(&line.text))
+                    .into_iter()
+                    .map(|(_, p)| p)
+                    .fold(0.0, f64::max)
+            })
+            .sum();
+        let mean_top1 = if test.is_empty() {
+            0.0
+        } else {
+            top1_sum / test.len() as f64
+        };
         println!(
-            "== {name}: {} train / {} test lines ==\n{}",
+            "== {name}: {} train / {} test lines, {} classes, mean top-1 confidence {:.3} ==\n{}",
             train.len(),
             test.len(),
+            model.class_count(),
+            mean_top1,
             report.render()
         );
     }
@@ -260,15 +320,49 @@ fn cmd_analyze(args: &Args) {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
     });
-    let dataset = Dataset::from_json(&json).unwrap_or_else(|e| {
+    let mut dataset = Dataset::from_json(&json).unwrap_or_else(|e| {
         eprintln!("cannot parse {path}: {e}");
         std::process::exit(1);
     });
+    if let Some(abbrev) = &args.sector {
+        let Some(sector) = Sector::from_abbrev(abbrev) else {
+            eprintln!("unknown sector abbreviation: {abbrev}");
+            std::process::exit(2);
+        };
+        dataset.policies.retain(|p| p.sector == sector);
+        println!("sector filter: {abbrev} ({sector:?})");
+    }
     println!(
         "{} policies, {} annotated",
         dataset.len(),
         dataset.annotated().count()
     );
+    let counts = trends::aspect_counts(&dataset);
+    let rendered: Vec<String> = counts
+        .iter()
+        .map(|(kind, n)| format!("{kind:?} {n}"))
+        .collect();
+    println!("annotations per aspect: {}", rendered.join(", "));
+    let mut type_meta: BTreeMap<DataTypeMeta, usize> = BTreeMap::new();
+    let mut purpose_meta: BTreeMap<PurposeMeta, usize> = BTreeMap::new();
+    for policy in dataset.annotated() {
+        for ann in &policy.annotations {
+            if let Some(meta) = ann.payload.datatype_meta() {
+                *type_meta.entry(meta).or_default() += 1;
+            }
+            if let Some(meta) = ann.payload.purpose_meta() {
+                *purpose_meta.entry(meta).or_default() += 1;
+            }
+        }
+    }
+    println!("data-type annotations by meta-category:");
+    for (meta, n) in &type_meta {
+        println!("  {meta:?}: {n}");
+    }
+    println!("purpose annotations by meta-category:");
+    for (meta, n) in &purpose_meta {
+        println!("  {meta:?}: {n}");
+    }
     println!("{}", tables::render_table1(&tables::table1(&dataset, 3)));
     println!("{}", Insights::compute(&dataset).render());
 }
