@@ -1,0 +1,182 @@
+//! perfbench — deterministic wall-clock harness for the pipeline hot path.
+//!
+//! Times the three stages that dominate a corpus run — world synthesis,
+//! crawling, and the end-to-end annotation pipeline — at fixed sizes and
+//! worker counts, and appends the measurements to `BENCH_pipeline.json` so
+//! the repository accumulates a perf trajectory across PRs (the workloads
+//! are seeded and deterministic; only the wall-clock varies by machine).
+//!
+//! ```text
+//! perfbench                        # full grid: 100/300/1000 × {1,4,8}
+//! perfbench --smoke                # tiny grid for CI / verify drive
+//! perfbench --label post-PR3      # tag the appended entries
+//! perfbench --out /tmp/bench.json # write somewhere else
+//! ```
+//!
+//! Unlike the criterion benches this needs no statistical run: each cell is
+//! measured once, which is enough to see the ≥1.5× movements we optimize
+//! for, and cheap enough to run on every PR.
+
+use aipan_core::{run_pipeline, PipelineConfig};
+use aipan_crawler::{crawl_all, PoolConfig};
+use aipan_net::fault::FaultInjector;
+use aipan_net::Client;
+use aipan_webgen::{build_world, WorldConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+const SEED: u64 = 7;
+
+/// One measured grid cell.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchEntry {
+    /// Caller-supplied tag (e.g. `pre-PR3-baseline`, `post-PR3`).
+    label: String,
+    /// Universe size (company domains attempted).
+    domains: usize,
+    /// Worker-thread count for crawl and annotation pools.
+    workers: usize,
+    /// World synthesis wall-clock (ms).
+    world_build_ms: f64,
+    /// Crawl-only wall-clock (ms).
+    crawl_ms: f64,
+    /// End-to-end pipeline wall-clock (ms) — crawl + extract + segment +
+    /// annotate + verify + funnel.
+    pipeline_ms: f64,
+    /// Annotated-domain count (work-equivalence check across entries).
+    annotated: usize,
+    /// Total annotations produced (ditto).
+    annotations: usize,
+}
+
+/// The committed trajectory file.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct BenchFile {
+    /// Harness identifier, bumped only if the measured workload changes.
+    harness: String,
+    /// Appended measurements, oldest first.
+    entries: Vec<BenchEntry>,
+}
+
+fn measure(label: &str, domains: usize, workers: usize) -> BenchEntry {
+    let t0 = Instant::now();
+    let world = build_world(WorldConfig::small(SEED, domains));
+    let world_build_ms = ms(t0);
+
+    let client = Client::new(
+        world.internet.clone(),
+        FaultInjector::new(world.config.seed, world.config.faults),
+    );
+    let domain_names: Vec<String> = world
+        .universe
+        .unique_domains()
+        .iter()
+        .map(|c| c.domain.clone())
+        .collect();
+    let t1 = Instant::now();
+    let crawls = crawl_all(&client, &domain_names, PoolConfig { workers });
+    let crawl_ms = ms(t1);
+    drop(crawls);
+
+    let t2 = Instant::now();
+    let run = run_pipeline(
+        &world,
+        PipelineConfig {
+            seed: SEED,
+            workers,
+            ..Default::default()
+        },
+    );
+    let pipeline_ms = ms(t2);
+
+    BenchEntry {
+        label: label.to_string(),
+        domains,
+        workers,
+        world_build_ms,
+        crawl_ms,
+        pipeline_ms,
+        annotated: run.extraction.annotated,
+        annotations: run
+            .dataset
+            .policies
+            .iter()
+            .map(|p| p.annotations.len())
+            .sum(),
+    }
+}
+
+fn ms(since: Instant) -> f64 {
+    let d = since.elapsed();
+    (d.as_secs_f64() * 1e4).round() / 10.0
+}
+
+fn main() {
+    let mut label = String::from("run");
+    let mut out = String::from("BENCH_pipeline.json");
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--label" => label = args.next().unwrap_or(label),
+            "--out" => out = args.next().unwrap_or(out),
+            "--help" | "-h" => {
+                println!("usage: perfbench [--smoke] [--label NAME] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("perfbench: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (sizes, worker_counts): (&[usize], &[usize]) = if smoke {
+        (&[40], &[1, 2])
+    } else {
+        (&[100, 300, 1000], &[1, 4, 8])
+    };
+
+    let mut file: BenchFile = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+        .unwrap_or_default();
+    file.harness = "perfbench-v1".to_string();
+
+    println!("label={label} grid: {sizes:?} domains x {worker_counts:?} workers");
+    println!(
+        "{:>8} {:>8} {:>12} {:>10} {:>12} {:>10} {:>12}",
+        "domains", "workers", "world ms", "crawl ms", "pipeline ms", "annotated", "annotations"
+    );
+    for &domains in sizes {
+        for &workers in worker_counts {
+            let entry = measure(&label, domains, workers);
+            println!(
+                "{:>8} {:>8} {:>12.1} {:>10.1} {:>12.1} {:>10} {:>12}",
+                entry.domains,
+                entry.workers,
+                entry.world_build_ms,
+                entry.crawl_ms,
+                entry.pipeline_ms,
+                entry.annotated,
+                entry.annotations
+            );
+            file.entries.push(entry);
+        }
+    }
+
+    match serde_json::to_string_pretty(&file) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&out, json + "\n") {
+                eprintln!("perfbench: cannot write {out}: {e}");
+                std::process::exit(2);
+            }
+            println!("wrote {out}");
+        }
+        Err(e) => {
+            eprintln!("perfbench: serialize failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,18 +1,28 @@
 //! Vocabulary scanning: the simulated model's "reading" of policy text.
 //!
-//! A [`VocabMatcher`] indexes every surface form the model knows — the
+//! A [`VocabMatcher`] covers every surface form the model knows — the
 //! glossary vocabulary *plus* the zero-shot terms of
 //! [`aipan_taxonomy::zeroshot`] (an LLM's world knowledge exceeds the
-//! prompt glossary) — and scans lines token-by-token with longest-match
-//! precedence, recording the verbatim matched text (for the pipeline's
-//! hallucination verification) and whether the mention sits in a negated
-//! context ("we do not collect …").
+//! prompt glossary) — with longest-match precedence, recording the verbatim
+//! matched text (for the pipeline's hallucination verification) and whether
+//! the mention sits in a negated context ("we do not collect …").
+//!
+//! Since PR 3 the scanning runs on a single shared Aho–Corasick automaton
+//! ([`aipan_textindex::AcAutomaton`]) built once over *both* vocabularies
+//! with per-pattern vocabulary tags: one pass over a line's tokens yields
+//! every data-type and purpose occurrence at once ([`scan_line_dual`]),
+//! which the task layer uses to avoid scanning each line twice. The
+//! original token-walk scanner is preserved under `#[cfg(test)]` as the
+//! oracle for a differential property test: both scanners must agree
+//! exactly — text, target, span, and negation — on arbitrary lines.
 
 use aipan_taxonomy::datatypes::DATA_TYPE_DESCRIPTORS;
 use aipan_taxonomy::purposes::PURPOSE_DESCRIPTORS;
 use aipan_taxonomy::zeroshot::{ZERO_SHOT_DATA_TYPES, ZERO_SHOT_PURPOSES};
 use aipan_taxonomy::{DataTypeCategory, PurposeCategory};
+use aipan_textindex::{AcAutomaton, AcBuilder};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// What a matched surface form refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,92 +69,50 @@ impl VocabMatch {
     }
 }
 
-struct Entry {
-    tokens: Vec<String>,
-    target: MatchTarget,
+/// Which vocabulary a pattern (or a matcher view) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Vocab {
+    DataTypes,
+    Purposes,
 }
 
-/// Token-indexed longest-match scanner.
+/// Both vocabularies' hits from one pass over a line.
+#[derive(Debug, Clone, Default)]
+pub struct DualScan {
+    /// Data-type hits, in line order.
+    pub datatypes: Vec<VocabMatch>,
+    /// Purpose hits, in line order.
+    pub purposes: Vec<VocabMatch>,
+}
+
+/// Scan a line against both vocabularies in a single tokenization and
+/// automaton pass. Equivalent to
+/// `(for_datatypes().scan_line(line), for_purposes().scan_line(line))` but
+/// roughly half the work — the task layer's per-line classify/extract
+/// paths always need both sides (each side suppresses hits nested inside
+/// the other's longer phrases).
+pub fn scan_line_dual(line: &str) -> DualScan {
+    engine().scan(line)
+}
+
+/// Longest-match vocabulary scanner (one vocabulary view over the shared
+/// engine).
 pub struct VocabMatcher {
-    by_first: HashMap<String, Vec<Entry>>,
+    vocab: Vocab,
 }
 
 impl VocabMatcher {
     /// Matcher over all data-type surface forms (glossary + zero-shot).
     pub fn for_datatypes() -> VocabMatcher {
-        let mut m = VocabMatcher {
-            by_first: HashMap::new(),
-        };
-        for spec in DATA_TYPE_DESCRIPTORS {
-            let target = MatchTarget::DataType {
-                descriptor: spec.name,
-                category: spec.category,
-                zero_shot: false,
-            };
-            m.add(spec.name, target);
-            for s in spec.surfaces {
-                m.add(s, target);
-            }
+        VocabMatcher {
+            vocab: Vocab::DataTypes,
         }
-        for z in ZERO_SHOT_DATA_TYPES {
-            m.add(
-                z.term,
-                MatchTarget::DataType {
-                    descriptor: z.term,
-                    category: z.category,
-                    zero_shot: true,
-                },
-            );
-        }
-        m.sort_entries();
-        m
     }
 
     /// Matcher over all purpose surface forms (glossary + zero-shot).
     pub fn for_purposes() -> VocabMatcher {
-        let mut m = VocabMatcher {
-            by_first: HashMap::new(),
-        };
-        for spec in PURPOSE_DESCRIPTORS {
-            let target = MatchTarget::Purpose {
-                descriptor: spec.name,
-                category: spec.category,
-                zero_shot: false,
-            };
-            m.add(spec.name, target);
-            for s in spec.surfaces {
-                m.add(s, target);
-            }
-        }
-        for z in ZERO_SHOT_PURPOSES {
-            m.add(
-                z.term,
-                MatchTarget::Purpose {
-                    descriptor: z.term,
-                    category: z.category,
-                    zero_shot: true,
-                },
-            );
-        }
-        m.sort_entries();
-        m
-    }
-
-    fn add(&mut self, surface: &str, target: MatchTarget) {
-        let tokens = tokenize_words(surface);
-        if tokens.is_empty() {
-            return;
-        }
-        self.by_first
-            .entry(tokens[0].clone())
-            .or_default()
-            .push(Entry { tokens, target });
-    }
-
-    fn sort_entries(&mut self) {
-        for entries in self.by_first.values_mut() {
-            // Longest first for longest-match precedence.
-            entries.sort_by_key(|e| std::cmp::Reverse(e.tokens.len()));
+        VocabMatcher {
+            vocab: Vocab::Purposes,
         }
     }
 
@@ -158,45 +126,283 @@ impl VocabMatcher {
     /// negated sentence and a positive one into a single block could lose
     /// the positive mention to the stricter reading.
     pub fn scan_line(&self, line: &str) -> Vec<VocabMatch> {
-        let tokens = tokenize_with_spans(line);
-        let mut out: Vec<VocabMatch> = Vec::new();
-        let mut i = 0;
+        let dual = engine().scan(line);
+        match self.vocab {
+            Vocab::DataTypes => dual.datatypes,
+            Vocab::Purposes => dual.purposes,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared engine
+// ---------------------------------------------------------------------------
+
+/// Token symbol for words outside every vocabulary pattern.
+const NO_SYM: u32 = u32::MAX;
+
+/// The shared automaton: every surface form of both vocabularies, one
+/// pattern per insertion (duplicates keep distinct ids so insertion order
+/// still breaks ties exactly like the legacy stable longest-first sort).
+struct Engine {
+    ac: AcAutomaton,
+    /// Lower-cased word token → interned symbol.
+    symbols: HashMap<String, u32>,
+    /// Per-pattern vocabulary tag and match target, indexed by pattern id.
+    targets: Vec<(Vocab, MatchTarget)>,
+}
+
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(Engine::build)
+}
+
+/// One scanned token: byte span in the line, interned symbol (or
+/// [`NO_SYM`]), and whether it is a negation cue.
+struct Tok {
+    start: u32,
+    end: u32,
+    sym: u32,
+    neg: bool,
+}
+
+impl Engine {
+    fn build() -> Engine {
+        let mut symbols = HashMap::new();
+        let mut builder = AcBuilder::new();
+        let mut targets = Vec::new();
+        // Insertion order per vocabulary mirrors the legacy matcher's
+        // (glossary names, glossary surfaces, then zero-shot terms) so
+        // pattern-id order reproduces its tie-breaking.
+        for spec in DATA_TYPE_DESCRIPTORS {
+            let target = MatchTarget::DataType {
+                descriptor: spec.name,
+                category: spec.category,
+                zero_shot: false,
+            };
+            add_pattern(
+                &mut builder,
+                &mut symbols,
+                &mut targets,
+                spec.name,
+                Vocab::DataTypes,
+                target,
+            );
+            for s in spec.surfaces {
+                add_pattern(
+                    &mut builder,
+                    &mut symbols,
+                    &mut targets,
+                    s,
+                    Vocab::DataTypes,
+                    target,
+                );
+            }
+        }
+        for z in ZERO_SHOT_DATA_TYPES {
+            add_pattern(
+                &mut builder,
+                &mut symbols,
+                &mut targets,
+                z.term,
+                Vocab::DataTypes,
+                MatchTarget::DataType {
+                    descriptor: z.term,
+                    category: z.category,
+                    zero_shot: true,
+                },
+            );
+        }
+        for spec in PURPOSE_DESCRIPTORS {
+            let target = MatchTarget::Purpose {
+                descriptor: spec.name,
+                category: spec.category,
+                zero_shot: false,
+            };
+            add_pattern(
+                &mut builder,
+                &mut symbols,
+                &mut targets,
+                spec.name,
+                Vocab::Purposes,
+                target,
+            );
+            for s in spec.surfaces {
+                add_pattern(
+                    &mut builder,
+                    &mut symbols,
+                    &mut targets,
+                    s,
+                    Vocab::Purposes,
+                    target,
+                );
+            }
+        }
+        for z in ZERO_SHOT_PURPOSES {
+            add_pattern(
+                &mut builder,
+                &mut symbols,
+                &mut targets,
+                z.term,
+                Vocab::Purposes,
+                MatchTarget::Purpose {
+                    descriptor: z.term,
+                    category: z.category,
+                    zero_shot: true,
+                },
+            );
+        }
+        Engine {
+            ac: builder.build(),
+            symbols,
+            targets,
+        }
+    }
+
+    fn scan(&self, line: &str) -> DualScan {
+        let toks = self.tokenize(line);
+        if toks.is_empty() {
+            return DualScan::default();
+        }
+        // Best (longest, then first-inserted) pattern starting at each
+        // token index, per vocabulary: (length, pattern id).
+        let mut best = [
+            vec![(0u32, 0u32); toks.len()],
+            vec![(0u32, 0u32); toks.len()],
+        ];
+        self.ac.scan(toks.iter().map(|t| t.sym), &mut |end, pat| {
+            let len = self.ac.pattern_len(pat) as u32;
+            let start = end + 1 - len as usize;
+            let slot = &mut best[vocab_index(self.targets[pat as usize].0)][start];
+            if len > slot.0 {
+                *slot = (len, pat);
+            }
+            true
+        });
+        DualScan {
+            datatypes: self.resolve(line, &toks, &best[vocab_index(Vocab::DataTypes)]),
+            purposes: self.resolve(line, &toks, &best[vocab_index(Vocab::Purposes)]),
+        }
+    }
+
+    /// Replay the legacy token walk over the occurrence table: visit tokens
+    /// left to right, track negation cues on *visited* tokens only, emit
+    /// the longest match starting at each visited token, and skip the
+    /// tokens it consumed.
+    fn resolve(&self, line: &str, toks: &[Tok], best: &[(u32, u32)]) -> Vec<VocabMatch> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
         let mut negation_seen = false;
-        while i < tokens.len() {
-            let word = &tokens[i].0;
-            if is_negation_token(word) {
+        while i < toks.len() {
+            if toks[i].neg {
                 negation_seen = true;
             }
-            if let Some(entries) = self.by_first.get(word.as_str()) {
-                let mut matched = false;
-                for entry in entries {
-                    let n = entry.tokens.len();
-                    if i + n <= tokens.len()
-                        && tokens[i..i + n]
-                            .iter()
-                            .map(|(w, _, _)| w)
-                            .eq(entry.tokens.iter())
-                    {
-                        let start = tokens[i].1;
-                        let end = tokens[i + n - 1].2;
-                        out.push(VocabMatch {
-                            text: line[start..end].to_string(),
-                            target: entry.target,
-                            negated: negation_seen,
-                            span: (start, end),
-                        });
-                        i += n;
-                        matched = true;
-                        break;
-                    }
-                }
-                if matched {
-                    continue;
-                }
+            let (len, pat) = best[i];
+            if len > 0 {
+                let start = toks[i].start as usize;
+                let end = toks[i + len as usize - 1].end as usize;
+                out.push(VocabMatch {
+                    text: line[start..end].to_string(),
+                    target: self.targets[pat as usize].1,
+                    negated: negation_seen,
+                    span: (start, end),
+                });
+                i += len as usize;
+            } else {
+                i += 1;
             }
-            i += 1;
         }
         out
+    }
+
+    /// Tokenize with the legacy character classes and Unicode lowercasing,
+    /// interning each token to its symbol without allocating per token
+    /// (the common all-ASCII-lowercase token is looked up as a line slice).
+    fn tokenize(&self, line: &str) -> Vec<Tok> {
+        let mut toks = Vec::new();
+        let mut scratch = String::new();
+        let mut start = 0usize;
+        let mut in_token = false;
+        let mut needs_fold = false;
+        for (idx, ch) in line.char_indices() {
+            let keep = ch.is_alphanumeric() || ch == '-' || ch == '/' || ch == '&' || ch == '\'';
+            if keep {
+                if !in_token {
+                    start = idx;
+                    in_token = true;
+                    needs_fold = false;
+                }
+                if ch.is_ascii_uppercase() || !ch.is_ascii() {
+                    needs_fold = true;
+                }
+            } else if in_token {
+                self.push_token(line, start, idx, needs_fold, &mut scratch, &mut toks);
+                in_token = false;
+            }
+        }
+        if in_token {
+            self.push_token(line, start, line.len(), needs_fold, &mut scratch, &mut toks);
+        }
+        toks
+    }
+
+    fn push_token(
+        &self,
+        line: &str,
+        start: usize,
+        end: usize,
+        needs_fold: bool,
+        scratch: &mut String,
+        toks: &mut Vec<Tok>,
+    ) {
+        let word: &str = if needs_fold {
+            scratch.clear();
+            for ch in line[start..end].chars() {
+                for lc in ch.to_lowercase() {
+                    scratch.push(lc);
+                }
+            }
+            scratch
+        } else {
+            &line[start..end]
+        };
+        toks.push(Tok {
+            start: start as u32,
+            end: end as u32,
+            sym: self.symbols.get(word).copied().unwrap_or(NO_SYM),
+            neg: is_negation_token(word),
+        });
+    }
+}
+
+fn vocab_index(vocab: Vocab) -> usize {
+    match vocab {
+        Vocab::DataTypes => 0,
+        Vocab::Purposes => 1,
+    }
+}
+
+fn add_pattern(
+    builder: &mut AcBuilder,
+    symbols: &mut HashMap<String, u32>,
+    targets: &mut Vec<(Vocab, MatchTarget)>,
+    surface: &str,
+    vocab: Vocab,
+    target: MatchTarget,
+) {
+    let tokens = tokenize_words(surface);
+    if tokens.is_empty() {
+        return;
+    }
+    let syms: Vec<u32> = tokens
+        .into_iter()
+        .map(|t| {
+            let next = symbols.len() as u32;
+            *symbols.entry(t).or_insert(next)
+        })
+        .collect();
+    if builder.add(syms).is_some() {
+        targets.push((vocab, target));
     }
 }
 
@@ -239,9 +445,154 @@ fn tokenize_with_spans(s: &str) -> Vec<(String, usize, usize)> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Legacy oracle (tests only)
+// ---------------------------------------------------------------------------
+
+/// The pre-automaton token-walk scanner, kept verbatim as the differential
+/// oracle: `tests::automaton_matches_legacy_oracle_*` require the automaton
+/// scan to reproduce its output exactly on arbitrary lines.
+#[cfg(test)]
+mod legacy {
+    use super::*;
+
+    struct Entry {
+        tokens: Vec<String>,
+        target: MatchTarget,
+    }
+
+    /// Token-indexed longest-match scanner (HashMap-bucketed by first
+    /// token, longest-first stable order within a bucket).
+    pub struct LegacyMatcher {
+        by_first: HashMap<String, Vec<Entry>>,
+    }
+
+    impl LegacyMatcher {
+        pub fn for_datatypes() -> LegacyMatcher {
+            let mut m = LegacyMatcher {
+                by_first: HashMap::new(),
+            };
+            for spec in DATA_TYPE_DESCRIPTORS {
+                let target = MatchTarget::DataType {
+                    descriptor: spec.name,
+                    category: spec.category,
+                    zero_shot: false,
+                };
+                m.add(spec.name, target);
+                for s in spec.surfaces {
+                    m.add(s, target);
+                }
+            }
+            for z in ZERO_SHOT_DATA_TYPES {
+                m.add(
+                    z.term,
+                    MatchTarget::DataType {
+                        descriptor: z.term,
+                        category: z.category,
+                        zero_shot: true,
+                    },
+                );
+            }
+            m.sort_entries();
+            m
+        }
+
+        pub fn for_purposes() -> LegacyMatcher {
+            let mut m = LegacyMatcher {
+                by_first: HashMap::new(),
+            };
+            for spec in PURPOSE_DESCRIPTORS {
+                let target = MatchTarget::Purpose {
+                    descriptor: spec.name,
+                    category: spec.category,
+                    zero_shot: false,
+                };
+                m.add(spec.name, target);
+                for s in spec.surfaces {
+                    m.add(s, target);
+                }
+            }
+            for z in ZERO_SHOT_PURPOSES {
+                m.add(
+                    z.term,
+                    MatchTarget::Purpose {
+                        descriptor: z.term,
+                        category: z.category,
+                        zero_shot: true,
+                    },
+                );
+            }
+            m.sort_entries();
+            m
+        }
+
+        fn add(&mut self, surface: &str, target: MatchTarget) {
+            let tokens = tokenize_words(surface);
+            if tokens.is_empty() {
+                return;
+            }
+            self.by_first
+                .entry(tokens[0].clone())
+                .or_default()
+                .push(Entry { tokens, target });
+        }
+
+        fn sort_entries(&mut self) {
+            for entries in self.by_first.values_mut() {
+                // Longest first for longest-match precedence.
+                entries.sort_by_key(|e| std::cmp::Reverse(e.tokens.len()));
+            }
+        }
+
+        pub fn scan_line(&self, line: &str) -> Vec<VocabMatch> {
+            let tokens = tokenize_with_spans(line);
+            let mut out: Vec<VocabMatch> = Vec::new();
+            let mut i = 0;
+            let mut negation_seen = false;
+            while i < tokens.len() {
+                let word = &tokens[i].0;
+                if is_negation_token(word) {
+                    negation_seen = true;
+                }
+                if let Some(entries) = self.by_first.get(word.as_str()) {
+                    let mut matched = false;
+                    for entry in entries {
+                        let n = entry.tokens.len();
+                        if i + n <= tokens.len()
+                            && tokens[i..i + n]
+                                .iter()
+                                .map(|(w, _, _)| w)
+                                .eq(entry.tokens.iter())
+                        {
+                            let start = tokens[i].1;
+                            let end = tokens[i + n - 1].2;
+                            out.push(VocabMatch {
+                                text: line[start..end].to_string(),
+                                target: entry.target,
+                                negated: negation_seen,
+                                span: (start, end),
+                            });
+                            i += n;
+                            matched = true;
+                            break;
+                        }
+                    }
+                    if matched {
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            out
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::legacy::LegacyMatcher;
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn matches_simple_surface() {
@@ -375,6 +726,74 @@ mod tests {
                 assert_eq!(descriptor, "bank account info");
             }
             _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn dual_scan_equals_both_single_scans() {
+        let line = "We do not use your email address for direct marketing or analytics.";
+        let dual = scan_line_dual(line);
+        assert_eq!(
+            dual.datatypes,
+            VocabMatcher::for_datatypes().scan_line(line)
+        );
+        assert_eq!(dual.purposes, VocabMatcher::for_purposes().scan_line(line));
+        assert!(!dual.datatypes.is_empty());
+        assert!(!dual.purposes.is_empty());
+    }
+
+    /// Word pool for stitched lines: real vocabulary surfaces, negation
+    /// cues, near-miss noise, punctuation, and the occasional arbitrary
+    /// chunk — dense enough that longest-match, consumption, and negation
+    /// interplay all trigger.
+    const WORD_POOL: &str =
+        "(email address|bank account info|account info|ip address|health insurance|\
+          insurance|phone number|name|names|fingerprint|biometric data|analytics|\
+          fraud prevention|direct marketing|access control|media access control address|\
+          podcast listening habits|not|never|don't|doesn't|nor|we|do|collect|your|and|\
+          for|the|of|to|WE|Email Address|ANALYTICS|Not|[a-z]{1,7}|[ -~]{0,10}|\
+          [,.;:!?()\"]{1,3}|é|ß|中文)";
+
+    proptest! {
+        #[test]
+        fn automaton_matches_legacy_oracle_datatypes(
+            words in proptest::collection::vec(WORD_POOL, 0..20)
+        ) {
+            let line = words.join(" ");
+            let oracle = LegacyMatcher::for_datatypes();
+            prop_assert_eq!(
+                VocabMatcher::for_datatypes().scan_line(&line),
+                oracle.scan_line(&line),
+                "line={:?}", line
+            );
+        }
+
+        #[test]
+        fn automaton_matches_legacy_oracle_purposes(
+            words in proptest::collection::vec(WORD_POOL, 0..20)
+        ) {
+            let line = words.join(" ");
+            let oracle = LegacyMatcher::for_purposes();
+            prop_assert_eq!(
+                VocabMatcher::for_purposes().scan_line(&line),
+                oracle.scan_line(&line),
+                "line={:?}", line
+            );
+        }
+
+        #[test]
+        fn automaton_matches_legacy_oracle_arbitrary(line in ".{0,160}") {
+            let dual = scan_line_dual(&line);
+            prop_assert_eq!(
+                dual.datatypes,
+                LegacyMatcher::for_datatypes().scan_line(&line),
+                "dt line={:?}", line
+            );
+            prop_assert_eq!(
+                dual.purposes,
+                LegacyMatcher::for_purposes().scan_line(&line),
+                "p line={:?}", line
+            );
         }
     }
 }

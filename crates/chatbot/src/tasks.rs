@@ -7,24 +7,15 @@
 //! (the same boilerplate sentence can be mislabeled for one company and
 //! labeled correctly for another, as with a real sampled model).
 
-use crate::matcher::{MatchTarget, VocabMatcher};
+use crate::matcher::{scan_line_dual, MatchTarget};
 use crate::profile::{decide, pick, ModelProfile};
 use crate::protocol::{ExtractRow, HandlingRow, LabelRow, NormalizeRow, PurposeRow, RightsRow};
-use aipan_taxonomy::zeroshot::ZERO_SHOT_DATA_TYPES;
+use aipan_taxonomy::zeroshot::{ZeroShotDataType, ZERO_SHOT_DATA_TYPES};
 use aipan_taxonomy::{
     AccessLabel, Aspect, ChoiceLabel, DataTypeCategory, Normalizer, ProtectionLabel, RetentionLabel,
 };
+use std::collections::HashMap;
 use std::sync::OnceLock;
-
-fn datatype_matcher() -> &'static VocabMatcher {
-    static M: OnceLock<VocabMatcher> = OnceLock::new();
-    M.get_or_init(VocabMatcher::for_datatypes)
-}
-
-fn purpose_matcher() -> &'static VocabMatcher {
-    static M: OnceLock<VocabMatcher> = OnceLock::new();
-    M.get_or_init(VocabMatcher::for_purposes)
-}
 
 fn normalizer() -> &'static Normalizer {
     static N: OnceLock<Normalizer> = OnceLock::new();
@@ -189,7 +180,10 @@ pub fn classify_line(text: &str) -> Vec<Aspect> {
     if has("how we collect") || has("obtain information directly") || has("automated technolog") {
         aspects.push(Aspect::Methods);
     }
-    if !datatype_matcher().scan_line(text).is_empty()
+    // One combined automaton pass covers both vocabularies (the legacy
+    // code scanned the line once per matcher).
+    let vocab = scan_line_dual(text);
+    if !vocab.datatypes.is_empty()
         || has("we collect")
         || has("we may collect")
         || has("categories of personal information")
@@ -197,10 +191,7 @@ pub fn classify_line(text: &str) -> Vec<Aspect> {
     {
         aspects.push(Aspect::Types);
     }
-    if !purpose_matcher().scan_line(text).is_empty()
-        || has("we use the information")
-        || has("following purposes")
-    {
+    if !vocab.purposes.is_empty() || has("we use the information") || has("following purposes") {
         aspects.push(Aspect::Purposes);
     }
     if aspects.is_empty() {
@@ -251,17 +242,17 @@ pub fn run_segment_text(profile: &ModelProfile, seed: u64, input: &str) -> Vec<L
 /// Extract verbatim data-type mentions (Figure 2b task).
 pub fn run_extract_datatypes(profile: &ModelProfile, seed: u64, input: &str) -> Vec<ExtractRow> {
     let doc = doc_key(input);
-    let m = datatype_matcher();
-    let pm = purpose_matcher();
     let mut rows = Vec::new();
     for (n, text) in parse_numbered(input) {
         // Suppress data-type hits strictly inside a longer purpose phrase
         // (e.g. "email" inside "email newsletters"): a competent reader
-        // attributes the span to the larger unit.
+        // attributes the span to the larger unit. One dual scan yields
+        // both sides.
+        let scan = scan_line_dual(&text);
         let purpose_spans: Vec<(usize, usize)> =
-            pm.scan_line(&text).into_iter().map(|h| h.span).collect();
-        let hits = m
-            .scan_line(&text)
+            scan.purposes.into_iter().map(|h| h.span).collect();
+        let hits = scan
+            .datatypes
             .into_iter()
             .filter(|h| !purpose_spans.iter().any(|s| h.contained_in(s)));
         for (idx, hit) in hits.enumerate() {
@@ -449,9 +440,23 @@ fn weighted_pick<T: Copy>(
     candidates[candidates.len() - 1]
 }
 
-fn lookup_zero_shot(text: &str) -> Option<&'static aipan_taxonomy::zeroshot::ZeroShotDataType> {
+/// Folded-term index over [`ZERO_SHOT_DATA_TYPES`], built once. First
+/// occurrence wins on duplicate terms, matching the linear scan this
+/// replaces.
+fn zero_shot_index() -> &'static HashMap<&'static str, &'static ZeroShotDataType> {
+    static IDX: OnceLock<HashMap<&'static str, &'static ZeroShotDataType>> = OnceLock::new();
+    IDX.get_or_init(|| {
+        let mut idx = HashMap::new();
+        for z in ZERO_SHOT_DATA_TYPES {
+            idx.entry(z.term).or_insert(z);
+        }
+        idx
+    })
+}
+
+fn lookup_zero_shot(text: &str) -> Option<&'static ZeroShotDataType> {
     let folded = aipan_taxonomy::normalize::fold(text);
-    ZERO_SHOT_DATA_TYPES.iter().find(|z| z.term == folded)
+    zero_shot_index().get(folded.as_str()).copied()
 }
 
 fn confuse_category(
@@ -485,16 +490,14 @@ fn confuse_category(
 /// Extract and normalize data-collection purposes.
 pub fn run_annotate_purposes(profile: &ModelProfile, seed: u64, input: &str) -> Vec<PurposeRow> {
     let doc = doc_key(input);
-    let m = purpose_matcher();
-    let dm = datatype_matcher();
     let mut rows = Vec::new();
     for (n, text) in parse_numbered(input) {
         // Suppress purpose hits strictly inside a longer data-type phrase
         // (e.g. "access control" inside "media access control address").
-        let dt_spans: Vec<(usize, usize)> =
-            dm.scan_line(&text).into_iter().map(|h| h.span).collect();
-        let hits = m
-            .scan_line(&text)
+        let scan = scan_line_dual(&text);
+        let dt_spans: Vec<(usize, usize)> = scan.datatypes.into_iter().map(|h| h.span).collect();
+        let hits = scan
+            .purposes
             .into_iter()
             .filter(|h| !dt_spans.iter().any(|s| h.contained_in(s)));
         for (idx, hit) in hits.enumerate() {

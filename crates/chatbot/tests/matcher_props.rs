@@ -18,6 +18,16 @@ proptest! {
     }
 
     #[test]
+    fn purpose_scan_never_panics_and_spans_valid(line in ".{0,200}") {
+        let m = VocabMatcher::for_purposes();
+        for hit in m.scan_line(&line) {
+            prop_assert!(hit.span.0 <= hit.span.1);
+            prop_assert!(hit.span.1 <= line.len());
+            prop_assert_eq!(hit.text.as_str(), &line[hit.span.0..hit.span.1]);
+        }
+    }
+
+    #[test]
     fn matches_never_overlap(words in proptest::collection::vec(
         "(email address|bank account info|account info|ip address|the|we|collect|your)",
         0..25

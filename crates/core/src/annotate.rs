@@ -12,12 +12,12 @@ use crate::segment::SegmentedPolicy;
 use aipan_chatbot::prompt::{TaskKind, TaskPrompt};
 use aipan_chatbot::{protocol, Chatbot};
 use aipan_html::ExtractedDoc;
-use aipan_taxonomy::normalize::fold;
 use aipan_taxonomy::records::{Annotation, AnnotationPayload, AspectKind};
 use aipan_taxonomy::{
     AccessLabel, Aspect, ChoiceLabel, DataTypeCategory, ProtectionLabel, PurposeCategory,
     RetentionLabel,
 };
+use aipan_textindex::{fold_into, FoldedDoc};
 
 /// Annotation options (used by the ablation benches).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,7 +85,9 @@ pub fn annotate_policy_with(
     let mut fallbacks = Vec::new();
 
     let full_text_input = protocol::number_lines(doc.lines.iter().map(|l| l.text.as_str()));
-    let folded_policy = folded_text(doc);
+    // Fold the policy exactly once; every verbatim-presence check below is
+    // a batched automaton scan over this buffer (no per-row fold).
+    let folded_policy = FoldedDoc::from_lines(doc.lines.iter().map(|l| l.text.as_str()));
 
     // --- Data types: extract (section → fallback), then normalize. ---
     let (mut rows, used_fallback) = extract_with_fallback(
@@ -103,15 +105,24 @@ pub fn annotate_policy_with(
     // hallucination check).
     let before = rows.len();
     if options.verify {
-        rows.retain(|(_, text)| folded_policy.contains(&fold(text)));
+        let present = folded_policy.verify_batch(rows.iter().map(|(_, text)| text.as_str()));
+        let mut idx = 0;
+        rows.retain(|_| {
+            let keep = present.get(idx).copied().unwrap_or(false);
+            idx += 1;
+            keep
+        });
     }
     let mut hallucinations_removed = before - rows.len();
 
     if !rows.is_empty() {
-        // Unique mention texts, order-preserving.
+        // Unique mention texts, order-preserving (hash-set guarded; the
+        // index also serves the descriptor join below).
         let mut unique: Vec<String> = Vec::new();
+        let mut unique_index: std::collections::HashMap<String, usize> = Default::default();
         for (_, text) in &rows {
-            if !unique.iter().any(|u| u == text) {
+            if !unique_index.contains_key(text.as_str()) {
+                unique_index.insert(text.clone(), unique.len());
                 unique.push(text.clone());
             }
         }
@@ -131,7 +142,7 @@ pub fn annotate_policy_with(
             }
         }
         for (line, text) in rows {
-            let Some(idx) = unique.iter().position(|u| *u == text) else {
+            let Some(idx) = unique_index.get(text.as_str()).copied() else {
                 continue;
             };
             if let Some((descriptor, category)) = &normalized[idx] {
@@ -159,10 +170,15 @@ pub fn annotate_policy_with(
     if used_fallback {
         fallbacks.push(AspectKind::Purposes);
     }
-    for (line, text, descriptor, category_name) in purpose_rows {
-        if options.verify && !folded_policy.contains(&fold(&text)) {
-            hallucinations_removed += 1;
-            continue;
+    let present = options.verify.then(|| {
+        folded_policy.verify_batch(purpose_rows.iter().map(|(_, text, _, _)| text.as_str()))
+    });
+    for (i, (line, text, descriptor, category_name)) in purpose_rows.into_iter().enumerate() {
+        if let Some(p) = &present {
+            if !p.get(i).copied().unwrap_or(false) {
+                hallucinations_removed += 1;
+                continue;
+            }
         }
         if let Some(category) = PurposeCategory::from_name(&category_name) {
             annotations.push(Annotation::new(
@@ -188,10 +204,15 @@ pub fn annotate_policy_with(
     if used_fallback {
         fallbacks.push(AspectKind::Handling);
     }
-    for (line, text, label_name, period) in handling_rows {
-        if options.verify && !folded_policy.contains(&fold(&text)) {
-            hallucinations_removed += 1;
-            continue;
+    let present = options.verify.then(|| {
+        folded_policy.verify_batch(handling_rows.iter().map(|(_, text, _, _)| text.as_str()))
+    });
+    for (i, (line, text, label_name, period)) in handling_rows.into_iter().enumerate() {
+        if let Some(p) = &present {
+            if !p.get(i).copied().unwrap_or(false) {
+                hallucinations_removed += 1;
+                continue;
+            }
         }
         if let Some(label) = RetentionLabel::from_name(&label_name) {
             let period_days = period.as_deref().and_then(parse_period_days);
@@ -221,10 +242,15 @@ pub fn annotate_policy_with(
     if used_fallback {
         fallbacks.push(AspectKind::Rights);
     }
-    for (line, text, label_name) in rights_rows {
-        if options.verify && !folded_policy.contains(&fold(&text)) {
-            hallucinations_removed += 1;
-            continue;
+    let present = options
+        .verify
+        .then(|| folded_policy.verify_batch(rights_rows.iter().map(|(_, text, _)| text.as_str())));
+    for (i, (line, text, label_name)) in rights_rows.into_iter().enumerate() {
+        if let Some(p) = &present {
+            if !p.get(i).copied().unwrap_or(false) {
+                hallucinations_removed += 1;
+                continue;
+            }
         }
         if let Some(label) = ChoiceLabel::from_name(&label_name) {
             annotations.push(Annotation::new(
@@ -248,12 +274,14 @@ pub fn annotate_policy_with(
     // phrasing of a practice.
     let mut seen = std::collections::HashSet::new();
     annotations.retain(|a| {
-        let key = match &a.payload {
-            AnnotationPayload::DataType { .. } | AnnotationPayload::Purpose { .. } => {
-                a.payload.dedup_key()
-            }
-            _ => format!("{}|{}", a.payload.dedup_key(), fold(&a.text)),
-        };
+        let mut key = a.payload.dedup_key();
+        if !matches!(
+            &a.payload,
+            AnnotationPayload::DataType { .. } | AnnotationPayload::Purpose { .. }
+        ) {
+            key.push('|');
+            fold_into(&mut key, &a.text);
+        }
         seen.insert(key)
     });
 
@@ -286,16 +314,6 @@ fn extract_with_fallback<T>(
     }
     let rows = parse(&chatbot.complete(&prompt, full_text_input));
     (rows, true)
-}
-
-/// Fold the whole policy text for verbatim-presence checks.
-fn folded_text(doc: &ExtractedDoc) -> String {
-    let mut out = String::new();
-    for line in &doc.lines {
-        out.push_str(&fold(&line.text));
-        out.push(' ');
-    }
-    out
 }
 
 /// Convert a normalized "N unit" period string to days.

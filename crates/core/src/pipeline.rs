@@ -126,26 +126,59 @@ impl Pipeline {
     /// content/language filters, or when text extraction fails per the
     /// §3.2.1 success definition.
     pub fn process_domain(&self, crawl: &DomainCrawl, sector: Sector) -> Option<AnnotatedPolicy> {
+        self.process_domain_full(crawl, sector).policy
+    }
+
+    /// Process one crawled domain, returning its funnel contributions
+    /// alongside the policy: the pages are extracted exactly once and both
+    /// the `english_privacy_pages` count and the policy-page selection come
+    /// from that single pass (`run_pipeline` previously re-extracted the
+    /// whole corpus a second time just to count pages).
+    pub fn process_domain_full(&self, crawl: &DomainCrawl, sector: Sector) -> DomainOutcome {
         if !crawl.is_success() {
-            return None;
+            return DomainOutcome {
+                english_privacy_pages: 0,
+                policy: None,
+            };
         }
-        let (doc, path) = self.select_policy_page(crawl)?;
+        let pages = self.english_privacy_pages(crawl);
+        let english_privacy_pages = pages.len();
+        // Choose the main policy page: the English privacy page with the
+        // most words (privacy centers and supplemental notices are shorter
+        // than the policy itself).
+        let policy = pages
+            .into_iter()
+            .max_by_key(|(doc, _)| doc.word_count())
+            .and_then(|(doc, path)| self.annotate_page(crawl, sector, &doc, path));
+        DomainOutcome {
+            english_privacy_pages,
+            policy,
+        }
+    }
+
+    fn annotate_page(
+        &self,
+        crawl: &DomainCrawl,
+        sector: Sector,
+        doc: &ExtractedDoc,
+        path: String,
+    ) -> Option<AnnotatedPolicy> {
         let seg = if self.config.use_segmentation {
-            segment::segment(&self.chatbot, &doc)
+            segment::segment(&self.chatbot, doc)
         } else {
-            SegmentedPolicy::whole_text(&doc)
+            SegmentedPolicy::whole_text(doc)
         };
-        if !seg.is_successful_extraction(&doc) {
+        if !seg.is_successful_extraction(doc) {
             return None;
         }
-        let outcome = annotate_policy_with(&self.chatbot, &doc, &seg, self.config.annotate);
+        let outcome = annotate_policy_with(&self.chatbot, doc, &seg, self.config.annotate);
         Some(AnnotatedPolicy {
             domain: crawl.domain.clone(),
             sector,
             annotations: outcome.annotations,
             fallbacks: outcome.fallbacks,
             hallucinations_removed: outcome.hallucinations_removed,
-            core_word_count: seg.core_word_count(&doc),
+            core_word_count: seg.core_word_count(doc),
             segmentation: match seg.method {
                 Method::Headings => SegmentationMethod::Headings,
                 Method::TextAnalysis => SegmentationMethod::TextAnalysis,
@@ -171,15 +204,16 @@ impl Pipeline {
             })
             .collect()
     }
+}
 
-    /// Choose the main policy page: the English privacy page with the most
-    /// words (privacy centers and supplemental notices are shorter than the
-    /// policy itself).
-    fn select_policy_page(&self, crawl: &DomainCrawl) -> Option<(ExtractedDoc, String)> {
-        self.english_privacy_pages(crawl)
-            .into_iter()
-            .max_by_key(|(doc, _)| doc.word_count())
-    }
+/// One domain's contribution to the §3.2 funnel, from a single extraction
+/// pass (see [`Pipeline::process_domain_full`]).
+#[derive(Debug)]
+pub struct DomainOutcome {
+    /// English, HTML, deduplicated privacy pages found on the domain.
+    pub english_privacy_pages: usize,
+    /// The annotated policy, if one was extracted.
+    pub policy: Option<AnnotatedPolicy>,
 }
 
 /// Run the full pipeline over a simulated world.
@@ -205,19 +239,17 @@ pub fn run_pipeline(world: &World, config: PipelineConfig) -> PipelineRun {
     let report = CrawlReport::new(crawls);
 
     // Process domains in parallel (the chatbot is Send + Sync and clones
-    // share the usage ledger).
-    let policies = parallel_process(&pipeline, world, &report.crawls, config.workers);
+    // share the usage ledger). Each outcome carries the domain's funnel
+    // contribution so the corpus is extracted exactly once.
+    let (english_privacy_pages, policies) =
+        parallel_process(&pipeline, world, &report.crawls, config.workers);
 
     let mut extraction = ExtractionFunnel {
         domains_total: report.funnel.domains_total,
         crawl_success: report.funnel.crawl_success,
+        english_privacy_pages,
         ..Default::default()
     };
-    for crawl in &report.crawls {
-        if crawl.is_success() {
-            extraction.english_privacy_pages += pipeline.english_privacy_pages(crawl).len();
-        }
-    }
     let mut words: Vec<usize> = Vec::new();
     for policy in &policies {
         extraction.extraction_success += 1;
@@ -249,7 +281,7 @@ fn parallel_process(
     world: &World,
     crawls: &[DomainCrawl],
     workers: usize,
-) -> Vec<AnnotatedPolicy> {
+) -> (usize, Vec<AnnotatedPolicy>) {
     use work_queue::run_indexed;
     let sector_of = |domain: &str| {
         world
@@ -257,14 +289,14 @@ fn parallel_process(
             .map(|c| c.sector)
             .unwrap_or(Sector::Industrials)
     };
-    let mut policies: Vec<AnnotatedPolicy> = run_indexed(crawls, workers.max(1), |crawl| {
-        pipeline.process_domain(crawl, sector_of(&crawl.domain))
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+    let outcomes = run_indexed(crawls, workers.max(1), |crawl| {
+        pipeline.process_domain_full(crawl, sector_of(&crawl.domain))
+    });
+    let english_privacy_pages = outcomes.iter().map(|o| o.english_privacy_pages).sum();
+    let mut policies: Vec<AnnotatedPolicy> =
+        outcomes.into_iter().filter_map(|o| o.policy).collect();
     policies.sort_by(|a, b| a.domain.cmp(&b.domain));
-    policies
+    (english_privacy_pages, policies)
 }
 
 /// Minimal indexed parallel-map over a slice using scoped threads (avoids
@@ -277,23 +309,32 @@ mod work_queue {
         f: impl Fn(&T) -> R + Sync,
     ) -> Vec<R> {
         let n = items.len();
+        if workers <= 1 || n <= 1 {
+            // Serial fast path: no threads, no locks.
+            return items.iter().map(f).collect();
+        }
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let results = std::sync::Mutex::new(Vec::<(usize, R)>::with_capacity(n));
         // Worker closures never panic while holding the lock with interesting
         // state half-written, so recovering from poisoning is sound here.
         let _ = crossbeam::scope(|scope| {
-            for _ in 0..workers.min(n.max(1)) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
+            for _ in 0..workers.min(n) {
+                scope.spawn(|_| {
+                    // Each worker accumulates its results locally and takes
+                    // the lock once at the end instead of once per item.
+                    let mut batch = Vec::<(usize, R)>::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        batch.push((i, f(&items[i])));
                     }
-                    let r = f(&items[i]);
                     results
                         .lock()
                         .unwrap_or_else(|poisoned| poisoned.into_inner())
-                        .push((i, r));
+                        .extend(batch);
                 });
             }
         });

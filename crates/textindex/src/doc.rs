@@ -1,0 +1,156 @@
+//! `FoldedDoc`: a policy document folded exactly once.
+//!
+//! The verification step of the paper's §3.2 loop asks, per candidate row,
+//! "does the folded policy contain the folded candidate text?". The legacy
+//! implementation folded the whole policy once per *task* and the candidate
+//! once per *row*, then ran a full substring scan per row. A [`FoldedDoc`]
+//! folds the document once at annotation start; [`FoldedDoc::verify_batch`]
+//! answers a whole batch of candidate rows with one Aho–Corasick scan of
+//! that buffer, folding each needle incrementally into the automaton trie
+//! (no per-row fold allocation).
+
+use crate::ac::AcBuilder;
+use crate::fold::{fold_bytes, fold_into};
+
+/// A document folded once: `fold(line) + ' '` per line, concatenated —
+/// byte-identical to folding and joining the lines individually.
+#[derive(Debug, Clone)]
+pub struct FoldedDoc {
+    buf: String,
+    line_spans: Vec<(usize, usize)>,
+}
+
+impl FoldedDoc {
+    /// Fold each line once into the shared buffer.
+    pub fn from_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> FoldedDoc {
+        let mut buf = String::new();
+        let mut line_spans = Vec::new();
+        for line in lines {
+            let start = buf.len();
+            fold_into(&mut buf, line);
+            line_spans.push((start, buf.len()));
+            buf.push(' ');
+        }
+        FoldedDoc { buf, line_spans }
+    }
+
+    /// The whole folded buffer.
+    pub fn folded(&self) -> &str {
+        &self.buf
+    }
+
+    /// Number of source lines.
+    pub fn line_count(&self) -> usize {
+        self.line_spans.len()
+    }
+
+    /// Byte span of line `idx`'s folded text within [`Self::folded`]
+    /// (excludes the joining space).
+    pub fn line_span(&self, idx: usize) -> Option<(usize, usize)> {
+        self.line_spans.get(idx).copied()
+    }
+
+    /// For each needle, whether `fold(needle)` occurs as a substring of the
+    /// folded buffer — the batched equivalent of
+    /// `self.folded().contains(&fold(needle))` per needle, answered with a
+    /// single scan. Needles that fold to the empty string are trivially
+    /// present, matching `str::contains("")`.
+    pub fn verify_batch<'a>(&self, needles: impl IntoIterator<Item = &'a str>) -> Vec<bool> {
+        let mut builder = AcBuilder::new();
+        let pats: Vec<Option<u32>> = needles
+            .into_iter()
+            .map(|needle| builder.add(fold_bytes(needle).map(u32::from)))
+            .collect();
+        let ac = builder.build();
+        let mut found = vec![false; ac.pattern_count()];
+        let mut remaining = found.len();
+        ac.scan(self.buf.bytes().map(u32::from), &mut |_, pat| {
+            let slot = &mut found[pat as usize];
+            if !*slot {
+                *slot = true;
+                remaining -= 1;
+            }
+            remaining > 0
+        });
+        pats.into_iter()
+            .map(|pat| match pat {
+                None => true,
+                Some(id) => found[id as usize],
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aipan_taxonomy::normalize::fold;
+
+    const LINES: [&str; 4] = [
+        "We collect your Email Address.",
+        "",
+        "  Third parties: analytics, advertising!  ",
+        "We do not sell biometric data.",
+    ];
+
+    fn doc() -> FoldedDoc {
+        FoldedDoc::from_lines(LINES)
+    }
+
+    #[test]
+    fn buffer_is_fold_per_line_plus_space() {
+        let mut expected = String::new();
+        for line in LINES {
+            expected.push_str(&fold(line));
+            expected.push(' ');
+        }
+        assert_eq!(doc().folded(), expected);
+    }
+
+    #[test]
+    fn line_spans_slice_back_to_folds() {
+        let d = doc();
+        assert_eq!(d.line_count(), LINES.len());
+        for (i, line) in LINES.iter().enumerate() {
+            let (start, end) = d.line_span(i).unwrap();
+            assert_eq!(&d.folded()[start..end], fold(line));
+        }
+        assert_eq!(d.line_span(LINES.len()), None);
+    }
+
+    #[test]
+    fn verify_batch_matches_contains_of_fold() {
+        let d = doc();
+        let needles = [
+            "email address",
+            "EMAIL, address",
+            "biometric data",
+            "postal address",
+            "analytics advertising",
+            "",
+            "!!!",
+            "collect your email address third",
+        ];
+        let got = d.verify_batch(needles.iter().copied());
+        let expected: Vec<bool> = needles
+            .iter()
+            .map(|n| d.folded().contains(&fold(n)))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn duplicate_needles_verify_independently() {
+        let d = doc();
+        let got = d.verify_batch(["email address", "email address", "nope"]);
+        assert_eq!(got, vec![true, true, false]);
+    }
+
+    #[test]
+    fn empty_document_contains_only_empty_folds() {
+        let d = FoldedDoc::from_lines(std::iter::empty());
+        assert_eq!(d.folded(), "");
+        assert_eq!(d.line_count(), 0);
+        assert_eq!(d.verify_batch(["x", " ; "]), vec![false, true]);
+    }
+}

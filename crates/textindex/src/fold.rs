@@ -1,0 +1,146 @@
+//! Allocation-free re-expressions of [`aipan_taxonomy::normalize::fold`].
+//!
+//! `fold` returns a fresh `String` per call, which is fine at vocabulary
+//! build time but shows up hot when the pipeline folds thousands of
+//! candidate rows per corpus. These helpers produce the *same bytes* —
+//! property-tested against `fold` in `tests/fold_props.rs` — without the
+//! per-call allocation: [`fold_into`] appends to a caller-reused buffer,
+//! and [`fold_bytes`] streams the folded UTF-8 bytes one at a time (used
+//! to insert verification needles straight into an automaton trie).
+//!
+//! The fold itself: ASCII-lowercase; keep alphanumerics plus `-` `/` `&`
+//! `'`; collapse every separator run to a single space; no leading or
+//! trailing space.
+
+/// Whether a (lowercased) char survives the fold.
+fn keep(ch: char) -> bool {
+    ch.is_alphanumeric() || ch == '-' || ch == '/' || ch == '&' || ch == '\''
+}
+
+/// Append `fold(s)` onto `dst` without allocating a fresh `String`.
+pub fn fold_into(dst: &mut String, s: &str) {
+    let mut pending_space = false;
+    let mut emitted = false;
+    for ch in s.chars() {
+        let ch = ch.to_ascii_lowercase();
+        if keep(ch) {
+            if pending_space {
+                dst.push(' ');
+                pending_space = false;
+            }
+            dst.push(ch);
+            emitted = true;
+        } else if emitted {
+            pending_space = true;
+        }
+    }
+}
+
+/// Stream the UTF-8 bytes of `fold(s)` without materializing it.
+pub fn fold_bytes(s: &str) -> FoldBytes<'_> {
+    FoldBytes {
+        chars: s.chars(),
+        buf: [0; 4],
+        buf_len: 0,
+        buf_pos: 0,
+        pending_space: false,
+        emitted: false,
+    }
+}
+
+/// Iterator state for [`fold_bytes`].
+#[derive(Debug, Clone)]
+pub struct FoldBytes<'a> {
+    chars: std::str::Chars<'a>,
+    /// UTF-8 bytes of the current folded char still to be yielded.
+    buf: [u8; 4],
+    buf_len: u8,
+    buf_pos: u8,
+    /// A separator run was seen after at least one kept char; emit one
+    /// space if another kept char follows (never trailing).
+    pending_space: bool,
+    emitted: bool,
+}
+
+impl Iterator for FoldBytes<'_> {
+    type Item = u8;
+
+    fn next(&mut self) -> Option<u8> {
+        if self.buf_pos < self.buf_len {
+            let b = self.buf[self.buf_pos as usize];
+            self.buf_pos += 1;
+            return Some(b);
+        }
+        loop {
+            let ch = self.chars.next()?.to_ascii_lowercase();
+            if keep(ch) {
+                let encoded = ch.encode_utf8(&mut self.buf);
+                self.buf_len = encoded.len() as u8;
+                self.buf_pos = 1;
+                self.emitted = true;
+                if self.pending_space {
+                    self.pending_space = false;
+                    self.buf_pos = 0;
+                    return Some(b' ');
+                }
+                return Some(self.buf[0]);
+            }
+            if self.emitted {
+                self.pending_space = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aipan_taxonomy::normalize::fold;
+
+    fn folded_via_bytes(s: &str) -> Vec<u8> {
+        fold_bytes(s).collect()
+    }
+
+    #[test]
+    fn matches_taxonomy_fold_on_representative_inputs() {
+        for s in [
+            "",
+            "   ",
+            "  E-Mail   Address!! ",
+            "IP, address.",
+            "zip/postal code",
+            "We do NOT sell data…",
+            "café résumé 中文 data",
+            "a",
+            "!?",
+            "trailing space ",
+            " leading",
+        ] {
+            let expected = fold(s);
+            let mut appended = String::from("prefix·");
+            fold_into(&mut appended, s);
+            assert_eq!(appended, format!("prefix·{expected}"), "fold_into({s:?})");
+            assert_eq!(
+                folded_via_bytes(s),
+                expected.as_bytes().to_vec(),
+                "fold_bytes({s:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_into_appends_without_separator() {
+        let mut buf = String::new();
+        fold_into(&mut buf, "One!");
+        fold_into(&mut buf, "Two?");
+        // Appends are raw concatenation; callers insert their own joins.
+        assert_eq!(buf, "onetwo");
+    }
+
+    #[test]
+    fn multibyte_kept_chars_stream_all_their_bytes() {
+        // '中' is alphanumeric (Unicode letter) and 3 bytes in UTF-8.
+        assert_eq!(folded_via_bytes("中"), "中".as_bytes().to_vec());
+        assert_eq!(folded_via_bytes("a 中 b"), "a 中 b".as_bytes().to_vec());
+    }
+}

@@ -1,0 +1,33 @@
+//! Fold-once text engine shared by the annotation pipeline.
+//!
+//! The paper's §3.2 annotate-and-verify loop touches every policy line many
+//! times: vocabulary scanning per task, substring verification per candidate
+//! row, and normalization folds per mention. This crate centralizes the two
+//! data structures that let the pipeline do each of those passes exactly
+//! once:
+//!
+//! * [`AcAutomaton`] — a classic Aho–Corasick automaton (goto/fail/output
+//!   tables) over `u32` symbol streams. Symbols are whatever the caller
+//!   interns: byte values for substring search, token identifiers for
+//!   vocabulary phrase matching. One scan of a document yields *every*
+//!   occurrence of *every* pattern.
+//! * [`FoldedDoc`] — a policy document folded exactly once through the
+//!   taxonomy normalization ([`aipan_taxonomy::normalize::fold`]) into a single
+//!   buffer with per-line spans. Verification queries run as one batched
+//!   automaton scan over that buffer ([`FoldedDoc::verify_batch`]), with
+//!   the needles folded incrementally ([`fold_bytes`]) so no per-row fold
+//!   `String` is ever allocated.
+//!
+//! The folding helpers ([`fold_into`], [`fold_bytes`]) are byte-exact
+//! re-expressions of [`aipan_taxonomy::normalize::fold`] — property-tested against it
+//! in `tests/fold_props.rs` — differing only in where the output goes
+//! (appended to a reused buffer / streamed as bytes) rather than in what it
+//! is.
+
+pub mod ac;
+pub mod doc;
+pub mod fold;
+
+pub use ac::{AcAutomaton, AcBuilder};
+pub use doc::FoldedDoc;
+pub use fold::{fold_bytes, fold_into, FoldBytes};

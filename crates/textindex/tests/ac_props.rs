@@ -1,0 +1,73 @@
+//! Differential property tests: the Aho–Corasick automaton reports exactly
+//! the occurrence set of a naive per-pattern sliding-window search, over a
+//! deliberately small alphabet so overlaps, nestings, and shared prefixes
+//! are dense.
+
+use aipan_textindex::AcBuilder;
+use proptest::prelude::*;
+
+/// Every `(end_index, pattern_index)` occurrence, the naive way.
+fn naive_occurrences(patterns: &[String], text: &str) -> Vec<(usize, u32)> {
+    let text: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    for (pi, pat) in patterns.iter().enumerate() {
+        let pat: Vec<char> = pat.chars().collect();
+        if pat.is_empty() {
+            continue;
+        }
+        for end in (pat.len() - 1)..text.len() {
+            let start = end + 1 - pat.len();
+            if text[start..=end] == pat[..] {
+                out.push((end, pi as u32));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn ac_occurrences(patterns: &[String], text: &str) -> Vec<(usize, u32)> {
+    let mut builder = AcBuilder::new();
+    // Map automaton pattern ids back to input indices (empty patterns are
+    // rejected by the builder and simply never occur).
+    let mut index_of: Vec<u32> = Vec::new();
+    for (pi, pat) in patterns.iter().enumerate() {
+        if builder.add(pat.chars().map(u32::from)).is_some() {
+            index_of.push(pi as u32);
+        }
+    }
+    let ac = builder.build();
+    let mut out = Vec::new();
+    ac.scan(text.chars().map(u32::from), &mut |end, pat| {
+        out.push((end, index_of[pat as usize]));
+        true
+    });
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #[test]
+    fn automaton_equals_naive_search(
+        patterns in proptest::collection::vec("[ab]{0,4}", 1..8),
+        text in "[abc]{0,40}",
+    ) {
+        prop_assert_eq!(
+            ac_occurrences(&patterns, &text),
+            naive_occurrences(&patterns, &text),
+            "patterns={:?} text={:?}", patterns, text
+        );
+    }
+
+    #[test]
+    fn automaton_equals_naive_search_wide_alphabet(
+        patterns in proptest::collection::vec("[a-f]{1,6}", 1..10),
+        text in "[a-h ]{0,60}",
+    ) {
+        prop_assert_eq!(
+            ac_occurrences(&patterns, &text),
+            naive_occurrences(&patterns, &text),
+            "patterns={:?} text={:?}", patterns, text
+        );
+    }
+}

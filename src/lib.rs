@@ -8,6 +8,8 @@
 //!
 //! * [`taxonomy`] — the annotation taxonomy (data types, purposes, handling,
 //!   rights, aspects, sectors).
+//! * [`textindex`] — fold-once text engine: Aho–Corasick vocabulary
+//!   automaton and fold-once document index backing matching/verification.
 //! * [`html`] — HTML parsing and inscriptis-style text extraction.
 //! * [`net`] — the simulated HTTP substrate with fault injection.
 //! * [`webgen`] — the synthetic company universe and policy generator.
@@ -30,4 +32,5 @@ pub use aipan_html as html;
 pub use aipan_ml as ml;
 pub use aipan_net as net;
 pub use aipan_taxonomy as taxonomy;
+pub use aipan_textindex as textindex;
 pub use aipan_webgen as webgen;
