@@ -461,7 +461,7 @@ pub fn table6(
                 AspectKind::Handling => 2,
                 AspectKind::Rights => 3,
             };
-            if taken[idx] >= per_aspect {
+            if taken.get(idx).is_some_and(|&t| t >= per_aspect) {
                 continue;
             }
             // Context: the rendered line containing the verbatim mention.
@@ -482,7 +482,9 @@ pub fn table6(
                 context: context.text.clone(),
                 domain: policy.domain.clone(),
             });
-            taken[idx] += 1;
+            if let Some(t) = taken.get_mut(idx) {
+                *t += 1;
+            }
         }
     }
     rows.sort_by(|a, b| a.aspect.cmp(&b.aspect).then(a.category.cmp(&b.category)));

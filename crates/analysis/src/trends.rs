@@ -156,7 +156,7 @@ impl TrendReport {
         );
         let _ = writeln!(out, "  top net adoptions (adds − removals):");
         for (practice, net) in self.top_trends(k) {
-            let (adds, removes) = self.practice_flux[practice];
+            let (adds, removes) = self.practice_flux.get(practice).copied().unwrap_or((0, 0));
             let _ = writeln!(out, "    {practice:<36} {net:+4}  (+{adds} / -{removes})");
         }
         out

@@ -286,7 +286,9 @@ impl PrecisionReport {
         let mut keys: Vec<&String> = pools.keys().collect();
         keys.sort();
         for key in keys {
-            let pool = &pools[key];
+            let Some(pool) = pools.get(key) else {
+                continue;
+            };
             let quota = if key.starts_with("dt:") {
                 per_type
             } else if key.starts_with("pu:") {
@@ -300,7 +302,9 @@ impl PrecisionReport {
             let mut rng = sample_rng(seed, hash_key(key));
             indices.shuffle(&mut rng);
             for &i in indices.iter().take(quota) {
-                let (domain, payload) = pool[i];
+                let Some(&(domain, payload)) = pool.get(i) else {
+                    continue;
+                };
                 let correct = world
                     .truth(domain)
                     .map(|t| payload_correct(t, payload))

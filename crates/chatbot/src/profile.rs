@@ -158,7 +158,7 @@ pub fn unit(seed: u64, parts: &[&str]) -> f64 {
 /// Pick a deterministic index in `0..n` from `(seed, parts…)`.
 pub fn pick(seed: u64, parts: &[&str], n: usize) -> usize {
     debug_assert!(n > 0);
-    (unit(seed, parts) * n as f64) as usize % n
+    (unit(seed, parts) * n as f64) as usize % n.max(1)
 }
 
 #[cfg(test)]

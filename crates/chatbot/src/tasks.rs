@@ -319,7 +319,7 @@ fn spurious_span(
         &[&profile.id, "span", doc, &n.to_string()],
         words.len(),
     );
-    Some(words[idx].to_string())
+    words.get(idx).map(|w| w.to_string())
 }
 
 /// Normalize extracted mentions into descriptors + categories.
@@ -664,10 +664,10 @@ fn maybe_confuse_retention(
         profile.handling_confusion,
     ) {
         let mut i = pick(seed, &[&profile.id, "hpick-r", doc, &n.to_string()], 3);
-        if RetentionLabel::ALL[i] == label {
+        if RetentionLabel::ALL.get(i) == Some(&label) {
             i = (i + 1) % 3;
         }
-        RetentionLabel::ALL[i]
+        RetentionLabel::ALL.get(i).copied().unwrap_or(label)
     } else {
         label
     }
@@ -691,10 +691,10 @@ fn maybe_confuse_protection(
             &[&profile.id, "hpick-p", doc, &format!("{n}:{idx}")],
             ProtectionLabel::ALL.len(),
         );
-        if ProtectionLabel::ALL[i] == label {
-            i = (i + 1) % ProtectionLabel::ALL.len();
+        if ProtectionLabel::ALL.get(i) == Some(&label) {
+            i = (i + 1) % ProtectionLabel::ALL.len().max(1);
         }
-        ProtectionLabel::ALL[i]
+        ProtectionLabel::ALL.get(i).copied().unwrap_or(label)
     } else {
         label
     }
@@ -810,10 +810,10 @@ fn maybe_confuse_choice(
             &[&profile.id, "rpick-c", doc, &format!("{n}:{idx}")],
             ChoiceLabel::ALL.len(),
         );
-        if ChoiceLabel::ALL[i] == label {
-            i = (i + 1) % ChoiceLabel::ALL.len();
+        if ChoiceLabel::ALL.get(i) == Some(&label) {
+            i = (i + 1) % ChoiceLabel::ALL.len().max(1);
         }
-        ChoiceLabel::ALL[i]
+        ChoiceLabel::ALL.get(i).copied().unwrap_or(label)
     } else {
         label
     }
@@ -837,10 +837,10 @@ fn maybe_confuse_access(
             &[&profile.id, "rpick-a", doc, &format!("{n}:{idx}")],
             AccessLabel::ALL.len(),
         );
-        if AccessLabel::ALL[i] == label {
-            i = (i + 1) % AccessLabel::ALL.len();
+        if AccessLabel::ALL.get(i) == Some(&label) {
+            i = (i + 1) % AccessLabel::ALL.len().max(1);
         }
-        AccessLabel::ALL[i]
+        AccessLabel::ALL.get(i).copied().unwrap_or(label)
     } else {
         label
     }

@@ -145,7 +145,7 @@ pub fn annotate_policy_with(
             let Some(idx) = unique_index.get(text.as_str()).copied() else {
                 continue;
             };
-            if let Some((descriptor, category)) = &normalized[idx] {
+            if let Some(Some((descriptor, category))) = normalized.get(idx) {
                 annotations.push(Annotation::new(
                     AnnotationPayload::DataType {
                         descriptor: descriptor.clone(),

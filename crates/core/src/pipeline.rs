@@ -342,13 +342,17 @@ mod work_queue {
             .into_inner()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         for (i, r) in collected {
-            out[i] = Some(r);
+            if let Some(slot) = out.get_mut(i) {
+                *slot = Some(r);
+            }
         }
         // If a worker died mid-item (spawn failure, panic), repair the gaps
         // serially rather than aborting the whole run.
         out.iter_mut().enumerate().for_each(|(i, slot)| {
             if slot.is_none() {
-                *slot = Some(f(&items[i]));
+                if let Some(item) = items.get(i) {
+                    *slot = Some(f(item));
+                }
             }
         });
         out.into_iter().flatten().collect()

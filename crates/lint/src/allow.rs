@@ -137,7 +137,9 @@ impl Allowlist {
                 && e.file == finding.file
                 && e.line.map_or(true, |l| l == finding.line)
             {
-                self.hits[i] = true;
+                if let Some(h) = self.hits.get_mut(i) {
+                    *h = true;
+                }
                 hit = true;
             }
         }

@@ -1,0 +1,184 @@
+//! Generic forward dataflow over [`crate::cfg`] graphs.
+//!
+//! A rule implements [`Analysis`] — a fact lattice with a join, a
+//! per-step transfer function, and an *edge* transfer function that
+//! refines facts along `True`/`False` branch edges — and [`solve`] runs
+//! the textbook worklist iteration to a fixpoint, returning the fact
+//! flowing *into* each node (`None` for nodes no path reaches).
+//!
+//! Termination: `join` must be monotone over a finite lattice. Both
+//! clients satisfy this — the `X1` bounds facts only shrink under
+//! intersection and the `D3` taint sets only grow under union, each
+//! bounded by the finite set of names/pairs mentioned in one fn body.
+//! As a belt-and-braces guarantee against a non-monotone client, the
+//! solver also stops after `nodes² × 64` node visits.
+
+use crate::cfg::{Cfg, Edge, Step};
+
+/// A forward dataflow problem.
+pub trait Analysis<'a> {
+    /// The per-program-point fact.
+    type Fact: Clone + PartialEq;
+
+    /// The fact entering the CFG's entry node.
+    fn boundary(&self) -> Self::Fact;
+
+    /// Merge `other` into `acc` at a join point.
+    fn join(&self, acc: &mut Self::Fact, other: &Self::Fact);
+
+    /// Apply one step's effect to the fact.
+    fn step(&self, step: &Step<'a>, fact: &mut Self::Fact);
+
+    /// Refine the fact along an outgoing edge. `branch` is the source
+    /// node's trailing `Cond`/`ForHead` step when one exists; `Seq`
+    /// edges and branchless nodes pass through unchanged by default.
+    fn edge(&self, branch: Option<&Step<'a>>, label: Edge, fact: &mut Self::Fact) {
+        let _ = (branch, label, fact);
+    }
+}
+
+/// Run `analysis` to fixpoint; returns per-node *in* facts (index = node
+/// id), `None` for unreached nodes.
+pub fn solve<'a, A: Analysis<'a>>(cfg: &Cfg<'a>, analysis: &A) -> Vec<Option<A::Fact>> {
+    let n = cfg.nodes.len();
+    let mut in_facts: Vec<Option<A::Fact>> = vec![None; n];
+    if let Some(slot) = in_facts.get_mut(0) {
+        *slot = Some(analysis.boundary());
+    }
+    let mut queued = vec![false; n];
+    let mut worklist = vec![0usize];
+    if let Some(q) = queued.get_mut(0) {
+        *q = true;
+    }
+    let mut budget = n.saturating_mul(n).saturating_mul(64).max(64);
+    while let Some(id) = worklist.pop() {
+        if let Some(q) = queued.get_mut(id) {
+            *q = false;
+        }
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        let Some(node) = cfg.nodes.get(id) else {
+            continue;
+        };
+        let Some(fact_in) = in_facts.get(id).and_then(|f| f.clone()) else {
+            continue;
+        };
+        let mut out = fact_in;
+        for step in &node.steps {
+            analysis.step(step, &mut out);
+        }
+        let branch = cfg.branch_step(id);
+        for (target, label) in &node.succs {
+            let mut edge_fact = out.clone();
+            analysis.edge(branch, *label, &mut edge_fact);
+            let changed = match in_facts.get_mut(*target) {
+                Some(slot) => match slot {
+                    Some(existing) => {
+                        let before = existing.clone();
+                        analysis.join(existing, &edge_fact);
+                        *existing != before
+                    }
+                    None => {
+                        *slot = Some(edge_fact);
+                        true
+                    }
+                },
+                None => false,
+            };
+            if changed {
+                if let Some(q) = queued.get_mut(*target) {
+                    if !*q {
+                        *q = true;
+                        worklist.push(*target);
+                    }
+                }
+            }
+        }
+    }
+    in_facts
+}
+
+/// Replay a node's steps from its in-fact, calling `visit` with the fact
+/// holding *before* each step — how rules inspect intra-node program
+/// points after [`solve`].
+pub fn replay<'a, A: Analysis<'a>>(
+    analysis: &A,
+    steps: &[Step<'a>],
+    fact_in: &A::Fact,
+    visit: &mut impl FnMut(&Step<'a>, &A::Fact),
+) {
+    let mut fact = fact_in.clone();
+    for step in steps {
+        visit(step, &fact);
+        analysis.step(step, &mut fact);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::expr::ExprKind;
+    use crate::parser::{parse_file, ItemKind};
+
+    /// Toy may-analysis: collect the names of all `Path` expressions
+    /// evaluated so far (union join).
+    struct SeenNames;
+
+    impl<'a> Analysis<'a> for SeenNames {
+        type Fact = std::collections::BTreeSet<String>;
+
+        fn boundary(&self) -> Self::Fact {
+            Default::default()
+        }
+
+        fn join(&self, acc: &mut Self::Fact, other: &Self::Fact) {
+            acc.extend(other.iter().cloned());
+        }
+
+        fn step(&self, step: &Step<'a>, fact: &mut Self::Fact) {
+            if let Step::Eval(e) = step {
+                if let ExprKind::Path(segs) = &e.kind {
+                    fact.insert(segs.join("::"));
+                }
+            }
+        }
+    }
+
+    fn facts_at_exit(body_src: &str) -> std::collections::BTreeSet<String> {
+        let src = format!("fn f() {{ {body_src} }}\n");
+        let parsed = parse_file("crates/x/src/lib.rs", &src);
+        let Some(item) = parsed.items.first() else {
+            panic!("no item");
+        };
+        let ItemKind::Fn(info) = &item.kind else {
+            panic!("not a fn");
+        };
+        let cfg = Cfg::build(&info.body);
+        let facts = solve(&cfg, &SeenNames);
+        facts
+            .get(cfg.exit)
+            .and_then(|f| f.clone())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn facts_flow_through_branches_to_exit() {
+        let seen = facts_at_exit("if c { a; } else { b; }");
+        assert!(seen.contains("a") && seen.contains("b"), "{seen:?}");
+    }
+
+    #[test]
+    fn loop_body_facts_reach_exit() {
+        let seen = facts_at_exit("while c { inner; } after;");
+        assert!(seen.contains("inner") && seen.contains("after"), "{seen:?}");
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_nested_loops() {
+        let seen = facts_at_exit("loop { loop { if c { break; } x; } y; break; } z;");
+        assert!(seen.contains("z"), "{seen:?}");
+    }
+}

@@ -3,68 +3,68 @@
 //! The paper's pipeline earns trust through verification layers; an error
 //! silently dropped between them (a crawl failure, a malformed annotation,
 //! a validation miss) turns a measured number into a guess. This pass
-//! resolves every call in library code against the set of *workspace*
-//! functions whose declared return type mentions `Result`, and flags:
+//! resolves every call in library code through the import-aware
+//! [`crate::callgraph`] and flags:
 //!
 //! - `let _ = fallible(...);` — the error explicitly thrown away;
 //! - `fallible(...);` as a bare statement — implicitly dropped;
 //! - `anything.ok();` statement-final — the error mapped to `None` and
 //!   then dropped, which is the same silence with extra steps.
 //!
-//! Resolution is by callee name (the parser does not do type inference),
-//! so a workspace fn and a foreign method sharing a name can collide; the
-//! allowlist covers such vetted cases, with the collision documented.
+//! A discarded call fires only when resolution lands on a workspace fn
+//! whose declared return type mentions `Result`. A call that resolves
+//! *external* (a foreign import shadowing a workspace name, `std::fs::
+//! remove_file` style) or *unknown* (a method on a non-`self` receiver)
+//! never fires — the bare-name collision class that previously needed a
+//! standing allowlist entry is resolved structurally instead.
 //! Tests, benches, examples, binaries, and `#[cfg(test)]` code are exempt,
 //! as for `R1`/`O1`.
 
+use crate::callgraph::{CallGraph, Resolution};
 use crate::findings::{Finding, Severity};
-use crate::graph::{AnalyzedFile, Workspace};
-use crate::parser::{Discard, FnInfo, Item, ItemKind};
-use std::collections::BTreeSet;
+use crate::graph::Workspace;
+use crate::parser::Discard;
 
 /// Run the `E1` pass over an analyzed workspace.
 pub fn check_error_flow(ws: &Workspace) -> Vec<Finding> {
-    let fallible = fallible_fn_names(ws);
-    let mut findings = Vec::new();
-    for file in &ws.files {
-        if !file.class.is_library_code() {
-            continue;
-        }
-        let mut fns: Vec<&Item> = Vec::new();
-        collect_fns(&file.parsed.items, &mut fns);
-        for item in fns {
-            if let ItemKind::Fn(info) = &item.kind {
-                scan_fn(file, info, &fallible, &mut findings);
-            }
-        }
-    }
-    findings
+    let graph = CallGraph::build(ws);
+    check_with_graph(ws, &graph)
 }
 
-/// Flag the discarded-`Result` patterns inside one fn body.
-fn scan_fn(
-    file: &AnalyzedFile,
-    info: &FnInfo,
-    fallible: &BTreeSet<String>,
-    findings: &mut Vec<Finding>,
-) {
-    for call in &info.calls {
-        if call.discard == Discard::None {
+/// `E1` against a prebuilt call graph (shared with the `X1` pass).
+pub fn check_with_graph(ws: &Workspace, graph: &CallGraph<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for node in &graph.fns {
+        let Some(file) = ws.files.get(node.file) else {
             continue;
-        }
-        if call.is_method && call.name == "ok" {
-            findings.push(Finding::at(
-                "E1",
-                Severity::Warn,
-                &file.parsed.rel_path,
-                call.line,
-                call.col,
-                "`.ok()` whose value is immediately dropped swallows the error; \
-                 handle the Err case, propagate with `?`, or match explicitly"
-                    .to_string(),
-                file.snippet(call.line),
-            ));
-        } else if fallible.contains(call.name.as_str()) {
+        };
+        for call in &node.info.calls {
+            if call.discard == Discard::None {
+                continue;
+            }
+            if call.is_method && call.name == "ok" {
+                findings.push(Finding::at(
+                    "E1",
+                    Severity::Warn,
+                    &file.parsed.rel_path,
+                    call.line,
+                    call.col,
+                    "`.ok()` whose value is immediately dropped swallows the error; \
+                     handle the Err case, propagate with `?`, or match explicitly"
+                        .to_string(),
+                    file.snippet(call.line),
+                ));
+                continue;
+            }
+            let Resolution::Fns(ids) = graph.resolve(node.file, node.self_ty, call) else {
+                continue;
+            };
+            let fallible = ids
+                .iter()
+                .any(|id| graph.fns.get(*id).is_some_and(|f| f.info.returns_result));
+            if !fallible {
+                continue;
+            }
             let how = match call.discard {
                 Discard::LetUnderscore => "`let _ =` discards",
                 _ => "a bare statement drops",
@@ -84,41 +84,7 @@ fn scan_fn(
             ));
         }
     }
-}
-
-/// Names of workspace fns whose declared return type mentions `Result`,
-/// collected from non-test library code across all crates.
-fn fallible_fn_names(ws: &Workspace) -> BTreeSet<String> {
-    let mut names = BTreeSet::new();
-    for file in &ws.files {
-        if !file.class.is_library_code() {
-            continue;
-        }
-        let mut fns = Vec::new();
-        collect_fns(&file.parsed.items, &mut fns);
-        for item in fns {
-            if let ItemKind::Fn(info) = &item.kind {
-                if info.returns_result && !item.cfg_test {
-                    names.insert(item.name.clone());
-                }
-            }
-        }
-    }
-    names
-}
-
-/// All fn items (free, impl, trait, nested in mods), excluding
-/// `#[cfg(test)]` scopes.
-fn collect_fns<'a>(items: &'a [Item], out: &mut Vec<&'a Item>) {
-    for item in items {
-        if item.cfg_test {
-            continue;
-        }
-        if matches!(item.kind, ItemKind::Fn(_)) {
-            out.push(item);
-        }
-        collect_fns(&item.children, out);
-    }
+    findings
 }
 
 #[cfg(test)]
@@ -144,7 +110,7 @@ mod tests {
             FALLIBLE_DEF,
             (
                 "crates/core/src/lib.rs",
-                "pub fn f(s: &str) { let _ = parse(s); }\n",
+                "use aipan_net::url::parse;\npub fn f(s: &str) { let _ = parse(s); }\n",
             ),
         ]);
         let f = check_error_flow(&w);
@@ -162,7 +128,7 @@ mod tests {
             FALLIBLE_DEF,
             (
                 "crates/core/src/lib.rs",
-                "pub fn f(s: &str) { parse(s); }\n",
+                "use aipan_net::url::parse;\npub fn f(s: &str) { parse(s); }\n",
             ),
         ]);
         let f = check_error_flow(&w);
@@ -187,7 +153,8 @@ mod tests {
             FALLIBLE_DEF,
             (
                 "crates/core/src/lib.rs",
-                "pub fn f(s: &str) -> Result<Url, UrlError> {\n\
+                "use aipan_net::url::parse;\n\
+                 pub fn f(s: &str) -> Result<Url, UrlError> {\n\
                  \x20   let u = parse(s)?;\n\
                  \x20   if parse(s).is_ok() { return parse(s); }\n\
                  \x20   let v = parse(s).ok();\n\
@@ -207,7 +174,8 @@ mod tests {
             FALLIBLE_DEF,
             (
                 "crates/core/src/lib.rs",
-                "#[cfg(test)]\nmod tests {\n    fn t() { let _ = parse(\"x\"); }\n}\n",
+                "use aipan_net::url::parse;\n\
+                 #[cfg(test)]\nmod tests {\n    fn t() { let _ = parse(\"x\"); }\n}\n",
             ),
             (
                 "crates/core/tests/t.rs",
@@ -226,7 +194,55 @@ mod tests {
             ),
             (
                 "crates/core/src/lib.rs",
-                "pub fn f(s: &str) { normalize(s); }\n",
+                "use aipan_net::url::normalize;\npub fn f(s: &str) { normalize(s); }\n",
+            ),
+        ]);
+        assert!(check_error_flow(&w).is_empty());
+    }
+
+    #[test]
+    fn unimported_bare_name_does_not_fire() {
+        // Without a `use`, resolution is Unknown — the old bare-name
+        // matching would have fired here.
+        let w = ws(&[
+            FALLIBLE_DEF,
+            (
+                "crates/core/src/lib.rs",
+                "pub fn f(s: &str) { let _ = parse(s); }\n",
+            ),
+        ]);
+        assert!(check_error_flow(&w).is_empty());
+    }
+
+    #[test]
+    fn external_import_shadows_workspace_name() {
+        // `remove_file` exists fallibly in the workspace, but this file
+        // imported std's; the discard is of the external one.
+        let w = ws(&[
+            (
+                "crates/net/src/fsops.rs",
+                "pub fn remove_file(p: &str) -> Result<(), E> { Err(E) }\n",
+            ),
+            (
+                "crates/core/src/lib.rs",
+                "use std::fs::remove_file;\npub fn f(p: &str) { let _ = remove_file(p); }\n",
+            ),
+        ]);
+        assert!(check_error_flow(&w).is_empty());
+    }
+
+    #[test]
+    fn foreign_method_sharing_a_workspace_fn_name_does_not_fire() {
+        // The crossbeam-`join` collision class: a method on a non-`self`
+        // receiver never resolves to a workspace free fn.
+        let w = ws(&[
+            (
+                "crates/exec/src/lib.rs",
+                "pub fn join(parts: &[String]) -> Result<String, E> { Err(E) }\n",
+            ),
+            (
+                "crates/crawler/src/pool.rs",
+                "pub fn run(handle: Handle) { handle.join(); }\n",
             ),
         ]);
         assert!(check_error_flow(&w).is_empty());

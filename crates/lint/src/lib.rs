@@ -34,17 +34,24 @@
 //! that stop matching anything are themselves reported (`A0`).
 
 pub mod allow;
+pub mod callgraph;
+pub mod catalog;
+pub mod cfg;
 pub mod config;
+pub mod dataflow;
 pub mod error_flow;
+pub mod expr;
 pub mod findings;
 pub mod graph;
 pub mod invariants;
 pub mod lexer;
 pub mod locks;
+pub mod panic_reach;
 pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod taint;
 
 pub use allow::{Allowlist, ParseError};
 pub use config::{Config, ConfigError};

@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! cargo run -p aipan-lint -- [--format human|json] [--deny-warnings] [--verbose] [--root DIR] [--allow FILE]
+//! cargo run -p aipan-lint -- --explain RULE
 //! ```
 //!
 //! Exit codes: 0 clean (or warnings only, without `--deny-warnings`),
 //! 1 findings failed the run, 2 usage or I/O error.
 
 use aipan_lint::allow::Allowlist;
-use aipan_lint::{report, scan};
+use aipan_lint::{catalog, report, scan};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -46,6 +47,16 @@ fn parse_args() -> Result<Options, String> {
                     }
                 }
             }
+            "--explain" => {
+                let id = args.next().ok_or("--explain needs a rule id (e.g. X1)")?;
+                match catalog::explain(&id) {
+                    Ok(text) => {
+                        print!("{text}");
+                        std::process::exit(0);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
             "--deny-warnings" => opts.deny_warnings = true,
             "--verbose" => opts.verbose = true,
             "--root" => {
@@ -65,6 +76,7 @@ fn parse_args() -> Result<Options, String> {
                      OPTIONS:\n\
                      \x20 --format FORMAT   output format: human (default) or json\n\
                      \x20 --json            shorthand for --format json\n\
+                     \x20 --explain RULE    print the catalog entry for one rule (e.g. X1)\n\
                      \x20 --deny-warnings   any finding fails the run (CI mode)\n\
                      \x20 --verbose         also list allowlist-suppressed findings\n\
                      \x20 --root DIR        workspace root (default: discovered from cwd)\n\

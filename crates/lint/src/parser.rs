@@ -49,6 +49,19 @@ pub struct FieldInfo {
     pub name: String,
     /// Whether the declared type mentions `Mutex` or `RwLock`.
     pub is_lock: bool,
+    /// Whether the declared type mentions `HashMap` or `HashSet`
+    /// (determinism-taint sources for `D3`).
+    pub is_hash: bool,
+}
+
+/// One declared fn parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name; `self` for receiver forms, empty for pattern
+    /// parameters (`(a, b): (u32, u32)`).
+    pub name: String,
+    /// Declared type tokens (empty for `self` receivers).
+    pub ty: Vec<String>,
 }
 
 /// Function-level facts the rule passes consume.
@@ -56,8 +69,14 @@ pub struct FieldInfo {
 pub struct FnInfo {
     /// Whether the declared return type mentions `Result`.
     pub returns_result: bool,
-    /// Call and method-call expressions in the body, in source order.
+    /// Call and method-call expressions in the body, in source order
+    /// (derived from `body`; kept for the statement-level passes).
     pub calls: Vec<CallSite>,
+    /// Declared parameters, in order.
+    pub params: Vec<Param>,
+    /// The parsed body statements (expression grammar; see
+    /// [`crate::expr`]). Empty for bodyless fns.
+    pub body: Vec<crate::expr::Stmt>,
 }
 
 /// How a call's value leaves (or fails to leave) its statement.
@@ -446,7 +465,10 @@ impl<'a, 'b> Parser<'a, 'b> {
         if self.cur() != "(" {
             return None;
         }
+        let params_start = self.pos;
         self.skip_balanced(); // params
+        let params_end = self.pos; // one past `)`
+        let params = self.parse_params(params_start + 1, params_end.saturating_sub(1));
         let mut returns_result = false;
         if self.cur() == "-" && self.peek(1) == ">" {
             self.pos += 2;
@@ -457,11 +479,18 @@ impl<'a, 'b> Parser<'a, 'b> {
             self.scan_type_until(&["{", ";"]);
         }
         let mut calls = Vec::new();
+        let mut body = Vec::new();
         if self.cur() == "{" {
             let body_start = self.pos;
             self.skip_balanced();
             let body_end = self.pos; // one past the closing brace
-            calls = self.extract_calls(body_start, body_end);
+            body = crate::expr::parse_body(
+                self.sig,
+                self.texts,
+                body_start + 1,
+                body_end.saturating_sub(1),
+            );
+            calls = crate::expr::collect_calls(&body, self.sig);
         } else if self.cur() == ";" {
             self.pos += 1;
         }
@@ -469,10 +498,113 @@ impl<'a, 'b> Parser<'a, 'b> {
             ItemKind::Fn(FnInfo {
                 returns_result,
                 calls,
+                params,
+                body,
             }),
             name,
             Vec::new(),
         ))
+    }
+
+    /// Parse the parameter list token range `[start, end)` (inside the
+    /// parens) into [`Param`]s: depth-0 commas split parameters, the name
+    /// is the single identifier before a depth-0 `:` (empty for pattern
+    /// parameters), and receiver forms collapse to name `self`.
+    fn parse_params(&mut self, start: usize, end: usize) -> Vec<Param> {
+        let mut params = Vec::new();
+        let mut j = start;
+        while j < end {
+            // Find this parameter's end: a comma at bracket depth 0
+            // (`->` inside `Fn(..) -> T` types skipped whole).
+            let mut depth = 0i32;
+            let mut k = j;
+            while k < end {
+                match self.at(k) {
+                    "-" if self.at(k + 1) == ">" => {
+                        k += 2;
+                        continue;
+                    }
+                    "(" | "[" | "{" | "<" => depth += 1,
+                    ")" | "]" | "}" | ">" => depth -= 1,
+                    "," if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if let Some(param) = self.parse_one_param(j, k) {
+                params.push(param);
+            }
+            j = k + 1;
+        }
+        params
+    }
+
+    /// Shape one parameter's token range `[j, k)`.
+    fn parse_one_param(&self, mut j: usize, k: usize) -> Option<Param> {
+        // Skip attributes and leading modifiers.
+        while j < k {
+            match self.at(j) {
+                "#" => {
+                    // `#[..]`: advance past the bracket group.
+                    let mut depth = 0i32;
+                    j += 1;
+                    while j < k {
+                        match self.at(j) {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                "mut" | "&" => j += 1,
+                t if self.sig.get(j).map(|s| s.kind) == Some(TokenKind::Lifetime)
+                    && !t.is_empty() =>
+                {
+                    j += 1
+                }
+                _ => break,
+            }
+        }
+        if j >= k {
+            return None;
+        }
+        if self.at(j) == "self" {
+            return Some(Param {
+                name: "self".to_string(),
+                ty: Vec::new(),
+            });
+        }
+        // Find the depth-0 `:` separating pattern from type.
+        let mut depth = 0i32;
+        let mut colon = None;
+        let mut m = j;
+        while m < k {
+            match self.at(m) {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                ":" if depth == 0 && self.at(m + 1) != ":" && self.at(m.wrapping_sub(1)) != ":" => {
+                    colon = Some(m);
+                    break;
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        let colon = colon?;
+        let name = if colon == j + 1 && self.sig.get(j).map(|s| s.kind) == Some(TokenKind::Ident) {
+            self.at(j).to_string()
+        } else {
+            String::new()
+        };
+        let ty: Vec<String> = ((colon + 1)..k).map(|i| self.at(i).to_string()).collect();
+        Some(Param { name, ty })
     }
 
     fn parse_struct(&mut self) -> Option<(ItemKind, String, Vec<Item>)> {
@@ -506,9 +638,11 @@ impl<'a, 'b> Parser<'a, 'b> {
                     self.pos += 1;
                     let ty = self.scan_type_until(&[","]);
                     let is_lock = ty.iter().any(|t| t == "Mutex" || t == "RwLock");
+                    let is_hash = ty.iter().any(|t| t == "HashMap" || t == "HashSet");
                     fields.push(FieldInfo {
                         name: field,
                         is_lock,
+                        is_hash,
                     });
                     if self.cur() == "," {
                         self.pos += 1;
@@ -741,150 +875,6 @@ impl<'a, 'b> Parser<'a, 'b> {
             j += 1;
         }
         self.texts.len().saturating_sub(1)
-    }
-
-    /// Extract call and method-call expressions from a body token range
-    /// `[body_start, body_end)` (statement-level scan; no expression
-    /// grammar).
-    fn extract_calls(&self, body_start: usize, body_end: usize) -> Vec<CallSite> {
-        let mut calls = Vec::new();
-        // Statement-start classification per token index: for each index,
-        // the kind of statement it belongs to.
-        #[derive(Clone, Copy, PartialEq)]
-        enum StmtKind {
-            LetUnderscore,
-            Other,
-            Bare,
-        }
-        let mut stmt_kind = StmtKind::Other;
-        let mut at_stmt_start = true;
-        let mut j = body_start + 1;
-        while j < body_end {
-            let t = self.at(j);
-            if at_stmt_start {
-                stmt_kind = if t == "let" {
-                    if self.at(j + 1) == "_" && self.at(j + 2) == "=" {
-                        StmtKind::LetUnderscore
-                    } else {
-                        StmtKind::Other
-                    }
-                } else if self.sig.get(j).map(|s| s.kind) == Some(TokenKind::Ident)
-                    && !NON_CALL_KEYWORDS.contains(&t)
-                {
-                    StmtKind::Bare
-                } else {
-                    StmtKind::Other
-                };
-                at_stmt_start = false;
-            }
-            if matches!(t, ";" | "{" | "}") {
-                at_stmt_start = true;
-                j += 1;
-                continue;
-            }
-            // A call: Ident followed by `(`, not a macro (`!`), not a
-            // keyword, not a definition (`fn name(`).
-            let is_call = self.sig.get(j).map(|s| s.kind) == Some(TokenKind::Ident)
-                && self.at(j + 1) == "("
-                && !NON_CALL_KEYWORDS.contains(&t)
-                && self.at(j.wrapping_sub(1)) != "fn"
-                && self.at(j.wrapping_sub(1)) != "!";
-            if !is_call {
-                j += 1;
-                continue;
-            }
-            let is_method = j > 0 && self.at(j - 1) == ".";
-            let (recv, path) = if is_method {
-                (self.receiver_path(j - 1), Vec::new())
-            } else {
-                (Vec::new(), self.callee_path(j))
-            };
-            // Find the matching `)` to classify the discard context.
-            let mut depth = 0i32;
-            let mut k = j + 1;
-            while k < body_end {
-                match self.at(k) {
-                    "(" => depth += 1,
-                    ")" => {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                k += 1;
-            }
-            let discard = if self.at(k + 1) == ";" {
-                match stmt_kind {
-                    StmtKind::LetUnderscore => Discard::LetUnderscore,
-                    StmtKind::Bare => Discard::StmtDrop,
-                    StmtKind::Other => Discard::None,
-                }
-            } else {
-                Discard::None
-            };
-            let (line, col) = self.pos_of(j);
-            calls.push(CallSite {
-                name: t.to_string(),
-                recv,
-                path,
-                is_method,
-                line,
-                col,
-                discard,
-            });
-            j += 1;
-        }
-        calls
-    }
-
-    /// Walk back from a `.` at `dot` to collect a plain receiver path
-    /// (`self.metrics` → `["self", "metrics"]`); empty when the receiver
-    /// is an expression (e.g. chained off another call).
-    fn receiver_path(&self, dot: usize) -> Vec<String> {
-        let mut segs: Vec<String> = Vec::new();
-        let mut j = dot; // sits on '.'
-        loop {
-            if j == 0 {
-                break;
-            }
-            let prev = self.at(j - 1);
-            if self.sig.get(j - 1).map(|s| s.kind) == Some(TokenKind::Ident)
-                && !NON_CALL_KEYWORDS.contains(&prev)
-                || prev == "self"
-            {
-                segs.push(prev.to_string());
-                j -= 1;
-                if j >= 1 && self.at(j - 1) == "." {
-                    j -= 1;
-                    continue;
-                }
-                break;
-            }
-            // Receiver is not a plain path (call result, index, paren...).
-            return Vec::new();
-        }
-        segs.reverse();
-        segs
-    }
-
-    /// Walk back from the callee ident at `i` to collect its full path
-    /// (`Url::parse` → `["Url", "parse"]`).
-    fn callee_path(&self, i: usize) -> Vec<String> {
-        let mut segs = vec![self.at(i).to_string()];
-        let mut j = i;
-        while j >= 2
-            && self.at(j - 1) == ":"
-            && self.at(j - 2) == ":"
-            && j >= 3
-            && self.sig.get(j - 3).map(|s| s.kind) == Some(TokenKind::Ident)
-        {
-            segs.push(self.at(j - 3).to_string());
-            j -= 3;
-        }
-        segs.reverse();
-        segs
     }
 }
 

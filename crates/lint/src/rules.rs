@@ -98,16 +98,15 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
 /// Index ranges (into the significant-token stream) covered by
 /// `#[cfg(test)]` items — typically the whole `mod tests { ... }` block.
 fn cfg_test_ranges(sig: &[&Token<'_>]) -> Vec<(usize, usize)> {
+    const CFG_TEST: [&str; 7] = ["#", "[", "cfg", "(", "test", ")", "]"];
     let mut ranges = Vec::new();
     let mut i = 0;
     while i + 6 < sig.len() {
-        let is_attr = sig[i].text == "#"
-            && sig[i + 1].text == "["
-            && sig[i + 2].text == "cfg"
-            && sig[i + 3].text == "("
-            && sig[i + 4].text == "test"
-            && sig[i + 5].text == ")"
-            && sig[i + 6].text == "]";
+        let is_attr = sig.get(i..i + 7).is_some_and(|w| {
+            w.iter()
+                .zip(CFG_TEST.iter())
+                .all(|(t, want)| t.text == *want)
+        });
         if !is_attr {
             i += 1;
             continue;

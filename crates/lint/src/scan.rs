@@ -10,18 +10,21 @@
 //! 1. **token rules** ([`crate::rules`]): each file independently through
 //!    the lexer-level passes (`D1`/`D2`/`R1`/`O1`/`H1`);
 //! 2. **graph rules**: all files parsed ([`crate::parser`]) into a
-//!    [`crate::graph::Workspace`], then `L1` layering (against the
-//!    `lint.toml` contract), `E1` error flow, `K1` lock order, and `P1`
-//!    dead pub across the whole set at once.
+//!    [`crate::graph::Workspace`] plus a [`crate::callgraph::CallGraph`],
+//!    then `L1` layering (against the `lint.toml` contract), `E1` error
+//!    flow, `K1` lock order, `X1` interprocedural panic-reachability,
+//!    `D3` determinism taint, and `P1` dead pub across the whole set at
+//!    once.
 //!
 //! Taxonomy data invariants and allowlist bookkeeping (`A0`) run last, as
 //! before.
 
 use crate::allow::Allowlist;
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::findings::{sort_findings, Finding};
 use crate::graph::Workspace;
-use crate::{error_flow, invariants, locks, rules};
+use crate::{error_flow, invariants, locks, panic_reach, rules, taint};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -150,8 +153,11 @@ pub fn run_filtered(
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         raw.extend(workspace.check_layering(&config));
     }
-    raw.extend(error_flow::check_error_flow(&workspace));
+    let callgraph = CallGraph::build(&workspace);
+    raw.extend(error_flow::check_with_graph(&workspace, &callgraph));
     raw.extend(locks::check_lock_order(&workspace));
+    raw.extend(panic_reach::check_panic_reach(&workspace, &callgraph));
+    raw.extend(taint::check_taint(&workspace, &callgraph));
     raw.extend(workspace.check_dead_pub());
 
     raw.extend(invariants::check_all());

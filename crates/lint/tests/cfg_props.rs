@@ -1,0 +1,166 @@
+//! Property tests for the CFG builder (invariants promised in the
+//! `cfg.rs` module docs): node 0 is the unique entry and never the
+//! target of an edge, every node is reachable from the entry (the exit
+//! is exempt — a body that diverges in a `loop` keeps its synthetic
+//! exit), every generated statement is covered by at least one step,
+//! and branch nodes carry exactly one `True` and one `False` edge.
+
+use aipan_lint::cfg::{Cfg, Edge, Step};
+use aipan_lint::parser::{parse_file, ItemKind};
+use proptest::prelude::*;
+
+/// One non-diverging single-line statement; the alternation covers the
+/// lowering shapes (`let`, call, `if`, `while`, `for`, `match`, `loop`)
+/// without early returns, so statement coverage is exact.
+const STMT: &str = concat!(
+    r"(let [a-z]{1,3} = [0-9]{1,2};",
+    r"|touch\([a-z]{1,3}\);",
+    r"|if [a-z]{1,2} < [a-z]{1,2} \{ step\(\); \}",
+    r"|while [a-z]{1,2} < n \{ bump\(\); \}",
+    r"|for x in xs \{ use_it\(x\); \}",
+    r"|match v \{ Some\(k\) => f\(k\), None => g\(\) \}",
+    r"|loop \{ tick\(\); break; \})",
+);
+
+/// Parse a fn whose body lists `stmts` one per line and hand its CFG to
+/// `check`. Line `i + 2` holds statement `i` (line 1 is the signature).
+fn with_generated_cfg(
+    stmts: &[String],
+    check: impl FnOnce(&Cfg<'_>) -> Result<(), String>,
+) -> Result<(), String> {
+    let body = stmts.join("\n    ");
+    let src = format!("fn f() {{\n    {body}\n}}\n");
+    let parsed = parse_file("crates/x/src/gen.rs", &src);
+    let info = parsed
+        .items
+        .iter()
+        .find_map(|item| match &item.kind {
+            ItemKind::Fn(info) => Some(info),
+            _ => None,
+        })
+        .ok_or_else(|| format!("generated source did not parse to a fn: {src:?}"))?;
+    check(&Cfg::build(&info.body))
+}
+
+/// Nodes reachable from the entry, ignoring edge labels.
+fn reachable_from_entry(cfg: &Cfg<'_>) -> Vec<bool> {
+    let mut seen = vec![false; cfg.nodes.len()];
+    if let Some(s) = seen.first_mut() {
+        *s = true;
+    }
+    let mut stack = vec![0usize];
+    while let Some(id) = stack.pop() {
+        let Some(node) = cfg.nodes.get(id) else {
+            continue;
+        };
+        for (t, _) in &node.succs {
+            if let Some(s) = seen.get_mut(*t) {
+                if !*s {
+                    *s = true;
+                    stack.push(*t);
+                }
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #[test]
+    fn entry_is_unique_and_edges_stay_in_bounds(
+        stmts in proptest::collection::vec(STMT, 0..8)
+    ) {
+        with_generated_cfg(&stmts, |cfg| {
+            prop_assert!(!cfg.nodes.is_empty(), "at least entry + exit");
+            for (id, node) in cfg.nodes.iter().enumerate() {
+                for (t, _) in &node.succs {
+                    prop_assert!(*t != 0, "edge {id} -> entry: {cfg:?}");
+                    prop_assert!(*t < cfg.nodes.len(), "dangling edge {id} -> {t}");
+                }
+            }
+            let Some(exit) = cfg.nodes.get(cfg.exit) else {
+                return Err(format!("exit id out of bounds: {cfg:?}"));
+            };
+            prop_assert!(exit.steps.is_empty(), "exit holds steps: {cfg:?}");
+            prop_assert!(exit.succs.is_empty(), "exit has successors: {cfg:?}");
+            Ok(())
+        })?;
+    }
+
+    #[test]
+    fn every_node_is_reachable_from_the_entry(
+        stmts in proptest::collection::vec(STMT, 0..8)
+    ) {
+        with_generated_cfg(&stmts, |cfg| {
+            let seen = reachable_from_entry(cfg);
+            for (id, s) in seen.iter().enumerate() {
+                prop_assert!(
+                    *s || id == cfg.exit,
+                    "unreachable node {id} survived pruning: {cfg:?}"
+                );
+            }
+            Ok(())
+        })?;
+    }
+
+    #[test]
+    fn every_statement_is_covered_by_a_step(
+        stmts in proptest::collection::vec(STMT, 0..8)
+    ) {
+        with_generated_cfg(&stmts, |cfg| {
+            for (i, stmt) in stmts.iter().enumerate() {
+                let line = (i + 2) as u32;
+                let covered = cfg
+                    .nodes
+                    .iter()
+                    .flat_map(|n| n.steps.iter())
+                    .any(|s| s.pos().0 == line);
+                prop_assert!(covered, "statement `{stmt}` on line {line} uncovered: {cfg:?}");
+            }
+            // Exactly one Bind per generated `let` (the grammar nests no
+            // lets inside blocks).
+            let lets = stmts.iter().filter(|s| s.starts_with("let ")).count();
+            let binds = cfg
+                .nodes
+                .iter()
+                .flat_map(|n| n.steps.iter())
+                .filter(|s| matches!(s, Step::Bind { .. }))
+                .count();
+            prop_assert_eq!(binds, lets, "{:?}", cfg);
+            Ok(())
+        })?;
+    }
+
+    #[test]
+    fn branch_nodes_have_exactly_one_true_and_one_false_edge(
+        stmts in proptest::collection::vec(STMT, 0..8)
+    ) {
+        with_generated_cfg(&stmts, |cfg| {
+            for (id, node) in cfg.nodes.iter().enumerate() {
+                if cfg.branch_step(id).is_none() {
+                    continue;
+                }
+                let trues = node.succs.iter().filter(|(_, e)| *e == Edge::True).count();
+                let falses = node.succs.iter().filter(|(_, e)| *e == Edge::False).count();
+                prop_assert_eq!(trues, 1, "branch node {} in {:?}", id, cfg);
+                prop_assert_eq!(falses, 1, "branch node {} in {:?}", id, cfg);
+            }
+            Ok(())
+        })?;
+    }
+
+    #[test]
+    fn cfg_build_never_panics_on_arbitrary_ascii(src in "[ -~\t\n]{0,160}") {
+        let parsed = parse_file("crates/x/src/any.rs", &src);
+        for item in parsed.all_items() {
+            if let ItemKind::Fn(info) = &item.kind {
+                let cfg = Cfg::build(&info.body);
+                for node in &cfg.nodes {
+                    for (t, _) in &node.succs {
+                        prop_assert!(*t != 0 && *t < cfg.nodes.len(), "{cfg:?}");
+                    }
+                }
+            }
+        }
+    }
+}

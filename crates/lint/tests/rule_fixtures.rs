@@ -278,3 +278,152 @@ fn p1_dead_pub_fires_and_referenced_pub_does_not() {
     ]);
     assert!(clean.check_dead_pub().is_empty());
 }
+
+// ---------------------------------------------------------------------------
+// Dataflow rules: X1 panic-reachability and D3 determinism taint, each
+// with a violating and a clean fixture pair.
+// ---------------------------------------------------------------------------
+
+use aipan_lint::callgraph::CallGraph;
+use aipan_lint::{panic_reach, taint};
+
+#[test]
+fn x1_interprocedural_panic_fires_and_guarded_code_does_not() {
+    // Violating: pub entry point reaches a private fn's unproven index.
+    let bad = workspace(&[(
+        "crates/core/src/lib.rs",
+        "pub fn entry(xs: &[u32], i: usize) -> u32 { inner(xs, i) }\n\
+         fn inner(xs: &[u32], i: usize) -> u32 { xs[i] }\n",
+    )]);
+    let graph = CallGraph::build(&bad);
+    let findings = panic_reach::check_panic_reach(&bad, &graph);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("X1", aipan_lint::Severity::Deny));
+    assert!(f.message.contains("entry -> inner"), "{}", f.message);
+    assert!(f.message.contains("xs[i]"), "{}", f.message);
+
+    // Clean: the same shape with a dominating bounds guard in the callee.
+    let clean = workspace(&[(
+        "crates/core/src/lib.rs",
+        "pub fn entry(xs: &[u32], i: usize) -> u32 { inner(xs, i) }\n\
+         fn inner(xs: &[u32], i: usize) -> u32 {\n\
+         \x20   if i < xs.len() { xs[i] } else { 0 }\n\
+         }\n",
+    )]);
+    let graph = CallGraph::build(&clean);
+    let findings = panic_reach::check_panic_reach(&clean, &graph);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn x1_float_division_is_exempt_integer_division_is_not() {
+    let dirty = workspace(&[(
+        "crates/core/src/lib.rs",
+        "pub fn avg(total: u64, n: u64) -> u64 { total / n }\n",
+    )]);
+    let graph = CallGraph::build(&dirty);
+    let findings = panic_reach::check_panic_reach(&dirty, &graph);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(
+        findings[0].message.contains("divisor"),
+        "{}",
+        findings[0].message
+    );
+
+    // Float mean: division by a float-typed `let` never panics; and an
+    // integer divisor proved nonzero by `.max(1)` is exempt too.
+    let clean = workspace(&[(
+        "crates/core/src/lib.rs",
+        "pub fn mean(values: &[f64]) -> f64 {\n\
+         \x20   let n = values.len() as f64;\n\
+         \x20   values.iter().sum::<f64>() / n\n\
+         }\n\
+         pub fn share(total: usize, buckets: usize) -> usize {\n\
+         \x20   total / buckets.max(1)\n\
+         }\n",
+    )]);
+    let graph = CallGraph::build(&clean);
+    let findings = panic_reach::check_panic_reach(&clean, &graph);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d3_hash_order_to_sink_fires_and_sorted_does_not() {
+    // Violating: HashMap keys flow through a binding into writeln!.
+    let bad = workspace(&[(
+        "crates/analysis/src/lib.rs",
+        "use std::collections::HashMap;\n\
+         use std::fmt::Write;\n\
+         pub fn render(counts: &HashMap<String, u32>) -> String {\n\
+         \x20   let mut out = String::new();\n\
+         \x20   let ks: Vec<&String> = counts.keys().collect();\n\
+         \x20   for k in ks {\n\
+         \x20       let _ = writeln!(out, \"{k}\");\n\
+         \x20   }\n\
+         \x20   out\n\
+         }\n",
+    )]);
+    let graph = CallGraph::build(&bad);
+    let findings = taint::check_taint(&bad, &graph);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("D3", aipan_lint::Severity::Deny));
+    assert!(f.message.contains("hash-order"), "{}", f.message);
+
+    // Clean: the same flow with a sort between iteration and sink.
+    let clean = workspace(&[(
+        "crates/analysis/src/lib.rs",
+        "use std::collections::HashMap;\n\
+         use std::fmt::Write;\n\
+         pub fn render(counts: &HashMap<String, u32>) -> String {\n\
+         \x20   let mut out = String::new();\n\
+         \x20   let mut ks: Vec<&String> = counts.keys().collect();\n\
+         \x20   ks.sort();\n\
+         \x20   for k in ks {\n\
+         \x20       let _ = writeln!(out, \"{k}\");\n\
+         \x20   }\n\
+         \x20   out\n\
+         }\n",
+    )]);
+    let graph = CallGraph::build(&clean);
+    let findings = taint::check_taint(&clean, &graph);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d3_btree_collect_sanitizes_and_returned_collection_is_a_sink() {
+    // Violating: hash iteration pushed into the returned Vec.
+    let bad = workspace(&[(
+        "crates/analysis/src/lib.rs",
+        "use std::collections::HashSet;\n\
+         pub fn names(set: &HashSet<String>) -> Vec<String> {\n\
+         \x20   let mut out = Vec::new();\n\
+         \x20   for name in set.iter() {\n\
+         \x20       out.push(name.clone());\n\
+         \x20   }\n\
+         \x20   out\n\
+         }\n",
+    )]);
+    let graph = CallGraph::build(&bad);
+    let findings = taint::check_taint(&bad, &graph);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "D3");
+
+    // Clean: collecting into a BTree first launders the order.
+    let clean = workspace(&[(
+        "crates/analysis/src/lib.rs",
+        "use std::collections::{BTreeSet, HashSet};\n\
+         pub fn names(set: &HashSet<String>) -> Vec<String> {\n\
+         \x20   let sorted: BTreeSet<&String> = set.iter().collect();\n\
+         \x20   let mut out = Vec::new();\n\
+         \x20   for name in sorted {\n\
+         \x20       out.push(name.clone());\n\
+         \x20   }\n\
+         \x20   out\n\
+         }\n",
+    )]);
+    let graph = CallGraph::build(&clean);
+    let findings = taint::check_taint(&clean, &graph);
+    assert!(findings.is_empty(), "{findings:?}");
+}

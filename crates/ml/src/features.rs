@@ -59,7 +59,7 @@ impl Featurizer {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         salt.hash(&mut h);
         token.hash(&mut h);
-        (h.finish() % self.dimensions as u64) as u32
+        (h.finish() % (self.dimensions as u64).max(1)) as u32
     }
 }
 

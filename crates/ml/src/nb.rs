@@ -56,7 +56,9 @@ impl NaiveBayes {
                 self.classes.len() - 1
             }
         };
-        let class = &mut self.classes[idx];
+        let Some(class) = self.classes.get_mut(idx) else {
+            return;
+        };
         class.document_count += 1;
         for (&f, &v) in features {
             class.total_feature_mass += v;

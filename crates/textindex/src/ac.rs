@@ -48,7 +48,10 @@ impl AcBuilder {
                 self.symbol_bound = sym + 1;
             }
             let next_id = self.goto.len() as u32;
-            let next = *self.goto[state].entry(sym).or_insert(next_id);
+            let next = match self.goto.get_mut(state) {
+                Some(map) => *map.entry(sym).or_insert(next_id),
+                None => next_id,
+            };
             if next == next_id {
                 self.goto.push(BTreeMap::new());
                 self.terminal.push(Vec::new());
@@ -61,7 +64,9 @@ impl AcBuilder {
         }
         let pat = self.pat_lens.len() as u32;
         self.pat_lens.push(len);
-        self.terminal[state].push(pat);
+        if let Some(t) = self.terminal.get_mut(state) {
+            t.push(pat);
+        }
         Some(pat)
     }
 
@@ -80,7 +85,9 @@ impl AcBuilder {
 
         let mut root_next = vec![0u32; symbol_bound as usize];
         for (&sym, &next) in &goto[0] {
-            root_next[sym as usize] = next;
+            if let Some(slot) = root_next.get_mut(sym as usize) {
+                *slot = next;
+            }
         }
 
         // Breadth-first over the trie; parents are finalized before
@@ -90,33 +97,42 @@ impl AcBuilder {
         while head < queue.len() {
             let state = queue[head] as usize;
             head += 1;
-            for (&sym, &child) in &goto[state] {
+            for (&sym, &child) in goto.get(state).into_iter().flatten() {
                 queue.push(child);
                 // Walk the parent's failure chain for the longest proper
                 // suffix state that can consume `sym`.
-                let mut f = fail[state];
+                let mut f = fail.get(state).copied().unwrap_or(0);
                 let fallback = loop {
                     if f == 0 {
-                        break root_next[sym as usize];
+                        break root_next.get(sym as usize).copied().unwrap_or(0);
                     }
-                    if let Some(&next) = goto[f as usize].get(&sym) {
+                    if let Some(&next) = goto.get(f as usize).and_then(|m| m.get(&sym)) {
                         break next;
                     }
-                    f = fail[f as usize];
+                    f = fail.get(f as usize).copied().unwrap_or(0);
                 };
-                fail[child as usize] = if fallback == child { 0 } else { fallback };
+                if let Some(slot) = fail.get_mut(child as usize) {
+                    *slot = if fallback == child { 0 } else { fallback };
+                }
             }
-            let f = fail[state] as usize;
-            out_link[state] = if terminal[f].is_empty() {
-                out_link[f]
+            let f = fail.get(state).copied().unwrap_or(0) as usize;
+            let linked = if terminal.get(f).is_none_or(|t| t.is_empty()) {
+                out_link.get(f).copied().unwrap_or(NONE)
             } else {
                 f as u32
             };
-            first_out[state] = if terminal[state].is_empty() {
-                out_link[state]
+            if let Some(slot) = out_link.get_mut(state) {
+                *slot = linked;
+            }
+            // `out_link[state]` was just written, so reuse `linked`.
+            let first = if terminal.get(state).is_none_or(|t| t.is_empty()) {
+                linked
             } else {
                 state as u32
             };
+            if let Some(slot) = first_out.get_mut(state) {
+                *slot = first;
+            }
         }
 
         AcAutomaton {
@@ -156,7 +172,7 @@ impl AcAutomaton {
 
     /// Length (in symbols) of pattern `pat`.
     pub fn pattern_len(&self, pat: u32) -> usize {
-        self.pat_lens[pat as usize] as usize
+        self.pat_lens.get(pat as usize).copied().unwrap_or(0) as usize
     }
 
     /// Scan a symbol stream, reporting every pattern occurrence as
@@ -177,14 +193,14 @@ impl AcAutomaton {
                 continue;
             }
             state = self.step(state, sym);
-            let mut s = self.first_out[state as usize];
+            let mut s = self.first_out.get(state as usize).copied().unwrap_or(NONE);
             while s != NONE {
-                for &pat in &self.terminal[s as usize] {
+                for &pat in self.terminal.get(s as usize).into_iter().flatten() {
                     if !emit(i, pat) {
                         return;
                     }
                 }
-                s = self.out_link[s as usize];
+                s = self.out_link.get(s as usize).copied().unwrap_or(NONE);
             }
         }
     }
@@ -192,12 +208,12 @@ impl AcAutomaton {
     fn step(&self, mut state: u32, sym: u32) -> u32 {
         loop {
             if state == 0 {
-                return self.root_next[sym as usize];
+                return self.root_next.get(sym as usize).copied().unwrap_or(0);
             }
-            if let Some(&next) = self.goto[state as usize].get(&sym) {
+            if let Some(&next) = self.goto.get(state as usize).and_then(|m| m.get(&sym)) {
                 return next;
             }
-            state = self.fail[state as usize];
+            state = self.fail.get(state as usize).copied().unwrap_or(0);
         }
     }
 }

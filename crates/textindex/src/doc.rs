@@ -65,7 +65,9 @@ impl FoldedDoc {
         let mut found = vec![false; ac.pattern_count()];
         let mut remaining = found.len();
         ac.scan(self.buf.bytes().map(u32::from), &mut |_, pat| {
-            let slot = &mut found[pat as usize];
+            let Some(slot) = found.get_mut(pat as usize) else {
+                return true;
+            };
             if !*slot {
                 *slot = true;
                 remaining -= 1;
@@ -75,7 +77,7 @@ impl FoldedDoc {
         pats.into_iter()
             .map(|pat| match pat {
                 None => true,
-                Some(id) => found[id as usize],
+                Some(id) => found.get(id as usize).copied().unwrap_or(false),
             })
             .collect()
     }

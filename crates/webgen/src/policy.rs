@@ -329,7 +329,7 @@ fn render_types(w: &mut Writer, truth: &GroundTruth, style: &PolicyStyle) {
         ];
         for (i, chunk) in truth.types.chunks(3).enumerate() {
             let list = oxford(&surfaces(chunk));
-            w.para(&format!("{} {list}.", openers[i % openers.len()]));
+            w.para(&format!("{} {list}.", openers[i % openers.len().max(1)]));
         }
     }
     if style.filler_level >= 1 {
@@ -652,7 +652,7 @@ pub fn spell_number(n: u32) -> String {
         "", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy", "eighty", "ninety",
     ];
     match n {
-        0..=19 => ONES[n as usize].to_string(),
+        0..=19 => ONES.get(n as usize).copied().unwrap_or("").to_string(),
         20..=99 => {
             let t = TENS[(n / 10) as usize];
             if n.is_multiple_of(10) {

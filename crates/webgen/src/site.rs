@@ -622,7 +622,9 @@ fn build_site(
                 .page("/privacy-policy", policy_page(&main));
             (site, "/privacy-policy".to_string())
         }
-        CompanyFate::NoPolicy => unreachable!("handled by caller"),
+        // Callers route NoPolicy to `build_no_policy_site` directly; fall
+        // back to it here too rather than aborting.
+        CompanyFate::NoPolicy => (build_no_policy_site(company), String::new()),
     }
 }
 

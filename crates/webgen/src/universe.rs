@@ -223,18 +223,19 @@ impl Universe {
                 domain: domain.to_string(),
             });
             let idx = sector.index();
-            remaining[idx] = remaining[idx].saturating_sub(1);
+            if let Some(slot) = remaining.get_mut(idx) {
+                *slot = slot.saturating_sub(1);
+            }
         }
 
         // Duplicate-ticker issuers: 24 per 2916 constituents.
-        let dup_pairs = (n * (UNIVERSE_SIZE - UNIQUE_DOMAINS) / UNIVERSE_SIZE).max(if n >= 200 {
-            1
-        } else {
-            0
-        });
+        let dup_pairs = (n * (UNIVERSE_SIZE - UNIQUE_DOMAINS) / UNIVERSE_SIZE.max(1))
+            .max(if n >= 200 { 1 } else { 0 });
 
         for (sector_idx, &quota) in remaining.iter().enumerate() {
-            let sector = Sector::ALL[sector_idx];
+            let Some(sector) = Sector::ALL.get(sector_idx).copied() else {
+                continue;
+            };
             for _ in 0..quota {
                 if companies.len() >= n {
                     break;
@@ -275,12 +276,14 @@ impl Universe {
             if tail <= src_idx {
                 break;
             }
-            companies[tail] = Company {
-                ticker: format!("{}.B", src.ticker),
-                name: format!("{} Class B", src.name),
-                sector: src.sector,
-                domain: src.domain.clone(),
-            };
+            if let Some(slot) = companies.get_mut(tail) {
+                *slot = Company {
+                    ticker: format!("{}.B", src.ticker),
+                    name: format!("{} Class B", src.name),
+                    sector: src.sector,
+                    domain: src.domain.clone(),
+                };
+            }
         }
 
         // Deterministic shuffle so sectors are interleaved like a real index
@@ -326,13 +329,18 @@ fn sector_quotas(n: usize) -> [usize; 11] {
     let mut assigned = 0usize;
     for (i, s) in Sector::ALL.iter().enumerate() {
         let exact = s.universe_share() * n as f64;
-        quotas[i] = exact.floor() as usize;
-        assigned += quotas[i];
+        let floor = exact.floor() as usize;
+        if let Some(slot) = quotas.get_mut(i) {
+            *slot = floor;
+        }
+        assigned += floor;
         remainders.push((i, exact - exact.floor()));
     }
     remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     for (i, _) in remainders.into_iter().take(n.saturating_sub(assigned)) {
-        quotas[i] += 1;
+        if let Some(slot) = quotas.get_mut(i) {
+            *slot += 1;
+        }
     }
     quotas
 }
