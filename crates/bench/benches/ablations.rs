@@ -27,7 +27,11 @@ fn config(use_segmentation: bool, fallback: bool, verify: bool) -> PipelineConfi
     PipelineConfig {
         seed: 17,
         use_segmentation,
-        annotate: AnnotateOptions { fallback, verify },
+        annotate: AnnotateOptions {
+            fallback,
+            verify,
+            ..AnnotateOptions::default()
+        },
         ..Default::default()
     }
 }

@@ -9,9 +9,16 @@
 //! ```text
 //! perfbench                        # full grid: 100/300/1000 × {1,4,8}
 //! perfbench --smoke                # tiny grid for CI / verify drive
+//! perfbench --chaos-smoke          # 300 domains under FaultConfig::chaotic()
 //! perfbench --label post-PR3      # tag the appended entries
 //! perfbench --out /tmp/bench.json # write somewhere else
 //! ```
+//!
+//! `--chaos-smoke` runs one elevated-transient cell (flaky 5xx bursts,
+//! resets, 429s, latency spikes) so the retry/breaker overhead shows up in
+//! the trajectory next to the clean-path numbers; entries are tagged with a
+//! `-chaos` label suffix rather than a schema change so old trajectory
+//! files keep parsing.
 //!
 //! Unlike the criterion benches this needs no statistical run: each cell is
 //! measured once, which is enough to see the ≥1.5× movements we optimize
@@ -19,7 +26,7 @@
 
 use aipan_core::{run_pipeline, PipelineConfig};
 use aipan_crawler::{crawl_all, PoolConfig};
-use aipan_net::fault::FaultInjector;
+use aipan_net::fault::{FaultConfig, FaultInjector};
 use aipan_net::Client;
 use aipan_webgen::{build_world, WorldConfig};
 use serde::{Deserialize, Serialize};
@@ -58,9 +65,13 @@ struct BenchFile {
     entries: Vec<BenchEntry>,
 }
 
-fn measure(label: &str, domains: usize, workers: usize) -> BenchEntry {
+fn measure(label: &str, domains: usize, workers: usize, chaos: bool) -> BenchEntry {
+    let mut config = WorldConfig::small(SEED, domains);
+    if chaos {
+        config.faults = FaultConfig::chaotic();
+    }
     let t0 = Instant::now();
-    let world = build_world(WorldConfig::small(SEED, domains));
+    let world = build_world(config);
     let world_build_ms = ms(t0);
 
     let client = Client::new(
@@ -115,14 +126,16 @@ fn main() {
     let mut label = String::from("run");
     let mut out = String::from("BENCH_pipeline.json");
     let mut smoke = false;
+    let mut chaos = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--chaos-smoke" => chaos = true,
             "--label" => label = args.next().unwrap_or(label),
             "--out" => out = args.next().unwrap_or(out),
             "--help" | "-h" => {
-                println!("usage: perfbench [--smoke] [--label NAME] [--out PATH]");
+                println!("usage: perfbench [--smoke] [--chaos-smoke] [--label NAME] [--out PATH]");
                 return;
             }
             other => {
@@ -132,11 +145,16 @@ fn main() {
         }
     }
 
-    let (sizes, worker_counts): (&[usize], &[usize]) = if smoke {
+    let (sizes, worker_counts): (&[usize], &[usize]) = if chaos {
+        (&[300], &[4])
+    } else if smoke {
         (&[40], &[1, 2])
     } else {
         (&[100, 300, 1000], &[1, 4, 8])
     };
+    if chaos {
+        label.push_str("-chaos");
+    }
 
     let mut file: BenchFile = std::fs::read_to_string(&out)
         .ok()
@@ -151,7 +169,7 @@ fn main() {
     );
     for &domains in sizes {
         for &workers in worker_counts {
-            let entry = measure(&label, domains, workers);
+            let entry = measure(&label, domains, workers, chaos);
             println!(
                 "{:>8} {:>8} {:>12.1} {:>10.1} {:>12.1} {:>10} {:>12}",
                 entry.domains,

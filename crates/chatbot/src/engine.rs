@@ -53,17 +53,50 @@ impl SimulatedChatbot {
     pub fn ledger(&self) -> &UsageLedger {
         &self.ledger
     }
+
+    /// Simulate a mid-stream cutoff: drop the tail of the completion at a
+    /// hash-derived point, yielding unparsable JSON a re-prompt can redraw.
+    fn maybe_truncate(&self, prompt: &TaskPrompt, doc: &str, tag: &str, output: String) -> String {
+        use crate::profile::unit;
+        let parts = [
+            self.profile.id.as_str(),
+            "truncate",
+            prompt.kind.name(),
+            doc,
+            tag,
+        ];
+        if output.len() < 4 || !decide(self.seed, &parts, self.profile.truncation_rate) {
+            return output;
+        }
+        let frac = 0.25 + 0.5 * unit(self.seed, &[&parts[..], &["cut"]].concat());
+        let cut = ((output.len() as f64 * frac) as usize).max(2);
+        let cut = (0..=cut).rev().find(|&i| output.is_char_boundary(i));
+        output[..cut.unwrap_or(0)].to_string()
+    }
 }
 
 impl Chatbot for SimulatedChatbot {
     fn complete(&self, prompt: &TaskPrompt, input: &str) -> String {
-        // Instruction-following failures: malformed output the pipeline
-        // must tolerate (GPT-3.5 exhibits these; GPT-4 effectively never).
+        self.complete_attempt(prompt, input, 0)
+    }
+
+    fn complete_attempt(&self, prompt: &TaskPrompt, input: &str, attempt: u32) -> String {
+        // LLM-side transient faults, keyed on (task, doc, attempt) so a
+        // re-prompt redraws them: refusals, malformed output (GPT-3.5
+        // exhibits these; GPT-4 effectively never), and mid-stream
+        // truncation.
         let doc = tasks::doc_key(input);
+        let tag = attempt.to_string();
         let output =
-            if !decide(
+            if decide(
                 self.seed,
-                &[&self.profile.id, "follow", prompt.kind.name(), &doc],
+                &[&self.profile.id, "refuse", prompt.kind.name(), &doc, &tag],
+                self.profile.refusal_rate,
+            ) {
+                "I cannot assist with analyzing this document.".to_string()
+            } else if !decide(
+                self.seed,
+                &[&self.profile.id, "follow", prompt.kind.name(), &doc, &tag],
                 self.profile.instruction_following,
             ) {
                 "I'm sorry, here are the results you asked for:\n[[1, \"".to_string()
@@ -96,6 +129,7 @@ impl Chatbot for SimulatedChatbot {
                     ),
                 }
             };
+        let output = self.maybe_truncate(prompt, &doc, &tag, output);
         self.ledger
             .record(prompt.kind.name(), &prompt.text, input, &output);
         output
@@ -152,6 +186,58 @@ mod tests {
         }
         let rate = malformed as f64 / 200.0;
         assert!((rate - 0.15).abs() < 0.08, "malformed rate {rate}");
+    }
+
+    #[test]
+    fn transient_llm_faults_redraw_across_attempts() {
+        // With aggressive fault rates, some call fails on attempt 0 but
+        // recovers within a few re-prompts — faults are keyed on attempt.
+        let mut profile = ModelProfile::gpt35_turbo();
+        profile.refusal_rate = 0.3;
+        profile.truncation_rate = 0.3;
+        profile.instruction_following = 0.7;
+        let bot = SimulatedChatbot::new(profile, 11);
+        let prompt = TaskPrompt::build(TaskKind::ExtractDataTypes);
+        let mut failed_then_recovered = 0;
+        for i in 0..60 {
+            let input = number_lines([format!("We collect your email, case {i}.").as_str()]);
+            let first = bot.complete_attempt(&prompt, &input, 0);
+            if crate::protocol::is_well_formed(&first) {
+                continue;
+            }
+            if (1..4)
+                .any(|a| crate::protocol::is_well_formed(&bot.complete_attempt(&prompt, &input, a)))
+            {
+                failed_then_recovered += 1;
+            }
+        }
+        assert!(
+            failed_then_recovered > 5,
+            "re-prompts should recover transient faults, got {failed_then_recovered}"
+        );
+    }
+
+    #[test]
+    fn refusals_and_truncations_are_deterministic_and_malformed() {
+        let mut profile = ModelProfile::oracle();
+        profile.refusal_rate = 1.0;
+        let bot = SimulatedChatbot::new(profile, 5);
+        let prompt = TaskPrompt::build(TaskKind::ExtractDataTypes);
+        let input = number_lines(["We collect your name."]);
+        let out = bot.complete(&prompt, &input);
+        assert!(out.starts_with("I cannot assist"));
+        assert!(!crate::protocol::is_well_formed(&out));
+        assert_eq!(out, bot.complete(&prompt, &input));
+
+        let mut profile = ModelProfile::oracle();
+        profile.truncation_rate = 1.0;
+        let bot = SimulatedChatbot::new(profile, 5);
+        let full_bot = SimulatedChatbot::new(ModelProfile::oracle(), 5);
+        let full = full_bot.complete(&prompt, &input);
+        let cut = bot.complete(&prompt, &input);
+        assert!(cut.len() < full.len(), "cut={cut:?} full={full:?}");
+        assert!(full.starts_with(&cut), "truncation must be a prefix");
+        assert!(!crate::protocol::is_well_formed(&cut));
     }
 
     #[test]

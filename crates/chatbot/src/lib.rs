@@ -50,6 +50,15 @@ pub trait Chatbot: Send + Sync {
     /// Complete `prompt` against `input`, returning raw model output.
     fn complete(&self, prompt: &TaskPrompt, input: &str) -> String;
 
+    /// Complete `prompt` against `input` as re-prompt attempt `attempt`
+    /// (0-based). Implementations with transient failure modes (refusals,
+    /// truncation, malformed output) key those on the attempt so a bounded
+    /// re-prompt loop can recover; the default ignores the attempt.
+    fn complete_attempt(&self, prompt: &TaskPrompt, input: &str, attempt: u32) -> String {
+        let _ = attempt;
+        self.complete(prompt, input)
+    }
+
     /// The model identifier (e.g. `"gpt-4-turbo-2024-04-09"`).
     fn model_id(&self) -> &str;
 

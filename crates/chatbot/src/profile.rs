@@ -50,6 +50,12 @@ pub struct ModelProfile {
     /// Probability a completion is well-formed JSON (below 1.0, the model
     /// sometimes returns malformed output the pipeline must tolerate).
     pub instruction_following: f64,
+    /// Probability (per call) the model refuses the task outright
+    /// ("I cannot assist…") — the LLM-side analogue of a bot wall.
+    pub refusal_rate: f64,
+    /// Probability (per call) the completion is cut off mid-stream,
+    /// yielding truncated (hence unparsable) JSON.
+    pub truncation_rate: f64,
 }
 
 impl ModelProfile {
@@ -69,6 +75,8 @@ impl ModelProfile {
             segmentation_noise: 0.08,
             line_label_noise: 0.25,
             instruction_following: 1.0,
+            refusal_rate: 0.01,
+            truncation_rate: 0.01,
         }
     }
 
@@ -88,6 +96,8 @@ impl ModelProfile {
             segmentation_noise: 0.15,
             line_label_noise: 0.50,
             instruction_following: 0.85,
+            refusal_rate: 0.02,
+            truncation_rate: 0.02,
         }
     }
 
@@ -108,6 +118,8 @@ impl ModelProfile {
             segmentation_noise: 0.05,
             line_label_noise: 0.40,
             instruction_following: 0.97,
+            refusal_rate: 0.02,
+            truncation_rate: 0.01,
         }
     }
 
@@ -128,6 +140,8 @@ impl ModelProfile {
             segmentation_noise: 0.0,
             line_label_noise: 0.0,
             instruction_following: 1.0,
+            refusal_rate: 0.0,
+            truncation_rate: 0.0,
         }
     }
 }

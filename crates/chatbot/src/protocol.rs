@@ -196,6 +196,17 @@ pub fn parse_rights(output: &str) -> Vec<RightsRow> {
     })
 }
 
+/// Whether `output` is structurally well-formed protocol output: a
+/// top-level JSON array. Distinguishes a *valid empty result* (`[]`) from
+/// refusals, malformed prefixes, and truncated completions, which a
+/// bounded re-prompt loop should retry.
+pub fn is_well_formed(output: &str) -> bool {
+    matches!(
+        serde_json::from_str::<Value>(output.trim()),
+        Ok(Value::Array(_))
+    )
+}
+
 /// Shared tolerant parser: top-level array of arrays; rows that fail `f`
 /// are dropped. Non-JSON output yields an empty vec.
 fn parse_rows<T>(output: &str, f: impl Fn(&[Value]) -> Option<T>) -> Vec<T> {

@@ -28,6 +28,10 @@ pub struct AnnotateOptions {
     /// Whether to run the verbatim hallucination check (ablation
     /// `ablate_verification` turns this off).
     pub verify: bool,
+    /// Bounded re-prompt budget: how many times a task is re-issued when
+    /// the completion is not well-formed JSON (refusal, truncation,
+    /// malformed prefix). `0` disables re-prompting.
+    pub reprompt_retries: u32,
 }
 
 impl Default for AnnotateOptions {
@@ -35,6 +39,7 @@ impl Default for AnnotateOptions {
         AnnotateOptions {
             fallback: true,
             verify: true,
+            reprompt_retries: 2,
         }
     }
 }
@@ -49,6 +54,9 @@ pub struct AnnotationOutcome {
     pub fallbacks: Vec<AspectKind>,
     /// Hallucinated annotations removed by the verbatim check.
     pub hallucinations_removed: usize,
+    /// Re-prompts issued because a completion was not well-formed JSON
+    /// (each is one extra chatbot call within the bounded retry budget).
+    pub reprompts: usize,
 }
 
 impl AnnotationOutcome {
@@ -83,6 +91,7 @@ pub fn annotate_policy_with(
 ) -> AnnotationOutcome {
     let mut annotations = Vec::new();
     let mut fallbacks = Vec::new();
+    let mut reprompts = 0usize;
 
     let full_text_input = protocol::number_lines(doc.lines.iter().map(|l| l.text.as_str()));
     // Fold the policy exactly once; every verbatim-presence check below is
@@ -95,7 +104,8 @@ pub fn annotate_policy_with(
         TaskKind::ExtractDataTypes,
         seg.text_for(Aspect::Types, doc),
         &full_text_input,
-        options.fallback,
+        &options,
+        &mut reprompts,
         protocol::parse_extractions,
     );
     if used_fallback {
@@ -127,9 +137,12 @@ pub fn annotate_policy_with(
             }
         }
         let norm_input = protocol::number_lines(unique.iter().map(String::as_str));
-        let norm_out = chatbot.complete(
+        let norm_out = complete_checked(
+            chatbot,
             &TaskPrompt::build(TaskKind::NormalizeDataTypes),
             &norm_input,
+            options.reprompt_retries,
+            &mut reprompts,
         );
         let norm_rows = protocol::parse_normalizations(&norm_out);
         // index (1-based) → (descriptor, category)
@@ -164,7 +177,8 @@ pub fn annotate_policy_with(
         TaskKind::AnnotatePurposes,
         seg.text_for(Aspect::Purposes, doc),
         &full_text_input,
-        options.fallback,
+        &options,
+        &mut reprompts,
         protocol::parse_purposes,
     );
     if used_fallback {
@@ -198,7 +212,8 @@ pub fn annotate_policy_with(
         TaskKind::AnnotateHandling,
         seg.text_for(Aspect::Handling, doc),
         &full_text_input,
-        options.fallback,
+        &options,
+        &mut reprompts,
         protocol::parse_handling,
     );
     if used_fallback {
@@ -236,7 +251,8 @@ pub fn annotate_policy_with(
         TaskKind::AnnotateRights,
         seg.text_for(Aspect::Rights, doc),
         &full_text_input,
-        options.fallback,
+        &options,
+        &mut reprompts,
         protocol::parse_rights,
     );
     if used_fallback {
@@ -289,30 +305,71 @@ pub fn annotate_policy_with(
         annotations,
         fallbacks,
         hallucinations_removed,
+        reprompts,
     }
+}
+
+/// Complete `prompt` with a bounded re-prompt loop: when the completion is
+/// not well-formed protocol output (refusal, truncation, malformed JSON),
+/// re-issue the task with an incremented attempt number — up to `retries`
+/// extra attempts — so transient LLM faults are redrawn. The last output is
+/// returned either way; the tolerant parsers downstream handle a completion
+/// that is still malformed after the budget is spent.
+fn complete_checked(
+    chatbot: &dyn Chatbot,
+    prompt: &TaskPrompt,
+    input: &str,
+    retries: u32,
+    reprompts: &mut usize,
+) -> String {
+    let mut output = chatbot.complete_attempt(prompt, input, 0);
+    for attempt in 1..=retries {
+        if protocol::is_well_formed(&output) {
+            break;
+        }
+        *reprompts += 1;
+        output = chatbot.complete_attempt(prompt, input, attempt);
+    }
+    output
 }
 
 /// Run `task` on the aspect's section text; if it parses to nothing, run it
 /// again over the full text. Returns the rows and whether fallback fired.
+/// Both calls go through the bounded re-prompt loop, so a transient
+/// refusal or truncation does not masquerade as an empty section and
+/// needlessly trigger the (much more expensive) full-text fallback.
 fn extract_with_fallback<T>(
     chatbot: &dyn Chatbot,
     task: TaskKind,
     section: Vec<(usize, &str)>,
     full_text_input: &str,
-    allow_fallback: bool,
+    options: &AnnotateOptions,
+    reprompts: &mut usize,
     parse: impl Fn(&str) -> Vec<T>,
 ) -> (Vec<T>, bool) {
     let prompt = TaskPrompt::build(task);
     if !section.is_empty() {
         let input = protocol::number_lines_with(section);
-        let rows = parse(&chatbot.complete(&prompt, &input));
-        if !rows.is_empty() || !allow_fallback {
+        let rows = parse(&complete_checked(
+            chatbot,
+            &prompt,
+            &input,
+            options.reprompt_retries,
+            reprompts,
+        ));
+        if !rows.is_empty() || !options.fallback {
             return (rows, false);
         }
-    } else if !allow_fallback {
+    } else if !options.fallback {
         return (Vec::new(), false);
     }
-    let rows = parse(&chatbot.complete(&prompt, full_text_input));
+    let rows = parse(&complete_checked(
+        chatbot,
+        &prompt,
+        full_text_input,
+        options.reprompt_retries,
+        reprompts,
+    ));
     (rows, true)
 }
 
@@ -465,6 +522,56 @@ mod tests {
         let out = annotate_policy(&Liar, &doc, &seg);
         assert!(out.annotations.is_empty());
         assert!(out.hallucinations_removed >= 1);
+    }
+
+    #[test]
+    fn reprompt_recovers_transient_refusals() {
+        // A model that refuses every first attempt but answers correctly on
+        // re-prompt: the bounded retry loop must recover every task, and
+        // the outcome must record how many re-prompts were spent.
+        struct FlakyOracle(SimulatedChatbot);
+        impl Chatbot for FlakyOracle {
+            fn complete(&self, prompt: &TaskPrompt, input: &str) -> String {
+                self.complete_attempt(prompt, input, 0)
+            }
+            fn complete_attempt(&self, prompt: &TaskPrompt, input: &str, attempt: u32) -> String {
+                if attempt == 0 {
+                    "I cannot assist with analyzing this document.".to_string()
+                } else {
+                    self.0.complete(prompt, input)
+                }
+            }
+            fn model_id(&self) -> &str {
+                self.0.model_id()
+            }
+            fn usage(&self) -> aipan_chatbot::TokenUsage {
+                self.0.usage()
+            }
+        }
+        let html = "<p>We collect your email address.</p>\
+             <p>We use data for analytics.</p>\
+             <p>We retain data for two (2) years.</p>\
+             <p>You may update or correct your personal information.</p>";
+        let flaky = FlakyOracle(oracle());
+        let doc = extract(html);
+        let seg = segment(&oracle(), &doc);
+        let out = annotate_policy(&flaky, &doc, &seg);
+        let baseline = annotate_html(html);
+        assert_eq!(out.annotations, baseline.annotations);
+        assert!(out.reprompts > 0, "retries must be accounted");
+
+        // With the budget disabled, every task sees only the refusal.
+        let none = annotate_policy_with(
+            &flaky,
+            &doc,
+            &seg,
+            AnnotateOptions {
+                reprompt_retries: 0,
+                ..AnnotateOptions::default()
+            },
+        );
+        assert!(none.annotations.is_empty());
+        assert_eq!(none.reprompts, 0);
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub enum SegmentationMethod {
 }
 
 /// One company's annotated privacy policy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnnotatedPolicy {
     /// Company domain.
     pub domain: String,

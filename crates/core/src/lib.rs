@@ -16,15 +16,23 @@
 //! * [`pipeline`] — whole-universe orchestration over a
 //!   [`aipan_webgen::World`]: crawl funnel, per-domain processing, and the
 //!   §3.1/§3.2 funnel statistics.
+//! * [`journal`] — the sorted-JSONL checkpoint journal behind
+//!   [`pipeline::run_pipeline_resumable`]: interrupted runs resume from
+//!   their journaled per-domain outcomes and produce byte-identical
+//!   datasets.
 
 #![warn(missing_docs)]
 
 pub mod annotate;
 pub mod dataset;
+pub mod journal;
 pub mod pipeline;
 pub mod segment;
 
 pub use annotate::{annotate_policy, AnnotationOutcome};
 pub use dataset::{AnnotatedPolicy, Dataset, SegmentationMethod};
-pub use pipeline::{run_pipeline, ExtractionFunnel, Pipeline, PipelineConfig, PipelineRun};
+pub use journal::{JournalEntry, RunJournal};
+pub use pipeline::{
+    run_pipeline, run_pipeline_resumable, ExtractionFunnel, Pipeline, PipelineConfig, PipelineRun,
+};
 pub use segment::{segment, SegmentedPolicy};

@@ -2,9 +2,12 @@
 
 use crate::annotate::{annotate_policy_with, AnnotateOptions};
 use crate::dataset::{AnnotatedPolicy, Dataset, SegmentationMethod};
+use crate::journal::{JournalEntry, RunJournal};
 use crate::segment::{self, Method, SegmentedPolicy};
 use aipan_chatbot::{ModelProfile, SimulatedChatbot, TokenUsage};
-use aipan_crawler::{crawl_all, CrawlFunnel, CrawlReport, DomainCrawl, PoolConfig};
+use aipan_crawler::{
+    crawl_all_with, CrawlFunnel, CrawlOptions, CrawlReport, DomainCrawl, PoolConfig,
+};
 use aipan_html::{extract, lang, ExtractedDoc};
 use aipan_net::fault::FaultInjector;
 use aipan_net::http::ContentType;
@@ -27,6 +30,9 @@ pub struct PipelineConfig {
     /// Whether to segment before annotating (ablation: `false` feeds the
     /// whole text to every aspect's task).
     pub use_segmentation: bool,
+    /// Crawl resilience options: retry/backoff policy, fetch-session seed,
+    /// and the optional per-domain crawl deadline.
+    pub crawl: CrawlOptions,
 }
 
 impl Default for PipelineConfig {
@@ -37,6 +43,7 @@ impl Default for PipelineConfig {
             profile: ModelProfile::gpt4_turbo(),
             annotate: AnnotateOptions::default(),
             use_segmentation: true,
+            crawl: CrawlOptions::default(),
         }
     }
 }
@@ -218,6 +225,24 @@ pub struct DomainOutcome {
 
 /// Run the full pipeline over a simulated world.
 pub fn run_pipeline(world: &World, config: PipelineConfig) -> PipelineRun {
+    run_pipeline_resumable(world, config, &mut RunJournal::new())
+}
+
+/// Run the full pipeline, checkpointing into (and resuming from) `journal`.
+///
+/// Domains already present in `journal` are replayed from their recorded
+/// [`JournalEntry`] instead of re-annotated; every newly processed domain
+/// is journaled. Because each per-domain outcome is a pure deterministic
+/// function of `(world, config)`, a run resumed from any prefix of a prior
+/// run's journal produces a byte-identical dataset and funnel — only token
+/// usage differs (replayed domains cost no chatbot calls). Crawling is
+/// always re-run: it is cheap, deterministic, and its transport metrics
+/// are not part of the journaled state.
+pub fn run_pipeline_resumable(
+    world: &World,
+    config: PipelineConfig,
+    journal: &mut RunJournal,
+) -> PipelineRun {
     let pipeline = Pipeline::new(config.clone());
     let client = Client::new(
         world.internet.clone(),
@@ -229,20 +254,49 @@ pub fn run_pipeline(world: &World, config: PipelineConfig) -> PipelineRun {
         .iter()
         .map(|c| c.domain.clone())
         .collect();
-    let crawls = crawl_all(
+    let crawls = crawl_all_with(
         &client,
         &domains,
         PoolConfig {
             workers: config.workers,
         },
+        &config.crawl,
     );
     let report = CrawlReport::new(crawls);
 
     // Process domains in parallel (the chatbot is Send + Sync and clones
     // share the usage ledger). Each outcome carries the domain's funnel
-    // contribution so the corpus is extracted exactly once.
-    let (english_privacy_pages, policies) =
-        parallel_process(&pipeline, world, &report.crawls, config.workers);
+    // contribution so the corpus is extracted exactly once. Domains with a
+    // journaled outcome are skipped and replayed from the journal below.
+    let todo: Vec<&DomainCrawl> = report
+        .crawls
+        .iter()
+        .filter(|c| !journal.contains(&c.domain))
+        .collect();
+    for (crawl, outcome) in
+        todo.iter()
+            .zip(parallel_process(&pipeline, world, &todo, config.workers))
+    {
+        journal.insert(JournalEntry {
+            domain: crawl.domain.clone(),
+            english_privacy_pages: outcome.english_privacy_pages,
+            policy: outcome.policy,
+        });
+    }
+
+    // Assemble from the journal in crawl order (sorted by domain), using
+    // only entries for domains in this run — a stale journal from another
+    // world cannot leak extra policies in.
+    let mut english_privacy_pages = 0usize;
+    let mut policies: Vec<AnnotatedPolicy> = Vec::new();
+    for crawl in &report.crawls {
+        if let Some(entry) = journal.get(&crawl.domain) {
+            english_privacy_pages += entry.english_privacy_pages;
+            if let Some(policy) = &entry.policy {
+                policies.push(policy.clone());
+            }
+        }
+    }
 
     let mut extraction = ExtractionFunnel {
         domains_total: report.funnel.domains_total,
@@ -279,9 +333,9 @@ pub fn run_pipeline(world: &World, config: PipelineConfig) -> PipelineRun {
 fn parallel_process(
     pipeline: &Pipeline,
     world: &World,
-    crawls: &[DomainCrawl],
+    crawls: &[&DomainCrawl],
     workers: usize,
-) -> (usize, Vec<AnnotatedPolicy>) {
+) -> Vec<DomainOutcome> {
     use work_queue::run_indexed;
     let sector_of = |domain: &str| {
         world
@@ -289,14 +343,9 @@ fn parallel_process(
             .map(|c| c.sector)
             .unwrap_or(Sector::Industrials)
     };
-    let outcomes = run_indexed(crawls, workers.max(1), |crawl| {
+    run_indexed(crawls, workers.max(1), |crawl| {
         pipeline.process_domain_full(crawl, sector_of(&crawl.domain))
-    });
-    let english_privacy_pages = outcomes.iter().map(|o| o.english_privacy_pages).sum();
-    let mut policies: Vec<AnnotatedPolicy> =
-        outcomes.into_iter().filter_map(|o| o.policy).collect();
-    policies.sort_by(|a, b| a.domain.cmp(&b.domain));
-    (english_privacy_pages, policies)
+    })
 }
 
 /// Minimal indexed parallel-map over a slice using scoped threads (avoids

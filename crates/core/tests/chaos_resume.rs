@@ -1,0 +1,116 @@
+//! Chaos harness for the pipeline's checkpoint/resume layer: under
+//! elevated transient fault rates, an interrupted `run_pipeline` resumed
+//! from any prefix of its journal — including a journal torn mid-write —
+//! produces a byte-identical dataset and identical funnels, at any worker
+//! count.
+
+use aipan_core::{run_pipeline, run_pipeline_resumable, PipelineConfig, PipelineRun, RunJournal};
+use aipan_net::fault::FaultConfig;
+use aipan_webgen::{build_world, WorldConfig};
+
+fn chaos_world(seed: u64, n: usize) -> aipan_webgen::World {
+    let mut config = WorldConfig::small(seed, n);
+    config.faults = FaultConfig {
+        flaky_5xx: 0.10,
+        conn_reset: 0.06,
+        rate_limit: 0.04,
+        latency_spike: 0.08,
+        ..config.faults
+    };
+    build_world(config)
+}
+
+fn pipeline_config(seed: u64, workers: usize) -> PipelineConfig {
+    PipelineConfig {
+        seed,
+        workers,
+        ..Default::default()
+    }
+}
+
+fn dataset_bytes(run: &PipelineRun) -> String {
+    serde_json::to_string(&run.dataset).expect("dataset serializes")
+}
+
+#[test]
+fn resume_is_byte_identical_at_every_kill_point() {
+    let world = chaos_world(23, 60);
+    let config = pipeline_config(23, 4);
+    let reference = run_pipeline(&world, config.clone());
+    let reference_bytes = dataset_bytes(&reference);
+    assert!(
+        !reference.dataset.is_empty(),
+        "chaos world must still yield policies"
+    );
+
+    // A journaled uninterrupted run matches the plain run and journals
+    // every crawled domain.
+    let mut journal = RunJournal::new();
+    let journaled = run_pipeline_resumable(&world, config.clone(), &mut journal);
+    assert_eq!(dataset_bytes(&journaled), reference_bytes);
+    assert_eq!(journal.len(), reference.crawl_funnel.domains_total);
+    let jsonl = journal.to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+
+    // Kill the run at three different points (journal prefixes), then at a
+    // torn final line (process died mid-write). Every resume must produce
+    // the same dataset bytes and the same funnels.
+    let kill_points = [lines.len() / 4, lines.len() / 2, lines.len() * 9 / 10];
+    for &k in &kill_points {
+        let partial = lines[..k].join("\n");
+        let mut resumed_journal = RunJournal::from_jsonl(&partial);
+        assert_eq!(resumed_journal.len(), k, "prefix journal loads losslessly");
+        let resumed = run_pipeline_resumable(&world, config.clone(), &mut resumed_journal);
+        assert_eq!(
+            dataset_bytes(&resumed),
+            reference_bytes,
+            "resume from kill point {k} diverged"
+        );
+        assert_eq!(resumed.extraction, reference.extraction);
+        assert_eq!(resumed.crawl_funnel, reference.crawl_funnel);
+        assert_eq!(resumed_journal.len(), journal.len());
+        assert_eq!(resumed_journal.to_jsonl(), jsonl, "journal must converge");
+    }
+
+    // Torn tail: keep half the bytes of the final journaled line.
+    let keep = lines[..lines.len() - 1].join("\n");
+    let last = lines[lines.len() - 1];
+    let half = (0..=last.len() / 2)
+        .rev()
+        .find(|&i| last.is_char_boundary(i))
+        .unwrap_or(0);
+    let torn = format!("{keep}\n{}", &last[..half]);
+    let mut torn_journal = RunJournal::from_jsonl(&torn);
+    assert_eq!(torn_journal.len(), lines.len() - 1, "torn line dropped");
+    let resumed = run_pipeline_resumable(&world, config.clone(), &mut torn_journal);
+    assert_eq!(dataset_bytes(&resumed), reference_bytes);
+    assert_eq!(torn_journal.to_jsonl(), jsonl);
+}
+
+#[test]
+fn chaos_pipeline_identical_across_worker_counts() {
+    let world = chaos_world(31, 40);
+    let serial = run_pipeline(&world, pipeline_config(31, 1));
+    let parallel = run_pipeline(&world, pipeline_config(31, 6));
+    assert_eq!(dataset_bytes(&serial), dataset_bytes(&parallel));
+    assert_eq!(serial.extraction, parallel.extraction);
+    assert_eq!(serial.crawl_funnel, parallel.crawl_funnel);
+}
+
+#[test]
+fn stale_journal_domains_do_not_leak_into_the_run() {
+    use aipan_core::JournalEntry;
+    let world = chaos_world(37, 20);
+    let config = pipeline_config(37, 2);
+    let reference = run_pipeline(&world, config.clone());
+
+    let mut journal = RunJournal::new();
+    journal.insert(JournalEntry {
+        domain: "not-in-this-world.example".to_string(),
+        english_privacy_pages: 9,
+        policy: None,
+    });
+    let run = run_pipeline_resumable(&world, config, &mut journal);
+    assert_eq!(dataset_bytes(&run), dataset_bytes(&reference));
+    assert_eq!(run.extraction, reference.extraction);
+}

@@ -3,6 +3,7 @@
 use crate::robots::RobotsPolicy;
 use aipan_html::{extract, PageRegion};
 use aipan_net::http::ContentType;
+use aipan_net::retry::{FetchSession, RetryPolicy};
 use aipan_net::{Client, Status, Url};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -80,6 +81,40 @@ pub enum CrawlOutcome {
     TransportFailure(String),
 }
 
+/// Per-crawl resilience knobs: the retry policy behind every fetch plus an
+/// optional deadline on the simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrawlOptions {
+    /// Retry/backoff/breaker policy for this crawl's fetch session.
+    pub retry: RetryPolicy,
+    /// Seed for deterministic backoff jitter.
+    pub seed: u64,
+    /// Per-domain crawl deadline in simulated milliseconds. When the
+    /// session clock (latency + backoff + politeness) passes it, the crawl
+    /// stops fetching and salvages the pages collected so far.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for CrawlOptions {
+    fn default() -> Self {
+        CrawlOptions {
+            retry: RetryPolicy::default(),
+            seed: 0,
+            deadline_ms: None,
+        }
+    }
+}
+
+impl CrawlOptions {
+    /// The pre-resilience behavior: one attempt per fetch, no deadline.
+    pub fn no_retry() -> CrawlOptions {
+        CrawlOptions {
+            retry: RetryPolicy::no_retry(),
+            ..CrawlOptions::default()
+        }
+    }
+}
+
 /// The result of crawling one domain.
 #[derive(Debug, Clone)]
 pub struct DomainCrawl {
@@ -89,7 +124,8 @@ pub struct DomainCrawl {
     pub outcome: CrawlOutcome,
     /// All fetched pages (including the homepage), in fetch order.
     pub pages: Vec<CrawledPage>,
-    /// Number of fetch attempts (successful or not).
+    /// Number of fetch attempts (successful or not). Retries are counted
+    /// separately in [`DomainCrawl::retries`].
     pub fetch_attempts: usize,
     /// Fetches skipped because robots.txt disallowed the path.
     pub robots_skipped: usize,
@@ -98,6 +134,10 @@ pub struct DomainCrawl {
     /// Simulated politeness delay honored across the crawl (ms), from
     /// robots `Crawl-delay` (default 500 ms between fetches).
     pub politeness_delay_ms: u64,
+    /// Transport retries spent by this crawl's fetch session.
+    pub retries: u64,
+    /// Whether the crawl hit its deadline and salvaged a partial page set.
+    pub deadline_hit: bool,
 }
 
 impl DomainCrawl {
@@ -157,86 +197,124 @@ pub const DEFAULT_POLITENESS_MS: u64 = 500;
 /// The crawler's user-agent string (matched against robots groups).
 pub const USER_AGENT: &str = "aipan-crawler/0.1 (headless)";
 
-fn finish(
-    domain: &str,
-    outcome: CrawlOutcome,
+/// Mutable crawl bookkeeping threaded through the fetch stages.
+struct CrawlState {
     pages: Vec<CrawledPage>,
     fetch_attempts: usize,
     robots_skipped: usize,
-    robots_blocked: bool,
+    deadline_hit: bool,
     delay_per_fetch: u64,
-) -> DomainCrawl {
-    DomainCrawl {
-        domain: domain.to_string(),
-        outcome,
-        politeness_delay_ms: delay_per_fetch * fetch_attempts.saturating_sub(1) as u64,
-        pages,
-        fetch_attempts,
-        robots_skipped,
-        robots_blocked,
+}
+
+impl CrawlState {
+    fn new() -> CrawlState {
+        CrawlState {
+            pages: Vec::new(),
+            fetch_attempts: 0,
+            robots_skipped: 0,
+            deadline_hit: false,
+            delay_per_fetch: DEFAULT_POLITENESS_MS,
+        }
+    }
+
+    /// Whether the simulated clock has passed the crawl deadline.
+    fn over_deadline(&mut self, session: &FetchSession, options: &CrawlOptions) -> bool {
+        if let Some(deadline) = options.deadline_ms {
+            if session.elapsed_ms() >= deadline {
+                self.deadline_hit = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Count one logical fetch, honoring politeness between fetches on the
+    /// session clock.
+    fn before_fetch(&mut self, session: &mut FetchSession) {
+        if self.fetch_attempts > 0 {
+            session.advance(self.delay_per_fetch);
+        }
+        self.fetch_attempts += 1;
+    }
+
+    fn finish(
+        self,
+        domain: &str,
+        outcome: CrawlOutcome,
+        robots_blocked: bool,
+        retries: u64,
+    ) -> DomainCrawl {
+        DomainCrawl {
+            domain: domain.to_string(),
+            outcome,
+            politeness_delay_ms: self.delay_per_fetch
+                * self.fetch_attempts.saturating_sub(1) as u64,
+            pages: self.pages,
+            fetch_attempts: self.fetch_attempts,
+            robots_skipped: self.robots_skipped,
+            robots_blocked,
+            retries,
+            deadline_hit: self.deadline_hit,
+        }
     }
 }
 
-/// Crawl one domain with the §3.1 navigation policy, honoring robots.txt.
+/// Crawl one domain with the §3.1 navigation policy, honoring robots.txt,
+/// using the default retry policy and no deadline.
 pub fn crawl_domain(client: &Client, domain: &str) -> DomainCrawl {
-    let mut pages: Vec<CrawledPage> = Vec::new();
-    let mut fetch_attempts = 0usize;
-    let mut robots_skipped = 0usize;
+    crawl_domain_with(client, domain, &CrawlOptions::default())
+}
+
+/// Crawl one domain with explicit resilience options. All fetches go
+/// through one [`FetchSession`] (retry/backoff/breaker on a simulated
+/// clock); if the deadline passes mid-crawl, the pages fetched so far are
+/// salvaged instead of discarding the domain.
+pub fn crawl_domain_with(client: &Client, domain: &str, options: &CrawlOptions) -> DomainCrawl {
+    let mut state = CrawlState::new();
+    let mut session = client.session(options.seed, options.retry);
     let mut visited: HashSet<Url> = HashSet::new();
 
     let home_url = match Url::parse(&format!("https://{domain}/")) {
         Ok(u) => u,
         Err(e) => {
-            return finish(
+            return state.finish(
                 domain,
                 CrawlOutcome::TransportFailure(format!("bad domain: {e}")),
-                pages,
-                fetch_attempts,
-                0,
                 false,
-                DEFAULT_POLITENESS_MS,
+                0,
             )
         }
     };
 
     // 0. robots.txt (not counted as a crawled page).
-    let robots = fetch_robots(client, &home_url);
-    let delay_per_fetch = robots
+    let robots = fetch_robots(&mut session, &home_url);
+    state.delay_per_fetch = robots
         .crawl_delay_ms(USER_AGENT)
         .unwrap_or(DEFAULT_POLITENESS_MS);
     if robots.blocks_everything(USER_AGENT) {
-        return finish(
-            domain,
-            CrawlOutcome::NoPrivacyPage,
-            pages,
-            fetch_attempts,
-            0,
-            true,
-            delay_per_fetch,
-        );
+        let retries = session.total_retries();
+        return state.finish(domain, CrawlOutcome::NoPrivacyPage, true, retries);
     }
     let allowed = |url: &Url| robots.is_allowed(USER_AGENT, &url.path);
 
     // 1. Homepage.
-    fetch_attempts += 1;
-    let home = match client.fetch(&home_url) {
+    state.before_fetch(&mut session);
+    let home = match session.fetch(&home_url) {
         Ok(res) => res,
         Err(e) => {
-            return finish(
+            let retries = session.total_retries();
+            return state.finish(
                 domain,
                 CrawlOutcome::TransportFailure(e.to_string()),
-                pages,
-                fetch_attempts,
-                robots_skipped,
                 false,
-                delay_per_fetch,
-            )
+                retries,
+            );
         }
     };
     visited.insert(home_url.clone());
     visited.insert(home.final_url.clone());
     let home_doc = extract(&String::from_utf8_lossy(&home.response.body));
-    pages.push(CrawledPage {
+    state.pages.push(CrawledPage {
         url: home_url.clone(),
         final_url: home.final_url.clone(),
         status: home.response.status,
@@ -246,15 +324,8 @@ pub fn crawl_domain(client: &Client, domain: &str) -> DomainCrawl {
     });
 
     if !home.response.status.is_success() {
-        return finish(
-            domain,
-            CrawlOutcome::NoPrivacyPage,
-            pages,
-            fetch_attempts,
-            robots_skipped,
-            false,
-            delay_per_fetch,
-        );
+        let retries = session.total_retries();
+        return state.finish(domain, CrawlOutcome::NoPrivacyPage, false, retries);
     }
 
     // 2. Up to three "privacy" links from the bottom of the homepage.
@@ -281,7 +352,7 @@ pub fn crawl_domain(client: &Client, domain: &str) -> DomainCrawl {
     // Fetch the seed pages; collect header links from each.
     let mut header_targets: Vec<(Url, LinkSource)> = Vec::new();
     for (url, via) in seed_targets {
-        if pages.len() >= MAX_PAGES {
+        if state.pages.len() >= MAX_PAGES || state.over_deadline(&session, options) {
             break;
         }
         // Footer-link targets are skipped if already visited; the two path
@@ -298,11 +369,11 @@ pub fn crawl_domain(client: &Client, domain: &str) -> DomainCrawl {
             continue;
         }
         if !allowed(&url) {
-            robots_skipped += 1;
+            state.robots_skipped += 1;
             continue;
         }
-        fetch_attempts += 1;
-        let fetched = match client.fetch(&url) {
+        state.before_fetch(&mut session);
+        let fetched = match session.fetch(&url) {
             Ok(res) => res,
             Err(_) => continue,
         };
@@ -328,7 +399,7 @@ pub fn crawl_domain(client: &Client, domain: &str) -> DomainCrawl {
                 }
             }
         }
-        pages.push(CrawledPage {
+        state.pages.push(CrawledPage {
             url,
             final_url: fetched.final_url,
             status: fetched.response.status,
@@ -340,24 +411,24 @@ pub fn crawl_domain(client: &Client, domain: &str) -> DomainCrawl {
 
     // 4. Header "privacy" links from the seed pages.
     for (url, via) in header_targets {
-        if pages.len() >= MAX_PAGES {
+        if state.pages.len() >= MAX_PAGES || state.over_deadline(&session, options) {
             break;
         }
         if visited.contains(&url) {
             continue;
         }
         if !allowed(&url) {
-            robots_skipped += 1;
+            state.robots_skipped += 1;
             continue;
         }
-        fetch_attempts += 1;
-        let fetched = match client.fetch(&url) {
+        state.before_fetch(&mut session);
+        let fetched = match session.fetch(&url) {
             Ok(res) => res,
             Err(_) => continue,
         };
         visited.insert(url.clone());
         visited.insert(fetched.final_url.clone());
-        pages.push(CrawledPage {
+        state.pages.push(CrawledPage {
             url,
             final_url: fetched.final_url,
             status: fetched.response.status,
@@ -367,29 +438,22 @@ pub fn crawl_domain(client: &Client, domain: &str) -> DomainCrawl {
         });
     }
 
-    let outcome = if pages.iter().any(|p| p.is_potential_privacy_page()) {
+    let outcome = if state.pages.iter().any(|p| p.is_potential_privacy_page()) {
         CrawlOutcome::Success
     } else {
         CrawlOutcome::NoPrivacyPage
     };
-    finish(
-        domain,
-        outcome,
-        pages,
-        fetch_attempts,
-        robots_skipped,
-        false,
-        delay_per_fetch,
-    )
+    let retries = session.total_retries();
+    state.finish(domain, outcome, false, retries)
 }
 
 /// Fetch and parse robots.txt; any failure (absent file, transport error,
 /// non-HTML content type aside) yields the allow-everything policy.
-fn fetch_robots(client: &Client, home_url: &Url) -> RobotsPolicy {
+fn fetch_robots(session: &mut FetchSession, home_url: &Url) -> RobotsPolicy {
     let Ok(robots_url) = home_url.join("/robots.txt") else {
         return RobotsPolicy::default();
     };
-    match client.fetch(&robots_url) {
+    match session.fetch(&robots_url) {
         Ok(res) if res.response.status.is_success() => {
             RobotsPolicy::parse(&res.response.body_text())
         }
@@ -722,6 +786,84 @@ mod tests {
         assert!(crawl.is_success());
         assert!(!crawl.robots_blocked);
         assert_eq!(crawl.robots_skipped, 0);
+    }
+
+    #[test]
+    fn retries_recover_domains_the_no_retry_baseline_loses() {
+        // The homepage resets for a burst of 2 attempts: the default policy
+        // (3 attempts) recovers, the no-retry baseline reports a transport
+        // failure. This is the success-rate improvement in miniature.
+        let net = Internet::new();
+        net.register(
+            "flaky.com",
+            StaticSite::new()
+                .page("/", home_with_footer("<a href=\"/privacy\">Privacy</a>"))
+                .page("/privacy", Response::html("<p>policy</p>")),
+        );
+        let cfg = FaultConfig {
+            conn_reset: 1.0,
+            burst_max: 2,
+            ..FaultConfig::none()
+        };
+        let retrying = Client::new(net.clone(), FaultInjector::new(0, cfg));
+        let crawl = crawl_domain_with(&retrying, "flaky.com", &CrawlOptions::default());
+        assert!(crawl.is_success(), "{:?}", crawl.outcome);
+        assert!(crawl.retries >= 1, "retries={}", crawl.retries);
+
+        let baseline = Client::new(net, FaultInjector::new(0, cfg));
+        let crawl = crawl_domain_with(&baseline, "flaky.com", &CrawlOptions::no_retry());
+        assert!(
+            matches!(crawl.outcome, CrawlOutcome::TransportFailure(_)),
+            "{:?}",
+            crawl.outcome
+        );
+        assert_eq!(crawl.retries, 0);
+    }
+
+    #[test]
+    fn deadline_salvages_partial_page_set() {
+        // Every fetch costs 1000 ms; a 1500 ms deadline lets the homepage
+        // and the first footer target through robots+homepage latency, then
+        // stops. The salvaged set still counts as a crawl result.
+        let net = Internet::new();
+        let mut site = StaticSite::new().page(
+            "/",
+            home_with_footer(
+                "<a href=\"/privacy0\">Privacy 0</a>\
+                 <a href=\"/privacy1\">Privacy 1</a>\
+                 <a href=\"/privacy2\">Privacy 2</a>",
+            ),
+        );
+        for i in 0..3 {
+            site = site.page(&format!("/privacy{i}"), Response::html("<p>p</p>"));
+        }
+        net.register("slow.com", site);
+        let cfg = FaultConfig {
+            base_latency_ms: 1000,
+            ..FaultConfig::none()
+        };
+        let client = Client::new(net.clone(), FaultInjector::new(0, cfg));
+        let options = CrawlOptions {
+            deadline_ms: Some(1_500),
+            ..CrawlOptions::default()
+        };
+        let crawl = crawl_domain_with(&client, "slow.com", &options);
+        assert!(crawl.deadline_hit, "deadline should have fired");
+        assert!(
+            crawl.pages.len() < 6,
+            "crawl should stop early, got {} pages",
+            crawl.pages.len()
+        );
+        assert!(
+            !crawl.pages.is_empty(),
+            "partial pages must be salvaged, not discarded"
+        );
+
+        // Without a deadline the same site yields the full page set.
+        let unbounded = Client::new(net, FaultInjector::new(0, cfg));
+        let full = crawl_domain_with(&unbounded, "slow.com", &CrawlOptions::default());
+        assert!(!full.deadline_hit);
+        assert!(full.pages.len() > crawl.pages.len());
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub mod pool;
 pub mod report;
 pub mod robots;
 
-pub use crawl::{crawl_domain, CrawlOutcome, CrawledPage, DomainCrawl, LinkSource, MAX_PAGES};
-pub use pool::{crawl_all, PoolConfig};
+pub use crawl::{
+    crawl_domain, crawl_domain_with, CrawlOptions, CrawlOutcome, CrawledPage, DomainCrawl,
+    LinkSource, MAX_PAGES,
+};
+pub use pool::{crawl_all, crawl_all_with, PoolConfig};
 pub use report::{CrawlFunnel, CrawlReport};
 pub use robots::RobotsPolicy;

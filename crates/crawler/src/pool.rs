@@ -7,7 +7,7 @@
 //! results flow back over a second channel and are re-sorted by domain so
 //! output order is deterministic regardless of scheduling.
 
-use crate::crawl::{crawl_domain, DomainCrawl};
+use crate::crawl::{crawl_domain_with, CrawlOptions, DomainCrawl};
 use aipan_net::Client;
 use crossbeam::channel;
 
@@ -27,30 +27,46 @@ impl Default for PoolConfig {
     }
 }
 
+/// Crawl every domain in `domains` with default [`CrawlOptions`] and return
+/// the results sorted by domain.
+pub fn crawl_all(client: &Client, domains: &[String], config: PoolConfig) -> Vec<DomainCrawl> {
+    crawl_all_with(client, domains, config, &CrawlOptions::default())
+}
+
 /// Crawl every domain in `domains` and return the results sorted by domain.
 ///
-/// The pool shuts down gracefully: the job channel is closed after the last
-/// job, workers drain it and exit, and the scope joins them all before
-/// returning.
-pub fn crawl_all(client: &Client, domains: &[String], config: PoolConfig) -> Vec<DomainCrawl> {
+/// Each domain crawl owns its own fetch session seeded from `options`, so
+/// results are byte-identical for any worker count. The pool shuts down
+/// gracefully: the job channel is closed after the last job, workers drain
+/// it and exit, and the scope joins them all before returning. If a worker
+/// panics, the panic is propagated to the caller instead of returning a
+/// silently truncated result set.
+pub fn crawl_all_with(
+    client: &Client,
+    domains: &[String],
+    config: PoolConfig,
+    options: &CrawlOptions,
+) -> Vec<DomainCrawl> {
     let workers = config.workers.max(1);
     let (job_tx, job_rx) = channel::bounded::<String>(workers * 2);
     let (res_tx, res_rx) = channel::unbounded::<DomainCrawl>();
 
     let mut results: Vec<DomainCrawl> = Vec::with_capacity(domains.len());
-    let _ = crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
+        let mut worker_handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
             let client = client.clone();
-            scope.spawn(move |_| {
+            let options = *options;
+            worker_handles.push(scope.spawn(move |_| {
                 for domain in job_rx.iter() {
-                    let crawl = crawl_domain(&client, &domain);
+                    let crawl = crawl_domain_with(&client, &domain, &options);
                     if res_tx.send(crawl).is_err() {
                         break;
                     }
                 }
-            });
+            }));
         }
         drop(job_rx);
         drop(res_tx);
@@ -75,7 +91,20 @@ pub fn crawl_all(client: &Client, domains: &[String], config: PoolConfig) -> Vec
         // The feeder thread body cannot panic; a failed join only means the
         // thread was torn down, and the result channel has already drained.
         let _ = feeder.join();
+        // All workers have exited (the result channel drained), so joins
+        // cannot block. A panicking worker means `results` is truncated and
+        // silently wrong — re-raise its original panic payload loudly.
+        for handle in worker_handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
     });
+    if let Err(payload) = scope_result {
+        // Defense in depth for crossbeam implementations that report child
+        // panics through the scope result instead.
+        std::panic::resume_unwind(payload);
+    }
 
     results.sort_by(|a, b| a.domain.cmp(&b.domain));
     results
@@ -141,6 +170,44 @@ mod tests {
         let client = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
         let results = crawl_all(&client, &[], PoolConfig::default());
         assert!(results.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "host exploded")]
+    fn worker_panic_propagates_instead_of_truncating_results() {
+        let (net, mut domains) = make_net(6);
+        net.register("boom.com", |_req: &aipan_net::Request| -> Response {
+            panic!("host exploded")
+        });
+        domains.push("boom.com".to_string());
+        let client = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
+        // Without propagation this returns 6 quietly-wrong results.
+        crawl_all(&client, &domains, PoolConfig { workers: 3 });
+    }
+
+    #[test]
+    fn transient_faults_do_not_disturb_worker_determinism() {
+        let (net, domains) = make_net(20);
+        let cfg = FaultConfig {
+            flaky_5xx: 0.3,
+            conn_reset: 0.2,
+            rate_limit: 0.1,
+            burst_max: 2,
+            ..FaultConfig::none()
+        };
+        let client1 = Client::new(net.clone(), FaultInjector::new(5, cfg));
+        let client6 = Client::new(net, FaultInjector::new(5, cfg));
+        let options = CrawlOptions::default();
+        let a = crawl_all_with(&client1, &domains, PoolConfig { workers: 1 }, &options);
+        let b = crawl_all_with(&client6, &domains, PoolConfig { workers: 6 }, &options);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.retries, y.retries);
+            assert_eq!(x.fetch_attempts, y.fetch_attempts);
+        }
+        assert_eq!(client1.metrics(), client6.metrics());
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub struct CrawlFunnel {
     pub robots_blocked_domains: usize,
     /// Total simulated politeness delay honored (ms).
     pub politeness_delay_ms: u64,
+    /// Transport retries spent across all domain crawls.
+    pub retries: u64,
+    /// Domains that hit their crawl deadline and salvaged a partial page
+    /// set.
+    pub salvaged_domains: usize,
 }
 
 impl CrawlFunnel {
@@ -98,6 +103,8 @@ impl CrawlReport {
             funnel.robots_skipped += crawl.robots_skipped;
             funnel.robots_blocked_domains += usize::from(crawl.robots_blocked);
             funnel.politeness_delay_ms += crawl.politeness_delay_ms;
+            funnel.retries += crawl.retries;
+            funnel.salvaged_domains += usize::from(crawl.deadline_hit);
         }
         CrawlReport { crawls, funnel }
     }
@@ -153,6 +160,8 @@ mod tests {
             robots_skipped: 0,
             robots_blocked: false,
             politeness_delay_ms: 1000,
+            retries: 2,
+            deadline_hit: false,
         };
         let fail = DomainCrawl {
             domain: "b.com".into(),
@@ -162,6 +171,8 @@ mod tests {
             robots_skipped: 0,
             robots_blocked: false,
             politeness_delay_ms: 0,
+            retries: 3,
+            deadline_hit: true,
         };
         let report = CrawlReport::new(vec![ok, fail]);
         let f = &report.funnel;
@@ -171,6 +182,8 @@ mod tests {
         assert_eq!(f.policy_path_hits, 1);
         assert_eq!(f.privacy_path_hits, 0);
         assert_eq!(f.total_privacy_pages, 1);
+        assert_eq!(f.retries, 5);
+        assert_eq!(f.salvaged_domains, 1);
         assert!((f.success_rate() - 0.5).abs() < 1e-9);
         assert_eq!(report.failed_domains().count(), 1);
     }

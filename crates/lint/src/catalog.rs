@@ -70,6 +70,17 @@ pub const RULES: &[RuleDoc] = &[
         example: "// TODO: handle the German pages   (H1: needs TODO(#123))",
     },
     RuleDoc {
+        id: "B1",
+        severity: Severity::Warn,
+        summary: "fetch/complete call inside a loop/while with no visible retry bound",
+        rationale: "An unbounded retry loop around a transport or chatbot call turns one \
+                    slow host into a hung pipeline. Every such loop must show its cap — an \
+                    attempt counter, a tries/budget variable, or a bounded `for` — or \
+                    delegate to the RetryPolicy/FetchSession layer, which owns backoff, \
+                    budgets, and the circuit breaker.",
+        example: "loop {\n    if let Ok(p) = client.fetch_page(url) { return p; }\n} // B1: no attempt cap",
+    },
+    RuleDoc {
         id: "L1",
         severity: Severity::Deny,
         summary: "cross-crate reference the lint.toml layering contract does not grant",
@@ -207,8 +218,8 @@ mod tests {
         // The ids the passes actually emit, kept in sync by hand; a new
         // rule without a catalog entry fails here.
         let emitted = [
-            "D1", "D2", "R1", "O1", "H1", "L1", "E1", "K1", "P1", "X1", "D3", "T1", "T2", "T3",
-            "A0",
+            "D1", "D2", "R1", "O1", "H1", "B1", "L1", "E1", "K1", "P1", "X1", "D3", "T1", "T2",
+            "T3", "A0",
         ];
         for id in emitted {
             assert!(find(id).is_some(), "rule {id} missing from catalog");

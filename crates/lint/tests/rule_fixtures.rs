@@ -130,6 +130,42 @@ fn h1_untracked_todo_positive_and_allowlisted() {
 }
 
 #[test]
+fn b1_unbounded_retry_loop_positive_and_allowlisted() {
+    let path = "crates/net/src/poller.rs";
+    let src = "pub fn poll(c: &Client, url: &Url) -> Page {\n\
+               \x20   loop {\n\
+               \x20       if let Ok(p) = c.fetch_page(url) {\n\
+               \x20           return p;\n\
+               \x20       }\n\
+               \x20   }\n\
+               }\n";
+    let findings = lint_source(path, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.file.as_str(), f.line), ("B1", path, 3));
+    assert_eq!(f.severity, aipan_lint::Severity::Warn);
+    assert!(f.message.contains("fetch_page"), "{}", f.message);
+    assert!(f.message.contains("RetryPolicy"), "{}", f.message);
+
+    let (kept, suppressed) = lint_with_allow(path, src, &allow_entry("B1", path));
+    assert!(kept.is_empty(), "{kept:?}");
+    assert_eq!(suppressed.len(), 1);
+
+    // The same loop bounded by a retry budget is clean without any allow.
+    let bounded = "pub fn poll(c: &Client, url: &Url) -> Option<Page> {\n\
+                   \x20   let mut retries_left = 3;\n\
+                   \x20   while retries_left > 0 {\n\
+                   \x20       retries_left -= 1;\n\
+                   \x20       if let Ok(p) = c.fetch_page(url) {\n\
+                   \x20           return Some(p);\n\
+                   \x20       }\n\
+                   \x20   }\n\
+                   \x20   None\n\
+                   }\n";
+    assert!(lint_source(path, bounded).is_empty());
+}
+
+#[test]
 fn injected_thread_rng_into_core_is_named_precisely() {
     // The acceptance scenario: drop a thread_rng() call into crates/core and
     // the lint names the file, line, and rule.

@@ -6,8 +6,17 @@
 //! drawing from a stream, so a given domain experiences the same fate in
 //! every run regardless of request ordering or thread interleaving.
 //!
-//! The fault classes mirror the crawl-failure audit of §4 of the paper:
-//! crawler exceptions/timeouts, blocked crawls, and slow hosts.
+//! Two fault layers coexist:
+//!
+//! * **Permanent fates** ([`FaultKind`]) — a domain is unreachable, hung, or
+//!   bot-walled on every request, mirroring the crawl-failure audit of §4 of
+//!   the paper.
+//! * **Transient episodes** ([`TransientFault`]) — a `(domain, path)` pair
+//!   fails for a bounded burst of attempts (flaky 5xx, connection resets,
+//!   `429 Too Many Requests`) and then recovers. The burst length is
+//!   hash-derived and capped at [`FaultConfig::burst_max`], so a retry
+//!   policy with at least `burst_max` retries always recovers and the §4
+//!   fate histogram is unchanged under the default config.
 
 use serde::{Deserialize, Serialize};
 use std::hash::{Hash, Hasher};
@@ -26,6 +35,25 @@ pub struct FaultConfig {
     pub base_latency_ms: u64,
     /// Additional per-domain latency jitter bound in milliseconds.
     pub jitter_ms: u64,
+    /// Probability a `(domain, path)` serves a burst of 503s before
+    /// recovering.
+    pub flaky_5xx: f64,
+    /// Probability a `(domain, path)` resets the connection for a burst of
+    /// attempts.
+    pub conn_reset: f64,
+    /// Probability a `(domain, path)` answers `429 Too Many Requests` for a
+    /// burst of attempts.
+    pub rate_limit: f64,
+    /// Maximum transient burst length in attempts (each episode's actual
+    /// length is hash-derived in `1..=burst_max`). `0` behaves as `1`.
+    pub burst_max: u32,
+    /// Probability the first attempt at a `(domain, path)` suffers a
+    /// latency spike.
+    pub latency_spike: f64,
+    /// Extra latency added by a spike, in milliseconds.
+    pub latency_spike_ms: u64,
+    /// `Retry-After` value attached to simulated 429s, in milliseconds.
+    pub retry_after_ms: u64,
 }
 
 impl Default for FaultConfig {
@@ -33,12 +61,22 @@ impl Default for FaultConfig {
         // Calibrated to the §4 failure audit: of 2892 domains, ~11/50-sample
         // of 244+103 failures were crawler-related (exceptions/timeouts/
         // blocks) → roughly 2% of domains experience a hard crawl fault.
+        // Transient rates are chosen so retries recover every episode
+        // (burst_max <= default retry budget), leaving the fate histogram
+        // untouched while still exercising the resilience layer.
         FaultConfig {
             connect_failure: 0.008,
             timeout: 0.006,
             block_crawlers: 0.006,
             base_latency_ms: 120,
             jitter_ms: 400,
+            flaky_5xx: 0.02,
+            conn_reset: 0.012,
+            rate_limit: 0.01,
+            burst_max: 2,
+            latency_spike: 0.02,
+            latency_spike_ms: 1500,
+            retry_after_ms: 800,
         }
     }
 }
@@ -52,6 +90,28 @@ impl FaultConfig {
             block_crawlers: 0.0,
             base_latency_ms: 0,
             jitter_ms: 0,
+            flaky_5xx: 0.0,
+            conn_reset: 0.0,
+            rate_limit: 0.0,
+            burst_max: 0,
+            latency_spike: 0.0,
+            latency_spike_ms: 0,
+            retry_after_ms: 0,
+        }
+    }
+
+    /// Elevated transient rates for chaos benches: no extra permanent
+    /// faults, but heavy flapping that the retry layer must absorb.
+    pub fn chaotic() -> FaultConfig {
+        FaultConfig {
+            flaky_5xx: 0.12,
+            conn_reset: 0.08,
+            rate_limit: 0.06,
+            burst_max: 2,
+            latency_spike: 0.10,
+            latency_spike_ms: 2500,
+            retry_after_ms: 500,
+            ..FaultConfig::default()
         }
     }
 }
@@ -67,6 +127,19 @@ pub enum FaultKind {
     Timeout,
     /// Server answers every request with a 403 bot wall.
     Blocked,
+}
+
+/// A transient fault affecting one attempt at a `(domain, path)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransientFault {
+    /// The attempt proceeds normally.
+    None,
+    /// The server answers 503 for this attempt.
+    ServerError,
+    /// The connection is reset mid-request.
+    ConnReset,
+    /// The server answers 429 with a `Retry-After`.
+    RateLimited,
 }
 
 /// Deterministic per-domain fault oracle.
@@ -102,17 +175,63 @@ impl FaultInjector {
         }
     }
 
+    /// The transient fault (if any) affecting attempt `attempt` (0-based)
+    /// at `domain`/`path`. An affected pair fails for a hash-derived burst
+    /// of `1..=burst_max` attempts, then recovers permanently — so the
+    /// outcome is a pure function of `(seed, domain, path, attempt)`.
+    pub fn transient(&self, domain: &str, path: &str, attempt: u32) -> TransientFault {
+        let c = &self.config;
+        let total = c.flaky_5xx + c.conn_reset + c.rate_limit;
+        if total <= 0.0 {
+            return TransientFault::None;
+        }
+        let key = format!("{domain} {path}");
+        let u = unit_hash(self.seed, &key, "transient");
+        let kind = if u < c.flaky_5xx {
+            TransientFault::ServerError
+        } else if u < c.flaky_5xx + c.conn_reset {
+            TransientFault::ConnReset
+        } else if u < total {
+            TransientFault::RateLimited
+        } else {
+            return TransientFault::None;
+        };
+        let burst_max = c.burst_max.max(1);
+        let bu = unit_hash(self.seed, &key, "burst");
+        let burst = 1 + (bu * burst_max as f64) as u32;
+        let burst = burst.min(burst_max);
+        if attempt < burst {
+            kind
+        } else {
+            TransientFault::None
+        }
+    }
+
     /// Simulated latency for one request to `domain`/`path`, in
     /// milliseconds. Deterministic per (domain, path).
     pub fn latency_ms(&self, domain: &str, path: &str) -> u64 {
+        self.latency_ms_at(domain, path, 0)
+    }
+
+    /// Attempt-aware latency: the first attempt at a spiking
+    /// `(domain, path)` pays [`FaultConfig::latency_spike_ms`] extra;
+    /// retries see normal latency.
+    pub fn latency_ms_at(&self, domain: &str, path: &str, attempt: u32) -> u64 {
         let key = format!("{domain}{path}");
         let u = unit_hash(self.seed, &key, "latency");
-        self.config.base_latency_ms + (u * self.config.jitter_ms as f64) as u64
+        let mut latency = self.config.base_latency_ms + (u * self.config.jitter_ms as f64) as u64;
+        if attempt == 0
+            && self.config.latency_spike > 0.0
+            && unit_hash(self.seed, &key, "spike") < self.config.latency_spike
+        {
+            latency += self.config.latency_spike_ms;
+        }
+        latency
     }
 }
 
 /// Hash `(seed, key, salt)` to a uniform float in [0, 1).
-fn unit_hash(seed: u64, key: &str, salt: &str) -> f64 {
+pub(crate) fn unit_hash(seed: u64, key: &str, salt: &str) -> f64 {
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     seed.hash(&mut hasher);
     key.hash(&mut hasher);
@@ -137,7 +256,9 @@ mod tests {
     fn no_faults_config_is_all_none() {
         let inj = FaultInjector::new(1, FaultConfig::none());
         for i in 0..500 {
-            assert_eq!(inj.fate(&format!("d{i}.com")), FaultKind::None);
+            let d = format!("d{i}.com");
+            assert_eq!(inj.fate(&d), FaultKind::None);
+            assert_eq!(inj.transient(&d, "/", 0), TransientFault::None);
         }
         assert_eq!(inj.latency_ms("d.com", "/"), 0);
     }
@@ -148,8 +269,7 @@ mod tests {
             connect_failure: 0.10,
             timeout: 0.10,
             block_crawlers: 0.10,
-            base_latency_ms: 0,
-            jitter_ms: 0,
+            ..FaultConfig::none()
         };
         let inj = FaultInjector::new(42, cfg);
         let n = 20_000;
@@ -209,6 +329,100 @@ mod tests {
             let l = inj.latency_ms("a.com", &format!("/p{i}"));
             assert!((100..150).contains(&l), "latency {l} out of bounds");
             assert_eq!(l, inj.latency_ms("a.com", &format!("/p{i}")));
+        }
+    }
+
+    #[test]
+    fn transient_episodes_are_bounded_bursts() {
+        let cfg = FaultConfig {
+            flaky_5xx: 0.3,
+            conn_reset: 0.2,
+            rate_limit: 0.1,
+            burst_max: 3,
+            ..FaultConfig::none()
+        };
+        let inj = FaultInjector::new(9, cfg);
+        let mut episodes = 0usize;
+        for i in 0..2_000 {
+            let d = format!("t{i}.com");
+            let first = inj.transient(&d, "/", 0);
+            if first == TransientFault::None {
+                // Never faulted on attempt 0 → never faulted at all.
+                for a in 1..6 {
+                    assert_eq!(inj.transient(&d, "/", a), TransientFault::None);
+                }
+                continue;
+            }
+            episodes += 1;
+            // The episode is a prefix of attempts: same kind up to the burst
+            // length, then permanently clear, within burst_max.
+            let mut cleared_at = None;
+            for a in 1..8 {
+                let t = inj.transient(&d, "/", a);
+                match (cleared_at, t) {
+                    (None, TransientFault::None) => cleared_at = Some(a),
+                    (None, k) => assert_eq!(k, first, "burst changes kind on {d}"),
+                    (Some(_), TransientFault::None) => {}
+                    (Some(_), k) => panic!("episode on {d} re-fired as {k:?} after clearing"),
+                }
+            }
+            let cleared = cleared_at.expect("episode never cleared");
+            assert!(
+                cleared <= cfg.burst_max,
+                "burst {cleared} exceeds burst_max"
+            );
+        }
+        let rate = episodes as f64 / 2_000.0;
+        assert!(
+            (rate - 0.6).abs() < 0.05,
+            "episode rate {rate} off from 0.6"
+        );
+    }
+
+    #[test]
+    fn transient_decision_is_deterministic() {
+        let inj = FaultInjector::new(11, FaultConfig::chaotic());
+        for i in 0..200 {
+            let d = format!("h{i}.com");
+            for a in 0..4 {
+                assert_eq!(
+                    inj.transient(&d, "/privacy", a),
+                    inj.transient(&d, "/privacy", a)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latency_spike_hits_first_attempt_only() {
+        let cfg = FaultConfig {
+            base_latency_ms: 10,
+            jitter_ms: 0,
+            latency_spike: 1.0,
+            latency_spike_ms: 500,
+            ..FaultConfig::none()
+        };
+        let inj = FaultInjector::new(5, cfg);
+        assert_eq!(inj.latency_ms_at("a.com", "/", 0), 510);
+        assert_eq!(inj.latency_ms_at("a.com", "/", 1), 10);
+        assert_eq!(inj.latency_ms_at("a.com", "/", 2), 10);
+    }
+
+    #[test]
+    fn default_config_bursts_fit_default_retries() {
+        // The calibration contract: under the default config every transient
+        // episode clears within `burst_max` attempts, so a retry budget of
+        // `burst_max` recovers every domain and the §4 fate histogram is
+        // unchanged vs. a transient-free world.
+        let cfg = FaultConfig::default();
+        let inj = FaultInjector::new(21, cfg);
+        for i in 0..5_000 {
+            let d = format!("c{i}.com");
+            assert_eq!(
+                inj.transient(&d, "/privacy", cfg.burst_max),
+                TransientFault::None,
+                "episode on {d} survived burst_max attempts"
+            );
         }
     }
 }

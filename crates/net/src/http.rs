@@ -35,6 +35,11 @@ impl Status {
     pub fn is_redirect(self) -> bool {
         (300..400).contains(&self.0)
     }
+
+    /// Whether this is a server error (5xx) — the transient-retryable band.
+    pub fn is_server_error(self) -> bool {
+        (500..600).contains(&self.0)
+    }
 }
 
 impl std::fmt::Display for Status {
@@ -152,6 +157,18 @@ impl Response {
             content_type: ContentType::Html,
             body: Bytes::from_static(
                 b"<html><body><h1>Access denied</h1><p>Automated traffic detected.</p></body></html>",
+            ),
+            location: None,
+        }
+    }
+
+    /// A 503 response for a transient server-error burst.
+    pub fn unavailable() -> Response {
+        Response {
+            status: Status::SERVICE_UNAVAILABLE,
+            content_type: ContentType::Html,
+            body: Bytes::from_static(
+                b"<html><body><h1>503 Service Unavailable</h1><p>Try again shortly.</p></body></html>",
             ),
             location: None,
         }

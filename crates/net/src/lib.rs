@@ -11,12 +11,16 @@
 //! * [`http`] — request/response/status types with `bytes` payloads.
 //! * [`host`] — the [`host::VirtualHost`] trait and [`host::Internet`]
 //!   registry: a deterministic "world wide web" served from memory.
-//! * [`fault`] — configurable fault injection (connection failures,
-//!   timeouts, bot blocking, extra latency), decided by a seeded hash so
-//!   every run and request order sees identical faults.
+//! * [`fault`] — configurable fault injection (permanent connection
+//!   failures, timeouts, bot blocking, plus bounded transient episodes:
+//!   flaky 5xx bursts, resets, 429s, latency spikes), decided by a seeded
+//!   hash so every run and request order sees identical faults.
 //! * [`transport`] — the client: DNS-style host lookup, fault application,
 //!   redirect following, simulated latency accounting, and shared
 //!   [`transport::TransportMetrics`].
+//! * [`retry`] — the guarded fetch path: deterministic capped-exponential
+//!   backoff with hashed jitter, per-domain retry budgets, and per-host
+//!   circuit breakers on a simulated clock.
 //!
 //! No real sockets are involved; everything is in-process and deterministic,
 //! which is what lets the whole paper pipeline run reproducibly in tests and
@@ -27,11 +31,13 @@
 pub mod fault;
 pub mod host;
 pub mod http;
+pub mod retry;
 pub mod transport;
 pub mod url;
 
-pub use fault::{FaultConfig, FaultInjector, FaultKind};
+pub use fault::{FaultConfig, FaultInjector, FaultKind, TransientFault};
 pub use host::{Internet, VirtualHost};
 pub use http::{ContentType, Request, Response, Status};
+pub use retry::{BreakerState, FetchSession, RetryPolicy};
 pub use transport::{Client, FetchError, FetchResult, TransportMetrics};
 pub use url::Url;

@@ -1,7 +1,7 @@
 //! The simulated HTTP client: host resolution, fault application, redirect
 //! following, and transport metrics.
 
-use crate::fault::{FaultInjector, FaultKind};
+use crate::fault::{FaultInjector, FaultKind, TransientFault};
 use crate::host::Internet;
 use crate::http::{Request, Response};
 use crate::url::Url;
@@ -16,12 +16,23 @@ pub enum FetchError {
     DnsFailure(String),
     /// TCP-level connection failure.
     ConnectFailure(String),
+    /// The connection was reset mid-request (transient).
+    ConnReset(String),
     /// The request exceeded the client timeout.
     Timeout(String),
+    /// The server answered `429 Too Many Requests` with a `Retry-After`.
+    RateLimited {
+        /// Domain that rate-limited us.
+        domain: String,
+        /// Milliseconds the server asked us to wait before retrying.
+        retry_after_ms: u64,
+    },
     /// More than [`Client::MAX_REDIRECTS`] redirects.
     TooManyRedirects(String),
     /// A redirect pointed at an unparsable or unsupported location.
     BadRedirect(String),
+    /// The per-host circuit breaker is open; no request was issued.
+    CircuitOpen(String),
 }
 
 impl FetchError {
@@ -30,10 +41,25 @@ impl FetchError {
         match self {
             FetchError::DnsFailure(d)
             | FetchError::ConnectFailure(d)
+            | FetchError::ConnReset(d)
             | FetchError::Timeout(d)
+            | FetchError::RateLimited { domain: d, .. }
             | FetchError::TooManyRedirects(d)
-            | FetchError::BadRedirect(d) => d,
+            | FetchError::BadRedirect(d)
+            | FetchError::CircuitOpen(d) => d,
         }
+    }
+
+    /// Whether a retry of the same request can plausibly succeed.
+    ///
+    /// Resets, timeouts, and rate limits are transient-shaped; DNS and
+    /// connect failures are permanent fates in the simulated web, redirect
+    /// errors are structural, and an open breaker must not be hammered.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            FetchError::ConnReset(_) | FetchError::Timeout(_) | FetchError::RateLimited { .. }
+        )
     }
 }
 
@@ -42,9 +68,18 @@ impl std::fmt::Display for FetchError {
         match self {
             FetchError::DnsFailure(d) => write!(f, "dns failure for {d}"),
             FetchError::ConnectFailure(d) => write!(f, "connection failure to {d}"),
+            FetchError::ConnReset(d) => write!(f, "connection reset by {d}"),
             FetchError::Timeout(d) => write!(f, "timeout fetching from {d}"),
+            FetchError::RateLimited {
+                domain,
+                retry_after_ms,
+            } => write!(
+                f,
+                "rate limited by {domain} (retry after {retry_after_ms}ms)"
+            ),
             FetchError::TooManyRedirects(d) => write!(f, "too many redirects on {d}"),
             FetchError::BadRedirect(d) => write!(f, "bad redirect target on {d}"),
+            FetchError::CircuitOpen(d) => write!(f, "circuit breaker open for {d}"),
         }
     }
 }
@@ -79,10 +114,38 @@ pub struct TransportMetrics {
     pub connect_failures: u64,
     /// Timeouts.
     pub timeouts: u64,
+    /// Transient connection resets.
+    pub resets: u64,
+    /// 429 rate-limit rejections.
+    pub rate_limited: u64,
+    /// 5xx responses delivered (a subset of `responses`).
+    pub server_errors: u64,
     /// Redirects followed.
     pub redirects: u64,
+    /// Retries issued by the guarded fetch path.
+    pub retries: u64,
+    /// Times a per-host circuit breaker tripped open.
+    pub breaker_opens: u64,
+    /// Retries denied because a domain's retry budget was spent.
+    pub budget_exhausted: u64,
     /// Total simulated latency in milliseconds.
     pub latency_ms: u64,
+}
+
+impl TransportMetrics {
+    /// Counter-conservation check: every request issued ends in exactly one
+    /// response or one classified transport failure. (`server_errors` is a
+    /// subset of `responses`; `retries`/`breaker_opens`/`budget_exhausted`
+    /// are policy-level counters, not request outcomes.)
+    pub fn is_conserved(&self) -> bool {
+        self.requests
+            == self.responses
+                + self.dns_failures
+                + self.connect_failures
+                + self.timeouts
+                + self.resets
+                + self.rate_limited
+    }
 }
 
 /// The simulated HTTP client.
@@ -109,8 +172,17 @@ impl Client {
         }
     }
 
-    /// Fetch `url`, following redirects.
+    /// Fetch `url`, following redirects. Equivalent to the first attempt of
+    /// [`Client::fetch_attempt`].
     pub fn fetch(&self, url: &Url) -> Result<FetchResult, FetchError> {
+        self.fetch_attempt(url, 0)
+    }
+
+    /// Fetch `url` as attempt number `attempt` (0-based), following
+    /// redirects. Transient faults are a pure function of
+    /// `(seed, domain, path, attempt)`, so retrying with an incremented
+    /// attempt eventually clears any bounded burst.
+    pub fn fetch_attempt(&self, url: &Url, attempt: u32) -> Result<FetchResult, FetchError> {
         let mut current = url.clone();
         let mut redirects = 0u32;
         let mut latency_total = 0u64;
@@ -131,7 +203,7 @@ impl Client {
                     return Err(FetchError::Timeout(domain));
                 }
                 FaultKind::Blocked => {
-                    let latency = self.faults.latency_ms(&domain, &current.path);
+                    let latency = self.faults.latency_ms_at(&domain, &current.path, attempt);
                     latency_total += latency;
                     let response = Response::blocked();
                     let mut m = self.metrics.lock();
@@ -147,6 +219,38 @@ impl Client {
                 }
                 FaultKind::None => {}
             }
+            // Per-(domain, path, attempt) transient episode.
+            match self.faults.transient(&domain, &current.path, attempt) {
+                TransientFault::ConnReset => {
+                    self.metrics.lock().resets += 1;
+                    return Err(FetchError::ConnReset(domain));
+                }
+                TransientFault::RateLimited => {
+                    let retry_after_ms = self.faults.config().retry_after_ms;
+                    self.metrics.lock().rate_limited += 1;
+                    return Err(FetchError::RateLimited {
+                        domain,
+                        retry_after_ms,
+                    });
+                }
+                TransientFault::ServerError => {
+                    let latency = self.faults.latency_ms_at(&domain, &current.path, attempt);
+                    latency_total += latency;
+                    let response = Response::unavailable();
+                    let mut m = self.metrics.lock();
+                    m.responses += 1;
+                    m.server_errors += 1;
+                    m.bytes += response.body.len() as u64;
+                    m.latency_ms += latency;
+                    return Ok(FetchResult {
+                        response,
+                        final_url: current,
+                        redirects,
+                        latency_ms: latency_total,
+                    });
+                }
+                TransientFault::None => {}
+            }
             let host = match self.internet.resolve(&current.host) {
                 Some(h) => h,
                 None => {
@@ -154,7 +258,7 @@ impl Client {
                     return Err(FetchError::DnsFailure(domain));
                 }
             };
-            let latency = self.faults.latency_ms(&domain, &current.path);
+            let latency = self.faults.latency_ms_at(&domain, &current.path, attempt);
             latency_total += latency;
             let response = host.handle(&Request::get(current.clone()));
             {
@@ -189,9 +293,20 @@ impl Client {
         *self.metrics.lock()
     }
 
+    /// The fault injector in effect.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
     /// The underlying simulated web.
     pub fn internet(&self) -> &Internet {
         &self.internet
+    }
+
+    /// Mutate the shared metrics (policy-level counters live outside the
+    /// fetch loop).
+    pub(crate) fn with_metrics(&self, f: impl FnOnce(&mut TransportMetrics)) {
+        f(&mut self.metrics.lock());
     }
 }
 
@@ -346,6 +461,118 @@ mod tests {
         client.fetch(&url("https://a.com/")).unwrap();
         assert_eq!(client.metrics().bytes, 10);
         assert_eq!(client.metrics().responses, 1);
+    }
+
+    #[test]
+    fn fetch_error_domain_and_display_cover_every_variant() {
+        // Exhaustive: constructing each variant here means a new variant
+        // fails to compile this test until it is added with coverage.
+        let all = [
+            FetchError::DnsFailure("a.com".into()),
+            FetchError::ConnectFailure("a.com".into()),
+            FetchError::ConnReset("a.com".into()),
+            FetchError::Timeout("a.com".into()),
+            FetchError::RateLimited {
+                domain: "a.com".into(),
+                retry_after_ms: 750,
+            },
+            FetchError::TooManyRedirects("a.com".into()),
+            FetchError::BadRedirect("a.com".into()),
+            FetchError::CircuitOpen("a.com".into()),
+        ];
+        let mut renderings = std::collections::BTreeSet::new();
+        for err in &all {
+            assert_eq!(err.domain(), "a.com", "{err:?}");
+            let text = err.to_string();
+            assert!(text.contains("a.com"), "display misses domain: {text}");
+            renderings.insert(text);
+        }
+        assert_eq!(renderings.len(), all.len(), "display strings collide");
+        assert!(all[0].to_string().contains("dns"));
+        assert!(all[4].to_string().contains("750ms"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(FetchError::ConnReset("a".into()).is_retryable());
+        assert!(FetchError::Timeout("a".into()).is_retryable());
+        assert!(FetchError::RateLimited {
+            domain: "a".into(),
+            retry_after_ms: 0
+        }
+        .is_retryable());
+        assert!(!FetchError::DnsFailure("a".into()).is_retryable());
+        assert!(!FetchError::ConnectFailure("a".into()).is_retryable());
+        assert!(!FetchError::TooManyRedirects("a".into()).is_retryable());
+        assert!(!FetchError::BadRedirect("a".into()).is_retryable());
+        assert!(!FetchError::CircuitOpen("a".into()).is_retryable());
+    }
+
+    #[test]
+    fn transient_burst_clears_with_attempts() {
+        let net = Internet::new();
+        net.register("a.com", StaticSite::new().page("/", Response::html("up")));
+        let cfg = FaultConfig {
+            conn_reset: 1.0,
+            burst_max: 2,
+            ..FaultConfig::none()
+        };
+        let client = Client::new(net, FaultInjector::new(0, cfg));
+        let burst = (0..4)
+            .take_while(|&a| client.fetch_attempt(&url("https://a.com/"), a).is_err())
+            .count() as u32;
+        assert!(
+            (1..=2).contains(&burst),
+            "burst {burst} outside 1..=burst_max"
+        );
+        let res = client.fetch_attempt(&url("https://a.com/"), burst).unwrap();
+        assert_eq!(res.response.body_text(), "up");
+        let m = client.metrics();
+        assert_eq!(m.resets, burst as u64);
+        assert!(m.is_conserved(), "{m:?}");
+    }
+
+    #[test]
+    fn rate_limit_carries_retry_after() {
+        let net = Internet::new();
+        net.register("a.com", StaticSite::new().page("/", Response::html("x")));
+        let cfg = FaultConfig {
+            rate_limit: 1.0,
+            burst_max: 1,
+            retry_after_ms: 900,
+            ..FaultConfig::none()
+        };
+        let client = Client::new(net, FaultInjector::new(0, cfg));
+        let err = client.fetch(&url("https://a.com/")).unwrap_err();
+        assert_eq!(
+            err,
+            FetchError::RateLimited {
+                domain: "a.com".into(),
+                retry_after_ms: 900
+            }
+        );
+        assert_eq!(client.metrics().rate_limited, 1);
+        assert!(client.fetch_attempt(&url("https://a.com/"), 1).is_ok());
+    }
+
+    #[test]
+    fn flaky_5xx_delivers_503_then_recovers() {
+        let net = Internet::new();
+        net.register("a.com", StaticSite::new().page("/", Response::html("ok")));
+        let cfg = FaultConfig {
+            flaky_5xx: 1.0,
+            burst_max: 1,
+            ..FaultConfig::none()
+        };
+        let client = Client::new(net, FaultInjector::new(0, cfg));
+        let first = client.fetch(&url("https://a.com/")).unwrap();
+        assert_eq!(first.response.status, Status::SERVICE_UNAVAILABLE);
+        let second = client.fetch_attempt(&url("https://a.com/"), 1).unwrap();
+        assert_eq!(second.response.body_text(), "ok");
+        let m = client.metrics();
+        assert_eq!(m.server_errors, 1);
+        assert_eq!(m.responses, 2);
+        assert!(m.is_conserved(), "{m:?}");
     }
 
     #[test]

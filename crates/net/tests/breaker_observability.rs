@@ -1,0 +1,94 @@
+//! Integration test: the circuit breaker's full lifecycle is observable
+//! through the public `aipan_net` API — Closed under transient noise, Open
+//! after a threshold of failures, short-circuiting while Open, HalfOpen
+//! after the cool-down, and Closed again once a probe succeeds — and the
+//! transport counters stay conserved throughout.
+
+use aipan_net::fault::{FaultConfig, FaultInjector, TransientFault};
+use aipan_net::host::StaticSite;
+use aipan_net::{BreakerState, Client, FetchError, Internet, Response, RetryPolicy, Url};
+
+fn url(s: &str) -> Url {
+    Url::parse(s).expect("static test url parses")
+}
+
+#[test]
+fn breaker_lifecycle_is_observable_end_to_end() {
+    // One host, two paths. Transient episodes are drawn per (domain, path),
+    // so pick a seed — deterministically, via the injector's own oracle —
+    // where /flaky resets on its first attempt and /solid does not. With a
+    // single-attempt policy, /flaky then fails every fetch while /solid
+    // always lands.
+    let cfg = FaultConfig {
+        conn_reset: 0.5,
+        burst_max: 2,
+        base_latency_ms: 0,
+        jitter_ms: 0,
+        ..FaultConfig::none()
+    };
+    let seed = (0..100u64)
+        .find(|&s| {
+            let probe = FaultInjector::new(s, cfg);
+            probe.transient("a.com", "/flaky", 0) != TransientFault::None
+                && probe.transient("a.com", "/solid", 0) == TransientFault::None
+        })
+        .expect("some seed separates the two paths");
+
+    let net = Internet::new();
+    net.register(
+        "a.com",
+        StaticSite::new()
+            .page("/flaky", Response::html("eventually"))
+            .page("/solid", Response::html("always")),
+    );
+    let client = Client::new(net, FaultInjector::new(seed, cfg));
+    let policy = RetryPolicy {
+        max_attempts: 1,
+        breaker_threshold: 2,
+        breaker_cooldown_ms: 500,
+        ..RetryPolicy::default()
+    };
+    let mut session = client.session(9, policy);
+
+    // Fresh session: breaker closed for a host it has never seen.
+    assert_eq!(session.breaker_state("a.com"), BreakerState::Closed);
+
+    // Two single-attempt failures against the flaky path trip the threshold.
+    assert!(session.fetch(&url("https://a.com/flaky")).is_err());
+    assert_eq!(session.breaker_state("a.com"), BreakerState::Closed);
+    assert!(session.fetch(&url("https://a.com/flaky")).is_err());
+    assert_eq!(session.breaker_state("a.com"), BreakerState::Open);
+
+    // While open, fetches short-circuit without touching the transport —
+    // even for the healthy path, since the breaker guards the whole host.
+    let requests_when_opened = client.metrics().requests;
+    assert!(matches!(
+        session.fetch(&url("https://a.com/solid")),
+        Err(FetchError::CircuitOpen(_))
+    ));
+    assert_eq!(client.metrics().requests, requests_when_opened);
+
+    // The cool-down elapses on the simulated clock; a failed half-open
+    // probe against the still-flaky path re-opens the breaker immediately.
+    session.advance(500);
+    assert_eq!(session.breaker_state("a.com"), BreakerState::HalfOpen);
+    assert!(session.fetch(&url("https://a.com/flaky")).is_err());
+    assert_eq!(session.breaker_state("a.com"), BreakerState::Open);
+
+    // After another cool-down, a probe against the healthy path lands and
+    // the breaker recloses; normal traffic resumes.
+    session.advance(500);
+    assert_eq!(session.breaker_state("a.com"), BreakerState::HalfOpen);
+    let res = session
+        .fetch(&url("https://a.com/solid"))
+        .expect("half-open probe against the healthy path lands");
+    assert_eq!(res.response.body_text(), "always");
+    assert_eq!(session.breaker_state("a.com"), BreakerState::Closed);
+
+    // Breaker state is per-host: the exercised host never contaminates a
+    // sibling, and the books still balance.
+    assert_eq!(session.breaker_state("b.com"), BreakerState::Closed);
+    let m = client.metrics();
+    assert!(m.breaker_opens >= 2, "{m:?}");
+    assert!(m.is_conserved(), "{m:?}");
+}

@@ -1,7 +1,11 @@
 //! `aipan` — the command-line interface to the AIPAN-RS stack.
 //!
 //! ```text
-//! aipan run      [--seed N] [--size N] [--out FILE]   run the pipeline, write the dataset JSON
+//! aipan run      [--seed N] [--size N] [--out FILE] [--resume JOURNAL]
+//!                                                     run the pipeline, write the dataset JSON;
+//!                                                     with --resume, checkpoint per-domain results
+//!                                                     to a JSONL journal and skip already-journaled
+//!                                                     domains on the next invocation
 //! aipan audit    <domain> [--seed N] [--size N]       crawl + annotate one company
 //! aipan tables   [--seed N] [--size N]                print Tables 1–5 from a fresh run
 //! aipan validate [--seed N] [--size N]                run the §4 validation harness
@@ -13,7 +17,7 @@ use aipan::analysis::validation::{FailureAudit, MissingAspectAudit, PrecisionRep
 use aipan::analysis::{insights::Insights, tables, trends};
 use aipan::chatbot::SimulatedChatbot;
 use aipan::core::pipeline::Pipeline;
-use aipan::core::{run_pipeline, Dataset, PipelineConfig};
+use aipan::core::{run_pipeline, run_pipeline_resumable, Dataset, PipelineConfig, RunJournal};
 use aipan::crawler::crawl_domain;
 use aipan::ml::{
     build_aspect_corpus, build_rights_corpus, eval, train::split_by_domain, Featurizer,
@@ -33,6 +37,7 @@ struct Args {
     size: usize,
     out: Option<String>,
     sector: Option<String>,
+    resume: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +48,7 @@ fn parse_args() -> Args {
         size: 600,
         out: None,
         sector: None,
+        resume: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -61,6 +67,7 @@ fn parse_args() -> Args {
                     .unwrap_or(args.size)
             }
             "--out" => args.out = iter.next(),
+            "--resume" => args.resume = iter.next(),
             other if args.command.is_empty() => args.command = other.to_string(),
             other => args.positional.push(other.to_string()),
         }
@@ -72,7 +79,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: aipan <run|audit|tables|validate|distill|analyze> [args]\n\
          \n\
-         run      [--seed N] [--size N] [--out FILE]   run the pipeline, export dataset JSON\n\
+         run      [--seed N] [--size N] [--out FILE] [--resume JOURNAL]\n\
+         \x20                                              run the pipeline, export dataset JSON;\n\
+         \x20                                              checkpoint/resume via a JSONL journal\n\
          audit    <domain>   [--seed N] [--size N]     crawl + annotate one company\n\
          tables              [--seed N] [--size N]     print Tables 1-5\n\
          validate            [--seed N] [--size N]     run the §4 validation harness\n\
@@ -115,13 +124,26 @@ fn cmd_run(args: &Args) {
         .map(|(fate, n)| format!("{fate:?} {n}"))
         .collect();
     println!("company fates: {}", fates.join(", "));
-    let run = run_pipeline(
-        &world,
-        PipelineConfig {
-            seed: args.seed,
-            ..Default::default()
-        },
-    );
+    let config = PipelineConfig {
+        seed: args.seed,
+        ..Default::default()
+    };
+    let run = match &args.resume {
+        Some(path) => {
+            let mut journal = std::fs::read_to_string(path)
+                .map(|text| RunJournal::from_jsonl(&text))
+                .unwrap_or_else(|_| RunJournal::new());
+            let resumed_from = journal.len();
+            let run = run_pipeline_resumable(&world, config, &mut journal);
+            std::fs::write(path, journal.to_jsonl()).expect("write journal");
+            println!(
+                "journal: resumed {resumed_from} domains, {} entries now in {path}",
+                journal.len()
+            );
+            run
+        }
+        None => run_pipeline(&world, config),
+    };
     println!(
         "crawled {} domains ({} ok), annotated {} policies",
         run.crawl_funnel.domains_total, run.crawl_funnel.crawl_success, run.extraction.annotated
