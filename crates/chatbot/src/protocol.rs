@@ -11,8 +11,10 @@ use serde_json::Value;
 
 /// Render lines as a numbered-line document (1-based).
 pub fn number_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> String {
-    let mut out = String::new();
-    for (i, line) in lines.into_iter().enumerate() {
+    let lines = lines.into_iter();
+    // ~6 bytes of numbering overhead plus a short line per row.
+    let mut out = String::with_capacity(lines.size_hint().0.saturating_mul(48));
+    for (i, line) in lines.enumerate() {
         out.push_str(&format!("[{}] {}\n", i + 1, line));
     }
     out
@@ -22,7 +24,8 @@ pub fn number_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> String {
 /// given numbers (used when feeding a subset of a document, e.g. one
 /// section, so the model reports original line numbers).
 pub fn number_lines_with<'a>(lines: impl IntoIterator<Item = (usize, &'a str)>) -> String {
-    let mut out = String::new();
+    let lines = lines.into_iter();
+    let mut out = String::with_capacity(lines.size_hint().0.saturating_mul(48));
     for (n, line) in lines {
         out.push_str(&format!("[{n}] {line}\n"));
     }

@@ -89,7 +89,8 @@ pub fn annotate_policy_with(
     seg: &SegmentedPolicy,
     options: AnnotateOptions,
 ) -> AnnotationOutcome {
-    let mut annotations = Vec::new();
+    // Rough upper bound: a handful of annotations per document line.
+    let mut annotations = Vec::with_capacity(doc.lines.len());
     let mut fallbacks = Vec::new();
     let mut reprompts = 0usize;
 
@@ -128,7 +129,7 @@ pub fn annotate_policy_with(
     if !rows.is_empty() {
         // Unique mention texts, order-preserving (hash-set guarded; the
         // index also serves the descriptor join below).
-        let mut unique: Vec<String> = Vec::new();
+        let mut unique: Vec<String> = Vec::with_capacity(rows.len());
         let mut unique_index: std::collections::HashMap<String, usize> = Default::default();
         for (_, text) in &rows {
             if !unique_index.contains_key(text.as_str()) {

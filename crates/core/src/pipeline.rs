@@ -288,7 +288,7 @@ pub fn run_pipeline_resumable(
     // only entries for domains in this run — a stale journal from another
     // world cannot leak extra policies in.
     let mut english_privacy_pages = 0usize;
-    let mut policies: Vec<AnnotatedPolicy> = Vec::new();
+    let mut policies: Vec<AnnotatedPolicy> = Vec::with_capacity(report.crawls.len());
     for crawl in &report.crawls {
         if let Some(entry) = journal.get(&crawl.domain) {
             english_privacy_pages += entry.english_privacy_pages;
@@ -304,7 +304,7 @@ pub fn run_pipeline_resumable(
         english_privacy_pages,
         ..Default::default()
     };
-    let mut words: Vec<usize> = Vec::new();
+    let mut words: Vec<usize> = Vec::with_capacity(policies.len());
     for policy in &policies {
         extraction.extraction_success += 1;
         if !policy.annotations.is_empty() {
@@ -372,7 +372,7 @@ mod work_queue {
                 scope.spawn(|_| {
                     // Each worker accumulates its results locally and takes
                     // the lock once at the end instead of once per item.
-                    let mut batch = Vec::<(usize, R)>::new();
+                    let mut batch = Vec::<(usize, R)>::with_capacity(n / workers.max(1) + 1);
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= n {

@@ -329,7 +329,7 @@ pub fn crawl_domain_with(client: &Client, domain: &str, options: &CrawlOptions) 
     }
 
     // 2. Up to three "privacy" links from the bottom of the homepage.
-    let mut seed_targets: Vec<(Url, LinkSource)> = Vec::new();
+    let mut seed_targets: Vec<(Url, LinkSource)> = Vec::with_capacity(MAX_FOOTER_LINKS + 2);
     let footer_links = home_doc
         .links_containing("privacy")
         .filter(|l| l.region == PageRegion::Footer)
@@ -350,7 +350,7 @@ pub fn crawl_domain_with(client: &Client, domain: &str, options: &CrawlOptions) 
     }
 
     // Fetch the seed pages; collect header links from each.
-    let mut header_targets: Vec<(Url, LinkSource)> = Vec::new();
+    let mut header_targets: Vec<(Url, LinkSource)> = Vec::with_capacity(seed_targets.len());
     for (url, via) in seed_targets {
         if state.pages.len() >= MAX_PAGES || state.over_deadline(&session, options) {
             break;

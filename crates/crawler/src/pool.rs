@@ -40,7 +40,9 @@ pub fn crawl_all(client: &Client, domains: &[String], config: PoolConfig) -> Vec
 /// gracefully: the job channel is closed after the last job, workers drain
 /// it and exit, and the scope joins them all before returning. If a worker
 /// panics, the panic is propagated to the caller instead of returning a
-/// silently truncated result set.
+/// silently truncated result set. With `workers <= 1` the crawl runs
+/// serially on the caller's thread — same results, none of the thread or
+/// channel overhead.
 pub fn crawl_all_with(
     client: &Client,
     domains: &[String],
@@ -48,6 +50,17 @@ pub fn crawl_all_with(
     options: &CrawlOptions,
 ) -> Vec<DomainCrawl> {
     let workers = config.workers.max(1);
+    if workers == 1 {
+        // Serial fast path: no threads, no channels, no clones of the
+        // client — just the same per-domain crawl in the same sorted
+        // order the pool would produce.
+        let mut results: Vec<DomainCrawl> = Vec::with_capacity(domains.len());
+        for domain in domains {
+            results.push(crawl_domain_with(client, domain, options));
+        }
+        results.sort_by(|a, b| a.domain.cmp(&b.domain));
+        return results;
+    }
     let (job_tx, job_rx) = channel::bounded::<String>(workers * 2);
     let (res_tx, res_rx) = channel::unbounded::<DomainCrawl>();
 

@@ -44,7 +44,8 @@ impl RobotsPolicy {
     /// Parse robots.txt content. Unknown directives are ignored; a missing
     /// or empty file allows everything.
     pub fn parse(content: &str) -> RobotsPolicy {
-        let mut groups: Vec<Group> = Vec::new();
+        // Real robots.txt files carry a handful of agent groups.
+        let mut groups: Vec<Group> = Vec::with_capacity(4);
         let mut current: Option<Group> = None;
         let mut last_was_agent = false;
         for raw_line in content.lines() {

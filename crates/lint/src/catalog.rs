@@ -139,6 +139,51 @@ pub const RULES: &[RuleDoc] = &[
                   for k in ks { writeln!(out, \"{k}\")?; } // D3: sort ks first",
     },
     RuleDoc {
+        id: "H2",
+        severity: Severity::Warn,
+        summary: "growable collection built element-by-element inside a hot loop",
+        rationale: "The interprocedural cost model marks every fn reachable from a \
+                    pipeline entry (run_pipeline*, crawl_all*, the annotate surface) as \
+                    hot. A `Vec::new()`/`String::new()` grown one `push` at a time inside \
+                    a loop there reallocates O(log n) times per iteration set; each \
+                    finding carries the entry->fn witness path. Pre-size with \
+                    `with_capacity` or build outside the loop.",
+        example: "let mut out = Vec::new();\nfor d in domains {\n    out.push(annotate(d)); // H2: Vec::new grown in a hot loop\n}",
+    },
+    RuleDoc {
+        id: "C2",
+        severity: Severity::Warn,
+        summary: "clone of a loop-invariant value re-done every iteration",
+        rationale: "A `.clone()`/`.to_string()`/`.to_owned()`/`.to_vec()` whose source is \
+                    proven unmodified inside the loop (by a may-modified dataflow over \
+                    the fn's CFG) allocates the same bytes once per iteration. Hoist the \
+                    clone above the loop; where the rewrite is provably safe the finding \
+                    carries a machine-applicable fix.",
+        example: "for row in rows {\n    let hdr = header.clone(); // C2: header never changes in the loop\n    emit(&hdr, row);\n}",
+    },
+    RuleDoc {
+        id: "M1",
+        severity: Severity::Deny,
+        summary: "lock guard held across an expensive call",
+        rationale: "A guard live across a fetch/complete/annotate-family call — or any \
+                    callee the cost model prices above the hot threshold — serializes the \
+                    whole worker pool on one slow host. Guard liveness is tracked by a \
+                    forward dataflow over the fn's CFG, honoring drops, rebinding, and \
+                    lexical scope ends. Copy what you need out of the guard, drop it, \
+                    then call.",
+        example: "let jobs = self.queue.lock()?;\nlet page = client.fetch_page(&jobs[0])?; // M1: lock held across fetch",
+    },
+    RuleDoc {
+        id: "M2",
+        severity: Severity::Warn,
+        summary: "lock guard acquired outside a loop but only used inside it",
+        rationale: "A guard bound before a loop whose every use sits inside the loop body \
+                    pins the lock for the full iteration when per-iteration acquisition \
+                    would do. Either move the acquisition into the loop or document the \
+                    batch-hold by touching the guard outside it.",
+        example: "let stats = self.stats.lock()?;\nfor d in domains {\n    stats.record(d); // M2: guard only ever used inside the loop\n}",
+    },
+    RuleDoc {
         id: "T1",
         severity: Severity::Deny,
         summary: "taxonomy normalization closure broken",
@@ -218,8 +263,8 @@ mod tests {
         // The ids the passes actually emit, kept in sync by hand; a new
         // rule without a catalog entry fails here.
         let emitted = [
-            "D1", "D2", "R1", "O1", "H1", "B1", "L1", "E1", "K1", "P1", "X1", "D3", "T1", "T2",
-            "T3", "A0",
+            "D1", "D2", "R1", "O1", "H1", "B1", "L1", "E1", "K1", "P1", "X1", "D3", "H2", "C2",
+            "M1", "M2", "T1", "T2", "T3", "A0",
         ];
         for id in emitted {
             assert!(find(id).is_some(), "rule {id} missing from catalog");

@@ -42,6 +42,8 @@ pub struct Finding {
     pub message: String,
     /// Offending source line (or table entry), trimmed; may be empty.
     pub snippet: String,
+    /// Machine-applicable rewrite, when the rule can prove one.
+    pub fix: Option<crate::fix::Fix>,
 }
 
 impl Finding {
@@ -63,6 +65,7 @@ impl Finding {
             col,
             message,
             snippet,
+            fix: None,
         }
     }
 

@@ -1,0 +1,214 @@
+//! Machine-applicable fixes: span-anchored rewrites attached to findings.
+//!
+//! A [`Fix`] is a set of non-overlapping byte-range edits against the
+//! exact on-disk source the scan read. Byte offsets are derived from the
+//! lexer's 1-based line/byte-column positions (the token stream
+//! round-trips byte-for-byte, so `line_starts[line-1] + col - 1` is
+//! exact). The `--fix` driver in `main.rs` applies edits last-to-first
+//! per file, re-lints, and repeats to a fixpoint; `--fix --dry-run`
+//! renders the would-be changes as a unified diff instead.
+//!
+//! Only a vetted rule subset attaches fixes — a fix must be
+//! behavior-preserving by construction, not merely plausible:
+//!
+//! - `E1`: `let _ = fallible();` → `let _ignored = fallible();` (a named
+//!   discard the rule no longer counts, and rustc's unused-variable lint
+//!   ignores);
+//! - `C2`: hoist a whole-line loop-invariant `let y = x.clone();` to
+//!   immediately above the loop (attached only when every in-loop use of
+//!   `y` is read-shaped, so the hoisted value is never moved twice);
+//! - `H2`: `Vec::new()` → `Vec::with_capacity(xs.len())` when the
+//!   binding's only growth site is a `for` loop over a plain iterable
+//!   whose length is the provable element count.
+
+use serde::Serialize;
+
+/// One byte-range replacement against a file's current contents.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FixEdit {
+    /// Inclusive start byte offset.
+    pub start: usize,
+    /// Exclusive end byte offset (`start == end` is a pure insertion).
+    pub end: usize,
+    /// Replacement text for the range.
+    pub replacement: String,
+}
+
+/// A machine-applicable rewrite: a short title plus its edits, all
+/// against the same file as the finding that carries it.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fix {
+    /// One-line description of what applying the fix does.
+    pub title: String,
+    /// Byte-range edits, in ascending `start` order, non-overlapping.
+    pub edits: Vec<FixEdit>,
+}
+
+/// Byte offset of a 1-based `(line, col)` position within source held as
+/// newline-split lines (the `AnalyzedFile::lines` representation; each
+/// line implicitly ends with `\n`).
+pub fn offset_in_lines(lines: &[String], line: u32, col: u32) -> usize {
+    let line = line.saturating_sub(1) as usize;
+    let mut offset = 0usize;
+    for l in lines.iter().take(line) {
+        offset += l.len() + 1;
+    }
+    offset + col.saturating_sub(1) as usize
+}
+
+/// Apply a set of edits to `src`. Edits are sorted by start offset and
+/// applied last-to-first so earlier offsets stay valid; an edit that
+/// overlaps an already-applied one, or reaches past the end of the
+/// source, is skipped (the next `--fix` iteration re-derives it against
+/// the new text).
+pub fn apply_edits(src: &str, edits: &[FixEdit]) -> String {
+    let mut sorted: Vec<&FixEdit> = edits.iter().filter(|e| e.start <= e.end).collect();
+    sorted.sort_by_key(|e| (e.start, e.end));
+    let mut out = src.to_string();
+    let mut applied_floor = usize::MAX;
+    for edit in sorted.iter().rev() {
+        if edit.end > out.len() || edit.end > applied_floor {
+            continue;
+        }
+        if !out.is_char_boundary(edit.start) || !out.is_char_boundary(edit.end) {
+            continue;
+        }
+        out.replace_range(edit.start..edit.end, &edit.replacement);
+        applied_floor = edit.start;
+    }
+    out
+}
+
+/// Render a minimal unified diff between two versions of one file: the
+/// common prefix and suffix are trimmed line-wise and the changed middle
+/// is emitted as a single hunk with three lines of context. Empty when
+/// the texts are identical.
+pub fn unified_diff(path: &str, old: &str, new: &str) -> String {
+    if old == new {
+        return String::new();
+    }
+    let old_lines: Vec<&str> = old.lines().collect();
+    let new_lines: Vec<&str> = new.lines().collect();
+    let mut prefix = 0usize;
+    while old_lines.get(prefix).is_some() && old_lines.get(prefix) == new_lines.get(prefix) {
+        prefix += 1;
+    }
+    let last = |lines: &[&str], back: usize| -> Option<String> {
+        lines
+            .len()
+            .checked_sub(1 + back)
+            .and_then(|i| lines.get(i).map(|l| l.to_string()))
+    };
+    let mut suffix = 0usize;
+    while suffix < old_lines.len().saturating_sub(prefix)
+        && suffix < new_lines.len().saturating_sub(prefix)
+        && last(&old_lines, suffix) == last(&new_lines, suffix)
+    {
+        suffix += 1;
+    }
+    let context = 3usize;
+    let ctx_start = prefix.saturating_sub(context);
+    let trailing = context.min(suffix);
+    let old_mid = old_lines.len().saturating_sub(suffix) - ctx_start;
+    let new_mid = new_lines.len().saturating_sub(suffix) - ctx_start;
+    let mut out = String::new();
+    out.push_str(&format!("--- a/{path}\n+++ b/{path}\n"));
+    out.push_str(&format!(
+        "@@ -{},{} +{},{} @@\n",
+        ctx_start + 1,
+        old_mid + trailing,
+        ctx_start + 1,
+        new_mid + trailing
+    ));
+    for line in old_lines.iter().skip(ctx_start).take(prefix - ctx_start) {
+        out.push_str(&format!(" {line}\n"));
+    }
+    for line in old_lines
+        .iter()
+        .skip(prefix)
+        .take(old_mid - (prefix - ctx_start))
+    {
+        out.push_str(&format!("-{line}\n"));
+    }
+    for line in new_lines
+        .iter()
+        .skip(prefix)
+        .take(new_mid - (prefix - ctx_start))
+    {
+        out.push_str(&format!("+{line}\n"));
+    }
+    let tail_at = old_lines.len().saturating_sub(suffix);
+    for line in old_lines.iter().skip(tail_at).take(trailing) {
+        out.push_str(&format!(" {line}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_match_byte_positions() {
+        let lines: Vec<String> = vec!["fn f() {".to_string(), "    let x = 1;".to_string()];
+        // Line 2, col 5 is the `l` of `let`: 9 bytes of line 1 + newline
+        // + 4 columns.
+        assert_eq!(offset_in_lines(&lines, 2, 5), 13);
+        assert_eq!(offset_in_lines(&lines, 1, 1), 0);
+    }
+
+    #[test]
+    fn edits_apply_in_any_supplied_order() {
+        let src = "let _ = a();\nlet _ = b();\n";
+        let edits = vec![
+            FixEdit {
+                start: 17,
+                end: 18,
+                replacement: "_ignored".to_string(),
+            },
+            FixEdit {
+                start: 4,
+                end: 5,
+                replacement: "_ignored".to_string(),
+            },
+        ];
+        assert_eq!(
+            apply_edits(src, &edits),
+            "let _ignored = a();\nlet _ignored = b();\n"
+        );
+    }
+
+    #[test]
+    fn overlapping_and_out_of_range_edits_are_skipped() {
+        let src = "abcdef";
+        let edits = vec![
+            FixEdit {
+                start: 1,
+                end: 4,
+                replacement: "X".to_string(),
+            },
+            FixEdit {
+                start: 3,
+                end: 5,
+                replacement: "Y".to_string(),
+            },
+            FixEdit {
+                start: 90,
+                end: 99,
+                replacement: "Z".to_string(),
+            },
+        ];
+        // The later (3..5) edit lands first in reverse order, then 1..4
+        // overlaps the applied floor and is skipped.
+        assert_eq!(apply_edits(src, &edits), "abcYf");
+    }
+
+    #[test]
+    fn diff_is_empty_only_for_identical_text() {
+        assert_eq!(unified_diff("f.rs", "a\nb\n", "a\nb\n"), "");
+        let d = unified_diff("f.rs", "a\nb\nc\n", "a\nX\nc\n");
+        assert!(d.contains("--- a/f.rs"), "{d}");
+        assert!(d.contains("-b"), "{d}");
+        assert!(d.contains("+X"), "{d}");
+    }
+}

@@ -6,7 +6,7 @@
 //! rules) over the workspace's own Rust sources, plus *data invariants* over
 //! the taxonomy vocabulary that the whole measurement rests on.
 //!
-//! Analysis runs in two layers over the same file set:
+//! Analysis runs in three layers over the same file set:
 //!
 //! 1. **Token rules** (see [`rules`]) on the [`lexer`] stream: `D1`
 //!    wall-clock/entropy, `D2` hash-order iteration feeding output, `R1`
@@ -19,13 +19,21 @@
 //!    fallible workspace fns (see [`error_flow`]), `K1` lock-acquisition
 //!    cycles (see [`locks`]), and `P1` unreferenced pub items (see
 //!    [`graph`]).
+//! 3. **Dataflow rules** on per-fn CFGs ([`expr`] → [`cfg`] →
+//!    [`dataflow`]): `X1` interprocedural panic-reachability (see
+//!    [`panic_reach`]), `D3` determinism taint (see [`taint`]), the
+//!    hot-path cost rules `H2`/`C2` over the interprocedural cost model
+//!    (see [`cost`]), and the lock-guard liveness rules `M1`/`M2` (see
+//!    [`guards`]).
 //!
 //! Data invariants (see [`invariants`]): `T1` normalization closure, `T2`
 //! canonical-name uniqueness, `T3` nine-aspect coverage.
 //!
 //! Two entry points:
 //! - `cargo run -p aipan-lint` (or `cargo lint`): CLI with human diff-style
-//!   or `--format json` output, `--deny-warnings` for CI strictness.
+//!   or `--format json` output, `--deny-warnings` for CI strictness,
+//!   `--hotpaths` for the ranked cost chains, and `--fix` /
+//!   `--fix --dry-run` for the machine-applicable rewrites (see [`fix`]).
 //! - `crates/lint/tests/workspace_clean.rs`: tier-1 test failing on any
 //!   non-allowlisted finding, so `cargo test` alone enforces the contract.
 //!
@@ -38,11 +46,14 @@ pub mod callgraph;
 pub mod catalog;
 pub mod cfg;
 pub mod config;
+pub mod cost;
 pub mod dataflow;
 pub mod error_flow;
 pub mod expr;
 pub mod findings;
+pub mod fix;
 pub mod graph;
+pub mod guards;
 pub mod invariants;
 pub mod lexer;
 pub mod locks;

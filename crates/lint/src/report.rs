@@ -75,12 +75,19 @@ pub fn human(report: &Report, deny_warnings: bool) -> String {
     out
 }
 
+/// JSON shape version. Bumped to 2 when findings gained witness-path
+/// messages and machine-applicable `fix` spans, so downstream tooling
+/// can detect the v4 finding shape.
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// Render the report as a single JSON object with sorted member order:
-/// `{"files_scanned": N, "findings": [...], "suppressed": [...]}`.
+/// `{"files_scanned": N, "findings": [...], "schema_version": 2,
+/// "suppressed": [...]}`.
 pub fn json(report: &Report) -> String {
     let obj = sorted_object(vec![
         ("files_scanned", (report.files_scanned as u64).to_value()),
         ("findings", findings_value(&report.findings)),
+        ("schema_version", SCHEMA_VERSION.to_value()),
         ("suppressed", findings_value(&report.suppressed)),
     ]);
     serde_json::to_string_pretty(&obj).unwrap_or_else(|_| obj.to_string())
@@ -104,11 +111,35 @@ fn finding_value(f: &Finding) -> Value {
     sorted_object(vec![
         ("col", (f.col as u64).to_value()),
         ("file", f.file.to_value()),
+        ("fix", fix_value(f.fix.as_ref())),
         ("line", (f.line as u64).to_value()),
         ("message", f.message.to_value()),
         ("rule", f.rule.to_value()),
         ("severity", f.severity.name().to_value()),
         ("snippet", f.snippet.to_value()),
+    ])
+}
+
+/// The `fix` member: `null` when the rule attached no rewrite, otherwise
+/// an object with the edit spans in sorted member order.
+fn fix_value(fix: Option<&crate::fix::Fix>) -> Value {
+    let Some(fix) = fix else {
+        return Value::Null;
+    };
+    let edits: Vec<Value> = fix
+        .edits
+        .iter()
+        .map(|e| {
+            sorted_object(vec![
+                ("end", (e.end as u64).to_value()),
+                ("replacement", e.replacement.to_value()),
+                ("start", (e.start as u64).to_value()),
+            ])
+        })
+        .collect();
+    sorted_object(vec![
+        ("edits", Value::Array(edits)),
+        ("title", fix.title.to_value()),
     ])
 }
 
@@ -171,13 +202,17 @@ mod tests {
         // Top-level keys in sorted order.
         let fs = text.find("\"files_scanned\"").expect("files_scanned key");
         let fi = text.find("\"findings\"").expect("findings key");
+        let sv = text.find("\"schema_version\"").expect("schema_version key");
         let su = text.find("\"suppressed\"").expect("suppressed key");
-        assert!(fs < fi && fi < su, "top-level keys must be sorted");
-        // Finding keys in sorted order: col < file < line < message < rule
-        // < severity < snippet within the first finding object.
-        let first = &text[fi..su];
+        assert!(
+            fs < fi && fi < sv && sv < su,
+            "top-level keys must be sorted"
+        );
+        // Finding keys in sorted order: col < file < fix < line < message
+        // < rule < severity < snippet within the first finding object.
+        let first = &text[fi..sv];
         let positions: Vec<usize> = [
-            "col", "file", "line", "message", "rule", "severity", "snippet",
+            "col", "file", "fix", "line", "message", "rule", "severity", "snippet",
         ]
         .iter()
         .map(|k| first.find(&format!("\"{k}\"")).expect("finding key"))

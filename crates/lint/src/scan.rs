@@ -24,7 +24,7 @@ use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::findings::{sort_findings, Finding};
 use crate::graph::Workspace;
-use crate::{error_flow, invariants, locks, panic_reach, rules, taint};
+use crate::{cost, error_flow, guards, invariants, locks, panic_reach, rules, taint};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -119,6 +119,22 @@ pub fn run(root: &Path, allowlist: Allowlist) -> io::Result<Report> {
     run_filtered(root, allowlist, |_| true)
 }
 
+/// Build the interprocedural cost model for the workspace at `root` and
+/// render the `--hotpaths` ranking of the top `top` costliest pipeline
+/// entry chains.
+pub fn hotpaths(root: &Path, top: usize) -> io::Result<String> {
+    let files = source_files(root)?;
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        sources.push((rel.clone(), src));
+    }
+    let workspace = Workspace::build(&sources);
+    let callgraph = CallGraph::build(&workspace);
+    let model = cost::CostModel::build(&workspace, &callgraph);
+    Ok(cost::hotpath_report(&workspace, &callgraph, &model, top))
+}
+
 /// Lint the subset of workspace files whose relative path satisfies
 /// `keep`. The graph passes see only the kept files, so a subset run
 /// answers "is this corner self-consistent?" — `tests/lint_self_clean.rs`
@@ -154,10 +170,13 @@ pub fn run_filtered(
         raw.extend(workspace.check_layering(&config));
     }
     let callgraph = CallGraph::build(&workspace);
+    let cost_model = cost::CostModel::build(&workspace, &callgraph);
     raw.extend(error_flow::check_with_graph(&workspace, &callgraph));
     raw.extend(locks::check_lock_order(&workspace));
     raw.extend(panic_reach::check_panic_reach(&workspace, &callgraph));
     raw.extend(taint::check_taint(&workspace, &callgraph));
+    raw.extend(cost::check_cost(&workspace, &callgraph, &cost_model));
+    raw.extend(guards::check_guards(&workspace, &callgraph, &cost_model));
     raw.extend(workspace.check_dead_pub());
 
     raw.extend(invariants::check_all());
@@ -206,6 +225,30 @@ mod tests {
         let mut sorted = files.clone();
         sorted.sort();
         assert_eq!(files, sorted);
+    }
+
+    #[test]
+    fn hotpaths_ranks_annotate_reachable_chains_above_crawl_only() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).unwrap();
+        let report = hotpaths(&root, 10).expect("hotpath report builds");
+        // `run_pipeline` reaches both the crawl and annotate layers, so its
+        // chain must outrank the crawl-only `crawl_all` entry, and the
+        // annotate surface itself must appear among the ranked entries.
+        let lines: Vec<&str> = report.lines().collect();
+        let pipeline_rank = lines
+            .iter()
+            .position(|l| l.contains(". run_pipeline (cost"))
+            .expect("run_pipeline ranked");
+        let crawl_rank = lines
+            .iter()
+            .position(|l| l.contains(". crawl_all (cost"))
+            .expect("crawl_all ranked");
+        assert!(
+            pipeline_rank < crawl_rank,
+            "annotate-reachable chain must outrank crawl-only chain:\n{report}"
+        );
+        assert!(report.contains("annotate_policy_with"), "{report}");
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Property tests for the interprocedural cost model (`cost.rs`):
+//!
+//! 1. **Monotonicity** — a fn's propagated total is never below its own
+//!    local cost, never below any callee's total, and replacing a call
+//!    with the callee's body textually inlined never *raises* the cost
+//!    of the call form (inlining a callee never lowers the caller's
+//!    cost below the inlined equivalent).
+//! 2. **Loop-depth agreement** — the CFG-dominator loop nesting depth
+//!    agrees with a brute-force count of syntactic loop nesting for
+//!    generated `for`/`while` towers.
+
+use aipan_lint::callgraph::CallGraph;
+use aipan_lint::cfg::Cfg;
+use aipan_lint::cost::{loop_depths, CostModel};
+use aipan_lint::graph::Workspace;
+use aipan_lint::parser::{parse_file, ItemKind};
+use proptest::prelude::*;
+
+/// One single-line statement with a mix of alloc-bearing and free
+/// operations; `touch`/`bump` never resolve in the workspace, so only
+/// the explicit allocation sites carry cost.
+const STMT: &str = concat!(
+    r"(let [a-z]{1,3} = [0-9]{1,2};",
+    r"|let sa = src\.clone\(\);",
+    r"|acc\.push\(1\);",
+    "|let tb = format!\\(\"x\"\\);",
+    r"|touch\([a-z]{1,3}\);",
+    r"|if a < b \{ acc\.push\(2\); \}",
+    r"|for x in xs \{ acc\.push\(x\); \}",
+    r"|while i < n \{ bump\(\); \}",
+    r")",
+);
+
+fn fn_body(stmts: &[String]) -> String {
+    let mut body = String::new();
+    for s in stmts {
+        body.push_str("    ");
+        body.push_str(s);
+        body.push('\n');
+    }
+    body
+}
+
+/// Build a one-file workspace and return each named fn's (local, total).
+fn costs_for(src: &str, names: &[&str]) -> Result<Vec<(u64, u64)>, String> {
+    let files = vec![("crates/x/src/gen.rs".to_string(), src.to_string())];
+    let ws = Workspace::build(&files);
+    let graph = CallGraph::build(&ws);
+    let model = CostModel::build(&ws, &graph);
+    names
+        .iter()
+        .map(|want| {
+            graph
+                .fns
+                .iter()
+                .position(|f| f.name == *want)
+                .and_then(|id| Some((*model.local.get(id)?, *model.total.get(id)?)))
+                .ok_or_else(|| format!("fn `{want}` missing from model: {src:?}"))
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn total_covers_local_and_callee_totals(
+        caller_stmts in proptest::collection::vec(STMT, 0..6),
+        callee_stmts in proptest::collection::vec(STMT, 0..6),
+    ) {
+        let src = format!(
+            "fn caller_a() {{\n{}    callee_b();\n}}\nfn callee_b() {{\n{}}}\n",
+            fn_body(&caller_stmts),
+            fn_body(&callee_stmts),
+        );
+        let costs = costs_for(&src, &["caller_a", "callee_b"])?;
+        let ((caller_local, caller_total), (callee_local, callee_total)) =
+            (costs[0], costs[1]);
+        prop_assert!(callee_total >= callee_local, "callee total < local in {src}");
+        prop_assert!(caller_total >= caller_local, "caller total < local in {src}");
+        prop_assert!(
+            caller_total >= callee_total,
+            "caller total {caller_total} < callee total {callee_total} in {src}"
+        );
+    }
+
+    #[test]
+    fn inlining_a_callee_never_lowers_the_call_forms_cost(
+        caller_stmts in proptest::collection::vec(STMT, 0..5),
+        callee_stmts in proptest::collection::vec(STMT, 0..5),
+    ) {
+        // The call form: caller invokes callee_b once at nesting depth 0.
+        let call_src = format!(
+            "fn caller_a() {{\n{}    callee_b();\n}}\nfn callee_b() {{\n{}}}\n",
+            fn_body(&caller_stmts),
+            fn_body(&callee_stmts),
+        );
+        // The inlined form: the callee's body spliced into the caller.
+        let inline_src = format!(
+            "fn caller_a() {{\n{}{}}}\n",
+            fn_body(&caller_stmts),
+            fn_body(&callee_stmts),
+        );
+        let call_total = costs_for(&call_src, &["caller_a"])?[0].1;
+        let inline_total = costs_for(&inline_src, &["caller_a"])?[0].1;
+        prop_assert!(
+            call_total >= inline_total,
+            "call form {call_total} < inlined form {inline_total}:\n{call_src}\nvs\n{inline_src}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn cfg_loop_depth_agrees_with_syntactic_nesting(
+        depth in 1usize..5,
+        kinds in proptest::collection::vec(0usize..2, 4..5),
+        siblings in proptest::collection::vec(0usize..2, 4..5),
+    ) {
+        // Build a loop tower of known syntactic nesting: level `lvl` wraps
+        // the levels below in a `for` or `while`, optionally with a
+        // sibling statement inside the loop body.
+        let mut tower = "touch(a);".to_string();
+        let want_depth = depth as u32;
+        for lvl in 0..depth {
+            let head = if kinds.get(lvl).copied().unwrap_or(0) == 0 {
+                "for x in xs"
+            } else {
+                "while i < n"
+            };
+            tower = if siblings.get(lvl).copied().unwrap_or(0) == 0 {
+                format!("{head} {{\n{tower}\n}}")
+            } else {
+                format!("{head} {{\n{tower}\nbump(b);\n}}")
+            };
+        }
+        let src = format!("fn f() {{\nstart(q);\n{tower}\n}}\n");
+        let parsed = parse_file("crates/x/src/gen.rs", &src);
+        let info = parsed
+            .items
+            .iter()
+            .find_map(|item| match &item.kind {
+                ItemKind::Fn(info) => Some(info),
+                _ => None,
+            })
+            .ok_or_else(|| format!("no fn parsed from {src:?}"))?;
+        let cfg = Cfg::build(&info.body);
+        let depths = loop_depths(&cfg);
+        let got = depths.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(
+            got, want_depth,
+            "max CFG loop depth {} != syntactic nesting {} in {}", got, want_depth, src
+        );
+        // The statement outside every loop must sit at depth 0.
+        prop_assert_eq!(depths.first().copied().unwrap_or(99), 0u32);
+    }
+}

@@ -5,21 +5,31 @@
 //! snapshot *and* whatever consumes the JSON.
 
 use aipan_lint::findings::{Finding, Severity};
+use aipan_lint::fix::{Fix, FixEdit};
 use aipan_lint::report;
 use aipan_lint::scan::Report;
 
 fn sample_report() -> Report {
+    let mut with_fix = Finding::at(
+        "X1",
+        Severity::Deny,
+        "crates/x/src/lib.rs",
+        4,
+        13,
+        "panic reachable from pub fn `get`".to_string(),
+        "xs[i]".to_string(),
+    );
+    with_fix.fix = Some(Fix {
+        title: "use checked indexing".to_string(),
+        edits: vec![FixEdit {
+            start: 10,
+            end: 15,
+            replacement: "xs.get(i)".to_string(),
+        }],
+    });
     Report {
         findings: vec![
-            Finding::at(
-                "X1",
-                Severity::Deny,
-                "crates/x/src/lib.rs",
-                4,
-                13,
-                "panic reachable from pub fn `get`".to_string(),
-                "xs[i]".to_string(),
-            ),
+            with_fix,
             Finding::for_data(
                 "T2",
                 "crates/taxonomy/src/rights.rs",
@@ -32,13 +42,25 @@ fn sample_report() -> Report {
     }
 }
 
-/// The full rendered document, byte for byte.
+/// The full rendered document, byte for byte. `schema_version` is 2:
+/// findings gained the `fix` member (null, or `{edits, title}` with
+/// byte-offset spans) in the v4 lint.
 const SNAPSHOT: &str = r#"{
   "files_scanned": 2,
   "findings": [
     {
       "col": 13,
       "file": "crates/x/src/lib.rs",
+      "fix": {
+        "edits": [
+          {
+            "end": 15,
+            "replacement": "xs.get(i)",
+            "start": 10
+          }
+        ],
+        "title": "use checked indexing"
+      },
       "line": 4,
       "message": "panic reachable from pub fn `get`",
       "rule": "X1",
@@ -48,6 +70,7 @@ const SNAPSHOT: &str = r#"{
     {
       "col": 0,
       "file": "crates/taxonomy/src/rights.rs",
+      "fix": null,
       "line": 0,
       "message": "duplicate canonical name",
       "rule": "T2",
@@ -55,6 +78,7 @@ const SNAPSHOT: &str = r#"{
       "snippet": ""
     }
   ],
+  "schema_version": 2,
   "suppressed": []
 }"#;
 
@@ -77,7 +101,7 @@ fn empty_report_keeps_all_members() {
     let text = report::json(&empty);
     // Even an all-clean run must emit every top-level member, so
     // consumers never need `key in obj` guards.
-    for key in ["files_scanned", "findings", "suppressed"] {
+    for key in ["files_scanned", "findings", "schema_version", "suppressed"] {
         assert!(text.contains(&format!("\"{key}\"")), "{text}");
     }
 }

@@ -463,3 +463,226 @@ fn d3_btree_collect_sanitizes_and_returned_collection_is_a_sink() {
     let findings = taint::check_taint(&clean, &graph);
     assert!(findings.is_empty(), "{findings:?}");
 }
+
+// ---------------------------------------------------------------------------
+// Cost & guard rules (H2 / C2 / M1 / M2): one violating and one clean
+// fixture pair each, driven through the cost model like `scan::run`.
+// ---------------------------------------------------------------------------
+
+use aipan_lint::{cost, guards};
+
+fn cost_findings(ws: &Workspace) -> Vec<Finding> {
+    let graph = CallGraph::build(ws);
+    let model = cost::CostModel::build(ws, &graph);
+    cost::check_cost(ws, &graph, &model)
+}
+
+fn guard_findings(ws: &Workspace) -> Vec<Finding> {
+    let graph = CallGraph::build(ws);
+    let model = cost::CostModel::build(ws, &graph);
+    guards::check_guards(ws, &graph, &model)
+}
+
+#[test]
+fn h2_growth_in_hot_loop_fires_and_preallocated_does_not() {
+    // Violating: pub fn in an annotate.rs file is a pipeline entry, so its
+    // loop is hot; the Vec is born empty and grown per iteration.
+    let bad = workspace(&[(
+        "crates/core/src/annotate.rs",
+        "pub fn annotate_all(docs: &[String]) -> Vec<String> {\n\
+         \x20   let mut out = Vec::new();\n\
+         \x20   for d in docs {\n\
+         \x20       out.push(d.clone());\n\
+         \x20   }\n\
+         \x20   out\n\
+         }\n",
+    )]);
+    let findings = cost_findings(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("H2", aipan_lint::Severity::Warn));
+    assert_eq!(f.line, 2);
+    assert!(f.message.contains("hot path"), "{}", f.message);
+    assert!(f.message.contains("annotate_all"), "{}", f.message);
+    // The iterated slice has a provable `.len()`, so the finding carries a
+    // machine-applicable pre-allocation fix.
+    let fix = f.fix.as_ref().expect("H2 fix attached");
+    assert!(
+        fix.edits[0]
+            .replacement
+            .contains("Vec::with_capacity(docs.len())"),
+        "{fix:?}"
+    );
+
+    // Clean: the same loop with the capacity pre-allocated.
+    let clean = workspace(&[(
+        "crates/core/src/annotate.rs",
+        "pub fn annotate_all(docs: &[String]) -> Vec<String> {\n\
+         \x20   let mut out = Vec::with_capacity(docs.len());\n\
+         \x20   for d in docs {\n\
+         \x20       out.push(d.clone());\n\
+         \x20   }\n\
+         \x20   out\n\
+         }\n",
+    )]);
+    let findings = cost_findings(&clean);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn h2_requires_a_hot_path() {
+    // The same growth pattern in a fn no pipeline entry reaches is not H2.
+    let cold = workspace(&[(
+        "crates/html/src/build.rs",
+        "pub fn collect_ids(docs: &[String]) -> Vec<String> {\n\
+         \x20   let mut out = Vec::new();\n\
+         \x20   for d in docs {\n\
+         \x20       out.push(d.clone());\n\
+         \x20   }\n\
+         \x20   out\n\
+         }\n",
+    )]);
+    let findings = cost_findings(&cold);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn c2_loop_invariant_clone_fires_and_hoisted_clone_does_not() {
+    // Violating: `header` is never modified inside the loop, yet cloned
+    // once per iteration.
+    let bad = workspace(&[(
+        "crates/analysis/src/lib.rs",
+        "pub fn total_len(rows: &[String], header: &String) -> usize {\n\
+         \x20   let mut total = 0usize;\n\
+         \x20   for _row in rows {\n\
+         \x20       let h = header.clone();\n\
+         \x20       total += h.len();\n\
+         \x20   }\n\
+         \x20   total\n\
+         }\n",
+    )]);
+    let findings = cost_findings(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("C2", aipan_lint::Severity::Warn));
+    assert_eq!(f.line, 4);
+    assert!(f.message.contains("header"), "{}", f.message);
+
+    // Clean: the clone hoisted above the loop.
+    let clean = workspace(&[(
+        "crates/analysis/src/lib.rs",
+        "pub fn total_len(rows: &[String], header: &String) -> usize {\n\
+         \x20   let mut total = 0usize;\n\
+         \x20   let h = header.clone();\n\
+         \x20   for _row in rows {\n\
+         \x20       total += h.len();\n\
+         \x20   }\n\
+         \x20   total\n\
+         }\n",
+    )]);
+    let findings = cost_findings(&clean);
+    assert!(findings.is_empty(), "{findings:?}");
+
+    // Clean: the source is modified inside the loop, so the clone is not
+    // invariant and must stay.
+    let modified = workspace(&[(
+        "crates/analysis/src/lib.rs",
+        "pub fn total_len(rows: &[String], header: &mut String) -> usize {\n\
+         \x20   let mut total = 0usize;\n\
+         \x20   for row in rows {\n\
+         \x20       let h = header.clone();\n\
+         \x20       header.push_str(row);\n\
+         \x20       total += h.len();\n\
+         \x20   }\n\
+         \x20   total\n\
+         }\n",
+    )]);
+    let findings = cost_findings(&modified);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn m1_lock_across_fetch_fires_and_dropped_guard_does_not() {
+    let decl = "pub struct P { jobs: Mutex<Vec<String>> }\n";
+    let bad = workspace(&[(
+        "crates/crawler/src/queue.rs",
+        &format!(
+            "{decl}impl P {{\n\
+             \x20   pub fn bad(&self, c: &Client) {{\n\
+             \x20       let g = self.jobs.lock();\n\
+             \x20       let page = c.fetch_page(g.first());\n\
+             \x20       use2(page);\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    )]);
+    let findings = guard_findings(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("M1", aipan_lint::Severity::Deny));
+    assert!(f.message.contains("fetch_page"), "{}", f.message);
+    assert!(f.message.contains("`g`"), "{}", f.message);
+
+    // Clean: the guard is dropped before the expensive call.
+    let clean = workspace(&[(
+        "crates/crawler/src/queue.rs",
+        &format!(
+            "{decl}impl P {{\n\
+             \x20   pub fn good(&self, c: &Client) {{\n\
+             \x20       let g = self.jobs.lock();\n\
+             \x20       let url = g.first().cloned();\n\
+             \x20       drop(g);\n\
+             \x20       let page = c.fetch_page(url);\n\
+             \x20       use2(page);\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    )]);
+    let findings = guard_findings(&clean);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn m2_guard_used_only_inside_loop_fires_and_outside_use_does_not() {
+    let decl = "pub struct P { jobs: Mutex<Vec<u32>> }\n";
+    let bad = workspace(&[(
+        "crates/crawler/src/queue.rs",
+        &format!(
+            "{decl}impl P {{\n\
+             \x20   pub fn tally(&self, xs: &[u32]) -> usize {{\n\
+             \x20       let g = self.jobs.lock();\n\
+             \x20       let mut n = 0usize;\n\
+             \x20       for x in xs {{\n\
+             \x20           n += g.len() + (*x as usize);\n\
+             \x20       }}\n\
+             \x20       n\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    )]);
+    let findings = guard_findings(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("M2", aipan_lint::Severity::Warn));
+    assert!(f.message.contains("`g`"), "{}", f.message);
+
+    // Clean: the guard is also read before the loop, so holding it across
+    // iterations is a deliberate batch-hold.
+    let clean = workspace(&[(
+        "crates/crawler/src/queue.rs",
+        &format!(
+            "{decl}impl P {{\n\
+             \x20   pub fn tally(&self, xs: &[u32]) -> usize {{\n\
+             \x20       let g = self.jobs.lock();\n\
+             \x20       let mut n = g.len();\n\
+             \x20       for x in xs {{\n\
+             \x20           n += g.len() + (*x as usize);\n\
+             \x20       }}\n\
+             \x20       n\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    )]);
+    let findings = guard_findings(&clean);
+    assert!(findings.is_empty(), "{findings:?}");
+}

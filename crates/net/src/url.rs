@@ -165,7 +165,8 @@ impl std::fmt::Display for Url {
 /// collapse `//`, strip one trailing slash (keeping `/`).
 fn normalize_path(path: &str) -> String {
     let path = path.split(['?', '#']).next().unwrap_or(path);
-    let mut segments: Vec<&str> = Vec::new();
+    // Typical paths are shallow; one reallocation at most for deep ones.
+    let mut segments: Vec<&str> = Vec::with_capacity(8);
     for seg in path.split('/') {
         match seg {
             "" | "." => {}

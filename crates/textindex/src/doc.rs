@@ -23,8 +23,10 @@ pub struct FoldedDoc {
 impl FoldedDoc {
     /// Fold each line once into the shared buffer.
     pub fn from_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> FoldedDoc {
-        let mut buf = String::new();
-        let mut line_spans = Vec::new();
+        let lines = lines.into_iter();
+        // Folding never grows a line; ~64 bytes per line is a safe start.
+        let mut buf = String::with_capacity(lines.size_hint().0.saturating_mul(64));
+        let mut line_spans = Vec::with_capacity(lines.size_hint().0);
         for line in lines {
             let start = buf.len();
             fold_into(&mut buf, line);
