@@ -1,0 +1,178 @@
+//! lintbench — cold-vs-warm wall-clock harness for `cargo lint
+//! --incremental`.
+//!
+//! Deletes the lint cache, runs a cold incremental lint over this
+//! workspace, immediately runs a warm one, and verifies the incremental
+//! contract end to end:
+//!
+//! * the warm run must *replay* (content hashes all match, no parsing);
+//! * its rendered JSON report must be byte-identical to the cold run's;
+//! * on an unchanged tree it must be at least [`MIN_SPEEDUP`]× faster.
+//!
+//! The labeled timings are appended to `BENCH_lint.json` so the lint's
+//! own perf trajectory accumulates across PRs, mirroring what
+//! `perfbench` does for the pipeline in `BENCH_pipeline.json`. Any
+//! contract violation exits nonzero — the verify drive runs this as a
+//! gate, not just a stopwatch.
+//!
+//! ```text
+//! lintbench                       # gate + append to BENCH_lint.json
+//! lintbench --label post-PR7     # tag the appended entry
+//! lintbench --out /tmp/l.json    # write somewhere else
+//! ```
+
+use aipan_lint::incremental::{run_incremental, CACHE_REL_PATH};
+use aipan_lint::report;
+use aipan_lint::scan::find_workspace_root;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Minimum cold/warm speedup on an unchanged tree. The warm path only
+/// hashes files and re-renders the cached report, so anything below this
+/// means the cache is not actually short-circuiting the scan.
+const MIN_SPEEDUP: f64 = 3.0;
+
+/// One measured cold/warm pair.
+#[derive(Debug, Serialize, Deserialize)]
+struct LintBenchEntry {
+    /// Caller-supplied tag (e.g. `post-PR7`).
+    label: String,
+    /// Files in the scan set.
+    files: usize,
+    /// Findings in the (identical) cold and warm reports.
+    findings: usize,
+    /// Cold run wall-clock (ms): full lex + parse + graph passes.
+    cold_ms: f64,
+    /// Warm run wall-clock (ms): hash check + cache replay.
+    warm_ms: f64,
+    /// `cold_ms / warm_ms`.
+    speedup: f64,
+}
+
+/// The committed trajectory file.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct LintBenchFile {
+    /// Harness identifier, bumped only if the measured workload changes.
+    harness: String,
+    /// Appended measurements, oldest first.
+    entries: Vec<LintBenchEntry>,
+}
+
+fn ms(since: Instant) -> f64 {
+    let d = since.elapsed();
+    (d.as_secs_f64() * 1e4).round() / 10.0
+}
+
+fn main() {
+    let mut label = String::from("run");
+    let mut out = String::from("BENCH_lint.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--label" => label = args.next().unwrap_or(label),
+            "--out" => out = args.next().unwrap_or(out),
+            "--help" | "-h" => {
+                println!("usage: lintbench [--label NAME] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("lintbench: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|e| {
+        eprintln!("lintbench: cannot read cwd: {e}");
+        std::process::exit(2);
+    });
+    let Some(root) = find_workspace_root(&cwd) else {
+        eprintln!("lintbench: not inside the aipan workspace");
+        std::process::exit(2);
+    };
+    let allow_path = root.join("lint.allow");
+
+    // Cold: drop the cache so the run pays the full scan.
+    let _ = std::fs::remove_file(root.join(CACHE_REL_PATH));
+    let t0 = Instant::now();
+    let cold = run_incremental(&root, &allow_path);
+    let cold_ms = ms(t0);
+    let (cold_report, cold_stats) = match cold {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("lintbench: cold run failed: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Warm: the tree is unchanged, so this must replay the cache.
+    let t1 = Instant::now();
+    let warm = run_incremental(&root, &allow_path);
+    let warm_ms = ms(t1);
+    let (warm_report, warm_stats) = match warm {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("lintbench: warm run failed: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "cold: {cold_ms:.1} ms over {} file(s) ({})",
+        cold_stats.total_files,
+        cold_stats.summary()
+    );
+    println!("warm: {warm_ms:.1} ms ({})", warm_stats.summary());
+
+    let mut failed = false;
+    if !warm_stats.replayed {
+        eprintln!("lintbench: FAIL — warm run did not replay the cache");
+        failed = true;
+    }
+    let cold_json = report::json(&cold_report);
+    let warm_json = report::json(&warm_report);
+    if cold_json != warm_json {
+        eprintln!("lintbench: FAIL — warm report differs from cold report");
+        failed = true;
+    }
+    let speedup = if warm_ms > 0.0 {
+        cold_ms / warm_ms
+    } else {
+        f64::INFINITY
+    };
+    if speedup < MIN_SPEEDUP {
+        eprintln!("lintbench: FAIL — warm run only {speedup:.2}x faster (need >= {MIN_SPEEDUP}x)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("speedup: {speedup:.1}x, reports byte-identical");
+
+    let mut file: LintBenchFile = std::fs::read_to_string(root.join(&out))
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+        .unwrap_or_default();
+    file.harness = "lintbench-v1".to_string();
+    file.entries.push(LintBenchEntry {
+        label,
+        files: cold_stats.total_files,
+        findings: cold_report.findings.len(),
+        cold_ms,
+        warm_ms,
+        speedup: (speedup * 10.0).round() / 10.0,
+    });
+    match serde_json::to_string_pretty(&file) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(root.join(&out), json + "\n") {
+                eprintln!("lintbench: cannot write {out}: {e}");
+                std::process::exit(2);
+            }
+            println!("wrote {out}");
+        }
+        Err(e) => {
+            eprintln!("lintbench: serialize failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! measured once, which is enough to see the ≥1.5× movements we optimize
 //! for, and cheap enough to run on every PR.
 
+use aipan_bench::trajectory;
 use aipan_core::{run_pipeline, PipelineConfig};
 use aipan_crawler::{crawl_all, PoolConfig};
 use aipan_net::fault::{FaultConfig, FaultInjector};
@@ -56,14 +57,9 @@ struct BenchEntry {
     annotations: usize,
 }
 
-/// The committed trajectory file.
-#[derive(Debug, Default, Serialize, Deserialize)]
-struct BenchFile {
-    /// Harness identifier, bumped only if the measured workload changes.
-    harness: String,
-    /// Appended measurements, oldest first.
-    entries: Vec<BenchEntry>,
-}
+// The committed trajectory file itself is loaded through
+// `aipan_bench::trajectory`, which preserves members this harness
+// version does not know about instead of silently dropping them.
 
 fn measure(label: &str, domains: usize, workers: usize, chaos: bool) -> BenchEntry {
     let mut config = WorldConfig::small(SEED, domains);
@@ -156,10 +152,11 @@ fn main() {
         label.push_str("-chaos");
     }
 
-    let mut file: BenchFile = std::fs::read_to_string(&out)
-        .ok()
-        .and_then(|text| serde_json::from_str(&text).ok())
-        .unwrap_or_default();
+    let text = std::fs::read_to_string(&out).unwrap_or_default();
+    let (mut file, warnings) = trajectory::load(&text);
+    for w in &warnings {
+        eprintln!("perfbench: {w}");
+    }
     file.harness = "perfbench-v1".to_string();
 
     println!("label={label} grid: {sizes:?} domains x {worker_counts:?} workers");
@@ -180,21 +177,14 @@ fn main() {
                 entry.annotated,
                 entry.annotations
             );
-            file.entries.push(entry);
+            file.entries.push(entry.to_value());
         }
     }
 
-    match serde_json::to_string_pretty(&file) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&out, json + "\n") {
-                eprintln!("perfbench: cannot write {out}: {e}");
-                std::process::exit(2);
-            }
-            println!("wrote {out}");
-        }
-        Err(e) => {
-            eprintln!("perfbench: serialize failed: {e}");
-            std::process::exit(2);
-        }
+    let json = trajectory::render(&file);
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("perfbench: cannot write {out}: {e}");
+        std::process::exit(2);
     }
+    println!("wrote {out}");
 }

@@ -11,6 +11,8 @@
 
 #![warn(missing_docs)]
 
+pub mod trajectory;
+
 /// A small shared helper: build a world and pipeline dataset for benches.
 pub mod fixtures {
     use aipan_core::{run_pipeline, PipelineConfig, PipelineRun};

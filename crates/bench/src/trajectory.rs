@@ -1,0 +1,168 @@
+//! Tolerant loader for the committed `BENCH_pipeline.json` trajectory.
+//!
+//! Earlier harness versions parsed the file straight into the current
+//! struct shape, which silently *dropped* any member a newer (or older)
+//! harness had written — append once with a mismatched binary and the
+//! extra fields were gone. This loader parses the raw JSON object,
+//! warns about every member it does not recognize, and carries those
+//! members through unchanged so a rewrite preserves them: the file is a
+//! shared ledger across PRs, not one binary's private cache.
+//!
+//! Entries are kept as raw [`Value`]s for the same reason — the harness
+//! only ever appends; it has no business normalizing measurements some
+//! other version recorded.
+
+use serde::Value;
+
+/// Per-entry members the current harness writes (`BenchEntry`'s shape).
+pub const KNOWN_ENTRY_KEYS: &[&str] = &[
+    "annotated",
+    "annotations",
+    "crawl_ms",
+    "domains",
+    "label",
+    "pipeline_ms",
+    "workers",
+    "world_build_ms",
+];
+
+/// The trajectory file, with unknown members preserved verbatim.
+#[derive(Debug, Default)]
+pub struct Trajectory {
+    /// Harness identifier (`perfbench-v1`).
+    pub harness: String,
+    /// Measurement entries, oldest first, as raw JSON objects.
+    pub entries: Vec<Value>,
+    /// Unrecognized top-level members, preserved through rewrites.
+    pub extras: Vec<(String, Value)>,
+}
+
+/// Parse a trajectory file leniently. Returns the trajectory plus one
+/// warning line per tolerated irregularity (unknown member, malformed
+/// section, or unparseable file); unknown members are *preserved*, not
+/// dropped — the warning is informational.
+pub fn load(text: &str) -> (Trajectory, Vec<String>) {
+    let mut warnings = Vec::new();
+    let mut out = Trajectory::default();
+    let parsed: Result<Value, _> = serde_json::from_str(text);
+    let Ok(Value::Object(members)) = parsed else {
+        warnings.push("trajectory is not a JSON object; starting a fresh file".to_string());
+        return (out, warnings);
+    };
+    for (key, value) in members {
+        match key.as_str() {
+            "harness" => match value.as_str() {
+                Some(name) => out.harness = name.to_string(),
+                None => warnings.push("member `harness` is not a string; resetting it".to_string()),
+            },
+            "entries" => match value {
+                Value::Array(items) => {
+                    for (i, item) in items.iter().enumerate() {
+                        if let Value::Object(fields) = item {
+                            for (fk, _) in fields {
+                                if !KNOWN_ENTRY_KEYS.contains(&fk.as_str()) {
+                                    warnings.push(format!(
+                                        "entry {i}: unknown member `{fk}` preserved"
+                                    ));
+                                }
+                            }
+                        } else {
+                            warnings.push(format!("entry {i}: not an object; preserved as-is"));
+                        }
+                    }
+                    out.entries = items;
+                }
+                _ => warnings.push("member `entries` is not an array; dropping it".to_string()),
+            },
+            _ => {
+                warnings.push(format!("unknown top-level member `{key}` preserved"));
+                out.extras.push((key, value));
+            }
+        }
+    }
+    (out, warnings)
+}
+
+/// Render the trajectory back to pretty JSON: the known members first,
+/// then every preserved extra in its original order.
+pub fn render(t: &Trajectory) -> String {
+    let mut members: Vec<(String, Value)> = vec![
+        ("harness".to_string(), Value::String(t.harness.clone())),
+        ("entries".to_string(), Value::Array(t.entries.clone())),
+    ];
+    members.extend(t.extras.iter().cloned());
+    let obj = Value::Object(members);
+    serde_json::to_string_pretty(&obj).unwrap_or_else(|_| obj.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FORWARD_FILE: &str = r#"{
+  "harness": "perfbench-v1",
+  "entries": [
+    {
+      "label": "run",
+      "domains": 40,
+      "workers": 1,
+      "world_build_ms": 1.0,
+      "crawl_ms": 2.0,
+      "pipeline_ms": 3.0,
+      "annotated": 40,
+      "annotations": 99,
+      "rss_peak_mb": 120.5
+    }
+  ],
+  "schema_note": "written by a newer harness"
+}"#;
+
+    #[test]
+    fn unknown_members_warn_and_survive_a_round_trip() {
+        let (t, warnings) = load(FORWARD_FILE);
+        assert_eq!(t.harness, "perfbench-v1");
+        assert_eq!(t.entries.len(), 1);
+        assert_eq!(t.extras.len(), 1, "{t:?}");
+        assert!(
+            warnings.iter().any(|w| w.contains("`rss_peak_mb`")),
+            "{warnings:?}"
+        );
+        assert!(
+            warnings.iter().any(|w| w.contains("`schema_note`")),
+            "{warnings:?}"
+        );
+
+        // Rewrite, reload: both unknown members are still there.
+        let rendered = render(&t);
+        assert!(rendered.contains("rss_peak_mb"), "{rendered}");
+        assert!(rendered.contains("schema_note"), "{rendered}");
+        let (again, _) = load(&rendered);
+        assert_eq!(render(&again), rendered, "round-trip must be stable");
+    }
+
+    #[test]
+    fn appending_keeps_existing_entries_and_extras() {
+        let (mut t, _) = load(FORWARD_FILE);
+        t.entries.push(Value::Object(vec![(
+            "label".to_string(),
+            Value::String("new-run".to_string()),
+        )]));
+        let rendered = render(&t);
+        let (again, _) = load(&rendered);
+        assert_eq!(again.entries.len(), 2);
+        assert!(rendered.contains("rss_peak_mb"), "{rendered}");
+        assert!(rendered.contains("new-run"), "{rendered}");
+    }
+
+    #[test]
+    fn malformed_file_degrades_to_fresh_with_a_warning() {
+        let (t, warnings) = load("not json at all");
+        assert!(t.entries.is_empty() && t.extras.is_empty());
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+
+        let (t, warnings) = load(r#"{"harness": 7, "entries": {}}"#);
+        assert!(t.harness.is_empty());
+        assert!(t.entries.is_empty());
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+    }
+}

@@ -184,6 +184,52 @@ pub const RULES: &[RuleDoc] = &[
         example: "let stats = self.stats.lock()?;\nfor d in domains {\n    stats.record(d); // M2: guard only ever used inside the loop\n}",
     },
     RuleDoc {
+        id: "S1",
+        severity: Severity::Warn,
+        summary: "corpus-scale accumulator escapes a hot fn whose sole consumer iterates it once",
+        rationale: "A collection grown across the whole corpus inside a hot fn, returned to \
+                    exactly one caller that only ever walks it front to back, retains the \
+                    entire corpus in memory for no reason: the producer could yield items \
+                    as they are built (an iterator, a callback, a channel) and peak \
+                    residency drops from O(corpus) to O(1). Each finding carries the \
+                    entry->fn witness path from the cost model.",
+        example: "fn load_all(&self) -> Vec<Page> {\n    let mut pages = Vec::new();\n    for d in &self.domains { pages.push(self.fetch(d)); }\n    pages // S1: only caller is `for p in load_all()` — stream instead\n}",
+    },
+    RuleDoc {
+        id: "S2",
+        severity: Severity::Warn,
+        summary: "collection grown in a loop with no bound derived from a sized input",
+        rationale: "A `while`/`loop` (or an open-range `for`) that keeps pushing into a \
+                    collection without a visible cap — a `len`/`limit`/`budget`-style \
+                    bound in the condition, a guarded break, or a draining iteration — \
+                    grows without limit when the input misbehaves; on a hot path that is \
+                    an OOM seeded by one pathological domain. Make the bound explicit.",
+        example: "let mut seen = Vec::new();\nwhile let Some(url) = frontier.pop() {\n    seen.push(url);\n    frontier.extend(discover(&seen)); // S2: frontier re-fed, no bound\n}",
+    },
+    RuleDoc {
+        id: "W1",
+        severity: Severity::Deny,
+        summary: "worker-reachable mutable state accessed outside any lock region",
+        rationale: "A closure spawned per worker iteration that mutates a captured place \
+                    shared across iterations (not rebound per worker, not a \
+                    lock/atomic/channel operation) is a data race the borrow checker only \
+                    rules out for `std::thread`; for pool abstractions and unsafe \
+                    adapters it is the analysis's job. Move the state behind a lock or \
+                    give each worker its own clone.",
+        example: "let mut tally = BTreeMap::new();\nfor w in 0..workers {\n    pool.spawn(move || tally.insert(w, crawl(w))); // W1: unsynchronized shared write\n}",
+    },
+    RuleDoc {
+        id: "W2",
+        severity: Severity::Warn,
+        summary: "lock acquired inside a corpus-scale hot loop with non-trivial held cost",
+        rationale: "Acquiring a lock once per corpus element and holding it across \
+                    allocating work serializes the worker pool exactly where the pipeline \
+                    fans out. The held-cost estimate scales with loop depth on the hot \
+                    path; `cargo lint --contention` ranks every lock by the same score so \
+                    the worst contention point is the first streaming-refactor candidate.",
+        example: "for page in &corpus {\n    let mut ledger = self.usage.lock()?; // W2: per-page acquire\n    ledger.record(expensive_breakdown(page));\n}",
+    },
+    RuleDoc {
         id: "T1",
         severity: Severity::Deny,
         summary: "taxonomy normalization closure broken",
@@ -264,7 +310,7 @@ mod tests {
         // rule without a catalog entry fails here.
         let emitted = [
             "D1", "D2", "R1", "O1", "H1", "B1", "L1", "E1", "K1", "P1", "X1", "D3", "H2", "C2",
-            "M1", "M2", "T1", "T2", "T3", "A0",
+            "M1", "M2", "S1", "S2", "W1", "W2", "T1", "T2", "T3", "A0",
         ];
         for id in emitted {
             assert!(find(id).is_some(), "rule {id} missing from catalog");

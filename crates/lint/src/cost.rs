@@ -103,7 +103,7 @@ const READ_ONLY_METHODS: &[&str] = &[
 const LOOP_SHIFT: u32 = 3;
 
 /// Depth levels beyond this scale no further (keeps shifts bounded).
-const MAX_SCALED_DEPTH: u32 = 4;
+pub(crate) const MAX_SCALED_DEPTH: u32 = 4;
 
 /// Extra factor charged to fns inside a call-graph cycle (recursion).
 const RECURSION_SHIFT: u32 = 3;
@@ -112,7 +112,7 @@ const RECURSION_SHIFT: u32 = 3;
 const MAX_PATH: usize = 8;
 
 /// Weight scaled by the loop factor for a site at `depth`.
-fn scaled(weight: u64, depth: u32) -> u64 {
+pub(crate) fn scaled(weight: u64, depth: u32) -> u64 {
     weight.saturating_mul(1u64 << (LOOP_SHIFT * depth.min(MAX_SCALED_DEPTH)))
 }
 
@@ -335,6 +335,16 @@ fn allocs_in(e: &Expr, out: &mut Vec<AllocSite>) {
         _ => {}
     }
     for_each_child(e, &mut |c| allocs_in(c, out));
+}
+
+/// Total allocation weight of one expression tree, on the same scale the
+/// cost model uses for `H2`/`C2` (clone/grow 1, `collect`/`format!` 2,
+/// growable ctors 1). Shared with the `W2` held-cost computation so one
+/// vocabulary prices both hot loops and lock regions.
+pub(crate) fn alloc_weight(e: &Expr) -> u64 {
+    let mut sites = Vec::new();
+    allocs_in(e, &mut sites);
+    sites.iter().map(|s| s.weight).sum()
 }
 
 /// Top-level expressions evaluated by one step.

@@ -56,25 +56,32 @@ pub fn offset_in_lines(lines: &[String], line: u32, col: u32) -> usize {
     offset + col.saturating_sub(1) as usize
 }
 
-/// Apply a set of edits to `src`. Edits are sorted by start offset and
-/// applied last-to-first so earlier offsets stay valid; an edit that
-/// overlaps an already-applied one, or reaches past the end of the
-/// source, is skipped (the next `--fix` iteration re-derives it against
-/// the new text).
+/// Apply a set of edits to `src`. Edits are sorted by start offset, and
+/// when two overlap the *earlier* one wins: the later edit is dropped
+/// from this round and re-derived by the next `--fix` fixpoint iteration
+/// against the rewritten text. (The previous last-to-first policy kept
+/// the later edit instead, which silently discarded the first finding's
+/// fix whenever two findings shared a line.) Kept edits are applied
+/// last-to-first so earlier offsets stay valid; an edit that reaches
+/// past the end of the source or splits a UTF-8 character is skipped
+/// outright.
 pub fn apply_edits(src: &str, edits: &[FixEdit]) -> String {
-    let mut sorted: Vec<&FixEdit> = edits.iter().filter(|e| e.start <= e.end).collect();
+    let mut sorted: Vec<&FixEdit> = edits
+        .iter()
+        .filter(|e| e.start <= e.end && e.end <= src.len())
+        .filter(|e| src.is_char_boundary(e.start) && src.is_char_boundary(e.end))
+        .collect();
     sorted.sort_by_key(|e| (e.start, e.end));
+    let mut kept: Vec<&FixEdit> = Vec::new();
+    for edit in sorted {
+        if kept.last().is_some_and(|prev| edit.start < prev.end) {
+            continue;
+        }
+        kept.push(edit);
+    }
     let mut out = src.to_string();
-    let mut applied_floor = usize::MAX;
-    for edit in sorted.iter().rev() {
-        if edit.end > out.len() || edit.end > applied_floor {
-            continue;
-        }
-        if !out.is_char_boundary(edit.start) || !out.is_char_boundary(edit.end) {
-            continue;
-        }
+    for edit in kept.iter().rev() {
         out.replace_range(edit.start..edit.end, &edit.replacement);
-        applied_floor = edit.start;
     }
     out
 }
@@ -198,9 +205,49 @@ mod tests {
                 replacement: "Z".to_string(),
             },
         ];
-        // The later (3..5) edit lands first in reverse order, then 1..4
-        // overlaps the applied floor and is skipped.
-        assert_eq!(apply_edits(src, &edits), "abcYf");
+        // Earlier-edit-wins: 1..4 applies, the overlapping 3..5 is
+        // deferred to the next fixpoint round, 90..99 is out of range.
+        assert_eq!(apply_edits(src, &edits), "aXef");
+    }
+
+    #[test]
+    fn same_line_overlapping_fixes_converge_over_two_rounds() {
+        // Two findings on one line, C2-shaped and E1-shaped, whose edits
+        // overlap: a hoist that rewrites the whole statement and a rename
+        // inside it. Round one must apply the earlier (hoist) edit and
+        // defer the rename; round two, re-derived against the new text,
+        // reaches the fixpoint.
+        let src = "let h = header.clone(); let _ = send(h);\n";
+        let round_one = vec![
+            // C2-style hoist: rewrite the clone statement in place.
+            FixEdit {
+                start: 0,
+                end: 23,
+                replacement: "let h = &header;".to_string(),
+            },
+            // E1-style rename on the same line, anchored inside the
+            // region the first edit rewrites.
+            FixEdit {
+                start: 22,
+                end: 29,
+                replacement: "; let _ignored".to_string(),
+            },
+        ];
+        let after_one = apply_edits(src, &round_one);
+        // Only the earlier edit landed; the later was deferred, so the
+        // discard is still unnamed.
+        assert_eq!(after_one, "let h = &header; let _ = send(h);\n");
+
+        // The re-lint re-derives the rename against the rewritten text.
+        let round_two = vec![FixEdit {
+            start: 21,
+            end: 22,
+            replacement: "_ignored".to_string(),
+        }];
+        let after_two = apply_edits(&after_one, &round_two);
+        assert_eq!(after_two, "let h = &header; let _ignored = send(h);\n");
+        // Fixpoint: applying no edits changes nothing.
+        assert_eq!(apply_edits(&after_two, &[]), after_two);
     }
 
     #[test]

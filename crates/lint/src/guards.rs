@@ -42,7 +42,7 @@ use crate::parser::{CallSite, ItemKind};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Methods that acquire a lock guard.
-const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+pub(crate) const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
 
 /// Interprocedural cost above which a callee counts as expensive for
 /// `M1` even outside the fetch/complete/annotate families.
@@ -54,7 +54,7 @@ const EXPENSIVE_PREFIXES: &[&str] = &["fetch", "complete", "annotate"];
 
 /// Lock registry: `(crate, struct) -> lock-typed field names` (the same
 /// parser-level registry `K1` builds).
-fn lock_registry(ws: &Workspace) -> BTreeMap<(String, String), BTreeSet<String>> {
+pub(crate) fn lock_registry(ws: &Workspace) -> BTreeMap<(String, String), BTreeSet<String>> {
     let mut registry: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
     for file in &ws.files {
         for item in file.parsed.all_items() {
@@ -103,7 +103,7 @@ fn init_mentions_lock(e: &Expr) -> bool {
 
 /// Per-fn environment of names provably bound to lock values: params and
 /// lets whose declared type or initializer names `Mutex`/`RwLock`.
-fn lock_locals(node: &FnNode<'_>, cfg: &Cfg<'_>) -> BTreeSet<String> {
+pub(crate) fn lock_locals(node: &FnNode<'_>, cfg: &Cfg<'_>) -> BTreeSet<String> {
     let mut locals: BTreeSet<String> = node
         .info
         .params
@@ -133,7 +133,7 @@ fn lock_locals(node: &FnNode<'_>, cfg: &Cfg<'_>) -> BTreeSet<String> {
 /// Whether `recv` is a provable lock place for an acquisition method:
 /// `self.<field>` with the field registered, or a path rooted at a local
 /// the environment proves is a lock.
-fn recv_is_lock(
+pub(crate) fn recv_is_lock(
     recv: &Expr,
     method: &str,
     fields: Option<&BTreeSet<String>>,
@@ -158,7 +158,7 @@ fn recv_is_lock(
 
 /// The guard acquisition inside a bind initializer, if any: returns the
 /// acquisition method name.
-fn acquisition_in(
+pub(crate) fn acquisition_in(
     init: &Expr,
     fields: Option<&BTreeSet<String>>,
     locals: &BTreeSet<String>,
@@ -226,7 +226,7 @@ fn stmt_max_line(stmt: &Stmt) -> u32 {
 /// Last line of the scope that declares the `let` at `(line, col)`: the
 /// maximum line spanned by the remainder of its statement list. Falls
 /// back to `u32::MAX` (no clipping) when the statement is not found.
-fn scope_end_of(body: &[Stmt], line: u32, col: u32) -> u32 {
+pub(crate) fn scope_end_of(body: &[Stmt], line: u32, col: u32) -> u32 {
     fn search(stmts: &[Stmt], line: u32, col: u32) -> Option<u32> {
         for (i, stmt) in stmts.iter().enumerate() {
             if let Stmt::Let {

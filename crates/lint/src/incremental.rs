@@ -1,0 +1,299 @@
+//! `--incremental`: content-hash cache so re-lints only pay for what
+//! changed.
+//!
+//! The cache (`target/aipan-lint-cache.json`, sorted JSON) stores, per
+//! workspace file, an FNV-1a content hash and that file's *raw* layer-1
+//! token findings, plus the finished report of the last run. A warm run
+//! over an unchanged tree replays the cached report without lexing or
+//! parsing anything — the output is byte-identical to a cold run because
+//! both render the same [`Report`](crate::scan::Report) through the same
+//! deterministic renderers. When files did change, the cached token
+//! findings of unchanged files are reused (layer 1 is per-file by
+//! construction) and the whole-workspace graph layer is recomputed; the
+//! dirty crate set plus its reverse-dependency closure over crate
+//! references is reported in the stats, and the graph re-run
+//! over-approximates that closure (see DESIGN.md §6a — soundness first:
+//! a cross-crate pass may produce findings outside the closure, so the
+//! closure bounds *reporting*, not *recomputation*).
+//!
+//! The cache embeds [`CACHE_SCHEMA`], [`report::SCHEMA_VERSION`], and a
+//! signature over `lint.toml` + the allowlist text, so a rule-vocabulary
+//! or config change invalidates it wholesale. Cache reads and writes are
+//! soft: any mismatch or I/O failure degrades to a cold run, never to an
+//! error.
+
+use crate::allow::Allowlist;
+use crate::findings::Finding;
+use crate::graph::crate_of;
+use crate::report;
+use crate::scan::{self, Report};
+use serde::{Serialize, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+
+/// Cache layout version; bump when the cache shape itself changes.
+pub const CACHE_SCHEMA: u64 = 1;
+
+/// Cache location relative to the workspace root (`target/` is never
+/// scanned, so the cache can never lint itself).
+pub const CACHE_REL_PATH: &str = "target/aipan-lint-cache.json";
+
+/// What the incremental driver did, for the stderr summary line.
+#[derive(Debug)]
+pub struct IncrementalStats {
+    /// Files in the scan set.
+    pub total_files: usize,
+    /// Files whose content hash differs from the cache (or were absent).
+    pub changed_files: usize,
+    /// Files whose layer-1 token findings were reused from the cache.
+    pub reused_token_files: usize,
+    /// Whole cached report replayed (unchanged tree, no parsing at all).
+    pub replayed: bool,
+    /// Crates owning changed files, plus their reverse-dependency
+    /// closure over crate references; empty on a replay.
+    pub dirty_closure: Vec<String>,
+}
+
+impl IncrementalStats {
+    /// One-line human summary for stderr.
+    pub fn summary(&self) -> String {
+        if self.replayed {
+            format!(
+                "warm: {} file(s) unchanged, report replayed from cache",
+                self.total_files
+            )
+        } else {
+            format!(
+                "cold/partial: {}/{} file(s) changed, {} token pass(es) reused, \
+                 dirty crate closure: [{}]",
+                self.changed_files,
+                self.total_files,
+                self.reused_token_files,
+                self.dirty_closure.join(", ")
+            )
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash, rendered as fixed-width hex. Deterministic across
+/// platforms and runs — the whole point.
+fn fnv64_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Signature over everything that affects findings besides file
+/// contents: the layering config, the allowlist, and both schema
+/// numbers.
+fn config_signature(root: &Path, allow_path: &Path) -> String {
+    let lint_toml = std::fs::read_to_string(root.join("lint.toml")).unwrap_or_default();
+    let allow = std::fs::read_to_string(allow_path).unwrap_or_default();
+    let blob = format!(
+        "{CACHE_SCHEMA}\u{0}{}\u{0}{lint_toml}\u{0}{allow}",
+        report::SCHEMA_VERSION
+    );
+    fnv64_hex(blob.as_bytes())
+}
+
+/// Parsed cache contents.
+struct Cache {
+    /// rel path → (content hash, raw token findings).
+    files: BTreeMap<String, (String, Vec<Finding>)>,
+    /// The finished report of the run that wrote the cache.
+    report: Report,
+}
+
+/// Load and validate the cache; `None` means cold (missing, unreadable,
+/// or written under a different schema/config).
+fn load_cache(root: &Path, sig: &str) -> Option<Cache> {
+    let text = std::fs::read_to_string(root.join(CACHE_REL_PATH)).ok()?;
+    let v: Value = serde_json::from_str(&text).ok()?;
+    if v.get("cache_schema")?.as_u64()? != CACHE_SCHEMA {
+        return None;
+    }
+    if v.get("schema_version")?.as_u64()? != report::SCHEMA_VERSION {
+        return None;
+    }
+    if v.get("config_sig")?.as_str()? != sig {
+        return None;
+    }
+    let mut files = BTreeMap::new();
+    let Value::Object(members) = v.get("files")? else {
+        return None;
+    };
+    for (rel, entry) in members {
+        let hash = entry.get("hash")?.as_str()?.to_string();
+        let token = report::findings_from_value(entry.get("token")?)?;
+        files.insert(rel.clone(), (hash, token));
+    }
+    let rep = v.get("report")?;
+    let cached_report = Report {
+        findings: report::findings_from_value(rep.get("findings")?)?,
+        suppressed: report::findings_from_value(rep.get("suppressed")?)?,
+        files_scanned: rep.get("files_scanned")?.as_u64()? as usize,
+    };
+    Some(Cache {
+        files,
+        report: cached_report,
+    })
+}
+
+/// Write the cache; failures are deliberately swallowed (a read-only
+/// checkout must still lint).
+fn store_cache(
+    root: &Path,
+    sig: &str,
+    hashes: &BTreeMap<String, String>,
+    token: &BTreeMap<String, Vec<Finding>>,
+    rep: &Report,
+) {
+    let file_members: Vec<(String, Value)> = hashes
+        .iter()
+        .map(|(rel, hash)| {
+            let token_findings = token.get(rel).map(Vec::as_slice).unwrap_or(&[]);
+            (
+                rel.clone(),
+                report::sorted_object(vec![
+                    ("hash", hash.to_value()),
+                    ("token", report::findings_value(token_findings)),
+                ]),
+            )
+        })
+        .collect();
+    let obj = report::sorted_object(vec![
+        ("cache_schema", CACHE_SCHEMA.to_value()),
+        ("config_sig", sig.to_value()),
+        ("files", Value::Object(file_members)),
+        (
+            "report",
+            report::sorted_object(vec![
+                ("files_scanned", (rep.files_scanned as u64).to_value()),
+                ("findings", report::findings_value(&rep.findings)),
+                ("suppressed", report::findings_value(&rep.suppressed)),
+            ]),
+        ),
+        ("schema_version", report::SCHEMA_VERSION.to_value()),
+    ]);
+    let text = serde_json::to_string_pretty(&obj).unwrap_or_else(|_| obj.to_string());
+    let path = root.join(CACHE_REL_PATH);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let _ = std::fs::write(&path, text + "\n");
+}
+
+/// Crates owning changed files plus every crate that (transitively)
+/// references one of them — the set whose findings can differ.
+fn dirty_crate_closure(sources: &[(String, String)], changed: &BTreeSet<String>) -> Vec<String> {
+    let mut dirty: BTreeSet<String> = changed.iter().map(|rel| crate_of(rel)).collect();
+    if dirty.is_empty() {
+        return Vec::new();
+    }
+    // Reverse edges over crate references: `user -> used`, so a crate
+    // that references a dirty crate becomes dirty too.
+    let ws = crate::graph::Workspace::build(sources);
+    let mut refs: Vec<(String, String)> = Vec::new();
+    for file in &ws.files {
+        for (used, _, _) in &file.crate_refs {
+            refs.push((file.crate_name.clone(), used.clone()));
+        }
+    }
+    let mut grew = true;
+    while grew {
+        grew = false;
+        for (user, used) in &refs {
+            if dirty.contains(used) && !dirty.contains(user) {
+                dirty.insert(user.clone());
+                grew = true;
+            }
+        }
+    }
+    dirty.into_iter().collect()
+}
+
+/// Lint the workspace with the content-hash cache: replay on an
+/// unchanged tree, otherwise reuse per-file token findings and recompute
+/// the graph layer. The returned report is indistinguishable from
+/// [`scan::run`]'s.
+pub fn run_incremental(root: &Path, allow_path: &Path) -> io::Result<(Report, IncrementalStats)> {
+    let sig = config_signature(root, allow_path);
+    let sources = scan::read_sources(root, |_| true)?;
+    let mut hashes: BTreeMap<String, String> = BTreeMap::new();
+    for (rel, src) in &sources {
+        hashes.insert(rel.clone(), fnv64_hex(src.as_bytes()));
+    }
+
+    let cache = load_cache(root, &sig);
+    let unchanged = cache.as_ref().is_some_and(|c| {
+        c.files.len() == hashes.len()
+            && hashes
+                .iter()
+                .all(|(rel, h)| c.files.get(rel).is_some_and(|(ch, _)| ch == h))
+    });
+    if unchanged {
+        // Tree identical to the cached run: replay without touching the
+        // lexer or parser. `cache` is `Some` here by construction.
+        let Some(c) = cache else {
+            return Err(io::Error::new(io::ErrorKind::Other, "cache vanished"));
+        };
+        let stats = IncrementalStats {
+            total_files: sources.len(),
+            changed_files: 0,
+            reused_token_files: sources.len(),
+            replayed: true,
+            dirty_closure: Vec::new(),
+        };
+        return Ok((c.report, stats));
+    }
+
+    // Layer 1 with per-file reuse.
+    let mut token: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    let mut changed: BTreeSet<String> = BTreeSet::new();
+    let mut reused = 0usize;
+    for (rel, src) in &sources {
+        let hash = hashes.get(rel).cloned().unwrap_or_default();
+        let cached = cache
+            .as_ref()
+            .and_then(|c| c.files.get(rel))
+            .filter(|(ch, _)| *ch == hash);
+        match cached {
+            Some((_, findings)) => {
+                reused += 1;
+                token.insert(rel.clone(), findings.clone());
+            }
+            None => {
+                changed.insert(rel.clone());
+                token.insert(rel.clone(), scan::token_findings(rel, src));
+            }
+        }
+    }
+
+    // Layer 2 always recomputes (sound over-approximation of the dirty
+    // closure); the closure itself is computed for the stats line.
+    let mut raw: Vec<Finding> = token.values().flatten().cloned().collect();
+    raw.extend(scan::graph_findings(root, &sources)?);
+
+    let allowlist = if allow_path.is_file() {
+        let text = std::fs::read_to_string(allow_path)?;
+        Allowlist::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+    } else {
+        Allowlist::default()
+    };
+    let rep = scan::finish(raw, allowlist, sources.len());
+
+    let stats = IncrementalStats {
+        total_files: sources.len(),
+        changed_files: changed.len(),
+        reused_token_files: reused,
+        replayed: false,
+        dirty_closure: dirty_crate_closure(&sources, &changed),
+    };
+    store_cache(root, &sig, &hashes, &token, &rep);
+    Ok((rep, stats))
+}

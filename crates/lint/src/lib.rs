@@ -54,14 +54,17 @@ pub mod findings;
 pub mod fix;
 pub mod graph;
 pub mod guards;
+pub mod incremental;
 pub mod invariants;
 pub mod lexer;
 pub mod locks;
 pub mod panic_reach;
 pub mod parser;
 pub mod report;
+pub mod retain;
 pub mod rules;
 pub mod scan;
+pub mod share;
 pub mod taint;
 
 pub use allow::{Allowlist, ParseError};

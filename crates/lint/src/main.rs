@@ -4,6 +4,8 @@
 //! cargo run -p aipan-lint -- [--format human|json] [--deny-warnings] [--verbose] [--root DIR] [--allow FILE]
 //! cargo run -p aipan-lint -- --explain RULE
 //! cargo run -p aipan-lint -- --hotpaths
+//! cargo run -p aipan-lint -- --contention
+//! cargo run -p aipan-lint -- --incremental
 //! cargo run -p aipan-lint -- --fix [--dry-run]
 //! ```
 //!
@@ -12,7 +14,7 @@
 //! pending), 2 usage or I/O error.
 
 use aipan_lint::allow::Allowlist;
-use aipan_lint::{catalog, fix, report, scan};
+use aipan_lint::{catalog, fix, incremental, report, scan};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -29,6 +31,8 @@ struct Options {
     deny_warnings: bool,
     verbose: bool,
     hotpaths: bool,
+    contention: bool,
+    incremental: bool,
     fix: bool,
     dry_run: bool,
     root: Option<PathBuf>,
@@ -41,6 +45,8 @@ fn parse_args() -> Result<Options, String> {
         deny_warnings: false,
         verbose: false,
         hotpaths: false,
+        contention: false,
+        incremental: false,
         fix: false,
         dry_run: false,
         root: None,
@@ -77,6 +83,8 @@ fn parse_args() -> Result<Options, String> {
             "--deny-warnings" => opts.deny_warnings = true,
             "--verbose" => opts.verbose = true,
             "--hotpaths" => opts.hotpaths = true,
+            "--contention" => opts.contention = true,
+            "--incremental" => opts.incremental = true,
             "--fix" => opts.fix = true,
             "--dry-run" => opts.dry_run = true,
             "--root" => {
@@ -98,6 +106,8 @@ fn parse_args() -> Result<Options, String> {
                      \x20 --json            shorthand for --format json\n\
                      \x20 --explain RULE    print the catalog entry for one rule (e.g. X1)\n\
                      \x20 --hotpaths        rank the costliest pipeline entry chains and exit\n\
+                     \x20 --contention      rank lock sites by hot-path held cost and exit\n\
+                     \x20 --incremental     reuse the content-hash cache in target/ (same output)\n\
                      \x20 --fix             apply machine-applicable fixes, re-lint to fixpoint\n\
                      \x20 --dry-run         with --fix: print the would-be unified diff instead\n\
                      \x20 --deny-warnings   any finding fails the run (CI mode)\n\
@@ -287,10 +297,45 @@ fn main() -> ExitCode {
         };
     }
 
+    if opts.contention {
+        return match scan::contention(&root) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("aipan-lint: contention analysis failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     let allow_path = opts
         .allow
         .clone()
         .unwrap_or_else(|| root.join("lint.allow"));
+
+    if opts.incremental {
+        let (lint_report, stats) = match incremental::run_incremental(&root, &allow_path) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("aipan-lint: incremental scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // Stats go to stderr so stdout stays byte-identical to a plain run.
+        eprintln!("aipan-lint --incremental: {}", stats.summary());
+        if opts.json {
+            println!("{}", report::json(&lint_report));
+        } else {
+            print!("{}", report::human(&lint_report, opts.deny_warnings));
+        }
+        return if lint_report.failed(opts.deny_warnings) {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
 
     if opts.fix {
         return if opts.dry_run {

@@ -75,10 +75,11 @@ pub fn human(report: &Report, deny_warnings: bool) -> String {
     out
 }
 
-/// JSON shape version. Bumped to 2 when findings gained witness-path
-/// messages and machine-applicable `fix` spans, so downstream tooling
-/// can detect the v4 finding shape.
-pub const SCHEMA_VERSION: u64 = 2;
+/// JSON shape version. Bumped to 3 with the v5 analysis vocabulary
+/// (`S1`/`S2`/`W1`/`W2` retention and sharing rules) and the
+/// `--incremental` cache, whose entries embed this constant so a shape
+/// change invalidates every cached report.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Render the report as a single JSON object with sorted member order:
 /// `{"files_scanned": N, "findings": [...], "schema_version": 2,
@@ -95,7 +96,7 @@ pub fn json(report: &Report) -> String {
 
 /// Build an object whose members are sorted by key via a `BTreeMap`, so
 /// field order can never depend on struct declaration or insertion order.
-fn sorted_object(members: Vec<(&str, Value)>) -> Value {
+pub(crate) fn sorted_object(members: Vec<(&str, Value)>) -> Value {
     let map: BTreeMap<String, Value> = members
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
@@ -103,11 +104,11 @@ fn sorted_object(members: Vec<(&str, Value)>) -> Value {
     Value::Object(map.into_iter().collect())
 }
 
-fn findings_value(findings: &[Finding]) -> Value {
+pub(crate) fn findings_value(findings: &[Finding]) -> Value {
     Value::Array(findings.iter().map(finding_value).collect())
 }
 
-fn finding_value(f: &Finding) -> Value {
+pub(crate) fn finding_value(f: &Finding) -> Value {
     sorted_object(vec![
         ("col", (f.col as u64).to_value()),
         ("file", f.file.to_value()),
@@ -118,6 +119,50 @@ fn finding_value(f: &Finding) -> Value {
         ("severity", f.severity.name().to_value()),
         ("snippet", f.snippet.to_value()),
     ])
+}
+
+/// Rebuild a [`Finding`] from its JSON value (the `--incremental` cache
+/// round-trip). Returns `None` on any shape mismatch — the caller treats
+/// that as a cold cache, never as an error. The rule id is interned
+/// through [`crate::catalog::find`] so the `&'static str` identity
+/// matches freshly-emitted findings exactly.
+pub(crate) fn finding_from_value(v: &Value) -> Option<Finding> {
+    let rule = crate::catalog::find(v.get("rule")?.as_str()?)?.id;
+    let severity = match v.get("severity")?.as_str()? {
+        "deny" => Severity::Deny,
+        "warn" => Severity::Warn,
+        _ => return None,
+    };
+    let fix = match v.get("fix")? {
+        Value::Null => None,
+        fx => {
+            let title = fx.get("title")?.as_str()?.to_string();
+            let mut edits = Vec::new();
+            for e in fx.get("edits")?.as_array()? {
+                edits.push(crate::fix::FixEdit {
+                    start: e.get("start")?.as_u64()? as usize,
+                    end: e.get("end")?.as_u64()? as usize,
+                    replacement: e.get("replacement")?.as_str()?.to_string(),
+                });
+            }
+            Some(crate::fix::Fix { title, edits })
+        }
+    };
+    Some(Finding {
+        rule,
+        severity,
+        file: v.get("file")?.as_str()?.to_string(),
+        line: v.get("line")?.as_u64()? as u32,
+        col: v.get("col")?.as_u64()? as u32,
+        message: v.get("message")?.as_str()?.to_string(),
+        snippet: v.get("snippet")?.as_str()?.to_string(),
+        fix,
+    })
+}
+
+/// Rebuild a finding list from a cached JSON array (`None` on mismatch).
+pub(crate) fn findings_from_value(v: &Value) -> Option<Vec<Finding>> {
+    v.as_array()?.iter().map(finding_from_value).collect()
 }
 
 /// The `fix` member: `null` when the rule attached no rewrite, otherwise

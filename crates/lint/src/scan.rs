@@ -24,7 +24,9 @@ use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::findings::{sort_findings, Finding};
 use crate::graph::Workspace;
-use crate::{cost, error_flow, guards, invariants, locks, panic_reach, rules, taint};
+use crate::{
+    cost, error_flow, guards, invariants, locks, panic_reach, retain, rules, share, taint,
+};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -135,33 +137,23 @@ pub fn hotpaths(root: &Path, top: usize) -> io::Result<String> {
     Ok(cost::hotpath_report(&workspace, &callgraph, &model, top))
 }
 
-/// Lint the subset of workspace files whose relative path satisfies
-/// `keep`. The graph passes see only the kept files, so a subset run
-/// answers "is this corner self-consistent?" — `tests/lint_self_clean.rs`
-/// uses it to hold `crates/lint` to its own rules with no allowlist.
-pub fn run_filtered(
+/// Layer 1: the per-file token rules for one source file. The
+/// incremental driver caches this layer per content hash — it depends
+/// only on the file text, never on the rest of the workspace.
+pub(crate) fn token_findings(rel: &str, src: &str) -> Vec<Finding> {
+    rules::lint_source(rel, src)
+}
+
+/// Layer 2: the whole-workspace graph rules (layering, call-graph
+/// passes, retention, sharing, dead pub) plus the data invariants.
+/// These see every kept file at once, so the incremental driver re-runs
+/// this layer whenever any file changed.
+pub(crate) fn graph_findings(
     root: &Path,
-    mut allowlist: Allowlist,
-    keep: impl Fn(&str) -> bool,
-) -> io::Result<Report> {
-    let files: Vec<String> = source_files(root)?
-        .into_iter()
-        .filter(|rel| keep(rel))
-        .collect();
-    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
-    for rel in &files {
-        let src = fs::read_to_string(root.join(rel))?;
-        sources.push((rel.clone(), src));
-    }
-
-    // Layer 1: per-file token rules.
+    sources: &[(String, String)],
+) -> io::Result<Vec<Finding>> {
     let mut raw = Vec::new();
-    for (rel, src) in &sources {
-        raw.extend(rules::lint_source(rel, src));
-    }
-
-    // Layer 2: workspace graph rules.
-    let workspace = Workspace::build(&sources);
+    let workspace = Workspace::build(sources);
     let config_path = root.join("lint.toml");
     if config_path.is_file() {
         let text = fs::read_to_string(&config_path)?;
@@ -177,10 +169,16 @@ pub fn run_filtered(
     raw.extend(taint::check_taint(&workspace, &callgraph));
     raw.extend(cost::check_cost(&workspace, &callgraph, &cost_model));
     raw.extend(guards::check_guards(&workspace, &callgraph, &cost_model));
+    raw.extend(retain::check_retention(&workspace, &callgraph, &cost_model));
+    raw.extend(share::check_sharing(&workspace, &callgraph, &cost_model));
     raw.extend(workspace.check_dead_pub());
-
     raw.extend(invariants::check_all());
+    Ok(raw)
+}
 
+/// Final step shared by every driver: partition raw findings through the
+/// allowlist, append `A0` unused-entry findings, and sort.
+pub(crate) fn finish(raw: Vec<Finding>, mut allowlist: Allowlist, files_scanned: usize) -> Report {
     let mut findings = Vec::new();
     let mut suppressed = Vec::new();
     for finding in raw {
@@ -193,11 +191,56 @@ pub fn run_filtered(
     findings.extend(allowlist.unused());
     sort_findings(&mut findings);
     sort_findings(&mut suppressed);
-    Ok(Report {
+    Report {
         findings,
         suppressed,
-        files_scanned: files.len(),
-    })
+        files_scanned,
+    }
+}
+
+/// Read every kept source file under `root` as `(rel_path, text)` pairs.
+pub(crate) fn read_sources(
+    root: &Path,
+    keep: impl Fn(&str) -> bool,
+) -> io::Result<Vec<(String, String)>> {
+    let files: Vec<String> = source_files(root)?
+        .into_iter()
+        .filter(|rel| keep(rel))
+        .collect();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        sources.push((rel, src));
+    }
+    Ok(sources)
+}
+
+/// Lint the subset of workspace files whose relative path satisfies
+/// `keep`. The graph passes see only the kept files, so a subset run
+/// answers "is this corner self-consistent?" — `tests/lint_self_clean.rs`
+/// uses it to hold `crates/lint` to its own rules with no allowlist.
+pub fn run_filtered(
+    root: &Path,
+    allowlist: Allowlist,
+    keep: impl Fn(&str) -> bool,
+) -> io::Result<Report> {
+    let sources = read_sources(root, keep)?;
+    let mut raw = Vec::new();
+    for (rel, src) in &sources {
+        raw.extend(token_findings(rel, src));
+    }
+    raw.extend(graph_findings(root, &sources)?);
+    Ok(finish(raw, allowlist, sources.len()))
+}
+
+/// Build the analyzed workspace at `root` and render the `--contention`
+/// per-lock ranking (the streaming-refactor worklist).
+pub fn contention(root: &Path) -> io::Result<String> {
+    let sources = read_sources(root, |_| true)?;
+    let workspace = Workspace::build(&sources);
+    let callgraph = CallGraph::build(&workspace);
+    let model = cost::CostModel::build(&workspace, &callgraph);
+    Ok(share::contention_report(&workspace, &callgraph, &model))
 }
 
 #[cfg(test)]
@@ -249,6 +292,39 @@ mod tests {
             "annotate-reachable chain must outrank crawl-only chain:\n{report}"
         );
         assert!(report.contains("annotate_policy_with"), "{report}");
+    }
+
+    #[test]
+    fn contention_ranks_annotate_stage_ledger_above_crawl_stage_locks() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).unwrap();
+        let report = contention(&root).expect("contention report builds");
+        let lines: Vec<&str> = report.lines().collect();
+        let rank_of = |needle: &str| {
+            lines
+                .iter()
+                .position(|l| l.contains(needle))
+                .unwrap_or_else(|| panic!("`{needle}` missing from ranking:\n{report}"))
+        };
+        // The annotate-stage usage ledger serializes every worker on one
+        // Mutex while holding clone-heavy breakdown work, so it must
+        // outrank every crawl-stage lock — it is the first entry on the
+        // streaming-refactor worklist.
+        let ledger = rank_of("chatbot::UsageLedger.inner");
+        assert!(
+            ledger < rank_of("net::Internet.hosts"),
+            "ledger must outrank the crawl-side host registry:\n{report}"
+        );
+        assert!(
+            ledger < rank_of("net::Client.metrics"),
+            "ledger must outrank the crawl-side transport metrics:\n{report}"
+        );
+        assert!(
+            lines
+                .get(2)
+                .is_some_and(|l| l.contains("chatbot::UsageLedger.inner")),
+            "ledger must be the top-ranked lock overall:\n{report}"
+        );
     }
 
     #[test]

@@ -42,9 +42,11 @@ fn sample_report() -> Report {
     }
 }
 
-/// The full rendered document, byte for byte. `schema_version` is 2:
-/// findings gained the `fix` member (null, or `{edits, title}` with
-/// byte-offset spans) in the v4 lint.
+/// The full rendered document, byte for byte. `schema_version` is 3:
+/// the v5 lint added the `S1`/`S2`/`W1`/`W2` rule vocabulary and the
+/// `--incremental` cache keyed on this constant (the member shapes are
+/// unchanged from 2, but cached reports must not replay across the
+/// vocabulary change).
 const SNAPSHOT: &str = r#"{
   "files_scanned": 2,
   "findings": [
@@ -78,7 +80,7 @@ const SNAPSHOT: &str = r#"{
       "snippet": ""
     }
   ],
-  "schema_version": 2,
+  "schema_version": 3,
   "suppressed": []
 }"#;
 

@@ -686,3 +686,218 @@ fn m2_guard_used_only_inside_loop_fires_and_outside_use_does_not() {
     let findings = guard_findings(&clean);
     assert!(findings.is_empty(), "{findings:?}");
 }
+
+// ---------------------------------------------------------------------------
+// Retention & sharing rules (S1 / S2 / W1 / W2): one violating and one
+// clean fixture pair each, driven through the same passes `scan::run` uses.
+// ---------------------------------------------------------------------------
+
+use aipan_lint::{retain, share};
+
+fn retention_findings(ws: &Workspace) -> Vec<Finding> {
+    let graph = CallGraph::build(ws);
+    let model = cost::CostModel::build(ws, &graph);
+    retain::check_retention(ws, &graph, &model)
+}
+
+fn sharing_findings(ws: &Workspace) -> Vec<Finding> {
+    let graph = CallGraph::build(ws);
+    let model = cost::CostModel::build(ws, &graph);
+    share::check_sharing(ws, &graph, &model)
+}
+
+#[test]
+fn s1_materialized_hand_off_fires_and_multi_use_consumer_does_not() {
+    // Violating: a hot annotate-stage fn materializes the whole corpus
+    // into a Vec whose sole consumer just iterates it once.
+    let bad = workspace(&[(
+        "crates/core/src/annotate.rs",
+        "pub fn annotate_corpus(docs: &[String]) -> Vec<String> {\n\
+         \x20   let mut out = Vec::new();\n\
+         \x20   for d in docs {\n\
+         \x20       out.push(d.clone());\n\
+         \x20   }\n\
+         \x20   out\n\
+         }\n\
+         pub fn run_pipeline_emit(docs: &[String]) {\n\
+         \x20   for a in annotate_corpus(docs) {\n\
+         \x20       emit(a);\n\
+         \x20   }\n\
+         }\n",
+    )]);
+    let findings = retention_findings(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("S1", aipan_lint::Severity::Warn));
+    assert_eq!(f.line, 2);
+    assert!(f.message.contains("annotate_corpus"), "{}", f.message);
+    assert!(f.message.contains("run_pipeline_emit"), "{}", f.message);
+
+    // Clean: the consumer also reads the batch's length, so the
+    // materialized Vec is not a pure stream hand-off.
+    let clean = workspace(&[(
+        "crates/core/src/annotate.rs",
+        "pub fn annotate_corpus(docs: &[String]) -> Vec<String> {\n\
+         \x20   let mut out = Vec::new();\n\
+         \x20   for d in docs {\n\
+         \x20       out.push(d.clone());\n\
+         \x20   }\n\
+         \x20   out\n\
+         }\n\
+         pub fn run_pipeline_emit(docs: &[String]) {\n\
+         \x20   let batch = annotate_corpus(docs);\n\
+         \x20   record_count(batch.len());\n\
+         \x20   for a in batch {\n\
+         \x20       emit(a);\n\
+         \x20   }\n\
+         }\n",
+    )]);
+    let findings = retention_findings(&clean);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn s2_unbounded_growth_fires_and_len_derived_bound_does_not() {
+    // Violating: a hot fn grows a Vec in a `loop` with no exit bound at
+    // all — unbounded memory at corpus scale.
+    let bad = workspace(&[(
+        "crates/core/src/annotate.rs",
+        "pub fn annotate_feed(feed: &Feed) -> Vec<String> {\n\
+         \x20   let mut out = Vec::new();\n\
+         \x20   loop {\n\
+         \x20       out.push(feed.next_chunk());\n\
+         \x20   }\n\
+         }\n",
+    )]);
+    let findings = retention_findings(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("S2", aipan_lint::Severity::Warn));
+    assert_eq!(f.line, 4);
+    assert!(f.message.contains("out"), "{}", f.message);
+    assert!(f.message.contains("no bound"), "{}", f.message);
+
+    // Clean: the same loop exits on a bound *derived from* a sized
+    // input (`let n = items.len()`), recognized through the bound-locals
+    // analysis even though the guard itself only names `n`.
+    let clean = workspace(&[(
+        "crates/core/src/annotate.rs",
+        "pub fn annotate_feed(feed: &Feed, items: &[String]) -> Vec<String> {\n\
+         \x20   let n = items.len();\n\
+         \x20   let mut out = Vec::new();\n\
+         \x20   let mut i = 0;\n\
+         \x20   loop {\n\
+         \x20       if i >= n {\n\
+         \x20           break;\n\
+         \x20       }\n\
+         \x20       out.push(feed.next_chunk());\n\
+         \x20       i += 1;\n\
+         \x20   }\n\
+         \x20   out\n\
+         }\n",
+    )]);
+    let findings = retention_findings(&clean);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn w1_unsynchronized_worker_mutation_fires_and_locked_access_does_not() {
+    // Violating: a worker pool (spawn inside a loop) where every worker
+    // pushes into the same captured Vec with no lock in sight.
+    let bad = workspace(&[(
+        "crates/crawler/src/pool.rs",
+        "pub fn crawl_all(urls: &[String], results: &mut Vec<String>) {\n\
+         \x20   for _w in 0..4 {\n\
+         \x20       scope.spawn(move || {\n\
+         \x20           results.push(fetch_next(urls));\n\
+         \x20       });\n\
+         \x20   }\n\
+         }\n",
+    )]);
+    let findings = sharing_findings(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("W1", aipan_lint::Severity::Deny));
+    assert_eq!(f.line, 4);
+    assert!(f.message.contains("results"), "{}", f.message);
+    assert!(f.message.contains("push"), "{}", f.message);
+
+    // Clean: the same pool routed through a Mutex — access via a
+    // recognized sync method is the sanctioned path. (The spawn loop
+    // iterates a worker count, so the per-worker acquisition is not
+    // corpus-scale either.)
+    let clean = workspace(&[(
+        "crates/crawler/src/pool.rs",
+        "pub fn crawl_all(urls: &[String], workers: usize, results: &Mutex<Vec<String>>) {\n\
+         \x20   for _w in 0..workers {\n\
+         \x20       scope.spawn(move || {\n\
+         \x20           results.lock().push(fetch_next(urls));\n\
+         \x20       });\n\
+         \x20   }\n\
+         }\n",
+    )]);
+    let findings = sharing_findings(&clean);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn w2_lock_in_corpus_loop_fires_and_hoisted_or_worker_loop_does_not() {
+    let decl = "pub struct Stats { totals: Mutex<Vec<String>> }\n";
+    // Violating: the lock is taken once per corpus item and the held
+    // region allocates (clone + grow) while other workers wait.
+    let bad = workspace(&[(
+        "crates/core/src/annotate.rs",
+        &format!(
+            "{decl}impl Stats {{\n\
+             \x20   pub fn annotate_tally(&self, docs: &[String]) {{\n\
+             \x20       for d in docs {{\n\
+             \x20           let mut g = self.totals.lock();\n\
+             \x20           g.push(d.clone());\n\
+             \x20       }}\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    )]);
+    let findings = sharing_findings(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("W2", aipan_lint::Severity::Warn));
+    assert_eq!(f.line, 5);
+    assert!(f.message.contains("totals"), "{}", f.message);
+    assert!(f.message.contains("--contention"), "{}", f.message);
+
+    // Clean: the lock hoisted out of the corpus loop (depth 0).
+    let hoisted = workspace(&[(
+        "crates/core/src/annotate.rs",
+        &format!(
+            "{decl}impl Stats {{\n\
+             \x20   pub fn annotate_tally(&self, docs: &[String]) {{\n\
+             \x20       let mut g = self.totals.lock();\n\
+             \x20       for d in docs {{\n\
+             \x20           g.push(d.clone());\n\
+             \x20       }}\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    )]);
+    let findings = sharing_findings(&hoisted);
+    assert!(findings.is_empty(), "{findings:?}");
+
+    // Clean: the same acquisition inside a *worker-count* loop — spawning
+    // N workers locks N times, not 30k times, so it is not corpus-scale.
+    let worker_loop = workspace(&[(
+        "crates/core/src/annotate.rs",
+        &format!(
+            "{decl}impl Stats {{\n\
+             \x20   pub fn annotate_spawn(&self, workers: usize, name: &String) {{\n\
+             \x20       for _w in 0..workers {{\n\
+             \x20           let mut g = self.totals.lock();\n\
+             \x20           g.push(name.clone());\n\
+             \x20       }}\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    )]);
+    let findings = sharing_findings(&worker_loop);
+    assert!(findings.is_empty(), "{findings:?}");
+}
