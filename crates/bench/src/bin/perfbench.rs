@@ -7,12 +7,30 @@
 //! are seeded and deterministic; only the wall-clock varies by machine).
 //!
 //! ```text
-//! perfbench                        # full grid: 100/300/1000 × {1,4,8}
-//! perfbench --smoke                # tiny grid for CI / verify drive
+//! perfbench                        # standard grid: 100/300/1000 × {1,4,8}
+//!                                  #   + streaming 3000/10000 × {8}
+//! perfbench --smoke                # small on-grid cells for CI / verify
 //! perfbench --chaos-smoke          # 300 domains under FaultConfig::chaotic()
-//! perfbench --label post-PR3      # tag the appended entries
-//! perfbench --out /tmp/bench.json # write somewhere else
+//! perfbench --domains 500 --adhoc  # off-grid exploration (flagged cells)
+//! perfbench --label post-PR3       # tag the appended entries
+//! perfbench --out /tmp/bench.json  # write somewhere else
 //! ```
+//!
+//! Cells come in two modes. `eager` builds the whole synthetic web up
+//! front (the historical measurement; `world_build_ms` covers full site
+//! materialization and `crawl_ms` a standalone crawl pass). `streaming`
+//! builds a lazy world — sites materialize on first fetch inside the
+//! pipeline's worker chain and are released per domain — so `crawl_ms` is
+//! folded into `pipeline_ms` and `peak_resident_bytes` (the site
+//! generator's high-water mark) stays bounded by in-flight domains rather
+//! than the universe. Every entry also records per-stage ms/domain so
+//! cells of different sizes compare directly.
+//!
+//! Sizes off the standard grid {100, 300, 1000, 3000, 10000} are rejected
+//! unless `--adhoc` is passed: an earlier PR recorded its "standard" cells
+//! at 40 domains and the trajectory lost cross-PR comparability for that
+//! label. Ad-hoc cells are fine for exploration — they are just labeled
+//! explicitly (`-adhoc` suffix) instead of silently polluting the grid.
 //!
 //! `--chaos-smoke` runs one elevated-transient cell (flaky 5xx bursts,
 //! resets, 429s, latency spikes) so the retry/breaker overhead shows up in
@@ -29,28 +47,48 @@ use aipan_core::{run_pipeline, PipelineConfig};
 use aipan_crawler::{crawl_all, PoolConfig};
 use aipan_net::fault::{FaultConfig, FaultInjector};
 use aipan_net::Client;
-use aipan_webgen::{build_world, WorldConfig};
+use aipan_webgen::{build_world, build_world_lazy, WorldConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 const SEED: u64 = 7;
+
+/// Universe sizes with cross-PR comparable history. Other sizes need
+/// `--adhoc`.
+const STANDARD_SIZES: &[usize] = &[100, 300, 1000, 3000, 10000];
 
 /// One measured grid cell.
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchEntry {
     /// Caller-supplied tag (e.g. `pre-PR3-baseline`, `post-PR3`).
     label: String,
+    /// `eager` (whole web built up front) or `streaming` (lazy per-domain
+    /// generation, sites released as domains finish).
+    mode: String,
     /// Universe size (company domains attempted).
     domains: usize,
     /// Worker-thread count for crawl and annotation pools.
     workers: usize,
-    /// World synthesis wall-clock (ms).
+    /// World synthesis wall-clock (ms). In streaming mode this is only
+    /// universe/fate synthesis — no site materialization.
     world_build_ms: f64,
-    /// Crawl-only wall-clock (ms).
+    /// Crawl-only wall-clock (ms). `0.0` in streaming mode, where the
+    /// crawl happens inside the pipeline's per-domain worker chain.
     crawl_ms: f64,
     /// End-to-end pipeline wall-clock (ms) — crawl + extract + segment +
     /// annotate + verify + funnel.
     pipeline_ms: f64,
+    /// `world_build_ms / domains` (normalized for cross-size comparison).
+    world_ms_per_domain: f64,
+    /// `crawl_ms / domains`.
+    crawl_ms_per_domain: f64,
+    /// `pipeline_ms / domains`.
+    pipeline_ms_per_domain: f64,
+    /// High-water mark of generated-site residency (bytes) from the world's
+    /// memory gauge: the whole universe for eager cells, the in-flight
+    /// window for streaming cells. An estimate — site pages only, not
+    /// process RSS.
+    peak_resident_bytes: usize,
     /// Annotated-domain count (work-equivalence check across entries).
     annotated: usize,
     /// Total annotations produced (ditto).
@@ -61,29 +99,41 @@ struct BenchEntry {
 // `aipan_bench::trajectory`, which preserves members this harness
 // version does not know about instead of silently dropping them.
 
-fn measure(label: &str, domains: usize, workers: usize, chaos: bool) -> BenchEntry {
+fn measure(label: &str, domains: usize, workers: usize, chaos: bool, lazy: bool) -> BenchEntry {
     let mut config = WorldConfig::small(SEED, domains);
     if chaos {
         config.faults = FaultConfig::chaotic();
     }
     let t0 = Instant::now();
-    let world = build_world(config);
+    let world = if lazy {
+        build_world_lazy(config)
+    } else {
+        build_world(config)
+    };
     let world_build_ms = ms(t0);
 
-    let client = Client::new(
-        world.internet.clone(),
-        FaultInjector::new(world.config.seed, world.config.faults),
-    );
-    let domain_names: Vec<String> = world
-        .universe
-        .unique_domains()
-        .iter()
-        .map(|c| c.domain.clone())
-        .collect();
-    let t1 = Instant::now();
-    let crawls = crawl_all(&client, &domain_names, PoolConfig { workers });
-    let crawl_ms = ms(t1);
-    drop(crawls);
+    // Standalone crawl pass, eager cells only: on a lazy world it would
+    // materialize every site without releasing any, defeating the
+    // bounded-memory measurement the streaming cells exist for.
+    let crawl_ms = if world.is_lazy() {
+        0.0
+    } else {
+        let client = Client::new(
+            world.internet.clone(),
+            FaultInjector::new(world.config.seed, world.config.faults),
+        );
+        let domain_names: Vec<String> = world
+            .universe
+            .unique_domains()
+            .iter()
+            .map(|c| c.domain.clone())
+            .collect();
+        let t1 = Instant::now();
+        let crawls = crawl_all(&client, &domain_names, PoolConfig { workers });
+        let elapsed = ms(t1);
+        drop(crawls);
+        elapsed
+    };
 
     let t2 = Instant::now();
     let run = run_pipeline(
@@ -96,13 +146,25 @@ fn measure(label: &str, domains: usize, workers: usize, chaos: bool) -> BenchEnt
     );
     let pipeline_ms = ms(t2);
 
+    let per = |stage_ms: f64| {
+        if domains == 0 {
+            0.0
+        } else {
+            (stage_ms / domains as f64 * 1e3).round() / 1e3
+        }
+    };
     BenchEntry {
         label: label.to_string(),
+        mode: if lazy { "streaming" } else { "eager" }.to_string(),
         domains,
         workers,
         world_build_ms,
         crawl_ms,
         pipeline_ms,
+        world_ms_per_domain: per(world_build_ms),
+        crawl_ms_per_domain: per(crawl_ms),
+        pipeline_ms_per_domain: per(pipeline_ms),
+        peak_resident_bytes: world.site_memory.peak_bytes(),
         annotated: run.extraction.annotated,
         annotations: run
             .dataset
@@ -118,20 +180,47 @@ fn ms(since: Instant) -> f64 {
     (d.as_secs_f64() * 1e4).round() / 10.0
 }
 
+/// One cell of the measurement plan.
+struct Cell {
+    domains: usize,
+    workers: usize,
+    lazy: bool,
+}
+
 fn main() {
     let mut label = String::from("run");
     let mut out = String::from("BENCH_pipeline.json");
     let mut smoke = false;
     let mut chaos = false;
+    let mut adhoc = false;
+    let mut adhoc_domains: Vec<usize> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--chaos-smoke" => chaos = true,
+            "--adhoc" => adhoc = true,
+            "--domains" => {
+                let list = args.next().unwrap_or_default();
+                for part in list.split(',') {
+                    match part.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => adhoc_domains.push(n),
+                        _ => {
+                            eprintln!(
+                                "perfbench: --domains expects positive integers, got {part:?}"
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
             "--label" => label = args.next().unwrap_or(label),
             "--out" => out = args.next().unwrap_or(out),
             "--help" | "-h" => {
-                println!("usage: perfbench [--smoke] [--chaos-smoke] [--label NAME] [--out PATH]");
+                println!(
+                    "usage: perfbench [--smoke] [--chaos-smoke] [--domains N,M --adhoc] \
+                     [--label NAME] [--out PATH]"
+                );
                 return;
             }
             other => {
@@ -141,13 +230,74 @@ fn main() {
         }
     }
 
-    let (sizes, worker_counts): (&[usize], &[usize]) = if chaos {
-        (&[300], &[4])
+    let mut cells: Vec<Cell> = Vec::new();
+    if !adhoc_domains.is_empty() {
+        for &domains in &adhoc_domains {
+            cells.push(Cell {
+                domains,
+                workers: PoolConfig::default().workers,
+                lazy: false,
+            });
+        }
+    } else if chaos {
+        cells.push(Cell {
+            domains: 300,
+            workers: 4,
+            lazy: false,
+        });
     } else if smoke {
-        (&[40], &[1, 2])
+        // On-grid smoke: two eager cells plus one streaming cell so the
+        // lazy-generation path is exercised on every verify drive.
+        for workers in [1, 2] {
+            cells.push(Cell {
+                domains: 100,
+                workers,
+                lazy: false,
+            });
+        }
+        cells.push(Cell {
+            domains: 100,
+            workers: 2,
+            lazy: true,
+        });
     } else {
-        (&[100, 300, 1000], &[1, 4, 8])
-    };
+        for &domains in &[100, 300, 1000] {
+            for workers in [1, 4, 8] {
+                cells.push(Cell {
+                    domains,
+                    workers,
+                    lazy: false,
+                });
+            }
+        }
+        // The scale cells run streaming-only: eager materialization of a
+        // 10000-domain web is exactly the O(universe) cost they disprove.
+        for &domains in &[3000, 10000] {
+            cells.push(Cell {
+                domains,
+                workers: 8,
+                lazy: true,
+            });
+        }
+    }
+
+    // Grid guard: off-standard sizes drifted into the ledger once
+    // (40-domain "standard" cells) and broke cross-PR comparability.
+    let off_grid: Vec<usize> = cells
+        .iter()
+        .map(|c| c.domains)
+        .filter(|d| !STANDARD_SIZES.contains(d))
+        .collect();
+    if !off_grid.is_empty() {
+        if !adhoc {
+            eprintln!(
+                "perfbench: sizes {off_grid:?} are off the standard grid {STANDARD_SIZES:?}; \
+                 pass --adhoc to record them as explicitly ad-hoc cells"
+            );
+            std::process::exit(2);
+        }
+        label.push_str("-adhoc");
+    }
     if chaos {
         label.push_str("-chaos");
     }
@@ -159,26 +309,34 @@ fn main() {
     }
     file.harness = "perfbench-v1".to_string();
 
-    println!("label={label} grid: {sizes:?} domains x {worker_counts:?} workers");
+    println!("label={label} cells: {}", cells.len());
     println!(
-        "{:>8} {:>8} {:>12} {:>10} {:>12} {:>10} {:>12}",
-        "domains", "workers", "world ms", "crawl ms", "pipeline ms", "annotated", "annotations"
+        "{:>8} {:>8} {:>10} {:>12} {:>10} {:>12} {:>10} {:>14} {:>12}",
+        "domains",
+        "workers",
+        "mode",
+        "world ms",
+        "crawl ms",
+        "pipeline ms",
+        "annotated",
+        "peak site B",
+        "ms/domain"
     );
-    for &domains in sizes {
-        for &workers in worker_counts {
-            let entry = measure(&label, domains, workers, chaos);
-            println!(
-                "{:>8} {:>8} {:>12.1} {:>10.1} {:>12.1} {:>10} {:>12}",
-                entry.domains,
-                entry.workers,
-                entry.world_build_ms,
-                entry.crawl_ms,
-                entry.pipeline_ms,
-                entry.annotated,
-                entry.annotations
-            );
-            file.entries.push(entry.to_value());
-        }
+    for cell in &cells {
+        let entry = measure(&label, cell.domains, cell.workers, chaos, cell.lazy);
+        println!(
+            "{:>8} {:>8} {:>10} {:>12.1} {:>10.1} {:>12.1} {:>10} {:>14} {:>12.3}",
+            entry.domains,
+            entry.workers,
+            entry.mode,
+            entry.world_build_ms,
+            entry.crawl_ms,
+            entry.pipeline_ms,
+            entry.annotated,
+            entry.peak_resident_bytes,
+            entry.pipeline_ms_per_domain
+        );
+        file.entries.push(entry.to_value());
     }
 
     let json = trajectory::render(&file);

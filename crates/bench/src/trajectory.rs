@@ -19,11 +19,16 @@ pub const KNOWN_ENTRY_KEYS: &[&str] = &[
     "annotated",
     "annotations",
     "crawl_ms",
+    "crawl_ms_per_domain",
     "domains",
     "label",
+    "mode",
+    "peak_resident_bytes",
     "pipeline_ms",
+    "pipeline_ms_per_domain",
     "workers",
     "world_build_ms",
+    "world_ms_per_domain",
 ];
 
 /// The trajectory file, with unknown members preserved verbatim.

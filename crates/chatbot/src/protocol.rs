@@ -11,13 +11,23 @@ use serde_json::Value;
 
 /// Render lines as a numbered-line document (1-based).
 pub fn number_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> String {
+    let mut out = String::new();
+    number_lines_into(&mut out, lines);
+    out
+}
+
+/// [`number_lines`], rendered into a caller-owned buffer (cleared first).
+/// A worker annotating many policies reuses one buffer across all of them
+/// instead of allocating a fresh full-text document per policy.
+pub fn number_lines_into<'a>(out: &mut String, lines: impl IntoIterator<Item = &'a str>) {
     let lines = lines.into_iter();
-    // ~6 bytes of numbering overhead plus a short line per row.
-    let mut out = String::with_capacity(lines.size_hint().0.saturating_mul(48));
+    out.clear();
+    // ~6 bytes of numbering overhead plus a short line per row; a no-op on
+    // a reused buffer that is already large enough.
+    out.reserve(lines.size_hint().0.saturating_mul(48));
     for (i, line) in lines.enumerate() {
         out.push_str(&format!("[{}] {}\n", i + 1, line));
     }
-    out
 }
 
 /// Render (line-number, text) pairs as a numbered document, preserving the
@@ -234,6 +244,15 @@ mod tests {
         assert_eq!(doc, "[1] alpha\n[2] beta\n");
         let sub = number_lines_with([(7, "x"), (12, "y")]);
         assert_eq!(sub, "[7] x\n[12] y\n");
+    }
+
+    #[test]
+    fn number_lines_into_clears_and_matches() {
+        let mut buf = String::from("stale contents from the previous policy");
+        number_lines_into(&mut buf, ["alpha", "beta"]);
+        assert_eq!(buf, number_lines(["alpha", "beta"]));
+        number_lines_into(&mut buf, std::iter::empty());
+        assert_eq!(buf, "");
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! claim, so usage must be tracked per task. Tokens are estimated with the
 //! standard ~4-characters-per-token heuristic for English text.
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Estimate the token count of `text` (≈ 4 characters per token, with a
@@ -46,10 +47,50 @@ impl TokenUsage {
     }
 }
 
+/// Lock-free per-task counter slot: each field accumulates with relaxed
+/// atomic adds, which are commutative, so totals are deterministic for any
+/// worker interleaving.
+#[derive(Debug, Default)]
+struct TaskCounters {
+    prompt_tokens: AtomicU64,
+    input_tokens: AtomicU64,
+    output_tokens: AtomicU64,
+    calls: AtomicU64,
+}
+
+impl TaskCounters {
+    fn add(&self, usage: TokenUsage) {
+        self.prompt_tokens
+            .fetch_add(usage.prompt_tokens, Ordering::Relaxed);
+        self.input_tokens
+            .fetch_add(usage.input_tokens, Ordering::Relaxed);
+        self.output_tokens
+            .fetch_add(usage.output_tokens, Ordering::Relaxed);
+        self.calls.fetch_add(usage.calls, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> TokenUsage {
+        TokenUsage {
+            prompt_tokens: self.prompt_tokens.load(Ordering::Relaxed),
+            input_tokens: self.input_tokens.load(Ordering::Relaxed),
+            output_tokens: self.output_tokens.load(Ordering::Relaxed),
+            calls: self.calls.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Thread-safe per-task usage ledger, shared across clones.
+///
+/// The hot path — [`UsageLedger::record`], called once per chatbot
+/// completion by every annotate worker — takes only a read lock on the
+/// task index and then accumulates into per-task atomic counters, so
+/// concurrent workers never serialize on a shared mutex. The write lock is
+/// taken once per *task name* (a handful per run) to install the slot.
+/// Snapshots read with relaxed ordering: they are exact once recording has
+/// quiesced (end of run), which is when the pipeline reads them.
 #[derive(Debug, Clone, Default)]
 pub struct UsageLedger {
-    inner: Arc<Mutex<HashMap<String, TokenUsage>>>,
+    tasks: Arc<RwLock<BTreeMap<String, Arc<TaskCounters>>>>,
 }
 
 impl UsageLedger {
@@ -66,37 +107,46 @@ impl UsageLedger {
             output_tokens: estimate_tokens(output),
             calls: 1,
         };
-        self.inner
-            .lock()
-            .entry(task.to_string())
-            .or_default()
-            .add(usage);
+        if let Some(counters) = self.tasks.read().get(task).cloned() {
+            counters.add(usage);
+            return;
+        }
+        // Slow path, once per task name: allocate the key before taking
+        // the write lock so the held region is just the map insert.
+        let key = task.to_string();
+        let mut tasks = self.tasks.write();
+        let counters = Arc::clone(tasks.entry(key).or_default());
+        drop(tasks);
+        counters.add(usage);
     }
 
     /// Usage for one task.
     pub fn task_usage(&self, task: &str) -> TokenUsage {
-        self.inner.lock().get(task).copied().unwrap_or_default()
+        self.tasks
+            .read()
+            .get(task)
+            .map(|c| c.snapshot())
+            .unwrap_or_default()
     }
 
     /// Total usage across tasks.
     pub fn total(&self) -> TokenUsage {
         let mut total = TokenUsage::default();
-        for usage in self.inner.lock().values() {
-            total.add(*usage);
+        for counters in self.tasks.read().values() {
+            total.add(counters.snapshot());
         }
         total
     }
 
-    /// Per-task usage snapshot, sorted by task name.
+    /// Per-task usage snapshot, sorted by task name (the index is a
+    /// `BTreeMap`, so iteration order is already deterministic).
     pub fn breakdown(&self) -> Vec<(String, TokenUsage)> {
-        let mut v: Vec<(String, TokenUsage)> = self
-            .inner
-            .lock()
-            .iter()
-            .map(|(k, u)| (k.clone(), *u))
-            .collect();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
-        v
+        let tasks = self.tasks.read();
+        let mut out = Vec::with_capacity(tasks.len());
+        for (task, counters) in tasks.iter() {
+            out.push((task.clone(), counters.snapshot()));
+        }
+        out
     }
 }
 
@@ -138,6 +188,37 @@ mod tests {
         let clone = ledger.clone();
         clone.record("t", "p", "i", "o");
         assert_eq!(ledger.task_usage("t").calls, 1);
+    }
+
+    #[test]
+    fn concurrent_records_sum_exactly() {
+        // Worker-count invariance of the sharded ledger: interleaved
+        // records from many threads must sum to exactly the serial total
+        // (atomic adds are commutative).
+        let ledger = UsageLedger::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let ledger = ledger.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let task = if (t + i) % 2 == 0 {
+                            "extract"
+                        } else {
+                            "segment"
+                        };
+                        ledger.record(task, "prompt words here", "input body", "out");
+                    }
+                });
+            }
+        });
+        assert_eq!(ledger.total().calls, 400);
+        assert_eq!(
+            ledger.task_usage("extract").calls + ledger.task_usage("segment").calls,
+            400
+        );
+        let breakdown = ledger.breakdown();
+        assert_eq!(breakdown.len(), 2);
+        assert!(breakdown[0].0 < breakdown[1].0, "breakdown sorted");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use aipan_taxonomy::{
     AccessLabel, Aspect, ChoiceLabel, DataTypeCategory, ProtectionLabel, PurposeCategory,
     RetentionLabel,
 };
-use aipan_textindex::{fold_into, FoldedDoc};
+use aipan_textindex::{fold_into, FoldArena, FoldedDoc};
 
 /// Annotation options (used by the ablation benches).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +82,24 @@ pub fn annotate_policy(
     annotate_policy_with(chatbot, doc, seg, AnnotateOptions::default())
 }
 
+/// Reusable per-worker scratch for [`annotate_policy_in`]: the rendered
+/// full-text prompt input and the [`FoldArena`] backing the policy's
+/// [`FoldedDoc`]. One arena threaded through a worker's policies means the
+/// two largest per-policy allocations happen once per worker, sized by the
+/// largest policy, instead of once per policy.
+#[derive(Debug, Default)]
+pub struct AnnotateArena {
+    full_text: String,
+    fold: FoldArena,
+}
+
+impl AnnotateArena {
+    /// An empty arena (first use allocates like [`annotate_policy_with`]).
+    pub fn new() -> AnnotateArena {
+        AnnotateArena::default()
+    }
+}
+
 /// Annotate a segmented policy with explicit options.
 pub fn annotate_policy_with(
     chatbot: &dyn Chatbot,
@@ -89,22 +107,40 @@ pub fn annotate_policy_with(
     seg: &SegmentedPolicy,
     options: AnnotateOptions,
 ) -> AnnotationOutcome {
+    annotate_policy_in(chatbot, doc, seg, options, &mut AnnotateArena::new())
+}
+
+/// [`annotate_policy_with`], with the scratch buffers drawn from (and
+/// returned to) `arena`. The outcome is identical; only the allocation
+/// pattern differs.
+pub fn annotate_policy_in(
+    chatbot: &dyn Chatbot,
+    doc: &ExtractedDoc,
+    seg: &SegmentedPolicy,
+    options: AnnotateOptions,
+    arena: &mut AnnotateArena,
+) -> AnnotationOutcome {
     // Rough upper bound: a handful of annotations per document line.
     let mut annotations = Vec::with_capacity(doc.lines.len());
     let mut fallbacks = Vec::new();
     let mut reprompts = 0usize;
 
-    let full_text_input = protocol::number_lines(doc.lines.iter().map(|l| l.text.as_str()));
+    protocol::number_lines_into(
+        &mut arena.full_text,
+        doc.lines.iter().map(|l| l.text.as_str()),
+    );
+    let full_text_input: &str = &arena.full_text;
     // Fold the policy exactly once; every verbatim-presence check below is
     // a batched automaton scan over this buffer (no per-row fold).
-    let folded_policy = FoldedDoc::from_lines(doc.lines.iter().map(|l| l.text.as_str()));
+    let folded_policy =
+        FoldedDoc::from_lines_in(&mut arena.fold, doc.lines.iter().map(|l| l.text.as_str()));
 
     // --- Data types: extract (section → fallback), then normalize. ---
     let (mut rows, used_fallback) = extract_with_fallback(
         chatbot,
         TaskKind::ExtractDataTypes,
         seg.text_for(Aspect::Types, doc),
-        &full_text_input,
+        full_text_input,
         &options,
         &mut reprompts,
         protocol::parse_extractions,
@@ -177,7 +213,7 @@ pub fn annotate_policy_with(
         chatbot,
         TaskKind::AnnotatePurposes,
         seg.text_for(Aspect::Purposes, doc),
-        &full_text_input,
+        full_text_input,
         &options,
         &mut reprompts,
         protocol::parse_purposes,
@@ -212,7 +248,7 @@ pub fn annotate_policy_with(
         chatbot,
         TaskKind::AnnotateHandling,
         seg.text_for(Aspect::Handling, doc),
-        &full_text_input,
+        full_text_input,
         &options,
         &mut reprompts,
         protocol::parse_handling,
@@ -251,7 +287,7 @@ pub fn annotate_policy_with(
         chatbot,
         TaskKind::AnnotateRights,
         seg.text_for(Aspect::Rights, doc),
-        &full_text_input,
+        full_text_input,
         &options,
         &mut reprompts,
         protocol::parse_rights,
@@ -301,6 +337,10 @@ pub fn annotate_policy_with(
         }
         seen.insert(key)
     });
+
+    // Hand the folded buffers back so the next document on this worker
+    // reuses their capacity.
+    arena.fold.recycle(folded_policy);
 
     AnnotationOutcome {
         annotations,

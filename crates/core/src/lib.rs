@@ -20,6 +20,10 @@
 //!   [`pipeline::run_pipeline_resumable`]: interrupted runs resume from
 //!   their journaled per-domain outcomes and produce byte-identical
 //!   datasets.
+//! * [`shard`] — that journal split into independently locked,
+//!   incrementally appended JSONL segments: the checkpoint store of the
+//!   streaming engine ([`pipeline::run_pipeline_sharded`]), durable at
+//!   per-domain granularity.
 
 #![warn(missing_docs)]
 
@@ -28,11 +32,14 @@ pub mod dataset;
 pub mod journal;
 pub mod pipeline;
 pub mod segment;
+pub mod shard;
 
-pub use annotate::{annotate_policy, AnnotationOutcome};
+pub use annotate::{annotate_policy, AnnotateArena, AnnotationOutcome};
 pub use dataset::{AnnotatedPolicy, Dataset, SegmentationMethod};
 pub use journal::{JournalEntry, RunJournal};
 pub use pipeline::{
-    run_pipeline, run_pipeline_resumable, ExtractionFunnel, Pipeline, PipelineConfig, PipelineRun,
+    run_pipeline, run_pipeline_resumable, run_pipeline_sharded, ExtractionFunnel, Pipeline,
+    PipelineConfig, PipelineRun,
 };
 pub use segment::{segment, SegmentedPolicy};
+pub use shard::{segment_path, shard_of, ShardedJournal, DEFAULT_SHARDS};

@@ -1,13 +1,12 @@
 //! Whole-universe pipeline orchestration (Figure 1).
 
-use crate::annotate::{annotate_policy_with, AnnotateOptions};
+use crate::annotate::{annotate_policy_in, AnnotateArena, AnnotateOptions};
 use crate::dataset::{AnnotatedPolicy, Dataset, SegmentationMethod};
 use crate::journal::{JournalEntry, RunJournal};
 use crate::segment::{self, Method, SegmentedPolicy};
+use crate::shard::{ShardedJournal, DEFAULT_SHARDS};
 use aipan_chatbot::{ModelProfile, SimulatedChatbot, TokenUsage};
-use aipan_crawler::{
-    crawl_all_with, CrawlFunnel, CrawlOptions, CrawlReport, DomainCrawl, PoolConfig,
-};
+use aipan_crawler::{stream_all_with, CrawlFunnel, CrawlOptions, DomainCrawl, PoolConfig};
 use aipan_html::{extract, lang, ExtractedDoc};
 use aipan_net::fault::FaultInjector;
 use aipan_net::http::ContentType;
@@ -142,6 +141,19 @@ impl Pipeline {
     /// from that single pass (`run_pipeline` previously re-extracted the
     /// whole corpus a second time just to count pages).
     pub fn process_domain_full(&self, crawl: &DomainCrawl, sector: Sector) -> DomainOutcome {
+        self.process_domain_arena(crawl, sector, &mut AnnotateArena::new())
+    }
+
+    /// [`Pipeline::process_domain_full`], with annotation scratch buffers
+    /// drawn from `arena`. A streaming worker threads one arena through
+    /// every domain it processes, so the per-policy full-text and fold
+    /// allocations happen once per worker instead of once per policy.
+    pub fn process_domain_arena(
+        &self,
+        crawl: &DomainCrawl,
+        sector: Sector,
+        arena: &mut AnnotateArena,
+    ) -> DomainOutcome {
         if !crawl.is_success() {
             return DomainOutcome {
                 english_privacy_pages: 0,
@@ -156,7 +168,7 @@ impl Pipeline {
         let policy = pages
             .into_iter()
             .max_by_key(|(doc, _)| doc.word_count())
-            .and_then(|(doc, path)| self.annotate_page(crawl, sector, &doc, path));
+            .and_then(|(doc, path)| self.annotate_page(crawl, sector, &doc, path, arena));
         DomainOutcome {
             english_privacy_pages,
             policy,
@@ -169,6 +181,7 @@ impl Pipeline {
         sector: Sector,
         doc: &ExtractedDoc,
         path: String,
+        arena: &mut AnnotateArena,
     ) -> Option<AnnotatedPolicy> {
         let seg = if self.config.use_segmentation {
             segment::segment(&self.chatbot, doc)
@@ -178,7 +191,7 @@ impl Pipeline {
         if !seg.is_successful_extraction(doc) {
             return None;
         }
-        let outcome = annotate_policy_with(&self.chatbot, doc, &seg, self.config.annotate);
+        let outcome = annotate_policy_in(&self.chatbot, doc, &seg, self.config.annotate, arena);
         Some(AnnotatedPolicy {
             domain: crawl.domain.clone(),
             sector,
@@ -238,10 +251,46 @@ pub fn run_pipeline(world: &World, config: PipelineConfig) -> PipelineRun {
 /// usage differs (replayed domains cost no chatbot calls). Crawling is
 /// always re-run: it is cheap, deterministic, and its transport metrics
 /// are not part of the journaled state.
+///
+/// This is a thin wrapper over [`run_pipeline_sharded`] with an in-memory
+/// sharded journal; callers that want durable incremental checkpoints use
+/// [`run_pipeline_sharded`] with [`ShardedJournal::open`] directly.
 pub fn run_pipeline_resumable(
     world: &World,
     config: PipelineConfig,
     journal: &mut RunJournal,
+) -> PipelineRun {
+    let sharded = ShardedJournal::in_memory(DEFAULT_SHARDS);
+    for entry in journal.iter() {
+        sharded.record(entry.clone());
+    }
+    let run = run_pipeline_sharded(world, config, &sharded);
+    *journal = sharded.merged();
+    run
+}
+
+/// The streaming pipeline engine: every domain flows through
+/// generate → crawl → extract → segment → annotate → journal inside **one**
+/// worker task ([`stream_all_with`]), instead of crawling the whole
+/// universe first and annotating it second.
+///
+/// Streaming is what bounds memory: a crawl's page bodies are dropped the
+/// moment its domain is journaled, and on a lazy world
+/// ([`aipan_webgen::build_world_lazy`]) the generated site itself is
+/// released again ([`World::release_site`]), so peak residency scales with
+/// in-flight domains — O(workers + shard) — rather than with the universe.
+/// Each worker carries a private [`AnnotateArena`] (scratch buffers reused
+/// across its policies) and a private [`CrawlFunnel`] (merged commutatively
+/// afterwards, so the totals match a serial run exactly).
+///
+/// Already-journaled domains are re-crawled (cheap, and the crawl funnel is
+/// not journaled state) but not re-annotated. Results are deterministic and
+/// worker-count-invariant: the dataset, funnels, and journal contents are
+/// byte-identical for any `config.workers`.
+pub fn run_pipeline_sharded(
+    world: &World,
+    config: PipelineConfig,
+    journal: &ShardedJournal,
 ) -> PipelineRun {
     let pipeline = Pipeline::new(config.clone());
     let client = Client::new(
@@ -254,53 +303,66 @@ pub fn run_pipeline_resumable(
         .iter()
         .map(|c| c.domain.clone())
         .collect();
-    let crawls = crawl_all_with(
+
+    struct WorkerState {
+        arena: AnnotateArena,
+        funnel: CrawlFunnel,
+    }
+
+    let pipeline_ref = &pipeline;
+    let (processed, states) = stream_all_with(
         &client,
         &domains,
         PoolConfig {
             workers: config.workers,
         },
         &config.crawl,
+        || WorkerState {
+            arena: AnnotateArena::new(),
+            funnel: CrawlFunnel::default(),
+        },
+        |state: &mut WorkerState, crawl: DomainCrawl| {
+            state.funnel.absorb(&crawl);
+            if !journal.contains(&crawl.domain) {
+                let sector = world
+                    .company(&crawl.domain)
+                    .map(|c| c.sector)
+                    .unwrap_or(Sector::Industrials);
+                let outcome = pipeline_ref.process_domain_arena(&crawl, sector, &mut state.arena);
+                journal.record(JournalEntry {
+                    domain: crawl.domain.clone(),
+                    english_privacy_pages: outcome.english_privacy_pages,
+                    policy: outcome.policy,
+                });
+            }
+            // Lazily generated sites are released once the domain is done;
+            // `crawl` (and its page bodies) drops here.
+            world.release_site(&crawl.domain);
+        },
     );
-    let report = CrawlReport::new(crawls);
 
-    // Process domains in parallel (the chatbot is Send + Sync and clones
-    // share the usage ledger). Each outcome carries the domain's funnel
-    // contribution so the corpus is extracted exactly once. Domains with a
-    // journaled outcome are skipped and replayed from the journal below.
-    let todo: Vec<&DomainCrawl> = report
-        .crawls
-        .iter()
-        .filter(|c| !journal.contains(&c.domain))
-        .collect();
-    for (crawl, outcome) in
-        todo.iter()
-            .zip(parallel_process(&pipeline, world, &todo, config.workers))
-    {
-        journal.insert(JournalEntry {
-            domain: crawl.domain.clone(),
-            english_privacy_pages: outcome.english_privacy_pages,
-            policy: outcome.policy,
-        });
+    let mut crawl_funnel = CrawlFunnel::default();
+    for state in &states {
+        crawl_funnel.merge(&state.funnel);
     }
 
     // Assemble from the journal in crawl order (sorted by domain), using
     // only entries for domains in this run — a stale journal from another
     // world cannot leak extra policies in.
     let mut english_privacy_pages = 0usize;
-    let mut policies: Vec<AnnotatedPolicy> = Vec::with_capacity(report.crawls.len());
-    for crawl in &report.crawls {
-        if let Some(entry) = journal.get(&crawl.domain) {
+    let mut policies: Vec<AnnotatedPolicy> = Vec::with_capacity(processed.len());
+    for (domain, ()) in &processed {
+        if let Some(entry) = journal.get(domain) {
             english_privacy_pages += entry.english_privacy_pages;
-            if let Some(policy) = &entry.policy {
-                policies.push(policy.clone());
+            if let Some(policy) = entry.policy {
+                policies.push(policy);
             }
         }
     }
 
     let mut extraction = ExtractionFunnel {
-        domains_total: report.funnel.domains_total,
-        crawl_success: report.funnel.crawl_success,
+        domains_total: crawl_funnel.domains_total,
+        crawl_success: crawl_funnel.crawl_success,
         english_privacy_pages,
         ..Default::default()
     };
@@ -323,88 +385,10 @@ pub fn run_pipeline_resumable(
     extraction.median_core_words = words.get(words.len() / 2).copied().unwrap_or(0);
 
     PipelineRun {
-        crawl_funnel: report.funnel,
+        crawl_funnel,
         extraction,
         dataset: Dataset { policies },
         usage: pipeline.chatbot.ledger().breakdown(),
-    }
-}
-
-fn parallel_process(
-    pipeline: &Pipeline,
-    world: &World,
-    crawls: &[&DomainCrawl],
-    workers: usize,
-) -> Vec<DomainOutcome> {
-    use work_queue::run_indexed;
-    let sector_of = |domain: &str| {
-        world
-            .company(domain)
-            .map(|c| c.sector)
-            .unwrap_or(Sector::Industrials)
-    };
-    run_indexed(crawls, workers.max(1), |crawl| {
-        pipeline.process_domain_full(crawl, sector_of(&crawl.domain))
-    })
-}
-
-/// Minimal indexed parallel-map over a slice using scoped threads (avoids
-/// pulling a full thread-pool dependency; work items are chunked by index
-/// stride so output order is reconstructible).
-mod work_queue {
-    pub fn run_indexed<T: Sync, R: Send>(
-        items: &[T],
-        workers: usize,
-        f: impl Fn(&T) -> R + Sync,
-    ) -> Vec<R> {
-        let n = items.len();
-        if workers <= 1 || n <= 1 {
-            // Serial fast path: no threads, no locks.
-            return items.iter().map(f).collect();
-        }
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results = std::sync::Mutex::new(Vec::<(usize, R)>::with_capacity(n));
-        // Worker closures never panic while holding the lock with interesting
-        // state half-written, so recovering from poisoning is sound here.
-        let _ = crossbeam::scope(|scope| {
-            for _ in 0..workers.min(n) {
-                scope.spawn(|_| {
-                    // Each worker accumulates its results locally and takes
-                    // the lock once at the end instead of once per item.
-                    let mut batch = Vec::<(usize, R)>::with_capacity(n / workers.max(1) + 1);
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        batch.push((i, f(&items[i])));
-                    }
-                    results
-                        .lock()
-                        .unwrap_or_else(|poisoned| poisoned.into_inner())
-                        .extend(batch);
-                });
-            }
-        });
-        let collected = results
-            .into_inner()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        for (i, r) in collected {
-            if let Some(slot) = out.get_mut(i) {
-                *slot = Some(r);
-            }
-        }
-        // If a worker died mid-item (spawn failure, panic), repair the gaps
-        // serially rather than aborting the whole run.
-        out.iter_mut().enumerate().for_each(|(i, slot)| {
-            if slot.is_none() {
-                if let Some(item) = items.get(i) {
-                    *slot = Some(f(item));
-                }
-            }
-        });
-        out.into_iter().flatten().collect()
     }
 }
 

@@ -1,0 +1,353 @@
+//! Sharded, incrementally-written journal segments.
+//!
+//! The single-file [`RunJournal`](crate::RunJournal) is rewritten in full
+//! at the end of a run; a process killed mid-run loses every domain since
+//! the last rewrite. A [`ShardedJournal`] instead assigns each domain to
+//! one of `N` segments by a stable hash of its name and **appends** the
+//! domain's entry to that segment's JSONL file the moment it is processed.
+//! Streaming workers touch disjoint locks most of the time (different
+//! domains usually hash to different shards), and a kill at any instant
+//! costs at most the one torn line per segment that
+//! [`RunJournal::from_jsonl`]'s tolerant parser already drops.
+//!
+//! The shard assignment is a pure function of the domain name, so segment
+//! contents are deterministic and worker-count-invariant; the merged view
+//! ([`ShardedJournal::merged`]) is the same sorted journal a serial run
+//! would have produced.
+
+use crate::journal::{JournalEntry, RunJournal};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default segment count: enough that eight streaming workers rarely
+/// collide on one shard lock, few enough that a run directory stays tidy.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Stable shard assignment for `domain` (FNV-1a over the name). A pure
+/// function of the domain, so segment contents do not depend on worker
+/// count or scheduling.
+pub fn shard_of(domain: &str, shards: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in domain.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % shards.max(1) as u64) as usize
+}
+
+/// Path of segment `index` for journal base path `base`
+/// (`<base>.shard007.jsonl`).
+pub fn segment_path(base: &Path, index: usize) -> PathBuf {
+    let mut name = base.as_os_str().to_os_string();
+    name.push(format!(".shard{index:03}.jsonl"));
+    PathBuf::from(name)
+}
+
+struct Shard {
+    entries: std::collections::BTreeMap<String, JournalEntry>,
+    writer: Option<File>,
+}
+
+/// A journal split into independently locked, incrementally appended
+/// segments. Thread-safe: streaming workers record finished domains
+/// concurrently through `&self`.
+pub struct ShardedJournal {
+    shards: Vec<Mutex<Shard>>,
+    write_errors: AtomicUsize,
+}
+
+impl ShardedJournal {
+    /// An in-memory sharded journal (no segment files): the checkpoint
+    /// store for callers that only want resume-from-a-prior-`RunJournal`
+    /// semantics without durability.
+    pub fn in_memory(shards: usize) -> ShardedJournal {
+        let shards = shards.max(1);
+        ShardedJournal {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: Default::default(),
+                        writer: None,
+                    })
+                })
+                .collect(),
+            write_errors: AtomicUsize::new(0),
+        }
+    }
+
+    /// Open (or create) a durable sharded journal rooted at `base`.
+    ///
+    /// Seeds the in-memory state from the legacy single-file journal at
+    /// `base` (if present) and from every existing segment file — both
+    /// through the torn-tail-tolerant JSONL parser — then opens each
+    /// segment for append. Segment entries override legacy ones. A segment
+    /// that cannot be opened for writing degrades to memory-only (counted
+    /// in [`ShardedJournal::write_errors`]); the run still completes.
+    pub fn open(base: &Path, shards: usize) -> ShardedJournal {
+        let journal = ShardedJournal::in_memory(shards);
+        if let Ok(text) = std::fs::read_to_string(base) {
+            for entry in RunJournal::from_jsonl(&text).iter() {
+                journal.insert_in_memory(entry.clone());
+            }
+        }
+        for (index, shard) in journal.shards.iter().enumerate() {
+            let path = segment_path(base, index);
+            let mut shard = shard.lock();
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                for entry in RunJournal::from_jsonl(&text).iter() {
+                    shard.entries.insert(entry.domain.clone(), entry.clone());
+                }
+            }
+            match OpenOptions::new().create(true).append(true).open(&path) {
+                Ok(file) => shard.writer = Some(file),
+                Err(_) => {
+                    journal.write_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        journal
+    }
+
+    /// Record a finished domain: insert it into its shard and append one
+    /// JSONL line to the shard's segment file (if durable). The line is
+    /// serialized *before* the shard lock is taken; a failed append leaves
+    /// the entry in memory (the current run is unaffected, the domain is
+    /// re-processed on a future resume) and bumps
+    /// [`ShardedJournal::write_errors`].
+    pub fn record(&self, entry: JournalEntry) {
+        let index = shard_of(&entry.domain, self.shards.len());
+        // JournalEntry contains no map types, so to_string cannot fail.
+        let line = serde_json::to_string(&entry).unwrap_or_default();
+        let Some(shard) = self.shards.get(index) else {
+            return;
+        };
+        let mut shard = shard.lock();
+        let mut failed = false;
+        if let Some(writer) = shard.writer.as_mut() {
+            failed = writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .is_err();
+        }
+        shard.entries.insert(entry.domain.clone(), entry);
+        drop(shard);
+        if failed {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn insert_in_memory(&self, entry: JournalEntry) {
+        let index = shard_of(&entry.domain, self.shards.len());
+        if let Some(shard) = self.shards.get(index) {
+            shard.lock().entries.insert(entry.domain.clone(), entry);
+        }
+    }
+
+    /// Whether `domain` has a journaled outcome.
+    pub fn contains(&self, domain: &str) -> bool {
+        let index = shard_of(domain, self.shards.len());
+        self.shards
+            .get(index)
+            .is_some_and(|shard| shard.lock().entries.contains_key(domain))
+    }
+
+    /// The journaled outcome for `domain`, if any (cloned out of the
+    /// shard's lock).
+    pub fn get(&self, domain: &str) -> Option<JournalEntry> {
+        let index = shard_of(domain, self.shards.len());
+        self.shards
+            .get(index)
+            .and_then(|shard| shard.lock().entries.get(domain).cloned())
+    }
+
+    /// Total journaled domains across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().entries.len())
+            .sum()
+    }
+
+    /// Whether no domain is journaled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of segments.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Appends that failed (plus segments that could not be opened for
+    /// writing). Non-zero means durability is degraded — affected domains
+    /// will re-process on resume — but never that the current run's
+    /// results are wrong.
+    pub fn write_errors(&self) -> usize {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Merge every shard into one sorted [`RunJournal`] — identical to the
+    /// journal a serial, single-file run would have produced.
+    pub fn merged(&self) -> RunJournal {
+        let mut merged = RunJournal::new();
+        for shard in &self.shards {
+            for entry in shard.lock().entries.values() {
+                merged.insert(entry.clone());
+            }
+        }
+        merged
+    }
+
+    /// Rewrite the merged journal to the legacy single file at `base` and
+    /// delete the segment files: the end-of-run consolidation that keeps
+    /// the on-disk artifact format of pre-sharding runs.
+    pub fn consolidate(&self, base: &Path) -> std::io::Result<()> {
+        std::fs::write(base, self.merged().to_jsonl())?;
+        for index in 0..self.shards.len() {
+            let path = segment_path(base, index);
+            if path.exists() {
+                std::fs::remove_file(&path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(domain: &str, pages: usize) -> JournalEntry {
+        JournalEntry {
+            domain: domain.to_string(),
+            english_privacy_pages: pages,
+            policy: None,
+        }
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aipan-shard-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for n in [1usize, 2, 8, 13] {
+            for domain in ["a.com", "b.com", "walmart.com", ""] {
+                let s = shard_of(domain, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(domain, n), "must be deterministic");
+            }
+        }
+        // FNV actually spreads: 100 domains over 8 shards hit every shard.
+        let mut seen = [false; 8];
+        for i in 0..100 {
+            seen[shard_of(&format!("company{i}.com"), 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn in_memory_roundtrip_matches_runjournal() {
+        let journal = ShardedJournal::in_memory(4);
+        assert!(journal.is_empty());
+        for (i, domain) in ["z.com", "a.com", "m.com"].iter().enumerate() {
+            journal.record(entry(domain, i));
+        }
+        assert_eq!(journal.len(), 3);
+        assert!(journal.contains("a.com"));
+        assert!(!journal.contains("q.com"));
+        assert_eq!(journal.get("m.com").unwrap().english_privacy_pages, 2);
+        let merged = journal.merged();
+        let domains: Vec<&str> = merged.iter().map(|e| e.domain.as_str()).collect();
+        assert_eq!(domains, vec!["a.com", "m.com", "z.com"]);
+        assert_eq!(journal.write_errors(), 0);
+    }
+
+    #[test]
+    fn durable_segments_survive_reopen_and_tolerate_torn_tail() {
+        let dir = scratch_dir("reopen");
+        let base = dir.join("run.jsonl");
+        {
+            let journal = ShardedJournal::open(&base, 4);
+            for i in 0..20 {
+                journal.record(entry(&format!("site{i}.com"), i));
+            }
+            assert_eq!(journal.write_errors(), 0);
+        }
+        // Simulate a kill mid-append: truncate one non-empty segment
+        // inside its final line.
+        let victim = (0..4)
+            .map(|i| segment_path(&base, i))
+            .find(|p| std::fs::metadata(p).map(|m| m.len() > 0).unwrap_or(false))
+            .expect("some non-empty segment");
+        let bytes = std::fs::read(&victim).unwrap();
+        let torn_entry_domain = {
+            let text = String::from_utf8(bytes.clone()).unwrap();
+            let last = text.trim_end().lines().last().unwrap();
+            serde_json::from_str::<JournalEntry>(last).unwrap().domain
+        };
+        std::fs::write(&victim, &bytes[..bytes.len() - 5]).unwrap();
+
+        let reopened = ShardedJournal::open(&base, 4);
+        assert_eq!(reopened.len(), 19, "torn line dropped, rest recovered");
+        assert!(!reopened.contains(&torn_entry_domain));
+        // Re-recording the torn domain completes the journal again.
+        reopened.record(entry(&torn_entry_domain, 99));
+        assert_eq!(reopened.len(), 20);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_seeds_from_legacy_single_file() {
+        let dir = scratch_dir("legacy");
+        let base = dir.join("run.jsonl");
+        let mut legacy = RunJournal::new();
+        legacy.insert(entry("old.com", 3));
+        legacy.insert(entry("older.com", 1));
+        std::fs::write(&base, legacy.to_jsonl()).unwrap();
+
+        let journal = ShardedJournal::open(&base, 4);
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.get("old.com").unwrap().english_privacy_pages, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn consolidate_rewrites_single_file_and_removes_segments() {
+        let dir = scratch_dir("consolidate");
+        let base = dir.join("run.jsonl");
+        let journal = ShardedJournal::open(&base, 4);
+        for i in 0..10 {
+            journal.record(entry(&format!("d{i}.com"), i));
+        }
+        journal.consolidate(&base).expect("consolidate");
+        for i in 0..4 {
+            assert!(!segment_path(&base, i).exists());
+        }
+        let text = std::fs::read_to_string(&base).unwrap();
+        assert_eq!(RunJournal::from_jsonl(&text), journal.merged());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_records_from_many_threads() {
+        let journal = ShardedJournal::in_memory(DEFAULT_SHARDS);
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let journal = &journal;
+                scope.spawn(move || {
+                    for i in 0..25usize {
+                        journal.record(entry(&format!("t{t}-d{i}.com"), i));
+                    }
+                });
+            }
+        });
+        assert_eq!(journal.len(), 200);
+    }
+}

@@ -1,0 +1,186 @@
+//! Properties of the streaming engine: a lazy world driven through
+//! `run_pipeline_sharded` is byte-identical to the eager monolithic run at
+//! every worker count and seed, releases every materialized site, and
+//! resumes from a mid-shard kill point (torn segment tail, lost segment)
+//! without diverging.
+
+use aipan_core::{
+    run_pipeline, run_pipeline_sharded, segment_path, PipelineConfig, PipelineRun, ShardedJournal,
+    DEFAULT_SHARDS,
+};
+use aipan_net::fault::FaultConfig;
+use aipan_webgen::{build_world, build_world_lazy, World, WorldConfig};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+fn world_config(seed: u64, domains: usize, chaos: bool) -> WorldConfig {
+    let mut config = WorldConfig::small(seed, domains);
+    if chaos {
+        config.faults = FaultConfig {
+            flaky_5xx: 0.10,
+            conn_reset: 0.06,
+            rate_limit: 0.04,
+            latency_spike: 0.08,
+            ..config.faults
+        };
+    }
+    config
+}
+
+fn pipeline_config(seed: u64, workers: usize) -> PipelineConfig {
+    PipelineConfig {
+        seed,
+        workers,
+        ..Default::default()
+    }
+}
+
+fn dataset_bytes(run: &PipelineRun) -> String {
+    serde_json::to_string(&run.dataset).expect("dataset serializes")
+}
+
+fn streaming_run(world: &World, config: PipelineConfig) -> PipelineRun {
+    let journal = ShardedJournal::in_memory(DEFAULT_SHARDS);
+    run_pipeline_sharded(world, config, &journal)
+}
+
+/// Every materialized site must have been released by the time the run
+/// returns: resident memory is bounded by in-flight domains, not the
+/// universe.
+fn assert_all_sites_released(world: &World) {
+    assert_eq!(
+        world.site_memory.current_bytes(),
+        0,
+        "streaming run left sites resident"
+    );
+    assert!(
+        world.lazy_hosts.values().all(|host| !host.is_built()),
+        "streaming run left a lazy site materialized"
+    );
+}
+
+// The headline determinism contract of the streaming refactor: lazy
+// generation + per-worker domain chains + sharded journal produce exactly
+// the bytes of the eager monolithic run, for any seed, any universe size,
+// and any worker count 1..=8. Cases are drawn from the deterministic
+// proptest generator, but the loop is hand-rolled so the worker count
+// sweeps 1..=8 exhaustively (twice) instead of being sampled — and so the
+// case count stays proportional to the cost of a full double pipeline run.
+#[test]
+fn streaming_equals_eager_bytes_for_any_seed_and_worker_count() {
+    let mut gen = Gen::from_name("streaming_equals_eager_bytes");
+    for case in 0..16usize {
+        let seed = Strategy::generate(&(0u64..1000), &mut gen);
+        let domains = Strategy::generate(&(8usize..20), &mut gen);
+        let workers = case % 8 + 1;
+
+        let eager_world = build_world(world_config(seed, domains, false));
+        let reference = run_pipeline(&eager_world, pipeline_config(seed, 1));
+        let reference_bytes = dataset_bytes(&reference);
+
+        let lazy_world = build_world_lazy(world_config(seed, domains, false));
+        let streamed = streaming_run(&lazy_world, pipeline_config(seed, workers));
+
+        let tag = format!("case {case}: seed {seed}, {domains} domains, {workers} worker(s)");
+        assert_eq!(dataset_bytes(&streamed), reference_bytes, "{tag}");
+        assert_eq!(streamed.extraction, reference.extraction, "{tag}");
+        assert_eq!(streamed.crawl_funnel, reference.crawl_funnel, "{tag}");
+        assert_all_sites_released(&lazy_world);
+    }
+}
+
+#[test]
+fn streaming_matches_eager_under_chaos_at_every_worker_count() {
+    let seed = 47;
+    let eager_world = build_world(world_config(seed, 50, true));
+    let reference = run_pipeline(&eager_world, pipeline_config(seed, 4));
+    let reference_bytes = dataset_bytes(&reference);
+    assert!(
+        !reference.dataset.is_empty(),
+        "chaos world must still yield policies"
+    );
+
+    for workers in 1..=8 {
+        let lazy_world = build_world_lazy(world_config(seed, 50, true));
+        let streamed = streaming_run(&lazy_world, pipeline_config(seed, workers));
+        assert_eq!(
+            dataset_bytes(&streamed),
+            reference_bytes,
+            "streaming run with {workers} worker(s) diverged"
+        );
+        assert_eq!(streamed.extraction, reference.extraction);
+        assert_eq!(streamed.crawl_funnel, reference.crawl_funnel);
+        assert_all_sites_released(&lazy_world);
+    }
+}
+
+/// Scratch directory for durable-segment tests; callers pick a unique tag.
+fn scratch_base(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aipan-streaming-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join("journal.jsonl")
+}
+
+#[test]
+fn resume_from_mid_shard_kill_point_is_byte_identical() {
+    let seed = 53;
+    let config = pipeline_config(seed, 4);
+    let eager_world = build_world(world_config(seed, 60, true));
+    let reference = run_pipeline(&eager_world, config.clone());
+    let reference_bytes = dataset_bytes(&reference);
+
+    // Complete streaming run with durable segments: this is the on-disk
+    // state an interrupted process would have been appending to.
+    let base = scratch_base("kill");
+    let lazy_world = build_world_lazy(world_config(seed, 60, true));
+    {
+        let journal = ShardedJournal::open(&base, DEFAULT_SHARDS);
+        let full = run_pipeline_sharded(&lazy_world, config.clone(), &journal);
+        assert_eq!(journal.write_errors(), 0);
+        assert_eq!(dataset_bytes(&full), reference_bytes);
+    }
+
+    // Simulate the kill: one segment loses half a line (the write the
+    // process died inside), another segment is gone entirely (never
+    // flushed past creation), a third is truncated to a prefix of whole
+    // lines (that shard's workers were behind).
+    let seg0 = segment_path(&base, 0);
+    let torn = fs::read_to_string(&seg0).expect("segment 0 exists");
+    assert!(!torn.is_empty(), "segment 0 journaled at least one domain");
+    let cut = torn.len() - torn.len() / 3;
+    let cut = (0..=cut).rev().find(|&i| torn.is_char_boundary(i)).unwrap();
+    fs::write(&seg0, &torn[..cut]).expect("tear segment 0");
+
+    let seg1 = segment_path(&base, 1);
+    fs::remove_file(&seg1).expect("segment 1 exists");
+
+    let seg2 = segment_path(&base, 2);
+    let behind = fs::read_to_string(&seg2).expect("segment 2 exists");
+    let lines: Vec<&str> = behind.lines().collect();
+    let keep = lines.len() / 2;
+    let prefix: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+    fs::write(&seg2, prefix).expect("truncate segment 2");
+
+    // Resume: the reopened journal tolerates the torn tail, re-processes
+    // everything the dead segments lost, and converges to the reference.
+    let resumed_world = build_world_lazy(world_config(seed, 60, true));
+    let journal = ShardedJournal::open(&base, DEFAULT_SHARDS);
+    assert!(
+        journal.len() < reference.crawl_funnel.domains_total,
+        "kill point must actually lose checkpoints"
+    );
+    let resumed = run_pipeline_sharded(&resumed_world, config, &journal);
+    assert_eq!(dataset_bytes(&resumed), reference_bytes);
+    assert_eq!(resumed.extraction, reference.extraction);
+    assert_eq!(resumed.crawl_funnel, reference.crawl_funnel);
+    assert_eq!(journal.len(), reference.crawl_funnel.domains_total);
+
+    // Consolidation folds the segments back into one sorted JSONL file.
+    journal.consolidate(&base).expect("consolidate");
+    let merged = fs::read_to_string(&base).expect("consolidated journal");
+    assert_eq!(merged.lines().count(), journal.len());
+    assert!(!segment_path(&base, 0).exists(), "segments removed");
+    let _ = fs::remove_dir_all(base.parent().unwrap());
+}

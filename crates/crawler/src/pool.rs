@@ -123,6 +123,114 @@ pub fn crawl_all_with(
     results
 }
 
+/// Drive every domain through the **whole** per-domain chain on the worker
+/// pool: each worker crawls a domain and immediately hands the finished
+/// crawl to `process`, so generate → crawl → extract → annotate run
+/// end-to-end inside one worker task instead of parallelizing only the
+/// crawl stage. `process` takes the crawl by value — page bodies can be
+/// dropped the moment the domain is done, which is what bounds a streaming
+/// run's memory by in-flight domains rather than the universe.
+///
+/// `init` builds one private state value per worker (scratch arenas,
+/// per-worker tallies); `process` may mutate it freely without locks.
+/// Returns the per-domain results sorted by domain — byte-identical for
+/// any worker count, because each domain's work is a pure function of the
+/// domain — plus every worker's final state (in unspecified order: fold
+/// worker states commutatively). With `workers <= 1` everything runs
+/// serially on the caller's thread, no threads or channels.
+pub fn stream_all_with<S, R, I, F>(
+    client: &Client,
+    domains: &[String],
+    config: PoolConfig,
+    options: &CrawlOptions,
+    init: I,
+    process: F,
+) -> (Vec<(String, R)>, Vec<S>)
+where
+    S: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, DomainCrawl) -> R + Sync,
+{
+    let workers = config.workers.max(1);
+    if workers == 1 {
+        let mut state = init();
+        let mut results: Vec<(String, R)> = Vec::with_capacity(domains.len());
+        for domain in domains {
+            let crawl = crawl_domain_with(client, domain, options);
+            results.push((domain.clone(), process(&mut state, crawl)));
+        }
+        results.sort_by(|a, b| a.0.cmp(&b.0));
+        return (results, vec![state]);
+    }
+    let (job_tx, job_rx) = channel::bounded::<String>(workers * 2);
+    let (res_tx, res_rx) = channel::unbounded::<(String, R)>();
+    let (state_tx, state_rx) = channel::unbounded::<S>();
+
+    let mut results: Vec<(String, R)> = Vec::with_capacity(domains.len());
+    let scope_result = crossbeam::scope(|scope| {
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let state_tx = state_tx.clone();
+            let client = client.clone();
+            let options = *options;
+            let init = &init;
+            let process = &process;
+            worker_handles.push(scope.spawn(move |_| {
+                let mut state = init();
+                for domain in job_rx.iter() {
+                    let crawl = crawl_domain_with(&client, &domain, &options);
+                    let result = process(&mut state, crawl);
+                    if res_tx.send((domain, result)).is_err() {
+                        break;
+                    }
+                }
+                let _ = state_tx.send(state);
+            }));
+        }
+        drop(job_rx);
+        drop(res_tx);
+        drop(state_tx);
+
+        // Feed jobs from a dedicated thread while this one collects
+        // results, to avoid deadlock on the bounded job channel.
+        let feeder = scope.spawn({
+            let job_tx = job_tx.clone();
+            let domains = domains.to_vec();
+            move |_| {
+                for d in domains {
+                    if job_tx.send(d).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        drop(job_tx);
+        for pair in res_rx.iter() {
+            results.push(pair);
+        }
+        // The feeder body cannot panic; a failed join only means teardown,
+        // and the result channel has already drained.
+        let _ = feeder.join();
+        // All workers have exited (the result channel drained). A panicking
+        // worker means `results` is silently truncated — re-raise it.
+        for handle in worker_handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    if let Err(payload) = scope_result {
+        std::panic::resume_unwind(payload);
+    }
+
+    results.sort_by(|a, b| a.0.cmp(&b.0));
+    let states: Vec<S> = state_rx.into_iter().collect();
+    (results, states)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +329,90 @@ mod tests {
             assert_eq!(x.fetch_attempts, y.fetch_attempts);
         }
         assert_eq!(client1.metrics(), client6.metrics());
+    }
+
+    #[test]
+    fn streaming_results_invariant_across_worker_counts() {
+        let (net, domains) = make_net(15);
+        let options = CrawlOptions::default();
+        let mut baseline: Option<Vec<(String, usize)>> = None;
+        for workers in [1usize, 2, 5, 8] {
+            let client = Client::new(net.clone(), FaultInjector::new(0, FaultConfig::none()));
+            let (results, states) = stream_all_with(
+                &client,
+                &domains,
+                PoolConfig { workers },
+                &options,
+                || 0usize,
+                |count: &mut usize, crawl: DomainCrawl| {
+                    *count += 1;
+                    crawl.pages.len()
+                },
+            );
+            assert_eq!(states.len(), workers);
+            assert_eq!(states.iter().sum::<usize>(), domains.len());
+            match &baseline {
+                None => baseline = Some(results),
+                Some(expected) => assert_eq!(&results, expected),
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_empty_domain_list_yields_worker_states() {
+        let (net, _) = make_net(1);
+        let client = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
+        let (results, states) = stream_all_with(
+            &client,
+            &[],
+            PoolConfig { workers: 3 },
+            &CrawlOptions::default(),
+            || 7u32,
+            |_state: &mut u32, _crawl: DomainCrawl| (),
+        );
+        assert!(results.is_empty());
+        assert_eq!(states, vec![7, 7, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "process exploded")]
+    fn streaming_process_panic_propagates() {
+        let (net, domains) = make_net(6);
+        let client = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
+        stream_all_with(
+            &client,
+            &domains,
+            PoolConfig { workers: 3 },
+            &CrawlOptions::default(),
+            || (),
+            |_state: &mut (), crawl: DomainCrawl| {
+                if crawl.domain == "site3.com" {
+                    panic!("process exploded");
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn streaming_funnels_merge_to_batch_report() {
+        use crate::report::{CrawlFunnel, CrawlReport};
+        let (net, mut domains) = make_net(10);
+        domains.push("ghost.com".to_string());
+        let client = Client::new(net.clone(), FaultInjector::new(0, FaultConfig::none()));
+        let batch = CrawlReport::new(crawl_all(&client, &domains, PoolConfig { workers: 1 }));
+        let (_, funnels) = stream_all_with(
+            &client,
+            &domains,
+            PoolConfig { workers: 4 },
+            &CrawlOptions::default(),
+            CrawlFunnel::default,
+            |funnel: &mut CrawlFunnel, crawl: DomainCrawl| funnel.absorb(&crawl),
+        );
+        let mut merged = CrawlFunnel::default();
+        for funnel in &funnels {
+            merged.merge(funnel);
+        }
+        assert_eq!(merged, batch.funnel);
     }
 
     #[test]

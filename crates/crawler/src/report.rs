@@ -79,32 +79,58 @@ pub struct CrawlReport {
     pub funnel: CrawlFunnel,
 }
 
+impl CrawlFunnel {
+    /// Fold one domain's crawl into the funnel — counts only, so the
+    /// crawl's page bodies need not be retained. [`CrawlReport::new`] and
+    /// the streaming pipeline share this accounting.
+    pub fn absorb(&mut self, crawl: &DomainCrawl) {
+        self.domains_total += 1;
+        match &crawl.outcome {
+            CrawlOutcome::Success => self.crawl_success += 1,
+            CrawlOutcome::NoPrivacyPage => self.no_privacy_page += 1,
+            CrawlOutcome::TransportFailure(_) => self.transport_failures += 1,
+        }
+        if crawl.policy_path_exists() {
+            self.policy_path_hits += 1;
+        }
+        if crawl.privacy_path_exists() {
+            self.privacy_path_hits += 1;
+        }
+        self.total_pages_crawled += crawl.pages.len();
+        self.total_privacy_pages += crawl.privacy_pages().len();
+        self.robots_skipped += crawl.robots_skipped;
+        self.robots_blocked_domains += usize::from(crawl.robots_blocked);
+        self.politeness_delay_ms += crawl.politeness_delay_ms;
+        self.retries += crawl.retries;
+        self.salvaged_domains += usize::from(crawl.deadline_hit);
+    }
+
+    /// Merge another funnel's counts into this one. Every field is an
+    /// additive tally, so workers can accumulate private funnels and merge
+    /// them in any order with an identical result.
+    pub fn merge(&mut self, other: &CrawlFunnel) {
+        self.domains_total += other.domains_total;
+        self.crawl_success += other.crawl_success;
+        self.transport_failures += other.transport_failures;
+        self.no_privacy_page += other.no_privacy_page;
+        self.policy_path_hits += other.policy_path_hits;
+        self.privacy_path_hits += other.privacy_path_hits;
+        self.total_pages_crawled += other.total_pages_crawled;
+        self.total_privacy_pages += other.total_privacy_pages;
+        self.robots_skipped += other.robots_skipped;
+        self.robots_blocked_domains += other.robots_blocked_domains;
+        self.politeness_delay_ms += other.politeness_delay_ms;
+        self.retries += other.retries;
+        self.salvaged_domains += other.salvaged_domains;
+    }
+}
+
 impl CrawlReport {
     /// Build a report from per-domain crawls.
     pub fn new(crawls: Vec<DomainCrawl>) -> CrawlReport {
-        let mut funnel = CrawlFunnel {
-            domains_total: crawls.len(),
-            ..Default::default()
-        };
+        let mut funnel = CrawlFunnel::default();
         for crawl in &crawls {
-            match &crawl.outcome {
-                CrawlOutcome::Success => funnel.crawl_success += 1,
-                CrawlOutcome::NoPrivacyPage => funnel.no_privacy_page += 1,
-                CrawlOutcome::TransportFailure(_) => funnel.transport_failures += 1,
-            }
-            if crawl.policy_path_exists() {
-                funnel.policy_path_hits += 1;
-            }
-            if crawl.privacy_path_exists() {
-                funnel.privacy_path_hits += 1;
-            }
-            funnel.total_pages_crawled += crawl.pages.len();
-            funnel.total_privacy_pages += crawl.privacy_pages().len();
-            funnel.robots_skipped += crawl.robots_skipped;
-            funnel.robots_blocked_domains += usize::from(crawl.robots_blocked);
-            funnel.politeness_delay_ms += crawl.politeness_delay_ms;
-            funnel.retries += crawl.retries;
-            funnel.salvaged_domains += usize::from(crawl.deadline_hit);
+            funnel.absorb(crawl);
         }
         CrawlReport { crawls, funnel }
     }

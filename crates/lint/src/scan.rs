@@ -295,7 +295,7 @@ mod tests {
     }
 
     #[test]
-    fn contention_ranks_annotate_stage_ledger_above_crawl_stage_locks() {
+    fn contention_no_longer_ranks_annotate_stage_ledger_first() {
         let here = Path::new(env!("CARGO_MANIFEST_DIR"));
         let root = find_workspace_root(here).unwrap();
         let report = contention(&root).expect("contention report builds");
@@ -306,24 +306,26 @@ mod tests {
                 .position(|l| l.contains(needle))
                 .unwrap_or_else(|| panic!("`{needle}` missing from ranking:\n{report}"))
         };
-        // The annotate-stage usage ledger serializes every worker on one
-        // Mutex while holding clone-heavy breakdown work, so it must
-        // outrank every crawl-stage lock — it is the first entry on the
-        // streaming-refactor worklist.
-        let ledger = rank_of("chatbot::UsageLedger.inner");
+        // The annotate-stage usage ledger used to be the #1 lock (one
+        // Mutex around the whole usage map, clone-heavy breakdown work
+        // held inside it). After sharding it into per-task atomic
+        // counters behind a read-mostly RwLock index it must rank below
+        // the crawl-side host registry — the streaming-refactor worklist
+        // moved on. The old monolithic lock is gone entirely.
         assert!(
-            ledger < rank_of("net::Internet.hosts"),
-            "ledger must outrank the crawl-side host registry:\n{report}"
+            !report.contains("chatbot::UsageLedger.inner"),
+            "monolithic ledger mutex should no longer exist:\n{report}"
+        );
+        let ledger = rank_of("chatbot::UsageLedger.tasks");
+        assert!(
+            rank_of("net::Internet.hosts") < ledger,
+            "sharded ledger index must rank below the host registry:\n{report}"
         );
         assert!(
-            ledger < rank_of("net::Client.metrics"),
-            "ledger must outrank the crawl-side transport metrics:\n{report}"
-        );
-        assert!(
-            lines
+            !lines
                 .get(2)
-                .is_some_and(|l| l.contains("chatbot::UsageLedger.inner")),
-            "ledger must be the top-ranked lock overall:\n{report}"
+                .is_some_and(|l| l.contains("chatbot::UsageLedger")),
+            "ledger must not be the top-ranked lock:\n{report}"
         );
     }
 

@@ -55,6 +55,18 @@ impl StaticSite {
     pub fn paths(&self) -> impl Iterator<Item = &str> {
         self.pages.keys().map(String::as_str)
     }
+
+    /// Estimated resident heap bytes of this site: path keys plus response
+    /// bodies and redirect targets. Used by lazy world generation to bound
+    /// (and report) the memory held by materialized sites.
+    pub fn resident_bytes(&self) -> usize {
+        self.pages
+            .iter()
+            .map(|(path, response)| {
+                path.len() + response.body.len() + response.location.as_ref().map_or(0, String::len)
+            })
+            .sum()
+    }
 }
 
 fn normalize(path: &str) -> String {
@@ -91,9 +103,14 @@ impl Internet {
 
     /// Register `host` to serve `domain` (and, implicitly, `www.domain`).
     pub fn register(&self, domain: &str, host: impl VirtualHost + 'static) {
-        self.hosts
-            .write()
-            .insert(domain.to_ascii_lowercase(), Arc::new(host));
+        self.register_shared(domain, Arc::new(host));
+    }
+
+    /// Register an already-shared host. Lets the caller keep its own handle
+    /// to the host (e.g. a lazily generated site it can later release)
+    /// without a second `Arc` layer.
+    pub fn register_shared(&self, domain: &str, host: Arc<dyn VirtualHost>) {
+        self.hosts.write().insert(domain.to_ascii_lowercase(), host);
     }
 
     /// Resolve a host name to its site, accepting a `www.` prefix.

@@ -20,20 +20,72 @@ pub struct FoldedDoc {
     line_spans: Vec<(usize, usize)>,
 }
 
+/// Reusable backing buffers for [`FoldedDoc`]s.
+///
+/// A worker that folds many documents in sequence threads one arena
+/// through all of them ([`FoldedDoc::from_lines_in`] to build,
+/// [`FoldArena::recycle`] to hand the buffers back), so the fold buffer
+/// and span table are allocated once per worker and grown to the largest
+/// document, instead of allocated fresh for every policy.
+#[derive(Debug, Default)]
+pub struct FoldArena {
+    buf: String,
+    line_spans: Vec<(usize, usize)>,
+}
+
+impl FoldArena {
+    /// An empty arena (first use allocates like [`FoldedDoc::from_lines`]).
+    pub fn new() -> FoldArena {
+        FoldArena::default()
+    }
+
+    /// Take a finished document's buffers back for the next
+    /// [`FoldedDoc::from_lines_in`] call. Dropping the doc instead is not
+    /// an error — the next fold simply allocates fresh buffers.
+    pub fn recycle(&mut self, doc: FoldedDoc) {
+        self.buf = doc.buf;
+        self.line_spans = doc.line_spans;
+    }
+}
+
+fn fill<'a>(
+    mut buf: String,
+    mut line_spans: Vec<(usize, usize)>,
+    lines: impl Iterator<Item = &'a str>,
+) -> FoldedDoc {
+    buf.clear();
+    line_spans.clear();
+    // Folding never grows a line; ~64 bytes per line is a safe start. On a
+    // recycled arena with enough capacity these reserves are no-ops.
+    buf.reserve(lines.size_hint().0.saturating_mul(64));
+    line_spans.reserve(lines.size_hint().0);
+    for line in lines {
+        let start = buf.len();
+        fold_into(&mut buf, line);
+        line_spans.push((start, buf.len()));
+        buf.push(' ');
+    }
+    FoldedDoc { buf, line_spans }
+}
+
 impl FoldedDoc {
     /// Fold each line once into the shared buffer.
     pub fn from_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> FoldedDoc {
-        let lines = lines.into_iter();
-        // Folding never grows a line; ~64 bytes per line is a safe start.
-        let mut buf = String::with_capacity(lines.size_hint().0.saturating_mul(64));
-        let mut line_spans = Vec::with_capacity(lines.size_hint().0);
-        for line in lines {
-            let start = buf.len();
-            fold_into(&mut buf, line);
-            line_spans.push((start, buf.len()));
-            buf.push(' ');
-        }
-        FoldedDoc { buf, line_spans }
+        fill(String::new(), Vec::new(), lines.into_iter())
+    }
+
+    /// [`FoldedDoc::from_lines`], but built in `arena`'s recycled buffers:
+    /// byte-identical output, no fresh allocation when the arena's last
+    /// document was at least as large.
+    pub fn from_lines_in<'a>(
+        arena: &mut FoldArena,
+        lines: impl IntoIterator<Item = &'a str>,
+    ) -> FoldedDoc {
+        fill(
+            std::mem::take(&mut arena.buf),
+            std::mem::take(&mut arena.line_spans),
+            lines.into_iter(),
+        )
     }
 
     /// The whole folded buffer.
@@ -148,6 +200,23 @@ mod tests {
         let d = doc();
         let got = d.verify_batch(["email address", "email address", "nope"]);
         assert_eq!(got, vec![true, true, false]);
+    }
+
+    #[test]
+    fn arena_reuse_is_byte_identical_and_keeps_capacity() {
+        let mut arena = FoldArena::new();
+        let big = FoldedDoc::from_lines_in(&mut arena, LINES);
+        assert_eq!(big.folded(), doc().folded());
+        let grown_capacity = big.buf.capacity();
+        arena.recycle(big);
+        // A smaller follow-up document reuses the grown buffer.
+        let small = FoldedDoc::from_lines_in(&mut arena, ["tiny line"]);
+        assert_eq!(
+            small.folded(),
+            FoldedDoc::from_lines(["tiny line"]).folded()
+        );
+        assert!(small.buf.capacity() >= grown_capacity);
+        assert_eq!(small.line_count(), 1);
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod doc;
 pub mod fold;
 
 pub use ac::{AcAutomaton, AcBuilder};
-pub use doc::FoldedDoc;
+pub use doc::{FoldArena, FoldedDoc};
 pub use fold::{fold_bytes, fold_into, FoldBytes};

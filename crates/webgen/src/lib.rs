@@ -41,5 +41,7 @@ pub mod universe;
 
 pub use groundtruth::{GroundTruth, PlantedMention};
 pub use search::SearchIndex;
-pub use site::{build_world, CompanyFate, World, WorldConfig};
+pub use site::{
+    build_world, build_world_lazy, CompanyFate, LazySite, MemoryGauge, World, WorldConfig,
+};
 pub use universe::{Company, Universe};

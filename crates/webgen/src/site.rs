@@ -12,11 +12,14 @@ use crate::rng;
 use crate::search::SearchIndex;
 use crate::universe::{Company, Universe, UNIVERSE_SIZE};
 use aipan_net::fault::FaultConfig;
-use aipan_net::host::StaticSite;
-use aipan_net::http::{Response, Status};
+use aipan_net::host::{StaticSite, VirtualHost};
+use aipan_net::http::{Request, Response, Status};
 use aipan_net::Internet;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// The fate assigned to a company's website, reproducing the §4 audit
 /// classes.
@@ -71,6 +74,25 @@ impl CompanyFate {
     /// site.
     pub fn expect_extraction(self) -> bool {
         self == CompanyFate::Normal
+    }
+
+    /// Path of the page actually containing the policy under this fate —
+    /// the single source of truth shared by eager metadata construction and
+    /// lazy site assembly (`None` for [`CompanyFate::NoPolicy`]).
+    pub fn policy_path(self, seed: u64, domain: &str) -> Option<&'static str> {
+        match self {
+            CompanyFate::NoPolicy => None,
+            CompanyFate::Normal => Some(SiteLayout::assign(seed, domain).policy_path()),
+            CompanyFate::HiddenLegalLink => Some("/legal-notices"),
+            CompanyFate::JsActionLink => Some("/modal/privacy-content"),
+            CompanyFate::ConsentBoxLink => Some("/legal/privacy-statement"),
+            CompanyFate::PdfPolicy => Some("/docs/privacy-policy.pdf"),
+            CompanyFate::NonEnglish => Some("/privacy"),
+            CompanyFate::MixedLanguage
+            | CompanyFate::JsLoadedPolicy
+            | CompanyFate::ImagePolicy
+            | CompanyFate::ExpandablePolicy => Some("/privacy-policy"),
+        }
     }
 }
 
@@ -179,6 +201,15 @@ pub struct World {
     /// Per-domain path of the page actually containing the policy (absent
     /// for `NoPolicy`).
     pub policy_paths: BTreeMap<String, String>,
+    /// Lazily generated hosts by domain (empty for eagerly built worlds):
+    /// each site is materialized on first fetch and can be released once
+    /// its domain has been processed, bounding resident memory by the
+    /// number of in-flight domains instead of the universe size.
+    pub lazy_hosts: BTreeMap<String, Arc<LazySite>>,
+    /// Resident-site memory gauge. Lazy worlds track the live total and
+    /// high-water mark across materialize/release cycles; eager worlds
+    /// record the full registered byte count once at build time.
+    pub site_memory: Arc<MemoryGauge>,
 }
 
 impl World {
@@ -208,40 +239,181 @@ impl World {
         }
         h
     }
+
+    /// Whether this world generates sites lazily (see [`build_world_lazy`]).
+    pub fn is_lazy(&self) -> bool {
+        !self.lazy_hosts.is_empty()
+    }
+
+    /// Release `domain`'s materialized site, if this world is lazy and the
+    /// site has been built. The next fetch re-materializes it from the same
+    /// keyed RNG, byte-identical. No-op for eager worlds.
+    pub fn release_site(&self, domain: &str) {
+        if let Some(host) = self.lazy_hosts.get(domain) {
+            host.release();
+        }
+    }
 }
 
-/// Build the full simulated world for `config`.
+/// Current and peak resident bytes, tracked with commutative atomic ops so
+/// worker threads never serialize on the gauge.
+#[derive(Debug, Default)]
+pub struct MemoryGauge {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl MemoryGauge {
+    /// Account `bytes` newly resident and advance the high-water mark.
+    pub fn add(&self, bytes: usize) {
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Account `bytes` released.
+    pub fn sub(&self, bytes: usize) {
+        self.current.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes currently resident.
+    pub fn current_bytes(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of resident bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// A virtual host whose site is generated on first fetch.
+///
+/// Site assembly is a pure function of `(seed, revision, company, fate)` —
+/// all per-domain randomness is drawn from keyed RNG streams — so a lazily
+/// materialized site is byte-identical to the one eager [`build_world`]
+/// would have registered, regardless of fetch order or worker count. The
+/// site is cached behind a mutex; [`LazySite::release`] drops the cache so
+/// a streaming pipeline holds only its in-flight domains' sites.
+pub struct LazySite {
+    seed: u64,
+    revision: u32,
+    company: Company,
+    fate: CompanyFate,
+    gauge: Arc<MemoryGauge>,
+    built: Mutex<Option<Arc<StaticSite>>>,
+}
+
+impl LazySite {
+    /// The cached site, materializing it on first use. Assembly runs
+    /// outside the cache lock (the lock guards only the install), so a
+    /// racing fetch at worst assembles a duplicate that is then discarded
+    /// in favor of the winner's — never a torn or double-counted site.
+    fn materialize(&self) -> Arc<StaticSite> {
+        if let Some(site) = self.built.lock().clone() {
+            return site;
+        }
+        let assembled = Arc::new(assemble_site(
+            self.seed,
+            self.revision,
+            &self.company,
+            self.fate,
+        ));
+        let bytes = assembled.resident_bytes();
+        {
+            let mut slot = self.built.lock();
+            if let Some(existing) = slot.as_ref() {
+                return existing.clone();
+            }
+            *slot = Some(assembled.clone());
+        }
+        self.gauge.add(bytes);
+        assembled
+    }
+
+    /// Drop the cached site (it rebuilds, byte-identical, on next fetch).
+    pub fn release(&self) {
+        if let Some(site) = self.built.lock().take() {
+            self.gauge.sub(site.resident_bytes());
+        }
+    }
+
+    /// Whether the site is currently materialized.
+    pub fn is_built(&self) -> bool {
+        self.built.lock().is_some()
+    }
+}
+
+impl VirtualHost for LazySite {
+    fn handle(&self, request: &Request) -> Response {
+        self.materialize().handle(request)
+    }
+}
+
+/// Build the full simulated world for `config`, with every site rendered
+/// and registered eagerly.
 pub fn build_world(config: WorldConfig) -> World {
+    build_world_mode(config, false)
+}
+
+/// Build the world with **lazy** per-domain site generation: metadata
+/// (universe, search index, fates, ground truths, styles, policy paths) is
+/// constructed eagerly exactly as [`build_world`] does, but each domain's
+/// pages are only rendered on its first fetch, and can be dropped again
+/// via [`World::release_site`]. Crawl results are byte-identical to the
+/// eager world's; resident site memory is bounded by the number of
+/// materialized (in-flight) domains rather than the universe size.
+pub fn build_world_lazy(config: WorldConfig) -> World {
+    build_world_mode(config, true)
+}
+
+fn build_world_mode(config: WorldConfig, lazy: bool) -> World {
     let universe = Universe::generate_sized(config.seed, config.universe_size);
     let search = SearchIndex::build(config.seed, &universe);
     let internet = Internet::new();
+    let site_memory = Arc::new(MemoryGauge::default());
     let mut fates = BTreeMap::new();
     let mut truths = BTreeMap::new();
     let mut styles = BTreeMap::new();
     let mut policy_paths = BTreeMap::new();
+    let mut lazy_hosts = BTreeMap::new();
 
     for company in universe.unique_domains() {
         let domain = company.domain.clone();
         let fate = CompanyFate::assign(config.seed, &domain);
         fates.insert(domain.clone(), fate);
-
-        let style = PolicyStyle::sample(config.seed, &domain);
-        let mut site = match fate {
-            CompanyFate::NoPolicy => build_no_policy_site(company),
-            _ => {
-                let truth = GroundTruth::sample(config.seed, &domain, company.sector)
-                    .revise(config.seed, config.revision);
-                let (site, policy_path) = build_site(config.seed, company, &truth, &style, fate);
-                truths.insert(domain.clone(), truth);
-                policy_paths.insert(domain.clone(), policy_path);
-                site
-            }
-        };
-        if let Some(robots) = robots_txt(config.seed, &domain) {
-            site = site.page("/robots.txt", robots);
+        if let Some(path) = fate.policy_path(config.seed, &domain) {
+            policy_paths.insert(domain.clone(), path.to_string());
         }
-        styles.insert(domain.clone(), style);
-        internet.register(&domain, site);
+        let style = PolicyStyle::sample(config.seed, &domain);
+        let truth = match fate {
+            CompanyFate::NoPolicy => None,
+            _ => Some(
+                GroundTruth::sample(config.seed, &domain, company.sector)
+                    .revise(config.seed, config.revision),
+            ),
+        };
+
+        if lazy {
+            let host = Arc::new(LazySite {
+                seed: config.seed,
+                revision: config.revision,
+                company: company.clone(),
+                fate,
+                gauge: site_memory.clone(),
+                built: Mutex::new(None),
+            });
+            internet.register_shared(&domain, host.clone());
+            lazy_hosts.insert(domain.clone(), host);
+        } else {
+            let site = assemble_site_with(config.seed, company, fate, truth.as_ref(), &style);
+            site_memory.add(site.resident_bytes());
+            internet.register(&domain, site);
+        }
+
+        if let Some(truth) = truth {
+            truths.insert(domain.clone(), truth);
+        }
+        styles.insert(domain, style);
     }
 
     World {
@@ -253,7 +425,41 @@ pub fn build_world(config: WorldConfig) -> World {
         truths,
         styles,
         policy_paths,
+        lazy_hosts,
+        site_memory,
     }
+}
+
+/// Assemble one domain's full site from scratch — the lazy-generation
+/// entry point. Pure in `(seed, revision, company, fate)`.
+fn assemble_site(seed: u64, revision: u32, company: &Company, fate: CompanyFate) -> StaticSite {
+    let style = PolicyStyle::sample(seed, &company.domain);
+    let truth = match fate {
+        CompanyFate::NoPolicy => None,
+        _ => {
+            Some(GroundTruth::sample(seed, &company.domain, company.sector).revise(seed, revision))
+        }
+    };
+    assemble_site_with(seed, company, fate, truth.as_ref(), &style)
+}
+
+/// Assemble one domain's site from pre-sampled metadata (shared by the
+/// eager build loop, which already holds the truth and style).
+fn assemble_site_with(
+    seed: u64,
+    company: &Company,
+    fate: CompanyFate,
+    truth: Option<&GroundTruth>,
+    style: &PolicyStyle,
+) -> StaticSite {
+    let mut site = match (fate, truth) {
+        (CompanyFate::NoPolicy, _) | (_, None) => build_no_policy_site(company),
+        (_, Some(truth)) => build_site(seed, company, truth, style, fate),
+    };
+    if let Some(robots) = robots_txt(seed, &company.domain) {
+        site = site.page("/robots.txt", robots);
+    }
+    site
 }
 
 // ---------------------------------------------------------------------------
@@ -337,7 +543,7 @@ fn build_site(
     truth: &GroundTruth,
     style: &PolicyStyle,
     fate: CompanyFate,
-) -> (StaticSite, String) {
+) -> StaticSite {
     let domain = &company.domain;
     let layout = SiteLayout::assign(seed, domain);
     let policy_html = render_policy(truth, style, &company.name, seed);
@@ -455,7 +661,7 @@ fn build_site(
                     ),
                 );
             }
-            (site, policy_path.to_string())
+            site
         }
         CompanyFate::HiddenLegalLink => {
             // Footer says "Legal Notices"; policy lives at a path without
@@ -479,7 +685,7 @@ fn build_site(
                         &footer_links(&[("Legal Notices", "/legal-notices")]),
                     ),
                 );
-            (site, "/legal-notices".to_string())
+            site
         }
         CompanyFate::JsActionLink => {
             let footer = "<a href=\"/terms\">Terms of Use</a> \
@@ -496,7 +702,7 @@ fn build_site(
                     ),
                 )
                 .page("/modal/privacy-content", policy_page(&policy_html));
-            (site, "/modal/privacy-content".to_string())
+            site
         }
         CompanyFate::ConsentBoxLink => {
             let main = format!(
@@ -511,7 +717,7 @@ fn build_site(
                     page(&company.name, &standard_header(), &main, &footer_links(&[])),
                 )
                 .page("/legal/privacy-statement", policy_page(&policy_html));
-            (site, "/legal/privacy-statement".to_string())
+            site
         }
         CompanyFate::PdfPolicy => {
             let pdf_body = format!("%PDF-1.7 privacy policy of {}", company.name);
@@ -526,7 +732,7 @@ fn build_site(
                     ),
                 )
                 .page("/docs/privacy-policy.pdf", Response::pdf(pdf_body));
-            (site, "/docs/privacy-policy.pdf".to_string())
+            site
         }
         CompanyFate::NonEnglish => {
             let german = render_policy_german(&company.name);
@@ -553,7 +759,7 @@ fn build_site(
                         &footer_links(&[("Privacy Policy", "/privacy")]),
                     ),
                 );
-            (site, "/privacy".to_string())
+            site
         }
         CompanyFate::MixedLanguage => {
             let mixed = render_policy_mixed(truth, style, &company.name, seed);
@@ -568,7 +774,7 @@ fn build_site(
                     ),
                 )
                 .page("/privacy-policy", policy_page(&mixed));
-            (site, "/privacy-policy".to_string())
+            site
         }
         CompanyFate::JsLoadedPolicy => {
             let shell = "<div id=\"root\"></div>\
@@ -585,7 +791,7 @@ fn build_site(
                     ),
                 )
                 .page("/privacy-policy", policy_page(shell));
-            (site, "/privacy-policy".to_string())
+            site
         }
         CompanyFate::ImagePolicy => {
             let main = "<h1>Privacy Policy</h1>\
@@ -602,7 +808,7 @@ fn build_site(
                     ),
                 )
                 .page("/privacy-policy", policy_page(main));
-            (site, "/privacy-policy".to_string())
+            site
         }
         CompanyFate::ExpandablePolicy => {
             let main = format!(
@@ -620,11 +826,11 @@ fn build_site(
                     ),
                 )
                 .page("/privacy-policy", policy_page(&main));
-            (site, "/privacy-policy".to_string())
+            site
         }
         // Callers route NoPolicy to `build_no_policy_site` directly; fall
         // back to it here too rather than aborting.
-        CompanyFate::NoPolicy => (build_no_policy_site(company), String::new()),
+        CompanyFate::NoPolicy => build_no_policy_site(company),
     }
 }
 
@@ -780,6 +986,78 @@ mod tests {
             "/privacy-policy rate {pp_rate}"
         );
         assert!((p_rate - 0.486).abs() < 0.08, "/privacy rate {p_rate}");
+    }
+
+    #[test]
+    fn lazy_world_serves_byte_identical_pages() {
+        let eager = build_world(WorldConfig::small(17, 200));
+        let lazy = build_world_lazy(WorldConfig::small(17, 200));
+        assert!(lazy.is_lazy() && !eager.is_lazy());
+        assert_eq!(eager.fates, lazy.fates);
+        assert_eq!(eager.truths, lazy.truths);
+        assert_eq!(eager.policy_paths, lazy.policy_paths);
+        assert_eq!(eager.internet.len(), lazy.internet.len());
+        // Nothing is materialized until fetched.
+        assert_eq!(lazy.site_memory.current_bytes(), 0);
+
+        let fetch = |world: &World, domain: &str, path: &str| {
+            let host = world.internet.resolve(domain).unwrap();
+            let url = Url::parse(&format!("https://{domain}{path}")).unwrap();
+            host.handle(&aipan_net::Request::get(url))
+        };
+        for (domain, _) in eager.fates.iter().take(40) {
+            let paths: Vec<String> = {
+                let mut p = vec!["/".to_string(), "/robots.txt".to_string()];
+                if let Some(policy) = eager.policy_paths.get(domain) {
+                    p.push(policy.clone());
+                }
+                p
+            };
+            for path in &paths {
+                let a = fetch(&eager, domain, path);
+                let b = fetch(&lazy, domain, path);
+                assert_eq!(a, b, "{domain}{path} differs between eager and lazy");
+            }
+        }
+        assert!(lazy.site_memory.current_bytes() > 0);
+        assert!(lazy.site_memory.peak_bytes() >= lazy.site_memory.current_bytes());
+    }
+
+    #[test]
+    fn released_sites_rematerialize_identically_and_free_memory() {
+        let lazy = build_world_lazy(WorldConfig::small(23, 120));
+        let (domain, host) = lazy.lazy_hosts.iter().next().unwrap();
+        let url = Url::parse(&format!("https://{domain}/")).unwrap();
+        let req = aipan_net::Request::get(url);
+        let first = host.handle(&req);
+        assert!(host.is_built());
+        let resident = lazy.site_memory.current_bytes();
+        assert!(resident > 0);
+
+        lazy.release_site(domain);
+        assert!(!host.is_built());
+        assert_eq!(lazy.site_memory.current_bytes(), 0);
+
+        let again = host.handle(&req);
+        assert_eq!(first, again, "rematerialized site must be byte-identical");
+        assert_eq!(lazy.site_memory.current_bytes(), resident);
+        // Peak never decreases.
+        assert!(lazy.site_memory.peak_bytes() >= resident);
+    }
+
+    #[test]
+    fn eager_world_gauge_records_total_universe_bytes() {
+        let eager = build_world(WorldConfig::small(29, 80));
+        let lazy = build_world_lazy(WorldConfig::small(29, 80));
+        // Materialize everything on the lazy side: totals must agree.
+        for (domain, host) in &lazy.lazy_hosts {
+            let url = Url::parse(&format!("https://{domain}/")).unwrap();
+            host.handle(&aipan_net::Request::get(url));
+        }
+        assert_eq!(
+            eager.site_memory.current_bytes(),
+            lazy.site_memory.current_bytes()
+        );
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! ```text
 //! aipan run      [--seed N] [--size N] [--out FILE] [--resume JOURNAL]
 //!                                                     run the pipeline, write the dataset JSON;
-//!                                                     with --resume, checkpoint per-domain results
-//!                                                     to a JSONL journal and skip already-journaled
-//!                                                     domains on the next invocation
+//!                                                     with --resume, append per-domain results to
+//!                                                     sharded JSONL journal segments as they finish
+//!                                                     (consolidated into JOURNAL on success) and
+//!                                                     skip already-journaled domains next time
 //! aipan audit    <domain> [--seed N] [--size N]       crawl + annotate one company
 //! aipan tables   [--seed N] [--size N]                print Tables 1–5 from a fresh run
 //! aipan validate [--seed N] [--size N]                run the §4 validation harness
@@ -17,7 +18,9 @@ use aipan::analysis::validation::{FailureAudit, MissingAspectAudit, PrecisionRep
 use aipan::analysis::{insights::Insights, tables, trends};
 use aipan::chatbot::SimulatedChatbot;
 use aipan::core::pipeline::Pipeline;
-use aipan::core::{run_pipeline, run_pipeline_resumable, Dataset, PipelineConfig, RunJournal};
+use aipan::core::{
+    run_pipeline, run_pipeline_sharded, Dataset, PipelineConfig, ShardedJournal, DEFAULT_SHARDS,
+};
 use aipan::crawler::crawl_domain;
 use aipan::ml::{
     build_aspect_corpus, build_rights_corpus, eval, train::split_by_domain, Featurizer,
@@ -130,12 +133,26 @@ fn cmd_run(args: &Args) {
     };
     let run = match &args.resume {
         Some(path) => {
-            let mut journal = std::fs::read_to_string(path)
-                .map(|text| RunJournal::from_jsonl(&text))
-                .unwrap_or_else(|_| RunJournal::new());
+            // Durable streaming checkpoints: every finished domain is
+            // appended to one of the journal's shard segments immediately,
+            // so a killed run resumes losing at most one torn line per
+            // segment. On success the segments are consolidated back into
+            // the single JSONL file at `path`.
+            let base = std::path::Path::new(path);
+            let journal = ShardedJournal::open(base, DEFAULT_SHARDS);
             let resumed_from = journal.len();
-            let run = run_pipeline_resumable(&world, config, &mut journal);
-            std::fs::write(path, journal.to_jsonl()).expect("write journal");
+            println!(
+                "journal: {} segment(s), {resumed_from} checkpointed domain(s)",
+                journal.shard_count()
+            );
+            let run = run_pipeline_sharded(&world, config, &journal);
+            if journal.write_errors() > 0 {
+                eprintln!(
+                    "journal: {} segment append(s) failed; affected domains will re-process on resume",
+                    journal.write_errors()
+                );
+            }
+            journal.consolidate(base).expect("consolidate journal");
             println!(
                 "journal: resumed {resumed_from} domains, {} entries now in {path}",
                 journal.len()
