@@ -9,11 +9,20 @@
 //! * its rendered JSON report must be byte-identical to the cold run's;
 //! * on an unchanged tree it must be at least [`MIN_SPEEDUP`]× faster.
 //!
+//! The harness also times the v6 type-index pass in isolation — the
+//! workspace-wide struct-field/return-type table every `N1`/`N2`/`A1`
+//! check consults. Cold, that pass is paid inside every full scan; warm,
+//! the `--incremental` replay skips it entirely (the replay gate above
+//! proves no graph pass ran), so its warm cost is zero by construction
+//! and the cell records how much work the cache is actually avoiding.
+//!
 //! The labeled timings are appended to `BENCH_lint.json` so the lint's
 //! own perf trajectory accumulates across PRs, mirroring what
-//! `perfbench` does for the pipeline in `BENCH_pipeline.json`. Any
-//! contract violation exits nonzero — the verify drive runs this as a
-//! gate, not just a stopwatch.
+//! `perfbench` does for the pipeline in `BENCH_pipeline.json`. Entries
+//! written by older harness versions are preserved verbatim (they are
+//! re-emitted as raw JSON, not round-tripped through this version's
+//! entry struct). Any contract violation exits nonzero — the verify
+//! drive runs this as a gate, not just a stopwatch.
 //!
 //! ```text
 //! lintbench                       # gate + append to BENCH_lint.json
@@ -21,10 +30,13 @@
 //! lintbench --out /tmp/l.json    # write somewhere else
 //! ```
 
+use aipan_lint::callgraph::CallGraph;
+use aipan_lint::graph::Workspace;
 use aipan_lint::incremental::{run_incremental, CACHE_REL_PATH};
 use aipan_lint::report;
-use aipan_lint::scan::find_workspace_root;
-use serde::{Deserialize, Serialize};
+use aipan_lint::scan::{find_workspace_root, read_sources};
+use aipan_lint::types::TypeIndex;
+use serde::{Serialize, Value};
 use std::time::Instant;
 
 /// Minimum cold/warm speedup on an unchanged tree. The warm path only
@@ -33,7 +45,7 @@ use std::time::Instant;
 const MIN_SPEEDUP: f64 = 3.0;
 
 /// One measured cold/warm pair.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Serialize)]
 struct LintBenchEntry {
     /// Caller-supplied tag (e.g. `post-PR7`).
     label: String,
@@ -47,15 +59,14 @@ struct LintBenchEntry {
     warm_ms: f64,
     /// `cold_ms / warm_ms`.
     speedup: f64,
-}
-
-/// The committed trajectory file.
-#[derive(Debug, Default, Serialize, Deserialize)]
-struct LintBenchFile {
-    /// Harness identifier, bumped only if the measured workload changes.
-    harness: String,
-    /// Appended measurements, oldest first.
-    entries: Vec<LintBenchEntry>,
+    /// Wall-clock (ms) of building the workspace type index alone — the
+    /// slice of every cold scan the v6 type-aware rules added.
+    type_index_cold_ms: f64,
+    /// Type-index cost on the warm path: always `0.0`, because a
+    /// replayed run never reaches the graph passes (the replay gate
+    /// fails the harness otherwise). Recorded so the trajectory states
+    /// the avoided work explicitly rather than by omission.
+    type_index_warm_ms: f64,
 }
 
 fn ms(since: Instant) -> f64 {
@@ -117,12 +128,29 @@ fn main() {
         }
     };
 
+    // The type-index pass in isolation, on the same sources the scans
+    // saw: workspace build is setup, only `TypeIndex::build` is timed.
+    let sources = match read_sources(&root, |_| true) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lintbench: cannot re-read sources: {e}");
+            std::process::exit(2);
+        }
+    };
+    let workspace = Workspace::build(&sources);
+    let graph = CallGraph::build(&workspace);
+    let t2 = Instant::now();
+    let index = TypeIndex::build(&workspace);
+    let type_index_cold_ms = ms(t2);
+    drop((index, graph));
+
     println!(
         "cold: {cold_ms:.1} ms over {} file(s) ({})",
         cold_stats.total_files,
         cold_stats.summary()
     );
     println!("warm: {warm_ms:.1} ms ({})", warm_stats.summary());
+    println!("type index: {type_index_cold_ms:.1} ms cold, skipped on replay");
 
     let mut failed = false;
     if !warm_stats.replayed {
@@ -149,19 +177,31 @@ fn main() {
     }
     println!("speedup: {speedup:.1}x, reports byte-identical");
 
-    let mut file: LintBenchFile = std::fs::read_to_string(root.join(&out))
+    // Append without round-tripping prior entries through this version's
+    // struct: older entries lack the type-index members and must survive
+    // byte-for-byte rather than being silently dropped on a parse miss.
+    let mut entries: Vec<Value> = std::fs::read_to_string(root.join(&out))
         .ok()
-        .and_then(|text| serde_json::from_str(&text).ok())
+        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
+        .and_then(|v| v.field("entries").ok().and_then(|e| e.as_array().cloned()))
         .unwrap_or_default();
-    file.harness = "lintbench-v1".to_string();
-    file.entries.push(LintBenchEntry {
-        label,
-        files: cold_stats.total_files,
-        findings: cold_report.findings.len(),
-        cold_ms,
-        warm_ms,
-        speedup: (speedup * 10.0).round() / 10.0,
-    });
+    entries.push(
+        LintBenchEntry {
+            label,
+            files: cold_stats.total_files,
+            findings: cold_report.findings.len(),
+            cold_ms,
+            warm_ms,
+            speedup: (speedup * 10.0).round() / 10.0,
+            type_index_cold_ms,
+            type_index_warm_ms: 0.0,
+        }
+        .to_value(),
+    );
+    let file = Value::Object(vec![
+        ("harness".to_string(), "lintbench-v1".to_value()),
+        ("entries".to_string(), Value::Array(entries)),
+    ]);
     match serde_json::to_string_pretty(&file) {
         Ok(json) => {
             if let Err(e) = std::fs::write(root.join(&out), json + "\n") {

@@ -67,6 +67,11 @@ struct BenchEntry {
     mode: String,
     /// Universe size (company domains attempted).
     domains: usize,
+    /// Available hardware parallelism on the measuring host — wall-clock
+    /// entries from hosts with different core counts are not comparable.
+    host_nproc: usize,
+    /// Host operating system (`std::env::consts::OS`), same caveat.
+    host_os: String,
     /// Worker-thread count for crawl and annotation pools.
     workers: usize,
     /// World synthesis wall-clock (ms). In streaming mode this is only
@@ -157,6 +162,8 @@ fn measure(label: &str, domains: usize, workers: usize, chaos: bool, lazy: bool)
         label: label.to_string(),
         mode: if lazy { "streaming" } else { "eager" }.to_string(),
         domains,
+        host_nproc: std::thread::available_parallelism().map_or(0, |n| n.get()),
+        host_os: std::env::consts::OS.to_string(),
         workers,
         world_build_ms,
         crawl_ms,

@@ -21,6 +21,8 @@ pub const KNOWN_ENTRY_KEYS: &[&str] = &[
     "crawl_ms",
     "crawl_ms_per_domain",
     "domains",
+    "host_nproc",
+    "host_os",
     "label",
     "mode",
     "peak_resident_bytes",

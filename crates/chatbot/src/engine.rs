@@ -69,10 +69,20 @@ impl SimulatedChatbot {
             return output;
         }
         let frac = 0.25 + 0.5 * unit(self.seed, &[&parts[..], &["cut"]].concat());
-        let cut = ((output.len() as f64 * frac) as usize).max(2);
+        let cut = fractional_cut(output.len(), frac).max(2);
         let cut = (0..=cut).rev().find(|&i| output.is_char_boundary(i));
         output[..cut.unwrap_or(0)].to_string()
     }
+}
+
+/// Deterministic cut index for the truncation fault: `floor(n * frac)`.
+///
+/// The float round-trip is the intended semantics — the fault model drops
+/// a hash-derived *fraction* of the completion — and `n` is one
+/// response's byte length, bounded per document (f64 is exact far beyond
+/// it), so the truncating conversion cannot wrap.
+fn fractional_cut(n: usize, frac: f64) -> usize {
+    (n as f64 * frac) as usize
 }
 
 impl Chatbot for SimulatedChatbot {

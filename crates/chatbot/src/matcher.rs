@@ -271,7 +271,7 @@ impl Engine {
             vec![(0u32, 0u32); toks.len()],
         ];
         self.ac.scan(toks.iter().map(|t| t.sym), &mut |end, pat| {
-            let len = self.ac.pattern_len(pat) as u32;
+            let len = u32::try_from(self.ac.pattern_len(pat)).unwrap_or(u32::MAX);
             let start = end + 1 - len as usize;
             let slot = &mut best[vocab_index(self.targets[pat as usize].0)][start];
             if len > slot.0 {
@@ -397,7 +397,7 @@ fn add_pattern(
     let syms: Vec<u32> = tokens
         .into_iter()
         .map(|t| {
-            let next = symbols.len() as u32;
+            let next = u32::try_from(symbols.len()).unwrap_or(u32::MAX);
             *symbols.entry(t).or_insert(next)
         })
         .collect();

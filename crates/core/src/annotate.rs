@@ -227,7 +227,7 @@ pub fn annotate_policy_in(
     for (i, (line, text, descriptor, category_name)) in purpose_rows.into_iter().enumerate() {
         if let Some(p) = &present {
             if !p.get(i).copied().unwrap_or(false) {
-                hallucinations_removed += 1;
+                hallucinations_removed = hallucinations_removed.saturating_add(1);
                 continue;
             }
         }
@@ -262,7 +262,7 @@ pub fn annotate_policy_in(
     for (i, (line, text, label_name, period)) in handling_rows.into_iter().enumerate() {
         if let Some(p) = &present {
             if !p.get(i).copied().unwrap_or(false) {
-                hallucinations_removed += 1;
+                hallucinations_removed = hallucinations_removed.saturating_add(1);
                 continue;
             }
         }
@@ -301,7 +301,7 @@ pub fn annotate_policy_in(
     for (i, (line, text, label_name)) in rights_rows.into_iter().enumerate() {
         if let Some(p) = &present {
             if !p.get(i).copied().unwrap_or(false) {
-                hallucinations_removed += 1;
+                hallucinations_removed = hallucinations_removed.saturating_add(1);
                 continue;
             }
         }

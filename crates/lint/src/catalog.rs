@@ -230,6 +230,55 @@ pub const RULES: &[RuleDoc] = &[
         example: "for page in &corpus {\n    let mut ledger = self.usage.lock()?; // W2: per-page acquire\n    ledger.record(expensive_breakdown(page));\n}",
     },
     RuleDoc {
+        id: "N1",
+        severity: Severity::Deny,
+        summary: "lossy `as` cast on a corpus-scale quantity",
+        rationale: "A page or byte count that fits `u32` on the paper's 56-domain corpus \
+                    silently wraps at the 10-100x scale the pipeline targets, and `as` \
+                    hides the truncation. The rule fires only when local type inference \
+                    proves the operand's type AND its corpus-scale provenance \
+                    (`.len()`/`.count()` results, counter-family names); provably \
+                    lossless widenings with an exact std `From` impl are reported at \
+                    Warn with a machine-applicable `Dst::from(..)` rewrite instead.",
+        example: "let pages = corpus.len();\nreport.total = pages as u32; // N1: wraps past 4Gi pages",
+    },
+    RuleDoc {
+        id: "N2",
+        severity: Severity::Warn,
+        summary: "unchecked compound arithmetic on a corpus-scale counter in a hot fn",
+        rationale: "Debug builds panic on overflow and release builds wrap silently, so a \
+                    serialized counter that overflows corrupts every downstream report \
+                    without an error. On hot-path counters of provable integer type the \
+                    overflow policy must be visible at the site: `saturating_add` / \
+                    `checked_add`, not bare `+=`.",
+        example: "fn absorb(&mut self, other: &Funnel) {\n    self.pages_total += other.pages_total; // N2: use saturating_add\n}",
+    },
+    RuleDoc {
+        id: "A1",
+        severity: Severity::Deny,
+        summary: "non-commutative or inconsistent atomic access pattern",
+        rationale: "The streaming pipeline's lock-free counters are correct only while \
+                    every concurrent update is a single commutative RMW (`fetch_add`, \
+                    `fetch_max`, or a CAS retry loop): with relaxed ordering and racing \
+                    workers, anything else makes the final value depend on interleaving. \
+                    The rule denies load-then-store update splits (lost updates), bare \
+                    `swap`/`compare_exchange` under `Relaxed` outside a retry loop, and \
+                    mixed memory orderings on one field workspace-wide.",
+        example: "let v = self.peak.load(Ordering::Relaxed);\nself.peak.store(v.max(n), Ordering::Relaxed); // A1: use fetch_max",
+    },
+    RuleDoc {
+        id: "F1",
+        severity: Severity::Warn,
+        summary: "filesystem I/O inside a corpus-scale hot loop outside the journal/shard layer",
+        rationale: "PR 8 confined durable writes to the sharded journal so the per-domain \
+                    hot loop performs bounded syscalls. A direct `fs::*` call — or a call \
+                    into any fn whose inferred effect set includes unsanctioned \
+                    filesystem I/O — inside a hot loop reintroduces an open/write per \
+                    corpus element. Findings carry the cost model's entry->fn witness \
+                    chain; effects originating in `journal.rs`/`shard.rs` are sanctioned.",
+        example: "for d in domains {\n    std::fs::write(out.join(d), render(d))?; // F1: route through the journal\n}",
+    },
+    RuleDoc {
         id: "T1",
         severity: Severity::Deny,
         summary: "taxonomy normalization closure broken",
@@ -310,7 +359,7 @@ mod tests {
         // rule without a catalog entry fails here.
         let emitted = [
             "D1", "D2", "R1", "O1", "H1", "B1", "L1", "E1", "K1", "P1", "X1", "D3", "H2", "C2",
-            "M1", "M2", "S1", "S2", "W1", "W2", "T1", "T2", "T3", "A0",
+            "M1", "M2", "S1", "S2", "W1", "W2", "N1", "N2", "A1", "F1", "T1", "T2", "T3", "A0",
         ];
         for id in emitted {
             assert!(find(id).is_some(), "rule {id} missing from catalog");

@@ -357,6 +357,15 @@ pub(crate) fn step_exprs<'a>(step: &Step<'a>) -> Vec<&'a Expr> {
     }
 }
 
+/// Loop depth of every source line holding a step of `body` — what the
+/// effect (`F1`) and numeric (`N2`) passes use to ask "is this site
+/// inside a loop?" with exactly the cost model's notion of depth.
+pub(crate) fn line_loop_depths(body: &[crate::expr::Stmt]) -> BTreeMap<u32, u32> {
+    let cfg = Cfg::build(body);
+    let depths = loop_depths(&cfg);
+    summarize(&cfg, &depths).line_depth
+}
+
 /// Per-fn static summary: local cost plus the loop depth of every
 /// source line that holds a step.
 struct FnSummary {
@@ -416,7 +425,9 @@ fn is_entry(ws: &Workspace, node: &FnNode<'_>) -> bool {
 
 /// Strongly-connected components of the call graph, returned in reverse
 /// topological order of the condensation (callees before callers).
-fn call_sccs(n: usize, succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
+/// Shared with the `F1` effect propagation, which walks the same
+/// condensation in the same direction.
+pub(crate) fn call_sccs(n: usize, succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
     let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (u, outs) in succs.iter().enumerate() {
         for &v in outs {
@@ -619,7 +630,7 @@ impl CostModel {
 }
 
 /// Display name for a call-graph fn (`Type::method` or `free_fn`).
-fn fn_display(node: &FnNode<'_>) -> String {
+pub(crate) fn fn_display(node: &FnNode<'_>) -> String {
     match node.self_ty {
         Some(ty) => format!("{ty}::{}", node.name),
         None => node.name.to_string(),

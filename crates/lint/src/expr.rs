@@ -469,7 +469,8 @@ impl<'a, 'b> BodyParser<'a, 'b> {
     fn adjacent(&self, i: usize) -> bool {
         match (self.sig.get(i), self.sig.get(i + 1)) {
             (Some(a), Some(b)) if i + 1 < self.end => {
-                a.line == b.line && b.col == a.col + a.text.len() as u32
+                let width = u32::try_from(a.text.len()).unwrap_or(u32::MAX);
+                a.line == b.line && b.col == a.col.saturating_add(width)
             }
             _ => false,
         }

@@ -19,7 +19,10 @@
 //!   `y` is read-shaped, so the hoisted value is never moved twice);
 //! - `H2`: `Vec::new()` → `Vec::with_capacity(xs.len())` when the
 //!   binding's only growth site is a `for` loop over a plain iterable
-//!   whose length is the provable element count.
+//!   whose length is the provable element count;
+//! - `N1`: `x as u64` → `u64::from(x)` when the cast is a provable
+//!   widening with the exact std `From` impl (lossy casts never get a
+//!   fix — the right rewrite needs a human overflow policy).
 
 use serde::Serialize;
 

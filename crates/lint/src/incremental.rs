@@ -88,14 +88,17 @@ fn fnv64_hex(bytes: &[u8]) -> String {
 }
 
 /// Signature over everything that affects findings besides file
-/// contents: the layering config, the allowlist, and both schema
-/// numbers.
+/// contents: the layering config, the allowlist, the schema numbers,
+/// and the type-layer generation ([`crate::types::TYPES_SCHEMA`]) —
+/// the `N1`/`N2`/`A1` passes consume inferred type facts, so a change
+/// to how those are built must invalidate warm replays wholesale.
 fn config_signature(root: &Path, allow_path: &Path) -> String {
     let lint_toml = std::fs::read_to_string(root.join("lint.toml")).unwrap_or_default();
     let allow = std::fs::read_to_string(allow_path).unwrap_or_default();
     let blob = format!(
-        "{CACHE_SCHEMA}\u{0}{}\u{0}{lint_toml}\u{0}{allow}",
-        report::SCHEMA_VERSION
+        "{CACHE_SCHEMA}\u{0}{}\u{0}{}\u{0}{lint_toml}\u{0}{allow}",
+        report::SCHEMA_VERSION,
+        crate::types::TYPES_SCHEMA
     );
     fnv64_hex(blob.as_bytes())
 }

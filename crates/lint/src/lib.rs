@@ -23,8 +23,11 @@
 //!    [`dataflow`]): `X1` interprocedural panic-reachability (see
 //!    [`panic_reach`]), `D3` determinism taint (see [`taint`]), the
 //!    hot-path cost rules `H2`/`C2` over the interprocedural cost model
-//!    (see [`cost`]), and the lock-guard liveness rules `M1`/`M2` (see
-//!    [`guards`]).
+//!    (see [`cost`]), the lock-guard liveness rules `M1`/`M2` (see
+//!    [`guards`]), and the type- and effect-aware rules over the
+//!    workspace type index (see [`types`]): `N1`/`N2` numeric safety
+//!    (see [`numeric`]), `A1` atomic commutativity (see [`atomics`]),
+//!    and `F1` filesystem-I/O confinement (see [`effects`]).
 //!
 //! Data invariants (see [`invariants`]): `T1` normalization closure, `T2`
 //! canonical-name uniqueness, `T3` nine-aspect coverage.
@@ -42,12 +45,14 @@
 //! that stop matching anything are themselves reported (`A0`).
 
 pub mod allow;
+pub mod atomics;
 pub mod callgraph;
 pub mod catalog;
 pub mod cfg;
 pub mod config;
 pub mod cost;
 pub mod dataflow;
+pub mod effects;
 pub mod error_flow;
 pub mod expr;
 pub mod findings;
@@ -58,6 +63,7 @@ pub mod incremental;
 pub mod invariants;
 pub mod lexer;
 pub mod locks;
+pub mod numeric;
 pub mod panic_reach;
 pub mod parser;
 pub mod report;
@@ -66,6 +72,7 @@ pub mod rules;
 pub mod scan;
 pub mod share;
 pub mod taint;
+pub mod types;
 
 pub use allow::{Allowlist, ParseError};
 pub use config::{Config, ConfigError};

@@ -1,7 +1,7 @@
 //! CLI for the workspace lint pass.
 //!
 //! ```text
-//! cargo run -p aipan-lint -- [--format human|json] [--deny-warnings] [--verbose] [--root DIR] [--allow FILE]
+//! cargo run -p aipan-lint -- [--format human|json|sarif] [--deny-warnings] [--verbose] [--root DIR] [--allow FILE]
 //! cargo run -p aipan-lint -- --explain RULE
 //! cargo run -p aipan-lint -- --hotpaths
 //! cargo run -p aipan-lint -- --contention
@@ -26,8 +26,16 @@ const HOTPATHS_TOP: usize = 15;
 /// rounds (hoists can unlock further hoists; anything deeper is a bug).
 const MAX_FIX_ROUNDS: usize = 5;
 
+/// Report rendering selected by `--format`.
+#[derive(Clone, Copy, PartialEq)]
+enum OutputFormat {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct Options {
-    json: bool,
+    format: OutputFormat,
     deny_warnings: bool,
     verbose: bool,
     hotpaths: bool,
@@ -41,7 +49,7 @@ struct Options {
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
-        json: false,
+        format: OutputFormat::Human,
         deny_warnings: false,
         verbose: false,
         hotpaths: false,
@@ -59,14 +67,19 @@ fn parse_args() -> Result<Options, String> {
             // `--` from `cargo lint -- --json` arrives literally; ignore it.
             "--" => {}
             // `--json` is the legacy spelling of `--format json`.
-            "--json" => opts.json = true,
+            "--json" => opts.format = OutputFormat::Json,
             "--format" => {
-                let value = args.next().ok_or("--format needs `human` or `json`")?;
+                let value = args
+                    .next()
+                    .ok_or("--format needs `human`, `json`, or `sarif`")?;
                 match value.as_str() {
-                    "json" => opts.json = true,
-                    "human" => opts.json = false,
+                    "json" => opts.format = OutputFormat::Json,
+                    "human" => opts.format = OutputFormat::Human,
+                    "sarif" => opts.format = OutputFormat::Sarif,
                     other => {
-                        return Err(format!("--format must be `human` or `json`, got `{other}`"))
+                        return Err(format!(
+                            "--format must be `human`, `json`, or `sarif`, got `{other}`"
+                        ))
                     }
                 }
             }
@@ -102,7 +115,7 @@ fn parse_args() -> Result<Options, String> {
                     "aipan-lint: workspace determinism & invariant checks\n\n\
                      USAGE: cargo run -p aipan-lint -- [OPTIONS]\n\n\
                      OPTIONS:\n\
-                     \x20 --format FORMAT   output format: human (default) or json\n\
+                     \x20 --format FORMAT   output format: human (default), json, or sarif\n\
                      \x20 --json            shorthand for --format json\n\
                      \x20 --explain RULE    print the catalog entry for one rule (e.g. X1)\n\
                      \x20 --hotpaths        rank the costliest pipeline entry chains and exit\n\
@@ -325,10 +338,10 @@ fn main() -> ExitCode {
         };
         // Stats go to stderr so stdout stays byte-identical to a plain run.
         eprintln!("aipan-lint --incremental: {}", stats.summary());
-        if opts.json {
-            println!("{}", report::json(&lint_report));
-        } else {
-            print!("{}", report::human(&lint_report, opts.deny_warnings));
+        match opts.format {
+            OutputFormat::Json => println!("{}", report::json(&lint_report)),
+            OutputFormat::Sarif => println!("{}", report::sarif(&lint_report)),
+            OutputFormat::Human => print!("{}", report::human(&lint_report, opts.deny_warnings)),
         }
         return if lint_report.failed(opts.deny_warnings) {
             ExitCode::from(1)
@@ -361,21 +374,23 @@ fn main() -> ExitCode {
         }
     };
 
-    if opts.json {
-        println!("{}", report::json(&lint_report));
-    } else {
-        print!("{}", report::human(&lint_report, opts.deny_warnings));
-        if opts.verbose {
-            for f in &lint_report.suppressed {
-                println!(
-                    "allowlisted: {}:{}:{}: {} {}: {}",
-                    f.file,
-                    f.line,
-                    f.col,
-                    f.severity.name(),
-                    f.rule,
-                    f.message
-                );
+    match opts.format {
+        OutputFormat::Json => println!("{}", report::json(&lint_report)),
+        OutputFormat::Sarif => println!("{}", report::sarif(&lint_report)),
+        OutputFormat::Human => {
+            print!("{}", report::human(&lint_report, opts.deny_warnings));
+            if opts.verbose {
+                for f in &lint_report.suppressed {
+                    println!(
+                        "allowlisted: {}:{}:{}: {} {}: {}",
+                        f.file,
+                        f.line,
+                        f.col,
+                        f.severity.name(),
+                        f.rule,
+                        f.message
+                    );
+                }
             }
         }
     }

@@ -52,6 +52,9 @@ pub struct FieldInfo {
     /// Whether the declared type mentions `HashMap` or `HashSet`
     /// (determinism-taint sources for `D3`).
     pub is_hash: bool,
+    /// Declared type tokens, verbatim (type/effect layer input: numeric
+    /// field types for `N1`/`N2`, `Atomic*` detection for `A1`).
+    pub ty: Vec<String>,
 }
 
 /// One declared fn parameter.
@@ -69,6 +72,9 @@ pub struct Param {
 pub struct FnInfo {
     /// Whether the declared return type mentions `Result`.
     pub returns_result: bool,
+    /// Declared return type tokens, verbatim (empty for `()` fns). The
+    /// type index derives ctor/method return types from these.
+    pub ret: Vec<String>,
     /// Call and method-call expressions in the body, in source order
     /// (derived from `body`; kept for the statement-level passes).
     pub calls: Vec<CallSite>,
@@ -470,10 +476,11 @@ impl<'a, 'b> Parser<'a, 'b> {
         let params_end = self.pos; // one past `)`
         let params = self.parse_params(params_start + 1, params_end.saturating_sub(1));
         let mut returns_result = false;
+        let mut ret = Vec::new();
         if self.cur() == "-" && self.peek(1) == ">" {
             self.pos += 2;
-            let ty = self.scan_type_until(&["{", ";", "where"]);
-            returns_result = ty.iter().any(|t| t == "Result");
+            ret = self.scan_type_until(&["{", ";", "where"]);
+            returns_result = ret.iter().any(|t| t == "Result");
         }
         if self.cur() == "where" {
             self.scan_type_until(&["{", ";"]);
@@ -497,6 +504,7 @@ impl<'a, 'b> Parser<'a, 'b> {
         Some((
             ItemKind::Fn(FnInfo {
                 returns_result,
+                ret,
                 calls,
                 params,
                 body,
@@ -643,6 +651,7 @@ impl<'a, 'b> Parser<'a, 'b> {
                         name: field,
                         is_lock,
                         is_hash,
+                        ty,
                     });
                     if self.cur() == "," {
                         self.pos += 1;

@@ -25,7 +25,8 @@ use crate::config::Config;
 use crate::findings::{sort_findings, Finding};
 use crate::graph::Workspace;
 use crate::{
-    cost, error_flow, guards, invariants, locks, panic_reach, retain, rules, share, taint,
+    atomics, cost, effects, error_flow, guards, invariants, locks, numeric, panic_reach, retain,
+    rules, share, taint, types,
 };
 use std::fs;
 use std::io;
@@ -163,6 +164,8 @@ pub(crate) fn graph_findings(
     }
     let callgraph = CallGraph::build(&workspace);
     let cost_model = cost::CostModel::build(&workspace, &callgraph);
+    let type_index = types::TypeIndex::build(&workspace);
+    let effect_model = effects::EffectModel::build(&workspace, &callgraph);
     raw.extend(error_flow::check_with_graph(&workspace, &callgraph));
     raw.extend(locks::check_lock_order(&workspace));
     raw.extend(panic_reach::check_panic_reach(&workspace, &callgraph));
@@ -171,6 +174,19 @@ pub(crate) fn graph_findings(
     raw.extend(guards::check_guards(&workspace, &callgraph, &cost_model));
     raw.extend(retain::check_retention(&workspace, &callgraph, &cost_model));
     raw.extend(share::check_sharing(&workspace, &callgraph, &cost_model));
+    raw.extend(numeric::check_numeric(
+        &workspace,
+        &callgraph,
+        &cost_model,
+        &type_index,
+    ));
+    raw.extend(atomics::check_atomics(&workspace, &callgraph, &type_index));
+    raw.extend(effects::check_effects(
+        &workspace,
+        &callgraph,
+        &cost_model,
+        &effect_model,
+    ));
     raw.extend(workspace.check_dead_pub());
     raw.extend(invariants::check_all());
     Ok(raw)
@@ -199,7 +215,10 @@ pub(crate) fn finish(raw: Vec<Finding>, mut allowlist: Allowlist, files_scanned:
 }
 
 /// Read every kept source file under `root` as `(rel_path, text)` pairs.
-pub(crate) fn read_sources(
+///
+/// Public so out-of-crate harnesses (`lintbench`) can rebuild the exact
+/// scan set and time individual passes against it.
+pub fn read_sources(
     root: &Path,
     keep: impl Fn(&str) -> bool,
 ) -> io::Result<Vec<(String, String)>> {

@@ -1,0 +1,118 @@
+//! Regression tests for the `--fix` fixpoint when fixes from different
+//! rules land on one line.
+//!
+//! Two properties must hold, mirroring the driver loop in `main.rs`:
+//!
+//! 1. *Overlap safety* — when an `N1` widening rewrite sits inside the
+//!    byte range a `C2` hoist deletes, earlier-edit-wins defers the `N1`
+//!    edit to the next round, where it is re-derived against the moved
+//!    text; nothing is corrupted and nothing is lost.
+//! 2. *Idempotence* — once the fixpoint is reached, another scan derives
+//!    zero fixes, and re-applying an empty edit set changes nothing.
+
+use std::collections::BTreeMap;
+
+use aipan_lint::callgraph::CallGraph;
+use aipan_lint::cost::{self, CostModel};
+use aipan_lint::fix::{apply_edits, FixEdit};
+use aipan_lint::graph::Workspace;
+use aipan_lint::numeric;
+use aipan_lint::types::TypeIndex;
+
+/// One scan round over in-memory sources: the pending machine-applicable
+/// edits per file, from the rules that attach fixes (`H2`/`C2` via the
+/// cost pass, `N1` via the numeric pass).
+fn pending_fixes(files: &BTreeMap<String, String>) -> BTreeMap<String, Vec<FixEdit>> {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.clone(), s.clone()))
+        .collect();
+    let ws = Workspace::build(&owned);
+    let graph = CallGraph::build(&ws);
+    let model = CostModel::build(&ws, &graph);
+    let index = TypeIndex::build(&ws);
+    let mut findings = cost::check_cost(&ws, &graph, &model);
+    findings.extend(numeric::check_numeric(&ws, &graph, &model, &index));
+    let mut by_file: BTreeMap<String, Vec<FixEdit>> = BTreeMap::new();
+    for f in &findings {
+        if let Some(fix) = &f.fix {
+            by_file
+                .entry(f.file.clone())
+                .or_default()
+                .extend(fix.edits.iter().cloned());
+        }
+    }
+    by_file
+}
+
+/// Apply rounds of fixes exactly as `--fix` does (scan, apply, re-scan)
+/// and return how many rounds it took to reach the fixpoint.
+fn run_to_fixpoint(files: &mut BTreeMap<String, String>, max_rounds: usize) -> usize {
+    for round in 0..max_rounds {
+        let fixes = pending_fixes(files);
+        if fixes.is_empty() {
+            return round;
+        }
+        for (path, edits) in fixes {
+            let src = files.get_mut(&path).expect("fix targets a scanned file");
+            *src = apply_edits(src, &edits);
+        }
+    }
+    panic!("no fixpoint within {max_rounds} rounds");
+}
+
+#[test]
+fn n1_and_h2_fixes_on_one_line_apply_in_a_single_round() {
+    // The `Vec::new()` pre-allocation and the widening cast share a line
+    // but occupy disjoint byte ranges: both land in round one.
+    let mut files = BTreeMap::from([(
+        "crates/core/src/annotate.rs".to_string(),
+        "pub fn annotate_all(docs: &[String], byte_count: u32) -> Vec<String> {\n\
+         \x20   let mut out = Vec::new(); let total_bytes = byte_count as u64;\n\
+         \x20   for d in docs {\n\
+         \x20       out.push(d.clone());\n\
+         \x20   }\n\
+         \x20   record(total_bytes);\n\
+         \x20   out\n\
+         }\n\
+         fn record(_n: u64) {}\n"
+            .to_string(),
+    )]);
+    let rounds = run_to_fixpoint(&mut files, 5);
+    assert_eq!(rounds, 1, "disjoint same-line fixes need exactly one round");
+    let fixed = files.values().next().expect("one file");
+    assert!(fixed.contains("Vec::with_capacity(docs.len())"), "{fixed}");
+    assert!(fixed.contains("u64::from(byte_count)"), "{fixed}");
+    assert!(!fixed.contains(" as u64"), "{fixed}");
+    // Idempotence: the fixpoint text derives no further edits.
+    assert!(pending_fixes(&files).is_empty());
+}
+
+#[test]
+fn n1_fix_inside_a_c2_hoist_defers_and_converges() {
+    // The hoist deletes the whole line that also carries the cast: the
+    // `N1` edit overlaps the deletion, is deferred by earlier-edit-wins,
+    // and re-derives next round against the hoisted statement.
+    let mut files = BTreeMap::from([(
+        "crates/analysis/src/lib.rs".to_string(),
+        "pub fn total_len(rows: &[String], header: &String, byte_count: u32) -> u64 {\n\
+         \x20   let mut total = 0u64;\n\
+         \x20   for _row in rows {\n\
+         \x20       let h = header.clone(); let wide_bytes = byte_count as u64;\n\
+         \x20       total = total.saturating_add(h.len() as u64).saturating_add(wide_bytes);\n\
+         \x20   }\n\
+         \x20   total\n\
+         }\n"
+            .to_string(),
+    )]);
+    let rounds = run_to_fixpoint(&mut files, 5);
+    assert!(rounds >= 2, "overlapping fixes must take a deferral round");
+    let fixed = files.values().next().expect("one file");
+    // The clone ended up above the loop, exactly once, cast rewritten.
+    assert_eq!(fixed.matches("header.clone()").count(), 1, "{fixed}");
+    let clone_at = fixed.find("header.clone()").expect("clone survives");
+    let loop_at = fixed.find("for _row").expect("loop survives");
+    assert!(clone_at < loop_at, "hoisted above the loop:\n{fixed}");
+    assert!(fixed.contains("u64::from(byte_count)"), "{fixed}");
+    assert!(pending_fixes(&files).is_empty(), "fixpoint is stable");
+}

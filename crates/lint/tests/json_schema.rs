@@ -42,10 +42,11 @@ fn sample_report() -> Report {
     }
 }
 
-/// The full rendered document, byte for byte. `schema_version` is 3:
-/// the v5 lint added the `S1`/`S2`/`W1`/`W2` rule vocabulary and the
-/// `--incremental` cache keyed on this constant (the member shapes are
-/// unchanged from 2, but cached reports must not replay across the
+/// The full rendered document, byte for byte. `schema_version` is 4:
+/// the v6 lint added the `N1`/`N2`/`A1`/`F1` rule vocabulary from the
+/// type/effect layer, and the `--incremental` cache is keyed on this
+/// constant together with `TYPES_SCHEMA` (the member shapes are
+/// unchanged from 3, but cached reports must not replay across the
 /// vocabulary change).
 const SNAPSHOT: &str = r#"{
   "files_scanned": 2,
@@ -80,7 +81,7 @@ const SNAPSHOT: &str = r#"{
       "snippet": ""
     }
   ],
-  "schema_version": 3,
+  "schema_version": 4,
   "suppressed": []
 }"#;
 

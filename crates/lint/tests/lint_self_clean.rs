@@ -4,7 +4,10 @@
 //! `lint.allow`; this test is stricter on the lint crate itself: a
 //! filtered run over `crates/lint/` only, with an empty allowlist, so a
 //! finding inside the analyzer can never be suppressed — it has to be
-//! fixed structurally.
+//! fixed structurally. The filtered run goes through the same
+//! `scan::run_filtered` driver as a real scan, so every layer applies —
+//! including the v6 type/effect rules (`N1`/`N2`/`A1`/`F1`), which the
+//! analyzer's own casts, counters, and I/O must satisfy too.
 
 use aipan_lint::allow::Allowlist;
 use aipan_lint::scan;

@@ -901,3 +901,194 @@ fn w2_lock_in_corpus_loop_fires_and_hoisted_or_worker_loop_does_not() {
     let findings = sharing_findings(&worker_loop);
     assert!(findings.is_empty(), "{findings:?}");
 }
+
+// ---------------------------------------------------------------------------
+// Type- and effect-aware rules (N1 / N2 / A1 / F1): violating and clean
+// fixture pairs, exercised through the same workspace + call-graph + cost
+// + type-index surface `scan::run` wires up.
+// ---------------------------------------------------------------------------
+
+use aipan_lint::cost::CostModel;
+use aipan_lint::effects::EffectModel;
+use aipan_lint::types::TypeIndex;
+use aipan_lint::{atomics, effects, numeric};
+
+/// All findings from the layer-3 typed rules, in driver order.
+fn typed_findings(ws: &Workspace) -> Vec<aipan_lint::Finding> {
+    let graph = CallGraph::build(ws);
+    let model = CostModel::build(ws, &graph);
+    let index = TypeIndex::build(ws);
+    let effect_model = EffectModel::build(ws, &graph);
+    let mut out = numeric::check_numeric(ws, &graph, &model, &index);
+    out.extend(atomics::check_atomics(ws, &graph, &index));
+    out.extend(effects::check_effects(ws, &graph, &model, &effect_model));
+    out
+}
+
+#[test]
+fn n1_corpus_scale_narrowing_denies_and_bounded_narrowing_does_not() {
+    // Violating: a `.len()`-seeded corpus-scale count squeezed into u32.
+    let bad = workspace(&[(
+        "crates/analysis/src/lib.rs",
+        "pub fn doc_total(policies: &[String]) -> u32 {\n\
+         \x20   let policy_count = policies.len();\n\
+         \x20   policy_count as u32\n\
+         }\n",
+    )]);
+    let findings = typed_findings(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("N1", aipan_lint::Severity::Deny));
+    assert_eq!(f.line, 3);
+    assert!(f.fix.is_none(), "lossy narrowing must not be auto-fixed");
+
+    // Clean: the same cast on a non-scale operand (small closed domain).
+    let clean = workspace(&[(
+        "crates/analysis/src/lib.rs",
+        "pub fn mask(flags: u64) -> u32 { flags as u32 }\n",
+    )]);
+    assert!(typed_findings(&clean).is_empty(), "{:?}", typed_findings(&clean));
+}
+
+#[test]
+fn n1_provable_widening_warns_with_an_applicable_from_rewrite() {
+    let src = "pub fn grand_total(byte_count: u32) -> u64 {\n\
+               \x20   byte_count as u64\n\
+               }\n";
+    let ws = workspace(&[("crates/analysis/src/lib.rs", src)]);
+    let findings = typed_findings(&ws);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("N1", aipan_lint::Severity::Warn));
+    let fix = f.fix.as_ref().expect("widening carries a From rewrite");
+    let fixed = aipan_lint::fix::apply_edits(src, &fix.edits);
+    assert!(fixed.contains("u64::from(byte_count)"), "{fixed}");
+    assert!(!fixed.contains(" as u64"), "{fixed}");
+
+    // Clean: usize -> u64 has no std `From` impl; stays silent rather
+    // than suggesting a rewrite that would not compile.
+    let no_impl = workspace(&[(
+        "crates/analysis/src/lib.rs",
+        "pub fn grand_total(xs: &[u8]) -> u64 {\n\
+         \x20   let byte_count = xs.len();\n\
+         \x20   byte_count as u64\n\
+         }\n",
+    )]);
+    assert!(typed_findings(&no_impl).is_empty(), "{:?}", typed_findings(&no_impl));
+}
+
+#[test]
+fn n2_unchecked_counter_in_hot_fn_warns_and_saturating_is_clean() {
+    let decl = "pub struct Tally { pub rows_total: u64 }\n";
+    let bad = workspace(&[(
+        "crates/core/src/lib.rs",
+        &format!(
+            "{decl}fn bump(t: &mut Tally) {{ t.rows_total += 1; }}\n\
+             pub fn run_pipeline(t: &mut Tally, domains: &[String]) {{\n\
+             \x20   for _d in domains {{ bump(t); }}\n\
+             }}\n"
+        ),
+    )]);
+    let findings = typed_findings(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("N2", aipan_lint::Severity::Warn));
+    assert!(f.message.contains("saturating_add"), "{}", f.message);
+
+    // Clean: the saturating rewrite the rule suggests, same call shape.
+    let clean = workspace(&[(
+        "crates/core/src/lib.rs",
+        &format!(
+            "{decl}fn bump(t: &mut Tally) {{\n\
+             \x20   t.rows_total = t.rows_total.saturating_add(1);\n\
+             }}\n\
+             pub fn run_pipeline(t: &mut Tally, domains: &[String]) {{\n\
+             \x20   for _d in domains {{ bump(t); }}\n\
+             }}\n"
+        ),
+    )]);
+    assert!(typed_findings(&clean).is_empty(), "{:?}", typed_findings(&clean));
+}
+
+#[test]
+fn a1_load_store_and_mixed_orderings_deny_and_rmw_is_clean() {
+    // Violating: read-modify-write split across load + store loses updates.
+    let bad = workspace(&[(
+        "crates/core/src/stats.rs",
+        "pub struct Stats { calls: AtomicU64 }\n\
+         impl Stats {\n\
+         \x20   pub fn bump(&self) {\n\
+         \x20       let v = self.calls.load(Ordering::Relaxed);\n\
+         \x20       self.calls.store(v + 1, Ordering::Relaxed);\n\
+         \x20   }\n\
+         }\n",
+    )]);
+    let findings = typed_findings(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("A1", aipan_lint::Severity::Deny));
+    assert_eq!(f.line, 5, "anchored at the racy store");
+
+    // Violating: the same field accessed with mixed orderings across fns.
+    let mixed = workspace(&[(
+        "crates/core/src/stats.rs",
+        "pub struct Stats { calls: AtomicU64 }\n\
+         impl Stats {\n\
+         \x20   pub fn bump(&self) { self.calls.fetch_add(1, Ordering::Relaxed); }\n\
+         \x20   pub fn read(&self) -> u64 { self.calls.load(Ordering::SeqCst) }\n\
+         }\n",
+    )]);
+    let findings = typed_findings(&mixed);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "A1");
+    assert!(findings[0].message.contains("mixed"), "{}", findings[0].message);
+
+    // Clean: single-call RMW under one ordering everywhere.
+    let clean = workspace(&[(
+        "crates/core/src/stats.rs",
+        "pub struct Stats { calls: AtomicU64 }\n\
+         impl Stats {\n\
+         \x20   pub fn bump(&self) { self.calls.fetch_add(1, Ordering::Relaxed); }\n\
+         \x20   pub fn read(&self) -> u64 { self.calls.load(Ordering::Relaxed) }\n\
+         }\n",
+    )]);
+    assert!(typed_findings(&clean).is_empty(), "{:?}", typed_findings(&clean));
+}
+
+#[test]
+fn f1_fs_io_in_hot_loop_warns_and_journal_layer_is_sanctioned() {
+    // Violating: per-document fs write inside the corpus loop, via a helper.
+    let bad = workspace(&[(
+        "crates/core/src/pipeline.rs",
+        "pub fn run_pipeline(domains: &[String]) {\n\
+         \x20   for d in domains {\n\
+         \x20       persist(d);\n\
+         \x20   }\n\
+         }\n\
+         fn persist(d: &str) { std::fs::write(d, \"x\").ok(); }\n",
+    )]);
+    let findings = typed_findings(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.severity), ("F1", aipan_lint::Severity::Warn));
+    assert!(f.message.contains("run_pipeline"), "{}", f.message);
+
+    // Clean: the same write routed through the journal layer, whose
+    // batched/buffered I/O is the sanctioned path.
+    let clean = workspace(&[
+        (
+            "crates/core/src/pipeline.rs",
+            "use crate::journal::append_record;\n\
+             pub fn run_pipeline(domains: &[String]) {\n\
+             \x20   for d in domains {\n\
+             \x20       append_record(d);\n\
+             \x20   }\n\
+             }\n",
+        ),
+        (
+            "crates/core/src/journal.rs",
+            "pub fn append_record(d: &str) { std::fs::write(d, \"x\").ok(); }\n",
+        ),
+    ]);
+    assert!(typed_findings(&clean).is_empty(), "{:?}", typed_findings(&clean));
+}

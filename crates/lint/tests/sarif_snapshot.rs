@@ -1,0 +1,109 @@
+//! Snapshot of the `--format sarif` surface. SARIF 2.1.0 is consumed by
+//! code-scanning UIs (GitHub code scanning, VS Code SARIF viewers), so
+//! member names, sorted member order, level spelling, and region
+//! placement are a compatibility contract just like the JSON report.
+
+use aipan_lint::findings::{Finding, Severity};
+use aipan_lint::report;
+use aipan_lint::scan::Report;
+
+fn sample_report() -> Report {
+    Report {
+        findings: vec![
+            Finding::at(
+                "N1",
+                Severity::Deny,
+                "crates/core/src/lib.rs",
+                3,
+                8,
+                "narrowing truncates corpus-scale count".to_string(),
+                "n as u32".to_string(),
+            ),
+            Finding::for_data(
+                "T2",
+                "crates/taxonomy/src/rights.rs",
+                "duplicate canonical name".to_string(),
+                String::new(),
+            ),
+        ],
+        suppressed: Vec::new(),
+        files_scanned: 2,
+    }
+}
+
+#[test]
+fn sarif_results_match_snapshot_byte_for_byte() {
+    let rendered = report::sarif(&sample_report());
+
+    // The results block, byte for byte: physical locations for line
+    // findings, no region for line-0 data findings.
+    const RESULTS: &str = r#"      "results": [
+        {
+          "level": "error",
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "crates/core/src/lib.rs"
+                },
+                "region": {
+                  "startColumn": 8,
+                  "startLine": 3
+                }
+              }
+            }
+          ],
+          "message": {
+            "text": "narrowing truncates corpus-scale count"
+          },
+          "ruleId": "N1"
+        },
+        {
+          "level": "error",
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "crates/taxonomy/src/rights.rs"
+                }
+              }
+            }
+          ],
+          "message": {
+            "text": "duplicate canonical name"
+          },
+          "ruleId": "T2"
+        }
+      ],"#;
+    assert!(
+        rendered.contains(RESULTS),
+        "the SARIF results schema changed; update the snapshot and every consumer\n{rendered}"
+    );
+}
+
+#[test]
+fn sarif_envelope_and_driver_are_stable() {
+    let rendered = report::sarif(&sample_report());
+    // Envelope: schema pointer, version, a single run.
+    assert!(
+        rendered.starts_with("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\","),
+        "{rendered}"
+    );
+    assert!(rendered.contains("\"version\": \"2.1.0\""), "{rendered}");
+    assert!(rendered.contains("\"name\": \"aipan-lint\""), "{rendered}");
+
+    // The driver carries the full rule catalog, in catalog order, so a
+    // viewer can resolve any ruleId without a second lookup.
+    let ids: Vec<&str> = rendered
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("\"id\": \""))
+        .filter_map(|l| l.trim_end_matches(',').strip_suffix('"'))
+        .collect();
+    assert_eq!(ids.len(), aipan_lint::catalog::RULES.len(), "{ids:?}");
+    for rule in aipan_lint::catalog::RULES {
+        assert!(ids.contains(&rule.id), "driver missing rule {}", rule.id);
+    }
+
+    // Rendering is a pure function of the report: byte-identical reruns.
+    assert_eq!(rendered, report::sarif(&sample_report()));
+}

@@ -47,7 +47,7 @@ impl AcBuilder {
             if sym >= self.symbol_bound {
                 self.symbol_bound = sym + 1;
             }
-            let next_id = self.goto.len() as u32;
+            let next_id = u32::try_from(self.goto.len()).unwrap_or(u32::MAX);
             let next = match self.goto.get_mut(state) {
                 Some(map) => *map.entry(sym).or_insert(next_id),
                 None => next_id,
@@ -62,7 +62,7 @@ impl AcBuilder {
         if len == 0 {
             return None;
         }
-        let pat = self.pat_lens.len() as u32;
+        let pat = u32::try_from(self.pat_lens.len()).unwrap_or(u32::MAX);
         self.pat_lens.push(len);
         if let Some(t) = self.terminal.get_mut(state) {
             t.push(pat);

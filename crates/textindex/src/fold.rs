@@ -75,7 +75,7 @@ impl Iterator for FoldBytes<'_> {
             let ch = self.chars.next()?.to_ascii_lowercase();
             if keep(ch) {
                 let encoded = ch.encode_utf8(&mut self.buf);
-                self.buf_len = encoded.len() as u8;
+                self.buf_len = u8::try_from(encoded.len()).unwrap_or(u8::MAX);
                 self.buf_pos = 1;
                 self.emitted = true;
                 if self.pending_space {
