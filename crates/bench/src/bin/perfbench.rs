@@ -34,9 +34,13 @@
 //!
 //! `--chaos-smoke` runs one elevated-transient cell (flaky 5xx bursts,
 //! resets, 429s, latency spikes) so the retry/breaker overhead shows up in
-//! the trajectory next to the clean-path numbers; entries are tagged with a
-//! `-chaos` label suffix rather than a schema change so old trajectory
-//! files keep parsing.
+//! the trajectory next to the clean-path numbers, plus one `supervised`
+//! streaming cell that layers deterministic disk faults and an injected
+//! worker-killing host on top — the cell asserts the supervisor's contract
+//! (run completes `degraded` with exactly the injected domain quarantined,
+//! every disk fault absorbed by the bounded retries) before it is recorded.
+//! Entries are tagged with a `-chaos` label suffix rather than a schema
+//! change so old trajectory files keep parsing.
 //!
 //! Unlike the criterion benches this needs no statistical run: each cell is
 //! measured once, which is enough to see the ≥1.5× movements we optimize
@@ -98,6 +102,10 @@ struct BenchEntry {
     annotated: usize,
     /// Total annotations produced (ditto).
     annotations: usize,
+    /// Domains dead-lettered by the streaming supervisor (always zero for
+    /// clean cells; the `--chaos-smoke` supervised cell pins it to its
+    /// injected worker-killing domain count).
+    quarantined: usize,
 }
 
 // The committed trajectory file itself is loaded through
@@ -179,6 +187,129 @@ fn measure(label: &str, domains: usize, workers: usize, chaos: bool, lazy: bool)
             .iter()
             .map(|p| p.annotations.len())
             .sum(),
+        quarantined: run.health.quarantine.len(),
+    }
+}
+
+/// The `--chaos-smoke` supervised cell: a streaming run with the full
+/// fault stack at once — chaotic network transients, deterministic disk
+/// faults on the journal's append path, and one injected worker-killing
+/// host. Asserts the supervisor's contract (run completes `degraded` with
+/// exactly the injected domain quarantined, every disk fault absorbed)
+/// before the cell is allowed into the ledger.
+fn measure_supervised_chaos(label: &str, domains: usize, workers: usize) -> BenchEntry {
+    use aipan_core::{
+        run_pipeline_sharded, DiskFaultConfig, DiskFaultInjector, ShardedJournal, DEFAULT_SHARDS,
+    };
+    use aipan_net::http::{Request, Response};
+
+    let mut config = WorldConfig::small(SEED, domains);
+    config.faults = FaultConfig::chaotic();
+    let t0 = Instant::now();
+    let world = build_world_lazy(config);
+    let world_build_ms = ms(t0);
+
+    let victim = world
+        .universe
+        .unique_domains()
+        .first()
+        .map(|c| c.domain.clone())
+        .unwrap_or_default();
+    world
+        .internet
+        .register(&victim, |_req: &Request| -> Response {
+            panic!("perfbench: injected worker-killing host")
+        });
+
+    let scratch =
+        std::env::temp_dir().join(format!("aipan-perfbench-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    if let Err(e) = std::fs::create_dir_all(&scratch) {
+        eprintln!("perfbench: cannot create scratch dir: {e}");
+        std::process::exit(2);
+    }
+    let base = scratch.join("journal.jsonl");
+    let journal = ShardedJournal::open_with(
+        &base,
+        DEFAULT_SHARDS,
+        DiskFaultInjector::new(SEED, DiskFaultConfig::chaotic()),
+    );
+
+    let t1 = Instant::now();
+    let run = run_pipeline_sharded(
+        &world,
+        PipelineConfig {
+            seed: SEED,
+            workers,
+            ..Default::default()
+        },
+        &journal,
+    );
+    let pipeline_ms = ms(t1);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let quarantine = &run.health.quarantine;
+    let mut broken: Vec<String> = Vec::new();
+    if run.health.verdict != "degraded" {
+        broken.push(format!(
+            "verdict {:?}, expected \"degraded\"",
+            run.health.verdict
+        ));
+    }
+    if quarantine.len() != 1 || quarantine.first().map(|r| r.domain.as_str()) != Some(&victim) {
+        broken.push(format!(
+            "quarantine {:?}, expected exactly [{victim}]",
+            quarantine.iter().map(|r| &r.domain).collect::<Vec<_>>()
+        ));
+    }
+    if quarantine.first().map(|r| r.kills) != Some(1) {
+        broken.push("injected domain must record exactly one kill".to_string());
+    }
+    if run.health.journal_write_errors != 0 {
+        broken.push(format!(
+            "{} journal write error(s): bounded retries failed to absorb the disk faults",
+            run.health.journal_write_errors
+        ));
+    }
+    if run.health.disk_retries == 0 {
+        broken.push("chaotic disk config injected no faults".to_string());
+    }
+    if !broken.is_empty() {
+        for b in &broken {
+            eprintln!("perfbench: supervised chaos cell violated its contract: {b}");
+        }
+        std::process::exit(1);
+    }
+
+    let per = |stage_ms: f64| {
+        if domains == 0 {
+            0.0
+        } else {
+            (stage_ms / domains as f64 * 1e3).round() / 1e3
+        }
+    };
+    BenchEntry {
+        label: label.to_string(),
+        mode: "supervised".to_string(),
+        domains,
+        host_nproc: std::thread::available_parallelism().map_or(0, |n| n.get()),
+        host_os: std::env::consts::OS.to_string(),
+        workers,
+        world_build_ms,
+        crawl_ms: 0.0,
+        pipeline_ms,
+        world_ms_per_domain: per(world_build_ms),
+        crawl_ms_per_domain: 0.0,
+        pipeline_ms_per_domain: per(pipeline_ms),
+        peak_resident_bytes: world.site_memory.peak_bytes(),
+        annotated: run.extraction.annotated,
+        annotations: run
+            .dataset
+            .policies
+            .iter()
+            .map(|p| p.annotations.len())
+            .sum(),
+        quarantined: quarantine.len(),
     }
 }
 
@@ -342,6 +473,25 @@ fn main() {
             entry.annotated,
             entry.peak_resident_bytes,
             entry.pipeline_ms_per_domain
+        );
+        file.entries.push(entry.to_value());
+    }
+    if chaos {
+        // The supervised cell: disk faults + one worker-killing domain on
+        // top of the network chaos, contract-checked before recording.
+        let entry = measure_supervised_chaos(&label, 100, 4);
+        println!(
+            "{:>8} {:>8} {:>10} {:>12.1} {:>10.1} {:>12.1} {:>10} {:>14} {:>12.3} (quarantined {})",
+            entry.domains,
+            entry.workers,
+            entry.mode,
+            entry.world_build_ms,
+            entry.crawl_ms,
+            entry.pipeline_ms,
+            entry.annotated,
+            entry.peak_resident_bytes,
+            entry.pipeline_ms_per_domain,
+            entry.quarantined
         );
         file.entries.push(entry.to_value());
     }

@@ -28,6 +28,7 @@ pub const KNOWN_ENTRY_KEYS: &[&str] = &[
     "peak_resident_bytes",
     "pipeline_ms",
     "pipeline_ms_per_domain",
+    "quarantined",
     "workers",
     "world_build_ms",
     "world_ms_per_domain",

@@ -23,12 +23,17 @@
 //! * [`shard`] — that journal split into independently locked,
 //!   incrementally appended JSONL segments: the checkpoint store of the
 //!   streaming engine ([`pipeline::run_pipeline_sharded`]), durable at
-//!   per-domain granularity.
+//!   per-domain granularity, with a quarantine segment for dead-lettered
+//!   domains and deterministic disk-fault injection on the append path.
+//! * [`health`] — the supervisor's self-report ([`health::RunHealth`]):
+//!   per-stage error taxonomy, quarantine list, transport rollups, and an
+//!   `ok | degraded | failed` verdict, serialized to byte-stable JSON.
 
 #![warn(missing_docs)]
 
 pub mod annotate;
 pub mod dataset;
+pub mod health;
 pub mod journal;
 pub mod pipeline;
 pub mod segment;
@@ -36,10 +41,14 @@ pub mod shard;
 
 pub use annotate::{annotate_policy, AnnotateArena, AnnotationOutcome};
 pub use dataset::{AnnotatedPolicy, Dataset, SegmentationMethod};
+pub use health::{RunHealth, TransportRollup, Verdict, HEALTH_SCHEMA_VERSION};
 pub use journal::{JournalEntry, RunJournal};
 pub use pipeline::{
     run_pipeline, run_pipeline_resumable, run_pipeline_sharded, ExtractionFunnel, Pipeline,
-    PipelineConfig, PipelineRun,
+    PipelineConfig, PipelineRun, SupervisorPolicy,
 };
 pub use segment::{segment, SegmentedPolicy};
-pub use shard::{segment_path, shard_of, ShardedJournal, DEFAULT_SHARDS};
+pub use shard::{
+    quarantine_path, segment_path, shard_of, ConsolidateStep, DiskFaultConfig, DiskFaultInjector,
+    QuarantineRecord, ShardedJournal, DEFAULT_SHARDS,
+};

@@ -2,11 +2,15 @@
 
 use crate::annotate::{annotate_policy_in, AnnotateArena, AnnotateOptions};
 use crate::dataset::{AnnotatedPolicy, Dataset, SegmentationMethod};
+use crate::health::{HealthInputs, RunHealth};
 use crate::journal::{JournalEntry, RunJournal};
 use crate::segment::{self, Method, SegmentedPolicy};
 use crate::shard::{ShardedJournal, DEFAULT_SHARDS};
 use aipan_chatbot::{ModelProfile, SimulatedChatbot, TokenUsage};
-use aipan_crawler::{stream_all_with, CrawlFunnel, CrawlOptions, DomainCrawl, PoolConfig};
+use aipan_crawler::{
+    stream_all_supervised, CrawlFunnel, CrawlOptions, DeadLetter, DomainCrawl, PoolConfig,
+    SupervisorOptions,
+};
 use aipan_html::{extract, lang, ExtractedDoc};
 use aipan_net::fault::FaultInjector;
 use aipan_net::http::ContentType;
@@ -32,6 +36,9 @@ pub struct PipelineConfig {
     /// Crawl resilience options: retry/backoff policy, fetch-session seed,
     /// and the optional per-domain crawl deadline.
     pub crawl: CrawlOptions,
+    /// Streaming-supervisor policy: poison threshold and memory
+    /// backpressure cap.
+    pub supervisor: SupervisorPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -43,6 +50,31 @@ impl Default for PipelineConfig {
             annotate: AnnotateOptions::default(),
             use_segmentation: true,
             crawl: CrawlOptions::default(),
+            supervisor: SupervisorPolicy::default(),
+        }
+    }
+}
+
+/// Fault-isolation and backpressure policy of the streaming supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Cumulative worker kills after which a domain is poisoned — skipped
+    /// outright by [`run_pipeline_sharded`] when resuming from a journal
+    /// that quarantined it. The default of 2 gives every panicking domain
+    /// exactly one retry on resume before it is written off.
+    pub max_kills: u32,
+    /// Site-memory cap (bytes, against the world's
+    /// [`aipan_webgen::MemoryGauge`]) above which admission of new domains
+    /// blocks until in-flight domains release. `None` disables
+    /// backpressure.
+    pub memory_cap_bytes: Option<usize>,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> SupervisorPolicy {
+        SupervisorPolicy {
+            max_kills: 2,
+            memory_cap_bytes: None,
         }
     }
 }
@@ -106,6 +138,9 @@ pub struct PipelineRun {
     pub dataset: Dataset,
     /// Per-task token usage.
     pub usage: Vec<(String, TokenUsage)>,
+    /// The supervisor's health report: error taxonomy, quarantine list,
+    /// transport rollups, and the overall verdict.
+    pub health: RunHealth,
 }
 
 /// The pipeline: a configured chatbot plus processing logic.
@@ -287,6 +322,19 @@ pub fn run_pipeline_resumable(
 /// not journaled state) but not re-annotated. Results are deterministic and
 /// worker-count-invariant: the dataset, funnels, and journal contents are
 /// byte-identical for any `config.workers`.
+///
+/// The drive is *supervised* ([`stream_all_supervised`]): a panic anywhere
+/// in one domain's chain is caught, dead-lettered into the journal's
+/// quarantine segment, and the run continues — the panicking domain simply
+/// produces no journal entry (so a resume retries it), and a domain whose
+/// cumulative kill count reaches [`SupervisorPolicy::max_kills`] is
+/// poisoned: filtered out of the dispatch list entirely, making the
+/// resumed run byte-identical to a clean run over the universe minus the
+/// poisoned domains. When [`SupervisorPolicy::memory_cap_bytes`] is set,
+/// admission of new domains additionally blocks on the world's site-memory
+/// gauge (deadlock-free: an over-cap run degrades to one domain at a
+/// time). The run's [`RunHealth`] report is returned on the
+/// [`PipelineRun`].
 pub fn run_pipeline_sharded(
     world: &World,
     config: PipelineConfig,
@@ -297,26 +345,39 @@ pub fn run_pipeline_sharded(
         world.internet.clone(),
         FaultInjector::new(world.config.seed, world.config.faults),
     );
-    let domains: Vec<String> = world
-        .universe
-        .unique_domains()
-        .iter()
-        .map(|c| c.domain.clone())
-        .collect();
+    let poisoned = journal.poisoned_domains(config.supervisor.max_kills);
+    let unique = world.universe.unique_domains();
+    let mut domains: Vec<String> = Vec::with_capacity(unique.len());
+    let mut poisoned_skipped: Vec<String> = Vec::with_capacity(poisoned.len());
+    for company in unique {
+        let domain = company.domain.clone();
+        if poisoned.binary_search(&domain).is_ok() {
+            poisoned_skipped.push(domain);
+        } else {
+            domains.push(domain);
+        }
+    }
 
     struct WorkerState {
         arena: AnnotateArena,
         funnel: CrawlFunnel,
     }
 
+    let probe = || world.site_memory.current_bytes();
+    let supervisor = SupervisorOptions {
+        memory_cap_bytes: config.supervisor.memory_cap_bytes,
+        memory_probe: Some(&probe),
+    };
+
     let pipeline_ref = &pipeline;
-    let (processed, states) = stream_all_with(
+    let outcome = stream_all_supervised(
         &client,
         &domains,
         PoolConfig {
             workers: config.workers,
         },
         &config.crawl,
+        &supervisor,
         || WorkerState {
             arena: AnnotateArena::new(),
             funnel: CrawlFunnel::default(),
@@ -339,7 +400,23 @@ pub fn run_pipeline_sharded(
             // `crawl` (and its page bodies) drops here.
             world.release_site(&crawl.domain);
         },
+        // Repair, don't rebuild: the annotation arena may be mid-mutation
+        // from the panic, so it is replaced; the crawl funnel is kept —
+        // it only ever advances by whole-domain `absorb` calls, which
+        // complete before any panic-prone annotate work begins, so its
+        // tallies stay exactly what a clean worker would have counted.
+        |state: &mut WorkerState| {
+            state.arena = AnnotateArena::new();
+        },
+        |letter: &DeadLetter| {
+            let _kills =
+                journal.record_dead_letter(&letter.domain, letter.stage.as_str(), &letter.message);
+            // The chain died before its release step; release here so the
+            // all-sites-released invariant survives quarantined domains.
+            world.release_site(&letter.domain);
+        },
     );
+    let (processed, states) = (outcome.results, outcome.states);
 
     let mut crawl_funnel = CrawlFunnel::default();
     for state in &states {
@@ -384,11 +461,23 @@ pub fn run_pipeline_sharded(
     words.sort_unstable();
     extraction.median_core_words = words.get(words.len() / 2).copied().unwrap_or(0);
 
+    let health = RunHealth::assess(HealthInputs {
+        crawl: crawl_funnel.clone(),
+        extraction: extraction.clone(),
+        quarantine: journal.quarantine_records(),
+        poisoned_skipped,
+        backpressure_stalls: outcome.backpressure_stalls,
+        journal_write_errors: journal.write_errors(),
+        disk_retries: journal.disk_retries(),
+        transport: client.metrics(),
+    });
+
     PipelineRun {
         crawl_funnel,
         extraction,
         dataset: Dataset { policies },
         usage: pipeline.chatbot.ledger().breakdown(),
+        health,
     }
 }
 

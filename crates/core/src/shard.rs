@@ -17,6 +17,8 @@
 
 use crate::journal::{JournalEntry, RunJournal};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -46,9 +48,164 @@ pub fn segment_path(base: &Path, index: usize) -> PathBuf {
     PathBuf::from(name)
 }
 
+/// Path of the quarantine segment for journal base path `base`
+/// (`<base>.quarantine.jsonl`): one JSONL line per dead letter, each the
+/// full cumulative [`QuarantineRecord`] for its domain (last line per
+/// domain wins on load, torn tails tolerated like any segment).
+pub fn quarantine_path(base: &Path) -> PathBuf {
+    let mut name = base.as_os_str().to_os_string();
+    name.push(".quarantine.jsonl");
+    PathBuf::from(name)
+}
+
+/// One quarantined domain: how many times its chain has killed a worker,
+/// and the stage/message of the most recent panic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineRecord {
+    /// The quarantined domain.
+    pub domain: String,
+    /// Cumulative worker kills attributed to this domain (across resumes).
+    pub kills: u32,
+    /// Rendered panic message of the most recent panic.
+    pub message: String,
+    /// Chain stage of the most recent panic (`"crawl"` or `"process"`).
+    pub stage: String,
+}
+
+/// Deterministic fault model for the journal's append path: short (torn)
+/// writes and transient ENOSPC-style rejections, keyed on
+/// `(seed, stream, record_index)` so every run — and every retry schedule —
+/// sees the same faults at the same records regardless of worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskFaultConfig {
+    /// Probability a record's first append tears mid-line.
+    pub short_write: f64,
+    /// Probability a record's first append is rejected outright
+    /// (no-space-style: nothing reaches the file).
+    pub enospc: f64,
+    /// Maximum consecutive faulty attempts per record. Keep `<=`
+    /// `write_retries` and every episode is absorbed by the retry path.
+    pub burst_max: u32,
+    /// Bounded retry budget per record append.
+    pub write_retries: u32,
+}
+
+impl DiskFaultConfig {
+    /// No injected faults; appends still retry real transient errors.
+    pub fn none() -> DiskFaultConfig {
+        DiskFaultConfig {
+            short_write: 0.0,
+            enospc: 0.0,
+            burst_max: 0,
+            write_retries: 3,
+        }
+    }
+
+    /// Elevated fault rates whose episodes still fit the retry budget —
+    /// a run under this config degrades nothing, it just works harder.
+    pub fn chaotic() -> DiskFaultConfig {
+        DiskFaultConfig {
+            short_write: 0.15,
+            enospc: 0.10,
+            burst_max: 2,
+            write_retries: 3,
+        }
+    }
+}
+
+impl Default for DiskFaultConfig {
+    fn default() -> DiskFaultConfig {
+        DiskFaultConfig::none()
+    }
+}
+
+/// What the injector does to one append attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DiskFault {
+    /// Write a torn prefix of the line (no trailing newline) and fail.
+    ShortWrite,
+    /// Reject the attempt before anything reaches the file.
+    NoSpace,
+}
+
+/// Seeded decision function for [`DiskFaultConfig`]: a pure function of
+/// `(seed, stream, record_index, attempt)`, so fault placement is
+/// reproducible and independent of scheduling.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskFaultInjector {
+    seed: u64,
+    config: DiskFaultConfig,
+}
+
+impl DiskFaultInjector {
+    /// An injector for `seed` under `config`.
+    pub fn new(seed: u64, config: DiskFaultConfig) -> DiskFaultInjector {
+        DiskFaultInjector { seed, config }
+    }
+
+    /// An inert injector (no faults ever fire).
+    pub fn none() -> DiskFaultInjector {
+        DiskFaultInjector::new(0, DiskFaultConfig::none())
+    }
+
+    /// Uniform draw in `[0, 1)` keyed on the fault coordinates (FNV-1a
+    /// over the little-endian words, like the shard hash above).
+    fn unit(&self, stream: u64, record_index: u64, salt: u64) -> f64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for word in [self.seed, stream, record_index, salt] {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        (hash >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The fault (if any) injected into `attempt` of appending record
+    /// `record_index` to `stream`. Episodes are transient: a faulted
+    /// record fails its first `burst` attempts (`1..=burst_max`, drawn
+    /// from the same key) and then succeeds.
+    fn fault(&self, stream: u64, record_index: u64, attempt: u32) -> Option<DiskFault> {
+        if self.config.burst_max == 0 {
+            return None;
+        }
+        let roll = self.unit(stream, record_index, 0);
+        let kind = if roll < self.config.short_write {
+            DiskFault::ShortWrite
+        } else if roll < self.config.short_write + self.config.enospc {
+            DiskFault::NoSpace
+        } else {
+            return None;
+        };
+        let span = self.unit(stream, record_index, 1);
+        let burst = 1 + (span * f64::from(self.config.burst_max)) as u32;
+        let burst = burst.min(self.config.burst_max);
+        if attempt < burst {
+            Some(kind)
+        } else {
+            None
+        }
+    }
+}
+
 struct Shard {
-    entries: std::collections::BTreeMap<String, JournalEntry>,
+    entries: BTreeMap<String, JournalEntry>,
     writer: Option<File>,
+    /// Records appended to this segment so far — the `record_index` key of
+    /// the disk-fault injector.
+    appended: u64,
+}
+
+/// In-memory quarantine state plus its (lazily created) segment writer.
+struct QuarantineStore {
+    records: BTreeMap<String, QuarantineRecord>,
+    writer: Option<File>,
+    /// Segment path for durable journals; `None` for in-memory ones. The
+    /// writer is only created on the first dead letter, so fault-free runs
+    /// leave no empty quarantine file behind.
+    path: Option<PathBuf>,
+    /// Dead letters appended so far (the injector's `record_index`).
+    appended: u64,
 }
 
 /// A journal split into independently locked, incrementally appended
@@ -56,7 +213,10 @@ struct Shard {
 /// concurrently through `&self`.
 pub struct ShardedJournal {
     shards: Vec<Mutex<Shard>>,
+    quarantine: Mutex<QuarantineStore>,
+    faults: DiskFaultInjector,
     write_errors: AtomicUsize,
+    disk_retries: AtomicUsize,
 }
 
 impl ShardedJournal {
@@ -71,23 +231,41 @@ impl ShardedJournal {
                     Mutex::new(Shard {
                         entries: Default::default(),
                         writer: None,
+                        appended: 0,
                     })
                 })
                 .collect(),
+            quarantine: Mutex::new(QuarantineStore {
+                records: BTreeMap::new(),
+                writer: None,
+                path: None,
+                appended: 0,
+            }),
+            faults: DiskFaultInjector::none(),
             write_errors: AtomicUsize::new(0),
+            disk_retries: AtomicUsize::new(0),
         }
     }
 
     /// Open (or create) a durable sharded journal rooted at `base`.
     ///
     /// Seeds the in-memory state from the legacy single-file journal at
-    /// `base` (if present) and from every existing segment file — both
-    /// through the torn-tail-tolerant JSONL parser — then opens each
-    /// segment for append. Segment entries override legacy ones. A segment
-    /// that cannot be opened for writing degrades to memory-only (counted
-    /// in [`ShardedJournal::write_errors`]); the run still completes.
+    /// `base` (if present), from every existing segment file, and from the
+    /// quarantine segment — all through torn-tail-tolerant line parsers —
+    /// then opens each segment for append. Segment entries override legacy
+    /// ones. A segment that cannot be opened for writing degrades to
+    /// memory-only (counted in [`ShardedJournal::write_errors`]); the run
+    /// still completes.
     pub fn open(base: &Path, shards: usize) -> ShardedJournal {
-        let journal = ShardedJournal::in_memory(shards);
+        ShardedJournal::open_with(base, shards, DiskFaultInjector::none())
+    }
+
+    /// [`ShardedJournal::open`], with appends filtered through a
+    /// deterministic disk-fault injector (chaos testing: torn writes and
+    /// transient no-space rejections absorbed by the bounded retry path).
+    pub fn open_with(base: &Path, shards: usize, faults: DiskFaultInjector) -> ShardedJournal {
+        let mut journal = ShardedJournal::in_memory(shards);
+        journal.faults = faults;
         if let Ok(text) = std::fs::read_to_string(base) {
             for entry in RunJournal::from_jsonl(&text).iter() {
                 journal.insert_in_memory(entry.clone());
@@ -108,14 +286,30 @@ impl ShardedJournal {
                 }
             }
         }
+        {
+            let mut store = journal.quarantine.lock();
+            let path = quarantine_path(base);
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                // Cumulative records: the last well-formed line per domain
+                // is the newest; torn tails drop like any segment line.
+                for line in text.lines() {
+                    if let Ok(record) = serde_json::from_str::<QuarantineRecord>(line) {
+                        store.records.insert(record.domain.clone(), record);
+                    }
+                }
+            }
+            store.path = Some(path);
+        }
         journal
     }
 
     /// Record a finished domain: insert it into its shard and append one
     /// JSONL line to the shard's segment file (if durable). The line is
-    /// serialized *before* the shard lock is taken; a failed append leaves
-    /// the entry in memory (the current run is unaffected, the domain is
-    /// re-processed on a future resume) and bumps
+    /// serialized *before* the shard lock is taken; transient append
+    /// failures (injected or real) are retried within the bounded
+    /// [`DiskFaultConfig::write_retries`] budget, and a record that
+    /// exhausts it stays memory-only (the current run is unaffected, the
+    /// domain re-processes on a future resume) and bumps
     /// [`ShardedJournal::write_errors`].
     pub fn record(&self, entry: JournalEntry) {
         let index = shard_of(&entry.domain, self.shards.len());
@@ -125,18 +319,135 @@ impl ShardedJournal {
             return;
         };
         let mut shard = shard.lock();
+        let record_index = shard.appended;
+        shard.appended = shard.appended.saturating_add(1);
         let mut failed = false;
         if let Some(writer) = shard.writer.as_mut() {
-            failed = writer
-                .write_all(line.as_bytes())
-                .and_then(|()| writer.write_all(b"\n"))
-                .is_err();
+            failed = !self.append_with_retry(writer, index as u64, record_index, &line);
         }
         shard.entries.insert(entry.domain.clone(), entry);
         drop(shard);
         if failed {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Append `line` + newline to `writer`, absorbing injected and real
+    /// transient failures within the bounded retry budget. After a torn
+    /// attempt the garbage prefix is terminated with a lone newline before
+    /// the whole line is retried, so the tolerant JSONL parser sees one
+    /// droppable malformed line instead of the prefix glued onto the
+    /// retried record. Returns whether the full line landed.
+    fn append_with_retry(
+        &self,
+        writer: &mut File,
+        stream: u64,
+        record_index: u64,
+        line: &str,
+    ) -> bool {
+        let mut torn = false;
+        for attempt in 0..=self.faults.config.write_retries {
+            if attempt > 0 {
+                self.disk_retries.fetch_add(1, Ordering::Relaxed);
+            }
+            if torn {
+                if writer.write_all(b"\n").is_err() {
+                    continue;
+                }
+                torn = false;
+            }
+            match self.faults.fault(stream, record_index, attempt) {
+                Some(DiskFault::ShortWrite) => {
+                    let half = line.as_bytes().get(..line.len() / 2).unwrap_or(b"");
+                    let _short = writer.write_all(half);
+                    torn = true;
+                    continue;
+                }
+                Some(DiskFault::NoSpace) => continue,
+                None => {}
+            }
+            match writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+            {
+                Ok(()) => return true,
+                Err(_) => {
+                    // A failed write_all may have landed a prefix; treat
+                    // it as torn so the next attempt terminates it.
+                    torn = true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Record one dead letter against `domain`: bump its cumulative kill
+    /// count, remember the panicking stage and message, and append the
+    /// updated [`QuarantineRecord`] to the quarantine segment (created
+    /// lazily on the first dead letter). Returns the new kill count —
+    /// callers compare it against their poison threshold.
+    pub fn record_dead_letter(&self, domain: &str, stage: &str, message: &str) -> u32 {
+        let mut store = self.quarantine.lock();
+        let record = store
+            .records
+            .entry(domain.to_string())
+            .or_insert_with(|| QuarantineRecord {
+                domain: domain.to_string(),
+                kills: 0,
+                stage: String::new(),
+                message: String::new(),
+            });
+        record.kills = record.kills.saturating_add(1);
+        record.stage = stage.to_string();
+        record.message = message.to_string();
+        let kills = record.kills;
+        let line = serde_json::to_string(record).unwrap_or_default();
+        let mut open_failed = false;
+        if store.writer.is_none() {
+            if let Some(path) = store.path.clone() {
+                match OpenOptions::new().create(true).append(true).open(&path) {
+                    Ok(file) => store.writer = Some(file),
+                    Err(_) => open_failed = true,
+                }
+            }
+        }
+        let record_index = store.appended;
+        store.appended = store.appended.saturating_add(1);
+        let mut failed = false;
+        if let Some(writer) = store.writer.as_mut() {
+            // The quarantine is one more append stream; give it the
+            // stream id just past the shard segments.
+            failed = !self.append_with_retry(writer, self.shards.len() as u64, record_index, &line);
+        }
+        drop(store);
+        if open_failed || failed {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        kills
+    }
+
+    /// Every quarantined domain's record, sorted by domain.
+    pub fn quarantine_records(&self) -> Vec<QuarantineRecord> {
+        self.quarantine.lock().records.values().cloned().collect()
+    }
+
+    /// Domains whose cumulative kill count has reached `min_kills`, sorted:
+    /// the set a resuming run skips outright.
+    pub fn poisoned_domains(&self, min_kills: u32) -> Vec<String> {
+        self.quarantine
+            .lock()
+            .records
+            .values()
+            .filter(|r| r.kills >= min_kills)
+            .map(|r| r.domain.clone())
+            .collect()
+    }
+
+    /// Append attempts that had to be retried (injected faults plus real
+    /// transient errors). Purely informational: a non-zero count with zero
+    /// [`ShardedJournal::write_errors`] means every fault was absorbed.
+    pub fn disk_retries(&self) -> usize {
+        self.disk_retries.load(Ordering::Relaxed)
     }
 
     fn insert_in_memory(&self, entry: JournalEntry) {
@@ -203,17 +514,76 @@ impl ShardedJournal {
 
     /// Rewrite the merged journal to the legacy single file at `base` and
     /// delete the segment files: the end-of-run consolidation that keeps
-    /// the on-disk artifact format of pre-sharding runs.
+    /// the on-disk artifact format of pre-sharding runs. The quarantine
+    /// segment is compacted, not deleted — poisoned domains must stay
+    /// skipped on resume.
     pub fn consolidate(&self, base: &Path) -> std::io::Result<()> {
-        std::fs::write(base, self.merged().to_jsonl())?;
+        self.consolidate_until(base, ConsolidateStep::Complete)
+    }
+
+    /// [`ShardedJournal::consolidate`], stopping at `stop` — the kill-point
+    /// hook for crash-window tests. The consolidated file is written *and
+    /// fsynced* before any segment is deleted, so a crash between the two
+    /// steps finds either the old segments or a durable consolidated file,
+    /// never neither (the original implementation deleted segments against
+    /// an unsynced file, and a crash in that window could lose every
+    /// acknowledged outcome).
+    pub fn consolidate_until(&self, base: &Path, stop: ConsolidateStep) -> std::io::Result<()> {
+        let mut file = File::create(base)?;
+        file.write_all(self.merged().to_jsonl().as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        if stop == ConsolidateStep::AfterSync {
+            return Ok(());
+        }
         for index in 0..self.shards.len() {
             let path = segment_path(base, index);
             if path.exists() {
                 std::fs::remove_file(&path)?;
             }
         }
+        self.compact_quarantine()
+    }
+
+    /// Rewrite the quarantine segment to one line per domain (the run
+    /// appends a cumulative record per dead letter), or remove it when no
+    /// domain is quarantined.
+    fn compact_quarantine(&self) -> std::io::Result<()> {
+        let mut store = self.quarantine.lock();
+        let Some(path) = store.path.clone() else {
+            return Ok(());
+        };
+        store.writer = None;
+        if store.records.is_empty() {
+            if path.exists() {
+                std::fs::remove_file(&path)?;
+            }
+            return Ok(());
+        }
+        let mut text = String::new();
+        for record in store.records.values() {
+            text.push_str(&serde_json::to_string(record).unwrap_or_default());
+            text.push('\n');
+        }
+        let mut file = File::create(&path)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        store.writer = OpenOptions::new().append(true).open(&path).ok();
+        store.appended = 0;
         Ok(())
     }
+}
+
+/// Where [`ShardedJournal::consolidate_until`] stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsolidateStep {
+    /// Stop after the consolidated file is written and fsynced, before any
+    /// segment is deleted: the crash window the durability ordering
+    /// protects.
+    AfterSync,
+    /// Run consolidation to completion.
+    Complete,
 }
 
 #[cfg(test)]
@@ -333,6 +703,131 @@ mod tests {
         let text = std::fs::read_to_string(&base).unwrap();
         assert_eq!(RunJournal::from_jsonl(&text), journal.merged());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn consolidate_kill_point_after_sync_loses_nothing() {
+        let dir = scratch_dir("killpoint");
+        let base = dir.join("run.jsonl");
+        let journal = ShardedJournal::open(&base, 4);
+        for i in 0..15 {
+            journal.record(entry(&format!("d{i}.com"), i));
+        }
+        // Crash in the durability window: the consolidated file is synced
+        // but no segment has been deleted yet.
+        journal
+            .consolidate_until(&base, ConsolidateStep::AfterSync)
+            .expect("consolidate to kill point");
+        drop(journal);
+
+        // The window is benign in *both* directions: the consolidated file
+        // already holds everything, and the segments still exist, so a
+        // reopen (which seeds from the legacy file and the segments) sees
+        // every domain exactly once.
+        let reopened = ShardedJournal::open(&base, 4);
+        assert_eq!(reopened.len(), 15, "no loss, no duplication");
+        for i in 0..15 {
+            assert!(reopened.contains(&format!("d{i}.com")));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_disk_faults_absorbed_by_bounded_retries() {
+        let dir = scratch_dir("diskchaos");
+        let base = dir.join("run.jsonl");
+        let chaos = DiskFaultInjector::new(11, DiskFaultConfig::chaotic());
+        let retries_first = {
+            let journal = ShardedJournal::open_with(&base, 4, chaos);
+            for i in 0..60 {
+                journal.record(entry(&format!("site{i}.com"), i));
+            }
+            assert_eq!(journal.write_errors(), 0, "every episode fits the budget");
+            assert!(
+                journal.disk_retries() > 0,
+                "chaotic config must actually fire"
+            );
+            journal.disk_retries()
+        };
+        // Everything survives reopen: torn prefixes were terminated into
+        // droppable lines, every record eventually landed whole.
+        let reopened = ShardedJournal::open(&base, 4);
+        assert_eq!(reopened.len(), 60);
+        // And the fault schedule is a pure function of its key: a second
+        // run under the same seed retries exactly as often.
+        let dir2 = scratch_dir("diskchaos2");
+        let base2 = dir2.join("run.jsonl");
+        let journal2 = ShardedJournal::open_with(&base2, 4, chaos);
+        for i in 0..60 {
+            journal2.record(entry(&format!("site{i}.com"), i));
+        }
+        assert_eq!(journal2.disk_retries(), retries_first);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn quarantine_accumulates_persists_and_survives_consolidation() {
+        let dir = scratch_dir("quarantine");
+        let base = dir.join("run.jsonl");
+        {
+            let journal = ShardedJournal::open(&base, 4);
+            assert!(
+                !quarantine_path(&base).exists(),
+                "no dead letters, no quarantine file"
+            );
+            assert_eq!(
+                journal.record_dead_letter("boom.com", "crawl", "host exploded"),
+                1
+            );
+            assert_eq!(
+                journal.record_dead_letter("fizzle.com", "process", "oom"),
+                1
+            );
+            assert_eq!(
+                journal.record_dead_letter("boom.com", "crawl", "host exploded"),
+                2
+            );
+            journal.record(entry("ok.com", 1));
+        }
+        let journal = ShardedJournal::open(&base, 4);
+        let records = journal.quarantine_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].domain, "boom.com");
+        assert_eq!(records[0].kills, 2);
+        assert_eq!(records[0].stage, "crawl");
+        assert_eq!(records[1].domain, "fizzle.com");
+        assert_eq!(records[1].kills, 1);
+        assert_eq!(journal.poisoned_domains(2), vec!["boom.com".to_string()]);
+        assert_eq!(
+            journal.poisoned_domains(1),
+            vec!["boom.com".to_string(), "fizzle.com".to_string()]
+        );
+
+        // Consolidation compacts the quarantine (3 appended lines → 2
+        // records) but must not delete it: the poison set survives.
+        journal.consolidate(&base).expect("consolidate");
+        let text = std::fs::read_to_string(quarantine_path(&base)).expect("quarantine kept");
+        assert_eq!(text.lines().count(), 2);
+        let reopened = ShardedJournal::open(&base, 4);
+        assert_eq!(reopened.poisoned_domains(2), vec!["boom.com".to_string()]);
+        // ...and further dead letters keep accumulating after compaction.
+        assert_eq!(
+            reopened.record_dead_letter("fizzle.com", "process", "oom"),
+            2
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_quarantine_counts_without_files() {
+        let journal = ShardedJournal::in_memory(4);
+        assert_eq!(journal.record_dead_letter("boom.com", "crawl", "x"), 1);
+        assert_eq!(journal.record_dead_letter("boom.com", "process", "y"), 2);
+        let records = journal.quarantine_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].stage, "process", "latest stage wins");
+        assert_eq!(journal.write_errors(), 0);
     }
 
     #[test]

@@ -5,10 +5,11 @@
 //! without diverging.
 
 use aipan_core::{
-    run_pipeline, run_pipeline_sharded, segment_path, PipelineConfig, PipelineRun, ShardedJournal,
-    DEFAULT_SHARDS,
+    run_pipeline, run_pipeline_sharded, segment_path, DiskFaultConfig, DiskFaultInjector,
+    PipelineConfig, PipelineRun, ShardedJournal, DEFAULT_SHARDS,
 };
 use aipan_net::fault::FaultConfig;
+use aipan_net::http::{Request, Response};
 use aipan_webgen::{build_world, build_world_lazy, World, WorldConfig};
 use proptest::prelude::*;
 use std::fs;
@@ -182,5 +183,192 @@ fn resume_from_mid_shard_kill_point_is_byte_identical() {
     let merged = fs::read_to_string(&base).expect("consolidated journal");
     assert_eq!(merged.lines().count(), journal.len());
     assert!(!segment_path(&base, 0).exists(), "segments removed");
+    let _ = fs::remove_dir_all(base.parent().unwrap());
+}
+
+/// A virtual host that kills whichever worker touches it: the supervisor
+/// must catch the unwind mid-crawl and dead-letter the domain. (Panics are
+/// injected from the test, never from library code.)
+fn panicking_host() -> impl Fn(&Request) -> Response + Send + Sync {
+    |_request: &Request| -> Response { panic!("injected: host melted mid-request") }
+}
+
+/// Re-register `victim` so any request to it panics the crawling worker.
+fn poison_domain(world: &World, victim: &str) {
+    world.internet.register(victim, panicking_host());
+}
+
+// Panic-injection chaos sweep: worlds with worker-killing hosts still
+// complete, and the quarantine (dead-letter set) and dataset are
+// worker-count invariant — fault isolation must not depend on which worker
+// happens to pick up the doomed domain.
+#[test]
+fn panic_injection_dead_letters_are_worker_count_invariant() {
+    let mut gen = Gen::from_name("panic_injection_dead_letters");
+    for case in 0..4usize {
+        let seed = Strategy::generate(&(0u64..1000), &mut gen);
+        let domains = Strategy::generate(&(12usize..24), &mut gen);
+        let mut reference: Option<(Vec<aipan_core::QuarantineRecord>, String)> = None;
+        for workers in [1usize, 2, 5, 8] {
+            let world = build_world_lazy(world_config(seed, domains, true));
+            let all: Vec<String> = world
+                .universe
+                .unique_domains()
+                .iter()
+                .map(|c| c.domain.clone())
+                .collect();
+            let victims = [all[0].clone(), all[all.len() / 2].clone()];
+            for victim in &victims {
+                poison_domain(&world, victim);
+            }
+            let journal = ShardedJournal::in_memory(DEFAULT_SHARDS);
+            let run = run_pipeline_sharded(&world, pipeline_config(seed, workers), &journal);
+
+            let tag = format!("case {case}: seed {seed}, {domains} domains, {workers} worker(s)");
+            let quarantine = journal.quarantine_records();
+            assert_eq!(quarantine.len(), victims.len(), "{tag}");
+            for record in &quarantine {
+                assert!(victims.contains(&record.domain), "{tag}");
+                assert_eq!(record.stage, "crawl", "{tag}");
+                assert_eq!(record.kills, 1, "{tag}");
+            }
+            assert_eq!(run.health.verdict, "degraded", "{tag}");
+            assert_eq!(run.health.quarantine, quarantine, "{tag}");
+            assert_all_sites_released(&world);
+
+            let bytes = dataset_bytes(&run);
+            match &reference {
+                None => reference = Some((quarantine, bytes)),
+                Some((ref_quarantine, ref_bytes)) => {
+                    assert_eq!(
+                        &quarantine, ref_quarantine,
+                        "{tag}: dead-letter set diverged"
+                    );
+                    assert_eq!(&bytes, ref_bytes, "{tag}: dataset diverged");
+                }
+            }
+        }
+    }
+}
+
+// The poison contract end-to-end: a domain that kills its worker in two
+// consecutive runs (the default `max_kills`) is skipped outright on the
+// third, and that resumed run is byte-identical to a clean run over the
+// universe minus the poisoned domain.
+#[test]
+fn resume_after_quarantine_matches_clean_run_minus_poisoned() {
+    let seed = 71;
+    let size = 40;
+    let config = pipeline_config(seed, 4);
+    let eager = build_world(world_config(seed, size, false));
+    let reference = run_pipeline(&eager, config.clone());
+    let victim = reference.dataset.policies[0].domain.clone();
+    let mut minus = reference.dataset.clone();
+    minus.policies.retain(|p| p.domain != victim);
+    let minus_bytes = serde_json::to_string(&minus).expect("dataset serializes");
+    assert_ne!(
+        minus_bytes,
+        dataset_bytes(&reference),
+        "victim must carry a policy for the test to mean anything"
+    );
+
+    let base = scratch_base("quarantine");
+    // Two runs in which the victim panics its worker: each one dead-letters
+    // the domain, accumulating kills across the reopened journal.
+    for prior_kills in 0..2u32 {
+        let world = build_world_lazy(world_config(seed, size, false));
+        poison_domain(&world, &victim);
+        let journal = ShardedJournal::open(&base, DEFAULT_SHARDS);
+        let run = run_pipeline_sharded(&world, config.clone(), &journal);
+        let quarantine = journal.quarantine_records();
+        assert_eq!(quarantine.len(), 1);
+        assert_eq!(quarantine[0].domain, victim);
+        assert_eq!(quarantine[0].kills, prior_kills + 1);
+        assert_eq!(quarantine[0].stage, "crawl");
+        assert_eq!(run.health.verdict, "degraded");
+        assert!(run.health.poisoned_skipped.is_empty());
+        // The panicking domain contributes no record either way.
+        assert_eq!(dataset_bytes(&run), minus_bytes);
+        assert_all_sites_released(&world);
+    }
+
+    // Third run: kills reached `max_kills`, so the victim is poisoned and
+    // never dispatched — the panicking host is still registered but nothing
+    // touches it.
+    let world = build_world_lazy(world_config(seed, size, false));
+    poison_domain(&world, &victim);
+    let journal = ShardedJournal::open(&base, DEFAULT_SHARDS);
+    let resumed = run_pipeline_sharded(&world, config.clone(), &journal);
+    assert_eq!(resumed.health.poisoned_skipped, vec![victim.clone()]);
+    assert_eq!(resumed.health.verdict, "degraded");
+    assert_eq!(dataset_bytes(&resumed), minus_bytes);
+    assert_eq!(
+        resumed.crawl_funnel.domains_total,
+        reference.crawl_funnel.domains_total - 1,
+        "poisoned domain must not be dispatched at all"
+    );
+    assert_eq!(
+        journal.quarantine_records()[0].kills,
+        2,
+        "skipping must not accrue further kills"
+    );
+    assert_all_sites_released(&world);
+    let _ = fs::remove_dir_all(base.parent().unwrap());
+}
+
+// The full chaos stack at once — network faults (5xx/resets/rate limits),
+// the chatbot's seeded error models, and injected disk faults on the
+// journal's append path — then a kill point on top: the resumed run is
+// still byte-identical to the in-memory reference.
+#[test]
+fn combined_network_chatbot_disk_chaos_resume_is_byte_identical() {
+    let seed = 83;
+    let size = 50;
+    let config = pipeline_config(seed, 4);
+    let ref_world = build_world_lazy(world_config(seed, size, true));
+    let reference = streaming_run(&ref_world, config.clone());
+    let reference_bytes = dataset_bytes(&reference);
+
+    let base = scratch_base("diskchaos");
+    let chaotic = || DiskFaultInjector::new(seed, DiskFaultConfig::chaotic());
+    {
+        let world = build_world_lazy(world_config(seed, size, true));
+        let journal = ShardedJournal::open_with(&base, DEFAULT_SHARDS, chaotic());
+        let run = run_pipeline_sharded(&world, config.clone(), &journal);
+        assert_eq!(dataset_bytes(&run), reference_bytes);
+        assert_eq!(
+            journal.write_errors(),
+            0,
+            "bounded retries must absorb every injected disk fault"
+        );
+        assert!(
+            journal.disk_retries() > 0,
+            "chaotic disk config must actually inject faults"
+        );
+    }
+
+    // Kill point: one segment torn mid-line, another lost entirely. The
+    // resume keeps running against the same injected disk faults.
+    let seg0 = segment_path(&base, 0);
+    let torn = fs::read_to_string(&seg0).expect("segment 0 exists");
+    let cut = torn.len() - torn.len() / 4;
+    let cut = (0..=cut).rev().find(|&i| torn.is_char_boundary(i)).unwrap();
+    fs::write(&seg0, &torn[..cut]).expect("tear segment 0");
+    let seg1 = segment_path(&base, 1);
+    fs::remove_file(&seg1).expect("segment 1 exists");
+
+    let world = build_world_lazy(world_config(seed, size, true));
+    let journal = ShardedJournal::open_with(&base, DEFAULT_SHARDS, chaotic());
+    assert!(
+        journal.len() < reference.crawl_funnel.domains_total,
+        "kill point must actually lose checkpoints"
+    );
+    let resumed = run_pipeline_sharded(&world, config, &journal);
+    assert_eq!(dataset_bytes(&resumed), reference_bytes);
+    assert_eq!(resumed.extraction, reference.extraction);
+    assert_eq!(resumed.crawl_funnel, reference.crawl_funnel);
+    assert_eq!(journal.write_errors(), 0);
+    assert_all_sites_released(&world);
+    journal.consolidate(&base).expect("consolidate");
     let _ = fs::remove_dir_all(base.parent().unwrap());
 }

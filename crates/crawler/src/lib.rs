@@ -36,6 +36,9 @@ pub use crawl::{
     crawl_domain, crawl_domain_with, CrawlOptions, CrawlOutcome, CrawledPage, DomainCrawl,
     LinkSource, MAX_PAGES,
 };
-pub use pool::{crawl_all, crawl_all_with, stream_all_with, PoolConfig};
+pub use pool::{
+    crawl_all, crawl_all_with, stream_all_supervised, stream_all_with, DeadLetter, FailStage,
+    PoolConfig, SupervisedOutcome, SupervisorOptions,
+};
 pub use report::{CrawlFunnel, CrawlReport};
 pub use robots::RobotsPolicy;

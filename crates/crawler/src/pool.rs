@@ -10,6 +10,9 @@
 use crate::crawl::{crawl_domain_with, CrawlOptions, DomainCrawl};
 use aipan_net::Client;
 use crossbeam::channel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Worker-pool configuration.
 #[derive(Debug, Clone, Copy)]
@@ -231,6 +234,340 @@ where
     (results, states)
 }
 
+/// Stage of the per-domain chain a supervised panic was caught in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FailStage {
+    /// The crawl itself (fetching pages over the virtual transport).
+    Crawl,
+    /// The caller's `process` closure (extract / segment / annotate /
+    /// journal).
+    Process,
+}
+
+impl FailStage {
+    /// Stable lowercase label used in dead-letter records and health
+    /// reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailStage::Crawl => "crawl",
+            FailStage::Process => "process",
+        }
+    }
+}
+
+/// A per-domain panic captured by [`stream_all_supervised`]: which domain
+/// died, in which stage of its chain, and the rendered panic message.
+///
+/// Dead letters are deterministic for a deterministic workload: whether a
+/// given domain panics (and in which stage) is a pure function of the
+/// domain, so the dead-letter set is worker-count invariant even though
+/// which *worker* absorbs the panic is not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadLetter {
+    /// Domain whose chain panicked.
+    pub domain: String,
+    /// Chain stage that panicked.
+    pub stage: FailStage,
+    /// Panic payload (`String`/`&str` payloads verbatim, an opaque marker
+    /// otherwise).
+    pub message: String,
+}
+
+/// Backpressure and fault-isolation policy for [`stream_all_supervised`].
+#[derive(Clone, Copy, Default)]
+pub struct SupervisorOptions<'a> {
+    /// Probed memory figure above which admission of new domains blocks
+    /// (until in-flight domains finish and release memory). `None`
+    /// disables backpressure.
+    pub memory_cap_bytes: Option<usize>,
+    /// Memory probe consulted at admission — e.g. the lazy world's site
+    /// gauge. Backpressure is inert unless both cap and probe are set.
+    pub memory_probe: Option<&'a (dyn Fn() -> usize + Sync)>,
+}
+
+/// Everything a supervised streaming drive returns.
+pub struct SupervisedOutcome<R, S> {
+    /// Per-domain results of the surviving domains, sorted by domain.
+    pub results: Vec<(String, R)>,
+    /// One record per panicking domain, sorted by domain.
+    pub dead_letters: Vec<DeadLetter>,
+    /// Every worker's final state (in unspecified order: fold worker
+    /// states commutatively).
+    pub states: Vec<S>,
+    /// Times a worker blocked at admission waiting for probed memory to
+    /// drop back under the cap. Scheduling-dependent (not worker-count
+    /// invariant); always zero when backpressure is disabled.
+    pub backpressure_stalls: u64,
+}
+
+/// Admission gate shared by all supervised workers: counts in-flight
+/// domains and blocks admission while probed memory exceeds the cap.
+struct AdmissionGate<'a> {
+    cap: Option<usize>,
+    probe: Option<&'a (dyn Fn() -> usize + Sync)>,
+    in_flight: Mutex<usize>,
+    released: Condvar,
+    stalls: AtomicU64,
+}
+
+/// The supervised workers recover a poisoned guard instead of propagating:
+/// every panic a worker can raise is already caught per-domain, and the
+/// gate's counter stays consistent because admit/release pair around the
+/// catch.
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl<'a> AdmissionGate<'a> {
+    fn new(options: &SupervisorOptions<'a>) -> AdmissionGate<'a> {
+        AdmissionGate {
+            cap: options.memory_cap_bytes,
+            probe: options.memory_probe,
+            in_flight: Mutex::new(0),
+            released: Condvar::new(),
+            stalls: AtomicU64::new(0),
+        }
+    }
+
+    /// Block until admitting one more domain keeps probed memory within
+    /// the cap — or until nothing is in flight, in which case admission
+    /// always proceeds. That second clause is what makes the gate
+    /// deadlock-free: once every in-flight domain has finished (each
+    /// release notifies), waiting longer cannot shrink the probed figure,
+    /// so the gate admits one domain and degrades to serial rather than
+    /// hanging.
+    fn admit(&self) {
+        let mut in_flight = lock_or_recover(&self.in_flight);
+        if let (Some(cap), Some(probe)) = (self.cap, self.probe) {
+            let mut stalled = false;
+            while *in_flight > 0 && probe() > cap {
+                stalled = true;
+                in_flight = self
+                    .released
+                    .wait(in_flight)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if stalled {
+                self.stalls.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        *in_flight += 1;
+    }
+
+    fn release(&self) {
+        let mut in_flight = lock_or_recover(&self.in_flight);
+        *in_flight = in_flight.saturating_sub(1);
+        drop(in_flight);
+        self.released.notify_all();
+    }
+}
+
+/// Render a caught panic payload into a dead-letter message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Outcome of one supervised per-domain chain.
+enum ChainOutcome<R> {
+    Done(R),
+    Died(FailStage, String),
+}
+
+/// Run one domain's crawl → process chain with each stage under
+/// `catch_unwind`, so the caught stage can be attributed in the dead
+/// letter. `AssertUnwindSafe` is sound here because the caller repairs
+/// `state` through its `recover` hook before reusing it after a panic.
+fn run_chain<S, R>(
+    client: &Client,
+    domain: &str,
+    options: &CrawlOptions,
+    state: &mut S,
+    process: &(impl Fn(&mut S, DomainCrawl) -> R + Sync),
+) -> ChainOutcome<R> {
+    let crawl = match catch_unwind(AssertUnwindSafe(|| {
+        crawl_domain_with(client, domain, options)
+    })) {
+        Ok(crawl) => crawl,
+        Err(payload) => return ChainOutcome::Died(FailStage::Crawl, panic_message(payload)),
+    };
+    match catch_unwind(AssertUnwindSafe(|| process(state, crawl))) {
+        Ok(result) => ChainOutcome::Done(result),
+        Err(payload) => ChainOutcome::Died(FailStage::Process, panic_message(payload)),
+    }
+}
+
+/// [`stream_all_with`], under a fault-isolating supervisor: a panic
+/// anywhere in one domain's chain no longer kills the run. The panic is
+/// caught per-domain, rendered into a [`DeadLetter`] (handed to
+/// `on_dead_letter` at the moment it happens, e.g. to quarantine it in a
+/// journal), the worker's state is repaired through `recover` — reset
+/// scratch buffers, keep commutative tallies — and the worker moves on to
+/// the next domain. Workers never die, so the result set is never
+/// truncated: it is exactly the surviving domains, sorted.
+///
+/// `supervisor` additionally bounds memory: when both a cap and a probe
+/// are configured, workers block before starting a new domain while the
+/// probed figure is over the cap and at least one other domain is in
+/// flight (see [`AdmissionGate::admit`] for why that cannot deadlock).
+#[allow(clippy::too_many_arguments)]
+pub fn stream_all_supervised<S, R, I, F, G, D>(
+    client: &Client,
+    domains: &[String],
+    config: PoolConfig,
+    options: &CrawlOptions,
+    supervisor: &SupervisorOptions<'_>,
+    init: I,
+    process: F,
+    recover: G,
+    on_dead_letter: D,
+) -> SupervisedOutcome<R, S>
+where
+    S: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, DomainCrawl) -> R + Sync,
+    G: Fn(&mut S) + Sync,
+    D: Fn(&DeadLetter) + Sync,
+{
+    let workers = config.workers.max(1);
+    let gate = AdmissionGate::new(supervisor);
+    if workers == 1 {
+        let mut state = init();
+        let mut results: Vec<(String, R)> = Vec::with_capacity(domains.len());
+        let mut dead_letters: Vec<DeadLetter> = Vec::with_capacity(domains.len());
+        for domain in domains {
+            gate.admit();
+            let outcome = run_chain(client, domain, options, &mut state, &process);
+            gate.release();
+            match outcome {
+                ChainOutcome::Done(result) => results.push((domain.clone(), result)),
+                ChainOutcome::Died(stage, message) => {
+                    recover(&mut state);
+                    let letter = DeadLetter {
+                        domain: domain.clone(),
+                        stage,
+                        message,
+                    };
+                    on_dead_letter(&letter);
+                    dead_letters.push(letter);
+                }
+            }
+        }
+        results.sort_by(|a, b| a.0.cmp(&b.0));
+        dead_letters.sort_by(|a, b| a.domain.cmp(&b.domain));
+        return SupervisedOutcome {
+            results,
+            dead_letters,
+            states: vec![state],
+            backpressure_stalls: gate.stalls.load(Ordering::Relaxed),
+        };
+    }
+    let (job_tx, job_rx) = channel::bounded::<String>(workers * 2);
+    let (res_tx, res_rx) = channel::unbounded::<(String, R)>();
+    let (dead_tx, dead_rx) = channel::unbounded::<DeadLetter>();
+    let (state_tx, state_rx) = channel::unbounded::<S>();
+
+    let mut results: Vec<(String, R)> = Vec::with_capacity(domains.len());
+    let gate = &gate;
+    let scope_result = crossbeam::scope(|scope| {
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let dead_tx = dead_tx.clone();
+            let state_tx = state_tx.clone();
+            let client = client.clone();
+            let options = *options;
+            let init = &init;
+            let process = &process;
+            let recover = &recover;
+            let on_dead_letter = &on_dead_letter;
+            worker_handles.push(scope.spawn(move |_| {
+                let mut state = init();
+                for domain in job_rx.iter() {
+                    gate.admit();
+                    let outcome = run_chain(&client, &domain, &options, &mut state, process);
+                    gate.release();
+                    match outcome {
+                        ChainOutcome::Done(result) => {
+                            if res_tx.send((domain, result)).is_err() {
+                                break;
+                            }
+                        }
+                        ChainOutcome::Died(stage, message) => {
+                            recover(&mut state);
+                            let letter = DeadLetter {
+                                domain,
+                                stage,
+                                message,
+                            };
+                            on_dead_letter(&letter);
+                            if dead_tx.send(letter).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                let _sent = state_tx.send(state);
+            }));
+        }
+        drop(job_rx);
+        drop(res_tx);
+        drop(dead_tx);
+        drop(state_tx);
+
+        // Feed jobs from a dedicated thread while this one collects
+        // results, to avoid deadlock on the bounded job channel.
+        let feeder = scope.spawn({
+            let job_tx = job_tx.clone();
+            let domains = domains.to_vec();
+            move |_| {
+                for d in domains {
+                    if job_tx.send(d).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        drop(job_tx);
+        for pair in res_rx.iter() {
+            results.push(pair);
+        }
+        // The feeder body cannot panic; a failed join only means teardown,
+        // and the result channel has already drained.
+        let _joined = feeder.join();
+        // Workers catch every per-domain panic, so a join failure here can
+        // only come from the supervisor scaffolding itself — re-raise it.
+        for handle in worker_handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    if let Err(payload) = scope_result {
+        std::panic::resume_unwind(payload);
+    }
+
+    results.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut dead_letters: Vec<DeadLetter> = dead_rx.into_iter().collect();
+    dead_letters.sort_by(|a, b| a.domain.cmp(&b.domain));
+    let states: Vec<S> = state_rx.into_iter().collect();
+    SupervisedOutcome {
+        results,
+        dead_letters,
+        states,
+        backpressure_stalls: gate.stalls.load(Ordering::Relaxed),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +750,180 @@ mod tests {
             merged.merge(funnel);
         }
         assert_eq!(merged, batch.funnel);
+    }
+
+    #[test]
+    fn supervised_crawl_panic_becomes_dead_letter_not_truncation() {
+        let (net, mut domains) = make_net(6);
+        net.register("boom.com", |_req: &aipan_net::Request| -> Response {
+            panic!("host exploded")
+        });
+        domains.push("boom.com".to_string());
+        let client = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
+        let outcome = stream_all_supervised(
+            &client,
+            &domains,
+            PoolConfig { workers: 3 },
+            &CrawlOptions::default(),
+            &SupervisorOptions::default(),
+            || 0usize,
+            |count: &mut usize, crawl: DomainCrawl| {
+                *count += 1;
+                crawl.pages.len()
+            },
+            |_count: &mut usize| {},
+            |_letter: &DeadLetter| {},
+        );
+        assert_eq!(outcome.results.len(), 6, "survivors all present");
+        assert_eq!(
+            outcome.dead_letters,
+            vec![DeadLetter {
+                domain: "boom.com".to_string(),
+                stage: FailStage::Crawl,
+                message: "host exploded".to_string(),
+            }]
+        );
+        assert_eq!(outcome.backpressure_stalls, 0);
+    }
+
+    #[test]
+    fn supervised_process_panic_attributed_and_state_recovered() {
+        let (net, domains) = make_net(8);
+        let client = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
+        let recoveries = std::sync::atomic::AtomicUsize::new(0);
+        let observed = std::sync::Mutex::new(Vec::<String>::new());
+        for workers in [1usize, 3] {
+            recoveries.store(0, Ordering::SeqCst);
+            lock_or_recover(&observed).clear();
+            let outcome = stream_all_supervised(
+                &client,
+                &domains,
+                PoolConfig { workers },
+                &CrawlOptions::default(),
+                &SupervisorOptions::default(),
+                || 0usize,
+                |count: &mut usize, crawl: DomainCrawl| {
+                    if crawl.domain == "site3.com" {
+                        panic!("annotator exploded");
+                    }
+                    *count += 1;
+                },
+                |_count: &mut usize| {
+                    recoveries.fetch_add(1, Ordering::SeqCst);
+                },
+                |letter: &DeadLetter| {
+                    lock_or_recover(&observed).push(letter.domain.clone());
+                },
+            );
+            assert_eq!(outcome.results.len(), 7, "workers={workers}");
+            assert_eq!(outcome.dead_letters.len(), 1);
+            assert_eq!(outcome.dead_letters[0].stage, FailStage::Process);
+            assert_eq!(outcome.dead_letters[0].stage.as_str(), "process");
+            assert_eq!(outcome.dead_letters[0].message, "annotator exploded");
+            assert_eq!(recoveries.load(Ordering::SeqCst), 1);
+            assert_eq!(&*lock_or_recover(&observed), &["site3.com".to_string()]);
+            assert_eq!(outcome.states.iter().sum::<usize>(), 7);
+        }
+    }
+
+    #[test]
+    fn supervised_dead_letters_worker_count_invariant() {
+        let (net, mut domains) = make_net(12);
+        for bad in ["kaboom.com", "fizzle.com"] {
+            net.register(bad, |_req: &aipan_net::Request| -> Response {
+                panic!("host exploded")
+            });
+            domains.push(bad.to_string());
+        }
+        let mut baseline: Option<(Vec<(String, usize)>, Vec<DeadLetter>)> = None;
+        for workers in [1usize, 2, 5, 8] {
+            let client = Client::new(net.clone(), FaultInjector::new(0, FaultConfig::none()));
+            let outcome = stream_all_supervised(
+                &client,
+                &domains,
+                PoolConfig { workers },
+                &CrawlOptions::default(),
+                &SupervisorOptions::default(),
+                || (),
+                |_state: &mut (), crawl: DomainCrawl| crawl.pages.len(),
+                |_state: &mut ()| {},
+                |_letter: &DeadLetter| {},
+            );
+            match &baseline {
+                None => baseline = Some((outcome.results, outcome.dead_letters)),
+                Some((results, letters)) => {
+                    assert_eq!(&outcome.results, results, "workers={workers}");
+                    assert_eq!(&outcome.dead_letters, letters, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_backpressure_over_cap_serializes_but_completes() {
+        let (net, domains) = make_net(10);
+        let client = Client::new(net, FaultInjector::new(0, FaultConfig::none()));
+        let in_process = std::sync::atomic::AtomicUsize::new(0);
+        let max_in_process = std::sync::atomic::AtomicUsize::new(0);
+        // A probe permanently over the cap: the gate must degrade to
+        // one-domain-at-a-time (never deadlock), so the pool still
+        // finishes every domain.
+        let probe = || usize::MAX;
+        let outcome = stream_all_supervised(
+            &client,
+            &domains,
+            PoolConfig { workers: 4 },
+            &CrawlOptions::default(),
+            &SupervisorOptions {
+                memory_cap_bytes: Some(1),
+                memory_probe: Some(&probe),
+            },
+            || (),
+            |_state: &mut (), _crawl: DomainCrawl| {
+                let now = in_process.fetch_add(1, Ordering::SeqCst) + 1;
+                max_in_process.fetch_max(now, Ordering::SeqCst);
+                in_process.fetch_sub(1, Ordering::SeqCst);
+            },
+            |_state: &mut ()| {},
+            |_letter: &DeadLetter| {},
+        );
+        assert_eq!(outcome.results.len(), 10);
+        assert!(outcome.dead_letters.is_empty());
+        assert_eq!(
+            max_in_process.load(Ordering::SeqCst),
+            1,
+            "over-cap admission must serialize in-flight domains"
+        );
+    }
+
+    #[test]
+    fn admission_gate_counts_a_deterministic_stall() {
+        let entered = std::sync::atomic::AtomicBool::new(false);
+        let probe = || {
+            entered.store(true, Ordering::SeqCst);
+            usize::MAX
+        };
+        let options = SupervisorOptions {
+            memory_cap_bytes: Some(1),
+            memory_probe: Some(&probe),
+        };
+        let gate = AdmissionGate::new(&options);
+        gate.admit(); // in_flight: 0 → 1, probe not consulted
+        assert!(!entered.load(Ordering::SeqCst));
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                gate.admit(); // blocks: one in flight, probe over cap
+                gate.release();
+            });
+            // The probe flips `entered` while the waiter holds the gate
+            // lock, so our release() below cannot overtake the wait().
+            while !entered.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            gate.release();
+            waiter.join().expect("waiter thread");
+        });
+        assert_eq!(gate.stalls.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -86,9 +86,7 @@ fn ordering_args(args: &[Expr]) -> Vec<String> {
         .filter_map(|a| {
             let segs = a.plain_path()?;
             let last = segs.last()?;
-            ORDERINGS
-                .contains(&last.as_str())
-                .then(|| last.clone())
+            ORDERINGS.contains(&last.as_str()).then(|| last.clone())
         })
         .collect()
 }
@@ -335,7 +333,9 @@ mod tests {
         assert_eq!(findings.len(), 2, "{findings:?}");
         assert!(rules.contains(&(4, true)), "swap denied: {findings:?}");
         assert!(
-            findings.iter().any(|f| f.line == 7 && f.message.contains("retry loop")),
+            findings
+                .iter()
+                .any(|f| f.line == 7 && f.message.contains("retry loop")),
             "bare CAS denied, looped CAS sanctioned: {findings:?}"
         );
     }
@@ -392,6 +392,9 @@ mod tests {
                  pub fn read(&self) -> u64 { self.n.load(Ordering::Relaxed) }\n\
              }\n",
         )]);
-        assert!(findings.is_empty(), "failure ordering excluded: {findings:?}");
+        assert!(
+            findings.is_empty(),
+            "failure ordering excluded: {findings:?}"
+        );
     }
 }

@@ -99,9 +99,15 @@ impl EffectModel {
         for component in cost::call_sccs(n, &succs) {
             let tainted = component.iter().any(|&m| {
                 fs_unsanctioned.get(m).copied().unwrap_or(false)
-                    || succs.get(m).map(Vec::as_slice).unwrap_or(&[]).iter().any(
-                        |&t| !component.contains(&t) && fs_unsanctioned.get(t).copied().unwrap_or(false),
-                    )
+                    || succs
+                        .get(m)
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                        .iter()
+                        .any(|&t| {
+                            !component.contains(&t)
+                                && fs_unsanctioned.get(t).copied().unwrap_or(false)
+                        })
             });
             if tainted {
                 for &m in &component {
@@ -212,7 +218,11 @@ mod tests {
         let f = findings.first().expect("finding");
         assert_eq!((f.rule, f.severity), ("F1", Severity::Warn));
         assert_eq!(f.line, 3);
-        assert!(f.message.contains("hot path: run_pipeline"), "{}", f.message);
+        assert!(
+            f.message.contains("hot path: run_pipeline"),
+            "{}",
+            f.message
+        );
     }
 
     #[test]
@@ -228,7 +238,9 @@ mod tests {
         )]);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(
-            findings.first().is_some_and(|f| f.message.contains("persist")),
+            findings
+                .first()
+                .is_some_and(|f| f.message.contains("persist")),
             "{findings:?}"
         );
     }

@@ -220,13 +220,11 @@ pub fn check_numeric(
         let lt = LocalTypes::new(index, node);
         let cfg = Cfg::build(&node.info.body);
         let facts = types::solve_fn(&lt, &cfg);
-        let hot_witness = model
-            .is_hot(id)
-            .then(|| {
-                model
-                    .hot_path(graph, id)
-                    .unwrap_or_else(|| node.name.to_string())
-            });
+        let hot_witness = model.is_hot(id).then(|| {
+            model
+                .hot_path(graph, id)
+                .unwrap_or_else(|| node.name.to_string())
+        });
         let mut ctx = SiteCtx {
             lt: &lt,
             file,
@@ -320,7 +318,10 @@ mod tests {
                  flags as u32\n\
              }\n",
         )]);
-        assert!(findings.is_empty(), "non-scale narrowing tolerated: {findings:?}");
+        assert!(
+            findings.is_empty(),
+            "non-scale narrowing tolerated: {findings:?}"
+        );
     }
 
     #[test]
@@ -365,6 +366,9 @@ mod tests {
                  for _d in domains { total += 1; }\n\
              }\n",
         )]);
-        assert!(findings.is_empty(), "unsuffixed literal stays Unknown: {findings:?}");
+        assert!(
+            findings.is_empty(),
+            "unsuffixed literal stays Unknown: {findings:?}"
+        );
     }
 }

@@ -128,7 +128,10 @@ fn sarif_result(f: &Finding) -> Value {
                 sorted_object(physical),
             )])]),
         ),
-        ("message", sorted_object(vec![("text", f.message.to_value())])),
+        (
+            "message",
+            sorted_object(vec![("text", f.message.to_value())]),
+        ),
         ("ruleId", f.rule.to_value()),
     ])
 }
@@ -337,12 +340,20 @@ mod tests {
         assert_eq!(v.field("version").unwrap().as_str(), Some("2.1.0"));
         let runs = v.field("runs").unwrap().as_array().expect("runs");
         assert_eq!(runs.len(), 1);
-        let results = runs[0].field("results").unwrap().as_array().expect("results");
+        let results = runs[0]
+            .field("results")
+            .unwrap()
+            .as_array()
+            .expect("results");
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].field("ruleId").unwrap().as_str(), Some("R1"));
         assert_eq!(results[0].field("level").unwrap().as_str(), Some("error"));
         // Data finding (line 0) carries no region.
-        let data_loc = &results[1].field("locations").unwrap().as_array().expect("locs")[0];
+        let data_loc = &results[1]
+            .field("locations")
+            .unwrap()
+            .as_array()
+            .expect("locs")[0];
         assert!(
             data_loc
                 .field("physicalLocation")

@@ -353,8 +353,9 @@ fn rule_h1(tokens: &[Token<'_>], rel_path: &str, out: &mut Vec<Finding>) {
                 let tagged = t.text[abs + marker.len()..].starts_with('(');
                 if !tagged {
                     let newlines = t.text[..abs].bytes().filter(|&b| b == b'\n').count();
-                    let marker_line =
-                        t.line.saturating_add(u32::try_from(newlines).unwrap_or(u32::MAX));
+                    let marker_line = t
+                        .line
+                        .saturating_add(u32::try_from(newlines).unwrap_or(u32::MAX));
                     out.push(Finding::at(
                         "H1",
                         Severity::Warn,

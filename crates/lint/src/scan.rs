@@ -218,10 +218,7 @@ pub(crate) fn finish(raw: Vec<Finding>, mut allowlist: Allowlist, files_scanned:
 ///
 /// Public so out-of-crate harnesses (`lintbench`) can rebuild the exact
 /// scan set and time individual passes against it.
-pub fn read_sources(
-    root: &Path,
-    keep: impl Fn(&str) -> bool,
-) -> io::Result<Vec<(String, String)>> {
+pub fn read_sources(root: &Path, keep: impl Fn(&str) -> bool) -> io::Result<Vec<(String, String)>> {
     let files: Vec<String> = source_files(root)?
         .into_iter()
         .filter(|rel| keep(rel))

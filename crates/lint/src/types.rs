@@ -630,7 +630,10 @@ impl<'w> LocalTypes<'w> {
                         scale: args.first().is_some_and(|a| self.infer(fact, a).scale),
                     },
                     [ty_name, method]
-                        if ty_name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) =>
+                        if ty_name
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_uppercase()) =>
                     {
                         let ret = self.index.ret(ty_name, method);
                         TyFact {
@@ -817,10 +820,7 @@ impl<'a, 'w> Analysis<'a> for LocalTypes<'w> {
 
 /// Solve local types for one fn body; returns per-node in-facts (see
 /// [`dataflow::solve`]) for use with [`dataflow::replay`].
-pub fn solve_fn<'a>(
-    lt: &LocalTypes<'_>,
-    cfg: &Cfg<'a>,
-) -> Vec<Option<BTreeMap<String, TyFact>>> {
+pub fn solve_fn<'a>(lt: &LocalTypes<'_>, cfg: &Cfg<'a>) -> Vec<Option<BTreeMap<String, TyFact>>> {
     dataflow::solve(cfg, lt)
 }
 
@@ -952,13 +952,35 @@ mod tests {
     #[test]
     fn cast_classification_covers_the_lattice() {
         use CastKind::*;
-        assert_eq!(classify_cast(&Ty::Usize, &Ty::Uint(32)), Lossy("narrowing truncates high bits"));
-        assert_eq!(classify_cast(&Ty::Int(64), &Ty::Uint(64)), Lossy("signed-to-unsigned wraps negatives"));
-        assert_eq!(classify_cast(&Ty::F64, &Ty::Uint(64)), Lossy("float-to-integer truncates"));
-        assert_eq!(classify_cast(&Ty::Uint(32), &Ty::Uint(64)), Widen { from_impl: true });
+        assert_eq!(
+            classify_cast(&Ty::Usize, &Ty::Uint(32)),
+            Lossy("narrowing truncates high bits")
+        );
+        assert_eq!(
+            classify_cast(&Ty::Int(64), &Ty::Uint(64)),
+            Lossy("signed-to-unsigned wraps negatives")
+        );
+        assert_eq!(
+            classify_cast(&Ty::F64, &Ty::Uint(64)),
+            Lossy("float-to-integer truncates")
+        );
+        assert_eq!(
+            classify_cast(&Ty::Uint(32), &Ty::Uint(64)),
+            Widen { from_impl: true }
+        );
         // Widens on 64-bit hosts but has no `From` — exempt, not fixable.
-        assert_eq!(classify_cast(&Ty::Uint(32), &Ty::Usize), Widen { from_impl: false });
-        assert_eq!(classify_cast(&Ty::Usize, &Ty::Uint(64)), Noop, "same width under the 64-bit model");
-        assert_eq!(classify_cast(&Ty::Named("Vec".into()), &Ty::Uint(8)), Opaque);
+        assert_eq!(
+            classify_cast(&Ty::Uint(32), &Ty::Usize),
+            Widen { from_impl: false }
+        );
+        assert_eq!(
+            classify_cast(&Ty::Usize, &Ty::Uint(64)),
+            Noop,
+            "same width under the 64-bit model"
+        );
+        assert_eq!(
+            classify_cast(&Ty::Named("Vec".into()), &Ty::Uint(8)),
+            Opaque
+        );
     }
 }

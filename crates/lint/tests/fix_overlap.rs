@@ -23,10 +23,7 @@ use aipan_lint::types::TypeIndex;
 /// edits per file, from the rules that attach fixes (`H2`/`C2` via the
 /// cost pass, `N1` via the numeric pass).
 fn pending_fixes(files: &BTreeMap<String, String>) -> BTreeMap<String, Vec<FixEdit>> {
-    let owned: Vec<(String, String)> = files
-        .iter()
-        .map(|(p, s)| (p.clone(), s.clone()))
-        .collect();
+    let owned: Vec<(String, String)> = files.iter().map(|(p, s)| (p.clone(), s.clone())).collect();
     let ws = Workspace::build(&owned);
     let graph = CallGraph::build(&ws);
     let model = CostModel::build(&ws, &graph);
@@ -103,7 +100,7 @@ fn n1_fix_inside_a_c2_hoist_defers_and_converges() {
          \x20   }\n\
          \x20   total\n\
          }\n"
-            .to_string(),
+        .to_string(),
     )]);
     let rounds = run_to_fixpoint(&mut files, 5);
     assert!(rounds >= 2, "overlapping fixes must take a deferral round");

@@ -947,7 +947,11 @@ fn n1_corpus_scale_narrowing_denies_and_bounded_narrowing_does_not() {
         "crates/analysis/src/lib.rs",
         "pub fn mask(flags: u64) -> u32 { flags as u32 }\n",
     )]);
-    assert!(typed_findings(&clean).is_empty(), "{:?}", typed_findings(&clean));
+    assert!(
+        typed_findings(&clean).is_empty(),
+        "{:?}",
+        typed_findings(&clean)
+    );
 }
 
 #[test]
@@ -974,7 +978,11 @@ fn n1_provable_widening_warns_with_an_applicable_from_rewrite() {
          \x20   byte_count as u64\n\
          }\n",
     )]);
-    assert!(typed_findings(&no_impl).is_empty(), "{:?}", typed_findings(&no_impl));
+    assert!(
+        typed_findings(&no_impl).is_empty(),
+        "{:?}",
+        typed_findings(&no_impl)
+    );
 }
 
 #[test]
@@ -1007,7 +1015,11 @@ fn n2_unchecked_counter_in_hot_fn_warns_and_saturating_is_clean() {
              }}\n"
         ),
     )]);
-    assert!(typed_findings(&clean).is_empty(), "{:?}", typed_findings(&clean));
+    assert!(
+        typed_findings(&clean).is_empty(),
+        "{:?}",
+        typed_findings(&clean)
+    );
 }
 
 #[test]
@@ -1041,7 +1053,11 @@ fn a1_load_store_and_mixed_orderings_deny_and_rmw_is_clean() {
     let findings = typed_findings(&mixed);
     assert_eq!(findings.len(), 1, "{findings:?}");
     assert_eq!(findings[0].rule, "A1");
-    assert!(findings[0].message.contains("mixed"), "{}", findings[0].message);
+    assert!(
+        findings[0].message.contains("mixed"),
+        "{}",
+        findings[0].message
+    );
 
     // Clean: single-call RMW under one ordering everywhere.
     let clean = workspace(&[(
@@ -1052,7 +1068,11 @@ fn a1_load_store_and_mixed_orderings_deny_and_rmw_is_clean() {
          \x20   pub fn read(&self) -> u64 { self.calls.load(Ordering::Relaxed) }\n\
          }\n",
     )]);
-    assert!(typed_findings(&clean).is_empty(), "{:?}", typed_findings(&clean));
+    assert!(
+        typed_findings(&clean).is_empty(),
+        "{:?}",
+        typed_findings(&clean)
+    );
 }
 
 #[test]
@@ -1090,5 +1110,9 @@ fn f1_fs_io_in_hot_loop_warns_and_journal_layer_is_sanctioned() {
             "pub fn append_record(d: &str) { std::fs::write(d, \"x\").ok(); }\n",
         ),
     ]);
-    assert!(typed_findings(&clean).is_empty(), "{:?}", typed_findings(&clean));
+    assert!(
+        typed_findings(&clean).is_empty(),
+        "{:?}",
+        typed_findings(&clean)
+    );
 }

@@ -86,7 +86,8 @@ fn sarif_envelope_and_driver_are_stable() {
     let rendered = report::sarif(&sample_report());
     // Envelope: schema pointer, version, a single run.
     assert!(
-        rendered.starts_with("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\","),
+        rendered
+            .starts_with("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\","),
         "{rendered}"
     );
     assert!(rendered.contains("\"version\": \"2.1.0\""), "{rendered}");

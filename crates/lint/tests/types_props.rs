@@ -33,9 +33,7 @@ const NAMES: &[&str] = &["a", "b", "c", "d", "e", "g", "h", "k"];
 /// Exit-node type facts of a generated `fn f` holding `stmts` in order.
 fn exit_of(stmts: &[String]) -> BTreeMap<String, TyFact> {
     let body = stmts.join("\n    ");
-    let src = format!(
-        "fn read() -> u32 {{ 4 }}\nfn f(xs: &[u8]) {{\n    {body}\n}}\n"
-    );
+    let src = format!("fn read() -> u32 {{ 4 }}\nfn f(xs: &[u8]) {{\n    {body}\n}}\n");
     let ws = Workspace::build(&[("crates/x/src/gen.rs".to_string(), src.clone())]);
     let index = TypeIndex::build(&ws);
     let parsed = parse_file("crates/x/src/gen.rs", &src);

@@ -158,7 +158,10 @@ impl FetchSession {
 
     /// Total retries spent across every host this session touched.
     pub fn total_retries(&self) -> u64 {
-        self.hosts.values().map(|h| u64::from(h.retries_spent)).sum()
+        self.hosts
+            .values()
+            .map(|h| u64::from(h.retries_spent))
+            .sum()
     }
 
     /// Current breaker state for `domain`.

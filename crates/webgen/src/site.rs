@@ -270,9 +270,16 @@ impl MemoryGauge {
         self.peak.fetch_max(now, Ordering::Relaxed);
     }
 
-    /// Account `bytes` released.
+    /// Account `bytes` released. Saturates at zero: a double release (or a
+    /// release racing a concurrent accounting reset) must not wrap
+    /// `current` to ~`usize::MAX` and poison every later backpressure
+    /// decision made against the gauge.
     pub fn sub(&self, bytes: usize) {
-        self.current.fetch_sub(bytes, Ordering::Relaxed);
+        let _prev = self
+            .current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(bytes))
+            });
     }
 
     /// Bytes currently resident.

@@ -1,12 +1,15 @@
 //! `aipan` — the command-line interface to the AIPAN-RS stack.
 //!
 //! ```text
-//! aipan run      [--seed N] [--size N] [--out FILE] [--resume JOURNAL]
+//! aipan run      [--seed N] [--size N] [--out FILE] [--resume JOURNAL] [--health-out FILE]
 //!                                                     run the pipeline, write the dataset JSON;
 //!                                                     with --resume, append per-domain results to
 //!                                                     sharded JSONL journal segments as they finish
 //!                                                     (consolidated into JOURNAL on success) and
-//!                                                     skip already-journaled domains next time
+//!                                                     skip already-journaled domains next time;
+//!                                                     with --health-out, write the supervisor's
+//!                                                     RunHealth report (verdict, per-stage error
+//!                                                     taxonomy, quarantine list) as sorted JSON
 //! aipan audit    <domain> [--seed N] [--size N]       crawl + annotate one company
 //! aipan tables   [--seed N] [--size N]                print Tables 1–5 from a fresh run
 //! aipan validate [--seed N] [--size N]                run the §4 validation harness
@@ -41,6 +44,7 @@ struct Args {
     out: Option<String>,
     sector: Option<String>,
     resume: Option<String>,
+    health_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +56,7 @@ fn parse_args() -> Args {
         out: None,
         sector: None,
         resume: None,
+        health_out: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -71,6 +76,7 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = iter.next(),
             "--resume" => args.resume = iter.next(),
+            "--health-out" => args.health_out = iter.next(),
             other if args.command.is_empty() => args.command = other.to_string(),
             other => args.positional.push(other.to_string()),
         }
@@ -82,9 +88,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: aipan <run|audit|tables|validate|distill|analyze> [args]\n\
          \n\
-         run      [--seed N] [--size N] [--out FILE] [--resume JOURNAL]\n\
+         run      [--seed N] [--size N] [--out FILE] [--resume JOURNAL] [--health-out FILE]\n\
          \x20                                              run the pipeline, export dataset JSON;\n\
-         \x20                                              checkpoint/resume via a JSONL journal\n\
+         \x20                                              checkpoint/resume via a JSONL journal;\n\
+         \x20                                              --health-out writes the RunHealth report\n\
+         \x20                                              (verdict, error taxonomy, quarantine)\n\
          audit    <domain>   [--seed N] [--size N]     crawl + annotate one company\n\
          tables              [--seed N] [--size N]     print Tables 1-5\n\
          validate            [--seed N] [--size N]     run the §4 validation harness\n\
@@ -165,6 +173,21 @@ fn cmd_run(args: &Args) {
         "crawled {} domains ({} ok), annotated {} policies",
         run.crawl_funnel.domains_total, run.crawl_funnel.crawl_success, run.extraction.annotated
     );
+    println!(
+        "health: {} ({} quarantined, {} poisoned skipped, {} backpressure stall(s))",
+        run.health.verdict,
+        run.health.quarantine.len(),
+        run.health.poisoned_skipped.len(),
+        run.health.backpressure_stalls
+    );
+    for reason in &run.health.reasons {
+        println!("  - {reason}");
+    }
+    if let Some(path) = &args.health_out {
+        let json = run.health.to_json();
+        std::fs::write(path, &json).expect("write health report");
+        println!("health report written to {path} ({} bytes)", json.len());
+    }
     let out = args
         .out
         .clone()
